@@ -1,0 +1,10 @@
+//! The backend (paper §3.7): register allocation, frame construction,
+//! GC-table generation, machine-code emission, and linking for the
+//! simulated ALPHA-style target.
+
+pub mod emit;
+pub mod link;
+pub mod liveness;
+pub mod regalloc;
+
+pub use link::{link, Linked, LinkOptions};

@@ -1,0 +1,185 @@
+//! Liveness analysis over RTL (basic blocks + backward dataflow),
+//! feeding both register allocation and the GC tables' per-site
+//! live-slot filtering (paper §2.3: "additional liveness information
+//! ... to avoid tracing pointers that are no longer needed").
+
+use std::collections::{HashMap, HashSet};
+use til_rtl::{CallTarget, HeadSpec, Lbl, RInstr, ROp, RtlFun, VReg};
+
+/// Uses of one instruction.
+pub fn uses(i: &RInstr) -> Vec<VReg> {
+    let mut out = Vec::new();
+    fn op(out: &mut Vec<VReg>, o: &ROp) {
+        if let ROp::V(v) = o {
+            out.push(*v);
+        }
+    }
+    match i {
+        RInstr::Mov { src, .. } => op(&mut out, src),
+        RInstr::Alu { a, b, .. } => {
+            op(&mut out, a);
+            op(&mut out, b);
+        }
+        RInstr::Falu { a, b, .. } => {
+            out.push(*a);
+            out.push(*b);
+        }
+        RInstr::Itof { a, .. } => out.push(*a),
+        RInstr::Ld { base, .. } => out.push(*base),
+        RInstr::St { src, base, .. } => {
+            out.push(*src);
+            out.push(*base);
+        }
+        RInstr::LdGlobal { .. }
+        | RInstr::LeaCode { .. }
+        | RInstr::LeaStatic { .. }
+        | RInstr::Label(_)
+        | RInstr::Br(_)
+        | RInstr::PushHandler { .. }
+        | RInstr::PopHandler { .. }
+        | RInstr::HandlerEntry { .. } => {}
+        RInstr::StGlobal { src, .. } => out.push(*src),
+        RInstr::Beqz(v, _) | RInstr::Bnez(v, _) | RInstr::TrapIf { cond: v, .. } => {
+            out.push(*v)
+        }
+        RInstr::Call { target, args, .. } | RInstr::TailCall { target, args } => {
+            if let CallTarget::Reg(v) = target {
+                out.push(*v);
+            }
+            out.extend(args.iter().copied());
+        }
+        RInstr::CallRt { args, .. } => out.extend(args.iter().copied()),
+        RInstr::Ret(v) => {
+            if let Some(v) = v {
+                out.push(*v);
+            }
+        }
+        RInstr::Alloc { head, fields, .. } => {
+            if let HeadSpec::Reg(h) = head {
+                out.push(*h);
+            }
+            for f in fields {
+                op(&mut out, f);
+            }
+        }
+        RInstr::AllocArr { len, init, .. } => {
+            op(&mut out, len);
+            out.push(*init);
+        }
+        RInstr::Raise { packet } => out.push(*packet),
+    }
+    out
+}
+
+/// Definition of one instruction.
+pub fn defs(i: &RInstr) -> Option<VReg> {
+    match i {
+        RInstr::Mov { dst, .. }
+        | RInstr::Alu { dst, .. }
+        | RInstr::Falu { dst, .. }
+        | RInstr::Itof { dst, .. }
+        | RInstr::Ld { dst, .. }
+        | RInstr::LdGlobal { dst, .. }
+        | RInstr::LeaCode { dst, .. }
+        | RInstr::LeaStatic { dst, .. }
+        | RInstr::Alloc { dst, .. }
+        | RInstr::AllocArr { dst, .. }
+        | RInstr::HandlerEntry { dst } => Some(*dst),
+        RInstr::Call { dst, .. } | RInstr::CallRt { dst, .. } => *dst,
+        _ => None,
+    }
+}
+
+/// Per-instruction live-out sets for a function.
+pub struct Liveness {
+    /// `live_out[i]` = vregs live immediately after instruction `i`.
+    pub live_out: Vec<HashSet<VReg>>,
+    /// `live_in[i]`.
+    pub live_in: Vec<HashSet<VReg>>,
+}
+
+/// Computes liveness. Computed-representation vregs are kept alive with
+/// their dependents (the GC needs the representation wherever the value
+/// is live).
+pub fn liveness(f: &RtlFun) -> Liveness {
+    let n = f.instrs.len();
+    // Successors.
+    let mut label_at: HashMap<Lbl, usize> = HashMap::new();
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if let RInstr::Label(l) = ins {
+            label_at.insert(*l, i);
+        }
+    }
+    // Rep dependencies: value vreg -> rep vreg.
+    let mut rep_dep: HashMap<VReg, VReg> = HashMap::new();
+    for (v, r) in &f.reps {
+        if let til_rtl::RRep::Computed(rv) = r {
+            rep_dep.insert(*v, *rv);
+        }
+    }
+    let succs = |i: usize| -> Vec<usize> {
+        match &f.instrs[i] {
+            RInstr::Br(l) => vec![label_at[l]],
+            RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
+                let mut s = vec![label_at[l]];
+                if i + 1 < n {
+                    s.push(i + 1);
+                }
+                s
+            }
+            RInstr::Ret(_) | RInstr::TailCall { .. } | RInstr::Raise { .. } => vec![],
+            RInstr::PushHandler { lbl, .. } => {
+                // The handler is reachable from anywhere in the
+                // protected region; modelling the edge here is sound.
+                let mut s = vec![label_at[lbl]];
+                if i + 1 < n {
+                    s.push(i + 1);
+                }
+                s
+            }
+            _ => {
+                if i + 1 < n {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    };
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut out: HashSet<VReg> = HashSet::new();
+            for s in succs(i) {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn = out.clone();
+            if let Some(d) = defs(&f.instrs[i]) {
+                inn.remove(&d);
+            }
+            for u in uses(&f.instrs[i]) {
+                inn.insert(u);
+                if let Some(rv) = rep_dep.get(&u) {
+                    inn.insert(*rv);
+                }
+            }
+            // A defined value's rep must be live at the definition too.
+            if let Some(d) = defs(&f.instrs[i]) {
+                if out.contains(&d) {
+                    if let Some(rv) = rep_dep.get(&d) {
+                        inn.insert(*rv);
+                    }
+                }
+            }
+            if inn != live_in[i] || out != live_out[i] {
+                live_in[i] = inn;
+                live_out[i] = out;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_out, live_in }
+}

@@ -1,0 +1,180 @@
+//! Register allocation (paper §3.7): values live across calls (all
+//! registers are caller-save in our convention) get stack-frame slots
+//! — which is exactly what the nearly tag-free GC tables describe —
+//! and the remaining, call-free live ranges are colored by
+//! Chaitin-style graph coloring over the 22 allocatable registers.
+//! Tail calls keep loop-carried values in registers (nothing is live
+//! across a tail call), so tight loops run register-resident, as in
+//! the paper's Figure 7.
+
+use crate::liveness::{defs, liveness, uses, Liveness};
+use std::collections::{HashMap, HashSet};
+use til_rtl::{RInstr, RtlFun, VReg};
+
+/// Number of colorable registers (r0..r21; r22/r23 are backend
+/// scratch, r24+ are special).
+pub const K: usize = 22;
+
+/// Where a vreg lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register.
+    Reg(u8),
+    /// A frame slot index.
+    Slot(u32),
+}
+
+/// Allocation result.
+pub struct Alloc {
+    /// vreg locations.
+    pub loc: HashMap<VReg, Loc>,
+    /// Number of frame slots used.
+    pub nslots: u32,
+    /// Liveness (reused by the emitter for GC tables).
+    pub live: Liveness,
+}
+
+fn is_call(i: &RInstr) -> bool {
+    matches!(
+        i,
+        RInstr::Call { .. } | RInstr::CallRt { .. } | RInstr::PushHandler { .. }
+    )
+}
+
+/// Allocates registers and slots for one function.
+pub fn allocate(f: &RtlFun) -> Alloc {
+    let live = liveness(f);
+    // 1. Values live across calls (or into handlers) get slots.
+    let mut slotted: HashSet<VReg> = HashSet::new();
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if is_call(ins) {
+            for v in &live.live_out[i] {
+                if Some(*v) != defs(ins) {
+                    slotted.insert(*v);
+                }
+            }
+        }
+    }
+    // 2. Color the rest; on failure move more vregs to slots.
+    let mut loc: HashMap<VReg, Loc> = HashMap::new();
+    loop {
+        match try_color(f, &live, &slotted) {
+            Ok(colors) => {
+                for (v, c) in colors {
+                    loc.insert(v, Loc::Reg(c));
+                }
+                break;
+            }
+            Err(spill) => {
+                slotted.insert(spill);
+            }
+        }
+    }
+    let mut slots: Vec<VReg> = slotted.into_iter().collect();
+    slots.sort();
+    for (i, v) in slots.iter().enumerate() {
+        loc.insert(*v, Loc::Slot(i as u32));
+    }
+    Alloc {
+        loc,
+        nslots: slots.len() as u32,
+        live,
+    }
+}
+
+/// Builds the interference graph over non-slotted vregs and colors it;
+/// returns a spill candidate on failure.
+fn try_color(
+    f: &RtlFun,
+    live: &Liveness,
+    slotted: &HashSet<VReg>,
+) -> Result<HashMap<VReg, u8>, VReg> {
+    let mut nodes: HashSet<VReg> = HashSet::new();
+    for ins in &f.instrs {
+        if let Some(d) = defs(ins) {
+            nodes.insert(d);
+        }
+        for u in uses(ins) {
+            nodes.insert(u);
+        }
+    }
+    for p in &f.params {
+        nodes.insert(*p);
+    }
+    nodes.retain(|v| !slotted.contains(v));
+    let mut adj: HashMap<VReg, HashSet<VReg>> = nodes
+        .iter()
+        .map(|v| (*v, HashSet::new()))
+        .collect();
+    let add_edge = |adj: &mut HashMap<VReg, HashSet<VReg>>, a: VReg, b: VReg| {
+        if a != b {
+            if let Some(s) = adj.get_mut(&a) {
+                s.insert(b);
+            }
+            if let Some(s) = adj.get_mut(&b) {
+                s.insert(a);
+            }
+        }
+    };
+    // Parameters are mutually live at entry.
+    for (i, a) in f.params.iter().enumerate() {
+        for b in &f.params[i + 1..] {
+            add_edge(&mut adj, *a, *b);
+        }
+    }
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if let Some(d) = defs(ins) {
+            if !slotted.contains(&d) {
+                for v in &live.live_out[i] {
+                    if !slotted.contains(v) {
+                        add_edge(&mut adj, d, *v);
+                    }
+                }
+            }
+        }
+    }
+    // Simplify with optimistic coloring.
+    let mut degree: HashMap<VReg, usize> = adj.iter().map(|(v, s)| (*v, s.len())).collect();
+    let mut stack: Vec<VReg> = Vec::new();
+    let mut removed: HashSet<VReg> = HashSet::new();
+    let mut work: Vec<VReg> = nodes.iter().copied().collect();
+    work.sort();
+    while removed.len() < nodes.len() {
+        // Pick a low-degree node, else the highest-degree one.
+        let pick = work
+            .iter()
+            .filter(|v| !removed.contains(v))
+            .min_by_key(|v| {
+                let d = degree[v];
+                if d < K {
+                    (0usize, d)
+                } else {
+                    (1usize, usize::MAX - d)
+                }
+            })
+            .copied()
+            .expect("nonempty");
+        removed.insert(pick);
+        stack.push(pick);
+        for n in &adj[&pick] {
+            if let Some(d) = degree.get_mut(n) {
+                *d = d.saturating_sub(1);
+            }
+        }
+    }
+    // Assign colors in reverse removal order.
+    let mut colors: HashMap<VReg, u8> = HashMap::new();
+    while let Some(v) = stack.pop() {
+        let used: HashSet<u8> = adj[&v]
+            .iter()
+            .filter_map(|n| colors.get(n).copied())
+            .collect();
+        match (0..K as u8).find(|c| !used.contains(c)) {
+            Some(c) => {
+                colors.insert(v, c);
+            }
+            None => return Err(v),
+        }
+    }
+    Ok(colors)
+}

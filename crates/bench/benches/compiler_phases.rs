@@ -1,0 +1,50 @@
+//! Criterion benchmarks of compiler-phase throughput (the compile-time
+//! side of Table 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use til::{Compiler, Options};
+
+const MATMULT: &str = include_str!("../sml/matmult.sml");
+const LIFE: &str = include_str!("../sml/life.sml");
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    g.bench_function("matmult-til", |b| {
+        b.iter(|| {
+            Compiler::new(Options::til())
+                .compile(std::hint::black_box(MATMULT))
+                .unwrap()
+        })
+    });
+    g.bench_function("matmult-baseline", |b| {
+        b.iter(|| {
+            Compiler::new(Options::baseline())
+                .compile(std::hint::black_box(MATMULT))
+                .unwrap()
+        })
+    });
+    g.bench_function("life-til", |b| {
+        b.iter(|| {
+            Compiler::new(Options::til())
+                .compile(std::hint::black_box(LIFE))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.sample_size(20);
+    g.bench_function("parse-prelude", |b| {
+        b.iter(|| til_syntax::parse(std::hint::black_box(til::PRELUDE)).unwrap())
+    });
+    g.bench_function("elaborate-matmult", |b| {
+        b.iter(|| til_elab::elaborate_source(std::hint::black_box(MATMULT)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_frontend);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of generated-code execution (the VM dispatch
+//! rate underlying Tables 2-4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use til::{Compiler, Options};
+
+const LOOP: &str = "fun sum (0, acc) = acc | sum (n, acc) = sum (n - 1, acc + n)
+                    val _ = print (Int.toString (sum (20000, 0)))";
+
+fn bench_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run");
+    g.sample_size(20);
+    let til = Compiler::new(Options::til()).compile(LOOP).unwrap();
+    let base = Compiler::new(Options::baseline()).compile(LOOP).unwrap();
+    g.bench_function("counted-loop-til", |b| {
+        b.iter(|| til.run(1_000_000_000).unwrap())
+    });
+    g.bench_function("counted-loop-baseline", |b| {
+        b.iter(|| base.run(1_000_000_000).unwrap())
+    });
+    let alloc = Compiler::new(Options::til())
+        .compile(
+            "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+             fun spin (0, x) = x | spin (k, x) = spin (k - 1, build (200, nil))
+             val _ = print (Int.toString (length (spin (100, nil))))",
+        )
+        .unwrap();
+    g.bench_function("allocation-and-gc-til", |b| {
+        b.iter(|| alloc.run(1_000_000_000).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_run);
+criterion_main!(benches);

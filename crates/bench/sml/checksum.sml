@@ -1,0 +1,25 @@
+(* Checksum: the Foxnet checksum fragment (Table 1) — a 16-bit
+   ones-complement checksum over a 4096-byte buffer, iterated. *)
+val iterations = 120
+val size = 4096
+val words = size div 2
+
+val buf = Array.array (words, 0)
+fun init i =
+  if i >= words then ()
+  else (Array.update (buf, i, (i * 7 + 13) mod 65536); init (i + 1))
+val _ = init 0
+
+fun fold (i, acc) =
+  if i >= words then acc
+  else fold (i + 1, acc + Array.sub (buf, i))
+
+fun carry s = if s < 65536 then s else carry ((s mod 65536) + (s div 65536))
+
+fun checksum () = 65535 - carry (fold (0, 0))
+
+fun loop (0, last) = last
+  | loop (n, last) = loop (n - 1, checksum ())
+
+val _ = print (Int.toString (loop (iterations, 0)))
+val _ = print "\n"

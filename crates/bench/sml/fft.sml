@@ -1,0 +1,75 @@
+(* FFT: fast Fourier transform multiplying polynomials (Table 1),
+   using specialized (unboxed) float arrays. *)
+val ln2 = 10
+val n = 1024  (* 2^ln2 *)
+
+val pi = 3.14159265358979
+
+val re = Array.array (n, 0.0)
+val im = Array.array (n, 0.0)
+
+fun init i =
+  if i >= n then ()
+  else (Array.update (re, i, real ((i * 13) mod 31) / 31.0);
+        Array.update (im, i, 0.0);
+        init (i + 1))
+val _ = init 0
+
+(* In-place iterative radix-2 FFT. *)
+fun bitrev () =
+  let fun go (i, j) =
+        if i >= n then ()
+        else
+          let val _ =
+                if i < j then
+                  let val tr = Array.sub (re, i)
+                      val ti = Array.sub (im, i)
+                  in Array.update (re, i, Array.sub (re, j));
+                     Array.update (im, i, Array.sub (im, j));
+                     Array.update (re, j, tr);
+                     Array.update (im, j, ti)
+                  end
+                else ()
+              fun adjust (j, m) = if m >= 1 andalso j >= m then adjust (j - m, m div 2) else j + m
+          in go (i + 1, adjust (j, n div 2)) end
+  in go (0, 0) end
+
+fun fft inverse =
+  let val sign = if inverse then 1.0 else ~1.0
+      fun stage len =
+        if len > n then ()
+        else
+          let val half = len div 2
+              val ang = sign * 2.0 * pi / real len
+              fun block start =
+                if start >= n then ()
+                else
+                  let fun butterfly k =
+                        if k >= half then ()
+                        else
+                          let val w = ang * real k
+                              val wr = Math.cos w
+                              val wi = Math.sin w
+                              val i = start + k
+                              val j = i + half
+                              val xr = Array.sub (re, j) * wr - Array.sub (im, j) * wi
+                              val xi = Array.sub (re, j) * wi + Array.sub (im, j) * wr
+                          in Array.update (re, j, Array.sub (re, i) - xr);
+                             Array.update (im, j, Array.sub (im, i) - xi);
+                             Array.update (re, i, Array.sub (re, i) + xr);
+                             Array.update (im, i, Array.sub (im, i) + xi);
+                             butterfly (k + 1)
+                          end
+                  in butterfly 0; block (start + len) end
+          in block 0; stage (len * 2) end
+  in bitrev (); stage 2 end
+
+val _ = fft false
+val _ = fft true
+
+(* After forward+inverse, values are scaled by n. *)
+fun energy (i, acc) =
+  if i >= n then acc
+  else energy (i + 1, acc + Array.sub (re, i) / real n)
+val _ = print (Real.toString (energy (0, 0.0)))
+val _ = print "\n"

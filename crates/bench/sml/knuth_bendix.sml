@@ -1,0 +1,163 @@
+(* Knuth-Bendix: completion of the free-group axioms (Table 1) —
+   heavy symbolic list/datatype processing. *)
+
+datatype term = V of int | F of string * term list
+
+fun tsize (V _) = 1
+  | tsize (F (_, args)) = 1 + sizes args
+and sizes nil = 0
+  | sizes (t :: ts) = tsize t + sizes ts
+
+fun occurs (v, V w) = v = w
+  | occurs (v, F (_, args)) = List.exists (fn t => occurs (v, t)) args
+
+(* Substitutions as association lists. *)
+fun lookup (v, nil) = NONE
+  | lookup (v, (w, t) :: rest) = if v = w then SOME t else lookup (v, rest)
+
+fun apply (s, V v) =
+      (case lookup (v, s) of NONE => V v | SOME t => t)
+  | apply (s, F (f, args)) = F (f, map (fn t => apply (s, t)) args)
+
+exception NoMatch
+
+(* Matching: find s with apply(s, pat) = t. *)
+fun match1 (V v, t, s) =
+      (case lookup (v, s) of
+         NONE => (v, t) :: s
+       | SOME u => if u = t then s else raise NoMatch)
+  | match1 (F (f, fargs), F (g, gargs), s) =
+      if f = g then matchList (fargs, gargs, s) else raise NoMatch
+  | match1 (F _, V _, s) = raise NoMatch
+and matchList (nil, nil, s) = s
+  | matchList (p :: ps, t :: ts, s) = matchList (ps, ts, match1 (p, t, s))
+  | matchList (_, _, _) = raise NoMatch
+
+(* Unification. *)
+fun unify (V v, t, s) = unifyVar (v, t, s)
+  | unify (t, V v, s) = unifyVar (v, t, s)
+  | unify (F (f, fargs), F (g, gargs), s) =
+      if f = g then unifyList (fargs, gargs, s) else raise NoMatch
+and unifyVar (v, t, s) =
+  let val t' = apply (s, t)
+      val vt = apply (s, V v)
+  in case vt of
+       V w =>
+         if t' = V w then s
+         else if occurs (w, t') then raise NoMatch
+         else (w, t') :: map (fn (x, u) => (x, apply ([(w, t')], u))) s
+     | other => unify (other, t', s)
+  end
+and unifyList (nil, nil, s) = s
+  | unifyList (a :: asx, b :: bs, s) = unifyList (asx, bs, unify (a, b, s))
+  | unifyList (_, _, _) = raise NoMatch
+
+(* Rewriting with a rule set. *)
+fun rewriteTop (t, nil) = NONE
+  | rewriteTop (t, (l, r) :: rules) =
+      (SOME (apply (match1 (l, t, nil), r)) handle NoMatch => rewriteTop (t, rules))
+
+fun normalize (t, rules) =
+  let fun inner (V v) = V v
+        | inner (F (f, args)) =
+            let val t' = F (f, map inner args)
+            in case rewriteTop (t', rules) of
+                 NONE => t'
+               | SOME u => inner u
+            end
+  in inner t end
+
+(* Variable renaming to keep rule variables apart. *)
+fun rename (off, V v) = V (v + off)
+  | rename (off, F (f, args)) = F (f, map (fn t => rename (off, t)) args)
+
+fun maxVar (V v) = v
+  | maxVar (F (_, nil)) = 0
+  | maxVar (F (_, t :: ts)) = Int.max (maxVar t, maxVar (F ("", ts)))
+
+(* Critical pairs of (l1,r1) into (l2,r2): superpose l1 on non-variable
+   subterms of l2. *)
+fun subterms (V _) = nil
+  | subterms (t as F (_, args)) = t :: List.concat (map subterms args)
+
+fun replace (F (f, args), old, new) =
+      if F (f, args) = old then new
+      else F (f, map (fn a => replace (a, old, new)) args)
+  | replace (t, old, new) = if t = old then new else t
+
+fun criticalPairs ((l1, r1), (l2, r2)) =
+  let val off = maxVar l2 + maxVar r2 + 10
+      val l1' = rename (off, l1)
+      val r1' = rename (off, r1)
+      fun pairsAt sub =
+        (let val s = unifyList ([l1'], [sub], nil)
+         in [(apply (s, replace (l2, sub, r1')), apply (s, r2))] end)
+        handle NoMatch => nil
+  in List.concat (map pairsAt (subterms l2)) end
+
+(* Term ordering: by size, then lexicographic structure. *)
+fun cmp (V a, V b) = Int.compare (a, b)
+  | cmp (V _, F _) = LESS
+  | cmp (F _, V _) = GREATER
+  | cmp (F (f, fargs), F (g, gargs)) =
+      (case String.compare (f, g) of
+         EQUAL => cmpList (fargs, gargs)
+       | other => other)
+and cmpList (nil, nil) = EQUAL
+  | cmpList (nil, _) = LESS
+  | cmpList (_, nil) = GREATER
+  | cmpList (a :: asx, b :: bs) =
+      (case cmp (a, b) of EQUAL => cmpList (asx, bs) | other => other)
+
+fun greater (a, b) =
+  tsize a > tsize b orelse (tsize a = tsize b andalso cmp (a, b) = GREATER)
+
+(* Completion loop (bounded). *)
+fun orient (a, b) =
+  if greater (a, b) then SOME (a, b)
+  else if greater (b, a) then SOME (b, a)
+  else NONE
+
+fun addRule (rule, rules) = rule :: rules
+
+fun step (rules, pending, fuel) =
+  if fuel = 0 then rules
+  else
+    (case pending of
+       nil => rules
+     | (a, b) :: rest =>
+         let val a' = normalize (a, rules)
+             val b' = normalize (b, rules)
+         in if a' = b' then step (rules, rest, fuel - 1)
+            else
+              (case orient (a', b') of
+                 NONE => step (rules, rest, fuel - 1)
+               | SOME rule =>
+                   let val rules' = addRule (rule, rules)
+                       val new =
+                         List.concat
+                           (map (fn r2 => criticalPairs (rule, r2) @ criticalPairs (r2, rule))
+                                rules')
+                   in step (rules', rest @ new, fuel - 1) end)
+         end)
+
+(* Group axioms: e*x = x, i(x)*x = e, (x*y)*z = x*(y*z). *)
+val e = F ("e", nil)
+fun i t = F ("i", [t])
+fun m (a, b) = F ("*", [a, b])
+val x = V 1 val y = V 2 val z = V 3
+
+val axioms =
+  [(m (e, x), x),
+   (m (i x, x), e),
+   (m (m (x, y), z), m (x, m (y, z)))]
+
+val rules = step (nil, axioms, 120)
+
+fun ruleWeight (nil, acc) = acc
+  | ruleWeight ((l, r) :: rest, acc) = ruleWeight (rest, acc + tsize l + tsize r)
+
+val _ = print (Int.toString (length rules))
+val _ = print " "
+val _ = print (Int.toString (ruleWeight (rules, 0)))
+val _ = print "\n"

@@ -1,0 +1,119 @@
+(* Lexgen: a lexical-analyzer generator (Table 1) — regular expressions
+   to an NFA, subset-constructed to a DFA, then driven over input. *)
+
+datatype regex =
+    Chr of int
+  | Eps
+  | Seq of regex * regex
+  | Alt of regex * regex
+  | Star of regex
+
+(* NFA: states numbered; transitions (from, char option, to). *)
+fun build (r, next, start) =
+  (* returns (accept, next', transitions) *)
+  case r of
+    Chr c => (next, next + 1, [(start, SOME c, next)])
+  | Eps => (start, next, nil)
+  | Seq (a, b) =>
+      let val (amid, n1, t1) = build (a, next, start)
+          val (bacc, n2, t2) = build (b, n1, amid)
+      in (bacc, n2, t1 @ t2) end
+  | Alt (a, b) =>
+      let val (aacc, n1, t1) = build (a, next, start)
+          val (bacc, n2, t2) = build (b, n1, start)
+          val join = n2
+      in (join, n2 + 1, (aacc, NONE, join) :: (bacc, NONE, join) :: (t1 @ t2)) end
+  | Star a =>
+      let val (aacc, n1, t1) = build (a, next, start)
+      in (start, n1, (aacc, NONE, start) :: t1) end
+
+fun member (x, nil) = false
+  | member (x : int, y :: ys) = x = y orelse member (x, ys)
+
+fun insert (x, ys) = if member (x, ys) then ys else x :: ys
+
+fun closure (states, trans) =
+  let fun go (nil, acc) = acc
+        | go (s :: rest, acc) =
+            let fun epsTargets (nil, out) = out
+                  | epsTargets ((f, lab, t) :: more, out) =
+                      epsTargets (more,
+                        (case lab of
+                           NONE => if f = s andalso not (member (t, acc)) then insert (t, out) else out
+                         | SOME _ => out))
+                val new = epsTargets (trans, nil)
+            in go (rest @ new, insert (s, acc)) end
+  in go (states, nil) end
+
+fun move (states, c, trans) =
+  let fun go (nil, out) = out
+        | go ((f, lab, t) :: more, out) =
+            go (more,
+              (case lab of
+                 SOME d => if d = c andalso member (f, states) then insert (t, out) else out
+               | NONE => out))
+  in go (trans, nil) end
+
+fun sortInts l =
+  let fun ins (x, nil) = [x]
+        | ins (x : int, y :: ys) = if x <= y then x :: y :: ys else y :: ins (x, ys)
+      fun go (nil, acc) = acc
+        | go (x :: xs, acc) = go (xs, ins (x, acc))
+  in go (l, nil) end
+
+fun sameSet (a, b) = sortInts a = sortInts b
+
+(* Subset construction over alphabet 0..3. *)
+fun dfa (startset, trans) =
+  let fun findState (s, nil, _) = NONE
+        | findState (s, d :: ds, i) = if sameSet (s, d) then SOME i else findState (s, ds, i + 1)
+      fun go (nil, dstates, edges) = (dstates, edges)
+        | go (s :: work, dstates, edges) =
+            let fun onchar (c, work', edges') =
+                  if c > 3 then (work', edges')
+                  else
+                    let val t = closure (move (s, c, trans), trans)
+                    in if null t then onchar (c + 1, work', edges')
+                       else
+                         (case findState (t, dstates, 0) of
+                            SOME _ => onchar (c + 1, work', (s, c, t) :: edges')
+                          | NONE => onchar (c + 1, work' @ [t], (s, c, t) :: edges'))
+                    end
+                val (work2, edges2) = onchar (0, nil, nil)
+                val fresh = List.filter (fn t => not (List.exists (fn d => sameSet (d, t)) dstates)) work2
+            in go (work @ fresh, dstates @ fresh, edges @ edges2) end
+  in go ([startset], [startset], nil) end
+
+(* Token spec over a 4-letter alphabet:
+     ident = 0 (0|1)*          number = 2 2*        op = 3 *)
+val ident = Seq (Chr 0, Star (Alt (Chr 0, Chr 1)))
+val number = Seq (Chr 2, Star (Chr 2))
+val oper = Chr 3
+val spec = Alt (ident, Alt (number, oper))
+
+val (acc, nstates, trans) = build (spec, 1, 0)
+val start = closure ([0], trans)
+val (dstates, dedges) = dfa (start, trans)
+
+(* Drive the DFA over a synthetic input. *)
+fun stepState (s, c) =
+  let fun go nil = nil
+        | go ((f, d, t) :: rest) = if d = c andalso sameSet (f, s) then t else go rest
+  in go dedges end
+
+fun input i = (i * 7 + 3) mod 4
+
+fun lex (i, limit, s, count) =
+  if i >= limit then count
+  else
+    let val s' = stepState (s, input i)
+    in if null s'
+       then lex (i + 1, limit, start, count + 1)   (* token boundary *)
+       else lex (i + 1, limit, s', count)
+    end
+
+val tokens = lex (0, 6000, start, 0)
+val _ = print (Int.toString (length dstates))
+val _ = print " "
+val _ = print (Int.toString tokens)
+val _ = print "\n"

@@ -1,0 +1,39 @@
+(* Life: the game of life implemented with lists, after Reade
+   (Table 1). *)
+fun member ((x, y), nil) = false
+  | member ((x, y), (a, b) :: rest) =
+      (x = a andalso y = b) orelse member ((x, y), rest)
+
+fun neighbours (x, y) =
+  [(x-1, y-1), (x, y-1), (x+1, y-1),
+   (x-1, y),             (x+1, y),
+   (x-1, y+1), (x, y+1), (x+1, y+1)]
+
+fun count (cell, board) =
+  length (List.filter (fn c => member (c, board)) (neighbours cell))
+
+fun survivors board =
+  List.filter (fn c => let val k = count (c, board) in k = 2 orelse k = 3 end) board
+
+fun dedup nil = nil
+  | dedup (c :: rest) = if member (c, rest) then dedup rest else c :: dedup rest
+
+fun births board =
+  let val candidates = dedup (List.concat (map neighbours board))
+      fun isBirth c = not (member (c, board)) andalso count (c, board) = 3
+  in List.filter isBirth candidates end
+
+fun step board = survivors board @ births board
+
+fun generations (0, board) = board
+  | generations (n, board) = generations (n - 1, step board)
+
+(* An R-pentomino seed. *)
+val seed = [(10, 10), (11, 10), (9, 11), (10, 11), (10, 12)]
+val final = generations (18, seed)
+fun sum (nil, acc) = acc
+  | sum ((x, y) :: rest, acc) = sum (rest, acc + x + 2 * y)
+val _ = print (Int.toString (length final))
+val _ = print " "
+val _ = print (Int.toString (sum (final, 0)))
+val _ = print "\n"

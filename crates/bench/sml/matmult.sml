@@ -1,0 +1,33 @@
+(* Matmult: integer matrix multiply on 2-d arrays (Table 1; Section 4's
+   dot product is this benchmark's inner loop). *)
+val n = 40
+
+val A = Array2.array (n, n, 0)
+val B = Array2.array (n, n, 0)
+val C = Array2.array (n, n, 0)
+
+fun fill (m, f) =
+  let fun go (i, j) =
+        if i >= n then ()
+        else if j >= n then go (i + 1, 0)
+        else (update2 (m, i, j, f (i, j)); go (i, j + 1))
+  in go (0, 0) end
+
+val _ = fill (A, fn (i, j) => (i + 2 * j) mod 17)
+val _ = fill (B, fn (i, j) => (3 * i + j) mod 23)
+
+fun dot (i, j) =
+  let fun go (cnt, sum) =
+        if cnt < n then go (cnt + 1, sum + sub2 (A, i, cnt) * sub2 (B, cnt, j))
+        else sum
+  in go (0, 0) end
+
+fun mult (i, j) =
+  if i >= n then ()
+  else if j >= n then mult (i + 1, 0)
+  else (update2 (C, i, j, dot (i, j)); mult (i, j + 1))
+val _ = mult (0, 0)
+
+fun trace (i, acc) = if i >= n then acc else trace (i + 1, acc + sub2 (C, i, i))
+val _ = print (Int.toString (trace (0, 0)))
+val _ = print "\n"

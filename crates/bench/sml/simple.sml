@@ -1,0 +1,85 @@
+(* Simple: a spherical fluid-dynamics kernel (Table 1) — 2-d float
+   arrays with neighbour stencils, several state variables, iterated
+   sweeps. *)
+val gridsize = 24
+val iterations = 4
+
+val rho = Array2.array (gridsize, gridsize, 1.0)
+val u = Array2.array (gridsize, gridsize, 0.0)
+val v = Array2.array (gridsize, gridsize, 0.0)
+val p = Array2.array (gridsize, gridsize, 0.0)
+val work = Array2.array (gridsize, gridsize, 0.0)
+
+fun initGrid (i, j) =
+  if i >= gridsize then ()
+  else if j >= gridsize then initGrid (i + 1, 0)
+  else
+    (update2 (rho, i, j, 1.0 + 0.1 * Math.sin (real (i * j) * 0.05));
+     update2 (u, i, j, 0.01 * real (i - j));
+     update2 (v, i, j, 0.005 * real (i + j));
+     update2 (p, i, j, 1.0);
+     initGrid (i, j + 1))
+val _ = initGrid (0, 0)
+
+val dt = 0.01
+val dx = 1.0
+
+(* One pressure sweep: p <- average of neighbours + divergence term. *)
+fun pressureSweep (i, j) =
+  if i >= gridsize - 1 then ()
+  else if j >= gridsize - 1 then pressureSweep (i + 1, 1)
+  else
+    let val pn = sub2 (p, i - 1, j) + sub2 (p, i + 1, j)
+               + sub2 (p, i, j - 1) + sub2 (p, i, j + 1)
+        val div = (sub2 (u, i + 1, j) - sub2 (u, i - 1, j)
+                 + sub2 (v, i, j + 1) - sub2 (v, i, j - 1)) / (2.0 * dx)
+    in update2 (work, i, j, 0.25 * pn - div * dt * sub2 (rho, i, j));
+       pressureSweep (i, j + 1)
+    end
+
+fun copyInner (src, dst) =
+  let fun go (i, j) =
+        if i >= gridsize - 1 then ()
+        else if j >= gridsize - 1 then go (i + 1, 1)
+        else (update2 (dst, i, j, sub2 (src, i, j)); go (i, j + 1))
+  in go (1, 1) end
+
+(* Velocity update from the pressure gradient. *)
+fun velocitySweep (i, j) =
+  if i >= gridsize - 1 then ()
+  else if j >= gridsize - 1 then velocitySweep (i + 1, 1)
+  else
+    let val gx = (sub2 (p, i + 1, j) - sub2 (p, i - 1, j)) / (2.0 * dx)
+        val gy = (sub2 (p, i, j + 1) - sub2 (p, i, j - 1)) / (2.0 * dx)
+        val r = sub2 (rho, i, j)
+    in update2 (u, i, j, sub2 (u, i, j) - dt * gx / r);
+       update2 (v, i, j, sub2 (v, i, j) - dt * gy / r);
+       velocitySweep (i, j + 1)
+    end
+
+(* Density advection (upwind-ish). *)
+fun densitySweep (i, j) =
+  if i >= gridsize - 1 then ()
+  else if j >= gridsize - 1 then densitySweep (i + 1, 1)
+  else
+    let val adv = sub2 (u, i, j) * (sub2 (rho, i + 1, j) - sub2 (rho, i - 1, j))
+                + sub2 (v, i, j) * (sub2 (rho, i, j + 1) - sub2 (rho, i, j - 1))
+    in update2 (work, i, j, sub2 (rho, i, j) - dt * adv / (2.0 * dx));
+       densitySweep (i, j + 1)
+    end
+
+fun iter 0 = ()
+  | iter k =
+      (pressureSweep (1, 1); copyInner (work, p);
+       velocitySweep (1, 1);
+       densitySweep (1, 1); copyInner (work, rho);
+       iter (k - 1))
+val _ = iter iterations
+
+fun total (i, j, acc) =
+  if i >= gridsize then acc
+  else if j >= gridsize then total (i + 1, 0, acc)
+  else total (i, j + 1, acc + sub2 (rho, i, j) + sub2 (p, i, j))
+val sig1 = total (0, 0, 0.0)
+val _ = print (Real.toString (real (trunc (sig1 * 100.0)) / 100.0))
+val _ = print "\n"

@@ -1,0 +1,233 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 5): Tables 1–7, which are also the data behind Figures
+//! 8–12. Run with a table name (`table1` ... `table7`, `polycount`)
+//! or `all`.
+
+use til::{Compiler, Options};
+use til_bench::{geomean, measure, median, suite, Measurement};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = arg == "all";
+    if all || arg == "table1" {
+        table1();
+    }
+    let need_main = all
+        || matches!(
+            arg.as_str(),
+            "table2" | "table3" | "table4" | "table5" | "table6"
+        );
+    if need_main {
+        main_comparison(&arg, all);
+    }
+    if all || arg == "table7" {
+        table7();
+    }
+    if all || arg == "polycount" {
+        polycount();
+    }
+}
+
+fn table1() {
+    println!("\n== Table 1: benchmark programs ==");
+    for b in suite() {
+        let lines = b.source.lines().count();
+        println!("{:>12}  {:>4} lines  {}", b.name, lines, b.description);
+    }
+}
+
+struct Row {
+    name: &'static str,
+    til: Measurement,
+    base: Measurement,
+}
+
+fn measure_all() -> Vec<Row> {
+    suite()
+        .into_iter()
+        .map(|b| {
+            let til = measure(&b, Options::til()).unwrap_or_else(|e| panic!("{e}"));
+            let base = measure(&b, Options::baseline()).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(til.output, base.output, "{}: modes disagree", b.name);
+            Row {
+                name: b.name,
+                til,
+                base,
+            }
+        })
+        .collect()
+}
+
+/// The paper's per-benchmark TIL/NJ ratios for each table, used to
+/// print paper-vs-measured side by side.
+const PAPER_TIME: [f64; 8] = [0.16, 0.11, 0.94, 0.44, 0.77, 0.14, 0.25, 0.33];
+const PAPER_ALLOC: [f64; 8] = [0.15, 0.042, 0.48, 0.079, 0.56, 0.0013, 0.10, 0.39];
+const PAPER_MEM: [f64; 8] = [0.47, 0.15, 0.74, 0.55, 0.65, 0.33, 0.68, 0.54];
+const PAPER_EXE: [f64; 8] = [0.43, 0.46, 0.48, 0.61, 0.43, 0.34, 0.63, 0.47];
+const PAPER_COMPILE: [f64; 8] = [5.8, 5.4, 9.0, 15.8, 8.6, 3.5, 14.7, 12.9];
+
+fn ratio_table(
+    title: &str,
+    rows: &[Row],
+    paper: &[f64; 8],
+    f: impl Fn(&Measurement) -> f64,
+    invert: bool,
+) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10} {:>10}",
+        "program", "TIL", "baseline", "measured", "paper"
+    );
+    let mut ratios = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        let (a, b) = (f(&r.til), f(&r.base));
+        let ratio = if invert { b / a } else { a / b };
+        ratios.push(ratio);
+        println!(
+            "{:>12} {:>14.0} {:>14.0} {:>10.3} {:>10.3}",
+            r.name, a, b, ratio, paper[i]
+        );
+    }
+    println!(
+        "{:>12} {:>14} {:>14} {:>10.3} {:>10.3}",
+        "geo.mean",
+        "",
+        "",
+        geomean(&ratios),
+        geomean(paper)
+    );
+}
+
+fn main_comparison(arg: &str, all: bool) {
+    let rows = measure_all();
+    if all || arg == "table2" {
+        ratio_table(
+            "Table 2 / Figure 8: execution time (TIL/baseline)",
+            &rows,
+            &PAPER_TIME,
+            |m| m.time as f64,
+            false,
+        );
+    }
+    if all || arg == "table3" {
+        ratio_table(
+            "Table 3 / Figure 9: heap allocation (TIL/baseline)",
+            &rows,
+            &PAPER_ALLOC,
+            |m| m.alloc_bytes.max(1) as f64,
+            false,
+        );
+    }
+    if all || arg == "table4" {
+        ratio_table(
+            "Table 4 / Figure 10: max physical memory (TIL/baseline)",
+            &rows,
+            &PAPER_MEM,
+            |m| m.memory_bytes as f64,
+            false,
+        );
+    }
+    if all || arg == "table5" {
+        // Add the paper's fixed runtime-system sizes (TIL ~100K,
+        // SML/NJ ~425K) so the comparison includes what the paper says
+        // dominates it.
+        println!("\n(Table 5 adds the paper's runtime constants: TIL +100KB, baseline +425KB)");
+        ratio_table(
+            "Table 5: stand-alone executable size (TIL/baseline)",
+            &rows,
+            &PAPER_EXE,
+            |m| m.executable_bytes as f64,
+            false,
+        );
+        let rows2: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r.til.executable_bytes as f64 + 100.0 * 1024.0,
+                    r.base.executable_bytes as f64 + 425.0 * 1024.0,
+                )
+            })
+            .collect();
+        let ratios: Vec<f64> = rows2.iter().map(|(a, b)| a / b).collect();
+        println!(
+            "   with runtime constants: geo.mean {:.3} (paper {:.3})",
+            geomean(&ratios),
+            geomean(&PAPER_EXE)
+        );
+    }
+    if all || arg == "table6" {
+        println!("\n== Table 6 / Figure 11: compile time (TIL/baseline; paper: TIL ~8.4x slower) ==");
+        let mut ratios = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            let ratio = r.til.compile_seconds / r.base.compile_seconds.max(1e-9);
+            ratios.push(ratio);
+            println!(
+                "{:>12} {:>10.3}s {:>10.3}s {:>10.2} {:>10.1}",
+                r.name, r.til.compile_seconds, r.base.compile_seconds, ratio, PAPER_COMPILE[i]
+            );
+        }
+        println!(
+            "{:>12} {:>10} {:>11} {:>10.2} {:>10.1}",
+            "geo.mean",
+            "",
+            "",
+            geomean(&ratios),
+            geomean(&PAPER_COMPILE)
+        );
+    }
+}
+
+fn table7() {
+    println!("\n== Table 7 / Figure 12: loop-optimization ablation (with/without) ==");
+    println!(
+        "{:>12} {:>10} {:>10} {:>12} {:>12}",
+        "program", "time", "paper", "alloc", "paper"
+    );
+    const PAPER_T7_TIME: [f64; 8] = [0.41, 0.17, 0.62, 0.89, 1.00, 0.65, 0.87, 0.61];
+    const PAPER_T7_ALLOC: [f64; 8] = [0.54, 0.035, 0.66, 1.04, 1.20, 1.00, 0.96, 0.84];
+    let mut times = Vec::new();
+    let mut allocs = Vec::new();
+    for (i, b) in suite().into_iter().enumerate() {
+        let with = measure(&b, Options::til()).unwrap_or_else(|e| panic!("{e}"));
+        let without = measure(&b, Options::til_no_loop_opts()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(with.output, without.output, "{}: ablation changed output", b.name);
+        let t = with.time as f64 / without.time as f64;
+        let a = with.alloc_bytes.max(1) as f64 / without.alloc_bytes.max(1) as f64;
+        times.push(t);
+        allocs.push(a);
+        println!(
+            "{:>12} {:>10.3} {:>10.2} {:>12.3} {:>12.2}",
+            b.name, t, PAPER_T7_TIME[i], a, PAPER_T7_ALLOC[i]
+        );
+    }
+    println!(
+        "{:>12} {:>10.3} {:>10.2} {:>12.3} {:>12.2}",
+        "median",
+        median(&times),
+        0.61,
+        median(&allocs),
+        0.90
+    );
+    println!(
+        "{:>12} {:>10.3} {:>10.2} {:>12.3} {:>12.2}",
+        "geo.mean",
+        geomean(&times),
+        0.58,
+        geomean(&allocs),
+        0.58
+    );
+}
+
+fn polycount() {
+    println!("\n== Section 5.1 claim: polymorphic functions after optimization ==");
+    for b in suite() {
+        let exe = Compiler::new(Options::til())
+            .compile(b.source)
+            .unwrap_or_else(|d| panic!("{d}"));
+        let stats = exe.info.opt_stats.clone().unwrap_or_default();
+        println!(
+            "{:>12}: {} polymorphic functions, {} typecases remain (paper: 0)",
+            b.name, stats.remaining_polymorphic, stats.remaining_typecases
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The benchmark suite (the paper's Table 1 programs, from-scratch
+//! core-SML implementations at scaled-down default sizes) and the
+//! measurement harness that regenerates every table and figure of the
+//! paper's evaluation (Tables 2–7 / Figures 8–12).
+
+use til::{Compiler, Options};
+
+/// One benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct Bench {
+    /// Name as in Table 1.
+    pub name: &'static str,
+    /// Source text.
+    pub source: &'static str,
+    /// Table 1 description.
+    pub description: &'static str,
+}
+
+/// The eight Table 1 benchmarks.
+pub fn suite() -> Vec<Bench> {
+    vec![
+        Bench {
+            name: "Checksum",
+            source: include_str!("../sml/checksum.sml"),
+            description: "Foxnet checksum fragment over a 4096-byte buffer",
+        },
+        Bench {
+            name: "FFT",
+            source: include_str!("../sml/fft.sml"),
+            description: "fast Fourier transform on unboxed float arrays",
+        },
+        Bench {
+            name: "Knuth-Bendix",
+            source: include_str!("../sml/knuth_bendix.sml"),
+            description: "Knuth-Bendix completion of the group axioms",
+        },
+        Bench {
+            name: "Lexgen",
+            source: include_str!("../sml/lexgen.sml"),
+            description: "lexer generator: regex -> NFA -> DFA -> tokenize",
+        },
+        Bench {
+            name: "Life",
+            source: include_str!("../sml/life.sml"),
+            description: "game of life on lists (Reade)",
+        },
+        Bench {
+            name: "Matmult",
+            source: include_str!("../sml/matmult.sml"),
+            description: "integer matrix multiply on 2-d arrays",
+        },
+        Bench {
+            name: "PIA",
+            source: include_str!("../sml/pia.sml"),
+            description: "perspective inversion over float records",
+        },
+        Bench {
+            name: "Simple",
+            source: include_str!("../sml/simple.sml"),
+            description: "spherical fluid-dynamics kernel on 2-d float arrays",
+        },
+    ]
+}
+
+/// One measurement of one benchmark under one configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Program output (used to cross-check the modes agree).
+    pub output: String,
+    /// Execution-time metric (instructions + runtime work).
+    pub time: u64,
+    /// Total heap allocation in bytes.
+    pub alloc_bytes: u64,
+    /// Peak physical memory proxy: live heap + stack + statics + code,
+    /// in bytes.
+    pub memory_bytes: u64,
+    /// Executable size (code + GC tables + static data), bytes.
+    pub executable_bytes: u64,
+    /// Compile time in seconds.
+    pub compile_seconds: f64,
+    /// Collections run.
+    pub gc_count: u64,
+}
+
+/// Instruction budget per benchmark run.
+pub const FUEL: u64 = 4_000_000_000;
+
+/// Compiles and runs one benchmark under the given options.
+pub fn measure(b: &Bench, opts: Options) -> Result<Measurement, String> {
+    let exe = Compiler::new(opts)
+        .compile(b.source)
+        .map_err(|d| format!("{}: compile: {d}", b.name))?;
+    let out = exe
+        .run(FUEL)
+        .map_err(|e| format!("{}: run: {e}", b.name))?;
+    let stats = &out.stats;
+    let memory = 8 * (stats.max_live_words.max(1) + stats.max_stack_words)
+        + exe.info.executable_bytes as u64;
+    Ok(Measurement {
+        output: out.output,
+        time: stats.time(),
+        alloc_bytes: stats.allocated_bytes,
+        memory_bytes: memory,
+        executable_bytes: exe.info.executable_bytes as u64,
+        compile_seconds: exe.info.total_seconds(),
+        gc_count: stats.gc_count,
+    })
+}
+
+/// Geometric mean of positive ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Median of a sample.
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if v.is_empty() {
+        f64::NAN
+    } else if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_eight_table1_programs() {
+        let names: Vec<&str> = suite().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Checksum",
+                "FFT",
+                "Knuth-Bendix",
+                "Lexgen",
+                "Life",
+                "Matmult",
+                "PIA",
+                "Simple"
+            ]
+        );
+    }
+
+    #[test]
+    fn geomean_and_median() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Every benchmark must compile and produce identical output in TIL,
+//! baseline, and no-loop-opts modes (a three-way differential test of
+//! the whole compiler).
+
+use til::Options;
+use til_bench::{measure, suite};
+
+#[test]
+fn all_benchmarks_agree_across_modes() {
+    for b in suite() {
+        let til = measure(&b, Options::til()).unwrap_or_else(|e| panic!("{e}"));
+        let base = measure(&b, Options::baseline()).unwrap_or_else(|e| panic!("{e}"));
+        let nolo = measure(&b, Options::til_no_loop_opts()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(til.output, base.output, "{}: til vs baseline output", b.name);
+        assert_eq!(til.output, nolo.output, "{}: til vs no-loop-opts output", b.name);
+        assert!(!til.output.trim().is_empty(), "{}: produced output", b.name);
+        println!(
+            "{:>12}: til {:>12} base {:>12} ratio {:.2} alloc-ratio {:.3}  out={}",
+            b.name,
+            til.time,
+            base.time,
+            til.time as f64 / base.time as f64,
+            til.alloc_bytes as f64 / base.alloc_bytes.max(1) as f64,
+            til.output.trim()
+        );
+    }
+}

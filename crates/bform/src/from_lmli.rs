@@ -1,0 +1,319 @@
+//! Lmli→Bform linearization (the paper's §3.3 conversion): names every
+//! intermediate computation and heap value, and alpha-converts so every
+//! binder in the program is globally unique — the precondition all the
+//! optimizer passes rely on.
+
+use crate::ir::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use std::collections::HashMap;
+use til_common::{Diagnostic, Result, Var, VarSupply};
+use til_lmli::{MExp, MFun, MProgram, MSwitch};
+
+/// Linearizes a whole program.
+pub fn from_lmli(m: &MProgram, vs: &mut VarSupply) -> Result<BProgram> {
+    let mut lin = Lin {
+        vs,
+        rename: HashMap::new(),
+    };
+    let body = lin.tail(&m.body)?;
+    Ok(BProgram {
+        data: m.data.clone(),
+        exns: m.exns.clone(),
+        body,
+        con: m.con.clone(),
+    })
+}
+
+enum Bind {
+    Let(Var, BRhs),
+    Fix(Vec<BFun>),
+}
+
+struct Lin<'a> {
+    vs: &'a mut VarSupply,
+    rename: HashMap<Var, Var>,
+}
+
+impl<'a> Lin<'a> {
+    fn fresh_for(&mut self, v: Var) -> Var {
+        let nv = self.vs.rename(v);
+        self.rename.insert(v, nv);
+        nv
+    }
+
+    fn lookup(&self, v: Var) -> Result<Var> {
+        self.rename
+            .get(&v)
+            .copied()
+            .ok_or_else(|| Diagnostic::ice("to-bform", format!("unbound variable {v}")))
+    }
+
+    fn wrap(binds: Vec<Bind>, tail: BExp) -> BExp {
+        let mut e = tail;
+        for b in binds.into_iter().rev() {
+            e = match b {
+                Bind::Let(var, rhs) => BExp::Let {
+                    var,
+                    rhs,
+                    body: Box::new(e),
+                },
+                Bind::Fix(funs) => BExp::Fix {
+                    funs,
+                    body: Box::new(e),
+                },
+            };
+        }
+        e
+    }
+
+    /// Converts `e` in tail position.
+    fn tail(&mut self, e: &MExp) -> Result<BExp> {
+        let mut binds = Vec::new();
+        let a = self.atom(e, &mut binds)?;
+        Ok(Self::wrap(binds, BExp::Ret(a)))
+    }
+
+    /// Converts `e` to an atom, accumulating bindings.
+    fn atom(&mut self, e: &MExp, binds: &mut Vec<Bind>) -> Result<Atom> {
+        match e {
+            MExp::Var(v) => Ok(Atom::Var(self.lookup(*v)?)),
+            MExp::Int(n) => Ok(Atom::Int(*n)),
+            MExp::Fix { funs, body } => {
+                let bfuns = self.fix(funs)?;
+                binds.push(Bind::Fix(bfuns));
+                self.atom(body, binds)
+            }
+            MExp::Let { var, rhs, body } => {
+                let r = self.rhs(rhs, binds)?;
+                let nv = self.fresh_for(*var);
+                binds.push(Bind::Let(nv, r));
+                self.atom(body, binds)
+            }
+            other => {
+                let r = self.rhs(other, binds)?;
+                let nv = self.vs.fresh();
+                binds.push(Bind::Let(nv, r));
+                Ok(Atom::Var(nv))
+            }
+        }
+    }
+
+    fn fix(&mut self, funs: &[MFun]) -> Result<Vec<BFun>> {
+        // Names first (mutual recursion), then bodies.
+        let names: Vec<Var> = funs.iter().map(|f| self.fresh_for(f.var)).collect();
+        let mut out = Vec::with_capacity(funs.len());
+        for (f, nv) in funs.iter().zip(names) {
+            let params: Vec<(Var, til_lmli::Con)> = f
+                .params
+                .iter()
+                .map(|(v, c)| (self.fresh_for(*v), c.clone()))
+                .collect();
+            let body = self.tail(&f.body)?;
+            out.push(BFun {
+                var: nv,
+                cparams: f.cparams.clone(),
+                params,
+                ret: f.ret.clone(),
+                body,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Converts `e` to a right-hand side, accumulating bindings for its
+    /// subcomputations.
+    fn rhs(&mut self, e: &MExp, binds: &mut Vec<Bind>) -> Result<BRhs> {
+        match e {
+            MExp::Var(v) => Ok(BRhs::Atom(Atom::Var(self.lookup(*v)?))),
+            MExp::Int(n) => Ok(BRhs::Atom(Atom::Int(*n))),
+            MExp::Float(r) => Ok(BRhs::Float(*r)),
+            MExp::Str(s) => Ok(BRhs::Str(s.clone())),
+            MExp::Fix { funs, body } => {
+                let bfuns = self.fix(funs)?;
+                binds.push(Bind::Fix(bfuns));
+                self.rhs(body, binds)
+            }
+            MExp::Let { var, rhs, body } => {
+                let r = self.rhs(rhs, binds)?;
+                let nv = self.fresh_for(*var);
+                binds.push(Bind::Let(nv, r));
+                self.rhs(body, binds)
+            }
+            MExp::Record(fs) => {
+                let mut atoms = Vec::with_capacity(fs.len());
+                for f in fs {
+                    atoms.push(self.atom(f, binds)?);
+                }
+                Ok(BRhs::Record(atoms))
+            }
+            MExp::Select(i, e2) => {
+                let a = self.atom(e2, binds)?;
+                Ok(BRhs::Select(*i, a))
+            }
+            MExp::Con {
+                data,
+                cargs,
+                tag,
+                args,
+            } => {
+                let mut atoms = Vec::with_capacity(args.len());
+                for a in args {
+                    atoms.push(self.atom(a, binds)?);
+                }
+                Ok(BRhs::Con {
+                    data: *data,
+                    cargs: cargs.clone(),
+                    tag: *tag,
+                    args: atoms,
+                })
+            }
+            MExp::ExnCon { exn, arg } => {
+                let a = match arg {
+                    Some(a) => Some(self.atom(a, binds)?),
+                    None => None,
+                };
+                Ok(BRhs::ExnCon { exn: *exn, arg: a })
+            }
+            MExp::Prim { prim, cargs, args } => {
+                let mut atoms = Vec::with_capacity(args.len());
+                for a in args {
+                    atoms.push(self.atom(a, binds)?);
+                }
+                Ok(BRhs::Prim {
+                    prim: *prim,
+                    cargs: cargs.clone(),
+                    args: atoms,
+                })
+            }
+            MExp::App { f, cargs, args } => {
+                let fa = self.atom(f, binds)?;
+                let mut atoms = Vec::with_capacity(args.len());
+                for a in args {
+                    atoms.push(self.atom(a, binds)?);
+                }
+                Ok(BRhs::App {
+                    f: fa,
+                    cargs: cargs.clone(),
+                    args: atoms,
+                })
+            }
+            MExp::Raise { exn, con } => {
+                let a = self.atom(exn, binds)?;
+                Ok(BRhs::Raise {
+                    exn: a,
+                    con: con.clone(),
+                })
+            }
+            MExp::Handle { body, var, handler } => {
+                let b = self.tail(body)?;
+                let nv = self.fresh_for(*var);
+                let h = self.tail(handler)?;
+                Ok(BRhs::Handle {
+                    body: Box::new(b),
+                    var: nv,
+                    handler: Box::new(h),
+                })
+            }
+            MExp::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => Ok(BRhs::Typecase {
+                scrut: scrut.clone(),
+                int: Box::new(self.tail(int)?),
+                float: Box::new(self.tail(float)?),
+                ptr: Box::new(self.tail(ptr)?),
+                con: con.clone(),
+            }),
+            MExp::Switch(sw) => Ok(BRhs::Switch(self.switch(sw, binds)?)),
+        }
+    }
+
+    fn switch(&mut self, sw: &MSwitch, binds: &mut Vec<Bind>) -> Result<BSwitch> {
+        match sw {
+            MSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut, binds)?;
+                let mut out = Vec::with_capacity(arms.len());
+                for (k, a) in arms {
+                    out.push((*k, self.tail(a)?));
+                }
+                Ok(BSwitch::Int {
+                    scrut: s,
+                    arms: out,
+                    default: Box::new(self.tail(default)?),
+                    con: con.clone(),
+                })
+            }
+            MSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut, binds)?;
+                let mut out = Vec::with_capacity(arms.len());
+                for (tag, vars, a) in arms {
+                    let nvars: Vec<Var> = vars.iter().map(|v| self.fresh_for(*v)).collect();
+                    out.push((*tag, nvars, self.tail(a)?));
+                }
+                let d = match default {
+                    Some(d) => Some(Box::new(self.tail(d)?)),
+                    None => None,
+                };
+                Ok(BSwitch::Data {
+                    scrut: s,
+                    data: *data,
+                    cargs: cargs.clone(),
+                    arms: out,
+                    default: d,
+                    con: con.clone(),
+                })
+            }
+            MSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut, binds)?;
+                let mut out = Vec::with_capacity(arms.len());
+                for (k, a) in arms {
+                    out.push((k.clone(), self.tail(a)?));
+                }
+                Ok(BSwitch::Str {
+                    scrut: s,
+                    arms: out,
+                    default: Box::new(self.tail(default)?),
+                    con: con.clone(),
+                })
+            }
+            MSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut, binds)?;
+                let mut out = Vec::with_capacity(arms.len());
+                for (id, binder, a) in arms {
+                    let nb = binder.map(|v| self.fresh_for(v));
+                    out.push((*id, nb, self.tail(a)?));
+                }
+                Ok(BSwitch::Exn {
+                    scrut: s,
+                    arms: out,
+                    default: Box::new(self.tail(default)?),
+                    con: con.clone(),
+                })
+            }
+        }
+    }
+}

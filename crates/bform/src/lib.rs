@@ -1,0 +1,18 @@
+//! **Bform** — TIL's A-normal-form intermediate language (paper §3.3).
+//!
+//! Bform is the restricted subset of Lmli on which every optimization
+//! pass runs: all intermediate computations and heap values are named,
+//! atoms are variables or integer constants, and nested expressions
+//! occur only inside switch/typecase/handler arms. The conversion from
+//! Lmli ([`from_lmli`]) also alpha-converts, establishing the
+//! globally-unique-binders invariant that [`typecheck_bform`] verifies
+//! after every pass.
+
+pub mod from_lmli;
+pub mod ir;
+pub mod print;
+pub mod typecheck;
+
+pub use from_lmli::from_lmli;
+pub use ir::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+pub use typecheck::{infer_var_cons, typecheck_bform};

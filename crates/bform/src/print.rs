@@ -1,0 +1,252 @@
+//! Bform pretty printer, in the style of the paper's Figures 3–4.
+
+use crate::ir::{Atom, BExp, BProgram, BRhs, BSwitch};
+use til_common::pretty::Printer;
+use til_lmli::data::MDataEnv;
+
+/// Renders a whole program.
+pub fn program(p: &BProgram) -> String {
+    let mut pr = Printer::new();
+    exp(&mut pr, &p.body, &p.data);
+    pr.finish()
+}
+
+/// Renders one expression.
+pub fn exp_to_string(e: &BExp, data: &MDataEnv) -> String {
+    let mut pr = Printer::new();
+    exp(&mut pr, e, data);
+    pr.finish()
+}
+
+fn atom(a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => v.to_string(),
+        Atom::Int(n) => n.to_string(),
+    }
+}
+
+fn atoms(asl: &[Atom]) -> String {
+    asl.iter().map(atom).collect::<Vec<_>>().join(", ")
+}
+
+fn exp(p: &mut Printer, e: &BExp, data: &MDataEnv) {
+    match e {
+        BExp::Ret(a) => {
+            p.line(format!("ret {}", atom(a)));
+        }
+        BExp::Let { var, rhs, body } => {
+            p.line(format!("let {var} = "));
+            rhs_str(p, rhs, data);
+            exp(p, body, data);
+        }
+        BExp::Fix { funs, body } => {
+            p.line("fix");
+            p.indent();
+            for f in funs {
+                let cps = if f.cparams.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "[{}]",
+                        f.cparams
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )
+                };
+                let ps = f
+                    .params
+                    .iter()
+                    .map(|(v, _)| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                p.line(format!("{}{cps} = \u{03bb}({ps})ized.", f.var));
+                p.indent();
+                exp(p, &f.body, data);
+                p.dedent();
+            }
+            p.dedent();
+            exp(p, body, data);
+        }
+    }
+}
+
+fn rhs_str(p: &mut Printer, r: &BRhs, data: &MDataEnv) {
+    match r {
+        BRhs::Atom(a) => {
+            p.word(atom(a));
+        }
+        BRhs::Float(f) => {
+            p.word(format!("{f:?}"));
+        }
+        BRhs::Str(s) => {
+            p.word(format!("{s:?}"));
+        }
+        BRhs::Record(fs) => {
+            p.word(format!("{{{}}}", atoms(fs)));
+        }
+        BRhs::Select(i, a) => {
+            p.word(format!("#{i} {}", atom(a)));
+        }
+        BRhs::Con {
+            data: id,
+            tag,
+            args,
+            ..
+        } => {
+            let name = data.get(*id).name;
+            p.word(format!("{name}#{tag}({})", atoms(args)));
+        }
+        BRhs::ExnCon { exn, arg } => {
+            let a = arg.as_ref().map(|a| atom(a)).unwrap_or_default();
+            p.word(format!("exn#{}({a})", exn.0));
+        }
+        BRhs::Prim { prim, args, .. } => {
+            p.word(format!("{prim}({})", atoms(args)));
+        }
+        BRhs::App { f, args, .. } => {
+            p.word(format!("{}({})", atom(f), atoms(args)));
+        }
+        BRhs::Raise { exn, .. } => {
+            p.word(format!("raise {}", atom(exn)));
+        }
+        BRhs::Handle { body, var, handler } => {
+            p.word("handle");
+            p.indent();
+            exp(p, body, data);
+            p.line(format!("with {var} =>"));
+            p.indent();
+            exp(p, handler, data);
+            p.dedent();
+            p.dedent();
+        }
+        BRhs::Typecase {
+            scrut,
+            int,
+            float,
+            ptr,
+            ..
+        } => {
+            let n = data.len();
+            let s = scrut.display(&move |id| {
+                if (id.0 as usize) < n {
+                    til_common::Symbol::intern("data")
+                } else {
+                    til_common::Symbol::intern("?")
+                }
+            });
+            p.word(format!("typecase {s} of"));
+            p.indent();
+            p.line("int =>");
+            p.indent();
+            exp(p, int, data);
+            p.dedent();
+            p.line("float =>");
+            p.indent();
+            exp(p, float, data);
+            p.dedent();
+            p.line("ptr =>");
+            p.indent();
+            exp(p, ptr, data);
+            p.dedent();
+            p.dedent();
+        }
+        BRhs::Switch(sw) => switch(p, sw, data),
+    }
+}
+
+fn switch(p: &mut Printer, sw: &BSwitch, data: &MDataEnv) {
+    match sw {
+        BSwitch::Int {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_int {} of", atom(scrut)));
+            p.indent();
+            for (k, a) in arms {
+                p.line(format!("{k} =>"));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            p.line("_ =>");
+            p.indent();
+            exp(p, default, data);
+            p.dedent();
+            p.dedent();
+        }
+        BSwitch::Data {
+            scrut,
+            data: id,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_data {} of", atom(scrut)));
+            p.indent();
+            for (tag, binders, a) in arms {
+                let name = data.get(*id).name;
+                let bs = binders
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                p.line(format!("{name}#{tag}({bs}) =>"));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            if let Some(d) = default {
+                p.line("_ =>");
+                p.indent();
+                exp(p, d, data);
+                p.dedent();
+            }
+            p.dedent();
+        }
+        BSwitch::Str {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_str {} of", atom(scrut)));
+            p.indent();
+            for (k, a) in arms {
+                p.line(format!("{k:?} =>"));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            p.line("_ =>");
+            p.indent();
+            exp(p, default, data);
+            p.dedent();
+            p.dedent();
+        }
+        BSwitch::Exn {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_exn {} of", atom(scrut)));
+            p.indent();
+            for (id, binder, a) in arms {
+                let b = binder.map(|v| format!("({v})")).unwrap_or_default();
+                p.line(format!("exn#{}{b} =>", id.0));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            p.line("_ =>");
+            p.indent();
+            exp(p, default, data);
+            p.dedent();
+            p.dedent();
+        }
+    }
+}

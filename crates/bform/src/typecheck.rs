@@ -1,0 +1,416 @@
+//! The Bform typechecker: the Lmli rules restricted to A-normal form,
+//! plus the Bform structural invariant that every binder is globally
+//! unique (the optimizer depends on it).
+
+use crate::ir::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use std::collections::{HashMap, HashSet};
+use til_common::{Diagnostic, Result, Var};
+use til_lmli::con::{CVar, Con, RepClass};
+use til_lmli::data::{DataRep, MDataEnv, MExnEnv};
+use til_lmli::prim::MPrim;
+use til_lmli::typecheck::{ConCtx, Refinement};
+
+const PHASE: &str = "bform-typecheck";
+
+fn err(msg: String) -> Diagnostic {
+    Diagnostic::ice(PHASE, msg)
+}
+
+/// Typechecks a Bform program and returns the constructor of every
+/// bound variable (used by closure conversion to type captures).
+pub fn infer_var_cons(p: &BProgram) -> Result<HashMap<Var, Con>> {
+    let mut tc = Tc {
+        exns: &p.exns,
+        vars: HashMap::new(),
+        cscope: Vec::new(),
+        seen: HashSet::new(),
+        cx: ConCtx::new(&p.data),
+    };
+    tc.exp(&p.body)?;
+    Ok(tc.vars)
+}
+
+/// Typechecks a Bform program, returning its constructor.
+pub fn typecheck_bform(p: &BProgram) -> Result<Con> {
+    let mut tc = Tc {
+        exns: &p.exns,
+        vars: HashMap::new(),
+        cscope: Vec::new(),
+        seen: HashSet::new(),
+        cx: ConCtx::new(&p.data),
+    };
+    let con = tc.exp(&p.body)?;
+    if !tc.cx.eq(&con, &p.con) {
+        return Err(err(format!(
+            "program body constructor mismatch: computed {con:?}, recorded {:?}",
+            p.con
+        )));
+    }
+    Ok(con)
+}
+
+struct Tc<'a> {
+    exns: &'a MExnEnv,
+    vars: HashMap<Var, Con>,
+    cscope: Vec<CVar>,
+    seen: HashSet<Var>,
+    cx: ConCtx<'a>,
+}
+
+impl<'a> Tc<'a> {
+    fn data(&self) -> &MDataEnv {
+        self.cx.data
+    }
+
+    fn bind(&mut self, v: Var, c: Con) -> Result<()> {
+        if !self.seen.insert(v) {
+            return Err(err(format!("binder {v} is not globally unique")));
+        }
+        self.vars.insert(v, c);
+        Ok(())
+    }
+
+    fn atom(&self, a: &Atom) -> Result<Con> {
+        match a {
+            Atom::Int(_) => Ok(Con::Int),
+            Atom::Var(v) => self
+                .vars
+                .get(v)
+                .cloned()
+                .ok_or_else(|| err(format!("unbound variable {v}"))),
+        }
+    }
+
+    fn scope_check(&self, c: &Con) -> Result<()> {
+        let mut free = Vec::new();
+        c.free_cvars(&mut free);
+        for v in free {
+            if !self.cscope.contains(&v) {
+                return Err(err(format!("constructor variable {v} out of scope")));
+            }
+        }
+        Ok(())
+    }
+
+    fn exp(&mut self, e: &BExp) -> Result<Con> {
+        match e {
+            BExp::Ret(a) => self.atom(a),
+            BExp::Let { var, rhs, body } => {
+                let c = self.rhs(rhs, *var)?;
+                self.bind(*var, c)?;
+                self.exp(body)
+            }
+            BExp::Fix { funs, body } => {
+                for f in funs {
+                    let c = f.con();
+                    self.bind(f.var, c)?;
+                }
+                for f in funs {
+                    self.fun(f)?;
+                }
+                self.exp(body)
+            }
+        }
+    }
+
+    fn fun(&mut self, f: &BFun) -> Result<()> {
+        let n = self.cscope.len();
+        self.cscope.extend_from_slice(&f.cparams);
+        for (v, c) in &f.params {
+            self.scope_check(c)?;
+            self.bind(*v, c.clone())?;
+        }
+        let got = self.exp(&f.body)?;
+        self.cx
+            .expect(&format!("body of {}", f.var), &got, &f.ret)?;
+        self.cscope.truncate(n);
+        Ok(())
+    }
+
+    fn rhs(&mut self, r: &BRhs, bound: Var) -> Result<Con> {
+        let _ = bound;
+        match r {
+            BRhs::Atom(a) => self.atom(a),
+            BRhs::Float(_) => Ok(Con::Float),
+            BRhs::Str(_) => Ok(Con::Str),
+            BRhs::Record(atoms) => {
+                let mut cons = Vec::with_capacity(atoms.len());
+                for a in atoms {
+                    cons.push(self.atom(a)?);
+                }
+                Ok(Con::Record(cons))
+            }
+            BRhs::Select(i, a) => {
+                let c = self.atom(a)?;
+                match self.cx.norm(&c) {
+                    Con::Record(fs) if *i < fs.len() => Ok(fs[*i].clone()),
+                    other => Err(err(format!("selection #{i} from {other:?}"))),
+                }
+            }
+            BRhs::Con {
+                data,
+                cargs,
+                tag,
+                args,
+            } => {
+                let md = self.data().get(*data);
+                if md.is_enum() {
+                    return Err(err("constructor node for enum datatype".into()));
+                }
+                match md.fields_at(*tag, cargs) {
+                    None => {
+                        if !args.is_empty() {
+                            return Err(err("nullary constructor with fields".into()));
+                        }
+                    }
+                    Some(fields) => {
+                        if fields.len() != args.len() {
+                            return Err(err("constructor field arity".into()));
+                        }
+                        for (a, want) in args.iter().zip(&fields) {
+                            let got = self.atom(a)?;
+                            self.cx.expect("constructor field", &got, want)?;
+                        }
+                    }
+                }
+                Ok(Con::Data(*data, cargs.clone()))
+            }
+            BRhs::ExnCon { exn, arg } => {
+                match (self.exns.arg(*exn).cloned(), arg) {
+                    (None, None) => {}
+                    (Some(want), Some(a)) => {
+                        let got = self.atom(a)?;
+                        self.cx.expect("exception argument", &got, &want)?;
+                    }
+                    _ => return Err(err("exception argument arity".into())),
+                }
+                Ok(Con::Exn)
+            }
+            BRhs::Prim { prim, cargs, args } => {
+                if matches!(prim, MPrim::ALen) {
+                    let got = self.atom(&args[0])?;
+                    return match self.cx.norm(&got) {
+                        Con::Array(_) | Con::SpecArray(_) => Ok(Con::Int),
+                        other => Err(err(format!("length of {other:?}"))),
+                    };
+                }
+                let sig = prim.sig();
+                if sig.cparams != cargs.len() || sig.args.len() != args.len() {
+                    return Err(err(format!("primitive {prim} arity mismatch")));
+                }
+                let map: HashMap<CVar, Con> = (0..sig.cparams)
+                    .map(|i| (CVar(i as u32), cargs[i].clone()))
+                    .collect();
+                for (a, want) in args.iter().zip(&sig.args) {
+                    let got = self.atom(a)?;
+                    let want = want.subst(&map);
+                    self.cx
+                        .expect(&format!("argument of {prim}"), &got, &want)?;
+                }
+                Ok(sig.ret.subst(&map))
+            }
+            BRhs::App { f, cargs, args } => {
+                let fcon = self.atom(f)?;
+                let Con::Arrow {
+                    cparams,
+                    params,
+                    ret,
+                } = self.cx.norm(&fcon)
+                else {
+                    return Err(err(format!(
+                        "application of non-function {:?}",
+                        self.cx.norm(&fcon)
+                    )));
+                };
+                if cparams.len() != cargs.len() || params.len() != args.len() {
+                    return Err(err("application arity mismatch".into()));
+                }
+                for c in cargs {
+                    self.scope_check(c)?;
+                }
+                let map: HashMap<CVar, Con> = cparams
+                    .iter()
+                    .copied()
+                    .zip(cargs.iter().cloned())
+                    .collect();
+                for (a, p) in args.iter().zip(&params) {
+                    let got = self.atom(a)?;
+                    let want = p.subst(&map);
+                    self.cx.expect("application argument", &got, &want)?;
+                }
+                Ok(ret.subst(&map))
+            }
+            BRhs::Raise { exn, con } => {
+                let got = self.atom(exn)?;
+                self.cx.expect("raise operand", &got, &Con::Exn)?;
+                Ok(con.clone())
+            }
+            BRhs::Handle { body, var, handler } => {
+                let bcon = self.exp(body)?;
+                self.bind(*var, Con::Exn)?;
+                let hcon = self.exp(handler)?;
+                self.cx.expect("handler", &hcon, &bcon)?;
+                Ok(bcon)
+            }
+            BRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => {
+                let s = self.cx.norm(scrut);
+                match self.cx.tag_of(&s) {
+                    RepClass::Int => {
+                        let got = self.exp(int)?;
+                        self.cx.expect("typecase int arm", &got, con)?;
+                        Ok(con.clone())
+                    }
+                    RepClass::Float => {
+                        let got = self.exp(float)?;
+                        self.cx.expect("typecase float arm", &got, con)?;
+                        Ok(con.clone())
+                    }
+                    RepClass::Ptr => {
+                        let got = self.exp(ptr)?;
+                        self.cx.expect("typecase ptr arm", &got, con)?;
+                        Ok(con.clone())
+                    }
+                    RepClass::Unknown => {
+                        let Con::Var(v) = s else {
+                            return Err(err(format!("typecase on irreducible {s:?}")));
+                        };
+                        let old = self.cx.refine.insert(v, Refinement::Exact(Con::Int));
+                        let got = self.exp(int)?;
+                        self.cx.expect("typecase int arm", &got, con)?;
+                        self.cx.refine.insert(v, Refinement::Exact(Con::Boxed));
+                        let got = self.exp(float)?;
+                        self.cx.expect("typecase float arm", &got, con)?;
+                        self.cx.refine.insert(v, Refinement::PtrClass);
+                        let got = self.exp(ptr)?;
+                        self.cx.expect("typecase ptr arm", &got, con)?;
+                        match old {
+                            Some(o) => {
+                                self.cx.refine.insert(v, o);
+                            }
+                            None => {
+                                self.cx.refine.remove(&v);
+                            }
+                        }
+                        Ok(con.clone())
+                    }
+                }
+            }
+            BRhs::Switch(sw) => self.switch(sw),
+        }
+    }
+
+    fn switch(&mut self, sw: &BSwitch) -> Result<Con> {
+        match sw {
+            BSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let got = self.atom(scrut)?;
+                self.cx.expect("int switch scrutinee", &got, &Con::Int)?;
+                for (_, a) in arms {
+                    let ac = self.exp(a)?;
+                    self.cx.expect("int switch arm", &ac, con)?;
+                }
+                let dc = self.exp(default)?;
+                self.cx.expect("int switch default", &dc, con)?;
+                Ok(con.clone())
+            }
+            BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => {
+                let got = self.atom(scrut)?;
+                self.cx
+                    .expect("data switch scrutinee", &got, &Con::Data(*data, cargs.clone()))?;
+                let md = self.data().get(*data).clone();
+                if matches!(md.rep, DataRep::Enum) {
+                    return Err(err("data switch on enum".into()));
+                }
+                let mut covered = vec![false; md.cons.len()];
+                for (tag, binders, arm) in arms {
+                    covered[*tag] = true;
+                    match md.fields_at(*tag, cargs) {
+                        None => {
+                            if !binders.is_empty() {
+                                return Err(err("binders on nullary arm".into()));
+                            }
+                        }
+                        Some(fs) => {
+                            if fs.len() != binders.len() {
+                                return Err(err("arm binder arity".into()));
+                            }
+                            for (v, c) in binders.iter().zip(fs) {
+                                self.bind(*v, c)?;
+                            }
+                        }
+                    }
+                    let ac = self.exp(arm)?;
+                    self.cx.expect("data switch arm", &ac, con)?;
+                }
+                match default {
+                    Some(d) => {
+                        let dc = self.exp(d)?;
+                        self.cx.expect("data switch default", &dc, con)?;
+                    }
+                    None => {
+                        if covered.iter().any(|c| !c) {
+                            return Err(err("non-exhaustive data switch".into()));
+                        }
+                    }
+                }
+                Ok(con.clone())
+            }
+            BSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let got = self.atom(scrut)?;
+                self.cx.expect("string switch scrutinee", &got, &Con::Str)?;
+                for (_, a) in arms {
+                    let ac = self.exp(a)?;
+                    self.cx.expect("string switch arm", &ac, con)?;
+                }
+                let dc = self.exp(default)?;
+                self.cx.expect("string switch default", &dc, con)?;
+                Ok(con.clone())
+            }
+            BSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let got = self.atom(scrut)?;
+                self.cx.expect("exn switch scrutinee", &got, &Con::Exn)?;
+                for (id, binder, a) in arms {
+                    match (binder, self.exns.arg(*id).cloned()) {
+                        (Some(v), Some(c)) => self.bind(*v, c)?,
+                        (None, _) => {}
+                        (Some(_), None) => {
+                            return Err(err("binder on constant exception".into()))
+                        }
+                    }
+                    let ac = self.exp(a)?;
+                    self.cx.expect("exn switch arm", &ac, con)?;
+                }
+                let dc = self.exp(default)?;
+                self.cx.expect("exn switch default", &dc, con)?;
+                Ok(con.clone())
+            }
+        }
+    }
+}

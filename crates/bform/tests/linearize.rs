@@ -1,0 +1,72 @@
+//! SML source → ... → Bform → typecheck, both modes.
+
+use til_bform::{from_lmli, typecheck_bform};
+use til_lmli::{from_lambda, LmliOptions};
+
+fn bform_ok(src: &str) {
+    for (name, opts) in [
+        ("til", LmliOptions::til()),
+        ("baseline", LmliOptions::baseline()),
+    ] {
+        let mut e = til_elab::elaborate_source(src).expect("elaborate");
+        let m = from_lambda(&e.program, &opts, &mut e.vars)
+            .unwrap_or_else(|d| panic!("[{name}] to lmli: {d}"));
+        let b = from_lmli(&m, &mut e.vars).unwrap_or_else(|d| panic!("[{name}] to bform: {d}"));
+        typecheck_bform(&b).unwrap_or_else(|d| panic!("[{name}] bform typecheck: {d}"));
+    }
+}
+
+#[test]
+fn prelude_linearizes() {
+    bform_ok("");
+}
+
+#[test]
+fn paper_dot_product() {
+    bform_ok(
+        "val n = 8
+         val A = Array2.array (n, n, 0)
+         val B = Array2.array (n, n, 0)
+         fun dot (i, j, bound) =
+           let fun go (cnt, sum) =
+                 if cnt < bound
+                 then go (cnt + 1, sum + sub2 (A, i, cnt) * sub2 (B, cnt, j))
+                 else sum
+           in go (0, 0) end
+         val r = dot (0, 0, n)",
+    );
+}
+
+#[test]
+fn closures_and_exceptions() {
+    bform_ok(
+        "exception E of int
+         fun f g x = (g x) handle E n => n | Overflow => ~1
+         val r = f (fn y => if y > 3 then raise E y else y) 10",
+    );
+}
+
+#[test]
+fn typecase_survives_linearization() {
+    bform_ok(
+        "fun swap (a, i, j) =
+           let val t = Array.sub (a, i)
+           in Array.update (a, i, Array.sub (a, j)); Array.update (a, j, t) end
+         val ia = Array.array (3, 0)
+         val fa = Array.array (3, 0.0)
+         val _ = swap (ia, 0, 1)
+         val _ = swap (fa, 1, 2)",
+    );
+}
+
+#[test]
+fn datatypes_and_strings() {
+    bform_ok(
+        "datatype tok = Id of string | Num of int | LParen | RParen
+         fun show (Id s) = s
+           | show (Num n) = Int.toString n
+           | show LParen = \"(\"
+           | show RParen = \")\"
+         val s = show (Id \"x\") ^ show (Num 3) ^ show LParen",
+    );
+}

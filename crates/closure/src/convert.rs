@@ -1,0 +1,792 @@
+//! Type-directed closure conversion (paper §3.4, after Minamide,
+//! Morrisett & Harper).
+//!
+//! For each `fix` nest we compute the free value variables and free
+//! constructor variables. If no function of the nest escapes, the
+//! functions become *known* code blocks taking their captures as extra
+//! parameters, and every call site passes them (Kranz-style). If any
+//! function escapes, the nest shares one flat environment record
+//! (paper: "TIL uses a flat environment representation for type and
+//! value environments"): each code block takes the environment as its
+//! first parameter, closures are `[code, env]` pairs, and sibling
+//! references reuse the incoming environment, so recursive calls of
+//! escaping functions allocate nothing.
+//!
+//! Top-level variables (bound on the program spine, outside any
+//! function) are *not* captured: they are resolved through traditional
+//! linking, as §3.4 describes — the later phases place them in a global
+//! data segment.
+
+use crate::ir::{CExp, CProgram, CRhs, CSwitch, Code};
+use std::collections::{HashMap, HashSet};
+use til_bform::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use til_common::{Diagnostic, Result, Var, VarSupply};
+use til_lmli::con::{CVar, Con};
+use til_opt::census::census;
+
+/// Converts a Bform program to closure form.
+pub fn closure_convert(p: &BProgram, vs: &mut VarSupply) -> Result<CProgram> {
+    let cen = census(&p.body);
+    // Top-level (spine) bindings are globals: never captured.
+    let mut globals = HashSet::new();
+    collect_spine_vars(&p.body, &mut globals);
+    // Capture typing comes from the (already verified) Bform typing.
+    let var_cons = til_bform::infer_var_cons(p)?;
+    let mut cx = Cx {
+        vs,
+        escapes: cen,
+        globals,
+        funs: HashMap::new(),
+        codes: Vec::new(),
+        var_cons,
+    };
+    let body = cx.exp(&p.body, &HashMap::new())?;
+    Ok(CProgram {
+        data: p.data.clone(),
+        exns: p.exns.clone(),
+        codes: cx.codes,
+        body,
+        con: p.con.clone(),
+    })
+}
+
+/// Collects variables bound on the outermost spine (globals) including
+/// top-level function names.
+fn collect_spine_vars(e: &BExp, out: &mut HashSet<Var>) {
+    match e {
+        BExp::Ret(_) => {}
+        BExp::Let { var, body, .. } => {
+            out.insert(*var);
+            collect_spine_vars(body, out);
+        }
+        BExp::Fix { funs, body } => {
+            for f in funs {
+                out.insert(f.var);
+            }
+            collect_spine_vars(body, out);
+        }
+    }
+}
+
+#[derive(Clone)]
+enum FunStyle {
+    /// Captures passed directly at each call.
+    Direct,
+    /// Captures live in a shared environment record; `env_binding` is
+    /// the variable holding it at the definition site.
+    Env { env_binding: Var },
+}
+
+#[derive(Clone)]
+struct FunInfo {
+    code: Var,
+    style: FunStyle,
+    /// Captured free value variables (original names).
+    captures: Vec<Var>,
+    /// Their constructors (kept for debugging dumps).
+    #[allow(dead_code)]
+    capture_cons: Vec<Con>,
+    /// Captured free constructor variables.
+    ccaptures: Vec<CVar>,
+    /// Whether this particular function escapes.
+    escapes: bool,
+    /// The environment parameter var of this code (Env style).
+    env_param: Option<Var>,
+}
+
+struct Cx<'a> {
+    vs: &'a mut VarSupply,
+    escapes: til_opt::census::Census,
+    globals: HashSet<Var>,
+    funs: HashMap<Var, FunInfo>,
+    codes: Vec<Code>,
+    /// Constructors of let-bound and parameter variables, for capture
+    /// typing.
+    var_cons: HashMap<Var, Con>,
+}
+
+impl<'a> Cx<'a> {
+    fn ice(msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::ice("closure-convert", msg)
+    }
+
+    fn ren(&self, a: Atom, map: &HashMap<Var, Var>) -> Atom {
+        match a {
+            Atom::Var(v) => Atom::Var(map.get(&v).copied().unwrap_or(v)),
+            other => other,
+        }
+    }
+
+    /// Converts an expression under a capture-renaming map.
+    fn exp(&mut self, e: &BExp, map: &HashMap<Var, Var>) -> Result<CExp> {
+        match e {
+            BExp::Ret(a) => Ok(CExp::Ret(self.ren(*a, map))),
+            BExp::Let { var, rhs, body } => {
+                let (binds, rhs) = self.rhs(*var, rhs, map)?;
+                let body = self.exp(body, map)?;
+                let mut out = CExp::Let {
+                    var: *var,
+                    rhs,
+                    body: Box::new(body),
+                };
+                for (v, r) in binds.into_iter().rev() {
+                    out = CExp::Let {
+                        var: v,
+                        rhs: r,
+                        body: Box::new(out),
+                    };
+                }
+                Ok(out)
+            }
+            BExp::Fix { funs, body } => self.fix(funs, body, map),
+        }
+    }
+
+    /// Converts a right-hand side; may need auxiliary bindings (e.g. a
+    /// sibling closure rebuilt from the environment).
+    fn rhs(
+        &mut self,
+        bound: Var,
+        r: &BRhs,
+        map: &HashMap<Var, Var>,
+    ) -> Result<(Vec<(Var, CRhs)>, CRhs)> {
+        let _ = bound;
+        let mut binds: Vec<(Var, CRhs)> = Vec::new();
+        // Resolves an atom, materializing a closure for references to
+        // escaping functions.
+        macro_rules! val {
+            ($a:expr) => {{
+                let a = self.ren($a, map);
+                match a {
+                    Atom::Var(v) if self.funs.contains_key(&v) => {
+                        let info = self.funs[&v].clone();
+                        let clo = self.vs.fresh_named("clo");
+                        let rhs = self.mk_closure_rhs(&info, map)?;
+                        binds.push((clo, rhs));
+                        Atom::Var(clo)
+                    }
+                    other => other,
+                }
+            }};
+        }
+        let rhs = match r {
+            BRhs::Atom(a) => CRhs::Atom(val!(*a)),
+            BRhs::Float(f) => CRhs::Float(*f),
+            BRhs::Str(s) => CRhs::Str(s.clone()),
+            BRhs::Record(atoms) => {
+                let mut out = Vec::with_capacity(atoms.len());
+                for a in atoms {
+                    out.push(val!(*a));
+                }
+                CRhs::Record(out)
+            }
+            BRhs::Select(i, a) => CRhs::Select(*i, val!(*a)),
+            BRhs::Con {
+                data,
+                cargs,
+                tag,
+                args,
+            } => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(val!(*a));
+                }
+                CRhs::Con {
+                    data: *data,
+                    cargs: cargs.clone(),
+                    tag: *tag,
+                    args: out,
+                }
+            }
+            BRhs::ExnCon { exn, arg } => {
+                let a = match arg {
+                    Some(a) => Some(val!(*a)),
+                    None => None,
+                };
+                CRhs::ExnCon { exn: *exn, arg: a }
+            }
+            BRhs::Prim { prim, cargs, args } => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(val!(*a));
+                }
+                CRhs::Prim {
+                    prim: *prim,
+                    cargs: cargs.clone(),
+                    args: out,
+                }
+            }
+            BRhs::App { f, cargs, args } => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(val!(*a));
+                }
+                let f = self.ren(*f, map);
+                match f {
+                    Atom::Var(fv) if self.funs.contains_key(&fv) => {
+                        let info = self.funs[&fv].clone();
+                        let mut full_cargs: Vec<Con> =
+                            info.ccaptures.iter().map(|c| Con::Var(*c)).collect();
+                        full_cargs.extend(cargs.iter().cloned());
+                        match &info.style {
+                            FunStyle::Direct => {
+                                let mut full_args: Vec<Atom> = info
+                                    .captures
+                                    .iter()
+                                    .map(|c| self.ren(Atom::Var(*c), map))
+                                    .collect();
+                                full_args.extend(out);
+                                CRhs::CallKnown {
+                                    code: info.code,
+                                    cargs: full_cargs,
+                                    args: full_args,
+                                }
+                            }
+                            FunStyle::Env { env_binding } => {
+                                let env = self.ren(Atom::Var(*env_binding), map);
+                                let mut full_args = vec![env];
+                                full_args.extend(out);
+                                CRhs::CallKnown {
+                                    code: info.code,
+                                    cargs: full_cargs,
+                                    args: full_args,
+                                }
+                            }
+                        }
+                    }
+                    other => CRhs::CallClosure {
+                        clo: other,
+                        cargs: cargs.clone(),
+                        args: out,
+                    },
+                }
+            }
+            BRhs::Raise { exn, con } => CRhs::Raise {
+                exn: val!(*exn),
+                con: con.clone(),
+            },
+            BRhs::Handle { body, var, handler } => {
+                self.var_cons.insert(*var, Con::Exn);
+                CRhs::Handle {
+                    body: Box::new(self.exp(body, map)?),
+                    var: *var,
+                    handler: Box::new(self.exp(handler, map)?),
+                }
+            }
+            BRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => CRhs::Typecase {
+                scrut: scrut.clone(),
+                int: Box::new(self.exp(int, map)?),
+                float: Box::new(self.exp(float, map)?),
+                ptr: Box::new(self.exp(ptr, map)?),
+                con: con.clone(),
+            },
+            BRhs::Switch(sw) => CRhs::Switch(self.switch(sw, map)?),
+        };
+        // Record what we know about the bound variable's constructor.
+        Ok((binds, rhs))
+    }
+
+    fn switch(&mut self, sw: &BSwitch, map: &HashMap<Var, Var>) -> Result<CSwitch> {
+        Ok(match sw {
+            BSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => CSwitch::Int {
+                scrut: self.ren(*scrut, map),
+                arms: arms
+                    .iter()
+                    .map(|(k, a)| Ok((*k, self.exp(a, map)?)))
+                    .collect::<Result<_>>()?,
+                default: Box::new(self.exp(default, map)?),
+                con: con.clone(),
+            },
+            BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => {
+                let md = {
+                    // Record binder constructors for capture typing.
+                    arms.clone()
+                };
+                let _ = md;
+                CSwitch::Data {
+                    scrut: self.ren(*scrut, map),
+                    data: *data,
+                    cargs: cargs.clone(),
+                    arms: arms
+                        .iter()
+                        .map(|(t, b, a)| Ok((*t, b.clone(), self.exp(a, map)?)))
+                        .collect::<Result<_>>()?,
+                    default: match default {
+                        Some(d) => Some(Box::new(self.exp(d, map)?)),
+                        None => None,
+                    },
+                    con: con.clone(),
+                }
+            }
+            BSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => CSwitch::Str {
+                scrut: self.ren(*scrut, map),
+                arms: arms
+                    .iter()
+                    .map(|(k, a)| Ok((k.clone(), self.exp(a, map)?)))
+                    .collect::<Result<_>>()?,
+                default: Box::new(self.exp(default, map)?),
+                con: con.clone(),
+            },
+            BSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => CSwitch::Exn {
+                scrut: self.ren(*scrut, map),
+                arms: arms
+                    .iter()
+                    .map(|(id, b, a)| Ok((*id, *b, self.exp(a, map)?)))
+                    .collect::<Result<_>>()?,
+                default: Box::new(self.exp(default, map)?),
+                con: con.clone(),
+            },
+        })
+    }
+
+    fn mk_closure_rhs(
+        &mut self,
+        info: &FunInfo,
+        map: &HashMap<Var, Var>,
+    ) -> Result<CRhs> {
+        match &info.style {
+            FunStyle::Env { env_binding } => Ok(CRhs::MkClosure {
+                code: info.code,
+                env: self.ren(Atom::Var(*env_binding), map),
+            }),
+            FunStyle::Direct => Err(Self::ice(
+                "value reference to a function classified as non-escaping",
+            )),
+        }
+    }
+
+    fn fix(
+        &mut self,
+        funs: &[BFun],
+        body: &BExp,
+        map: &HashMap<Var, Var>,
+    ) -> Result<CExp> {
+        let nest: Vec<Var> = funs.iter().map(|f| f.var).collect();
+        let top_level = funs.iter().all(|f| self.globals.contains(&f.var));
+        // Free value variables and constructor variables of the nest.
+        let (mut fvs, mut fcvs) = (Vec::new(), Vec::new());
+        for f in funs {
+            self.free_of_fun(f, &nest, &mut fvs, &mut fcvs);
+        }
+        // Apply the active renaming to captures (we capture the
+        // *current* names) — but record the original names as keys.
+        let any_escapes = funs.iter().any(|f| self.escapes.escapes(f.var) > 0);
+        // Top-level functions with no captures need no environment even
+        // if they escape as values (their closure is constant).
+        let style_env = any_escapes;
+        let env_binding = if style_env {
+            Some(self.vs.fresh_named("env"))
+        } else {
+            None
+        };
+        let capture_cons: Vec<Con> = fvs
+            .iter()
+            .map(|v| {
+                self.var_cons
+                    .get(v)
+                    .cloned()
+                    .unwrap_or(Con::Record(vec![]))
+            })
+            .collect();
+        // The captured values' constructors may mention constructor
+        // variables the body never names directly; they are captures
+        // too.
+        for c in &capture_cons {
+            let mut tmp = Vec::new();
+            c.free_cvars(&mut tmp);
+            for cv in tmp {
+                if !fcvs.contains(&cv) {
+                    fcvs.push(cv);
+                }
+            }
+        }
+        // Register the nest's functions.
+        for f in funs {
+            let code = self.vs.rename(f.var);
+            let info = FunInfo {
+                code,
+                style: if style_env {
+                    FunStyle::Env {
+                        env_binding: env_binding.unwrap(),
+                    }
+                } else {
+                    FunStyle::Direct
+                },
+                captures: fvs.clone(),
+                capture_cons: capture_cons.clone(),
+                ccaptures: fcvs.clone(),
+                escapes: self.escapes.escapes(f.var) > 0,
+                env_param: None,
+            };
+            self.funs.insert(f.var, info);
+        }
+        let _ = top_level;
+        // Emit the code blocks.
+        for f in funs {
+            let info = self.funs[&f.var].clone();
+            let mut inner_map = map.clone();
+            let mut params: Vec<(Var, Con)> = Vec::new();
+            let captured_vars;
+            match &info.style {
+                FunStyle::Direct => {
+                    for (v, c) in fvs.iter().zip(&capture_cons) {
+                        let nv = self.vs.rename(*v);
+                        inner_map.insert(*v, nv);
+                        params.push((nv, c.clone()));
+                        self.var_cons.insert(nv, c.clone());
+                    }
+                    captured_vars = fvs.len();
+                }
+                FunStyle::Env { .. } => {
+                    let env_param = self.vs.fresh_named("env");
+                    let env_con = Con::Record(capture_cons.clone());
+                    params.push((env_param, env_con));
+                    // Captures are selected out of the environment in a
+                    // prologue built below; here we map each capture to
+                    // a fresh local.
+                    captured_vars = 1;
+                    // Remember the env param for sibling calls.
+                    let mut info2 = info.clone();
+                    info2.env_param = Some(env_param);
+                    self.funs.insert(f.var, info2);
+                    // Within this body, the shared environment is the
+                    // parameter, not the definition-site binding.
+                    if let Some(eb) = env_binding {
+                        inner_map.insert(eb, env_param);
+                    }
+                }
+            }
+            for (v, c) in &f.params {
+                params.push((*v, c.clone()));
+                self.var_cons.insert(*v, c.clone());
+            }
+            // Record param cons before converting the body.
+            let mut cparams = fcvs.clone();
+            cparams.extend(f.cparams.iter().copied());
+            // Prologue for env style: bind captures from the env.
+            let mut body_c;
+            if style_env {
+                // Map captures to fresh locals selected from env.
+                let env_param = match &params[0] {
+                    (v, _) => *v,
+                };
+                let mut prologue: Vec<(Var, CRhs)> = Vec::new();
+                for (i, (v, c)) in fvs.iter().zip(&capture_cons).enumerate() {
+                    let nv = self.vs.rename(*v);
+                    inner_map.insert(*v, nv);
+                    self.var_cons.insert(nv, c.clone());
+                    prologue.push((nv, CRhs::EnvSel(i, Atom::Var(env_param))));
+                }
+                let inner = self.exp(&f.body, &inner_map)?;
+                let mut e = inner;
+                for (v, r) in prologue.into_iter().rev() {
+                    e = CExp::Let {
+                        var: v,
+                        rhs: r,
+                        body: Box::new(e),
+                    };
+                }
+                body_c = e;
+            } else {
+                body_c = self.exp(&f.body, &inner_map)?;
+            }
+            // Drop unused capture selections later (harmless).
+            let code = Code {
+                var: info.code,
+                cparams,
+                captured_cvars: fcvs.len(),
+                params,
+                captured_vars,
+                escapes: info.escapes,
+                ret: f.ret.clone(),
+                body: std::mem::replace(&mut body_c, CExp::Ret(Atom::Int(0))),
+            };
+            self.codes.push(code);
+        }
+        // Convert the scope, binding the shared environment and the
+        // escaping closures.
+        let inner_body = self.exp(body, map)?;
+        let mut out = inner_body;
+        if style_env {
+            // Bind closures for escaping functions.
+            for f in funs.iter().rev() {
+                let info = self.funs[&f.var].clone();
+                if info.escapes {
+                    out = CExp::Let {
+                        var: f.var,
+                        rhs: CRhs::MkClosure {
+                            code: info.code,
+                            env: Atom::Var(env_binding.unwrap()),
+                        },
+                        body: Box::new(out),
+                    };
+                }
+            }
+            // Build the shared environment record.
+            let env_fields: Vec<Atom> =
+                fvs.iter().map(|v| self.ren(Atom::Var(*v), map)).collect();
+            out = CExp::Let {
+                var: env_binding.unwrap(),
+                rhs: CRhs::MkEnv {
+                    tenv: fcvs.iter().map(|c| Con::Var(*c)).collect(),
+                    venv: env_fields,
+                },
+                body: Box::new(out),
+            };
+        }
+        Ok(out)
+    }
+
+    /// Free variables of one function, expanding known-call captures,
+    /// accumulated into `fvs`/`fcvs` (deduplicated, globals excluded).
+    fn free_of_fun(
+        &self,
+        f: &BFun,
+        nest: &[Var],
+        fvs: &mut Vec<Var>,
+        fcvs: &mut Vec<CVar>,
+    ) {
+        let mut bound: HashSet<Var> = f.params.iter().map(|(v, _)| *v).collect();
+        for v in nest {
+            bound.insert(*v);
+        }
+        let mut cbound: HashSet<CVar> = f.cparams.iter().copied().collect();
+        self.free_exp(&f.body, &mut bound, &mut cbound, fvs, fcvs);
+        // Constructor variables free in parameter/result types.
+        for (_, c) in &f.params {
+            self.free_con(c, &cbound, fcvs);
+        }
+        self.free_con(&f.ret, &cbound, fcvs);
+    }
+
+    fn note_use(
+        &self,
+        a: &Atom,
+        bound: &HashSet<Var>,
+        fvs: &mut Vec<Var>,
+    ) {
+        if let Atom::Var(v) = a {
+            if !bound.contains(v) && !self.globals.contains(v) && !fvs.contains(v) {
+                // References to known functions expand to their captures.
+                if let Some(info) = self.funs.get(v) {
+                    match &info.style {
+                        FunStyle::Direct => {
+                            for c in &info.captures {
+                                if !bound.contains(c)
+                                    && !self.globals.contains(c)
+                                    && !fvs.contains(c)
+                                {
+                                    fvs.push(*c);
+                                }
+                            }
+                        }
+                        FunStyle::Env { env_binding } => {
+                            if !bound.contains(env_binding)
+                                && !self.globals.contains(env_binding)
+                                && !fvs.contains(env_binding)
+                            {
+                                fvs.push(*env_binding);
+                            }
+                        }
+                    }
+                } else {
+                    fvs.push(*v);
+                }
+            }
+        }
+    }
+
+    fn free_con(&self, c: &Con, cbound: &HashSet<CVar>, fcvs: &mut Vec<CVar>) {
+        let mut tmp = Vec::new();
+        c.free_cvars(&mut tmp);
+        for cv in tmp {
+            if !cbound.contains(&cv) && !fcvs.contains(&cv) {
+                fcvs.push(cv);
+            }
+        }
+    }
+
+    fn free_exp(
+        &self,
+        e: &BExp,
+        bound: &mut HashSet<Var>,
+        cbound: &mut HashSet<CVar>,
+        fvs: &mut Vec<Var>,
+        fcvs: &mut Vec<CVar>,
+    ) {
+        match e {
+            BExp::Ret(a) => self.note_use(a, bound, fvs),
+            BExp::Let { var, rhs, body } => {
+                self.free_rhs(rhs, bound, cbound, fvs, fcvs);
+                bound.insert(*var);
+                self.free_exp(body, bound, cbound, fvs, fcvs);
+            }
+            BExp::Fix { funs, body } => {
+                for f in funs {
+                    bound.insert(f.var);
+                }
+                for f in funs {
+                    // The inner function's own constructor parameters
+                    // bind before its parameter types are examined.
+                    for cv in &f.cparams {
+                        cbound.insert(*cv);
+                    }
+                    for (v, c) in &f.params {
+                        bound.insert(*v);
+                        self.free_con(c, cbound, fcvs);
+                    }
+                    self.free_con(&f.ret, cbound, fcvs);
+                    self.free_exp(&f.body, bound, cbound, fvs, fcvs);
+                }
+                self.free_exp(body, bound, cbound, fvs, fcvs);
+            }
+        }
+    }
+
+    fn free_rhs(
+        &self,
+        r: &BRhs,
+        bound: &mut HashSet<Var>,
+        cbound: &mut HashSet<CVar>,
+        fvs: &mut Vec<Var>,
+        fcvs: &mut Vec<CVar>,
+    ) {
+        let mut cons: Vec<&Con> = Vec::new();
+        match r {
+            BRhs::Atom(a) | BRhs::Select(_, a) => self.note_use(a, bound, fvs),
+            BRhs::Float(_) | BRhs::Str(_) => {}
+            BRhs::Record(atoms) => atoms.iter().for_each(|a| self.note_use(a, bound, fvs)),
+            BRhs::Con { cargs, args, .. } => {
+                args.iter().for_each(|a| self.note_use(a, bound, fvs));
+                cons.extend(cargs.iter());
+            }
+            BRhs::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    self.note_use(a, bound, fvs);
+                }
+            }
+            BRhs::Prim { cargs, args, .. } => {
+                args.iter().for_each(|a| self.note_use(a, bound, fvs));
+                cons.extend(cargs.iter());
+            }
+            BRhs::App { f, cargs, args } => {
+                self.note_use(f, bound, fvs);
+                args.iter().for_each(|a| self.note_use(a, bound, fvs));
+                cons.extend(cargs.iter());
+            }
+            BRhs::Raise { exn, con } => {
+                self.note_use(exn, bound, fvs);
+                cons.push(con);
+            }
+            BRhs::Handle { body, var, handler } => {
+                self.free_exp(body, bound, cbound, fvs, fcvs);
+                bound.insert(*var);
+                self.free_exp(handler, bound, cbound, fvs, fcvs);
+            }
+            BRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => {
+                cons.push(scrut);
+                cons.push(con);
+                self.free_exp(int, bound, cbound, fvs, fcvs);
+                self.free_exp(float, bound, cbound, fvs, fcvs);
+                self.free_exp(ptr, bound, cbound, fvs, fcvs);
+            }
+            BRhs::Switch(sw) => match sw {
+                BSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.note_use(scrut, bound, fvs);
+                    for (_, a) in arms {
+                        self.free_exp(a, bound, cbound, fvs, fcvs);
+                    }
+                    self.free_exp(default, bound, cbound, fvs, fcvs);
+                }
+                BSwitch::Data {
+                    scrut,
+                    cargs,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.note_use(scrut, bound, fvs);
+                    cons.extend(cargs.iter());
+                    for (_, binders, a) in arms {
+                        for b in binders {
+                            bound.insert(*b);
+                        }
+                        self.free_exp(a, bound, cbound, fvs, fcvs);
+                    }
+                    if let Some(d) = default {
+                        self.free_exp(d, bound, cbound, fvs, fcvs);
+                    }
+                }
+                BSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.note_use(scrut, bound, fvs);
+                    for (_, a) in arms {
+                        self.free_exp(a, bound, cbound, fvs, fcvs);
+                    }
+                    self.free_exp(default, bound, cbound, fvs, fcvs);
+                }
+                BSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.note_use(scrut, bound, fvs);
+                    for (_, b, a) in arms {
+                        if let Some(bv) = b {
+                            bound.insert(*bv);
+                        }
+                        self.free_exp(a, bound, cbound, fvs, fcvs);
+                    }
+                    self.free_exp(default, bound, cbound, fvs, fcvs);
+                }
+            },
+        }
+        for c in cons {
+            self.free_con(c, cbound, fcvs);
+        }
+    }
+}

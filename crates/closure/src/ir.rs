@@ -1,0 +1,289 @@
+//! The closure-converted IR (the paper's **Lmli-Closure**, §3.4).
+//!
+//! After closure conversion every function is a *closed*, top-level
+//! [`Code`]: its free value variables have become extra parameters and
+//! its free constructor variables extra constructor parameters.
+//! Escaping functions additionally get a heap **closure**: a flat
+//! record pairing the code pointer with the captured constructor
+//! representations and values ([`CRhs::MkClosure`]); closure calls go
+//! through [`CRhs::CallClosure`], which the later phases expand into
+//! "fetch code pointer, pass the closure as the environment argument".
+//! Known functions (those that never escape) are called directly with
+//! their captures appended ([`CRhs::CallKnown`]), following Kranz.
+
+use til_common::Var;
+use til_lambda::env::{DataId, ExnId};
+pub use til_lmli::con::{CVar, Con};
+pub use til_lmli::data::{MDataEnv, MExnEnv};
+pub use til_lmli::prim::MPrim;
+
+pub use til_bform::Atom;
+
+/// A closure-converted program: a flat list of closed code blocks plus
+/// the main body.
+#[derive(Clone, Debug)]
+pub struct CProgram {
+    /// Datatype representations.
+    pub data: MDataEnv,
+    /// Exception representations.
+    pub exns: MExnEnv,
+    /// All code blocks (closed functions), in definition order.
+    pub codes: Vec<Code>,
+    /// The main expression.
+    pub body: CExp,
+    /// Its constructor.
+    pub con: Con,
+}
+
+impl CProgram {
+    /// Looks up a code block by its label variable.
+    pub fn code(&self, v: Var) -> Option<&Code> {
+        self.codes.iter().find(|c| c.var == v)
+    }
+}
+
+/// One closed function.
+#[derive(Clone, Debug)]
+pub struct Code {
+    /// The code label.
+    pub var: Var,
+    /// Constructor parameters: first the captured free constructor
+    /// variables (loaded from the closure's type environment when the
+    /// function escapes, passed explicitly at known calls), then the
+    /// function's original constructor parameters (passed at every
+    /// call).
+    pub cparams: Vec<CVar>,
+    /// How many of `cparams` are captures.
+    pub captured_cvars: usize,
+    /// Value parameters: first the captured free variables, then the
+    /// original parameters.
+    pub params: Vec<(Var, Con)>,
+    /// How many of `params` are captures.
+    pub captured_vars: usize,
+    /// Whether this code is entered through a closure (its captures
+    /// live in the closure record) or only by direct known calls (its
+    /// captures arrive as arguments).
+    pub escapes: bool,
+    /// Result constructor.
+    pub ret: Con,
+    /// Body.
+    pub body: CExp,
+}
+
+/// Closure-converted expressions (Bform shape).
+#[derive(Clone, Debug)]
+pub enum CExp {
+    /// `let`.
+    Let {
+        /// Bound variable.
+        var: Var,
+        /// Right-hand side.
+        rhs: CRhs,
+        /// Continuation.
+        body: Box<CExp>,
+    },
+    /// Return an atom.
+    Ret(Atom),
+}
+
+/// Right-hand sides.
+#[derive(Clone, Debug)]
+pub enum CRhs {
+    /// Copy.
+    Atom(Atom),
+    /// Float constant.
+    Float(f64),
+    /// String constant.
+    Str(String),
+    /// Record allocation.
+    Record(Vec<Atom>),
+    /// Positional selection.
+    Select(usize, Atom),
+    /// Datatype constructor.
+    Con {
+        /// Datatype.
+        data: DataId,
+        /// Instantiation.
+        cargs: Vec<Con>,
+        /// Tag.
+        tag: usize,
+        /// Flattened fields.
+        args: Vec<Atom>,
+    },
+    /// Exception packet.
+    ExnCon {
+        /// Exception.
+        exn: ExnId,
+        /// Carried value.
+        arg: Option<Atom>,
+    },
+    /// Primitive.
+    Prim {
+        /// Operation.
+        prim: MPrim,
+        /// Type arguments.
+        cargs: Vec<Con>,
+        /// Arguments.
+        args: Vec<Atom>,
+    },
+    /// Direct call of a known code block. `cargs`/`args` already
+    /// include the captures.
+    CallKnown {
+        /// Code label.
+        code: Var,
+        /// All constructor arguments.
+        cargs: Vec<Con>,
+        /// All value arguments.
+        args: Vec<Atom>,
+    },
+    /// Call through a closure value.
+    CallClosure {
+        /// The closure.
+        clo: Atom,
+        /// The function's own constructor arguments.
+        cargs: Vec<Con>,
+        /// The function's own value arguments.
+        args: Vec<Atom>,
+    },
+    /// Allocate a flat environment record: `[captured reps…, captured
+    /// values…]` (the rep slots are materialized by the RTL phase).
+    MkEnv {
+        /// Captured constructor representations.
+        tenv: Vec<Con>,
+        /// Captured values.
+        venv: Vec<Atom>,
+    },
+    /// Allocate a closure pair `[code, env]`.
+    MkClosure {
+        /// Code label.
+        code: Var,
+        /// The shared environment.
+        env: Atom,
+    },
+    /// Select capture `i` from an environment (RTL offsets past the
+    /// rep slots).
+    EnvSel(usize, Atom),
+    /// Branch.
+    Switch(CSwitch),
+    /// Run-time type analysis (still present if the program kept
+    /// polymorphism).
+    Typecase {
+        /// Analyzed constructor.
+        scrut: Con,
+        /// Int arm.
+        int: Box<CExp>,
+        /// Float arm.
+        float: Box<CExp>,
+        /// Pointer arm.
+        ptr: Box<CExp>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// Exception handler.
+    Handle {
+        /// Protected body.
+        body: Box<CExp>,
+        /// Packet binder.
+        var: Var,
+        /// Handler.
+        handler: Box<CExp>,
+    },
+    /// Raise.
+    Raise {
+        /// Packet.
+        exn: Atom,
+        /// Context type.
+        con: Con,
+    },
+}
+
+/// Switches (as in Bform).
+#[derive(Clone, Debug)]
+pub enum CSwitch {
+    /// On integers.
+    Int {
+        /// Scrutinee.
+        scrut: Atom,
+        /// Arms.
+        arms: Vec<(i64, CExp)>,
+        /// Fallback.
+        default: Box<CExp>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// On datatype constructors.
+    Data {
+        /// Scrutinee.
+        scrut: Atom,
+        /// Datatype.
+        data: DataId,
+        /// Instantiation.
+        cargs: Vec<Con>,
+        /// Arms binding flattened fields.
+        arms: Vec<(usize, Vec<Var>, CExp)>,
+        /// Fallback.
+        default: Option<Box<CExp>>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// On strings.
+    Str {
+        /// Scrutinee.
+        scrut: Atom,
+        /// Arms.
+        arms: Vec<(String, CExp)>,
+        /// Fallback.
+        default: Box<CExp>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// On exception constructors.
+    Exn {
+        /// Scrutinee.
+        scrut: Atom,
+        /// Arms.
+        arms: Vec<(ExnId, Option<Var>, CExp)>,
+        /// Fallback.
+        default: Box<CExp>,
+        /// Result constructor.
+        con: Con,
+    },
+}
+
+impl CExp {
+    /// Node count.
+    pub fn size(&self) -> usize {
+        match self {
+            CExp::Ret(_) => 1,
+            CExp::Let { rhs, body, .. } => 1 + rhs.size() + body.size(),
+        }
+    }
+}
+
+impl CRhs {
+    /// Node count.
+    pub fn size(&self) -> usize {
+        match self {
+            CRhs::Switch(sw) => match sw {
+                CSwitch::Int { arms, default, .. } => {
+                    1 + arms.iter().map(|(_, a)| a.size()).sum::<usize>() + default.size()
+                }
+                CSwitch::Data { arms, default, .. } => {
+                    1 + arms.iter().map(|(_, _, a)| a.size()).sum::<usize>()
+                        + default.as_ref().map_or(0, |d| d.size())
+                }
+                CSwitch::Str { arms, default, .. } => {
+                    1 + arms.iter().map(|(_, a)| a.size()).sum::<usize>() + default.size()
+                }
+                CSwitch::Exn { arms, default, .. } => {
+                    1 + arms.iter().map(|(_, _, a)| a.size()).sum::<usize>() + default.size()
+                }
+            },
+            CRhs::Typecase {
+                int, float, ptr, ..
+            } => 1 + int.size() + float.size() + ptr.size(),
+            CRhs::Handle { body, handler, .. } => 1 + body.size() + handler.size(),
+            _ => 1,
+        }
+    }
+}

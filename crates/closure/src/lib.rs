@@ -1,0 +1,11 @@
+//! Typed closure conversion (paper §3.4): converts Bform to
+//! **Lmli-Closure** — closed top-level code blocks, explicit flat
+//! environments, Kranz-style known-function calls.
+
+pub mod convert;
+pub mod ir;
+pub mod typecheck;
+
+pub use convert::closure_convert;
+pub use ir::{CExp, CProgram, CRhs, CSwitch, Code};
+pub use typecheck::typecheck_closure;

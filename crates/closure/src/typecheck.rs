@@ -1,0 +1,294 @@
+//! Structural verification of closure-converted programs.
+//!
+//! The full constructor-level typing was already verified on Bform
+//! (the conversion is type-preserving by construction); what closure
+//! conversion adds — and what this checker verifies — are the *closure
+//! invariants*: every code block is closed (it references only its own
+//! parameters and locals, top-level globals, and code labels), every
+//! known call matches its callee's full arity (captures included),
+//! constructor-variable scoping holds per code block, and binders stay
+//! globally unique.
+
+use crate::ir::{CExp, CProgram, CRhs, CSwitch, Code};
+use std::collections::HashSet;
+use til_bform::Atom;
+use til_common::{Diagnostic, Result, Var};
+use til_lmli::con::{CVar, Con};
+
+const PHASE: &str = "closure-check";
+
+fn err(msg: String) -> Diagnostic {
+    Diagnostic::ice(PHASE, msg)
+}
+
+/// Verifies the closure invariants.
+pub fn typecheck_closure(p: &CProgram) -> Result<()> {
+    let mut cx = Ck {
+        globals: HashSet::new(),
+        codes: &p.codes,
+        seen: HashSet::new(),
+    };
+    let mut spine = &p.body;
+    loop {
+        match spine {
+            CExp::Let { var, body, .. } => {
+                cx.globals.insert(*var);
+                spine = body;
+            }
+            CExp::Ret(_) => break,
+        }
+    }
+    for c in &p.codes {
+        cx.globals.insert(c.var);
+    }
+    for c in &p.codes {
+        let mut scope: HashSet<Var> = c.params.iter().map(|(v, _)| *v).collect();
+        for (v, _) in &c.params {
+            if !cx.seen.insert(*v) {
+                return Err(err(format!("parameter {v} not globally unique")));
+            }
+        }
+        let cscope: HashSet<CVar> = c.cparams.iter().copied().collect();
+        cx.exp(&c.body, &mut scope, &cscope, Some(c))?;
+    }
+    let mut scope = HashSet::new();
+    let cscope = HashSet::new();
+    cx.exp(&p.body, &mut scope, &cscope, None)?;
+    Ok(())
+}
+
+struct Ck<'a> {
+    globals: HashSet<Var>,
+    codes: &'a [Code],
+    seen: HashSet<Var>,
+}
+
+impl<'a> Ck<'a> {
+    fn code(&self, v: Var) -> Result<&Code> {
+        self.codes
+            .iter()
+            .find(|c| c.var == v)
+            .ok_or_else(|| err(format!("unknown code label {v}")))
+    }
+
+    fn atom(&self, a: &Atom, scope: &HashSet<Var>, ctx: Option<&Code>) -> Result<()> {
+        if let Atom::Var(v) = a {
+            if !scope.contains(v) && !self.globals.contains(v) {
+                let who = ctx.map(|c| c.var.to_string()).unwrap_or_else(|| "main".into());
+                return Err(err(format!("code {who} is not closed: {v} escapes")));
+            }
+        }
+        Ok(())
+    }
+
+    fn cons(&self, c: &Con, cscope: &HashSet<CVar>, ctx: Option<&Code>) -> Result<()> {
+        let mut free = Vec::new();
+        c.free_cvars(&mut free);
+        for cv in free {
+            if !cscope.contains(&cv) {
+                let who = ctx.map(|c| c.var.to_string()).unwrap_or_else(|| "main".into());
+                return Err(err(format!(
+                    "code {who}: constructor variable {cv} out of scope"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn bind(&mut self, v: Var, scope: &mut HashSet<Var>) -> Result<()> {
+        if !self.seen.insert(v) {
+            return Err(err(format!("binder {v} not globally unique")));
+        }
+        scope.insert(v);
+        Ok(())
+    }
+
+    fn exp(
+        &mut self,
+        e: &CExp,
+        scope: &mut HashSet<Var>,
+        cscope: &HashSet<CVar>,
+        ctx: Option<&Code>,
+    ) -> Result<()> {
+        match e {
+            CExp::Ret(a) => self.atom(a, scope, ctx),
+            CExp::Let { var, rhs, body } => {
+                self.rhs(rhs, scope, cscope, ctx)?;
+                self.bind(*var, scope)?;
+                self.exp(body, scope, cscope, ctx)
+            }
+        }
+    }
+
+    fn rhs(
+        &mut self,
+        r: &CRhs,
+        scope: &mut HashSet<Var>,
+        cscope: &HashSet<CVar>,
+        ctx: Option<&Code>,
+    ) -> Result<()> {
+        match r {
+            CRhs::Atom(a) | CRhs::Select(_, a) | CRhs::EnvSel(_, a) => self.atom(a, scope, ctx),
+            CRhs::Float(_) | CRhs::Str(_) => Ok(()),
+            CRhs::Record(atoms) => {
+                for a in atoms {
+                    self.atom(a, scope, ctx)?;
+                }
+                Ok(())
+            }
+            CRhs::Con { cargs, args, .. } | CRhs::Prim { cargs, args, .. } => {
+                for a in args {
+                    self.atom(a, scope, ctx)?;
+                }
+                for c in cargs {
+                    self.cons(c, cscope, ctx)?;
+                }
+                Ok(())
+            }
+            CRhs::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    self.atom(a, scope, ctx)?;
+                }
+                Ok(())
+            }
+            CRhs::CallKnown { code, cargs, args } => {
+                let (want_c, want_a) = {
+                    let callee = self.code(*code)?;
+                    (callee.cparams.len(), callee.params.len())
+                };
+                if want_c != cargs.len() {
+                    return Err(err(format!(
+                        "known call to {code}: {} cargs, expected {want_c}",
+                        cargs.len()
+                    )));
+                }
+                if want_a != args.len() {
+                    return Err(err(format!(
+                        "known call to {code}: {} args, expected {want_a}",
+                        args.len()
+                    )));
+                }
+                for a in args {
+                    self.atom(a, scope, ctx)?;
+                }
+                for c in cargs {
+                    self.cons(c, cscope, ctx)?;
+                }
+                Ok(())
+            }
+            CRhs::CallClosure { clo, cargs, args } => {
+                self.atom(clo, scope, ctx)?;
+                for a in args {
+                    self.atom(a, scope, ctx)?;
+                }
+                for c in cargs {
+                    self.cons(c, cscope, ctx)?;
+                }
+                Ok(())
+            }
+            CRhs::MkEnv { tenv, venv } => {
+                for c in tenv {
+                    self.cons(c, cscope, ctx)?;
+                }
+                for a in venv {
+                    self.atom(a, scope, ctx)?;
+                }
+                Ok(())
+            }
+            CRhs::MkClosure { code, env } => {
+                let escapes = self.code(*code)?.escapes;
+                if !escapes {
+                    return Err(err(format!(
+                        "closure built for non-escaping code {code}"
+                    )));
+                }
+                self.atom(env, scope, ctx)
+            }
+            CRhs::Raise { exn, con } => {
+                self.atom(exn, scope, ctx)?;
+                self.cons(con, cscope, ctx)
+            }
+            CRhs::Handle { body, var, handler } => {
+                self.exp(body, scope, cscope, ctx)?;
+                self.bind(*var, scope)?;
+                self.exp(handler, scope, cscope, ctx)
+            }
+            CRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => {
+                self.cons(scrut, cscope, ctx)?;
+                self.cons(con, cscope, ctx)?;
+                self.exp(int, scope, cscope, ctx)?;
+                self.exp(float, scope, cscope, ctx)?;
+                self.exp(ptr, scope, cscope, ctx)
+            }
+            CRhs::Switch(sw) => match sw {
+                CSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.atom(scrut, scope, ctx)?;
+                    for (_, a) in arms {
+                        self.exp(a, scope, cscope, ctx)?;
+                    }
+                    self.exp(default, scope, cscope, ctx)
+                }
+                CSwitch::Data {
+                    scrut,
+                    cargs,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.atom(scrut, scope, ctx)?;
+                    for c in cargs {
+                        self.cons(c, cscope, ctx)?;
+                    }
+                    for (_, binders, a) in arms {
+                        for b in binders {
+                            self.bind(*b, scope)?;
+                        }
+                        self.exp(a, scope, cscope, ctx)?;
+                    }
+                    if let Some(d) = default {
+                        self.exp(d, scope, cscope, ctx)?;
+                    }
+                    Ok(())
+                }
+                CSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.atom(scrut, scope, ctx)?;
+                    for (_, a) in arms {
+                        self.exp(a, scope, cscope, ctx)?;
+                    }
+                    self.exp(default, scope, cscope, ctx)
+                }
+                CSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    self.atom(scrut, scope, ctx)?;
+                    for (_, b, a) in arms {
+                        if let Some(bv) = b {
+                            self.bind(*bv, scope)?;
+                        }
+                        self.exp(a, scope, cscope, ctx)?;
+                    }
+                    self.exp(default, scope, cscope, ctx)
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Closure-conversion tests over the full front+middle end.
+
+use til_closure::{closure_convert, typecheck_closure};
+use til_opt::{optimize, OptOptions};
+
+fn convert_ok(src: &str, opt: bool) -> til_closure::CProgram {
+    til_common::with_big_stack(move || convert_inner(src, opt))
+}
+
+fn convert_inner(src: &str, opt: bool) -> til_closure::CProgram {
+    let mut e = til_elab::elaborate_source(src).expect("elab");
+    let m = til_lmli::from_lambda(&e.program, &til_lmli::LmliOptions::til(), &mut e.vars)
+        .expect("lmli");
+    let mut b = til_bform::from_lmli(&m, &mut e.vars).expect("bform");
+    if opt {
+        optimize(&mut b, &mut e.vars, &OptOptions::til()).expect("optimize");
+    }
+    til_bform::typecheck_bform(&b).expect("bform check");
+    let c = closure_convert(&b, &mut e.vars).unwrap_or_else(|d| panic!("convert: {d}"));
+    typecheck_closure(&c).unwrap_or_else(|d| panic!("closure check: {d}"));
+    c
+}
+
+#[test]
+fn prelude_converts_optimized_and_not() {
+    convert_ok("", true);
+    convert_ok("", false);
+}
+
+#[test]
+fn known_functions_get_direct_calls() {
+    let c = convert_ok(
+        "fun add (a, b) : int = a + b
+         val _ = print (Int.toString (add (1, 2)))",
+        false,
+    );
+    assert!(!c.codes.is_empty());
+}
+
+#[test]
+fn escaping_closures_capture_environment() {
+    let c = convert_ok(
+        "fun make n = fn x => x + n
+         val f = make 10
+         val g = make 20
+         val _ = print (Int.toString (f 1 + g 2))",
+        false,
+    );
+    // The inner lambda escapes and captures n.
+    assert!(c.codes.iter().any(|code| code.escapes));
+}
+
+#[test]
+fn optimized_benchmark_kernels_convert() {
+    convert_ok(
+        "val n = 8
+         val A = Array2.array (n, n, 0)
+         fun dot (i, j) =
+           let fun go (cnt, sum) =
+                 if cnt < n then go (cnt + 1, sum + sub2 (A, i, cnt)) else sum
+           in go (0, 0) end
+         val _ = print (Int.toString (dot (1, 1)))",
+        true,
+    );
+}
+
+#[test]
+fn higher_order_with_stored_closures() {
+    convert_ok(
+        "val fs = [fn x => x + 1, fn x => x * 2]
+         fun applyAll (nil, x) = x
+           | applyAll (f :: rest, x) = applyAll (rest, f x)
+         val _ = print (Int.toString (applyAll (fs, 10)))",
+        true,
+    );
+}
+
+#[test]
+fn recursive_escaping_closure() {
+    convert_ok(
+        "fun makeCounter limit =
+           let fun count (i, acc) = if i >= limit then acc else count (i + 1, acc + i)
+           in fn () => count (0, 0) end
+         val c = makeCounter 10
+         val _ = print (Int.toString (c ()))",
+        false,
+    );
+}

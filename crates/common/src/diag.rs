@@ -1,0 +1,120 @@
+//! Compiler diagnostics.
+//!
+//! Every phase reports failures as a [`Diagnostic`]. Internal invariants
+//! (for example a typechecker rejecting the output of an optimization
+//! pass, the paper's headline engineering benefit) are reported as
+//! [`Level::Ice`] so they are visibly distinct from user errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Level {
+    /// A user-facing error (syntax, type, unbound identifier...).
+    Error,
+    /// An internal compiler error: an IR invariant or inter-pass type
+    /// check failed. These indicate compiler bugs, never user bugs.
+    Ice,
+}
+
+/// A structured compiler diagnostic.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Human-readable message.
+    pub message: String,
+    /// Location in the source, if known.
+    pub span: Option<Span>,
+    /// Compilation phase that produced the diagnostic (e.g. `"parse"`,
+    /// `"lmli-typecheck"`).
+    pub phase: &'static str,
+}
+
+impl Diagnostic {
+    /// A user error in `phase` at `span`.
+    pub fn error(phase: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            level: Level::Error,
+            message: message.into(),
+            span: Some(span),
+            phase,
+        }
+    }
+
+    /// A user error with no source location.
+    pub fn error_nospan(phase: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            level: Level::Error,
+            message: message.into(),
+            span: None,
+            phase,
+        }
+    }
+
+    /// An internal compiler error (failed invariant).
+    pub fn ice(phase: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            level: Level::Ice,
+            message: message.into(),
+            span: None,
+            phase,
+        }
+    }
+
+    /// Renders the diagnostic against the given source text.
+    pub fn render(&self, src: &str) -> String {
+        let loc = match self.span {
+            Some(sp) => {
+                let (l, c) = sp.line_col(src);
+                format!("{l}:{c}: ")
+            }
+            None => String::new(),
+        };
+        let lvl = match self.level {
+            Level::Error => "error",
+            Level::Ice => "internal compiler error",
+        };
+        format!("{loc}{lvl} [{}]: {}", self.phase, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lvl = match self.level {
+            Level::Error => "error",
+            Level::Ice => "ICE",
+        };
+        write!(f, "{lvl} [{}]: {}", self.phase, self.message)?;
+        if let Some(sp) = self.span {
+            write!(f, " @ {sp}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Result type used throughout the compiler.
+pub type Result<T> = std::result::Result<T, Diagnostic>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_line_and_column() {
+        let d = Diagnostic::error("parse", Span::new(3, 4), "unexpected token");
+        let out = d.render("ab\ncd");
+        assert!(out.contains("2:1"), "{out}");
+        assert!(out.contains("unexpected token"));
+    }
+
+    #[test]
+    fn ice_is_marked() {
+        let d = Diagnostic::ice("bform-typecheck", "pass broke types");
+        assert_eq!(d.level, Level::Ice);
+        assert!(d.to_string().contains("ICE"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared infrastructure for every phase of the TIL reproduction.
+//!
+//! This crate provides the cross-cutting substrate the paper's compiler
+//! assumes: interned identifiers ([`Symbol`]), compiler-generated variables
+//! ([`Var`], [`VarSupply`]), source locations ([`Span`]), structured
+//! diagnostics ([`Diagnostic`]), and a small indentation-aware pretty
+//! printer ([`pretty::Printer`]) used by the IR dumpers that reproduce the
+//! paper's Section 4 walkthrough.
+
+pub mod diag;
+pub mod pretty;
+pub mod span;
+pub mod symbol;
+pub mod var;
+
+pub use diag::{Diagnostic, Level, Result};
+pub use span::Span;
+pub use symbol::Symbol;
+pub use var::{Var, VarSupply};
+
+/// Runs `f` on a thread with a large stack. The optimizer and
+/// typecheckers recurse over whole-program ANF chains, which easily
+/// exceeds default stacks in debug builds; every deep pipeline entry
+/// point routes through here.
+pub fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(512 << 20)
+            .spawn_scoped(s, f)
+            .expect("spawn compiler thread")
+            .join()
+            .expect("compiler thread panicked")
+    })
+}

@@ -1,0 +1,107 @@
+//! A minimal indentation-aware pretty printer.
+//!
+//! Each IR crate implements its Section 4-style dumps on top of this
+//! printer: `line` starts a fresh indented line, `indent`/`dedent` manage
+//! nesting, and `word` appends to the current line.
+
+use std::fmt::Write as _;
+
+/// An append-only pretty printer accumulating into a `String`.
+#[derive(Debug, Default)]
+pub struct Printer {
+    buf: String,
+    indent: usize,
+    line_open: bool,
+}
+
+impl Printer {
+    /// A fresh printer.
+    pub fn new() -> Printer {
+        Printer::default()
+    }
+
+    /// Increases the indentation level.
+    pub fn indent(&mut self) -> &mut Self {
+        self.indent += 1;
+        self
+    }
+
+    /// Decreases the indentation level.
+    pub fn dedent(&mut self) -> &mut Self {
+        debug_assert!(self.indent > 0, "unbalanced dedent");
+        self.indent = self.indent.saturating_sub(1);
+        self
+    }
+
+    /// Starts a new line at the current indentation and writes `s`.
+    pub fn line(&mut self, s: impl AsRef<str>) -> &mut Self {
+        if self.line_open {
+            self.buf.push('\n');
+        }
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+        self.buf.push_str(s.as_ref());
+        self.line_open = true;
+        self
+    }
+
+    /// Appends `s` to the current line (opens one if needed).
+    pub fn word(&mut self, s: impl AsRef<str>) -> &mut Self {
+        if !self.line_open {
+            return self.line(s);
+        }
+        self.buf.push_str(s.as_ref());
+        self
+    }
+
+    /// Appends formatted text to the current line.
+    pub fn fmt(&mut self, args: std::fmt::Arguments<'_>) -> &mut Self {
+        if !self.line_open {
+            self.line("");
+        }
+        let _ = self.buf.write_fmt(args);
+        self
+    }
+
+    /// Finishes printing and returns the accumulated text.
+    pub fn finish(mut self) -> String {
+        if self.line_open {
+            self.buf.push('\n');
+        }
+        self.buf
+    }
+}
+
+/// Renders a comma-separated list via `f`.
+pub fn comma_sep<T>(items: &[T], mut f: impl FnMut(&T) -> String) -> String {
+    items.iter().map(|i| f(i)).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_nests() {
+        let mut p = Printer::new();
+        p.line("let");
+        p.indent();
+        p.line("x = 1");
+        p.dedent();
+        p.line("in x end");
+        assert_eq!(p.finish(), "let\n  x = 1\nin x end\n");
+    }
+
+    #[test]
+    fn word_appends() {
+        let mut p = Printer::new();
+        p.line("a").word("b").word("c");
+        assert_eq!(p.finish(), "abc\n");
+    }
+
+    #[test]
+    fn comma_sep_joins() {
+        assert_eq!(comma_sep(&[1, 2, 3], |n| n.to_string()), "1, 2, 3");
+    }
+}

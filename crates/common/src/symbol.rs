@@ -1,0 +1,108 @@
+//! Interned identifiers.
+//!
+//! Every source-level name (variables, constructors, record labels, type
+//! names) is interned into a [`Symbol`]: a small copyable index into a
+//! global string table. Interning makes identifier comparison O(1), which
+//! matters because the optimizer (per the paper, §2.2) aims for
+//! O(N log N) passes over whole compilation units.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// `Symbol`s are cheap to copy, hash, and compare. Use [`Symbol::intern`]
+/// to create one and [`Symbol::as_str`] (or `Display`) to read it back.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical `Symbol`.
+    pub fn intern(s: &str) -> Symbol {
+        let mut i = interner().lock().unwrap();
+        if let Some(&id) = i.map.get(s) {
+            return Symbol(id);
+        }
+        // Leaking is acceptable: the set of distinct identifiers in a
+        // compilation session is bounded by its sources.
+        let owned: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = i.strings.len() as u32;
+        i.strings.push(owned);
+        i.map.insert(owned, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(&self) -> &'static str {
+        interner().lock().unwrap().strings[self.0 as usize]
+    }
+
+    /// Raw index, useful for dense side tables.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("x"), Symbol::intern("y"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::intern("dot_product");
+        assert_eq!(format!("{s}"), "dot_product");
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let s = Symbol::intern("");
+        assert_eq!(s.as_str(), "");
+    }
+}

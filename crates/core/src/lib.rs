@@ -1,0 +1,287 @@
+//! **TIL** — a type-directed optimizing compiler for core Standard ML,
+//! reproducing Tarditi et al., *TIL: A Type-Directed Optimizing
+//! Compiler for ML* (PLDI 1996).
+//!
+//! The pipeline follows the paper's Figure 1: parse/elaborate →
+//! **Lambda** → **Lmli** (intensional polymorphism + type-directed
+//! representation optimizations) → **Bform** (A-normal form, all
+//! conventional and loop-oriented optimization) → typed closure
+//! conversion → untyped representation analysis → **RTL** → register
+//! allocation + GC tables → machine code for a simulated ALPHA-style
+//! target with a nearly tag-free copying collector.
+//!
+//! # Quick start
+//!
+//! ```
+//! use til::{Compiler, Options};
+//!
+//! let exe = Compiler::new(Options::til())
+//!     .compile("val _ = print (Int.toString (6 * 7))")
+//!     .unwrap();
+//! let out = exe.run(100_000_000).unwrap();
+//! assert_eq!(out.output, "42");
+//! ```
+
+use til_common::{Diagnostic, Result};
+
+pub use til_backend::{Linked, LinkOptions};
+pub use til_lmli::LmliOptions;
+pub use til_opt::{OptOptions, OptStats};
+pub use til_vm::{Stats, VmError};
+
+/// The SML prelude prefixed onto every compilation unit.
+pub use til_elab::PRELUDE;
+
+/// Compilation mode: which compiler the paper's tables compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// TIL: specialized representations, nearly tag-free GC, full
+    /// optimization.
+    Til,
+    /// The SML/NJ-like comparator: universal tagged representation,
+    /// boxed values, heap-allocated frames, tagged GC.
+    Baseline,
+}
+
+/// Compiler configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Compilation mode.
+    pub mode: Mode,
+    /// Representation choices (argument/constructor flattening, float
+    /// boxing, array specialization).
+    pub lmli: LmliOptions,
+    /// Optimizer schedule and toggles (loop optimizations etc.).
+    pub opt: OptOptions,
+    /// Typecheck between all typed phases (the paper's engineering
+    /// discipline; cheap and recommended).
+    pub verify: bool,
+    /// Heap/stack sizing.
+    pub link: LinkOptions,
+}
+
+impl Options {
+    /// Full TIL configuration.
+    pub fn til() -> Options {
+        Options {
+            mode: Mode::Til,
+            lmli: LmliOptions::til(),
+            opt: OptOptions::til(),
+            verify: true,
+            link: LinkOptions::default(),
+        }
+    }
+
+    /// TIL without the loop-oriented optimizations (the Table 7 /
+    /// Figure 12 ablation).
+    pub fn til_no_loop_opts() -> Options {
+        Options {
+            opt: OptOptions::til_no_loop_opts(),
+            ..Options::til()
+        }
+    }
+
+    /// The baseline comparator.
+    pub fn baseline() -> Options {
+        Options {
+            mode: Mode::Baseline,
+            lmli: LmliOptions::baseline(),
+            opt: OptOptions::baseline(),
+            verify: true,
+            link: LinkOptions::default(),
+        }
+    }
+}
+
+/// Per-phase compile-time measurements (Table 6's metric) and sizes.
+#[derive(Clone, Debug, Default)]
+pub struct CompileInfo {
+    /// Wall-clock seconds per phase, in pipeline order.
+    pub phase_seconds: Vec<(&'static str, f64)>,
+    /// Optimizer statistics.
+    pub opt_stats: Option<OptStats>,
+    /// Generated code size in bytes.
+    pub code_bytes: usize,
+    /// Executable size (code + GC tables + static data).
+    pub executable_bytes: usize,
+}
+
+impl CompileInfo {
+    /// Total compile time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phase_seconds.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// A compiled, runnable executable.
+pub struct Executable {
+    linked: Linked,
+    /// Compilation measurements.
+    pub info: CompileInfo,
+}
+
+/// The result of running an executable.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Everything the program printed.
+    pub output: String,
+    /// Machine counters (time/allocation/memory metrics).
+    pub stats: Stats,
+}
+
+impl Executable {
+    /// Runs the program with the given instruction budget.
+    pub fn run(&self, fuel: u64) -> std::result::Result<RunOutcome, VmError> {
+        let mut m = self.linked.machine();
+        let mut rt = self.linked.runtime();
+        m.run(&mut rt, fuel)?;
+        rt.gc.meter_allocation(&mut m);
+        // Account the final live heap for the memory high-water mark.
+        let live = m.stats.gc_copied_words;
+        let _ = live;
+        Ok(RunOutcome {
+            output: m.output.clone(),
+            stats: m.stats.clone(),
+        })
+    }
+
+    /// The linked image (for inspection).
+    pub fn linked(&self) -> &Linked {
+        &self.linked
+    }
+}
+
+/// Intermediate-representation dumps for one program (the paper's
+/// Section 4 walkthrough).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseDumps {
+    /// Lambda (Figure 2's stage).
+    pub lambda: String,
+    /// Lmli after conversion.
+    pub lmli: String,
+    /// Bform before optimization (Figure 3).
+    pub bform: String,
+    /// Bform after optimization (Figure 4).
+    pub bform_optimized: String,
+    /// Instruction listing (Figures 6–7).
+    pub assembly: String,
+}
+
+/// The compiler.
+pub struct Compiler {
+    opts: Options,
+}
+
+impl Compiler {
+    /// A compiler with the given options.
+    pub fn new(opts: Options) -> Compiler {
+        Compiler { opts }
+    }
+
+    /// Compiles `src` (with the prelude) to a runnable executable.
+    pub fn compile(&self, src: &str) -> Result<Executable> {
+        til_common::with_big_stack(|| self.compile_impl(src, None))
+    }
+
+    /// Compiles and collects per-phase IR dumps.
+    pub fn compile_with_dumps(&self, src: &str) -> Result<(Executable, PhaseDumps)> {
+        let mut dumps = PhaseDumps::default();
+        let exe = til_common::with_big_stack(|| self.compile_impl(src, Some(&mut dumps)))?;
+        Ok((exe, dumps))
+    }
+
+    fn compile_impl(&self, src: &str, mut dumps: Option<&mut PhaseDumps>) -> Result<Executable> {
+        let mut info = CompileInfo::default();
+        let mut clock = std::time::Instant::now();
+        let mut lap = |info: &mut CompileInfo, name: &'static str| {
+            let now = std::time::Instant::now();
+            info.phase_seconds.push((name, (now - clock).as_secs_f64()));
+            clock = now;
+        };
+
+        // Front end.
+        let prelude = til_syntax::parse(til_elab::PRELUDE)?;
+        let user = til_syntax::parse(src).map_err(|d| self.render(src, d))?;
+        lap(&mut info, "parse");
+        let mut e =
+            til_elab::elaborate(&[&prelude, &user]).map_err(|d| self.render(src, d))?;
+        lap(&mut info, "elaborate");
+        if self.opts.verify {
+            til_lambda::typecheck(&e.program)?;
+            lap(&mut info, "lambda-typecheck");
+        }
+        if let Some(d) = dumps.as_deref_mut() {
+            d.lambda = til_lambda::print::program(&e.program);
+        }
+
+        // Lmli: representation decisions.
+        let m = til_lmli::from_lambda(&e.program, &self.opts.lmli, &mut e.vars)?;
+        lap(&mut info, "to-lmli");
+        if self.opts.verify {
+            til_lmli::typecheck_lmli(&m)?;
+            lap(&mut info, "lmli-typecheck");
+        }
+        if let Some(d) = dumps.as_deref_mut() {
+            d.lmli = til_lmli::print::program(&m);
+        }
+
+        // Bform + optimization.
+        let mut b = til_bform::from_lmli(&m, &mut e.vars)?;
+        lap(&mut info, "to-bform");
+        if self.opts.verify {
+            til_bform::typecheck_bform(&b)?;
+            lap(&mut info, "bform-typecheck");
+        }
+        if let Some(d) = dumps.as_deref_mut() {
+            d.bform = til_bform::print::program(&b);
+        }
+        let mut opt = self.opts.opt;
+        opt.verify = self.opts.verify;
+        let stats = til_opt::optimize(&mut b, &mut e.vars, &opt)?;
+        info.opt_stats = Some(stats);
+        lap(&mut info, "optimize");
+        if let Some(d) = dumps.as_deref_mut() {
+            d.bform_optimized = til_bform::print::program(&b);
+        }
+
+        // Closure conversion.
+        let c = til_closure::closure_convert(&b, &mut e.vars)?;
+        lap(&mut info, "closure-convert");
+        if self.opts.verify {
+            til_closure::typecheck_closure(&c)?;
+            lap(&mut info, "closure-check");
+        }
+
+        // RTL and the backend.
+        let rtl = til_rtl::lower(&c, self.opts.mode == Mode::Baseline)?;
+        lap(&mut info, "to-rtl");
+        let linked = til_backend::link(&rtl, &self.opts.link)?;
+        lap(&mut info, "backend");
+        if let Some(d) = dumps.as_deref_mut() {
+            use std::fmt::Write as _;
+            let mut s = String::new();
+            for (i, ins) in linked.code.iter().enumerate() {
+                let _ = writeln!(s, "{i:6}: {ins}");
+            }
+            d.assembly = s;
+        }
+        info.code_bytes = linked.code_bytes;
+        info.executable_bytes = linked.executable_bytes();
+        Ok(Executable { linked, info })
+    }
+
+    fn render(&self, src: &str, d: Diagnostic) -> Diagnostic {
+        // Attach line/column context for user errors.
+        Diagnostic {
+            message: d.render(src),
+            ..d
+        }
+    }
+}
+
+/// Convenience: compile and run with default TIL options.
+pub fn run_program(src: &str, fuel: u64) -> Result<RunOutcome> {
+    let exe = Compiler::new(Options::til()).compile(src)?;
+    exe.run(fuel)
+        .map_err(|e| Diagnostic::ice("run", e.to_string()))
+}

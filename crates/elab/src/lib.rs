@@ -1,0 +1,30 @@
+//! The front end's elaborator: Hindley–Milner type inference, the
+//! initial basis, pattern-match compilation, and translation of the
+//! core-SML AST into the explicitly-typed Lambda IR (the paper's §3.1,
+//! replacing its use of the ML Kit).
+//!
+//! Entry point: [`elaborate`] (typically over `[prelude, user]`
+//! programs). The output has been fully zonked — no unification
+//! variables or overloaded-operator placeholders remain — and passes
+//! the Lambda typechecker.
+
+pub mod basis;
+pub mod elab;
+pub mod matchcomp;
+pub mod scope;
+pub mod unify;
+pub mod zonk;
+
+pub use elab::{elaborate, Elab, Elaborated};
+
+/// The SML prelude prefixed onto every compilation unit (the paper's
+/// "inline prelude", §5.2): list/string/array library, options, safe
+/// array access with explicit bounds checks, and the 2-d arrays of §4.
+pub const PRELUDE: &str = include_str!("prelude.sml");
+
+/// Parses and elaborates the prelude followed by `src`.
+pub fn elaborate_source(src: &str) -> til_common::Result<Elaborated> {
+    let prelude = til_syntax::parse(PRELUDE)?;
+    let user = til_syntax::parse(src)?;
+    elaborate(&[&prelude, &user])
+}

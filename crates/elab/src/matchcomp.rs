@@ -1,0 +1,583 @@
+//! Pattern-match compilation.
+//!
+//! Implements the classic first-column decision-tree construction: a
+//! matrix of typed patterns over a vector of occurrence variables is
+//! turned into nested [`LSwitch`] trees (the paper's front end
+//! "eliminates pattern matching" before Lambda, §3.1).
+
+use crate::elab::Elab;
+use til_common::{Diagnostic, Result, Symbol, Var};
+use til_lambda::ty::LTy;
+use til_lambda::{DataId, ExnId, LExp, LSwitch};
+
+/// A typed pattern (produced by [`Elab::elab_pat`]).
+#[derive(Clone, Debug)]
+pub enum TPat {
+    /// Matches anything, binds nothing.
+    Wild,
+    /// Matches anything, binds the occurrence to the variable.
+    Var(Var),
+    /// Integer/word/char constant (chars are their codes).
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// Datatype constructor.
+    Con {
+        /// The datatype.
+        data: DataId,
+        /// Instantiation.
+        tyargs: Vec<LTy>,
+        /// Constructor tag.
+        tag: usize,
+        /// Argument sub-pattern for carrying constructors.
+        arg: Option<Box<TPat>>,
+    },
+    /// Exception constructor.
+    Exn {
+        /// The exception.
+        id: ExnId,
+        /// Argument sub-pattern.
+        arg: Option<Box<TPat>>,
+    },
+    /// Record pattern with canonically ordered (possibly partial,
+    /// for flexible patterns) fields; `ty` is the pattern's record
+    /// type (resolved at compilation time for the full width).
+    Record {
+        /// Sub-patterns by label.
+        fields: Vec<(Symbol, TPat)>,
+        /// The record type (may be a flex-record uvar until resolved).
+        ty: LTy,
+    },
+    /// Layered pattern `v as p`.
+    As(Var, Box<TPat>),
+}
+
+impl TPat {
+    fn is_irrefutable(&self) -> bool {
+        matches!(self, TPat::Wild | TPat::Var(_))
+    }
+}
+
+/// One row of the pattern matrix.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// One pattern per occurrence.
+    pub pats: Vec<TPat>,
+    /// Accumulated `pattern-var := occurrence-var` bindings.
+    pub binds: Vec<(Var, Var)>,
+    /// The right-hand side.
+    pub body: LExp,
+}
+
+impl Row {
+    /// A fresh row with no accumulated bindings.
+    pub fn new(pats: Vec<TPat>, body: LExp) -> Row {
+        Row {
+            pats,
+            binds: Vec::new(),
+            body,
+        }
+    }
+}
+
+/// Compiles a pattern matrix to a decision tree.
+pub fn compile_match(
+    elab: &mut Elab,
+    occs: Vec<(Var, LTy)>,
+    mut rows: Vec<Row>,
+    default: LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    // Strip layered patterns up front: `v as p` at occurrence o becomes
+    // binding v := o plus pattern p.
+    for row in &mut rows {
+        for (i, pat) in row.pats.iter_mut().enumerate() {
+            while let TPat::As(v, inner) = pat {
+                row.binds.push((*v, occs[i].0));
+                *pat = (**inner).clone();
+            }
+        }
+    }
+    compile(elab, &occs, rows, &default, result_ty)
+}
+
+fn compile(
+    elab: &mut Elab,
+    occs: &[(Var, LTy)],
+    rows: Vec<Row>,
+    default: &LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    if rows.is_empty() {
+        return Ok(default.clone());
+    }
+    debug_assert_eq!(rows[0].pats.len(), occs.len());
+    let first_irrefutable = rows[0].pats.iter().all(TPat::is_irrefutable);
+    // Fully irrefutable first row: emit its body with bindings.
+    if first_irrefutable {
+        let row = rows.into_iter().next().unwrap();
+        let mut body = row.body;
+        let mut lets: Vec<(Var, Var)> = row.binds;
+        for (pat, (occ, _)) in row.pats.iter().zip(occs) {
+            if let TPat::Var(v) = pat {
+                lets.push((*v, *occ));
+            }
+        }
+        for (v, occ) in lets.into_iter().rev() {
+            body = LExp::Let {
+                var: v,
+                tyvars: vec![],
+                rhs: Box::new(LExp::var(occ)),
+                body: Box::new(body),
+            };
+        }
+        return Ok(body);
+    }
+    // Pick the first refutable column of the first row.
+    let col = rows[0]
+        .pats
+        .iter()
+        .position(|p| !p.is_irrefutable())
+        .expect("checked above");
+    match rows[0].pats[col].clone() {
+        TPat::Record { ty, .. } => compile_record(elab, occs, rows, col, ty, default, result_ty),
+        TPat::Con { data, tyargs, .. } => {
+            compile_data(elab, occs, rows, col, data, tyargs, default, result_ty)
+        }
+        TPat::Exn { .. } => compile_exn(elab, occs, rows, col, default, result_ty),
+        TPat::Int(_) => compile_int(elab, occs, rows, col, default, result_ty),
+        TPat::Str(_) => compile_str(elab, occs, rows, col, default, result_ty),
+        TPat::Wild | TPat::Var(_) | TPat::As(..) => unreachable!(),
+    }
+}
+
+/// Replaces column `col` in `occs` with `repl` (empty to delete it).
+fn splice_occs(occs: &[(Var, LTy)], col: usize, repl: &[(Var, LTy)]) -> Vec<(Var, LTy)> {
+    let mut out = Vec::with_capacity(occs.len() - 1 + repl.len());
+    out.extend_from_slice(&occs[..col]);
+    out.extend_from_slice(repl);
+    out.extend_from_slice(&occs[col + 1..]);
+    out
+}
+
+fn splice_pats(pats: &[TPat], col: usize, repl: Vec<TPat>) -> Vec<TPat> {
+    let mut out = Vec::with_capacity(pats.len() - 1 + repl.len());
+    out.extend_from_slice(&pats[..col]);
+    out.extend(repl);
+    out.extend_from_slice(&pats[col + 1..]);
+    out
+}
+
+/// Strips `As` layers from a sub-pattern, accumulating bindings against
+/// occurrence `occ`.
+fn strip_as(mut pat: TPat, occ: Var, binds: &mut Vec<(Var, Var)>) -> TPat {
+    while let TPat::As(v, inner) = pat {
+        binds.push((v, occ));
+        pat = *inner;
+    }
+    pat
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_record(
+    elab: &mut Elab,
+    occs: &[(Var, LTy)],
+    rows: Vec<Row>,
+    col: usize,
+    _pat_ty: LTy,
+    default: &LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    let (occ_var, occ_ty) = occs[col].clone();
+    let full = match elab.un.resolve(&occ_ty) {
+        LTy::Record(fields) => fields,
+        other => {
+            return Err(Diagnostic::error_nospan(
+                "elaborate",
+                format!(
+                    "flexible record pattern's type is not resolved to a record (got {}); add a type annotation",
+                    other.display(&elab.denv)
+                ),
+            ))
+        }
+    };
+    // Fresh occurrence per field.
+    let field_occs: Vec<(Var, LTy)> = full
+        .iter()
+        .map(|(l, t)| (elab.vs.fresh_named(l.as_str()), t.clone()))
+        .collect();
+    let new_occs = splice_occs(occs, col, &field_occs);
+    let mut new_rows = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        let pat = std::mem::replace(&mut row.pats[col], TPat::Wild);
+        let pat = strip_as(pat, occ_var, &mut row.binds);
+        let sub = match pat {
+            TPat::Record { fields, .. } => full
+                .iter()
+                .map(|(l, _)| {
+                    fields
+                        .iter()
+                        .find(|(fl, _)| fl == l)
+                        .map(|(_, p)| p.clone())
+                        .unwrap_or(TPat::Wild)
+                })
+                .collect::<Vec<_>>(),
+            TPat::Var(v) => {
+                row.binds.push((v, occ_var));
+                vec![TPat::Wild; full.len()]
+            }
+            TPat::Wild => vec![TPat::Wild; full.len()],
+            other => {
+                return Err(Diagnostic::ice(
+                    "matchcomp",
+                    format!("non-record pattern {other:?} in record column"),
+                ))
+            }
+        };
+        row.pats = splice_pats(&row.pats, col, sub);
+        new_rows.push(row);
+    }
+    let mut out = compile(elab, &new_occs, new_rows, default, result_ty)?;
+    // Bind the field occurrences by selection.
+    for ((fv, _), (label, _)) in field_occs.iter().zip(&full).rev() {
+        out = LExp::Let {
+            var: *fv,
+            tyvars: vec![],
+            rhs: Box::new(LExp::Select {
+                label: *label,
+                arg: Box::new(LExp::var(occ_var)),
+            }),
+            body: Box::new(out),
+        };
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_data(
+    elab: &mut Elab,
+    occs: &[(Var, LTy)],
+    rows: Vec<Row>,
+    col: usize,
+    data: DataId,
+    tyargs: Vec<LTy>,
+    default: &LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    let (occ_var, _) = occs[col];
+    let info = elab.denv.get(data).clone();
+    // Distinct tags in test order.
+    let mut heads: Vec<usize> = Vec::new();
+    for row in &rows {
+        if let TPat::Con { tag, .. } = &row.pats[col] {
+            if !heads.contains(tag) {
+                heads.push(*tag);
+            }
+        }
+    }
+    let mut arms = Vec::new();
+    for &tag in &heads {
+        let carried = info.con_arg_ty(tag, &tyargs);
+        let binder = carried
+            .as_ref()
+            .map(|_| elab.vs.fresh_named(&format!("{}_arg", info.cons[tag].name)));
+        let repl_occ: Vec<(Var, LTy)> = match (&binder, &carried) {
+            (Some(b), Some(t)) => vec![(*b, t.clone())],
+            _ => vec![],
+        };
+        let new_occs = splice_occs(occs, col, &repl_occ);
+        let mut spec = Vec::new();
+        for row in &rows {
+            let mut row = row.clone();
+            let pat = std::mem::replace(&mut row.pats[col], TPat::Wild);
+            let pat = strip_as(pat, occ_var, &mut row.binds);
+            match pat {
+                TPat::Con { tag: t, arg, .. } if t == tag => {
+                    let sub = match (arg, carried.is_some()) {
+                        (Some(p), true) => vec![*p],
+                        (None, false) => vec![],
+                        _ => {
+                            return Err(Diagnostic::ice(
+                                "matchcomp",
+                                "constructor arity mismatch in pattern matrix",
+                            ))
+                        }
+                    };
+                    row.pats = splice_pats(&row.pats, col, sub);
+                    spec.push(row);
+                }
+                TPat::Con { .. } => {}
+                TPat::Var(v) => {
+                    row.binds.push((v, occ_var));
+                    let sub = if carried.is_some() {
+                        vec![TPat::Wild]
+                    } else {
+                        vec![]
+                    };
+                    row.pats = splice_pats(&row.pats, col, sub);
+                    spec.push(row);
+                }
+                TPat::Wild => {
+                    let sub = if carried.is_some() {
+                        vec![TPat::Wild]
+                    } else {
+                        vec![]
+                    };
+                    row.pats = splice_pats(&row.pats, col, sub);
+                    spec.push(row);
+                }
+                other => {
+                    return Err(Diagnostic::ice(
+                        "matchcomp",
+                        format!("unexpected pattern {other:?} in data column"),
+                    ))
+                }
+            }
+        }
+        let arm = compile(elab, &new_occs, spec, default, result_ty)?;
+        arms.push((tag, binder, arm));
+    }
+    let all_covered = heads.len() == info.cons.len();
+    let sw_default = if all_covered {
+        None
+    } else {
+        let defaults: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.pats[col].is_irrefutable() || matches!(r.pats[col], TPat::As(..)))
+            .cloned()
+            .collect();
+        Some(compile(elab, occs, defaults, default, result_ty)?)
+    };
+    Ok(LExp::Switch(Box::new(LSwitch::Data {
+        scrut: LExp::var(occ_var),
+        data,
+        tyargs,
+        arms,
+        default: sw_default,
+        result_ty: result_ty.clone(),
+    })))
+}
+
+fn compile_exn(
+    elab: &mut Elab,
+    occs: &[(Var, LTy)],
+    rows: Vec<Row>,
+    col: usize,
+    default: &LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    let (occ_var, _) = occs[col];
+    let mut heads: Vec<ExnId> = Vec::new();
+    for row in &rows {
+        if let TPat::Exn { id, .. } = &row.pats[col] {
+            if !heads.contains(id) {
+                heads.push(*id);
+            }
+        }
+    }
+    let mut arms = Vec::new();
+    for &id in &heads {
+        let carried = elab.eenv.get(id).arg.clone();
+        let binder = carried
+            .as_ref()
+            .map(|_| elab.vs.fresh_named("exn_arg"));
+        let repl_occ: Vec<(Var, LTy)> = match (&binder, &carried) {
+            (Some(b), Some(t)) => vec![(*b, t.clone())],
+            _ => vec![],
+        };
+        let new_occs = splice_occs(occs, col, &repl_occ);
+        let mut spec = Vec::new();
+        for row in &rows {
+            let mut row = row.clone();
+            let pat = std::mem::replace(&mut row.pats[col], TPat::Wild);
+            let pat = strip_as(pat, occ_var, &mut row.binds);
+            match pat {
+                TPat::Exn { id: i, arg } if i == id => {
+                    let sub = match (arg, carried.is_some()) {
+                        (Some(p), true) => vec![*p],
+                        (None, false) => vec![],
+                        _ => {
+                            return Err(Diagnostic::ice(
+                                "matchcomp",
+                                "exception arity mismatch in pattern matrix",
+                            ))
+                        }
+                    };
+                    row.pats = splice_pats(&row.pats, col, sub);
+                    spec.push(row);
+                }
+                TPat::Exn { .. } => {}
+                TPat::Var(v) => {
+                    row.binds.push((v, occ_var));
+                    let sub = if carried.is_some() {
+                        vec![TPat::Wild]
+                    } else {
+                        vec![]
+                    };
+                    row.pats = splice_pats(&row.pats, col, sub);
+                    spec.push(row);
+                }
+                TPat::Wild => {
+                    let sub = if carried.is_some() {
+                        vec![TPat::Wild]
+                    } else {
+                        vec![]
+                    };
+                    row.pats = splice_pats(&row.pats, col, sub);
+                    spec.push(row);
+                }
+                other => {
+                    return Err(Diagnostic::ice(
+                        "matchcomp",
+                        format!("unexpected pattern {other:?} in exn column"),
+                    ))
+                }
+            }
+        }
+        let arm = compile(elab, &new_occs, spec, default, result_ty)?;
+        arms.push((id, binder, arm));
+    }
+    let defaults: Vec<Row> = rows
+        .iter()
+        .filter(|r| r.pats[col].is_irrefutable())
+        .cloned()
+        .collect();
+    let sw_default = compile(elab, occs, defaults, default, result_ty)?;
+    Ok(LExp::Switch(Box::new(LSwitch::Exn {
+        scrut: LExp::var(occ_var),
+        arms,
+        default: sw_default,
+        result_ty: result_ty.clone(),
+    })))
+}
+
+fn compile_int(
+    elab: &mut Elab,
+    occs: &[(Var, LTy)],
+    rows: Vec<Row>,
+    col: usize,
+    default: &LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    let (occ_var, _) = occs[col];
+    let mut heads: Vec<i64> = Vec::new();
+    for row in &rows {
+        if let TPat::Int(k) = &row.pats[col] {
+            if !heads.contains(k) {
+                heads.push(*k);
+            }
+        }
+    }
+    let new_occs = splice_occs(occs, col, &[]);
+    let mut arms = Vec::new();
+    for &k in &heads {
+        let mut spec = Vec::new();
+        for row in &rows {
+            let mut row = row.clone();
+            let pat = std::mem::replace(&mut row.pats[col], TPat::Wild);
+            let pat = strip_as(pat, occ_var, &mut row.binds);
+            match pat {
+                TPat::Int(k2) if k2 == k => {
+                    row.pats = splice_pats(&row.pats, col, vec![]);
+                    spec.push(row);
+                }
+                TPat::Int(_) => {}
+                TPat::Var(v) => {
+                    row.binds.push((v, occ_var));
+                    row.pats = splice_pats(&row.pats, col, vec![]);
+                    spec.push(row);
+                }
+                TPat::Wild => {
+                    row.pats = splice_pats(&row.pats, col, vec![]);
+                    spec.push(row);
+                }
+                other => {
+                    return Err(Diagnostic::ice(
+                        "matchcomp",
+                        format!("unexpected pattern {other:?} in int column"),
+                    ))
+                }
+            }
+        }
+        arms.push((k, compile(elab, &new_occs, spec, default, result_ty)?));
+    }
+    let defaults: Vec<Row> = rows
+        .iter()
+        .filter(|r| r.pats[col].is_irrefutable())
+        .cloned()
+        .collect();
+    let sw_default = compile(elab, occs, defaults, default, result_ty)?;
+    Ok(LExp::Switch(Box::new(LSwitch::Int {
+        scrut: LExp::var(occ_var),
+        arms,
+        default: sw_default,
+        result_ty: result_ty.clone(),
+    })))
+}
+
+fn compile_str(
+    elab: &mut Elab,
+    occs: &[(Var, LTy)],
+    rows: Vec<Row>,
+    col: usize,
+    default: &LExp,
+    result_ty: &LTy,
+) -> Result<LExp> {
+    let (occ_var, _) = occs[col];
+    let mut heads: Vec<String> = Vec::new();
+    for row in &rows {
+        if let TPat::Str(s) = &row.pats[col] {
+            if !heads.contains(s) {
+                heads.push(s.clone());
+            }
+        }
+    }
+    let new_occs = splice_occs(occs, col, &[]);
+    let mut arms = Vec::new();
+    for k in &heads {
+        let mut spec = Vec::new();
+        for row in &rows {
+            let mut row = row.clone();
+            let pat = std::mem::replace(&mut row.pats[col], TPat::Wild);
+            let pat = strip_as(pat, occ_var, &mut row.binds);
+            match pat {
+                TPat::Str(s) if s == *k => {
+                    row.pats = splice_pats(&row.pats, col, vec![]);
+                    spec.push(row);
+                }
+                TPat::Str(_) => {}
+                TPat::Var(v) => {
+                    row.binds.push((v, occ_var));
+                    row.pats = splice_pats(&row.pats, col, vec![]);
+                    spec.push(row);
+                }
+                TPat::Wild => {
+                    row.pats = splice_pats(&row.pats, col, vec![]);
+                    spec.push(row);
+                }
+                other => {
+                    return Err(Diagnostic::ice(
+                        "matchcomp",
+                        format!("unexpected pattern {other:?} in string column"),
+                    ))
+                }
+            }
+        }
+        arms.push((
+            k.clone(),
+            compile(elab, &new_occs, spec, default, result_ty)?,
+        ));
+    }
+    let defaults: Vec<Row> = rows
+        .iter()
+        .filter(|r| r.pats[col].is_irrefutable())
+        .cloned()
+        .collect();
+    let sw_default = compile(elab, occs, defaults, default, result_ty)?;
+    Ok(LExp::Switch(Box::new(LSwitch::Str {
+        scrut: LExp::var(occ_var),
+        arms,
+        default: sw_default,
+        result_ty: result_ty.clone(),
+    })))
+}

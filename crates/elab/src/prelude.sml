@@ -1,0 +1,185 @@
+(* The TIL prelude: the "inline prelude" the paper prefixes onto every
+   compilation unit (Section 5.2). Everything here is ordinary core SML
+   compiled by the same pipeline as user code — in particular the safe
+   array operations carry explicit bounds checks that the loop
+   optimizations are expected to eliminate, and the 2-d array operations
+   match Section 4's sub2. *)
+
+datatype 'a option = NONE | SOME of 'a
+datatype order = LESS | EQUAL | GREATER
+
+fun not true = false
+  | not _ = true
+
+fun ignore _ = ()
+
+fun o (f, g) = fn x => f (g x)
+
+(* ---------------------------------------------------------- options *)
+
+fun valOf (SOME x) = x
+  | valOf NONE = raise Option
+
+fun isSome (SOME _) = true
+  | isSome _ = false
+
+fun getOpt (SOME x, _) = x
+  | getOpt (NONE, d) = d
+
+(* ------------------------------------------------------------ lists *)
+
+fun length l =
+  let fun len (nil, n) = n
+        | len (_ :: t, n) = len (t, n + 1)
+  in len (l, 0) end
+
+fun rev l =
+  let fun go (nil, acc) = acc
+        | go (h :: t, acc) = go (t, h :: acc)
+  in go (l, nil) end
+
+fun revAppend (nil, ys) = ys
+  | revAppend (x :: xs, ys) = revAppend (xs, x :: ys)
+
+fun @ (xs, ys) = revAppend (rev xs, ys)
+
+fun hd nil = raise Empty
+  | hd (h :: _) = h
+
+fun tl nil = raise Empty
+  | tl (_ :: t) = t
+
+fun null nil = true
+  | null _ = false
+
+fun map f nil = nil
+  | map f (h :: t) = f h :: map f t
+
+fun app f nil = ()
+  | app f (h :: t) = (f h; app f t)
+
+fun foldl f b nil = b
+  | foldl f b (h :: t) = foldl f (f (h, b)) t
+
+fun foldr f b nil = b
+  | foldr f b (h :: t) = f (h, foldr f b t)
+
+fun List.filter p nil = nil
+  | List.filter p (h :: t) =
+      if p h then h :: List.filter p t else List.filter p t
+
+fun List.exists p nil = false
+  | List.exists p (h :: t) = p h orelse List.exists p t
+
+fun List.all p nil = true
+  | List.all p (h :: t) = p h andalso List.all p t
+
+fun List.concat nil = nil
+  | List.concat (l :: ls) = l @ List.concat ls
+
+fun List.nth (l, n) =
+  let fun go (nil, _) = raise Subscript
+        | go (h :: _, 0) = h
+        | go (_ :: t, k) = go (t, k - 1)
+  in if n < 0 then raise Subscript else go (l, n) end
+
+fun List.tabulate (n, f) =
+  let fun go i = if i >= n then nil else f i :: go (i + 1)
+  in if n < 0 then raise Size else go 0 end
+
+fun List.partition p l =
+  let fun go (nil, yes, no) = (rev yes, rev no)
+        | go (h :: t, yes, no) =
+            if p h then go (t, h :: yes, no) else go (t, yes, h :: no)
+  in go (l, nil, nil) end
+
+(* ---------------------------------------------------------- numbers *)
+
+fun Int.min (a : int, b) = if a < b then a else b
+fun Int.max (a : int, b) = if a > b then a else b
+fun Int.compare (a : int, b) =
+  if a < b then LESS else if a > b then GREATER else EQUAL
+fun Real.min (a : real, b) = if a < b then a else b
+fun Real.max (a : real, b) = if a > b then a else b
+fun Real.compare (a : real, b) =
+  if a < b then LESS else if a > b then GREATER else EQUAL
+
+(* ---------------------------------------------------------- strings *)
+
+fun implode nil = ""
+  | implode (c :: cs) = str c ^ implode cs
+
+fun explode s =
+  let val n = size s
+      fun go i = if i >= n then nil else String.sub (s, i) :: go (i + 1)
+  in go 0 end
+
+fun substring (s, i, n) = implode (List.tabulate (n, fn k => String.sub (s, i + k)))
+
+fun String.concat nil = ""
+  | String.concat (s :: ss) = s ^ String.concat ss
+
+fun String.compare (a, b) =
+  let val c = String.compare_raw (a, b)
+  in if c < 0 then LESS else if c > 0 then GREATER else EQUAL end
+
+fun Char.isDigit c = c >= #"0" andalso c <= #"9"
+fun Char.isAlpha c =
+  (c >= #"a" andalso c <= #"z") orelse (c >= #"A" andalso c <= #"Z")
+fun Char.isSpace c =
+  c = #" " orelse c = #"\n" orelse c = #"\t" orelse c = #"\r"
+
+(* ----------------------------------------------------------- arrays *)
+
+fun Array.sub (a, i) =
+  if i < 0 orelse i >= Array.length a then raise Subscript
+  else unsafe_sub (a, i)
+
+fun Array.update (a, i, v) =
+  if i < 0 orelse i >= Array.length a then raise Subscript
+  else unsafe_update (a, i, v)
+
+fun Array.tabulate (n, f) =
+  if n <= 0 then raise Size
+  else
+    let val a = Array.array (n, f 0)
+        fun fill i = if i >= n then a else (unsafe_update (a, i, f i); fill (i + 1))
+    in fill 1 end
+
+fun Array.foldl f b a =
+  let val n = Array.length a
+      fun go (i, acc) = if i >= n then acc else go (i + 1, f (unsafe_sub (a, i), acc))
+  in go (0, b) end
+
+fun Array.modify f a =
+  let val n = Array.length a
+      fun go i =
+        if i >= n then ()
+        else (unsafe_update (a, i, f (unsafe_sub (a, i))); go (i + 1))
+  in go 0 end
+
+fun Array.copy (src, dst) =
+  let val n = Int.min (Array.length src, Array.length dst)
+      fun go i =
+        if i >= n then ()
+        else (unsafe_update (dst, i, unsafe_sub (src, i)); go (i + 1))
+  in go 0 end
+
+(* ----------------------------------------- safe 2-d arrays (Sec. 4) *)
+
+type 'a array2 = {columns : int, rows : int, v : 'a array}
+
+fun Array2.array (r, c, init) : 'a array2 =
+  if r <= 0 orelse c <= 0 then raise Size
+  else {columns = c, rows = r, v = Array.array (r * c, init)}
+
+fun sub2 ({columns, rows, v} : 'a array2, s : int, t : int) =
+  if s < 0 orelse s >= rows orelse t < 0 orelse t >= columns then raise Subscript
+  else unsafe_sub (v, t + s * columns)
+
+fun update2 ({columns, rows, v} : 'a array2, s : int, t : int, x) =
+  if s < 0 orelse s >= rows orelse t < 0 orelse t >= columns then raise Subscript
+  else unsafe_update (v, t + s * columns, x)
+
+fun Array2.rows ({rows, ...} : 'a array2) = rows
+fun Array2.columns ({columns, ...} : 'a array2) = columns

@@ -1,0 +1,88 @@
+//! A simple lexically scoped map.
+//!
+//! Bindings push onto a stack; entering a scope records a mark and
+//! leaving truncates back to it, so shadowing and restoration are O(1).
+
+use std::collections::HashMap;
+use til_common::Symbol;
+
+/// A stack-of-bindings scoped map from [`Symbol`] to `V`.
+#[derive(Debug)]
+pub struct ScopeMap<V> {
+    stack: Vec<(Symbol, Option<V>)>,
+    map: HashMap<Symbol, V>,
+}
+
+impl<V: Clone> Default for ScopeMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> ScopeMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        ScopeMap {
+            stack: Vec::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// Binds `k` to `v`, shadowing any previous binding.
+    pub fn bind(&mut self, k: Symbol, v: V) {
+        let old = self.map.insert(k, v);
+        self.stack.push((k, old));
+    }
+
+    /// Looks up the innermost binding of `k`.
+    pub fn get(&self, k: Symbol) -> Option<&V> {
+        self.map.get(&k)
+    }
+
+    /// Returns a mark for the current scope depth.
+    pub fn mark(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pops bindings down to `mark`, restoring shadowed entries.
+    pub fn pop_to(&mut self, mark: usize) {
+        while self.stack.len() > mark {
+            let (k, old) = self.stack.pop().unwrap();
+            match old {
+                Some(v) => {
+                    self.map.insert(k, v);
+                }
+                None => {
+                    self.map.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadowing_restores_on_pop() {
+        let mut m = ScopeMap::new();
+        let x = Symbol::intern("x");
+        m.bind(x, 1);
+        let mark = m.mark();
+        m.bind(x, 2);
+        assert_eq!(m.get(x), Some(&2));
+        m.pop_to(mark);
+        assert_eq!(m.get(x), Some(&1));
+    }
+
+    #[test]
+    fn unbinding_removes() {
+        let mut m = ScopeMap::new();
+        let x = Symbol::intern("y");
+        let mark = m.mark();
+        m.bind(x, 1);
+        m.pop_to(mark);
+        assert_eq!(m.get(x), None);
+    }
+}

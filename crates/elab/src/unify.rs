@@ -1,0 +1,651 @@
+//! Unification with levels, overload classes, and flexible records.
+//!
+//! Types during inference are ordinary [`LTy`] values whose
+//! [`LTy::Uvar`] leaves index into this table. Generalization uses
+//! Rémy-style levels; the SML overloaded operators (`+`, `<`, ...)
+//! constrain their unification variable with an [`OvClass`]; flexible
+//! record patterns (`{x, ...}`) use [`UEntry::FreeRec`] entries.
+
+use std::collections::HashMap;
+use til_common::{Diagnostic, Result, Span, Symbol};
+use til_lambda::ty::{label_cmp, LTy, TyVar, TyVarSupply};
+use til_lambda::DataEnv;
+
+/// Overload class of an unconstrained operator type variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OvClass {
+    /// `int` or `real` (arithmetic).
+    Num,
+    /// `int`, `real`, `char`, or `string` (comparisons).
+    NumTxt,
+}
+
+impl OvClass {
+    fn admits(self, t: &LTy) -> bool {
+        match self {
+            OvClass::Num => matches!(t, LTy::Int | LTy::Real),
+            OvClass::NumTxt => matches!(t, LTy::Int | LTy::Real | LTy::Char | LTy::Str),
+        }
+    }
+
+    fn intersect(self, other: OvClass) -> OvClass {
+        if self == OvClass::Num || other == OvClass::Num {
+            OvClass::Num
+        } else {
+            OvClass::NumTxt
+        }
+    }
+}
+
+/// One entry in the unification table.
+#[derive(Clone, Debug)]
+pub enum UEntry {
+    /// Unbound variable.
+    Free {
+        /// Generalization level.
+        level: u32,
+        /// Overload constraint, if the variable came from an overloaded
+        /// operator.
+        class: Option<OvClass>,
+    },
+    /// A record type with *at least* these fields (flexible pattern).
+    FreeRec {
+        /// Generalization level.
+        level: u32,
+        /// Known fields, canonically ordered.
+        fields: Vec<(Symbol, LTy)>,
+        /// Where the flexible pattern appeared (for error reporting).
+        span: Span,
+    },
+    /// Resolved.
+    Link(LTy),
+}
+
+/// The unifier state.
+#[derive(Debug, Default)]
+pub struct Unifier {
+    entries: Vec<UEntry>,
+}
+
+impl Unifier {
+    /// An empty unifier.
+    pub fn new() -> Unifier {
+        Unifier::default()
+    }
+
+    /// A fresh unconstrained variable at `level`.
+    pub fn fresh(&mut self, level: u32) -> LTy {
+        self.entries.push(UEntry::Free { level, class: None });
+        LTy::Uvar((self.entries.len() - 1) as u32)
+    }
+
+    /// A fresh variable constrained to overload class `class`.
+    pub fn fresh_overloaded(&mut self, level: u32, class: OvClass) -> LTy {
+        self.entries.push(UEntry::Free {
+            level,
+            class: Some(class),
+        });
+        LTy::Uvar((self.entries.len() - 1) as u32)
+    }
+
+    /// A fresh flexible-record variable with the given known fields.
+    pub fn fresh_flex_record(
+        &mut self,
+        level: u32,
+        mut fields: Vec<(Symbol, LTy)>,
+        span: Span,
+    ) -> LTy {
+        fields.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+        self.entries.push(UEntry::FreeRec {
+            level,
+            fields,
+            span,
+        });
+        LTy::Uvar((self.entries.len() - 1) as u32)
+    }
+
+    /// Resolves the head of `t` one step through links.
+    pub fn head(&self, t: &LTy) -> LTy {
+        let mut t = t.clone();
+        loop {
+            match &t {
+                LTy::Uvar(u) => match &self.entries[*u as usize] {
+                    UEntry::Link(next) => t = next.clone(),
+                    _ => return t,
+                },
+                _ => return t,
+            }
+        }
+    }
+
+    /// Fully resolves `t`, leaving only genuinely free `Uvar`s.
+    pub fn resolve(&self, t: &LTy) -> LTy {
+        let h = self.head(t);
+        match h {
+            LTy::Arrow(a, b) => {
+                LTy::Arrow(Box::new(self.resolve(&a)), Box::new(self.resolve(&b)))
+            }
+            LTy::Record(fs) => LTy::Record(
+                fs.iter().map(|(l, t)| (*l, self.resolve(t))).collect(),
+            ),
+            LTy::Data(id, args) => {
+                LTy::Data(id, args.iter().map(|t| self.resolve(t)).collect())
+            }
+            LTy::Array(t) => LTy::Array(Box::new(self.resolve(&t))),
+            LTy::Ref(t) => LTy::Ref(Box::new(self.resolve(&t))),
+            other => other,
+        }
+    }
+
+    fn occurs(&self, u: u32, t: &LTy) -> bool {
+        match self.head(t) {
+            LTy::Uvar(v) => v == u,
+            LTy::Arrow(a, b) => self.occurs(u, &a) || self.occurs(u, &b),
+            LTy::Record(fs) => fs.iter().any(|(_, t)| self.occurs(u, t)),
+            LTy::Data(_, args) => args.iter().any(|t| self.occurs(u, t)),
+            LTy::Array(t) | LTy::Ref(t) => self.occurs(u, &t),
+            _ => false,
+        }
+    }
+
+    /// Lowers the level of every free variable in `t` to at most `level`.
+    fn adjust_levels(&mut self, level: u32, t: &LTy) {
+        match self.head(t) {
+            LTy::Uvar(u) => match &mut self.entries[u as usize] {
+                UEntry::Free { level: l, .. } | UEntry::FreeRec { level: l, .. } => {
+                    if *l > level {
+                        *l = level;
+                    }
+                    if let UEntry::FreeRec { fields, .. } = &self.entries[u as usize].clone()
+                    {
+                        for (_, ft) in fields {
+                            self.adjust_levels(level, ft);
+                        }
+                    }
+                }
+                UEntry::Link(_) => unreachable!(),
+            },
+            LTy::Arrow(a, b) => {
+                self.adjust_levels(level, &a);
+                self.adjust_levels(level, &b);
+            }
+            LTy::Record(fs) => {
+                for (_, t) in &fs {
+                    self.adjust_levels(level, t);
+                }
+            }
+            LTy::Data(_, args) => {
+                for t in &args {
+                    self.adjust_levels(level, t);
+                }
+            }
+            LTy::Array(t) | LTy::Ref(t) => self.adjust_levels(level, &t),
+            _ => {}
+        }
+    }
+
+    /// Unifies `a` and `b`, reporting mismatches at `span`.
+    pub fn unify(&mut self, a: &LTy, b: &LTy, span: Span, denv: &DataEnv) -> Result<()> {
+        let ha = self.head(a);
+        let hb = self.head(b);
+        let mismatch = |me: &Unifier| {
+            Diagnostic::error(
+                "typecheck",
+                span,
+                format!(
+                    "type mismatch: {} vs {}",
+                    me.resolve(&ha).display(denv),
+                    me.resolve(&hb).display(denv)
+                ),
+            )
+        };
+        match (&ha, &hb) {
+            (LTy::Uvar(u), LTy::Uvar(v)) if u == v => Ok(()),
+            (LTy::Uvar(u), _) => self.bind_uvar(*u, &hb, span, denv),
+            (_, LTy::Uvar(v)) => self.bind_uvar(*v, &ha, span, denv),
+            (LTy::Int, LTy::Int)
+            | (LTy::Real, LTy::Real)
+            | (LTy::Char, LTy::Char)
+            | (LTy::Str, LTy::Str)
+            | (LTy::Exn, LTy::Exn) => Ok(()),
+            (LTy::Var(x), LTy::Var(y)) if x == y => Ok(()),
+            (LTy::Arrow(a1, b1), LTy::Arrow(a2, b2)) => {
+                self.unify(a1, a2, span, denv)?;
+                self.unify(b1, b2, span, denv)
+            }
+            (LTy::Record(f1), LTy::Record(f2)) => {
+                if f1.len() != f2.len() || f1.iter().zip(f2).any(|((l1, _), (l2, _))| l1 != l2)
+                {
+                    return Err(mismatch(self));
+                }
+                for ((_, t1), (_, t2)) in f1.iter().zip(f2) {
+                    self.unify(t1, t2, span, denv)?;
+                }
+                Ok(())
+            }
+            (LTy::Data(i1, a1), LTy::Data(i2, a2)) if i1 == i2 => {
+                for (t1, t2) in a1.iter().zip(a2) {
+                    self.unify(t1, t2, span, denv)?;
+                }
+                Ok(())
+            }
+            (LTy::Array(t1), LTy::Array(t2)) | (LTy::Ref(t1), LTy::Ref(t2)) => {
+                self.unify(t1, t2, span, denv)
+            }
+            _ => Err(mismatch(self)),
+        }
+    }
+
+    fn bind_uvar(&mut self, u: u32, t: &LTy, span: Span, denv: &DataEnv) -> Result<()> {
+        if let LTy::Uvar(v) = t {
+            // Both free: merge metadata into `v`, link `u` to it.
+            let eu = self.entries[u as usize].clone();
+            let ev = self.entries[*v as usize].clone();
+            match (eu, ev) {
+                (
+                    UEntry::Free {
+                        level: lu,
+                        class: cu,
+                    },
+                    UEntry::Free {
+                        level: lv,
+                        class: cv,
+                    },
+                ) => {
+                    let class = match (cu, cv) {
+                        (Some(a), Some(b)) => Some(a.intersect(b)),
+                        (a, b) => a.or(b),
+                    };
+                    self.entries[*v as usize] = UEntry::Free {
+                        level: lu.min(lv),
+                        class,
+                    };
+                    self.entries[u as usize] = UEntry::Link(t.clone());
+                    Ok(())
+                }
+                (
+                    UEntry::Free { level: lu, class },
+                    UEntry::FreeRec {
+                        level: lv,
+                        fields,
+                        span: rspan,
+                    },
+                ) => {
+                    if class.is_some() {
+                        return Err(Diagnostic::error(
+                            "typecheck",
+                            span,
+                            "overloaded operator applied to a record type",
+                        ));
+                    }
+                    self.entries[*v as usize] = UEntry::FreeRec {
+                        level: lu.min(lv),
+                        fields,
+                        span: rspan,
+                    };
+                    self.entries[u as usize] = UEntry::Link(t.clone());
+                    Ok(())
+                }
+                (UEntry::FreeRec { .. }, UEntry::Free { class: Some(_), .. }) => {
+                    Err(Diagnostic::error(
+                        "typecheck",
+                        span,
+                        "overloaded operator applied to a record type",
+                    ))
+                }
+                (
+                    UEntry::FreeRec {
+                        level: lu,
+                        fields: fu,
+                        span: su,
+                    },
+                    UEntry::FreeRec {
+                        level: lv,
+                        fields: fv,
+                        ..
+                    },
+                ) => {
+                    // Merge the field sets.
+                    let mut merged: Vec<(Symbol, LTy)> = fv.clone();
+                    for (l, t1) in fu {
+                        match merged.iter().find(|(l2, _)| *l2 == l) {
+                            Some((_, t2)) => {
+                                let t2 = t2.clone();
+                                self.unify(&t1, &t2, span, denv)?;
+                            }
+                            None => merged.push((l, t1.clone())),
+                        }
+                    }
+                    merged.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+                    self.entries[*v as usize] = UEntry::FreeRec {
+                        level: lu.min(self.level_of(*v)),
+                        fields: merged,
+                        span: su,
+                    };
+                    self.entries[u as usize] = UEntry::Link(t.clone());
+                    let _ = lv;
+                    Ok(())
+                }
+                (UEntry::FreeRec { level: lu, fields, span: su }, UEntry::Free { level: lv, class: None }) => {
+                    // Keep the record constraint: link v to u instead.
+                    self.entries[u as usize] = UEntry::FreeRec {
+                        level: lu.min(lv),
+                        fields,
+                        span: su,
+                    };
+                    self.entries[*v as usize] = UEntry::Link(LTy::Uvar(u));
+                    Ok(())
+                }
+                _ => unreachable!("links resolved by head()"),
+            }
+        } else {
+            if self.occurs(u, t) {
+                return Err(Diagnostic::error(
+                    "typecheck",
+                    span,
+                    "circular type (occurs check failed)",
+                ));
+            }
+            match self.entries[u as usize].clone() {
+                UEntry::Free { level, class } => {
+                    if let Some(c) = class {
+                        if !c.admits(t) {
+                            return Err(Diagnostic::error(
+                                "typecheck",
+                                span,
+                                format!(
+                                    "overloaded operator used at type {}",
+                                    self.resolve(t).display(denv)
+                                ),
+                            ));
+                        }
+                    }
+                    self.adjust_levels(level, t);
+                    self.entries[u as usize] = UEntry::Link(t.clone());
+                    Ok(())
+                }
+                UEntry::FreeRec { level, fields, .. } => match t {
+                    LTy::Record(full) => {
+                        for (l, t1) in &fields {
+                            match full.iter().find(|(l2, _)| l2 == l) {
+                                Some((_, t2)) => {
+                                    let t2 = t2.clone();
+                                    self.unify(t1, &t2, span, denv)?;
+                                }
+                                None => {
+                                    return Err(Diagnostic::error(
+                                        "typecheck",
+                                        span,
+                                        format!("record type has no field `{l}`"),
+                                    ))
+                                }
+                            }
+                        }
+                        self.adjust_levels(level, t);
+                        self.entries[u as usize] = UEntry::Link(t.clone());
+                        Ok(())
+                    }
+                    _ => Err(Diagnostic::error(
+                        "typecheck",
+                        span,
+                        format!(
+                            "expected a record type, found {}",
+                            self.resolve(t).display(denv)
+                        ),
+                    )),
+                },
+                UEntry::Link(_) => unreachable!("links resolved by head()"),
+            }
+        }
+    }
+
+    fn level_of(&self, u: u32) -> u32 {
+        match &self.entries[u as usize] {
+            UEntry::Free { level, .. } | UEntry::FreeRec { level, .. } => *level,
+            UEntry::Link(_) => u32::MAX,
+        }
+    }
+
+    /// Generalizes `ty` at `level`: every free variable whose level is
+    /// strictly greater becomes a bound [`TyVar`] (overloaded variables
+    /// instead default to `int`; flexible records do not generalize).
+    /// Returns the new bound variables.
+    pub fn generalize(
+        &mut self,
+        level: u32,
+        ty: &LTy,
+        tvs: &mut TyVarSupply,
+    ) -> Vec<TyVar> {
+        let mut bound = Vec::new();
+        self.gen_walk(level, ty, tvs, &mut bound);
+        bound
+    }
+
+    fn gen_walk(
+        &mut self,
+        level: u32,
+        ty: &LTy,
+        tvs: &mut TyVarSupply,
+        bound: &mut Vec<TyVar>,
+    ) {
+        match self.head(ty) {
+            LTy::Uvar(u) => match self.entries[u as usize].clone() {
+                UEntry::Free {
+                    level: l,
+                    class: None,
+                } if l > level => {
+                    let tv = tvs.fresh();
+                    self.entries[u as usize] = UEntry::Link(LTy::Var(tv));
+                    bound.push(tv);
+                }
+                UEntry::Free {
+                    level: l,
+                    class: Some(_),
+                } if l > level => {
+                    // Overloading defaults to int at generalization.
+                    self.entries[u as usize] = UEntry::Link(LTy::Int);
+                }
+                _ => {}
+            },
+            LTy::Arrow(a, b) => {
+                self.gen_walk(level, &a, tvs, bound);
+                self.gen_walk(level, &b, tvs, bound);
+            }
+            LTy::Record(fs) => {
+                for (_, t) in &fs {
+                    self.gen_walk(level, t, tvs, bound);
+                }
+            }
+            LTy::Data(_, args) => {
+                for t in &args {
+                    self.gen_walk(level, t, tvs, bound);
+                }
+            }
+            LTy::Array(t) | LTy::Ref(t) => self.gen_walk(level, &t, tvs, bound),
+            _ => {}
+        }
+    }
+
+    /// Final resolution for zonking: fully resolves `t`; remaining free
+    /// plain variables default to `int`; an unresolved flexible record
+    /// is a user error.
+    pub fn zonk(&mut self, t: &LTy) -> Result<LTy> {
+        let h = self.head(t);
+        match h {
+            LTy::Uvar(u) => match self.entries[u as usize].clone() {
+                UEntry::Free { .. } => {
+                    self.entries[u as usize] = UEntry::Link(LTy::Int);
+                    Ok(LTy::Int)
+                }
+                UEntry::FreeRec { span, .. } => Err(Diagnostic::error(
+                    "typecheck",
+                    span,
+                    "unresolved flexible record pattern; add a type annotation",
+                )),
+                UEntry::Link(_) => unreachable!(),
+            },
+            LTy::Arrow(a, b) => Ok(LTy::Arrow(
+                Box::new(self.zonk(&a)?),
+                Box::new(self.zonk(&b)?),
+            )),
+            LTy::Record(fs) => {
+                let mut out = Vec::with_capacity(fs.len());
+                for (l, t) in fs {
+                    out.push((l, self.zonk(&t)?));
+                }
+                Ok(LTy::Record(out))
+            }
+            LTy::Data(id, args) => {
+                let mut out = Vec::with_capacity(args.len());
+                for t in args {
+                    out.push(self.zonk(&t)?);
+                }
+                Ok(LTy::Data(id, out))
+            }
+            LTy::Array(t) => Ok(LTy::Array(Box::new(self.zonk(&t)?))),
+            LTy::Ref(t) => Ok(LTy::Ref(Box::new(self.zonk(&t)?))),
+            other => Ok(other),
+        }
+    }
+
+    /// Instantiates `scheme` (bound vars `tyvars`, body `ty`) with fresh
+    /// unification variables at `level`; returns the instantiated type
+    /// and the fresh arguments (recorded as `tyargs` on the occurrence).
+    pub fn instantiate(
+        &mut self,
+        tyvars: &[TyVar],
+        ty: &LTy,
+        level: u32,
+    ) -> (LTy, Vec<LTy>) {
+        if tyvars.is_empty() {
+            return (ty.clone(), vec![]);
+        }
+        let args: Vec<LTy> = tyvars.iter().map(|_| self.fresh(level)).collect();
+        let map: HashMap<TyVar, LTy> = tyvars
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
+        (ty.subst(&map), args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn denv() -> DataEnv {
+        let mut tvs = TyVarSupply::new();
+        DataEnv::with_builtins(tvs.fresh())
+    }
+
+    #[test]
+    fn unify_free_with_int() {
+        let d = denv();
+        let mut u = Unifier::new();
+        let a = u.fresh(0);
+        u.unify(&a, &LTy::Int, Span::DUMMY, &d).unwrap();
+        assert_eq!(u.resolve(&a), LTy::Int);
+    }
+
+    #[test]
+    fn occurs_check_rejects_cycles() {
+        let d = denv();
+        let mut u = Unifier::new();
+        let a = u.fresh(0);
+        let arrow = LTy::Arrow(Box::new(a.clone()), Box::new(LTy::Int));
+        assert!(u.unify(&a, &arrow, Span::DUMMY, &d).is_err());
+    }
+
+    #[test]
+    fn overload_class_rejects_string_arith() {
+        let d = denv();
+        let mut u = Unifier::new();
+        let a = u.fresh_overloaded(0, OvClass::Num);
+        assert!(u.unify(&a, &LTy::Str, Span::DUMMY, &d).is_err());
+        let b = u.fresh_overloaded(0, OvClass::NumTxt);
+        assert!(u.unify(&b, &LTy::Str, Span::DUMMY, &d).is_ok());
+    }
+
+    #[test]
+    fn overload_defaults_to_int_at_generalization() {
+        let _d = denv();
+        let mut u = Unifier::new();
+        let mut tvs = TyVarSupply::new();
+        let a = u.fresh_overloaded(1, OvClass::Num);
+        let bound = u.generalize(0, &a, &mut tvs);
+        assert!(bound.is_empty());
+        assert_eq!(u.resolve(&a), LTy::Int);
+    }
+
+    #[test]
+    fn generalize_creates_bound_vars() {
+        let mut u = Unifier::new();
+        let mut tvs = TyVarSupply::new();
+        let a = u.fresh(1);
+        let ty = LTy::Arrow(Box::new(a.clone()), Box::new(a.clone()));
+        let bound = u.generalize(0, &ty, &mut tvs);
+        assert_eq!(bound.len(), 1);
+        assert!(matches!(u.resolve(&a), LTy::Var(_)));
+    }
+
+    #[test]
+    fn low_level_vars_do_not_generalize() {
+        let mut u = Unifier::new();
+        let mut tvs = TyVarSupply::new();
+        let a = u.fresh(0);
+        let bound = u.generalize(0, &a, &mut tvs);
+        assert!(bound.is_empty());
+    }
+
+    #[test]
+    fn flex_record_resolves_against_full_record() {
+        let d = denv();
+        let mut u = Unifier::new();
+        let x = Symbol::intern("x");
+        let y = Symbol::intern("y");
+        let fx = u.fresh(0);
+        let flex = u.fresh_flex_record(0, vec![(x, fx.clone())], Span::DUMMY);
+        let full = LTy::Record(vec![(x, LTy::Int), (y, LTy::Real)]);
+        u.unify(&flex, &full, Span::DUMMY, &d).unwrap();
+        assert_eq!(u.resolve(&fx), LTy::Int);
+        assert_eq!(u.resolve(&flex), full);
+    }
+
+    #[test]
+    fn flex_record_missing_field_is_error() {
+        let d = denv();
+        let mut u = Unifier::new();
+        let z = Symbol::intern("z");
+        let flex = u.fresh_flex_record(0, vec![(z, LTy::Int)], Span::DUMMY);
+        let full = LTy::Record(vec![(Symbol::intern("x"), LTy::Int)]);
+        assert!(u.unify(&flex, &full, Span::DUMMY, &d).is_err());
+    }
+
+    #[test]
+    fn unresolved_flex_record_fails_zonk() {
+        let mut u = Unifier::new();
+        let flex = u.fresh_flex_record(0, vec![(Symbol::intern("x"), LTy::Int)], Span::DUMMY);
+        assert!(u.zonk(&flex).is_err());
+    }
+
+    #[test]
+    fn zonk_defaults_free_to_int() {
+        let mut u = Unifier::new();
+        let a = u.fresh(0);
+        assert_eq!(u.zonk(&a).unwrap(), LTy::Int);
+    }
+
+    #[test]
+    fn instantiate_produces_fresh_args() {
+        let mut u = Unifier::new();
+        let mut tvs = TyVarSupply::new();
+        let tv = tvs.fresh();
+        let scheme_body = LTy::Arrow(Box::new(LTy::Var(tv)), Box::new(LTy::Var(tv)));
+        let (inst, args) = u.instantiate(&[tv], &scheme_body, 0);
+        assert_eq!(args.len(), 1);
+        let LTy::Arrow(a, b) = inst else { panic!() };
+        assert_eq!(*a, *b);
+        assert!(matches!(*a, LTy::Uvar(_)));
+    }
+}

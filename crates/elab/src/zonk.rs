@@ -1,0 +1,239 @@
+//! Zonking: resolves every unification variable embedded in the
+//! elaborated Lambda tree and rewrites overloaded-operator placeholders
+//! into concrete primitives.
+
+use crate::unify::Unifier;
+use til_common::{Diagnostic, Result};
+use til_lambda::prim::{ArithOp, CmpOp};
+use til_lambda::ty::LTy;
+use til_lambda::{LExp, LSwitch, Prim};
+
+/// Zonks an expression in place.
+pub fn zonk_exp(e: &mut LExp, un: &mut Unifier) -> Result<()> {
+    rewrite(e, un)?;
+    let mut first_err: Option<Diagnostic> = None;
+    e.map_types(&mut |t| match un.zonk(t) {
+        Ok(t2) => t2,
+        Err(d) => {
+            if first_err.is_none() {
+                first_err = Some(d);
+            }
+            t.clone()
+        }
+    });
+    match first_err {
+        None => Ok(()),
+        Some(d) => Err(d),
+    }
+}
+
+fn rewrite(e: &mut LExp, un: &mut Unifier) -> Result<()> {
+    // Children first.
+    match e {
+        LExp::Var { .. }
+        | LExp::Int(_)
+        | LExp::Real(_)
+        | LExp::Char(_)
+        | LExp::Str(_) => {}
+        LExp::Fn { body, .. } => rewrite(body, un)?,
+        LExp::App(a, b) => {
+            rewrite(a, un)?;
+            rewrite(b, un)?;
+        }
+        LExp::Fix { funs, body, .. } => {
+            for f in funs {
+                rewrite(&mut f.body, un)?;
+            }
+            rewrite(body, un)?;
+        }
+        LExp::Let { rhs, body, .. } => {
+            rewrite(rhs, un)?;
+            rewrite(body, un)?;
+        }
+        LExp::Record(fields) => {
+            for (_, fe) in fields {
+                rewrite(fe, un)?;
+            }
+        }
+        LExp::Select { arg, .. } => rewrite(arg, un)?,
+        LExp::Con { arg, .. } | LExp::ExnCon { arg, .. } => {
+            if let Some(a) = arg {
+                rewrite(a, un)?;
+            }
+        }
+        LExp::Switch(sw) => match &mut **sw {
+            LSwitch::Data {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                rewrite(scrut, un)?;
+                for (_, _, a) in arms {
+                    rewrite(a, un)?;
+                }
+                if let Some(d) = default {
+                    rewrite(d, un)?;
+                }
+            }
+            LSwitch::Int {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                rewrite(scrut, un)?;
+                for (_, a) in arms {
+                    rewrite(a, un)?;
+                }
+                rewrite(default, un)?;
+            }
+            LSwitch::Str {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                rewrite(scrut, un)?;
+                for (_, a) in arms {
+                    rewrite(a, un)?;
+                }
+                rewrite(default, un)?;
+            }
+            LSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                rewrite(scrut, un)?;
+                for (_, _, a) in arms {
+                    rewrite(a, un)?;
+                }
+                rewrite(default, un)?;
+            }
+        },
+        LExp::Raise { exn, .. } => rewrite(exn, un)?,
+        LExp::Handle { body, handler, .. } => {
+            rewrite(body, un)?;
+            rewrite(handler, un)?;
+        }
+        LExp::Prim { args, .. } => {
+            for a in args {
+                rewrite(a, un)?;
+            }
+        }
+    }
+    // Then resolve an overload at this node.
+    if let LExp::Prim {
+        prim,
+        tyargs,
+        args,
+    } = e
+    {
+        let replacement = match prim {
+            Prim::OverloadArith(op) => {
+                let at = un.zonk(&tyargs[0])?;
+                let p = match (&at, op) {
+                    (LTy::Int, ArithOp::Add) => Prim::IAdd,
+                    (LTy::Int, ArithOp::Sub) => Prim::ISub,
+                    (LTy::Int, ArithOp::Mul) => Prim::IMul,
+                    (LTy::Real, ArithOp::Add) => Prim::RAdd,
+                    (LTy::Real, ArithOp::Sub) => Prim::RSub,
+                    (LTy::Real, ArithOp::Mul) => Prim::RMul,
+                    _ => {
+                        return Err(Diagnostic::ice(
+                            "zonk",
+                            format!("arithmetic overload resolved to non-numeric type"),
+                        ))
+                    }
+                };
+                Some(LExp::Prim {
+                    prim: p,
+                    tyargs: vec![],
+                    args: std::mem::take(args),
+                })
+            }
+            Prim::OverloadNeg | Prim::OverloadAbs => {
+                let at = un.zonk(&tyargs[0])?;
+                let neg = matches!(prim, Prim::OverloadNeg);
+                let p = match (&at, neg) {
+                    (LTy::Int, true) => Prim::INeg,
+                    (LTy::Int, false) => Prim::IAbs,
+                    (LTy::Real, true) => Prim::RNeg,
+                    (LTy::Real, false) => Prim::RAbs,
+                    _ => {
+                        return Err(Diagnostic::ice(
+                            "zonk",
+                            "unary overload resolved to non-numeric type",
+                        ))
+                    }
+                };
+                Some(LExp::Prim {
+                    prim: p,
+                    tyargs: vec![],
+                    args: std::mem::take(args),
+                })
+            }
+            Prim::OverloadCmp(op) => {
+                let at = un.zonk(&tyargs[0])?;
+                match &at {
+                    LTy::Int | LTy::Real | LTy::Char => {
+                        let p = match (&at, op) {
+                            (LTy::Int, CmpOp::Lt) => Prim::ILt,
+                            (LTy::Int, CmpOp::Le) => Prim::ILe,
+                            (LTy::Int, CmpOp::Gt) => Prim::IGt,
+                            (LTy::Int, CmpOp::Ge) => Prim::IGe,
+                            (LTy::Real, CmpOp::Lt) => Prim::RLt,
+                            (LTy::Real, CmpOp::Le) => Prim::RLe,
+                            (LTy::Real, CmpOp::Gt) => Prim::RGt,
+                            (LTy::Real, CmpOp::Ge) => Prim::RGe,
+                            (LTy::Char, CmpOp::Lt) => Prim::CLt,
+                            (LTy::Char, CmpOp::Le) => Prim::CLe,
+                            (LTy::Char, CmpOp::Gt) => Prim::CGt,
+                            (LTy::Char, CmpOp::Ge) => Prim::CGe,
+                            _ => unreachable!(),
+                        };
+                        Some(LExp::Prim {
+                            prim: p,
+                            tyargs: vec![],
+                            args: std::mem::take(args),
+                        })
+                    }
+                    LTy::Str => {
+                        // s1 < s2  ~~>  strcmp(s1, s2) < 0
+                        let p = match op {
+                            CmpOp::Lt => Prim::ILt,
+                            CmpOp::Le => Prim::ILe,
+                            CmpOp::Gt => Prim::IGt,
+                            CmpOp::Ge => Prim::IGe,
+                        };
+                        let cmp = LExp::Prim {
+                            prim: Prim::StrCmp,
+                            tyargs: vec![],
+                            args: std::mem::take(args),
+                        };
+                        Some(LExp::Prim {
+                            prim: p,
+                            tyargs: vec![],
+                            args: vec![cmp, LExp::Int(0)],
+                        })
+                    }
+                    other => {
+                        return Err(Diagnostic::ice(
+                            "zonk",
+                            format!(
+                                "comparison overload resolved to unsupported type {other:?}"
+                            ),
+                        ))
+                    }
+                }
+            }
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            *e = r;
+        }
+    }
+    Ok(())
+}

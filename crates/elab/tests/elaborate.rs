@@ -1,0 +1,193 @@
+//! End-to-end front-end tests: parse → elaborate → Lambda typecheck.
+
+use til_elab::elaborate_source;
+use til_lambda::typecheck;
+
+fn ok(src: &str) {
+    let e = elaborate_source(src).unwrap_or_else(|d| panic!("elaboration failed: {d}"));
+    typecheck(&e.program).unwrap_or_else(|d| panic!("lambda typecheck failed: {d}"));
+}
+
+fn user_err(src: &str) {
+    match elaborate_source(src) {
+        Err(d) => assert_eq!(d.level, til_common::Level::Error, "expected user error, got {d}"),
+        Ok(_) => panic!("expected elaboration to fail"),
+    }
+}
+
+#[test]
+fn prelude_alone_typechecks() {
+    ok("");
+}
+
+#[test]
+fn simple_arithmetic() {
+    ok("val x = 1 + 2 * 3");
+}
+
+#[test]
+fn overloading_resolves_real() {
+    ok("val x = 1.5 + 2.5 val y = x * x");
+}
+
+#[test]
+fn overloading_defaults_int() {
+    ok("fun double x = x + x val a = double 21");
+}
+
+#[test]
+fn polymorphic_identity() {
+    ok("fun id x = x val a = id 1 val b = id \"s\" val c = id (id 1.0)");
+}
+
+#[test]
+fn lists_and_map() {
+    ok("val xs = map (fn x => x + 1) [1, 2, 3] val n = length xs");
+}
+
+#[test]
+fn datatype_and_case() {
+    ok("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+        fun sum Leaf = 0 | sum (Node (l, x, r)) = sum l + x + sum r
+        val t = Node (Node (Leaf, 1, Leaf), 2, Leaf)
+        val s = sum t");
+}
+
+#[test]
+fn mutual_recursion() {
+    ok("fun even 0 = true | even n = odd (n - 1) and odd 0 = false | odd n = even (n - 1)
+        val t = even 10");
+}
+
+#[test]
+fn exceptions_and_handle() {
+    ok("exception Bad of int
+        fun f x = if x < 0 then raise Bad x else x
+        val y = (f (~1)) handle Bad n => n | Subscript => 0");
+}
+
+#[test]
+fn refs_and_while() {
+    ok("val r = ref 0
+        val _ = while !r < 10 do r := !r + 1
+        val v = !r");
+}
+
+#[test]
+fn records_and_selectors() {
+    ok("val p = {name = \"x\", age = 40}
+        val a = #age p
+        fun get r = #name r : string
+        val n = get p");
+}
+
+#[test]
+fn flexible_record_pattern_with_annotation() {
+    ok("type t = {x : int, y : real}
+        fun getx ({x, ...} : t) = x
+        val v = getx {x = 1, y = 2.0}");
+}
+
+#[test]
+fn arrays_and_bounds() {
+    ok("val a = Array.array (10, 0)
+        val _ = Array.update (a, 3, 42)
+        val v = Array.sub (a, 3)");
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    ok("val m = Array2.array (3, 4, 0.0)
+        val _ = update2 (m, 1, 2, 5.0)
+        val v = sub2 (m, 1, 2)");
+}
+
+#[test]
+fn dot_product_from_the_paper() {
+    // The paper's Section 4 example, adapted to our prelude names.
+    ok("val n = 8
+        val A = Array2.array (n, n, 0)
+        val B = Array2.array (n, n, 0)
+        fun dot (i, j, bound) =
+          let fun go (cnt, sum) =
+                if cnt < bound
+                then go (cnt + 1, sum + sub2 (A, i, cnt) * sub2 (B, cnt, j))
+                else sum
+          in go (0, 0) end
+        val r = dot (0, 0, n)");
+}
+
+#[test]
+fn polymorphic_equality() {
+    ok("val a = [1, 2] = [1, 2]
+        val b = \"x\" = \"y\"
+        val c = (1, 2.0) <> (1, 3.0)");
+}
+
+#[test]
+fn higher_order_and_composition() {
+    ok("val f = (fn x => x + 1) o (fn x => x * 2)
+        val v = f 10
+        val g = foldl (fn (x, acc) => x + acc) 0 [1, 2, 3]");
+}
+
+#[test]
+fn string_library() {
+    ok("val s = implode [#\"h\", #\"i\"]
+        val c = String.sub (s, 0)
+        val e = explode s
+        val cmp = String.compare (\"a\", \"b\")
+        val lt = \"abc\" < \"abd\"");
+}
+
+#[test]
+fn string_patterns() {
+    ok("fun kind \"if\" = 1 | kind \"then\" = 2 | kind _ = 0
+        val k = kind \"then\"");
+}
+
+#[test]
+fn as_patterns_and_nested() {
+    ok("fun firstTwo (l as x :: y :: _) = SOME (l, x, y)
+          | firstTwo _ = NONE");
+}
+
+#[test]
+fn value_restriction_monomorphizes() {
+    // `ref nil` must not generalize; using it at two types is an error.
+    user_err("val r = ref nil
+              val _ = r := [1]
+              val _ = r := [\"s\"]");
+}
+
+#[test]
+fn type_error_is_reported() {
+    user_err("val x = 1 + \"two\"");
+}
+
+#[test]
+fn unbound_variable_is_reported() {
+    user_err("val x = mystery_function 3");
+}
+
+#[test]
+fn arity_error_in_clauses() {
+    user_err("fun f x = 1 | f x y = 2");
+}
+
+#[test]
+fn options_from_prelude() {
+    ok("val x = valOf (SOME 3)
+        val y = getOpt (NONE, 7)
+        val z = isSome (SOME \"a\")");
+}
+
+#[test]
+fn case_on_order() {
+    ok("val r = case Int.compare (1, 2) of LESS => ~1 | EQUAL => 0 | GREATER => 1");
+}
+
+#[test]
+fn word_ops() {
+    ok("val w = andb (orb (0w12, 0w5), 0xff) val s = lsl (1, 4)");
+}

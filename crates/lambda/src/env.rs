@@ -1,0 +1,285 @@
+//! Datatype and exception environments, shared by every phase that still
+//! reasons about source-level data (Lambda through Lmli).
+
+use crate::ty::{LTy, TyVar};
+use til_common::Symbol;
+
+/// Identifies a datatype in the [`DataEnv`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DataId(pub u32);
+
+impl DataId {
+    /// The builtin `bool` datatype (`false` = tag 0, `true` = tag 1).
+    pub const BOOL: DataId = DataId(0);
+    /// The builtin `'a list` datatype (`nil` = tag 0, `::` = tag 1).
+    pub const LIST: DataId = DataId(1);
+}
+
+/// One constructor of a datatype.
+#[derive(Clone, Debug)]
+pub struct ConInfo {
+    /// Constructor name (e.g. `::`).
+    pub name: Symbol,
+    /// Carried type, mentioning the datatype's parameters; `None` for
+    /// nullary constructors.
+    pub arg: Option<LTy>,
+}
+
+/// One datatype definition.
+#[derive(Clone, Debug)]
+pub struct DataInfo {
+    /// Datatype name.
+    pub name: Symbol,
+    /// Bound type parameters, referenced by constructor argument types.
+    pub params: Vec<TyVar>,
+    /// Constructors in declaration order; the index is the tag.
+    pub cons: Vec<ConInfo>,
+}
+
+impl DataInfo {
+    /// Number of nullary constructors.
+    pub fn num_nullary(&self) -> usize {
+        self.cons.iter().filter(|c| c.arg.is_none()).count()
+    }
+
+    /// Number of value-carrying constructors.
+    pub fn num_carrying(&self) -> usize {
+        self.cons.iter().filter(|c| c.arg.is_some()).count()
+    }
+
+    /// The carried type of constructor `tag` instantiated at `args`.
+    pub fn con_arg_ty(&self, tag: usize, args: &[LTy]) -> Option<LTy> {
+        let arg = self.cons[tag].arg.as_ref()?;
+        let map = self
+            .params
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
+        Some(arg.subst(&map))
+    }
+}
+
+/// All datatypes of a compilation unit. Ids `BOOL` and `LIST` are
+/// always present.
+#[derive(Clone, Debug)]
+pub struct DataEnv {
+    datas: Vec<DataInfo>,
+}
+
+impl DataEnv {
+    /// An environment pre-populated with the builtin `bool` and `list`
+    /// datatypes. `list_param` must be a fresh type variable for the
+    /// list element parameter.
+    pub fn with_builtins(list_param: TyVar) -> DataEnv {
+        let bool_info = DataInfo {
+            name: Symbol::intern("bool"),
+            params: vec![],
+            cons: vec![
+                ConInfo {
+                    name: Symbol::intern("false"),
+                    arg: None,
+                },
+                ConInfo {
+                    name: Symbol::intern("true"),
+                    arg: None,
+                },
+            ],
+        };
+        let a = LTy::Var(list_param);
+        let list_info = DataInfo {
+            name: Symbol::intern("list"),
+            params: vec![list_param],
+            cons: vec![
+                ConInfo {
+                    name: Symbol::intern("nil"),
+                    arg: None,
+                },
+                ConInfo {
+                    name: Symbol::intern("::"),
+                    arg: Some(LTy::tuple(vec![
+                        a.clone(),
+                        LTy::Data(DataId::LIST, vec![a]),
+                    ])),
+                },
+            ],
+        };
+        DataEnv {
+            datas: vec![bool_info, list_info],
+        }
+    }
+
+    /// Registers a new datatype and returns its id.
+    pub fn define(&mut self, info: DataInfo) -> DataId {
+        let id = DataId(self.datas.len() as u32);
+        self.datas.push(info);
+        id
+    }
+
+    /// Reserves an id with a stub definition (for mutually recursive
+    /// `datatype ... and ...`); fill it later with [`DataEnv::set`].
+    pub fn reserve(&mut self, name: Symbol) -> DataId {
+        self.define(DataInfo {
+            name,
+            params: vec![],
+            cons: vec![],
+        })
+    }
+
+    /// Replaces the definition of `id`.
+    pub fn set(&mut self, id: DataId, info: DataInfo) {
+        self.datas[id.0 as usize] = info;
+    }
+
+    /// Looks up a datatype.
+    pub fn get(&self, id: DataId) -> &DataInfo {
+        &self.datas[id.0 as usize]
+    }
+
+    /// Iterates over all `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DataId, &DataInfo)> {
+        self.datas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DataId(i as u32), d))
+    }
+
+    /// Number of datatypes defined.
+    pub fn len(&self) -> usize {
+        self.datas.len()
+    }
+
+    /// True when only builtins are present.
+    pub fn is_empty(&self) -> bool {
+        self.datas.len() <= 2
+    }
+}
+
+/// Identifies an exception constructor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ExnId(pub u32);
+
+impl ExnId {
+    /// Pattern-match failure.
+    pub const MATCH: ExnId = ExnId(0);
+    /// `val` binding failure.
+    pub const BIND: ExnId = ExnId(1);
+    /// Integer division by zero.
+    pub const DIV: ExnId = ExnId(2);
+    /// Integer overflow.
+    pub const OVERFLOW: ExnId = ExnId(3);
+    /// Array/string index out of bounds.
+    pub const SUBSCRIPT: ExnId = ExnId(4);
+    /// Bad aggregate size.
+    pub const SIZE: ExnId = ExnId(5);
+    /// `chr` out of range.
+    pub const CHR: ExnId = ExnId(6);
+    /// Math domain error.
+    pub const DOMAIN: ExnId = ExnId(7);
+    /// Generic failure with a message.
+    pub const FAIL: ExnId = ExnId(8);
+    /// Empty-list errors from the basis.
+    pub const EMPTY: ExnId = ExnId(9);
+    /// `Option.valOf` failure.
+    pub const OPTION: ExnId = ExnId(10);
+}
+
+/// One exception constructor.
+#[derive(Clone, Debug)]
+pub struct ExnInfo {
+    /// Exception name.
+    pub name: Symbol,
+    /// Carried type, if any.
+    pub arg: Option<LTy>,
+}
+
+/// All exception constructors of a compilation unit, pre-populated with
+/// the standard basis exceptions at fixed ids.
+#[derive(Clone, Debug)]
+pub struct ExnEnv {
+    exns: Vec<ExnInfo>,
+}
+
+impl Default for ExnEnv {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl ExnEnv {
+    /// The builtin exception environment.
+    pub fn with_builtins() -> ExnEnv {
+        let n = |s: &str| Symbol::intern(s);
+        ExnEnv {
+            exns: vec![
+                ExnInfo { name: n("Match"), arg: None },
+                ExnInfo { name: n("Bind"), arg: None },
+                ExnInfo { name: n("Div"), arg: None },
+                ExnInfo { name: n("Overflow"), arg: None },
+                ExnInfo { name: n("Subscript"), arg: None },
+                ExnInfo { name: n("Size"), arg: None },
+                ExnInfo { name: n("Chr"), arg: None },
+                ExnInfo { name: n("Domain"), arg: None },
+                ExnInfo { name: n("Fail"), arg: Some(LTy::Str) },
+                ExnInfo { name: n("Empty"), arg: None },
+                ExnInfo { name: n("Option"), arg: None },
+            ],
+        }
+    }
+
+    /// Registers a new exception and returns its id.
+    pub fn define(&mut self, info: ExnInfo) -> ExnId {
+        let id = ExnId(self.exns.len() as u32);
+        self.exns.push(info);
+        id
+    }
+
+    /// Looks up an exception.
+    pub fn get(&self, id: ExnId) -> &ExnInfo {
+        &self.exns[id.0 as usize]
+    }
+
+    /// Number of exceptions defined.
+    pub fn len(&self) -> usize {
+        self.exns.len()
+    }
+
+    /// Always false; the builtins are pre-registered.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TyVarSupply;
+
+    #[test]
+    fn builtins_have_fixed_ids() {
+        let mut tvs = TyVarSupply::new();
+        let denv = DataEnv::with_builtins(tvs.fresh());
+        assert_eq!(denv.get(DataId::BOOL).name.as_str(), "bool");
+        assert_eq!(denv.get(DataId::LIST).name.as_str(), "list");
+        assert_eq!(denv.get(DataId::BOOL).cons[1].name.as_str(), "true");
+    }
+
+    #[test]
+    fn cons_cell_type_instantiates() {
+        let mut tvs = TyVarSupply::new();
+        let denv = DataEnv::with_builtins(tvs.fresh());
+        let list = denv.get(DataId::LIST);
+        let arg = list.con_arg_ty(1, &[LTy::Int]).unwrap();
+        assert_eq!(
+            arg,
+            LTy::tuple(vec![LTy::Int, LTy::Data(DataId::LIST, vec![LTy::Int])])
+        );
+    }
+
+    #[test]
+    fn exn_builtin_ids_match() {
+        let env = ExnEnv::with_builtins();
+        assert_eq!(env.get(ExnId::DIV).name.as_str(), "Div");
+        assert_eq!(env.get(ExnId::FAIL).arg, Some(LTy::Str));
+    }
+}

@@ -1,0 +1,533 @@
+//! Lambda expressions.
+
+use crate::env::{DataEnv, DataId, ExnEnv, ExnId};
+use crate::prim::Prim;
+use crate::ty::{LTy, TyVar};
+use til_common::{Symbol, Var};
+
+/// A complete Lambda program: the datatype/exception environments plus
+/// the whole-program expression (top-level declarations are nested
+/// `Let`/`Fix` binders, as the paper compiles whole closed modules).
+#[derive(Clone, Debug)]
+pub struct LProgram {
+    /// Datatypes in scope.
+    pub data_env: DataEnv,
+    /// Exception constructors in scope.
+    pub exn_env: ExnEnv,
+    /// The program body; its value is discarded, output happens via
+    /// `print`.
+    pub body: LExp,
+    /// The body's type.
+    pub body_ty: LTy,
+}
+
+/// One function of a `fix` nest.
+#[derive(Clone, Debug)]
+pub struct LFun {
+    /// The function's name (bound in the whole nest and the body).
+    pub var: Var,
+    /// Value parameter.
+    pub param: Var,
+    /// Parameter type.
+    pub param_ty: LTy,
+    /// Result type.
+    pub ret_ty: LTy,
+    /// Function body.
+    pub body: LExp,
+}
+
+/// A Lambda expression.
+#[derive(Clone, Debug)]
+pub enum LExp {
+    /// Variable occurrence instantiated at `tyargs` (empty when the
+    /// binding is monomorphic; recursive occurrences inside a `fix` are
+    /// written with empty `tyargs` and typecheck at the nest's own
+    /// type variables).
+    Var {
+        /// The variable.
+        var: Var,
+        /// Instantiating types, one per tyvar of the binding.
+        tyargs: Vec<LTy>,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// Anonymous function.
+    Fn {
+        /// Parameter.
+        param: Var,
+        /// Parameter type.
+        param_ty: LTy,
+        /// Body.
+        body: Box<LExp>,
+    },
+    /// Application.
+    App(Box<LExp>, Box<LExp>),
+    /// Mutually recursive function nest, generalized over `tyvars`.
+    Fix {
+        /// Type variables shared by the whole nest.
+        tyvars: Vec<TyVar>,
+        /// The functions.
+        funs: Vec<LFun>,
+        /// Scope of the definitions.
+        body: Box<LExp>,
+    },
+    /// Polymorphic let: `var` is bound at `∀tyvars. typeof(rhs)`.
+    /// `tyvars` is empty for monomorphic bindings; when non-empty, the
+    /// right-hand side must be a syntactic value (value restriction).
+    Let {
+        /// Bound variable.
+        var: Var,
+        /// Generalized type variables.
+        tyvars: Vec<TyVar>,
+        /// Right-hand side.
+        rhs: Box<LExp>,
+        /// Scope.
+        body: Box<LExp>,
+    },
+    /// Record (or tuple) construction; fields in canonical label order.
+    Record(Vec<(Symbol, LExp)>),
+    /// Field selection.
+    Select {
+        /// Field label.
+        label: Symbol,
+        /// Record expression.
+        arg: Box<LExp>,
+    },
+    /// Datatype constructor application.
+    Con {
+        /// The datatype.
+        data: DataId,
+        /// Instantiation of the datatype parameters.
+        tyargs: Vec<LTy>,
+        /// Constructor index (its tag).
+        tag: usize,
+        /// Carried value for value-carrying constructors.
+        arg: Option<Box<LExp>>,
+    },
+    /// Exception constructor application (creates an exception packet).
+    ExnCon {
+        /// The exception.
+        exn: ExnId,
+        /// Carried value, if the exception carries one.
+        arg: Option<Box<LExp>>,
+    },
+    /// Multi-way branch (a compiled pattern match).
+    Switch(Box<LSwitch>),
+    /// `raise`.
+    Raise {
+        /// The packet.
+        exn: Box<LExp>,
+        /// The type of the whole raise expression.
+        ty: LTy,
+    },
+    /// `handle`: evaluates `body`; on a raise, binds the packet to
+    /// `handler_var` and evaluates `handler`.
+    Handle {
+        /// Protected body.
+        body: Box<LExp>,
+        /// Bound to the exception packet (type `exn`).
+        handler_var: Var,
+        /// Handler expression (same type as `body`).
+        handler: Box<LExp>,
+    },
+    /// Primitive application, fully saturated.
+    Prim {
+        /// The operation.
+        prim: Prim,
+        /// Type instantiations for polymorphic primitives.
+        tyargs: Vec<LTy>,
+        /// Arguments, one per signature slot.
+        args: Vec<LExp>,
+    },
+}
+
+/// A multi-way branch. Every switch carries the result type so
+/// typechecking needs no inference.
+#[derive(Clone, Debug)]
+pub enum LSwitch {
+    /// Branch on a datatype constructor tag, binding the carried value.
+    Data {
+        /// Scrutinee.
+        scrut: LExp,
+        /// The datatype switched on.
+        data: DataId,
+        /// Instantiation of the datatype parameters.
+        tyargs: Vec<LTy>,
+        /// `(tag, binder-for-carried-value, arm)` in test order.
+        arms: Vec<(usize, Option<Var>, LExp)>,
+        /// Fallback when no arm matches (must exist unless arms are
+        /// exhaustive).
+        default: Option<LExp>,
+        /// Result type of the whole switch.
+        result_ty: LTy,
+    },
+    /// Branch on an integer (also used for char and word scrutinees).
+    Int {
+        /// Scrutinee.
+        scrut: LExp,
+        /// `(value, arm)` pairs.
+        arms: Vec<(i64, LExp)>,
+        /// Fallback.
+        default: LExp,
+        /// Result type.
+        result_ty: LTy,
+    },
+    /// Branch on a string value.
+    Str {
+        /// Scrutinee.
+        scrut: LExp,
+        /// `(value, arm)` pairs.
+        arms: Vec<(String, LExp)>,
+        /// Fallback.
+        default: LExp,
+        /// Result type.
+        result_ty: LTy,
+    },
+    /// Branch on an exception constructor, binding the carried value.
+    Exn {
+        /// Scrutinee (type `exn`).
+        scrut: LExp,
+        /// `(exception, binder, arm)` entries.
+        arms: Vec<(ExnId, Option<Var>, LExp)>,
+        /// Fallback (typically a re-raise).
+        default: LExp,
+        /// Result type.
+        result_ty: LTy,
+    },
+}
+
+impl LExp {
+    /// The unit value.
+    pub fn unit() -> LExp {
+        LExp::Record(Vec::new())
+    }
+
+    /// The boolean constant `b` as a `bool` datatype constructor.
+    pub fn bool(b: bool) -> LExp {
+        LExp::Con {
+            data: DataId::BOOL,
+            tyargs: vec![],
+            tag: b as usize,
+            arg: None,
+        }
+    }
+
+    /// A monomorphic variable occurrence.
+    pub fn var(v: Var) -> LExp {
+        LExp::Var {
+            var: v,
+            tyargs: vec![],
+        }
+    }
+
+    /// True for syntactic values (the value restriction's notion):
+    /// constants, variables, functions, and records/constructors of
+    /// values.
+    pub fn is_value(&self) -> bool {
+        match self {
+            LExp::Var { .. }
+            | LExp::Int(_)
+            | LExp::Real(_)
+            | LExp::Char(_)
+            | LExp::Str(_)
+            | LExp::Fn { .. } => true,
+            LExp::Record(fields) => fields.iter().all(|(_, e)| e.is_value()),
+            LExp::Con { arg, .. } => arg.as_ref().is_none_or(|a| a.is_value()),
+            LExp::Select { arg, .. } => arg.is_value(),
+            _ => false,
+        }
+    }
+
+    /// Applies `f` to every type embedded in the expression tree,
+    /// bottom-up and in place. Used by the front end's zonking pass and
+    /// by substitution-based cloning.
+    pub fn map_types(&mut self, f: &mut impl FnMut(&LTy) -> LTy) {
+        match self {
+            LExp::Var { tyargs, .. } => {
+                for t in tyargs {
+                    *t = f(t);
+                }
+            }
+            LExp::Int(_) | LExp::Real(_) | LExp::Char(_) | LExp::Str(_) => {}
+            LExp::Fn {
+                param_ty, body, ..
+            } => {
+                *param_ty = f(param_ty);
+                body.map_types(f);
+            }
+            LExp::App(a, b) => {
+                a.map_types(f);
+                b.map_types(f);
+            }
+            LExp::Fix { funs, body, .. } => {
+                for fun in funs {
+                    fun.param_ty = f(&fun.param_ty);
+                    fun.ret_ty = f(&fun.ret_ty);
+                    fun.body.map_types(f);
+                }
+                body.map_types(f);
+            }
+            LExp::Let { rhs, body, .. } => {
+                rhs.map_types(f);
+                body.map_types(f);
+            }
+            LExp::Record(fields) => {
+                for (_, e) in fields {
+                    e.map_types(f);
+                }
+            }
+            LExp::Select { arg, .. } => arg.map_types(f),
+            LExp::Con { tyargs, arg, .. } => {
+                for t in tyargs.iter_mut() {
+                    *t = f(t);
+                }
+                if let Some(a) = arg {
+                    a.map_types(f);
+                }
+            }
+            LExp::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    a.map_types(f);
+                }
+            }
+            LExp::Switch(sw) => match &mut **sw {
+                LSwitch::Data {
+                    scrut,
+                    tyargs,
+                    arms,
+                    default,
+                    result_ty,
+                    ..
+                } => {
+                    scrut.map_types(f);
+                    for t in tyargs.iter_mut() {
+                        *t = f(t);
+                    }
+                    for (_, _, e) in arms {
+                        e.map_types(f);
+                    }
+                    if let Some(d) = default {
+                        d.map_types(f);
+                    }
+                    *result_ty = f(result_ty);
+                }
+                LSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    result_ty,
+                } => {
+                    scrut.map_types(f);
+                    for (_, e) in arms {
+                        e.map_types(f);
+                    }
+                    default.map_types(f);
+                    *result_ty = f(result_ty);
+                }
+                LSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    result_ty,
+                } => {
+                    scrut.map_types(f);
+                    for (_, e) in arms {
+                        e.map_types(f);
+                    }
+                    default.map_types(f);
+                    *result_ty = f(result_ty);
+                }
+                LSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    result_ty,
+                } => {
+                    scrut.map_types(f);
+                    for (_, _, e) in arms {
+                        e.map_types(f);
+                    }
+                    default.map_types(f);
+                    *result_ty = f(result_ty);
+                }
+            },
+            LExp::Raise { exn, ty } => {
+                exn.map_types(f);
+                *ty = f(ty);
+            }
+            LExp::Handle {
+                body, handler, ..
+            } => {
+                body.map_types(f);
+                handler.map_types(f);
+            }
+            LExp::Prim { tyargs, args, .. } => {
+                for t in tyargs.iter_mut() {
+                    *t = f(t);
+                }
+                for a in args {
+                    a.map_types(f);
+                }
+            }
+        }
+    }
+
+    /// Counts expression nodes (used by size-bounded inlining and
+    /// compile-time statistics).
+    pub fn size(&self) -> usize {
+        let mut n = 1;
+        self.for_each_child(|c| n += c.size());
+        n
+    }
+
+    /// Calls `f` on each direct child expression.
+    pub fn for_each_child(&self, mut f: impl FnMut(&LExp)) {
+        match self {
+            LExp::Var { .. }
+            | LExp::Int(_)
+            | LExp::Real(_)
+            | LExp::Char(_)
+            | LExp::Str(_) => {}
+            LExp::Fn { body, .. } => f(body),
+            LExp::App(a, b) => {
+                f(a);
+                f(b);
+            }
+            LExp::Fix { funs, body, .. } => {
+                for fun in funs {
+                    f(&fun.body);
+                }
+                f(body);
+            }
+            LExp::Let { rhs, body, .. } => {
+                f(rhs);
+                f(body);
+            }
+            LExp::Record(fields) => {
+                for (_, e) in fields {
+                    f(e);
+                }
+            }
+            LExp::Select { arg, .. } => f(arg),
+            LExp::Con { arg, .. } | LExp::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+            LExp::Switch(sw) => match &**sw {
+                LSwitch::Data {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, e) in arms {
+                        f(e);
+                    }
+                    if let Some(d) = default {
+                        f(d);
+                    }
+                }
+                LSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, e) in arms {
+                        f(e);
+                    }
+                    f(default);
+                }
+                LSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, e) in arms {
+                        f(e);
+                    }
+                    f(default);
+                }
+                LSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, e) in arms {
+                        f(e);
+                    }
+                    f(default);
+                }
+            },
+            LExp::Raise { exn, .. } => f(exn),
+            LExp::Handle {
+                body, handler, ..
+            } => {
+                f(body);
+                f(handler);
+            }
+            LExp::Prim { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use til_common::VarSupply;
+
+    #[test]
+    fn values_are_recognized() {
+        assert!(LExp::Int(3).is_value());
+        assert!(LExp::unit().is_value());
+        assert!(LExp::bool(true).is_value());
+        let mut vs = VarSupply::new();
+        let v = vs.fresh();
+        assert!(LExp::var(v).is_value());
+        let app = LExp::App(Box::new(LExp::var(v)), Box::new(LExp::Int(1)));
+        assert!(!app.is_value());
+    }
+
+    #[test]
+    fn map_types_rewrites_uvars() {
+        let mut e = LExp::Prim {
+            prim: Prim::PolyEq,
+            tyargs: vec![LTy::Uvar(7)],
+            args: vec![LExp::Int(1), LExp::Int(2)],
+        };
+        e.map_types(&mut |t| {
+            if matches!(t, LTy::Uvar(7)) {
+                LTy::Int
+            } else {
+                t.clone()
+            }
+        });
+        let LExp::Prim { tyargs, .. } = &e else {
+            panic!()
+        };
+        assert_eq!(tyargs[0], LTy::Int);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = LExp::App(Box::new(LExp::Int(1)), Box::new(LExp::Int(2)));
+        assert_eq!(e.size(), 3);
+    }
+}

@@ -1,0 +1,26 @@
+//! **Lambda** — the explicitly-typed core language produced by the front
+//! end (the paper's §3.1).
+//!
+//! Lambda is a System-F-style calculus with ML-style (prenex)
+//! polymorphism: `let` and `fix` binders carry the type variables they
+//! generalize, and every variable occurrence carries the types it is
+//! instantiated at. Pattern matching has already been compiled away into
+//! [`exp::LSwitch`] decision trees, and all primitives are explicit
+//! [`prim::Prim`] applications.
+//!
+//! The crate also provides the Lambda typechecker ([`typecheck`]), the
+//! first of the per-phase checkers that reproduce the paper's "verify
+//! the type integrity of the code at any stage" discipline.
+
+pub mod env;
+pub mod exp;
+pub mod prim;
+pub mod print;
+pub mod ty;
+pub mod typecheck;
+
+pub use env::{ConInfo, DataEnv, DataId, DataInfo, ExnEnv, ExnId, ExnInfo};
+pub use exp::{LExp, LFun, LProgram, LSwitch};
+pub use prim::Prim;
+pub use ty::{LTy, TyVar, TyVarSupply};
+pub use typecheck::typecheck;

@@ -1,0 +1,459 @@
+//! Primitive operations.
+//!
+//! Primitives are shared by Lambda, Lmli, Bform, and Ubform; the RTL
+//! phase finally expands them into machine operations, runtime calls,
+//! and explicit exception raises. Safe array access is *not* primitive:
+//! the prelude defines `sub`/`update` with explicit bounds checks around
+//! [`Prim::ArraySubU`]/[`Prim::ArrayUpdateU`], exactly the structure the
+//! paper's redundant-comparison elimination optimizes (§3.3, §4).
+
+use crate::ty::LTy;
+use std::fmt;
+
+/// Overloadable arithmetic operators (resolved during zonking).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+/// Overloadable comparison operators (resolved during zonking).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A primitive operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Prim {
+    // ---- integers -------------------------------------------------------
+    /// `int + int` (raises `Overflow`).
+    IAdd,
+    /// `int - int` (raises `Overflow`).
+    ISub,
+    /// `int * int` (raises `Overflow`).
+    IMul,
+    /// `int div int` (raises `Div`).
+    IDiv,
+    /// `int mod int` (raises `Div`).
+    IMod,
+    /// Integer negation.
+    INeg,
+    /// Integer absolute value.
+    IAbs,
+    /// `<` on int.
+    ILt,
+    /// `<=` on int.
+    ILe,
+    /// `>` on int.
+    IGt,
+    /// `>=` on int.
+    IGe,
+    /// `=` on int.
+    IEq,
+    /// `<>` on int.
+    INe,
+    /// Bitwise and.
+    AndB,
+    /// Bitwise or.
+    OrB,
+    /// Bitwise xor.
+    XorB,
+    /// Bitwise not.
+    NotB,
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+
+    // ---- reals ----------------------------------------------------------
+    /// `real + real`.
+    RAdd,
+    /// `real - real`.
+    RSub,
+    /// `real * real`.
+    RMul,
+    /// `real / real`.
+    RDiv,
+    /// Real negation.
+    RNeg,
+    /// Real absolute value.
+    RAbs,
+    /// `<` on real.
+    RLt,
+    /// `<=` on real.
+    RLe,
+    /// `>` on real.
+    RGt,
+    /// `>=` on real.
+    RGe,
+    /// `=` on real (bitwise IEEE equality of values).
+    REq,
+    /// `<>` on real.
+    RNe,
+    /// `real : int -> real`.
+    RealFromInt,
+    /// `floor : real -> int` (raises `Overflow`).
+    Floor,
+    /// `trunc : real -> int` (raises `Overflow`).
+    Trunc,
+    /// Square root (raises `Domain` on negative input).
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Arc tangent.
+    Atan,
+    /// e^x.
+    ExpR,
+    /// Natural log (raises `Domain`).
+    Ln,
+
+    // ---- chars ----------------------------------------------------------
+    /// `ord : char -> int`.
+    COrd,
+    /// `chr : int -> char` (raises `Chr`).
+    CChr,
+    /// `<` on char.
+    CLt,
+    /// `<=` on char.
+    CLe,
+    /// `>` on char.
+    CGt,
+    /// `>=` on char.
+    CGe,
+    /// `=` on char.
+    CEq,
+    /// `<>` on char.
+    CNe,
+
+    // ---- strings --------------------------------------------------------
+    /// `size : string -> int`.
+    StrSize,
+    /// `String.sub : string * int -> char` (raises `Subscript`).
+    StrSub,
+    /// `^ : string * string -> string`.
+    StrConcat,
+    /// `str : char -> string`.
+    StrFromChar,
+    /// Three-way compare, `< 0`, `0`, `> 0`.
+    StrCmp,
+    /// `Int.toString`.
+    IntToString,
+    /// `Real.toString`.
+    RealToString,
+    /// `print : string -> unit`.
+    Print,
+
+    // ---- arrays (one type argument) --------------------------------------
+    /// `[t] (int, t) -> t array`; raises `Size` on negative length.
+    ArrayNew,
+    /// `[t] (t array, int) -> t` — **unchecked**.
+    ArraySubU,
+    /// `[t] (t array, int, t) -> unit` — **unchecked**.
+    ArrayUpdateU,
+    /// `[t] t array -> int`.
+    ArrayLength,
+
+    // ---- references (one type argument) -----------------------------------
+    /// `[t] t -> t ref`.
+    RefNew,
+    /// `[t] t ref -> t`.
+    RefGet,
+    /// `[t] (t ref, t) -> unit`.
+    RefSet,
+
+    // ---- polymorphic equality (one type argument) --------------------------
+    /// `[t] (t, t) -> bool` — the paper's tag-free structural equality;
+    /// introduced by elaboration, specialized by the optimizer, and
+    /// implemented by intensional type analysis when `t` stays unknown.
+    PolyEq,
+
+    // ---- elaboration-only placeholders ------------------------------------
+    /// Overloaded arithmetic; resolved to int or real ops by zonking.
+    OverloadArith(ArithOp),
+    /// Overloaded comparison; resolved by zonking.
+    OverloadCmp(CmpOp),
+    /// Overloaded `~`.
+    OverloadNeg,
+    /// Overloaded `abs`.
+    OverloadAbs,
+}
+
+/// The type signature of a primitive.
+///
+/// `tyvars` is the number of type parameters; within `args`/`ret`, the
+/// *local* convention `LTy::Var(TyVar(i))` with `i < tyvars` refers to
+/// the i-th parameter (substituted at each use site).
+#[derive(Clone, Debug)]
+pub struct PrimSig {
+    /// Number of type parameters.
+    pub tyvars: usize,
+    /// Argument types.
+    pub args: Vec<LTy>,
+    /// Result type.
+    pub ret: LTy,
+}
+
+impl Prim {
+    /// The signature of this primitive, or `None` for the
+    /// elaboration-only overload placeholders.
+    pub fn sig(&self) -> Option<PrimSig> {
+        use crate::ty::TyVar;
+        use LTy::*;
+        let t0 = || LTy::Var(TyVar(0));
+        let b = LTy::bool_ty();
+        let u = LTy::unit();
+        let s = |args: Vec<LTy>, ret: LTy| {
+            Some(PrimSig {
+                tyvars: 0,
+                args,
+                ret,
+            })
+        };
+        let sp = |args: Vec<LTy>, ret: LTy| {
+            Some(PrimSig {
+                tyvars: 1,
+                args,
+                ret,
+            })
+        };
+        match self {
+            Prim::IAdd | Prim::ISub | Prim::IMul | Prim::IDiv | Prim::IMod | Prim::AndB
+            | Prim::OrB | Prim::XorB | Prim::Lsl | Prim::Lsr | Prim::Asr => {
+                s(vec![Int, Int], Int)
+            }
+            Prim::INeg | Prim::IAbs | Prim::NotB => s(vec![Int], Int),
+            Prim::ILt | Prim::ILe | Prim::IGt | Prim::IGe | Prim::IEq | Prim::INe => {
+                s(vec![Int, Int], b)
+            }
+            Prim::RAdd | Prim::RSub | Prim::RMul | Prim::RDiv => s(vec![Real, Real], Real),
+            Prim::RNeg | Prim::RAbs | Prim::Sqrt | Prim::Sin | Prim::Cos | Prim::Atan
+            | Prim::ExpR | Prim::Ln => s(vec![Real], Real),
+            Prim::RLt | Prim::RLe | Prim::RGt | Prim::RGe | Prim::REq | Prim::RNe => {
+                s(vec![Real, Real], b)
+            }
+            Prim::RealFromInt => s(vec![Int], Real),
+            Prim::Floor | Prim::Trunc => s(vec![Real], Int),
+            Prim::COrd => s(vec![Char], Int),
+            Prim::CChr => s(vec![Int], Char),
+            Prim::CLt | Prim::CLe | Prim::CGt | Prim::CGe | Prim::CEq | Prim::CNe => {
+                s(vec![Char, Char], b)
+            }
+            Prim::StrSize => s(vec![Str], Int),
+            Prim::StrSub => s(vec![Str, Int], Char),
+            Prim::StrConcat => s(vec![Str, Str], Str),
+            Prim::StrFromChar => s(vec![Char], Str),
+            Prim::StrCmp => s(vec![Str, Str], Int),
+            Prim::IntToString => s(vec![Int], Str),
+            Prim::RealToString => s(vec![Real], Str),
+            Prim::Print => s(vec![Str], u),
+            Prim::ArrayNew => sp(vec![Int, t0()], Array(Box::new(t0()))),
+            Prim::ArraySubU => sp(vec![Array(Box::new(t0())), Int], t0()),
+            Prim::ArrayUpdateU => sp(vec![Array(Box::new(t0())), Int, t0()], u),
+            Prim::ArrayLength => sp(vec![Array(Box::new(t0()))], Int),
+            Prim::RefNew => sp(vec![t0()], Ref(Box::new(t0()))),
+            Prim::RefGet => sp(vec![Ref(Box::new(t0()))], t0()),
+            Prim::RefSet => sp(vec![Ref(Box::new(t0())), t0()], u),
+            Prim::PolyEq => sp(vec![t0(), t0()], b),
+            Prim::OverloadArith(_)
+            | Prim::OverloadCmp(_)
+            | Prim::OverloadNeg
+            | Prim::OverloadAbs => None,
+        }
+    }
+
+    /// True when evaluating the primitive can have no observable effect
+    /// (no store mutation, no I/O, no exception). Pure primitives are
+    /// fair game for dead-code elimination, CSE, and invariant removal.
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            Prim::IAdd
+                | Prim::ISub
+                | Prim::IMul
+                | Prim::IDiv
+                | Prim::IMod
+                | Prim::IAbs
+                | Prim::INeg
+                | Prim::Floor
+                | Prim::Trunc
+                | Prim::Sqrt
+                | Prim::Ln
+                | Prim::CChr
+                | Prim::StrSub
+                | Prim::ArrayNew
+                | Prim::ArraySubU
+                | Prim::ArrayUpdateU
+                | Prim::RefNew
+                | Prim::RefGet
+                | Prim::RefSet
+                | Prim::Print
+        )
+    }
+
+    /// True when the primitive is pure *except* that it may raise an
+    /// exception. The paper's CSE explicitly admits these (§3.3:
+    /// "if e1 is pure or the only effect it may have is to raise an
+    /// exception").
+    pub fn only_raises(&self) -> bool {
+        matches!(
+            self,
+            Prim::IAdd
+                | Prim::ISub
+                | Prim::IMul
+                | Prim::IDiv
+                | Prim::IMod
+                | Prim::IAbs
+                | Prim::INeg
+                | Prim::Floor
+                | Prim::Trunc
+                | Prim::Sqrt
+                | Prim::Ln
+                | Prim::CChr
+                | Prim::StrSub
+        )
+    }
+
+    /// True when the primitive reads or writes the mutable store or
+    /// performs I/O (not merely raising): such primitives cannot be
+    /// reordered, duplicated, or removed.
+    pub fn is_effectful(&self) -> bool {
+        matches!(
+            self,
+            Prim::ArrayNew
+                | Prim::ArraySubU
+                | Prim::ArrayUpdateU
+                | Prim::RefNew
+                | Prim::RefGet
+                | Prim::RefSet
+                | Prim::Print
+        )
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Prim::IAdd => "iadd",
+            Prim::ISub => "isub",
+            Prim::IMul => "imul",
+            Prim::IDiv => "idiv",
+            Prim::IMod => "imod",
+            Prim::INeg => "ineg",
+            Prim::IAbs => "iabs",
+            Prim::ILt => "plst_i",
+            Prim::ILe => "ple_i",
+            Prim::IGt => "pgt_i",
+            Prim::IGe => "pgte_i",
+            Prim::IEq => "peq_i",
+            Prim::INe => "pne_i",
+            Prim::AndB => "andb",
+            Prim::OrB => "orb",
+            Prim::XorB => "xorb",
+            Prim::NotB => "notb",
+            Prim::Lsl => "lsl",
+            Prim::Lsr => "lsr",
+            Prim::Asr => "asr",
+            Prim::RAdd => "radd",
+            Prim::RSub => "rsub",
+            Prim::RMul => "rmul",
+            Prim::RDiv => "rdiv",
+            Prim::RNeg => "rneg",
+            Prim::RAbs => "rabs",
+            Prim::RLt => "plst_r",
+            Prim::RLe => "ple_r",
+            Prim::RGt => "pgt_r",
+            Prim::RGe => "pgte_r",
+            Prim::REq => "peq_r",
+            Prim::RNe => "pne_r",
+            Prim::RealFromInt => "real",
+            Prim::Floor => "floor",
+            Prim::Trunc => "trunc",
+            Prim::Sqrt => "sqrt",
+            Prim::Sin => "sin",
+            Prim::Cos => "cos",
+            Prim::Atan => "atan",
+            Prim::ExpR => "exp",
+            Prim::Ln => "ln",
+            Prim::COrd => "ord",
+            Prim::CChr => "chr",
+            Prim::CLt => "plst_c",
+            Prim::CLe => "ple_c",
+            Prim::CGt => "pgt_c",
+            Prim::CGe => "pgte_c",
+            Prim::CEq => "peq_c",
+            Prim::CNe => "pne_c",
+            Prim::StrSize => "size",
+            Prim::StrSub => "strsub",
+            Prim::StrConcat => "concat",
+            Prim::StrFromChar => "str",
+            Prim::StrCmp => "strcmp",
+            Prim::IntToString => "int_to_string",
+            Prim::RealToString => "real_to_string",
+            Prim::Print => "print",
+            Prim::ArrayNew => "parray",
+            Prim::ArraySubU => "psub",
+            Prim::ArrayUpdateU => "pupdate",
+            Prim::ArrayLength => "plength",
+            Prim::RefNew => "pref",
+            Prim::RefGet => "pget",
+            Prim::RefSet => "pset",
+            Prim::PolyEq => "polyeq",
+            Prim::OverloadArith(ArithOp::Add) => "?add",
+            Prim::OverloadArith(ArithOp::Sub) => "?sub",
+            Prim::OverloadArith(ArithOp::Mul) => "?mul",
+            Prim::OverloadCmp(CmpOp::Lt) => "?lt",
+            Prim::OverloadCmp(CmpOp::Le) => "?le",
+            Prim::OverloadCmp(CmpOp::Gt) => "?gt",
+            Prim::OverloadCmp(CmpOp::Ge) => "?ge",
+            Prim::OverloadNeg => "?neg",
+            Prim::OverloadAbs => "?abs",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_raises_effect_partition() {
+        // A primitive that only raises is not pure and not effectful.
+        assert!(!Prim::IAdd.is_pure());
+        assert!(Prim::IAdd.only_raises());
+        assert!(!Prim::IAdd.is_effectful());
+        // A store primitive is effectful and not only-raising.
+        assert!(Prim::RefSet.is_effectful());
+        assert!(!Prim::RefSet.only_raises());
+        // A genuinely pure primitive.
+        assert!(Prim::ILt.is_pure());
+        assert!(!Prim::ILt.is_effectful());
+    }
+
+    #[test]
+    fn polymorphic_prims_have_tyvars() {
+        assert_eq!(Prim::ArraySubU.sig().unwrap().tyvars, 1);
+        assert_eq!(Prim::IAdd.sig().unwrap().tyvars, 0);
+    }
+
+    #[test]
+    fn overload_placeholders_have_no_sig() {
+        assert!(Prim::OverloadArith(ArithOp::Add).sig().is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! Lambda pretty printer, in the style of the paper's Figure 2.
+
+use crate::env::DataEnv;
+use crate::exp::{LExp, LProgram, LSwitch};
+use til_common::pretty::Printer;
+
+/// Renders a whole program.
+pub fn program(prog: &LProgram) -> String {
+    let mut p = Printer::new();
+    exp(&mut p, &prog.body, &prog.data_env);
+    p.finish()
+}
+
+/// Renders one expression.
+pub fn exp_to_string(e: &LExp, denv: &DataEnv) -> String {
+    let mut p = Printer::new();
+    exp(&mut p, e, denv);
+    p.finish()
+}
+
+fn exp(p: &mut Printer, e: &LExp, denv: &DataEnv) {
+    match e {
+        LExp::Var { var, tyargs } => {
+            p.word(var.to_string());
+            if !tyargs.is_empty() {
+                let tys = tyargs
+                    .iter()
+                    .map(|t| t.display(denv))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                p.word(format!("[{tys}]"));
+            }
+        }
+        LExp::Int(n) => {
+            p.word(n.to_string());
+        }
+        LExp::Real(r) => {
+            p.word(format!("{r:?}"));
+        }
+        LExp::Char(c) => {
+            p.word(format!("#\"{c}\""));
+        }
+        LExp::Str(s) => {
+            p.word(format!("{s:?}"));
+        }
+        LExp::Fn { param, body, .. } => {
+            p.word(format!("(\\{param}. "));
+            exp(p, body, denv);
+            p.word(")");
+        }
+        LExp::App(f, a) => {
+            p.word("(");
+            exp(p, f, denv);
+            p.word(" ");
+            exp(p, a, denv);
+            p.word(")");
+        }
+        LExp::Fix { tyvars, funs, body } => {
+            p.word("let fix");
+            if !tyvars.is_empty() {
+                let tvs = tyvars
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                p.word(format!(" [{tvs}]"));
+            }
+            p.indent();
+            for f in funs {
+                p.line(format!("{} = \\{}. ", f.var, f.param));
+                p.indent();
+                p.line("");
+                exp(p, &f.body, denv);
+                p.dedent();
+            }
+            p.dedent();
+            p.line("in ");
+            exp(p, body, denv);
+            p.word(" end");
+        }
+        LExp::Let {
+            var,
+            tyvars,
+            rhs,
+            body,
+        } => {
+            p.line(format!("let {var}"));
+            if !tyvars.is_empty() {
+                let tvs = tyvars
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                p.word(format!(" [{tvs}]"));
+            }
+            p.word(" = ");
+            exp(p, rhs, denv);
+            p.line("in ");
+            exp(p, body, denv);
+            p.word(" end");
+        }
+        LExp::Record(fields) => {
+            p.word("{");
+            for (i, (l, fe)) in fields.iter().enumerate() {
+                if i > 0 {
+                    p.word(", ");
+                }
+                p.word(format!("{l}="));
+                exp(p, fe, denv);
+            }
+            p.word("}");
+        }
+        LExp::Select { label, arg } => {
+            p.word(format!("(#{label} "));
+            exp(p, arg, denv);
+            p.word(")");
+        }
+        LExp::Con {
+            data, tag, arg, ..
+        } => {
+            let name = denv.get(*data).cons[*tag].name;
+            p.word(name.to_string());
+            if let Some(a) = arg {
+                p.word("(");
+                exp(p, a, denv);
+                p.word(")");
+            }
+        }
+        LExp::ExnCon { exn, arg } => {
+            p.word(format!("exn#{}", exn.0));
+            if let Some(a) = arg {
+                p.word("(");
+                exp(p, a, denv);
+                p.word(")");
+            }
+        }
+        LExp::Switch(sw) => switch(p, sw, denv),
+        LExp::Raise { exn, .. } => {
+            p.word("raise ");
+            exp(p, exn, denv);
+        }
+        LExp::Handle {
+            body,
+            handler_var,
+            handler,
+        } => {
+            p.word("(");
+            exp(p, body, denv);
+            p.word(format!(" handle {handler_var} => "));
+            exp(p, handler, denv);
+            p.word(")");
+        }
+        LExp::Prim { prim, args, .. } => {
+            p.word(format!("{prim}("));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    p.word(", ");
+                }
+                exp(p, a, denv);
+            }
+            p.word(")");
+        }
+    }
+}
+
+fn switch(p: &mut Printer, sw: &LSwitch, denv: &DataEnv) {
+    match sw {
+        LSwitch::Data {
+            scrut,
+            data,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch ");
+            exp(p, scrut, denv);
+            p.word(" of");
+            p.indent();
+            for (tag, binder, arm) in arms {
+                let name = denv.get(*data).cons[*tag].name;
+                match binder {
+                    Some(b) => p.line(format!("{name}({b}) => ")),
+                    None => p.line(format!("{name} => ")),
+                };
+                exp(p, arm, denv);
+            }
+            if let Some(d) = default {
+                p.line("_ => ");
+                exp(p, d, denv);
+            }
+            p.dedent();
+        }
+        LSwitch::Int {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_int ");
+            exp(p, scrut, denv);
+            p.word(" of");
+            p.indent();
+            for (k, arm) in arms {
+                p.line(format!("{k} => "));
+                exp(p, arm, denv);
+            }
+            p.line("_ => ");
+            exp(p, default, denv);
+            p.dedent();
+        }
+        LSwitch::Str {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_str ");
+            exp(p, scrut, denv);
+            p.word(" of");
+            p.indent();
+            for (k, arm) in arms {
+                p.line(format!("{k:?} => "));
+                exp(p, arm, denv);
+            }
+            p.line("_ => ");
+            exp(p, default, denv);
+            p.dedent();
+        }
+        LSwitch::Exn {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_exn ");
+            exp(p, scrut, denv);
+            p.word(" of");
+            p.indent();
+            for (id, binder, arm) in arms {
+                match binder {
+                    Some(b) => p.line(format!("exn#{}({b}) => ", id.0)),
+                    None => p.line(format!("exn#{} => ", id.0)),
+                };
+                exp(p, arm, denv);
+            }
+            p.line("_ => ");
+            exp(p, default, denv);
+            p.dedent();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TyVarSupply;
+
+    #[test]
+    fn prints_prim_application() {
+        let mut tvs = TyVarSupply::new();
+        let denv = DataEnv::with_builtins(tvs.fresh());
+        let e = LExp::Prim {
+            prim: crate::prim::Prim::IAdd,
+            tyargs: vec![],
+            args: vec![LExp::Int(1), LExp::Int(2)],
+        };
+        assert_eq!(exp_to_string(&e, &denv).trim(), "iadd(1, 2)");
+    }
+
+    #[test]
+    fn prints_bool_constructor() {
+        let mut tvs = TyVarSupply::new();
+        let denv = DataEnv::with_builtins(tvs.fresh());
+        assert_eq!(exp_to_string(&LExp::bool(true), &denv).trim(), "true");
+    }
+}

@@ -1,0 +1,249 @@
+//! Lambda types.
+
+use crate::env::{DataEnv, DataId};
+use til_common::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A bound type variable, unique across a compilation unit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TyVar(pub u32);
+
+impl fmt::Display for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'t{}", self.0)
+    }
+}
+
+/// Source of fresh [`TyVar`]s.
+#[derive(Debug, Default)]
+pub struct TyVarSupply {
+    next: u32,
+}
+
+impl TyVarSupply {
+    /// A supply starting at 0.
+    pub fn new() -> TyVarSupply {
+        TyVarSupply::default()
+    }
+
+    /// A fresh type variable.
+    pub fn fresh(&mut self) -> TyVar {
+        let v = TyVar(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+/// A Lambda (mono)type. Polymorphism lives on binders, not in types.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LTy {
+    /// A bound type variable.
+    Var(TyVar),
+    /// A unification placeholder; only present during elaboration and
+    /// fully eliminated by the front end's zonking pass.
+    Uvar(u32),
+    /// Machine integer.
+    Int,
+    /// Double-precision float.
+    Real,
+    /// Character (a machine integer at run time).
+    Char,
+    /// Immutable string.
+    Str,
+    /// Exception packet.
+    Exn,
+    /// Function type.
+    Arrow(Box<LTy>, Box<LTy>),
+    /// Record with canonically ordered labels. The empty record is
+    /// `unit`.
+    Record(Vec<(Symbol, LTy)>),
+    /// Saturated datatype application.
+    Data(DataId, Vec<LTy>),
+    /// Mutable array.
+    Array(Box<LTy>),
+    /// Mutable reference cell.
+    Ref(Box<LTy>),
+}
+
+/// Canonical SML label ordering: numeric labels first (numerically),
+/// then alphabetic labels (lexicographically).
+pub fn label_cmp(a: &Symbol, b: &Symbol) -> std::cmp::Ordering {
+    match (a.as_str().parse::<u64>(), b.as_str().parse::<u64>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y),
+        (Ok(_), Err(_)) => std::cmp::Ordering::Less,
+        (Err(_), Ok(_)) => std::cmp::Ordering::Greater,
+        (Err(_), Err(_)) => a.as_str().cmp(b.as_str()),
+    }
+}
+
+/// Sorts record fields into canonical label order.
+pub fn sort_fields<T>(mut fields: Vec<(Symbol, T)>) -> Vec<(Symbol, T)> {
+    fields.sort_by(|(a, _), (b, _)| label_cmp(a, b));
+    fields
+}
+
+impl LTy {
+    /// The unit type (empty record).
+    pub fn unit() -> LTy {
+        LTy::Record(Vec::new())
+    }
+
+    /// The builtin `bool` datatype.
+    pub fn bool_ty() -> LTy {
+        LTy::Data(DataId::BOOL, Vec::new())
+    }
+
+    /// The builtin `'a list` datatype at `elem`.
+    pub fn list(elem: LTy) -> LTy {
+        LTy::Data(DataId::LIST, vec![elem])
+    }
+
+    /// An n-ary tuple type.
+    pub fn tuple(tys: Vec<LTy>) -> LTy {
+        LTy::Record(
+            tys.into_iter()
+                .enumerate()
+                .map(|(i, t)| (Symbol::intern(&(i + 1).to_string()), t))
+                .collect(),
+        )
+    }
+
+    /// True when this is the unit type.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, LTy::Record(fs) if fs.is_empty())
+    }
+
+    /// Capture-free substitution of types for type variables.
+    pub fn subst(&self, map: &HashMap<TyVar, LTy>) -> LTy {
+        if map.is_empty() {
+            return self.clone();
+        }
+        match self {
+            LTy::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            LTy::Uvar(_) | LTy::Int | LTy::Real | LTy::Char | LTy::Str | LTy::Exn => self.clone(),
+            LTy::Arrow(a, b) => LTy::Arrow(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            LTy::Record(fs) => LTy::Record(
+                fs.iter()
+                    .map(|(l, t)| (*l, t.subst(map)))
+                    .collect(),
+            ),
+            LTy::Data(id, args) => {
+                LTy::Data(*id, args.iter().map(|t| t.subst(map)).collect())
+            }
+            LTy::Array(t) => LTy::Array(Box::new(t.subst(map))),
+            LTy::Ref(t) => LTy::Ref(Box::new(t.subst(map))),
+        }
+    }
+
+    /// Collects the free type variables into `out`.
+    pub fn free_tyvars(&self, out: &mut Vec<TyVar>) {
+        match self {
+            LTy::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            LTy::Uvar(_) | LTy::Int | LTy::Real | LTy::Char | LTy::Str | LTy::Exn => {}
+            LTy::Arrow(a, b) => {
+                a.free_tyvars(out);
+                b.free_tyvars(out);
+            }
+            LTy::Record(fs) => {
+                for (_, t) in fs {
+                    t.free_tyvars(out);
+                }
+            }
+            LTy::Data(_, args) => {
+                for t in args {
+                    t.free_tyvars(out);
+                }
+            }
+            LTy::Array(t) | LTy::Ref(t) => t.free_tyvars(out),
+        }
+    }
+
+    /// Renders the type for dumps, resolving datatype names via `denv`.
+    pub fn display(&self, denv: &DataEnv) -> String {
+        match self {
+            LTy::Var(v) => v.to_string(),
+            LTy::Uvar(u) => format!("?u{u}"),
+            LTy::Int => "int".into(),
+            LTy::Real => "real".into(),
+            LTy::Char => "char".into(),
+            LTy::Str => "string".into(),
+            LTy::Exn => "exn".into(),
+            LTy::Arrow(a, b) => format!("({} -> {})", a.display(denv), b.display(denv)),
+            LTy::Record(fs) if fs.is_empty() => "unit".into(),
+            LTy::Record(fs) => {
+                let inner = fs
+                    .iter()
+                    .map(|(l, t)| format!("{l}: {}", t.display(denv)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("{{{inner}}}")
+            }
+            LTy::Data(id, args) => {
+                let name = denv.get(*id).name;
+                if args.is_empty() {
+                    name.to_string()
+                } else {
+                    let inner = args
+                        .iter()
+                        .map(|t| t.display(denv))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("({inner}) {name}")
+                }
+            }
+            LTy::Array(t) => format!("({}) array", t.display(denv)),
+            LTy::Ref(t) => format!("({}) ref", t.display(denv)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subst_replaces_vars() {
+        let v = TyVar(0);
+        let ty = LTy::Arrow(Box::new(LTy::Var(v)), Box::new(LTy::Int));
+        let mut map = HashMap::new();
+        map.insert(v, LTy::Real);
+        assert_eq!(
+            ty.subst(&map),
+            LTy::Arrow(Box::new(LTy::Real), Box::new(LTy::Int))
+        );
+    }
+
+    #[test]
+    fn tuple_labels_are_numeric() {
+        let t = LTy::tuple(vec![LTy::Int, LTy::Real]);
+        let LTy::Record(fs) = t else { panic!() };
+        assert_eq!(fs[0].0.as_str(), "1");
+        assert_eq!(fs[1].0.as_str(), "2");
+    }
+
+    #[test]
+    fn label_order_numeric_before_alpha() {
+        use std::cmp::Ordering;
+        let one = Symbol::intern("1");
+        let ten = Symbol::intern("10");
+        let two = Symbol::intern("2");
+        let abc = Symbol::intern("abc");
+        assert_eq!(label_cmp(&two, &ten), Ordering::Less);
+        assert_eq!(label_cmp(&one, &abc), Ordering::Less);
+        assert_eq!(label_cmp(&abc, &one), Ordering::Greater);
+    }
+
+    #[test]
+    fn free_tyvars_collects_each_once() {
+        let v = TyVar(3);
+        let ty = LTy::tuple(vec![LTy::Var(v), LTy::Var(v)]);
+        let mut out = Vec::new();
+        ty.free_tyvars(&mut out);
+        assert_eq!(out, vec![v]);
+    }
+}

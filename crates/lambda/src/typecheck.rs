@@ -1,0 +1,613 @@
+//! The Lambda typechecker.
+//!
+//! Runs after elaboration (and again after any transformation that
+//! claims to preserve Lambda typing). All failures are internal
+//! compiler errors: user-level type errors were already rejected by
+//! type inference.
+
+use crate::env::{DataEnv, ExnEnv};
+use crate::exp::{LExp, LProgram, LSwitch};
+use crate::ty::{label_cmp, LTy, TyVar};
+use std::collections::HashMap;
+use til_common::{Diagnostic, Result, Var};
+
+const PHASE: &str = "lambda-typecheck";
+
+/// Typechecks a whole program, returning the body type.
+pub fn typecheck(prog: &LProgram) -> Result<LTy> {
+    let mut cx = Cx {
+        denv: &prog.data_env,
+        eenv: &prog.exn_env,
+        vars: HashMap::new(),
+    };
+    let ty = cx.check(&prog.body)?;
+    if ty != prog.body_ty {
+        return Err(err(format!(
+            "program body type mismatch: computed {}, recorded {}",
+            ty.display(cx.denv),
+            prog.body_ty.display(cx.denv)
+        )));
+    }
+    Ok(ty)
+}
+
+fn err(msg: String) -> Diagnostic {
+    Diagnostic::ice(PHASE, msg)
+}
+
+#[derive(Clone)]
+struct Scheme {
+    tyvars: Vec<TyVar>,
+    body: LTy,
+}
+
+struct Cx<'a> {
+    denv: &'a DataEnv,
+    eenv: &'a ExnEnv,
+    vars: HashMap<Var, Scheme>,
+}
+
+impl<'a> Cx<'a> {
+    fn bind(&mut self, v: Var, tyvars: Vec<TyVar>, ty: LTy) -> Option<Scheme> {
+        self.vars.insert(v, Scheme { tyvars, body: ty })
+    }
+
+    fn unbind(&mut self, v: Var, old: Option<Scheme>) {
+        match old {
+            Some(s) => {
+                self.vars.insert(v, s);
+            }
+            None => {
+                self.vars.remove(&v);
+            }
+        }
+    }
+
+    fn expect(&self, what: &str, got: &LTy, want: &LTy) -> Result<()> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "{what}: expected {}, got {}",
+                want.display(self.denv),
+                got.display(self.denv)
+            )))
+        }
+    }
+
+    fn check(&mut self, e: &LExp) -> Result<LTy> {
+        match e {
+            LExp::Var { var, tyargs } => {
+                let scheme = self
+                    .vars
+                    .get(var)
+                    .cloned()
+                    .ok_or_else(|| err(format!("unbound variable {var}")))?;
+                if tyargs.is_empty() {
+                    // Identity instantiation (covers monomorphic vars
+                    // and recursive occurrences inside a fix nest).
+                    Ok(scheme.body)
+                } else if tyargs.len() == scheme.tyvars.len() {
+                    let map = scheme
+                        .tyvars
+                        .iter()
+                        .copied()
+                        .zip(tyargs.iter().cloned())
+                        .collect();
+                    Ok(scheme.body.subst(&map))
+                } else {
+                    Err(err(format!(
+                        "variable {var} instantiated with {} types, scheme has {}",
+                        tyargs.len(),
+                        scheme.tyvars.len()
+                    )))
+                }
+            }
+            LExp::Int(_) => Ok(LTy::Int),
+            LExp::Real(_) => Ok(LTy::Real),
+            LExp::Char(_) => Ok(LTy::Char),
+            LExp::Str(_) => Ok(LTy::Str),
+            LExp::Fn {
+                param,
+                param_ty,
+                body,
+            } => {
+                self.no_uvar(param_ty)?;
+                let old = self.bind(*param, vec![], param_ty.clone());
+                let ret = self.check(body)?;
+                self.unbind(*param, old);
+                Ok(LTy::Arrow(Box::new(param_ty.clone()), Box::new(ret)))
+            }
+            LExp::App(f, a) => {
+                let fty = self.check(f)?;
+                let aty = self.check(a)?;
+                match fty {
+                    LTy::Arrow(dom, cod) => {
+                        self.expect("application argument", &aty, &dom)?;
+                        Ok(*cod)
+                    }
+                    other => Err(err(format!(
+                        "application of non-function type {}",
+                        other.display(self.denv)
+                    ))),
+                }
+            }
+            LExp::Fix { tyvars, funs, body } => {
+                // Bind all functions monomorphically for the bodies.
+                let mut saved = Vec::new();
+                for f in funs {
+                    let fty = LTy::Arrow(
+                        Box::new(f.param_ty.clone()),
+                        Box::new(f.ret_ty.clone()),
+                    );
+                    saved.push((f.var, self.bind(f.var, vec![], fty)));
+                }
+                for f in funs {
+                    let old = self.bind(f.param, vec![], f.param_ty.clone());
+                    let got = self.check(&f.body)?;
+                    self.unbind(f.param, old);
+                    self.expect(&format!("fix body of {}", f.var), &got, &f.ret_ty)?;
+                }
+                // Rebind polymorphically for the scope.
+                for (v, old) in saved.into_iter().rev() {
+                    self.unbind(v, old);
+                }
+                let mut saved = Vec::new();
+                for f in funs {
+                    let fty = LTy::Arrow(
+                        Box::new(f.param_ty.clone()),
+                        Box::new(f.ret_ty.clone()),
+                    );
+                    saved.push((f.var, self.bind(f.var, tyvars.clone(), fty)));
+                }
+                let ty = self.check(body)?;
+                for (v, old) in saved.into_iter().rev() {
+                    self.unbind(v, old);
+                }
+                Ok(ty)
+            }
+            LExp::Let {
+                var,
+                tyvars,
+                rhs,
+                body,
+            } => {
+                if !tyvars.is_empty() && !rhs.is_value() {
+                    return Err(err(format!(
+                        "polymorphic let of {var} violates the value restriction"
+                    )));
+                }
+                let rty = self.check(rhs)?;
+                let old = self.bind(*var, tyvars.clone(), rty);
+                let ty = self.check(body)?;
+                self.unbind(*var, old);
+                Ok(ty)
+            }
+            LExp::Record(fields) => {
+                for w in fields.windows(2) {
+                    if label_cmp(&w[0].0, &w[1].0) != std::cmp::Ordering::Less {
+                        return Err(err(format!(
+                            "record labels not in canonical order: {} then {}",
+                            w[0].0, w[1].0
+                        )));
+                    }
+                }
+                let mut tys = Vec::new();
+                for (l, fe) in fields {
+                    tys.push((*l, self.check(fe)?));
+                }
+                Ok(LTy::Record(tys))
+            }
+            LExp::Select { label, arg } => {
+                let aty = self.check(arg)?;
+                match &aty {
+                    LTy::Record(fs) => fs
+                        .iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, t)| t.clone())
+                        .ok_or_else(|| {
+                            err(format!(
+                                "selection of missing label {label} from {}",
+                                aty.display(self.denv)
+                            ))
+                        }),
+                    other => Err(err(format!(
+                        "selection from non-record type {}",
+                        other.display(self.denv)
+                    ))),
+                }
+            }
+            LExp::Con {
+                data,
+                tyargs,
+                tag,
+                arg,
+            } => {
+                let info = self.denv.get(*data);
+                if tyargs.len() != info.params.len() {
+                    return Err(err(format!(
+                        "datatype {} applied to {} type arguments, expects {}",
+                        info.name,
+                        tyargs.len(),
+                        info.params.len()
+                    )));
+                }
+                if *tag >= info.cons.len() {
+                    return Err(err(format!("constructor tag {tag} out of range")));
+                }
+                let want_arg = info.con_arg_ty(*tag, tyargs);
+                match (want_arg, arg) {
+                    (None, None) => {}
+                    (Some(want), Some(a)) => {
+                        let got = self.check(a)?;
+                        self.expect("constructor argument", &got, &want)?;
+                    }
+                    (None, Some(_)) => {
+                        return Err(err(format!(
+                            "nullary constructor {} given an argument",
+                            info.cons[*tag].name
+                        )))
+                    }
+                    (Some(_), None) => {
+                        return Err(err(format!(
+                            "constructor {} missing its argument",
+                            info.cons[*tag].name
+                        )))
+                    }
+                }
+                Ok(LTy::Data(*data, tyargs.clone()))
+            }
+            LExp::ExnCon { exn, arg } => {
+                let info = self.eenv.get(*exn);
+                match (&info.arg, arg) {
+                    (None, None) => {}
+                    (Some(want), Some(a)) => {
+                        let got = self.check(a)?;
+                        self.expect("exception argument", &got, want)?;
+                    }
+                    _ => {
+                        return Err(err(format!(
+                            "exception {} argument arity mismatch",
+                            info.name
+                        )))
+                    }
+                }
+                Ok(LTy::Exn)
+            }
+            LExp::Switch(sw) => self.check_switch(sw),
+            LExp::Raise { exn, ty } => {
+                let got = self.check(exn)?;
+                self.expect("raise operand", &got, &LTy::Exn)?;
+                self.no_uvar(ty)?;
+                Ok(ty.clone())
+            }
+            LExp::Handle {
+                body,
+                handler_var,
+                handler,
+            } => {
+                let bty = self.check(body)?;
+                let old = self.bind(*handler_var, vec![], LTy::Exn);
+                let hty = self.check(handler)?;
+                self.unbind(*handler_var, old);
+                self.expect("handler result", &hty, &bty)?;
+                Ok(bty)
+            }
+            LExp::Prim { prim, tyargs, args } => {
+                let sig = prim
+                    .sig()
+                    .ok_or_else(|| err(format!("unresolved overloaded primitive {prim}")))?;
+                if tyargs.len() != sig.tyvars {
+                    return Err(err(format!(
+                        "primitive {prim} expects {} type arguments, got {}",
+                        sig.tyvars,
+                        tyargs.len()
+                    )));
+                }
+                if args.len() != sig.args.len() {
+                    return Err(err(format!(
+                        "primitive {prim} expects {} arguments, got {}",
+                        sig.args.len(),
+                        args.len()
+                    )));
+                }
+                let map: HashMap<TyVar, LTy> = (0..sig.tyvars)
+                    .map(|i| (TyVar(i as u32), tyargs[i].clone()))
+                    .collect();
+                for (a, want) in args.iter().zip(sig.args.iter()) {
+                    let got = self.check(a)?;
+                    let want = want.subst(&map);
+                    self.expect(&format!("argument of {prim}"), &got, &want)?;
+                }
+                Ok(sig.ret.subst(&map))
+            }
+        }
+    }
+
+    fn check_switch(&mut self, sw: &LSwitch) -> Result<LTy> {
+        match sw {
+            LSwitch::Data {
+                scrut,
+                data,
+                tyargs,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let sty = self.check(scrut)?;
+                self.expect("data switch scrutinee", &sty, &LTy::Data(*data, tyargs.clone()))?;
+                let info = self.denv.get(*data).clone();
+                let mut covered = vec![false; info.cons.len()];
+                for (tag, binder, arm) in arms {
+                    if *tag >= info.cons.len() {
+                        return Err(err(format!("switch arm tag {tag} out of range")));
+                    }
+                    covered[*tag] = true;
+                    let carried = info.con_arg_ty(*tag, tyargs);
+                    let old = match (binder, carried) {
+                        (Some(v), Some(t)) => Some((*v, self.bind(*v, vec![], t))),
+                        (None, _) => None,
+                        (Some(v), None) => {
+                            return Err(err(format!(
+                                "arm for nullary constructor binds {v}"
+                            )))
+                        }
+                    };
+                    let aty = self.check(arm)?;
+                    if let Some((v, o)) = old {
+                        self.unbind(v, o);
+                    }
+                    self.expect("switch arm", &aty, result_ty)?;
+                }
+                match default {
+                    Some(d) => {
+                        let dty = self.check(d)?;
+                        self.expect("switch default", &dty, result_ty)?;
+                    }
+                    None => {
+                        if covered.iter().any(|c| !c) {
+                            return Err(err(
+                                "non-exhaustive data switch without default".to_string(),
+                            ));
+                        }
+                    }
+                }
+                Ok(result_ty.clone())
+            }
+            LSwitch::Int {
+                scrut,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let sty = self.check(scrut)?;
+                if !matches!(sty, LTy::Int | LTy::Char) {
+                    return Err(err(format!(
+                        "int switch scrutinee has type {}",
+                        sty.display(self.denv)
+                    )));
+                }
+                for (_, arm) in arms {
+                    let aty = self.check(arm)?;
+                    self.expect("int switch arm", &aty, result_ty)?;
+                }
+                let dty = self.check(default)?;
+                self.expect("int switch default", &dty, result_ty)?;
+                Ok(result_ty.clone())
+            }
+            LSwitch::Str {
+                scrut,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let sty = self.check(scrut)?;
+                self.expect("string switch scrutinee", &sty, &LTy::Str)?;
+                for (_, arm) in arms {
+                    let aty = self.check(arm)?;
+                    self.expect("string switch arm", &aty, result_ty)?;
+                }
+                let dty = self.check(default)?;
+                self.expect("string switch default", &dty, result_ty)?;
+                Ok(result_ty.clone())
+            }
+            LSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let sty = self.check(scrut)?;
+                self.expect("exn switch scrutinee", &sty, &LTy::Exn)?;
+                for (exn, binder, arm) in arms {
+                    let info = self.eenv.get(*exn).clone();
+                    let old = match (binder, &info.arg) {
+                        (Some(v), Some(t)) => Some((*v, self.bind(*v, vec![], t.clone()))),
+                        (None, _) => None,
+                        (Some(v), None) => {
+                            return Err(err(format!(
+                                "arm for constant exception binds {v}"
+                            )))
+                        }
+                    };
+                    let aty = self.check(arm)?;
+                    if let Some((v, o)) = old {
+                        self.unbind(v, o);
+                    }
+                    self.expect("exn switch arm", &aty, result_ty)?;
+                }
+                let dty = self.check(default)?;
+                self.expect("exn switch default", &dty, result_ty)?;
+                Ok(result_ty.clone())
+            }
+        }
+    }
+
+    fn no_uvar(&self, t: &LTy) -> Result<()> {
+        let mut ok = true;
+        fn walk(t: &LTy, ok: &mut bool) {
+            match t {
+                LTy::Uvar(_) => *ok = false,
+                LTy::Arrow(a, b) => {
+                    walk(a, ok);
+                    walk(b, ok);
+                }
+                LTy::Record(fs) => fs.iter().for_each(|(_, t)| walk(t, ok)),
+                LTy::Data(_, args) => args.iter().for_each(|t| walk(t, ok)),
+                LTy::Array(t) | LTy::Ref(t) => walk(t, ok),
+                _ => {}
+            }
+        }
+        walk(t, &mut ok);
+        if ok {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "unification variable survived zonking in {}",
+                t.display(self.denv)
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{DataEnv, ExnEnv};
+    use crate::prim::Prim;
+    use crate::ty::TyVarSupply;
+    use til_common::VarSupply;
+
+    fn prog(body: LExp, ty: LTy) -> LProgram {
+        let mut tvs = TyVarSupply::new();
+        LProgram {
+            data_env: DataEnv::with_builtins(tvs.fresh()),
+            exn_env: ExnEnv::with_builtins(),
+            body,
+            body_ty: ty,
+        }
+    }
+
+    #[test]
+    fn literal_types() {
+        assert!(typecheck(&prog(LExp::Int(3), LTy::Int)).is_ok());
+        assert!(typecheck(&prog(LExp::Real(1.5), LTy::Real)).is_ok());
+        assert!(typecheck(&prog(LExp::Int(3), LTy::Real)).is_err());
+    }
+
+    #[test]
+    fn prim_application_checks() {
+        let e = LExp::Prim {
+            prim: Prim::IAdd,
+            tyargs: vec![],
+            args: vec![LExp::Int(1), LExp::Int(2)],
+        };
+        assert!(typecheck(&prog(e, LTy::Int)).is_ok());
+        let bad = LExp::Prim {
+            prim: Prim::IAdd,
+            tyargs: vec![],
+            args: vec![LExp::Int(1), LExp::Real(2.0)],
+        };
+        assert!(typecheck(&prog(bad, LTy::Int)).is_err());
+    }
+
+    #[test]
+    fn polymorphic_let_and_instantiation() {
+        let mut vs = VarSupply::new();
+        let mut tvs = TyVarSupply::new();
+        let denv = DataEnv::with_builtins(tvs.fresh());
+        let a = tvs.fresh();
+        let id = vs.fresh_named("id");
+        let x = vs.fresh_named("x");
+        // let id : ∀a. a -> a = fn x => x in id [int] 5
+        let body = LExp::Let {
+            var: id,
+            tyvars: vec![a],
+            rhs: Box::new(LExp::Fn {
+                param: x,
+                param_ty: LTy::Var(a),
+                body: Box::new(LExp::var(x)),
+            }),
+            body: Box::new(LExp::App(
+                Box::new(LExp::Var {
+                    var: id,
+                    tyargs: vec![LTy::Int],
+                }),
+                Box::new(LExp::Int(5)),
+            )),
+        };
+        let p = LProgram {
+            data_env: denv,
+            exn_env: ExnEnv::with_builtins(),
+            body,
+            body_ty: LTy::Int,
+        };
+        assert!(typecheck(&p).is_ok());
+    }
+
+    #[test]
+    fn value_restriction_enforced() {
+        let mut vs = VarSupply::new();
+        let mut tvs = TyVarSupply::new();
+        let a = tvs.fresh();
+        let v = vs.fresh();
+        // let v : ∀a = (non-value) in 0  — must be rejected.
+        let body = LExp::Let {
+            var: v,
+            tyvars: vec![a],
+            rhs: Box::new(LExp::Prim {
+                prim: Prim::IAdd,
+                tyargs: vec![],
+                args: vec![LExp::Int(1), LExp::Int(1)],
+            }),
+            body: Box::new(LExp::Int(0)),
+        };
+        assert!(typecheck(&prog(body, LTy::Int)).is_err());
+    }
+
+    #[test]
+    fn data_switch_exhaustiveness() {
+        use crate::env::DataId;
+        let mk = |default: Option<LExp>, arms: Vec<(usize, Option<Var>, LExp)>| {
+            LExp::Switch(Box::new(LSwitch::Data {
+                scrut: LExp::bool(true),
+                data: DataId::BOOL,
+                tyargs: vec![],
+                arms,
+                default,
+                result_ty: LTy::Int,
+            }))
+        };
+        let full = mk(None, vec![(0, None, LExp::Int(0)), (1, None, LExp::Int(1))]);
+        assert!(typecheck(&prog(full, LTy::Int)).is_ok());
+        let partial = mk(None, vec![(0, None, LExp::Int(0))]);
+        assert!(typecheck(&prog(partial, LTy::Int)).is_err());
+        let defaulted = mk(Some(LExp::Int(9)), vec![(0, None, LExp::Int(0))]);
+        assert!(typecheck(&prog(defaulted, LTy::Int)).is_ok());
+    }
+
+    #[test]
+    fn raise_and_handle() {
+        let mut vs = VarSupply::new();
+        let hv = vs.fresh();
+        let e = LExp::Handle {
+            body: Box::new(LExp::Raise {
+                exn: Box::new(LExp::ExnCon {
+                    exn: crate::env::ExnId::DIV,
+                    arg: None,
+                }),
+                ty: LTy::Int,
+            }),
+            handler_var: hv,
+            handler: Box::new(LExp::Int(0)),
+        };
+        assert!(typecheck(&prog(e, LTy::Int)).is_ok());
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let mut vs = VarSupply::new();
+        let v = vs.fresh();
+        assert!(typecheck(&prog(LExp::var(v), LTy::Int)).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Datatype and exception representation environments for Lmli.
+//!
+//! The Lambda→Lmli conversion decides, once per datatype, how its
+//! constructors are laid out (the paper's *constructor flattening*,
+//! §3.2) and records the decision here for every later phase.
+
+use crate::con::{CVar, Con};
+use til_common::Symbol;
+use til_lambda::env::{DataId, ExnId};
+
+/// How a datatype's values are represented.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataRep {
+    /// All constructors nullary: values are small untraced integers
+    /// (the constructor's enum index).
+    Enum,
+    /// Exactly one value-carrying constructor: its values are untagged
+    /// pointers to a flattened record of its fields (the paper's
+    /// `cons` example); nullary constructors are small integers,
+    /// distinguishable from pointers.
+    Tagless,
+    /// Two or more value-carrying constructors: carrying values are
+    /// pointers to records whose field 0 is a small integer tag;
+    /// nullary constructors are small integers.
+    Tagged,
+    /// The baseline (SML/NJ-style) representation: every value-carrying
+    /// constructor is a two-field record `(tag, pointer-to-boxed-arg)`
+    /// with the argument *not* flattened; nullary constructors are
+    /// small integers.
+    Boxed,
+}
+
+/// Lmli-level description of one datatype.
+#[derive(Clone, Debug)]
+pub struct MData {
+    /// Source name (dumps only).
+    pub name: Symbol,
+    /// Constructor parameters referenced by the field types.
+    pub params: Vec<CVar>,
+    /// Chosen representation.
+    pub rep: DataRep,
+    /// Per constructor (in source tag order): `None` for nullary,
+    /// `Some(fields)` for carrying with the given *flattened* field
+    /// constructors (a single-element vector when the argument was not
+    /// a record or flattening is off).
+    pub cons: Vec<Option<Vec<Con>>>,
+}
+
+impl MData {
+    /// True when every constructor is nullary.
+    pub fn is_enum(&self) -> bool {
+        matches!(self.rep, DataRep::Enum)
+    }
+
+    /// The small-integer value of nullary constructor `tag` (its index
+    /// among the nullary constructors).
+    pub fn enum_value(&self, tag: usize) -> i64 {
+        debug_assert!(self.cons[tag].is_none());
+        self.cons[..tag].iter().filter(|c| c.is_none()).count() as i64
+    }
+
+    /// The record-tag value of carrying constructor `tag` (its index
+    /// among the carrying constructors).
+    pub fn sum_tag(&self, tag: usize) -> i64 {
+        debug_assert!(self.cons[tag].is_some());
+        self.cons[..tag].iter().filter(|c| c.is_some()).count() as i64
+    }
+
+    /// Number of value-carrying constructors.
+    pub fn num_carrying(&self) -> usize {
+        self.cons.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of nullary constructors.
+    pub fn num_nullary(&self) -> usize {
+        self.cons.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// Instantiates constructor `tag`'s field types at `cargs`.
+    pub fn fields_at(&self, tag: usize, cargs: &[Con]) -> Option<Vec<Con>> {
+        let fields = self.cons[tag].as_ref()?;
+        let map = self
+            .params
+            .iter()
+            .copied()
+            .zip(cargs.iter().cloned())
+            .collect();
+        Some(fields.iter().map(|f| f.subst(&map)).collect())
+    }
+
+    /// Whether a `switch` on this datatype must first test
+    /// pointer-vs-constant (it has both nullary and carrying
+    /// constructors).
+    pub fn needs_pointer_test(&self) -> bool {
+        self.num_carrying() > 0 && self.num_nullary() > 0
+    }
+}
+
+/// All datatype representations of a compilation unit.
+#[derive(Clone, Debug, Default)]
+pub struct MDataEnv {
+    datas: Vec<MData>,
+}
+
+impl MDataEnv {
+    /// An empty environment (filled by the Lambda→Lmli conversion).
+    pub fn new() -> MDataEnv {
+        MDataEnv::default()
+    }
+
+    /// Adds a datatype; ids must be pushed in `DataId` order.
+    pub fn push(&mut self, data: MData) {
+        self.datas.push(data);
+    }
+
+    /// Looks up a datatype's representation.
+    pub fn get(&self, id: DataId) -> &MData {
+        &self.datas[id.0 as usize]
+    }
+
+    /// Number of datatypes.
+    pub fn len(&self) -> usize {
+        self.datas.len()
+    }
+
+    /// True when no datatypes have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.datas.is_empty()
+    }
+
+    /// True when the datatype is an all-nullary enum (used by
+    /// [`crate::con::rep_class`]).
+    pub fn is_enum(&self, id: DataId) -> bool {
+        self.get(id).is_enum()
+    }
+}
+
+/// Exception argument representations: per [`ExnId`], the translated
+/// constructor of the carried value (if any).
+#[derive(Clone, Debug, Default)]
+pub struct MExnEnv {
+    exns: Vec<(Symbol, Option<Con>)>,
+}
+
+impl MExnEnv {
+    /// An empty environment.
+    pub fn new() -> MExnEnv {
+        MExnEnv::default()
+    }
+
+    /// Adds an exception; ids must be pushed in `ExnId` order.
+    pub fn push(&mut self, name: Symbol, arg: Option<Con>) {
+        self.exns.push((name, arg));
+    }
+
+    /// The carried-value constructor of `id`.
+    pub fn arg(&self, id: ExnId) -> Option<&Con> {
+        self.exns[id.0 as usize].1.as_ref()
+    }
+
+    /// The exception's source name.
+    pub fn name(&self, id: ExnId) -> Symbol {
+        self.exns[id.0 as usize].0
+    }
+
+    /// Number of exceptions.
+    pub fn len(&self) -> usize {
+        self.exns.len()
+    }
+
+    /// True when no exceptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.exns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_like() -> MData {
+        // datatype 'a list = nil | :: of 'a * 'a list
+        let a = CVar(0);
+        MData {
+            name: Symbol::intern("list"),
+            params: vec![a],
+            rep: DataRep::Tagless,
+            cons: vec![
+                None,
+                Some(vec![Con::Var(a), Con::Data(DataId::LIST, vec![Con::Var(a)])]),
+            ],
+        }
+    }
+
+    #[test]
+    fn enum_and_sum_indices() {
+        let d = MData {
+            name: Symbol::intern("t"),
+            params: vec![],
+            rep: DataRep::Tagged,
+            cons: vec![None, Some(vec![Con::Int]), None, Some(vec![Con::Str])],
+        };
+        assert_eq!(d.enum_value(0), 0);
+        assert_eq!(d.enum_value(2), 1);
+        assert_eq!(d.sum_tag(1), 0);
+        assert_eq!(d.sum_tag(3), 1);
+        assert!(d.needs_pointer_test());
+    }
+
+    #[test]
+    fn cons_cell_fields_instantiate() {
+        let d = list_like();
+        let fs = d.fields_at(1, &[Con::Int]).unwrap();
+        assert_eq!(fs[0], Con::Int);
+        assert_eq!(fs[1], Con::Data(DataId::LIST, vec![Con::Int]));
+        assert!(d.fields_at(0, &[Con::Int]).is_none());
+    }
+
+    #[test]
+    fn pure_enum_needs_no_pointer_test() {
+        let d = MData {
+            name: Symbol::intern("order"),
+            params: vec![],
+            rep: DataRep::Enum,
+            cons: vec![None, None, None],
+        };
+        assert!(!d.needs_pointer_test());
+        assert!(d.is_enum());
+        assert_eq!(d.enum_value(2), 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! Lmli terms.
+
+use crate::con::{CVar, Con};
+use crate::data::{MDataEnv, MExnEnv};
+use crate::prim::MPrim;
+use til_common::Var;
+use til_lambda::env::{DataId, ExnId};
+
+/// A complete Lmli program.
+#[derive(Clone, Debug)]
+pub struct MProgram {
+    /// Datatype representations.
+    pub data: MDataEnv,
+    /// Exception argument representations.
+    pub exns: MExnEnv,
+    /// Whole-program body.
+    pub body: MExp,
+    /// Its constructor.
+    pub con: Con,
+}
+
+/// One function of a `fix` nest. Functions take run-time type
+/// parameters (`cparams`) and multiple value parameters — the paper's
+/// Λty. λ(args...) pair from Figure 2, fused into one binder.
+#[derive(Clone, Debug)]
+pub struct MFun {
+    /// The function's name.
+    pub var: Var,
+    /// Run-time type parameters (shared by the nest).
+    pub cparams: Vec<CVar>,
+    /// Value parameters with their constructors.
+    pub params: Vec<(Var, Con)>,
+    /// Result constructor.
+    pub ret: Con,
+    /// Body.
+    pub body: MExp,
+}
+
+impl MFun {
+    /// This function's constructor.
+    pub fn con(&self) -> Con {
+        Con::Arrow {
+            cparams: self.cparams.clone(),
+            params: self.params.iter().map(|(_, c)| c.clone()).collect(),
+            ret: Box::new(self.ret.clone()),
+        }
+    }
+}
+
+/// An Lmli term.
+#[derive(Clone, Debug)]
+pub enum MExp {
+    /// Variable occurrence.
+    Var(Var),
+    /// Integer (and char/word/bool/enum) constant.
+    Int(i64),
+    /// Unboxed float constant.
+    Float(f64),
+    /// String constant.
+    Str(String),
+    /// Mutually recursive function nest.
+    Fix {
+        /// Functions (all sharing their `cparams` lists' length).
+        funs: Vec<MFun>,
+        /// Scope.
+        body: Box<MExp>,
+    },
+    /// Application: type arguments then value arguments, fully
+    /// saturated against the callee's `Arrow`.
+    App {
+        /// Callee.
+        f: Box<MExp>,
+        /// Run-time type arguments.
+        cargs: Vec<Con>,
+        /// Value arguments.
+        args: Vec<MExp>,
+    },
+    /// Monomorphic let.
+    Let {
+        /// Bound variable.
+        var: Var,
+        /// Right-hand side.
+        rhs: Box<MExp>,
+        /// Scope.
+        body: Box<MExp>,
+    },
+    /// Record construction (positional).
+    Record(Vec<MExp>),
+    /// Positional field selection.
+    Select(usize, Box<MExp>),
+    /// Datatype constructor application with *flattened* arguments
+    /// (`args` matches `MData::cons[tag]`; empty for nullary).
+    Con {
+        /// The datatype.
+        data: DataId,
+        /// Instantiation.
+        cargs: Vec<Con>,
+        /// Source constructor tag.
+        tag: usize,
+        /// Flattened field values.
+        args: Vec<MExp>,
+    },
+    /// Exception packet construction.
+    ExnCon {
+        /// The exception.
+        exn: ExnId,
+        /// Carried value.
+        arg: Option<Box<MExp>>,
+    },
+    /// Multi-way branch.
+    Switch(Box<MSwitch>),
+    /// Raise.
+    Raise {
+        /// The packet.
+        exn: Box<MExp>,
+        /// Type of the whole expression.
+        con: Con,
+    },
+    /// Handle.
+    Handle {
+        /// Protected body.
+        body: Box<MExp>,
+        /// Bound to the packet.
+        var: Var,
+        /// Handler.
+        handler: Box<MExp>,
+    },
+    /// Primitive application.
+    Prim {
+        /// The operation.
+        prim: MPrim,
+        /// Type arguments (for the polymorphic primitives).
+        cargs: Vec<Con>,
+        /// Arguments.
+        args: Vec<MExp>,
+    },
+    /// Intensional type analysis (the paper's §2.1 `typecase`):
+    /// branches on the run-time representation tag of `scrut`.
+    Typecase {
+        /// Analyzed constructor (a variable, or ground before constant
+        /// folding removes it).
+        scrut: Con,
+        /// Int-representation arm.
+        int: Box<MExp>,
+        /// Float-representation arm (scrut refines to `Boxed`).
+        float: Box<MExp>,
+        /// Pointer-representation arm.
+        ptr: Box<MExp>,
+        /// Result constructor (may mention the scrutinized variable;
+        /// each arm is checked under the corresponding refinement).
+        con: Con,
+    },
+}
+
+/// A multi-way branch.
+#[derive(Clone, Debug)]
+pub enum MSwitch {
+    /// On an integer (covers bool, enums, chars, ints).
+    Int {
+        /// Scrutinee.
+        scrut: MExp,
+        /// `(value, arm)` pairs.
+        arms: Vec<(i64, MExp)>,
+        /// Fallback (always present; enum exhaustiveness turned the
+        /// last arm into the default during conversion).
+        default: Box<MExp>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// On a (non-enum) datatype constructor; each arm binds the
+    /// flattened fields.
+    Data {
+        /// Scrutinee.
+        scrut: MExp,
+        /// The datatype.
+        data: DataId,
+        /// Instantiation.
+        cargs: Vec<Con>,
+        /// `(tag, field binders, arm)`.
+        arms: Vec<(usize, Vec<Var>, MExp)>,
+        /// Fallback (`None` when arms are exhaustive).
+        default: Option<Box<MExp>>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// On a string value.
+    Str {
+        /// Scrutinee.
+        scrut: MExp,
+        /// `(value, arm)` pairs.
+        arms: Vec<(String, MExp)>,
+        /// Fallback.
+        default: Box<MExp>,
+        /// Result constructor.
+        con: Con,
+    },
+    /// On an exception constructor.
+    Exn {
+        /// Scrutinee.
+        scrut: MExp,
+        /// `(exception, binder, arm)`.
+        arms: Vec<(ExnId, Option<Var>, MExp)>,
+        /// Fallback (usually a re-raise).
+        default: Box<MExp>,
+        /// Result constructor.
+        con: Con,
+    },
+}
+
+impl MExp {
+    /// The unit value.
+    pub fn unit() -> MExp {
+        MExp::Record(Vec::new())
+    }
+
+    /// Counts expression nodes.
+    pub fn size(&self) -> usize {
+        let mut n = 1usize;
+        self.for_each_child(&mut |c| n += c.size());
+        n
+    }
+
+    /// Calls `f` on each direct child.
+    pub fn for_each_child(&self, f: &mut impl FnMut(&MExp)) {
+        match self {
+            MExp::Var(_) | MExp::Int(_) | MExp::Float(_) | MExp::Str(_) => {}
+            MExp::Fix { funs, body } => {
+                for fun in funs {
+                    f(&fun.body);
+                }
+                f(body);
+            }
+            MExp::App { f: g, args, .. } => {
+                f(g);
+                for a in args {
+                    f(a);
+                }
+            }
+            MExp::Let { rhs, body, .. } => {
+                f(rhs);
+                f(body);
+            }
+            MExp::Record(fs) => {
+                for e in fs {
+                    f(e);
+                }
+            }
+            MExp::Select(_, e) => f(e),
+            MExp::Con { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            MExp::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+            MExp::Switch(sw) => match &**sw {
+                MSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, a) in arms {
+                        f(a);
+                    }
+                    f(default);
+                }
+                MSwitch::Data {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, a) in arms {
+                        f(a);
+                    }
+                    if let Some(d) = default {
+                        f(d);
+                    }
+                }
+                MSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, a) in arms {
+                        f(a);
+                    }
+                    f(default);
+                }
+                MSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, a) in arms {
+                        f(a);
+                    }
+                    f(default);
+                }
+            },
+            MExp::Raise { exn, .. } => f(exn),
+            MExp::Handle { body, handler, .. } => {
+                f(body);
+                f(handler);
+            }
+            MExp::Prim { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            MExp::Typecase {
+                int, float, ptr, ..
+            } => {
+                f(int);
+                f(float);
+                f(ptr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_nested() {
+        let e = MExp::Record(vec![MExp::Int(1), MExp::Int(2)]);
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn fun_con_includes_cparams() {
+        let mut cs = crate::con::CVarSupply::new();
+        let a = cs.fresh();
+        let mut vs = til_common::VarSupply::new();
+        let f = MFun {
+            var: vs.fresh(),
+            cparams: vec![a],
+            params: vec![(vs.fresh(), Con::Var(a))],
+            ret: Con::Var(a),
+            body: MExp::Int(0),
+        };
+        let Con::Arrow { cparams, .. } = f.con() else {
+            panic!()
+        };
+        assert_eq!(cparams, vec![a]);
+    }
+}

@@ -1,0 +1,1390 @@
+//! The Lambda→Lmli conversion: "introduce intensional polymorphism,
+//! choose data representations" (paper, Figure 1), fused with the
+//! type-directed optimizations of §3.2:
+//!
+//! * **argument flattening** — functions whose domain is a small record
+//!   take its components as multiple (register) arguments;
+//! * **constructor flattening** — datatype constructor arguments that
+//!   are records are flattened into the constructor cell, tags are
+//!   dropped when one value-carrying constructor suffices;
+//! * **float boxing** — `real` becomes a boxed float except inside
+//!   float arrays; explicit box/unbox coercions surround primitives;
+//! * **array specialization** — array operations split into int /
+//!   float / pointer variants, selected by `typecase` when the element
+//!   type is unknown;
+//! * **polymorphic equality** — `=` becomes a primitive specialized by
+//!   type, falling back to run-time type analysis.
+//!
+//! The baseline ("SML/NJ-like") mode turns all four off, producing the
+//! universal boxed representation the paper compares against.
+
+use crate::con::{rep_tag, Con, RepClass};
+use crate::data::{DataRep, MData, MDataEnv, MExnEnv};
+use crate::exp::{MExp, MFun, MProgram, MSwitch};
+use crate::prim::MPrim;
+use std::collections::HashMap;
+use til_common::{Diagnostic, Result, Var, VarSupply};
+use til_lambda::ty::{LTy, TyVar};
+use til_lambda::{DataEnv, LExp, LProgram, LSwitch, Prim};
+
+/// Representation-choice options (the paper's type-directed
+/// optimizations, individually toggleable for the ablation benches).
+#[derive(Clone, Copy, Debug)]
+pub struct LmliOptions {
+    /// Flatten small record arguments into multiple parameters.
+    pub flatten_args: bool,
+    /// Flatten constructor records; drop tags when possible.
+    pub flatten_cons: bool,
+    /// Box floats outside float arrays (§3.2; both TIL and SML/NJ do).
+    /// Must stay `true` when the program can reach a run-time
+    /// `typecase`: the float arm's refinement is `Boxed` by the
+    /// paper's convention (`real` values travel boxed).
+    pub box_floats: bool,
+    /// Specialize arrays into int/float/pointer variants.
+    pub specialize_arrays: bool,
+    /// Largest record (fields) that will be flattened.
+    pub max_flat: usize,
+}
+
+impl LmliOptions {
+    /// The TIL configuration.
+    pub fn til() -> LmliOptions {
+        LmliOptions {
+            flatten_args: true,
+            flatten_cons: true,
+            box_floats: true,
+            specialize_arrays: true,
+            max_flat: 9,
+        }
+    }
+
+    /// The baseline (universal representation) configuration.
+    pub fn baseline() -> LmliOptions {
+        LmliOptions {
+            flatten_args: false,
+            flatten_cons: false,
+            box_floats: true,
+            specialize_arrays: false,
+            max_flat: 0,
+        }
+    }
+}
+
+/// Converts a typed Lambda program into Lmli.
+pub fn from_lambda(
+    prog: &LProgram,
+    opts: &LmliOptions,
+    vs: &mut VarSupply,
+) -> Result<MProgram> {
+    let mdata = build_mdata(&prog.data_env, opts);
+    let mut exns = MExnEnv::new();
+    for i in 0..prog.exn_env.len() {
+        let info = prog.exn_env.get(til_lambda::ExnId(i as u32));
+        let arg = info
+            .arg
+            .as_ref()
+            .map(|t| tcon_with(t, &prog.data_env, opts));
+        exns.push(info.name, arg);
+    }
+    let mut cx = Cx {
+        denv: &prog.data_env,
+        eenv: &prog.exn_env,
+        opts,
+        vs,
+        mdata,
+        env: HashMap::new(),
+    };
+    let (body, body_ty) = cx.exp(&prog.body)?;
+    let con = cx.tcon(&body_ty);
+    Ok(MProgram {
+        data: cx.mdata,
+        exns,
+        body,
+        con,
+    })
+}
+
+/// Chooses every datatype's representation.
+fn build_mdata(denv: &DataEnv, opts: &LmliOptions) -> MDataEnv {
+    let mut out = MDataEnv::new();
+    for (_, info) in denv.iter() {
+        let carrying = info.num_carrying();
+        let rep = if carrying == 0 {
+            DataRep::Enum
+        } else if !opts.flatten_cons {
+            DataRep::Boxed
+        } else if carrying == 1 {
+            DataRep::Tagless
+        } else {
+            DataRep::Tagged
+        };
+        let cons = info
+            .cons
+            .iter()
+            .map(|c| {
+                c.arg.as_ref().map(|arg| match arg {
+                    LTy::Record(fs)
+                        if opts.flatten_cons
+                            && !fs.is_empty()
+                            && fs.len() <= opts.max_flat =>
+                    {
+                        fs.iter().map(|(_, t)| tcon_with(t, denv, opts)).collect()
+                    }
+                    other => vec![tcon_with(other, denv, opts)],
+                })
+            })
+            .collect();
+        out.push(MData {
+            name: info.name,
+            params: info.params.clone(),
+            rep,
+            cons,
+        });
+    }
+    out
+}
+
+/// The type translation (free function so `build_mdata` can use it).
+fn tcon_with(t: &LTy, denv: &DataEnv, opts: &LmliOptions) -> Con {
+    match t {
+        LTy::Var(tv) => Con::Var(*tv),
+        LTy::Uvar(_) => unreachable!("zonked before conversion"),
+        LTy::Int | LTy::Char => Con::Int,
+        LTy::Real => {
+            if opts.box_floats {
+                Con::Boxed
+            } else {
+                Con::Float
+            }
+        }
+        LTy::Str => Con::Str,
+        LTy::Exn => Con::Exn,
+        LTy::Arrow(a, b) => Con::Arrow {
+            cparams: vec![],
+            params: flatten_dom(a, denv, opts),
+            ret: Box::new(tcon_with(b, denv, opts)),
+        },
+        LTy::Record(fs) => {
+            Con::Record(fs.iter().map(|(_, t)| tcon_with(t, denv, opts)).collect())
+        }
+        LTy::Data(id, args) => {
+            if denv.get(*id).cons.iter().all(|c| c.arg.is_none()) {
+                Con::Int
+            } else {
+                Con::Data(
+                    *id,
+                    args.iter().map(|a| tcon_with(a, denv, opts)).collect(),
+                )
+            }
+        }
+        LTy::Array(t) => {
+            if opts.specialize_arrays {
+                Con::SpecArray(Box::new(tcon_with(t, denv, opts)))
+                    .normalize(&|id| denv.get(id).cons.iter().all(|c| c.arg.is_none()))
+            } else {
+                Con::Array(Box::new(tcon_with(t, denv, opts)))
+            }
+        }
+        LTy::Ref(t) => Con::Array(Box::new(tcon_with(t, denv, opts))),
+    }
+}
+
+/// Functions take exactly one parameter at conversion time; argument
+/// flattening is performed by the optimizer's worker/wrapper pass so
+/// that the flattened calling convention never leaks into positions
+/// typed by a variable (see `til-opt`'s `flatten` module).
+fn flatten_dom(t: &LTy, denv: &DataEnv, opts: &LmliOptions) -> Vec<Con> {
+    vec![tcon_with(t, denv, opts)]
+}
+
+#[derive(Clone)]
+struct VInfo {
+    tyvars: Vec<TyVar>,
+    ty: LTy,
+    /// Bound as a 0-ary polymorphic thunk (polymorphic non-function
+    /// value); every use must first apply it to its type arguments.
+    thunk: bool,
+}
+
+struct Cx<'a> {
+    denv: &'a DataEnv,
+    eenv: &'a til_lambda::ExnEnv,
+    opts: &'a LmliOptions,
+    vs: &'a mut VarSupply,
+    mdata: MDataEnv,
+    env: HashMap<Var, VInfo>,
+}
+
+impl<'a> Cx<'a> {
+    fn tcon(&self, t: &LTy) -> Con {
+        tcon_with(t, self.denv, self.opts)
+    }
+
+    fn is_enum(&self, id: til_lambda::DataId) -> bool {
+        self.mdata.get(id).is_enum()
+    }
+
+    fn lam_rep_tag(&self, t: &LTy) -> RepClass {
+        let c = self.tcon(t);
+        rep_tag(&c, &|id| self.is_enum(id))
+    }
+
+    fn bind(&mut self, v: Var, tyvars: Vec<TyVar>, ty: LTy, thunk: bool) {
+        self.env.insert(v, VInfo { tyvars, ty, thunk });
+    }
+
+    fn box_exp(&self, e: MExp) -> MExp {
+        if self.opts.box_floats {
+            MExp::Prim {
+                prim: MPrim::BoxFloat,
+                cargs: vec![],
+                args: vec![e],
+            }
+        } else {
+            e
+        }
+    }
+
+    fn unbox_exp(&self, e: MExp) -> MExp {
+        if self.opts.box_floats {
+            MExp::Prim {
+                prim: MPrim::UnboxFloat,
+                cargs: vec![],
+                args: vec![e],
+            }
+        } else {
+            e
+        }
+    }
+
+    fn ice(msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::ice("to-lmli", msg)
+    }
+
+    /// Converts an expression, returning its Lambda type alongside.
+    fn exp(&mut self, e: &LExp) -> Result<(MExp, LTy)> {
+        match e {
+            LExp::Var { var, tyargs } => {
+                let info = self
+                    .env
+                    .get(var)
+                    .cloned()
+                    .ok_or_else(|| Self::ice(format!("unbound {var}")))?;
+                let tyargs = if tyargs.is_empty() && !info.tyvars.is_empty() {
+                    info.tyvars.iter().map(|tv| LTy::Var(*tv)).collect()
+                } else {
+                    tyargs.clone()
+                };
+                if tyargs.is_empty() {
+                    return Ok((MExp::Var(*var), info.ty.clone()));
+                }
+                let map: HashMap<TyVar, LTy> = info
+                    .tyvars
+                    .iter()
+                    .copied()
+                    .zip(tyargs.iter().cloned())
+                    .collect();
+                let inst = info.ty.subst(&map);
+                let cargs: Vec<Con> = tyargs.iter().map(|t| self.tcon(t)).collect();
+                if info.thunk {
+                    return Ok((
+                        MExp::App {
+                            f: Box::new(MExp::Var(*var)),
+                            cargs,
+                            args: vec![],
+                        },
+                        inst,
+                    ));
+                }
+                // A polymorphic function used as a value: eta-expand so
+                // the resulting closure is monomorphic.
+                match &inst {
+                    LTy::Arrow(dom, _cod) => {
+                        let params: Vec<(Var, Con)> = flatten_dom(dom, self.denv, self.opts)
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, c)| (self.vs.fresh_named(&format!("x{i}")), c))
+                            .collect();
+                        let g = self.vs.fresh_named("eta");
+                        let ret = {
+                            let LTy::Arrow(_, cod) = &inst else {
+                                unreachable!()
+                            };
+                            self.tcon(cod)
+                        };
+                        let body = MExp::App {
+                            f: Box::new(MExp::Var(*var)),
+                            cargs,
+                            args: params.iter().map(|(v, _)| MExp::Var(*v)).collect(),
+                        };
+                        Ok((
+                            MExp::Fix {
+                                funs: vec![MFun {
+                                    var: g,
+                                    cparams: vec![],
+                                    params,
+                                    ret,
+                                    body,
+                                }],
+                                body: Box::new(MExp::Var(g)),
+                            },
+                            inst,
+                        ))
+                    }
+                    _ => Ok((
+                        MExp::App {
+                            f: Box::new(MExp::Var(*var)),
+                            cargs,
+                            args: vec![],
+                        },
+                        inst,
+                    )),
+                }
+            }
+            LExp::Int(n) => Ok((MExp::Int(*n), LTy::Int)),
+            LExp::Char(c) => Ok((MExp::Int(*c as i64), LTy::Char)),
+            LExp::Real(r) => Ok((self.box_exp(MExp::Float(*r)), LTy::Real)),
+            LExp::Str(s) => Ok((MExp::Str(s.clone()), LTy::Str)),
+            LExp::Fn {
+                param,
+                param_ty,
+                body,
+            } => {
+                let g = self.vs.fresh_named("anon");
+                let (f, bt) = self.convert_function(*param, param_ty, body, g, &[])?;
+                let fun_ty = LTy::Arrow(Box::new(param_ty.clone()), Box::new(bt));
+                Ok((
+                    MExp::Fix {
+                        funs: vec![f],
+                        body: Box::new(MExp::Var(g)),
+                    },
+                    fun_ty,
+                ))
+            }
+            LExp::App(f, a) => self.app(f, a),
+            LExp::Fix { tyvars, funs, body } => {
+                // Bind all names first (monomorphic within bodies).
+                for f in funs {
+                    let fty = LTy::Arrow(Box::new(f.param_ty.clone()), Box::new(f.ret_ty.clone()));
+                    self.bind(f.var, tyvars.clone(), fty, false);
+                }
+                let mut mfuns = Vec::new();
+                for f in funs {
+                    let (mf, _bt) =
+                        self.convert_function(f.param, &f.param_ty, &f.body, f.var, tyvars)?;
+                    mfuns.push(mf);
+                }
+                let (mb, bt) = self.exp(body)?;
+                Ok((
+                    MExp::Fix {
+                        funs: mfuns,
+                        body: Box::new(mb),
+                    },
+                    bt,
+                ))
+            }
+            LExp::Let {
+                var,
+                tyvars,
+                rhs,
+                body,
+            } => {
+                if tyvars.is_empty() {
+                    let (mr, rt) = self.exp(rhs)?;
+                    self.bind(*var, vec![], rt, false);
+                    let (mb, bt) = self.exp(body)?;
+                    Ok((
+                        MExp::Let {
+                            var: *var,
+                            rhs: Box::new(mr),
+                            body: Box::new(mb),
+                        },
+                        bt,
+                    ))
+                } else {
+                    // Polymorphic value: a 0-ary type-function.
+                    let (mr, rt) = self.exp(rhs)?;
+                    self.bind(*var, tyvars.clone(), rt.clone(), true);
+                    let (mb, bt) = self.exp(body)?;
+                    let ret = self.tcon(&rt);
+                    Ok((
+                        MExp::Fix {
+                            funs: vec![MFun {
+                                var: *var,
+                                cparams: tyvars.clone(),
+                                params: vec![],
+                                ret,
+                                body: mr,
+                            }],
+                            body: Box::new(mb),
+                        },
+                        bt,
+                    ))
+                }
+            }
+            LExp::Record(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                let mut tys = Vec::with_capacity(fields.len());
+                for (l, fe) in fields {
+                    let (me, t) = self.exp(fe)?;
+                    out.push(me);
+                    tys.push((*l, t));
+                }
+                Ok((MExp::Record(out), LTy::Record(tys)))
+            }
+            LExp::Select { label, arg } => {
+                let (ma, at) = self.exp(arg)?;
+                let LTy::Record(fs) = &at else {
+                    return Err(Self::ice("selection from non-record"));
+                };
+                let idx = fs
+                    .iter()
+                    .position(|(l, _)| l == label)
+                    .ok_or_else(|| Self::ice(format!("missing label {label}")))?;
+                let fty = fs[idx].1.clone();
+                Ok((MExp::Select(idx, Box::new(ma)), fty))
+            }
+            LExp::Con {
+                data,
+                tyargs,
+                tag,
+                arg,
+            } => self.con(*data, tyargs, *tag, arg.as_deref()),
+            LExp::ExnCon { exn, arg } => {
+                let ma = match arg {
+                    Some(a) => Some(Box::new(self.exp(a)?.0)),
+                    None => None,
+                };
+                Ok((MExp::ExnCon { exn: *exn, arg: ma }, LTy::Exn))
+            }
+            LExp::Switch(sw) => self.switch(sw),
+            LExp::Raise { exn, ty } => {
+                let (me, _) = self.exp(exn)?;
+                Ok((
+                    MExp::Raise {
+                        exn: Box::new(me),
+                        con: self.tcon(ty),
+                    },
+                    ty.clone(),
+                ))
+            }
+            LExp::Handle {
+                body,
+                handler_var,
+                handler,
+            } => {
+                let (mb, bt) = self.exp(body)?;
+                self.bind(*handler_var, vec![], LTy::Exn, false);
+                let (mh, _) = self.exp(handler)?;
+                Ok((
+                    MExp::Handle {
+                        body: Box::new(mb),
+                        var: *handler_var,
+                        handler: Box::new(mh),
+                    },
+                    bt,
+                ))
+            }
+            LExp::Prim { prim, tyargs, args } => self.prim(*prim, tyargs, args),
+        }
+    }
+
+    /// Converts one Lambda function (used by both `Fn` and `Fix`):
+    /// flattens the parameter record into multiple parameters and
+    /// rebinds the original record variable in the body.
+    fn convert_function(
+        &mut self,
+        param: Var,
+        param_ty: &LTy,
+        body: &LExp,
+        name: Var,
+        tyvars: &[TyVar],
+    ) -> Result<(MFun, LTy)> {
+        let params: Vec<(Var, Con)> = vec![(param, self.tcon(param_ty))];
+        self.bind(param, vec![], param_ty.clone(), false);
+        let (mb, bt) = self.exp(body)?;
+        Ok((
+            MFun {
+                var: name,
+                cparams: tyvars.to_vec(),
+                params,
+                ret: self.tcon(&bt),
+                body: mb,
+            },
+            bt,
+        ))
+    }
+
+    /// Converts `f a`, splatting flattened arguments.
+    fn app(&mut self, f: &LExp, a: &LExp) -> Result<(MExp, LTy)> {
+        // Resolve the callee without eta-expanding polymorphic vars.
+        let (mf, fty, cargs) = match f {
+            LExp::Var { var, tyargs } => {
+                let info = self
+                    .env
+                    .get(var)
+                    .cloned()
+                    .ok_or_else(|| Self::ice(format!("unbound {var}")))?;
+                let tyargs: Vec<LTy> = if tyargs.is_empty() && !info.tyvars.is_empty() {
+                    info.tyvars.iter().map(|tv| LTy::Var(*tv)).collect()
+                } else {
+                    tyargs.clone()
+                };
+                let map: HashMap<TyVar, LTy> = info
+                    .tyvars
+                    .iter()
+                    .copied()
+                    .zip(tyargs.iter().cloned())
+                    .collect();
+                let inst = info.ty.subst(&map);
+                let cargs: Vec<Con> = tyargs.iter().map(|t| self.tcon(t)).collect();
+                if info.thunk {
+                    // Force the thunk, then apply monomorphically.
+                    (
+                        MExp::App {
+                            f: Box::new(MExp::Var(*var)),
+                            cargs,
+                            args: vec![],
+                        },
+                        inst,
+                        vec![],
+                    )
+                } else {
+                    (MExp::Var(*var), inst, cargs)
+                }
+            }
+            other => {
+                let (mf, ft) = self.exp(other)?;
+                (mf, ft, vec![])
+            }
+        };
+        let LTy::Arrow(dom, cod) = &fty else {
+            return Err(Self::ice("application of non-arrow"));
+        };
+        let args = self.flatten_arg(dom, a)?;
+        match args {
+            FlatArgs::Direct(args) => Ok((
+                MExp::App {
+                    f: Box::new(mf),
+                    cargs,
+                    args,
+                },
+                (**cod).clone(),
+            )),
+        }
+    }
+
+    fn flatten_arg(&mut self, _dom: &LTy, a: &LExp) -> Result<FlatArgs> {
+        let (ma, _) = self.exp(a)?;
+        Ok(FlatArgs::Direct(vec![ma]))
+    }
+
+    /// Converts a constructor application.
+    fn con(
+        &mut self,
+        data: til_lambda::DataId,
+        tyargs: &[LTy],
+        tag: usize,
+        arg: Option<&LExp>,
+    ) -> Result<(MExp, LTy)> {
+        let dty = LTy::Data(data, tyargs.to_vec());
+        let md = self.mdata.get(data).clone();
+        if md.is_enum() {
+            return Ok((MExp::Int(md.enum_value(tag)), dty));
+        }
+        let cargs: Vec<Con> = tyargs.iter().map(|t| self.tcon(t)).collect();
+        match (&md.cons[tag], arg) {
+            (None, None) => Ok((
+                MExp::Con {
+                    data,
+                    cargs,
+                    tag,
+                    args: vec![],
+                },
+                dty,
+            )),
+            (Some(fields), Some(a)) => {
+                let args = if fields.len() == 1 {
+                    vec![self.exp(a)?.0]
+                } else {
+                    // Flattened: splat a record literal or select from
+                    // a temporary.
+                    match a {
+                        LExp::Record(fs) if fs.len() == fields.len() => {
+                            let mut out = Vec::with_capacity(fs.len());
+                            for (_, fe) in fs {
+                                out.push(self.exp(fe)?.0);
+                            }
+                            out
+                        }
+                        other => {
+                            let (ma, _) = self.exp(other)?;
+                            let tmp = self.vs.fresh_named("carg");
+                            let sel = (0..fields.len())
+                                .map(|i| MExp::Select(i, Box::new(MExp::Var(tmp))))
+                                .collect();
+                            return Ok((
+                                MExp::Let {
+                                    var: tmp,
+                                    rhs: Box::new(ma),
+                                    body: Box::new(MExp::Con {
+                                        data,
+                                        cargs,
+                                        tag,
+                                        args: sel,
+                                    }),
+                                },
+                                dty,
+                            ));
+                        }
+                    }
+                };
+                Ok((
+                    MExp::Con {
+                        data,
+                        cargs,
+                        tag,
+                        args,
+                    },
+                    dty,
+                ))
+            }
+            _ => Err(Self::ice("constructor arity mismatch")),
+        }
+    }
+
+    fn switch(&mut self, sw: &LSwitch) -> Result<(MExp, LTy)> {
+        match sw {
+            LSwitch::Data {
+                scrut,
+                data,
+                tyargs,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let (ms, _) = self.exp(scrut)?;
+                let md = self.mdata.get(*data).clone();
+                let rcon = result_ty.clone();
+                if md.is_enum() {
+                    // Enum switch: int switch over enum values.
+                    let mut iarms = Vec::new();
+                    for (tag, binder, arm) in arms {
+                        debug_assert!(binder.is_none());
+                        let (ma, _) = self.exp(arm)?;
+                        iarms.push((md.enum_value(*tag), ma));
+                    }
+                    let def = match default {
+                        Some(d) => self.exp(d)?.0,
+                        None => {
+                            // Exhaustive: last arm becomes the default.
+                            iarms
+                                .pop()
+                                .map(|(_, a)| a)
+                                .ok_or_else(|| Self::ice("empty enum switch"))?
+                        }
+                    };
+                    return Ok((
+                        MExp::Switch(Box::new(MSwitch::Int {
+                            scrut: ms,
+                            arms: iarms,
+                            default: Box::new(def),
+                            con: self.tcon(&rcon),
+                        })),
+                        rcon,
+                    ));
+                }
+                let cargs: Vec<Con> = tyargs.iter().map(|t| self.tcon(t)).collect();
+                let mut marms = Vec::new();
+                for (tag, binder, arm) in arms {
+                    match &md.cons[*tag] {
+                        None => {
+                            debug_assert!(binder.is_none());
+                            let (ma, _) = self.exp(arm)?;
+                            marms.push((*tag, vec![], ma));
+                        }
+                        Some(fields) => {
+                            // Bind the flattened fields; rebuild the
+                            // original record binder if present.
+                            let fvars: Vec<Var> = (0..fields.len())
+                                .map(|i| self.vs.fresh_named(&format!("f{i}")))
+                                .collect();
+                            let ma = match binder {
+                                Some(orig) => {
+                                    let carried = self
+                                        .denv
+                                        .get(*data)
+                                        .con_arg_ty(*tag, tyargs)
+                                        .expect("carrying");
+                                    self.bind(*orig, vec![], carried.clone(), false);
+                                    let (inner, _) = self.exp(arm)?;
+                                    let rhs = if fields.len() == 1 {
+                                        MExp::Var(fvars[0])
+                                    } else {
+                                        MExp::Record(
+                                            fvars.iter().map(|v| MExp::Var(*v)).collect(),
+                                        )
+                                    };
+                                    MExp::Let {
+                                        var: *orig,
+                                        rhs: Box::new(rhs),
+                                        body: Box::new(inner),
+                                    }
+                                }
+                                None => self.exp(arm)?.0,
+                            };
+                            marms.push((*tag, fvars, ma));
+                        }
+                    }
+                }
+                let mdefault = match default {
+                    Some(d) => Some(Box::new(self.exp(d)?.0)),
+                    None => None,
+                };
+                Ok((
+                    MExp::Switch(Box::new(MSwitch::Data {
+                        scrut: ms,
+                        data: *data,
+                        cargs,
+                        arms: marms,
+                        default: mdefault,
+                        con: self.tcon(&rcon),
+                    })),
+                    rcon,
+                ))
+            }
+            LSwitch::Int {
+                scrut,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let (ms, _) = self.exp(scrut)?;
+                let mut marms = Vec::new();
+                for (k, a) in arms {
+                    marms.push((*k, self.exp(a)?.0));
+                }
+                let (md, _) = self.exp(default)?;
+                Ok((
+                    MExp::Switch(Box::new(MSwitch::Int {
+                        scrut: ms,
+                        arms: marms,
+                        default: Box::new(md),
+                        con: self.tcon(result_ty),
+                    })),
+                    result_ty.clone(),
+                ))
+            }
+            LSwitch::Str {
+                scrut,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let (ms, _) = self.exp(scrut)?;
+                let mut marms = Vec::new();
+                for (k, a) in arms {
+                    marms.push((k.clone(), self.exp(a)?.0));
+                }
+                let (md, _) = self.exp(default)?;
+                Ok((
+                    MExp::Switch(Box::new(MSwitch::Str {
+                        scrut: ms,
+                        arms: marms,
+                        default: Box::new(md),
+                        con: self.tcon(result_ty),
+                    })),
+                    result_ty.clone(),
+                ))
+            }
+            LSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                result_ty,
+            } => {
+                let (ms, _) = self.exp(scrut)?;
+                let mut marms = Vec::new();
+                for (id, binder, a) in arms {
+                    if let Some(b) = binder {
+                        let arg_ty = self
+                            .denv_exn_arg(*id)
+                            .ok_or_else(|| Self::ice("binder on constant exception"))?;
+                        self.bind(*b, vec![], arg_ty, false);
+                    }
+                    marms.push((*id, *binder, self.exp(a)?.0));
+                }
+                let (md, _) = self.exp(default)?;
+                Ok((
+                    MExp::Switch(Box::new(MSwitch::Exn {
+                        scrut: ms,
+                        arms: marms,
+                        default: Box::new(md),
+                        con: self.tcon(result_ty),
+                    })),
+                    result_ty.clone(),
+                ))
+            }
+        }
+    }
+
+    fn denv_exn_arg(&self, id: til_lambda::ExnId) -> Option<LTy> {
+        self.eenv.get(id).arg.clone()
+    }
+
+    /// Converts a primitive application (the representation-level
+    /// heart of the conversion).
+    fn prim(&mut self, p: Prim, tyargs: &[LTy], args: &[LExp]) -> Result<(MExp, LTy)> {
+        use MPrim as M;
+        use Prim as P;
+        // Direct structural mappings.
+        let direct = |m: MPrim| Some(m);
+        let mapped: Option<MPrim> = match p {
+            P::IAdd => direct(M::IAdd),
+            P::ISub => direct(M::ISub),
+            P::IMul => direct(M::IMul),
+            P::IDiv => direct(M::IDiv),
+            P::IMod => direct(M::IMod),
+            P::INeg => direct(M::INeg),
+            P::IAbs => direct(M::IAbs),
+            P::ILt | P::CLt => direct(M::ILt),
+            P::ILe | P::CLe => direct(M::ILe),
+            P::IGt | P::CGt => direct(M::IGt),
+            P::IGe | P::CGe => direct(M::IGe),
+            P::IEq | P::CEq => direct(M::IEq),
+            P::INe | P::CNe => direct(M::INe),
+            P::AndB => direct(M::AndB),
+            P::OrB => direct(M::OrB),
+            P::XorB => direct(M::XorB),
+            P::NotB => direct(M::NotB),
+            P::Lsl => direct(M::Lsl),
+            P::Lsr => direct(M::Lsr),
+            P::Asr => direct(M::Asr),
+            P::CChr => direct(M::Chr),
+            P::StrSize => direct(M::StrSize),
+            P::StrSub => direct(M::StrSub),
+            P::StrConcat => direct(M::StrConcat),
+            P::StrFromChar => direct(M::StrFromChar),
+            P::StrCmp => direct(M::StrCmp),
+            P::IntToString => direct(M::IntToString),
+            P::Print => direct(M::Print),
+            P::COrd => None, // identity
+            _ => None,
+        };
+        if let Some(m) = mapped {
+            let mut margs = Vec::with_capacity(args.len());
+            for a in args {
+                margs.push(self.exp(a)?.0);
+            }
+            let ret = self.lam_prim_ret(p, tyargs);
+            return Ok((
+                MExp::Prim {
+                    prim: m,
+                    cargs: vec![],
+                    args: margs,
+                },
+                ret,
+            ));
+        }
+        match p {
+            P::COrd => {
+                let (ma, _) = self.exp(&args[0])?;
+                Ok((ma, LTy::Int))
+            }
+            // Floats: unbox arguments, box float results.
+            P::RAdd | P::RSub | P::RMul | P::RDiv => {
+                let m = match p {
+                    P::RAdd => M::FAdd,
+                    P::RSub => M::FSub,
+                    P::RMul => M::FMul,
+                    _ => M::FDiv,
+                };
+                let a = self.exp(&args[0])?.0;
+                let b = self.exp(&args[1])?.0;
+                let inner = MExp::Prim {
+                    prim: m,
+                    cargs: vec![],
+                    args: vec![self.unbox_exp(a), self.unbox_exp(b)],
+                };
+                Ok((self.box_exp(inner), LTy::Real))
+            }
+            P::RNeg | P::RAbs | P::Sqrt | P::Sin | P::Cos | P::Atan | P::ExpR | P::Ln => {
+                let m = match p {
+                    P::RNeg => M::FNeg,
+                    P::RAbs => M::FAbs,
+                    P::Sqrt => M::FSqrt,
+                    P::Sin => M::FSin,
+                    P::Cos => M::FCos,
+                    P::Atan => M::FAtan,
+                    P::ExpR => M::FExp,
+                    _ => M::FLn,
+                };
+                let a = self.exp(&args[0])?.0;
+                let inner = MExp::Prim {
+                    prim: m,
+                    cargs: vec![],
+                    args: vec![self.unbox_exp(a)],
+                };
+                Ok((self.box_exp(inner), LTy::Real))
+            }
+            P::RLt | P::RLe | P::RGt | P::RGe | P::REq | P::RNe => {
+                let m = match p {
+                    P::RLt => M::FLt,
+                    P::RLe => M::FLe,
+                    P::RGt => M::FGt,
+                    P::RGe => M::FGe,
+                    P::REq => M::FEq,
+                    _ => M::FNe,
+                };
+                let a = self.exp(&args[0])?.0;
+                let b = self.exp(&args[1])?.0;
+                Ok((
+                    MExp::Prim {
+                        prim: m,
+                        cargs: vec![],
+                        args: vec![self.unbox_exp(a), self.unbox_exp(b)],
+                    },
+                    LTy::bool_ty(),
+                ))
+            }
+            P::RealFromInt => {
+                let a = self.exp(&args[0])?.0;
+                let inner = MExp::Prim {
+                    prim: M::ItoF,
+                    cargs: vec![],
+                    args: vec![a],
+                };
+                Ok((self.box_exp(inner), LTy::Real))
+            }
+            P::Floor | P::Trunc => {
+                let m = if matches!(p, P::Floor) {
+                    M::Floor
+                } else {
+                    M::Trunc
+                };
+                let a = self.exp(&args[0])?.0;
+                Ok((
+                    MExp::Prim {
+                        prim: m,
+                        cargs: vec![],
+                        args: vec![self.unbox_exp(a)],
+                    },
+                    LTy::Int,
+                ))
+            }
+            P::RealToString => {
+                let a = self.exp(&args[0])?.0;
+                Ok((
+                    MExp::Prim {
+                        prim: M::FToString,
+                        cargs: vec![],
+                        args: vec![self.unbox_exp(a)],
+                    },
+                    LTy::Str,
+                ))
+            }
+            // Arrays.
+            P::ArrayNew => self.array_new(&tyargs[0], &args[0], &args[1]),
+            P::ArraySubU => self.array_sub(&tyargs[0], &args[0], &args[1]),
+            P::ArrayUpdateU => self.array_upd(&tyargs[0], &args[0], &args[1], &args[2]),
+            P::ArrayLength => {
+                let (ma, at) = self.exp(&args[0])?;
+                let elem = self.tcon(&tyargs[0]);
+                let _ = at;
+                Ok((
+                    MExp::Prim {
+                        prim: M::ALen,
+                        cargs: vec![elem],
+                        args: vec![ma],
+                    },
+                    LTy::Int,
+                ))
+            }
+            // References: one-element arrays, never float-specialized.
+            P::RefNew => {
+                let one = MExp::Int(1);
+                let (mv, _) = self.exp(&args[0])?;
+                let e = self.ref_like_op(&tyargs[0], RefOp::New, vec![one, mv]);
+                Ok((e, LTy::Ref(Box::new(tyargs[0].clone()))))
+            }
+            P::RefGet => {
+                let (mr, _) = self.exp(&args[0])?;
+                let e = self.ref_like_op(&tyargs[0], RefOp::Get, vec![mr, MExp::Int(0)]);
+                Ok((e, tyargs[0].clone()))
+            }
+            P::RefSet => {
+                let (mr, _) = self.exp(&args[0])?;
+                let (mv, _) = self.exp(&args[1])?;
+                let e = self.ref_like_op(&tyargs[0], RefOp::Set, vec![mr, MExp::Int(0), mv]);
+                Ok((e, LTy::unit()))
+            }
+            P::PolyEq => self.polyeq(&tyargs[0], &args[0], &args[1]),
+            P::OverloadArith(_) | P::OverloadCmp(_) | P::OverloadNeg | P::OverloadAbs => {
+                Err(Self::ice("overload placeholder survived zonking"))
+            }
+            _ => Err(Self::ice(format!("unhandled primitive {p}"))),
+        }
+    }
+
+    fn lam_prim_ret(&self, p: Prim, tyargs: &[LTy]) -> LTy {
+        let sig = p.sig().expect("mapped prims have signatures");
+        let map: HashMap<TyVar, LTy> = (0..sig.tyvars)
+            .map(|i| (TyVar(i as u32), tyargs[i].clone()))
+            .collect();
+        sig.ret.subst(&map)
+    }
+
+    // ------------------------------------------------------ array ops
+
+    fn array_new(&mut self, elem: &LTy, n: &LExp, init: &LExp) -> Result<(MExp, LTy)> {
+        let rty = LTy::Array(Box::new(elem.clone()));
+        let (mn, _) = self.exp(n)?;
+        let (mi, _) = self.exp(init)?;
+        if !self.opts.specialize_arrays {
+            let c = self.tcon(elem);
+            return Ok((
+                MExp::Prim {
+                    prim: MPrim::PANew,
+                    cargs: vec![c],
+                    args: vec![mn, mi],
+                },
+                rty,
+            ));
+        }
+        let e = match self.lam_rep_tag(elem) {
+            RepClass::Int => MExp::Prim {
+                prim: MPrim::IANew,
+                cargs: vec![],
+                args: vec![mn, mi],
+            },
+            RepClass::Float => MExp::Prim {
+                prim: MPrim::FANew,
+                cargs: vec![],
+                args: vec![mn, self.unbox_exp(mi)],
+            },
+            RepClass::Ptr => MExp::Prim {
+                prim: MPrim::PANew,
+                cargs: vec![self.tcon(elem)],
+                args: vec![mn, mi],
+            },
+            RepClass::Unknown => {
+                // The paper's typecase: bind the operands once, then
+                // branch on the element type's representation.
+                let LTy::Var(tv) = elem else {
+                    return Err(Self::ice("unknown array element that is not a variable"));
+                };
+                let vn = self.vs.fresh_named("n");
+                let vi = self.vs.fresh_named("init");
+                let tc = MExp::Typecase {
+                    scrut: Con::Var(*tv),
+                    int: Box::new(MExp::Prim {
+                        prim: MPrim::IANew,
+                        cargs: vec![],
+                        args: vec![MExp::Var(vn), MExp::Var(vi)],
+                    }),
+                    float: Box::new(MExp::Prim {
+                        prim: MPrim::FANew,
+                        cargs: vec![],
+                        args: vec![MExp::Var(vn), self.unbox_exp(MExp::Var(vi))],
+                    }),
+                    ptr: Box::new(MExp::Prim {
+                        prim: MPrim::PANew,
+                        cargs: vec![Con::Var(*tv)],
+                        args: vec![MExp::Var(vn), MExp::Var(vi)],
+                    }),
+                    con: Con::SpecArray(Box::new(Con::Var(*tv))),
+                };
+                MExp::Let {
+                    var: vn,
+                    rhs: Box::new(mn),
+                    body: Box::new(MExp::Let {
+                        var: vi,
+                        rhs: Box::new(mi),
+                        body: Box::new(tc),
+                    }),
+                }
+            }
+        };
+        Ok((e, rty))
+    }
+
+    fn array_sub(&mut self, elem: &LTy, arr: &LExp, idx: &LExp) -> Result<(MExp, LTy)> {
+        let (ma, _) = self.exp(arr)?;
+        let (mi, _) = self.exp(idx)?;
+        if !self.opts.specialize_arrays {
+            let c = self.tcon(elem);
+            return Ok((
+                MExp::Prim {
+                    prim: MPrim::PASub,
+                    cargs: vec![c],
+                    args: vec![ma, mi],
+                },
+                elem.clone(),
+            ));
+        }
+        let e = match self.lam_rep_tag(elem) {
+            RepClass::Int => MExp::Prim {
+                prim: MPrim::IASub,
+                cargs: vec![],
+                args: vec![ma, mi],
+            },
+            RepClass::Float => {
+                let inner = MExp::Prim {
+                    prim: MPrim::FASub,
+                    cargs: vec![],
+                    args: vec![ma, mi],
+                };
+                self.box_exp(inner)
+            }
+            RepClass::Ptr => MExp::Prim {
+                prim: MPrim::PASub,
+                cargs: vec![self.tcon(elem)],
+                args: vec![ma, mi],
+            },
+            RepClass::Unknown => {
+                let LTy::Var(tv) = elem else {
+                    return Err(Self::ice("unknown array element that is not a variable"));
+                };
+                let va = self.vs.fresh_named("arr");
+                let vi = self.vs.fresh_named("i");
+                let boxed_read = {
+                    let inner = MExp::Prim {
+                        prim: MPrim::FASub,
+                        cargs: vec![],
+                        args: vec![MExp::Var(va), MExp::Var(vi)],
+                    };
+                    self.box_exp(inner)
+                };
+                let tc = MExp::Typecase {
+                    scrut: Con::Var(*tv),
+                    int: Box::new(MExp::Prim {
+                        prim: MPrim::IASub,
+                        cargs: vec![],
+                        args: vec![MExp::Var(va), MExp::Var(vi)],
+                    }),
+                    float: Box::new(boxed_read),
+                    ptr: Box::new(MExp::Prim {
+                        prim: MPrim::PASub,
+                        cargs: vec![Con::Var(*tv)],
+                        args: vec![MExp::Var(va), MExp::Var(vi)],
+                    }),
+                    con: Con::Var(*tv),
+                };
+                MExp::Let {
+                    var: va,
+                    rhs: Box::new(ma),
+                    body: Box::new(MExp::Let {
+                        var: vi,
+                        rhs: Box::new(mi),
+                        body: Box::new(tc),
+                    }),
+                }
+            }
+        };
+        Ok((e, elem.clone()))
+    }
+
+    fn array_upd(
+        &mut self,
+        elem: &LTy,
+        arr: &LExp,
+        idx: &LExp,
+        val: &LExp,
+    ) -> Result<(MExp, LTy)> {
+        let (ma, _) = self.exp(arr)?;
+        let (mi, _) = self.exp(idx)?;
+        let (mv, _) = self.exp(val)?;
+        if !self.opts.specialize_arrays {
+            let c = self.tcon(elem);
+            return Ok((
+                MExp::Prim {
+                    prim: MPrim::PAUpd,
+                    cargs: vec![c],
+                    args: vec![ma, mi, mv],
+                },
+                LTy::unit(),
+            ));
+        }
+        let e = match self.lam_rep_tag(elem) {
+            RepClass::Int => MExp::Prim {
+                prim: MPrim::IAUpd,
+                cargs: vec![],
+                args: vec![ma, mi, mv],
+            },
+            RepClass::Float => MExp::Prim {
+                prim: MPrim::FAUpd,
+                cargs: vec![],
+                args: vec![ma, mi, self.unbox_exp(mv)],
+            },
+            RepClass::Ptr => MExp::Prim {
+                prim: MPrim::PAUpd,
+                cargs: vec![self.tcon(elem)],
+                args: vec![ma, mi, mv],
+            },
+            RepClass::Unknown => {
+                let LTy::Var(tv) = elem else {
+                    return Err(Self::ice("unknown array element that is not a variable"));
+                };
+                let va = self.vs.fresh_named("arr");
+                let vi = self.vs.fresh_named("i");
+                let vv = self.vs.fresh_named("v");
+                let tc = MExp::Typecase {
+                    scrut: Con::Var(*tv),
+                    int: Box::new(MExp::Prim {
+                        prim: MPrim::IAUpd,
+                        cargs: vec![],
+                        args: vec![MExp::Var(va), MExp::Var(vi), MExp::Var(vv)],
+                    }),
+                    float: Box::new(MExp::Prim {
+                        prim: MPrim::FAUpd,
+                        cargs: vec![],
+                        args: vec![
+                            MExp::Var(va),
+                            MExp::Var(vi),
+                            self.unbox_exp(MExp::Var(vv)),
+                        ],
+                    }),
+                    ptr: Box::new(MExp::Prim {
+                        prim: MPrim::PAUpd,
+                        cargs: vec![Con::Var(*tv)],
+                        args: vec![MExp::Var(va), MExp::Var(vi), MExp::Var(vv)],
+                    }),
+                    con: Con::unit(),
+                };
+                MExp::Let {
+                    var: va,
+                    rhs: Box::new(ma),
+                    body: Box::new(MExp::Let {
+                        var: vi,
+                        rhs: Box::new(mi),
+                        body: Box::new(MExp::Let {
+                            var: vv,
+                            rhs: Box::new(mv),
+                            body: Box::new(tc),
+                        }),
+                    }),
+                }
+            }
+        };
+        Ok((e, LTy::unit()))
+    }
+
+    /// Reference-cell operations (unspecialized arrays of length 1).
+    /// `real ref` keeps its contents boxed, so the float arm of the
+    /// typecase uses pointer operations at element type `Boxed`.
+    fn ref_like_op(&mut self, elem: &LTy, op: RefOp, args: Vec<MExp>) -> MExp {
+        let (iprim, pprim) = match op {
+            RefOp::New => (MPrim::IANew, MPrim::PANew),
+            RefOp::Get => (MPrim::IASub, MPrim::PASub),
+            RefOp::Set => (MPrim::IAUpd, MPrim::PAUpd),
+        };
+        match self.lam_rep_tag(elem) {
+            RepClass::Int => MExp::Prim {
+                prim: iprim,
+                cargs: vec![],
+                args,
+            },
+            RepClass::Float | RepClass::Ptr => MExp::Prim {
+                prim: pprim,
+                cargs: vec![self.tcon(elem)],
+                args,
+            },
+            RepClass::Unknown => {
+                let LTy::Var(tv) = elem else {
+                    // Typecase constructors never land here with our
+                    // front end; conservatively use pointer ops.
+                    return MExp::Prim {
+                        prim: pprim,
+                        cargs: vec![self.tcon(elem)],
+                        args,
+                    };
+                };
+                // Bind operands once.
+                let vars: Vec<Var> = args.iter().map(|_| self.vs.fresh()).collect();
+                let atom_args: Vec<MExp> = vars.iter().map(|v| MExp::Var(*v)).collect();
+                let con = match op {
+                    RefOp::New => Con::Array(Box::new(Con::Var(*tv))),
+                    RefOp::Get => Con::Var(*tv),
+                    RefOp::Set => Con::unit(),
+                };
+                let tc = MExp::Typecase {
+                    scrut: Con::Var(*tv),
+                    int: Box::new(MExp::Prim {
+                        prim: iprim,
+                        cargs: vec![],
+                        args: atom_args.clone(),
+                    }),
+                    float: Box::new(MExp::Prim {
+                        prim: pprim,
+                        cargs: vec![Con::Boxed],
+                        args: atom_args.clone(),
+                    }),
+                    ptr: Box::new(MExp::Prim {
+                        prim: pprim,
+                        cargs: vec![Con::Var(*tv)],
+                        args: atom_args,
+                    }),
+                    con,
+                };
+                let mut e = tc;
+                for (v, a) in vars.into_iter().zip(args).rev() {
+                    e = MExp::Let {
+                        var: v,
+                        rhs: Box::new(a),
+                        body: Box::new(e),
+                    };
+                }
+                e
+            }
+        }
+    }
+
+    /// Polymorphic equality: specialized by type when possible.
+    fn polyeq(&mut self, t: &LTy, a: &LExp, b: &LExp) -> Result<(MExp, LTy)> {
+        let (ma, _) = self.exp(a)?;
+        let (mb, _) = self.exp(b)?;
+        let e = match t {
+            LTy::Int | LTy::Char => MExp::Prim {
+                prim: MPrim::IEq,
+                cargs: vec![],
+                args: vec![ma, mb],
+            },
+            LTy::Data(id, _) if self.is_enum(*id) => MExp::Prim {
+                prim: MPrim::IEq,
+                cargs: vec![],
+                args: vec![ma, mb],
+            },
+            LTy::Real => MExp::Prim {
+                prim: MPrim::FEq,
+                cargs: vec![],
+                args: vec![self.unbox_exp(ma), self.unbox_exp(mb)],
+            },
+            LTy::Str => MExp::Prim {
+                prim: MPrim::SEq,
+                cargs: vec![],
+                args: vec![ma, mb],
+            },
+            LTy::Ref(_) | LTy::Array(_) => MExp::Prim {
+                prim: MPrim::PtrEq,
+                cargs: vec![self.tcon(t)],
+                args: vec![ma, mb],
+            },
+            other => MExp::Prim {
+                prim: MPrim::PolyEq,
+                cargs: vec![self.tcon(other)],
+                args: vec![ma, mb],
+            },
+        };
+        Ok((e, LTy::bool_ty()))
+    }
+}
+
+enum RefOp {
+    New,
+    Get,
+    Set,
+}
+
+enum FlatArgs {
+    Direct(Vec<MExp>),
+}

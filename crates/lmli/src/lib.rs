@@ -1,0 +1,27 @@
+//! **Lmli** (λML_i) — the intensionally polymorphic intermediate
+//! language at the heart of TIL (paper §3.2, based on Harper &
+//! Morrisett's intensional type analysis).
+//!
+//! Types are run-time values here: polymorphic functions take
+//! constructor arguments, `typecase` branches on a constructor's
+//! representation tag, and the `Typecase` *constructor* tracks that
+//! branching at the type level. The Lambda→Lmli conversion
+//! ([`from_lambda`]) performs the paper's type-directed optimizations
+//! (argument flattening, constructor flattening, float boxing, array
+//! specialization, polymorphic equality) — or none of them, in the
+//! baseline universal-representation mode.
+
+pub mod con;
+pub mod data;
+pub mod exp;
+pub mod from_lambda;
+pub mod prim;
+pub mod print;
+pub mod typecheck;
+
+pub use con::{con_eq, rep_class, rep_tag, CVar, CVarSupply, Con, RepClass};
+pub use data::{DataRep, MData, MDataEnv, MExnEnv};
+pub use exp::{MExp, MFun, MProgram, MSwitch};
+pub use from_lambda::{from_lambda, LmliOptions};
+pub use prim::{MPrim, MPrimSig};
+pub use typecheck::{typecheck_lmli, ConCtx, Refinement};

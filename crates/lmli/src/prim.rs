@@ -1,0 +1,391 @@
+//! Lmli primitives: the representation-level operation set.
+//!
+//! Array and reference operations have been specialized into int /
+//! float / pointer variants (the paper's §3.2 array specialization;
+//! `'a ref` became a one-element array). Floats are manipulated
+//! unboxed, with explicit [`MPrim::BoxFloat`]/[`MPrim::UnboxFloat`]
+//! coercions that the optimizer's constant folding later cancels.
+
+use crate::con::Con;
+use std::fmt;
+
+/// An Lmli primitive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MPrim {
+    // Integer (and char) operations.
+    /// `+` (raises `Overflow`).
+    IAdd,
+    /// `-` (raises `Overflow`).
+    ISub,
+    /// `*` (raises `Overflow`).
+    IMul,
+    /// `div` (raises `Div`).
+    IDiv,
+    /// `mod` (raises `Div`).
+    IMod,
+    /// Negation.
+    INeg,
+    /// Absolute value.
+    IAbs,
+    /// `<`.
+    ILt,
+    /// `<=`.
+    ILe,
+    /// `>`.
+    IGt,
+    /// `>=`.
+    IGe,
+    /// `=`.
+    IEq,
+    /// `<>`.
+    INe,
+    /// Bitwise and.
+    AndB,
+    /// Bitwise or.
+    OrB,
+    /// Bitwise xor.
+    XorB,
+    /// Bitwise not.
+    NotB,
+    /// Shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+    /// Range-checked char from int (raises `Chr`); chars are ints.
+    Chr,
+
+    // Unboxed float operations.
+    /// Float `+`.
+    FAdd,
+    /// Float `-`.
+    FSub,
+    /// Float `*`.
+    FMul,
+    /// Float `/`.
+    FDiv,
+    /// Float negation.
+    FNeg,
+    /// Float absolute value.
+    FAbs,
+    /// Float `<`.
+    FLt,
+    /// Float `<=`.
+    FLe,
+    /// Float `>`.
+    FGt,
+    /// Float `>=`.
+    FGe,
+    /// Float `=`.
+    FEq,
+    /// Float `<>`.
+    FNe,
+    /// int → float.
+    ItoF,
+    /// floor : float → int (raises `Overflow`).
+    Floor,
+    /// trunc : float → int (raises `Overflow`).
+    Trunc,
+    /// sqrt (raises `Domain`).
+    FSqrt,
+    /// sin.
+    FSin,
+    /// cos.
+    FCos,
+    /// atan.
+    FAtan,
+    /// e^x.
+    FExp,
+    /// ln (raises `Domain`).
+    FLn,
+    /// Allocate a boxed float from an unboxed one.
+    BoxFloat,
+    /// Read the float out of a box.
+    UnboxFloat,
+
+    // Strings.
+    /// Length in characters.
+    StrSize,
+    /// Character at index (raises `Subscript`).
+    StrSub,
+    /// Concatenation.
+    StrConcat,
+    /// One-character string from a char code.
+    StrFromChar,
+    /// Three-way comparison.
+    StrCmp,
+    /// String equality.
+    SEq,
+    /// Int rendering.
+    IntToString,
+    /// Float rendering (takes an unboxed float).
+    FToString,
+    /// Write a string to standard output.
+    Print,
+
+    // Specialized arrays (paper §3.2). Sub/update are **unchecked**;
+    // the prelude's `Array.sub` wraps them in explicit bounds tests.
+    /// New int array (raises `Size`).
+    IANew,
+    /// Unchecked int-array read.
+    IASub,
+    /// Unchecked int-array write.
+    IAUpd,
+    /// New float array, unboxed elements (raises `Size`).
+    FANew,
+    /// Unchecked float-array read (returns unboxed).
+    FASub,
+    /// Unchecked float-array write (takes unboxed).
+    FAUpd,
+    /// New pointer array (raises `Size`).
+    PANew,
+    /// Unchecked pointer-array read.
+    PASub,
+    /// Unchecked pointer-array write.
+    PAUpd,
+    /// Array length (any array representation).
+    ALen,
+
+    /// Tag-free polymorphic structural equality at the given
+    /// constructor (one carg): specialized away when the constructor
+    /// is ground enough, interpreted from the run-time type otherwise.
+    PolyEq,
+    /// Pointer identity (refs and arrays under `=`).
+    PtrEq,
+}
+
+/// Primitive signature: `cparams` type parameters (referenced in
+/// args/ret by the local convention `Con::Var(CVar(i))`), argument
+/// constructors, result constructor.
+#[derive(Clone, Debug)]
+pub struct MPrimSig {
+    /// Number of constructor parameters.
+    pub cparams: usize,
+    /// Argument constructors.
+    pub args: Vec<Con>,
+    /// Result constructor.
+    pub ret: Con,
+}
+
+impl MPrim {
+    /// The signature of the primitive.
+    pub fn sig(&self) -> MPrimSig {
+        use crate::con::CVar;
+        use Con::*;
+        use MPrim::*;
+        let t0 = || Con::Var(CVar(0));
+        let s = |args: Vec<Con>, ret: Con| MPrimSig {
+            cparams: 0,
+            args,
+            ret,
+        };
+        let sp = |args: Vec<Con>, ret: Con| MPrimSig {
+            cparams: 1,
+            args,
+            ret,
+        };
+        match self {
+            IAdd | ISub | IMul | IDiv | IMod | AndB | OrB | XorB | Lsl | Lsr | Asr => {
+                s(vec![Int, Int], Int)
+            }
+            INeg | IAbs | NotB | Chr => s(vec![Int], Int),
+            ILt | ILe | IGt | IGe | IEq | INe => s(vec![Int, Int], Int),
+            FAdd | FSub | FMul | FDiv => s(vec![Float, Float], Float),
+            FNeg | FAbs | FSqrt | FSin | FCos | FAtan | FExp | FLn => s(vec![Float], Float),
+            FLt | FLe | FGt | FGe | FEq | FNe => s(vec![Float, Float], Int),
+            ItoF => s(vec![Int], Float),
+            Floor | Trunc => s(vec![Float], Int),
+            BoxFloat => s(vec![Float], Boxed),
+            UnboxFloat => s(vec![Boxed], Float),
+            StrSize => s(vec![Str], Int),
+            StrSub => s(vec![Str, Int], Int),
+            StrConcat => s(vec![Str, Str], Str),
+            StrFromChar => s(vec![Int], Str),
+            StrCmp => s(vec![Str, Str], Int),
+            SEq => s(vec![Str, Str], Int),
+            IntToString => s(vec![Int], Str),
+            FToString => s(vec![Float], Str),
+            Print => s(vec![Str], Con::unit()),
+            IANew => s(vec![Int, Int], Array(Box::new(Int))),
+            IASub => s(vec![Array(Box::new(Int)), Int], Int),
+            IAUpd => s(vec![Array(Box::new(Int)), Int, Int], Con::unit()),
+            FANew => s(vec![Int, Float], Array(Box::new(Float))),
+            FASub => s(vec![Array(Box::new(Float)), Int], Float),
+            FAUpd => s(vec![Array(Box::new(Float)), Int, Float], Con::unit()),
+            // Pointer arrays hold any representation selected at run
+            // time; they are typed at the element constructor.
+            PANew => sp(vec![Int, t0()], Array(Box::new(t0()))),
+            PASub => sp(vec![Array(Box::new(t0())), Int], t0()),
+            PAUpd => sp(vec![Array(Box::new(t0())), Int, t0()], Con::unit()),
+            ALen => sp(vec![Array(Box::new(t0()))], Int),
+            PolyEq => sp(vec![t0(), t0()], Int),
+            PtrEq => sp(vec![t0(), t0()], Int),
+        }
+    }
+
+    /// No observable effect at all.
+    pub fn is_pure(&self) -> bool {
+        !self.only_raises() && !self.is_effectful()
+    }
+
+    /// Pure except possibly raising an exception (CSE-admissible,
+    /// §3.3).
+    pub fn only_raises(&self) -> bool {
+        matches!(
+            self,
+            MPrim::IAdd
+                | MPrim::ISub
+                | MPrim::IMul
+                | MPrim::IDiv
+                | MPrim::IMod
+                | MPrim::INeg
+                | MPrim::IAbs
+                | MPrim::Chr
+                | MPrim::Floor
+                | MPrim::Trunc
+                | MPrim::FSqrt
+                | MPrim::FLn
+                | MPrim::StrSub
+        )
+    }
+
+    /// Reads/writes the store or does I/O.
+    pub fn is_effectful(&self) -> bool {
+        matches!(
+            self,
+            MPrim::IANew
+                | MPrim::IASub
+                | MPrim::IAUpd
+                | MPrim::FANew
+                | MPrim::FASub
+                | MPrim::FAUpd
+                | MPrim::PANew
+                | MPrim::PASub
+                | MPrim::PAUpd
+                | MPrim::Print
+                | MPrim::BoxFloat // allocates; kept out of CSE only when identity matters — it never does, so treat as pure
+        ) && !matches!(self, MPrim::BoxFloat)
+    }
+
+    /// Allocates heap storage (used by allocation statistics and the
+    /// baseline/TIL comparisons).
+    pub fn allocates(&self) -> bool {
+        matches!(
+            self,
+            MPrim::BoxFloat
+                | MPrim::IANew
+                | MPrim::FANew
+                | MPrim::PANew
+                | MPrim::StrConcat
+                | MPrim::StrFromChar
+                | MPrim::IntToString
+                | MPrim::FToString
+        )
+    }
+}
+
+impl fmt::Display for MPrim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MPrim::IAdd => "iadd",
+            MPrim::ISub => "isub",
+            MPrim::IMul => "imul",
+            MPrim::IDiv => "idiv",
+            MPrim::IMod => "imod",
+            MPrim::INeg => "ineg",
+            MPrim::IAbs => "iabs",
+            MPrim::ILt => "plst_i",
+            MPrim::ILe => "ple_i",
+            MPrim::IGt => "pgt_i",
+            MPrim::IGe => "pgte_i",
+            MPrim::IEq => "peq_i",
+            MPrim::INe => "pne_i",
+            MPrim::AndB => "andb",
+            MPrim::OrB => "orb",
+            MPrim::XorB => "xorb",
+            MPrim::NotB => "notb",
+            MPrim::Lsl => "lsl",
+            MPrim::Lsr => "lsr",
+            MPrim::Asr => "asr",
+            MPrim::Chr => "chr",
+            MPrim::FAdd => "fadd",
+            MPrim::FSub => "fsub",
+            MPrim::FMul => "fmul",
+            MPrim::FDiv => "fdiv",
+            MPrim::FNeg => "fneg",
+            MPrim::FAbs => "fabs",
+            MPrim::FLt => "plst_f",
+            MPrim::FLe => "ple_f",
+            MPrim::FGt => "pgt_f",
+            MPrim::FGe => "pgte_f",
+            MPrim::FEq => "peq_f",
+            MPrim::FNe => "pne_f",
+            MPrim::ItoF => "itof",
+            MPrim::Floor => "floor",
+            MPrim::Trunc => "trunc",
+            MPrim::FSqrt => "fsqrt",
+            MPrim::FSin => "fsin",
+            MPrim::FCos => "fcos",
+            MPrim::FAtan => "fatan",
+            MPrim::FExp => "fexp",
+            MPrim::FLn => "fln",
+            MPrim::BoxFloat => "box",
+            MPrim::UnboxFloat => "unbox",
+            MPrim::StrSize => "size",
+            MPrim::StrSub => "strsub",
+            MPrim::StrConcat => "concat",
+            MPrim::StrFromChar => "str",
+            MPrim::StrCmp => "strcmp",
+            MPrim::SEq => "seq",
+            MPrim::IntToString => "itos",
+            MPrim::FToString => "ftos",
+            MPrim::Print => "print",
+            MPrim::IANew => "parray_ai",
+            MPrim::IASub => "psub_ai",
+            MPrim::IAUpd => "pupdate_ai",
+            MPrim::FANew => "parray_af",
+            MPrim::FASub => "psub_af",
+            MPrim::FAUpd => "pupdate_af",
+            MPrim::PANew => "parray_ap",
+            MPrim::PASub => "psub_ap",
+            MPrim::PAUpd => "pupdate_ap",
+            MPrim::ALen => "length",
+            MPrim::PolyEq => "polyeq",
+            MPrim::PtrEq => "ptreq",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_ops_are_unboxed() {
+        let sig = MPrim::FAdd.sig();
+        assert_eq!(sig.args, vec![Con::Float, Con::Float]);
+        assert_eq!(sig.ret, Con::Float);
+    }
+
+    #[test]
+    fn comparisons_return_int_bools() {
+        // At Lmli level booleans are the enum datatype, but primitive
+        // comparisons produce raw 0/1 ints that a Switch consumes.
+        assert_eq!(MPrim::ILt.sig().ret, Con::Int);
+    }
+
+    #[test]
+    fn boxfloat_allocates_but_is_cse_safe() {
+        assert!(MPrim::BoxFloat.allocates());
+        assert!(MPrim::BoxFloat.is_pure());
+    }
+
+    #[test]
+    fn array_ops_effects() {
+        assert!(MPrim::IAUpd.is_effectful());
+        assert!(MPrim::FASub.is_effectful());
+        assert!(MPrim::ALen.is_pure());
+    }
+}

@@ -1,0 +1,277 @@
+//! Lmli pretty printer, in the style of the paper's Figure 2.
+
+use crate::con::Con;
+use crate::data::MDataEnv;
+use crate::exp::{MExp, MProgram, MSwitch};
+use til_common::pretty::Printer;
+use til_common::Symbol;
+
+/// Renders a whole program.
+pub fn program(prog: &MProgram) -> String {
+    let mut p = Printer::new();
+    exp(&mut p, &prog.body, &prog.data);
+    p.finish()
+}
+
+/// Renders one expression.
+pub fn exp_to_string(e: &MExp, data: &MDataEnv) -> String {
+    let mut p = Printer::new();
+    exp(&mut p, e, data);
+    p.finish()
+}
+
+fn con_str(c: &Con, data: &MDataEnv) -> String {
+    let n = data.len();
+    c.display(&move |id| {
+        if (id.0 as usize) < n {
+            Symbol::intern("data")
+        } else {
+            Symbol::intern("?")
+        }
+    })
+}
+
+fn exp(p: &mut Printer, e: &MExp, data: &MDataEnv) {
+    match e {
+        MExp::Var(v) => {
+            p.word(v.to_string());
+        }
+        MExp::Int(n) => {
+            p.word(n.to_string());
+        }
+        MExp::Float(r) => {
+            p.word(format!("{r:?}"));
+        }
+        MExp::Str(s) => {
+            p.word(format!("{s:?}"));
+        }
+        MExp::Fix { funs, body } => {
+            p.line("let fix");
+            p.indent();
+            for f in funs {
+                let cps = if f.cparams.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "\u{039b}{}. ",
+                        f.cparams
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )
+                };
+                let ps = f
+                    .params
+                    .iter()
+                    .map(|(v, _)| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                p.line(format!("{} = {cps}\u{03bb}{ps}.", f.var));
+                p.indent();
+                p.line("");
+                exp(p, &f.body, data);
+                p.dedent();
+            }
+            p.dedent();
+            p.line("in ");
+            exp(p, body, data);
+            p.word(" end");
+        }
+        MExp::App { f, cargs, args } => {
+            p.word("(");
+            exp(p, f, data);
+            if !cargs.is_empty() {
+                let cs = cargs
+                    .iter()
+                    .map(|c| con_str(c, data))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                p.word(format!(" [{cs}]"));
+            }
+            p.word(" {");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    p.word(", ");
+                }
+                exp(p, a, data);
+            }
+            p.word("})");
+        }
+        MExp::Let { var, rhs, body } => {
+            p.line(format!("let {var} = "));
+            exp(p, rhs, data);
+            p.line("in ");
+            exp(p, body, data);
+            p.word(" end");
+        }
+        MExp::Record(fs) => {
+            p.word("{");
+            for (i, f) in fs.iter().enumerate() {
+                if i > 0 {
+                    p.word(", ");
+                }
+                exp(p, f, data);
+            }
+            p.word("}");
+        }
+        MExp::Select(i, e2) => {
+            p.word(format!("(#{i} "));
+            exp(p, e2, data);
+            p.word(")");
+        }
+        MExp::Con {
+            data: id,
+            tag,
+            args,
+            ..
+        } => {
+            let name = data.get(*id).name;
+            p.word(format!("{name}#{tag}"));
+            if !args.is_empty() {
+                p.word("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        p.word(", ");
+                    }
+                    exp(p, a, data);
+                }
+                p.word(")");
+            }
+        }
+        MExp::ExnCon { exn, arg } => {
+            p.word(format!("exn#{}", exn.0));
+            if let Some(a) = arg {
+                p.word("(");
+                exp(p, a, data);
+                p.word(")");
+            }
+        }
+        MExp::Switch(sw) => switch(p, sw, data),
+        MExp::Raise { exn, .. } => {
+            p.word("raise ");
+            exp(p, exn, data);
+        }
+        MExp::Handle { body, var, handler } => {
+            p.word("(");
+            exp(p, body, data);
+            p.word(format!(" handle {var} => "));
+            exp(p, handler, data);
+            p.word(")");
+        }
+        MExp::Prim { prim, args, .. } => {
+            p.word(format!("{prim}("));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    p.word(", ");
+                }
+                exp(p, a, data);
+            }
+            p.word(")");
+        }
+        MExp::Typecase {
+            scrut,
+            int,
+            float,
+            ptr,
+            ..
+        } => {
+            p.word(format!("typecase {} of", con_str(scrut, data)));
+            p.indent();
+            p.line("int => ");
+            exp(p, int, data);
+            p.line("float => ");
+            exp(p, float, data);
+            p.line("ptr => ");
+            exp(p, ptr, data);
+            p.dedent();
+        }
+    }
+}
+
+fn switch(p: &mut Printer, sw: &MSwitch, data: &MDataEnv) {
+    match sw {
+        MSwitch::Int {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_int ");
+            exp(p, scrut, data);
+            p.word(" of");
+            p.indent();
+            for (k, a) in arms {
+                p.line(format!("{k} => "));
+                exp(p, a, data);
+            }
+            p.line("_ => ");
+            exp(p, default, data);
+            p.dedent();
+        }
+        MSwitch::Data {
+            scrut,
+            data: id,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_data ");
+            exp(p, scrut, data);
+            p.word(" of");
+            p.indent();
+            for (tag, binders, a) in arms {
+                let name = data.get(*id).name;
+                let bs = binders
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                p.line(format!("{name}#{tag}({bs}) => "));
+                exp(p, a, data);
+            }
+            if let Some(d) = default {
+                p.line("_ => ");
+                exp(p, d, data);
+            }
+            p.dedent();
+        }
+        MSwitch::Str {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_str ");
+            exp(p, scrut, data);
+            p.word(" of");
+            p.indent();
+            for (k, a) in arms {
+                p.line(format!("{k:?} => "));
+                exp(p, a, data);
+            }
+            p.line("_ => ");
+            exp(p, default, data);
+            p.dedent();
+        }
+        MSwitch::Exn {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word("Switch_exn ");
+            exp(p, scrut, data);
+            p.word(" of");
+            p.indent();
+            for (id, binder, a) in arms {
+                let b = binder.map(|v| format!("({v})")).unwrap_or_default();
+                p.line(format!("exn#{}{b} => ", id.0));
+                exp(p, a, data);
+            }
+            p.line("_ => ");
+            exp(p, default, data);
+            p.dedent();
+        }
+    }
+}

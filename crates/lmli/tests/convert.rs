@@ -1,0 +1,147 @@
+//! End-to-end conversion tests: SML source → Lambda → Lmli → Lmli
+//! typecheck, in both TIL and baseline representation modes.
+
+use til_lmli::{from_lambda, typecheck_lmli, LmliOptions};
+
+fn convert_ok(src: &str) {
+    for (name, opts) in [
+        ("til", LmliOptions::til()),
+        ("baseline", LmliOptions::baseline()),
+    ] {
+        let mut e = til_elab::elaborate_source(src)
+            .unwrap_or_else(|d| panic!("elaboration failed: {d}"));
+        til_lambda::typecheck(&e.program)
+            .unwrap_or_else(|d| panic!("lambda typecheck failed: {d}"));
+        let m = from_lambda(&e.program, &opts, &mut e.vars)
+            .unwrap_or_else(|d| panic!("[{name}] conversion failed: {d}"));
+        typecheck_lmli(&m)
+            .unwrap_or_else(|d| panic!("[{name}] lmli typecheck failed: {d}"));
+    }
+}
+
+#[test]
+fn prelude_converts() {
+    convert_ok("");
+}
+
+#[test]
+fn arithmetic_and_floats() {
+    convert_ok("val x = 1 + 2 val y = 1.5 * 2.5 val z = real x + y");
+}
+
+#[test]
+fn lists_and_polymorphism() {
+    convert_ok("val xs = map (fn x => x * 2) [1, 2, 3] val n = length xs val s = rev [\"a\", \"b\"]");
+}
+
+#[test]
+fn datatypes_flatten() {
+    convert_ok(
+        "datatype shape = Point | Circle of real * real * real | Rect of real * real
+         fun area Point = 0.0
+           | area (Circle (_, _, r)) = 3.14 * r * r
+           | area (Rect (w, h)) = w * h
+         val a = area (Circle (1.0, 2.0, 3.0)) + area (Rect (2.0, 5.0))",
+    );
+}
+
+#[test]
+fn arrays_all_classes() {
+    convert_ok(
+        "val ia = Array.array (5, 0)
+         val fa = Array.array (5, 0.0)
+         val sa = Array.array (5, \"x\")
+         val _ = Array.update (ia, 0, 1)
+         val _ = Array.update (fa, 1, 2.0)
+         val v = Array.sub (fa, 1) + 1.0",
+    );
+}
+
+#[test]
+fn polymorphic_array_function_uses_typecase() {
+    // `fill` is polymorphic over the element type: its array operations
+    // need run-time type analysis until the optimizer specializes them.
+    convert_ok(
+        "fun fill (a, v, n) =
+           let fun go i = if i >= n then () else (Array.update (a, i, v); go (i + 1))
+           in go 0 end
+         val ia = Array.array (4, 0)
+         val fa = Array.array (4, 0.0)
+         val _ = fill (ia, 7, 4)
+         val _ = fill (fa, 7.0, 4)",
+    );
+}
+
+#[test]
+fn refs_of_each_class() {
+    convert_ok(
+        "val ri = ref 0
+         val rf = ref 1.5
+         val rl = ref [1, 2]
+         val _ = ri := !ri + 1
+         val _ = rf := !rf * 2.0
+         val _ = rl := 3 :: !rl",
+    );
+}
+
+#[test]
+fn exceptions_convert() {
+    convert_ok(
+        "exception Bad of int * string
+         fun f 0 = raise Bad (1, \"zero\") | f n = n
+         val x = (f 0) handle Bad (n, _) => n | Div => ~1",
+    );
+}
+
+#[test]
+fn equality_specializes() {
+    convert_ok(
+        "val a = 1 = 2
+         val b = 1.5 = 1.5
+         val c = \"x\" = \"y\"
+         val d = [1, 2] = [1]
+         val e = (1, \"a\") = (2, \"b\")
+         fun eqpair (x, y) = x = y
+         val f = eqpair (3, 3)",
+    );
+}
+
+#[test]
+fn two_d_arrays_and_dot_product() {
+    convert_ok(
+        "val n = 4
+         val A = Array2.array (n, n, 0)
+         val B = Array2.array (n, n, 0)
+         fun dot (i, j) =
+           let fun go (cnt, sum) =
+                 if cnt < n then go (cnt + 1, sum + sub2 (A, i, cnt) * sub2 (B, cnt, j))
+                 else sum
+           in go (0, 0) end
+         val r = dot (0, 0)",
+    );
+}
+
+#[test]
+fn higher_order_closures() {
+    convert_ok(
+        "fun compose f g x = f (g x)
+         val h = compose (fn x => x + 1) (fn x => x * 2)
+         val v = h 10
+         val folded = foldl (fn (a, b) => a + b) 0 [1, 2, 3, 4]",
+    );
+}
+
+#[test]
+fn string_switches() {
+    convert_ok("fun kw \"let\" = 1 | kw \"in\" = 2 | kw _ = 0 val k = kw \"in\"");
+}
+
+#[test]
+fn while_loops_and_sequencing() {
+    convert_ok(
+        "val i = ref 0
+         val total = ref 0
+         val _ = while !i < 100 do (total := !total + !i; i := !i + 1)
+         val _ = print (Int.toString (!total))",
+    );
+}

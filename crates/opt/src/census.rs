@@ -1,0 +1,176 @@
+//! Occurrence counting over Bform.
+//!
+//! The inliner's decisions (paper §3.3: "non-escaping functions that
+//! are called only once are always inlined") need to know, for every
+//! variable, how many times it occurs, how many of those occurrences
+//! are in callee position, and whether it escapes (occurs anywhere
+//! else).
+
+use std::collections::HashMap;
+use til_bform::{Atom, BExp, BRhs, BSwitch};
+use til_common::Var;
+
+/// Per-variable occurrence counts.
+#[derive(Debug, Default, Clone)]
+pub struct Census {
+    /// Occurrences in callee position of an `App`.
+    pub calls: HashMap<Var, usize>,
+    /// All other occurrences (arguments, record fields, scrutinees...).
+    pub escapes: HashMap<Var, usize>,
+}
+
+impl Census {
+    /// Total occurrences of `v`.
+    pub fn uses(&self, v: Var) -> usize {
+        self.calls.get(&v).copied().unwrap_or(0) + self.escapes.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of call-position occurrences.
+    pub fn calls(&self, v: Var) -> usize {
+        self.calls.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of escaping (non-call) occurrences.
+    pub fn escapes(&self, v: Var) -> usize {
+        self.escapes.get(&v).copied().unwrap_or(0)
+    }
+
+    fn call(&mut self, a: &Atom) {
+        if let Atom::Var(v) = a {
+            *self.calls.entry(*v).or_insert(0) += 1;
+        }
+    }
+
+    fn escape(&mut self, a: &Atom) {
+        if let Atom::Var(v) = a {
+            *self.escapes.entry(*v).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Counts occurrences in a whole expression.
+pub fn census(e: &BExp) -> Census {
+    let mut c = Census::default();
+    walk_exp(e, &mut c);
+    c
+}
+
+fn walk_exp(e: &BExp, c: &mut Census) {
+    match e {
+        BExp::Ret(a) => c.escape(a),
+        BExp::Let { rhs, body, .. } => {
+            walk_rhs(rhs, c);
+            walk_exp(body, c);
+        }
+        BExp::Fix { funs, body } => {
+            for f in funs {
+                walk_exp(&f.body, c);
+            }
+            walk_exp(body, c);
+        }
+    }
+}
+
+fn walk_rhs(r: &BRhs, c: &mut Census) {
+    match r {
+        BRhs::Atom(a) | BRhs::Select(_, a) => c.escape(a),
+        BRhs::Float(_) | BRhs::Str(_) => {}
+        BRhs::Record(atoms) => atoms.iter().for_each(|a| c.escape(a)),
+        BRhs::Con { args, .. } => args.iter().for_each(|a| c.escape(a)),
+        BRhs::ExnCon { arg, .. } => {
+            if let Some(a) = arg {
+                c.escape(a);
+            }
+        }
+        BRhs::Prim { args, .. } => args.iter().for_each(|a| c.escape(a)),
+        BRhs::App { f, args, .. } => {
+            c.call(f);
+            args.iter().for_each(|a| c.escape(a));
+        }
+        BRhs::Raise { exn, .. } => c.escape(exn),
+        BRhs::Handle { body, handler, .. } => {
+            walk_exp(body, c);
+            walk_exp(handler, c);
+        }
+        BRhs::Typecase {
+            int, float, ptr, ..
+        } => {
+            walk_exp(int, c);
+            walk_exp(float, c);
+            walk_exp(ptr, c);
+        }
+        BRhs::Switch(sw) => match sw {
+            BSwitch::Int {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                c.escape(scrut);
+                arms.iter().for_each(|(_, a)| walk_exp(a, c));
+                walk_exp(default, c);
+            }
+            BSwitch::Data {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                c.escape(scrut);
+                arms.iter().for_each(|(_, _, a)| walk_exp(a, c));
+                if let Some(d) = default {
+                    walk_exp(d, c);
+                }
+            }
+            BSwitch::Str {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                c.escape(scrut);
+                arms.iter().for_each(|(_, a)| walk_exp(a, c));
+                walk_exp(default, c);
+            }
+            BSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                c.escape(scrut);
+                arms.iter().for_each(|(_, _, a)| walk_exp(a, c));
+                walk_exp(default, c);
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use til_common::VarSupply;
+
+    #[test]
+    fn counts_calls_vs_escapes() {
+        let mut vs = VarSupply::new();
+        let f = vs.fresh();
+        let x = vs.fresh();
+        let y = vs.fresh();
+        // let x = f(f) in ret x  — one call of f, one escape of f.
+        let e = BExp::Let {
+            var: x,
+            rhs: BRhs::App {
+                f: Atom::Var(f),
+                cargs: vec![],
+                args: vec![Atom::Var(f)],
+            },
+            body: Box::new(BExp::Ret(Atom::Var(x))),
+        };
+        let c = census(&e);
+        assert_eq!(c.calls(f), 1);
+        assert_eq!(c.escapes(f), 1);
+        assert_eq!(c.uses(x), 1);
+        assert_eq!(c.uses(y), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Argument flattening (paper §3.2), realized as a worker/wrapper
+//! transformation on Bform: a function whose single parameter is a
+//! (small) record gets a multi-argument *worker* taking the components
+//! "in registers"; the original name becomes a tiny wrapper that
+//! unpacks the record and is inlined away at every direct call site —
+//! after which the record construction at the caller constant-folds
+//! into oblivion (no allocation, no memory traffic). Call sites where
+//! the function's type is hidden behind a constructor variable keep
+//! the wrapper's universal one-record convention, so the flattened
+//! convention never leaks into generic positions.
+
+use til_bform::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use til_common::{Var, VarSupply};
+use til_lmli::con::Con;
+
+/// Maximum record size that is flattened.
+pub const MAX_FLAT: usize = 9;
+
+/// Runs one flattening round; returns true if any function split.
+pub fn flatten_args(p: &mut BProgram, vs: &mut VarSupply) -> bool {
+    let mut changed = false;
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    p.body = exp(body, vs, &mut changed);
+    changed
+}
+
+fn exp(e: BExp, vs: &mut VarSupply, changed: &mut bool) -> BExp {
+    match e {
+        BExp::Ret(a) => BExp::Ret(a),
+        BExp::Let { var, mut rhs, body } => {
+            rec_rhs(&mut rhs, vs, changed);
+            BExp::Let {
+                var,
+                rhs,
+                body: Box::new(exp(*body, vs, changed)),
+            }
+        }
+        BExp::Fix { funs, body } => {
+            let mut out = Vec::with_capacity(funs.len());
+            for mut f in funs {
+                let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+                f.body = exp(b, vs, changed);
+                match try_flatten(&f, vs) {
+                    Some((worker, wrapper)) => {
+                        *changed = true;
+                        out.push(worker);
+                        out.push(wrapper);
+                    }
+                    None => out.push(f),
+                }
+            }
+            BExp::Fix {
+                funs: out,
+                body: Box::new(exp(*body, vs, changed)),
+            }
+        }
+    }
+}
+
+/// Is this body already a flattening wrapper (selects + one call)?
+fn is_wrapper_shape(e: &BExp) -> bool {
+    // let s0 = #0 p ... let r = call(...) in ret r
+    let mut cur = e;
+    let mut saw_call = false;
+    loop {
+        match cur {
+            BExp::Let { rhs, body, .. } => {
+                match rhs {
+                    BRhs::Select(..) => {}
+                    BRhs::App { .. } if !saw_call => saw_call = true,
+                    _ => return false,
+                }
+                cur = body;
+            }
+            BExp::Ret(_) => return saw_call,
+            BExp::Fix { .. } => return false,
+        }
+    }
+}
+
+fn try_flatten(f: &BFun, vs: &mut VarSupply) -> Option<(BFun, BFun)> {
+    if f.params.len() != 1 {
+        return None;
+    }
+    let (p, pcon) = &f.params[0];
+    let Con::Record(fields) = pcon else {
+        return None;
+    };
+    if fields.is_empty() || fields.len() > MAX_FLAT {
+        return None;
+    }
+    if is_wrapper_shape(&f.body) {
+        return None;
+    }
+    // Worker: takes the components; rebuilds the record for the body
+    // (constant folding erases it when only selections remain).
+    let worker_var = vs.fresh_named(&format!("{}_flat", f.var));
+    let wparams: Vec<(Var, Con)> = fields
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (vs.fresh_named(&format!("c{i}")), c.clone()))
+        .collect();
+    let rebuild = BExp::Let {
+        var: *p,
+        rhs: BRhs::Record(wparams.iter().map(|(v, _)| Atom::Var(*v)).collect()),
+        body: Box::new(f.body.clone()),
+    };
+    let worker = BFun {
+        var: worker_var,
+        cparams: f.cparams.clone(),
+        params: wparams,
+        ret: f.ret.clone(),
+        body: rebuild,
+    };
+    // Wrapper: original name/type; unpacks and calls the worker.
+    let wp = vs.rename(*p);
+    let sels: Vec<Var> = fields
+        .iter()
+        .enumerate()
+        .map(|(i, _)| vs.fresh_named(&format!("s{i}")))
+        .collect();
+    let r = vs.fresh_named("r");
+    let mut body = BExp::Let {
+        var: r,
+        rhs: BRhs::App {
+            f: Atom::Var(worker_var),
+            cargs: f.cparams.iter().map(|c| Con::Var(*c)).collect(),
+            args: sels.iter().map(|v| Atom::Var(*v)).collect(),
+        },
+        body: Box::new(BExp::Ret(Atom::Var(r))),
+    };
+    for (i, s) in sels.iter().enumerate().rev() {
+        body = BExp::Let {
+            var: *s,
+            rhs: BRhs::Select(i, Atom::Var(wp)),
+            body: Box::new(body),
+        };
+    }
+    let wrapper = BFun {
+        var: f.var,
+        cparams: f.cparams.clone(),
+        params: vec![(wp, pcon.clone())],
+        ret: f.ret.clone(),
+        body,
+    };
+    Some((worker, wrapper))
+}
+
+fn rec_rhs(r: &mut BRhs, vs: &mut VarSupply, changed: &mut bool) {
+    let subs: Vec<&mut BExp> = match r {
+        BRhs::Switch(sw) => match sw {
+            BSwitch::Int { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+            BSwitch::Data { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, _, a)| a)
+                .chain(default.iter_mut().map(|d| &mut **d))
+                .collect(),
+            BSwitch::Str { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+            BSwitch::Exn { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, _, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+        },
+        BRhs::Typecase {
+            int, float, ptr, ..
+        } => vec![int, float, ptr],
+        BRhs::Handle { body, handler, .. } => vec![body, handler],
+        _ => vec![],
+    };
+    for sub in subs {
+        let owned = std::mem::replace(sub, BExp::Ret(Atom::Int(0)));
+        *sub = exp(owned, vs, changed);
+    }
+}

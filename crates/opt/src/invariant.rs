@@ -1,0 +1,465 @@
+//! Invariant removal and constant hoisting (paper §3.3).
+//!
+//! *Invariant removal* assigns every let binding the nesting depth of
+//! its nearest enclosing function; a pure binding whose free variables
+//! all live at strictly shallower depths moves out of the function (one
+//! level per run; the pass is iterated). Only genuinely pure
+//! right-hand sides move — an expression that could raise must not be
+//! executed on iterations that never reach it.
+//!
+//! *Constant hoisting* moves bindings built entirely from constants
+//! (string literals, float literals, records/constructors of constants)
+//! to the top of the program, so they are allocated once.
+
+use std::collections::HashMap;
+use til_bform::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use til_common::Var;
+use til_lmli::con::{CVar, Con};
+
+/// Runs one level of invariant removal; returns true if anything moved.
+pub fn invariant_removal(p: &mut BProgram) -> bool {
+    let mut cx = Inv {
+        depth_of: HashMap::new(),
+        cdepth_of: HashMap::new(),
+        changed: false,
+    };
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    let (body, leftover) = cx.exp(body, 0);
+    debug_assert!(leftover.is_empty(), "depth-0 bindings cannot move");
+    p.body = prepend(leftover, body);
+    cx.changed
+}
+
+struct Inv {
+    depth_of: HashMap<Var, u32>,
+    cdepth_of: HashMap<CVar, u32>,
+    changed: bool,
+}
+
+type Hoisted = Vec<(Var, BRhs)>;
+
+fn prepend(hoisted: Hoisted, mut e: BExp) -> BExp {
+    for (var, rhs) in hoisted.into_iter().rev() {
+        e = BExp::Let {
+            var,
+            rhs,
+            body: Box::new(e),
+        };
+    }
+    e
+}
+
+impl Inv {
+    /// Processes `e` at function-nesting `depth`; returns the rewritten
+    /// expression and the bindings that want to move *above* the
+    /// enclosing function (i.e. their operands are all at depth <
+    /// `depth`).
+    fn exp(&mut self, e: BExp, depth: u32) -> (BExp, Hoisted) {
+        match e {
+            BExp::Ret(a) => (BExp::Ret(a), vec![]),
+            BExp::Let { var, rhs, body } => {
+                self.depth_of.insert(var, depth);
+                let rhs = self.rhs(rhs, depth);
+                let (body, mut out) = self.exp(*body, depth);
+                let movable = depth > 0
+                    && rhs.is_pure(&|_| false)
+                    && !has_nested(&rhs)
+                    && self.max_operand_depth(&rhs) < depth;
+                if movable {
+                    self.changed = true;
+                    self.depth_of.insert(var, depth - 1);
+                    let mut all = vec![(var, rhs)];
+                    all.extend(out);
+                    (body, all)
+                } else {
+                    (
+                        BExp::Let {
+                            var,
+                            rhs,
+                            body: Box::new(body),
+                        },
+                        std::mem::take(&mut out),
+                    )
+                }
+            }
+            BExp::Fix { funs, body } => {
+                // Function bodies run at depth + 1; bindings they expel
+                // land immediately before this fix.
+                for f in &funs {
+                    self.depth_of.insert(f.var, depth);
+                }
+                let mut landed: Hoisted = Vec::new();
+                let funs: Vec<BFun> = funs
+                    .into_iter()
+                    .map(|mut f| {
+                        for (v, _) in &f.params {
+                            self.depth_of.insert(*v, depth + 1);
+                        }
+                        for c in &f.cparams {
+                            self.cdepth_of.insert(*c, depth + 1);
+                        }
+                        let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+                        let (b, hoisted) = self.exp(b, depth + 1);
+                        landed.extend(hoisted);
+                        f.body = b;
+                        f
+                    })
+                    .collect();
+                let (body, mut out) = self.exp(*body, depth);
+                // Bindings landing here may themselves be movable
+                // further out; re-examine against this depth.
+                let mut stay: Hoisted = Vec::new();
+                for (v, r) in landed {
+                    if depth > 0 && self.max_operand_depth(&r) < depth {
+                        self.depth_of.insert(v, depth - 1);
+                        out.push((v, r));
+                    } else {
+                        self.depth_of.insert(v, depth);
+                        stay.push((v, r));
+                    }
+                }
+                (
+                    prepend(
+                        stay,
+                        BExp::Fix {
+                            funs,
+                            body: Box::new(body),
+                        },
+                    ),
+                    out,
+                )
+            }
+        }
+    }
+
+    fn rhs(&mut self, r: BRhs, depth: u32) -> BRhs {
+        // Recurse into nested expressions; bindings inside arms may
+        // move out of the *function*, not merely out of the arm, so
+        // they propagate via the same mechanism only when the arm's
+        // chain is at function level. For simplicity, nested arms keep
+        // their bindings (they can still move on later iterations once
+        // copy-propagation exposes them at the spine).
+        match r {
+            BRhs::Switch(sw) => BRhs::Switch(match sw {
+                BSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Int {
+                    scrut,
+                    arms: arms
+                        .into_iter()
+                        .map(|(k, a)| (k, self.arm(a, depth)))
+                        .collect(),
+                    default: Box::new(self.arm(*default, depth)),
+                    con,
+                },
+                BSwitch::Data {
+                    scrut,
+                    data,
+                    cargs,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Data {
+                    scrut,
+                    data,
+                    cargs,
+                    arms: arms
+                        .into_iter()
+                        .map(|(t, binders, a)| {
+                            for b in &binders {
+                                self.depth_of.insert(*b, depth);
+                            }
+                            (t, binders, self.arm(a, depth))
+                        })
+                        .collect(),
+                    default: default.map(|d| Box::new(self.arm(*d, depth))),
+                    con,
+                },
+                BSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Str {
+                    scrut,
+                    arms: arms
+                        .into_iter()
+                        .map(|(k, a)| (k, self.arm(a, depth)))
+                        .collect(),
+                    default: Box::new(self.arm(*default, depth)),
+                    con,
+                },
+                BSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Exn {
+                    scrut,
+                    arms: arms
+                        .into_iter()
+                        .map(|(id, b, a)| {
+                            if let Some(bv) = b {
+                                self.depth_of.insert(bv, depth);
+                            }
+                            (id, b, self.arm(a, depth))
+                        })
+                        .collect(),
+                    default: Box::new(self.arm(*default, depth)),
+                    con,
+                },
+            }),
+            BRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => BRhs::Typecase {
+                scrut,
+                int: Box::new(self.arm(*int, depth)),
+                float: Box::new(self.arm(*float, depth)),
+                ptr: Box::new(self.arm(*ptr, depth)),
+                con,
+            },
+            BRhs::Handle { body, var, handler } => {
+                self.depth_of.insert(var, depth);
+                BRhs::Handle {
+                    body: Box::new(self.arm(*body, depth)),
+                    var,
+                    handler: Box::new(self.arm(*handler, depth)),
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn arm(&mut self, e: BExp, depth: u32) -> BExp {
+        let (e, hoisted) = self.exp(e, depth);
+        // Arm-level escapees re-attach at the arm head; they will leave
+        // through the spine on the next iteration if still invariant.
+        prepend(hoisted, e)
+    }
+
+    fn max_operand_depth(&self, r: &BRhs) -> u32 {
+        let mut max = 0;
+        for_atoms(r, &mut |a| {
+            if let Atom::Var(v) = a {
+                max = max.max(self.depth_of.get(v).copied().unwrap_or(u32::MAX));
+            }
+        });
+        // Constructor variables pin the binding too: a `nil` at an
+        // enclosing function's type parameter cannot leave it.
+        for_cons(r, &mut |c| {
+            let mut free = Vec::new();
+            c.free_cvars(&mut free);
+            for cv in free {
+                max = max.max(self.cdepth_of.get(&cv).copied().unwrap_or(u32::MAX));
+            }
+        });
+        max
+    }
+}
+
+fn for_cons(r: &BRhs, f: &mut impl FnMut(&Con)) {
+    match r {
+        BRhs::Con { cargs, .. } | BRhs::Prim { cargs, .. } | BRhs::App { cargs, .. } => {
+            cargs.iter().for_each(f)
+        }
+        BRhs::Raise { con, .. } => f(con),
+        _ => {}
+    }
+}
+
+fn has_nested(r: &BRhs) -> bool {
+    matches!(
+        r,
+        BRhs::Switch(_) | BRhs::Typecase { .. } | BRhs::Handle { .. }
+    )
+}
+
+fn for_atoms(r: &BRhs, f: &mut impl FnMut(&Atom)) {
+    match r {
+        BRhs::Atom(a) | BRhs::Select(_, a) | BRhs::Raise { exn: a, .. } => f(a),
+        BRhs::Float(_) | BRhs::Str(_) => {}
+        BRhs::Record(atoms) | BRhs::Con { args: atoms, .. } => atoms.iter().for_each(f),
+        BRhs::ExnCon { arg, .. } => {
+            if let Some(a) = arg {
+                f(a)
+            }
+        }
+        BRhs::Prim { args, .. } => args.iter().for_each(f),
+        BRhs::App { f: g, args, .. } => {
+            f(g);
+            args.iter().for_each(f);
+        }
+        BRhs::Switch(_) | BRhs::Typecase { .. } | BRhs::Handle { .. } => {}
+    }
+}
+
+/// Hoists constant bindings to the top of the program (paper §3.3
+/// "hoisting").
+pub fn hoist_constants(p: &mut BProgram) -> bool {
+    let mut cx = Hoist {
+        constant: HashMap::new(),
+        hoisted: Vec::new(),
+        changed: false,
+    };
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    let body = cx.exp(body, true);
+    p.body = prepend(cx.hoisted, body);
+    cx.changed
+}
+
+struct Hoist {
+    constant: HashMap<Var, ()>,
+    hoisted: Hoisted,
+    changed: bool,
+}
+
+impl Hoist {
+    fn is_const_atom(&self, a: &Atom) -> bool {
+        match a {
+            Atom::Int(_) => true,
+            Atom::Var(v) => self.constant.contains_key(v),
+        }
+    }
+
+    fn is_const_rhs(&self, r: &BRhs) -> bool {
+        match r {
+            BRhs::Float(_) | BRhs::Str(_) => true,
+            BRhs::Record(atoms) => atoms.iter().all(|a| self.is_const_atom(a)),
+            BRhs::Con { args, cargs, .. } => {
+                args.iter().all(|a| self.is_const_atom(a))
+                    && cargs.iter().all(|c| {
+                        let mut free = Vec::new();
+                        c.free_cvars(&mut free);
+                        free.is_empty()
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    fn exp(&mut self, e: BExp, at_top: bool) -> BExp {
+        match e {
+            BExp::Ret(a) => BExp::Ret(a),
+            BExp::Let { var, rhs, body } => {
+                let rhs = self.rhs(rhs);
+                if self.is_const_rhs(&rhs) {
+                    self.constant.insert(var, ());
+                    if !at_top {
+                        self.changed = true;
+                    }
+                    self.hoisted.push((var, rhs));
+                    return self.exp(*body, at_top);
+                }
+                BExp::Let {
+                    var,
+                    rhs,
+                    body: Box::new(self.exp(*body, at_top)),
+                }
+            }
+            BExp::Fix { funs, body } => BExp::Fix {
+                funs: funs
+                    .into_iter()
+                    .map(|mut f| {
+                        let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+                        f.body = self.exp(b, false);
+                        f
+                    })
+                    .collect(),
+                body: Box::new(self.exp(*body, at_top)),
+            },
+        }
+    }
+
+    fn rhs(&mut self, r: BRhs) -> BRhs {
+        match r {
+            BRhs::Switch(sw) => BRhs::Switch(match sw {
+                BSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Int {
+                    scrut,
+                    arms: arms
+                        .into_iter()
+                        .map(|(k, a)| (k, self.exp(a, false)))
+                        .collect(),
+                    default: Box::new(self.exp(*default, false)),
+                    con,
+                },
+                BSwitch::Data {
+                    scrut,
+                    data,
+                    cargs,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Data {
+                    scrut,
+                    data,
+                    cargs,
+                    arms: arms
+                        .into_iter()
+                        .map(|(t, b, a)| (t, b, self.exp(a, false)))
+                        .collect(),
+                    default: default.map(|d| Box::new(self.exp(*d, false))),
+                    con,
+                },
+                BSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Str {
+                    scrut,
+                    arms: arms
+                        .into_iter()
+                        .map(|(k, a)| (k, self.exp(a, false)))
+                        .collect(),
+                    default: Box::new(self.exp(*default, false)),
+                    con,
+                },
+                BSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                } => BSwitch::Exn {
+                    scrut,
+                    arms: arms
+                        .into_iter()
+                        .map(|(id, b, a)| (id, b, self.exp(a, false)))
+                        .collect(),
+                    default: Box::new(self.exp(*default, false)),
+                    con,
+                },
+            }),
+            BRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => BRhs::Typecase {
+                scrut,
+                int: Box::new(self.exp(*int, false)),
+                float: Box::new(self.exp(*float, false)),
+                ptr: Box::new(self.exp(*ptr, false)),
+                con,
+            },
+            BRhs::Handle { body, var, handler } => BRhs::Handle {
+                body: Box::new(self.exp(*body, false)),
+                var,
+                handler: Box::new(self.exp(*handler, false)),
+            },
+            other => other,
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The TIL optimizer (paper §3.3): conventional functional-language
+//! optimizations (inlining, uncurrying, dead-code elimination, constant
+//! folding, sinking, switch-continuation inlining, fix minimization)
+//! plus the loop-oriented set (CSE, redundant-switch elimination,
+//! invariant removal, hoisting, redundant-comparison elimination), all
+//! running on typed Bform with optional typechecking between passes.
+
+pub mod census;
+pub mod clone;
+pub mod flatten;
+pub mod invariant;
+pub mod minfix;
+pub mod schedule;
+pub mod signs;
+pub mod simplify;
+pub mod sink;
+pub mod specialize;
+pub mod switch_cont;
+pub mod uncurry;
+pub mod util;
+
+pub use schedule::{optimize, OptOptions, OptStats};
+pub use simplify::{simplify, SimplifyOpts};

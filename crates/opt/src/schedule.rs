@@ -1,0 +1,250 @@
+//! The pass schedule (paper §3.3): first iterate the *reduction*
+//! optimizations to a fixpoint — dead-code elimination, constant
+//! folding, inlining functions called once, CSE, redundant-switch
+//! elimination, invariant removal — then run switch-continuation
+//! inlining, sinking, uncurrying, comparison elimination, fix
+//! minimization, and (small-function) inlining; the entire process is
+//! iterated two or more times. Polymorphic-instance specialization is
+//! interleaved so that ground applications of recursive polymorphic
+//! functions monomorphize (see `specialize.rs`).
+//!
+//! With `verify` set, the Bform typechecker runs after *every* pass —
+//! the paper's headline engineering practice ("type-checking the
+//! output of each optimization ... helps us identify and eliminate
+//! bugs in the compiler").
+
+use crate::flatten::flatten_args;
+use crate::invariant::{hoist_constants, invariant_removal};
+use crate::minfix::minimize_fix;
+use crate::signs::sign_analysis;
+use crate::simplify::{simplify, simplify_with_signs, SimplifyOpts};
+use crate::sink::sink;
+use crate::specialize::{count_polymorphic, count_typecases, specialize};
+use crate::switch_cont::inline_switch_continuations;
+use crate::uncurry::uncurry;
+use til_bform::{typecheck_bform, BProgram};
+use til_common::{Diagnostic, Result, VarSupply};
+
+/// Optimizer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OptOptions {
+    /// Master switch: false skips the whole optimizer.
+    pub enabled: bool,
+    /// The paper's loop-oriented set (CSE, invariant removal, hoisting,
+    /// comparison elimination, redundant-switch elimination) — the
+    /// Table 7 / Figure 12 ablation toggle.
+    pub loop_opts: bool,
+    /// Allow inlining (once + small) and uncurrying.
+    pub inline: bool,
+    /// Argument flattening (worker/wrapper; paper §3.2).
+    pub flatten: bool,
+    /// Size bound for small-function inlining.
+    pub max_inline_size: usize,
+    /// Specialize polymorphic instances at ground types.
+    pub specialize: bool,
+    /// Enable sinking.
+    pub sink: bool,
+    /// Enable fix minimization.
+    pub minfix: bool,
+    /// Enable switch-continuation inlining.
+    pub switch_cont: bool,
+    /// Outer iterations (paper: "two or more times").
+    pub rounds: usize,
+    /// Typecheck after every pass.
+    pub verify: bool,
+}
+
+impl OptOptions {
+    /// Full TIL optimization.
+    pub fn til() -> OptOptions {
+        OptOptions {
+            enabled: true,
+            loop_opts: true,
+            inline: true,
+            flatten: true,
+            max_inline_size: 60,
+            specialize: true,
+            sink: true,
+            minfix: true,
+            switch_cont: true,
+            rounds: 3,
+            verify: false,
+        }
+    }
+
+    /// TIL without the loop-oriented optimizations (Table 7).
+    pub fn til_no_loop_opts() -> OptOptions {
+        OptOptions {
+            loop_opts: false,
+            ..OptOptions::til()
+        }
+    }
+
+    /// The baseline comparator's optimizer: inlining and uncurrying
+    /// only (SML/NJ's defaults did not include the loop-oriented set —
+    /// Appel reports CSE "was not useful" there, §6).
+    pub fn baseline() -> OptOptions {
+        OptOptions {
+            enabled: true,
+            loop_opts: false,
+            inline: true,
+            flatten: false,
+            max_inline_size: 40,
+            specialize: true,
+            sink: false,
+            minfix: true,
+            switch_cont: false,
+            rounds: 2,
+            verify: false,
+        }
+    }
+
+    /// No optimization at all.
+    pub fn none() -> OptOptions {
+        OptOptions {
+            enabled: false,
+            loop_opts: false,
+            inline: false,
+            flatten: false,
+            max_inline_size: 0,
+            specialize: false,
+            sink: false,
+            minfix: false,
+            switch_cont: false,
+            rounds: 0,
+            verify: false,
+        }
+    }
+}
+
+/// What the optimizer did.
+#[derive(Clone, Debug, Default)]
+pub struct OptStats {
+    /// Total passes executed.
+    pub passes: usize,
+    /// Reduction-fixpoint iterations used.
+    pub reduce_iterations: usize,
+    /// Polymorphic functions remaining after optimization (the paper
+    /// reports 0 across its whole suite).
+    pub remaining_polymorphic: usize,
+    /// `typecase` expressions remaining after optimization.
+    pub remaining_typecases: usize,
+    /// Program size (Bform nodes) before optimization.
+    pub size_before: usize,
+    /// Program size after optimization.
+    pub size_after: usize,
+}
+
+/// Runs the full schedule.
+pub fn optimize(
+    p: &mut BProgram,
+    vs: &mut VarSupply,
+    opts: &OptOptions,
+) -> Result<OptStats> {
+    let mut stats = OptStats {
+        size_before: p.body.size(),
+        ..OptStats::default()
+    };
+    if !opts.enabled {
+        stats.remaining_polymorphic = count_polymorphic(&p.body);
+        stats.remaining_typecases = count_typecases(&p.body);
+        stats.size_after = stats.size_before;
+        return Ok(stats);
+    }
+    let verify = |p: &BProgram, pass: &str| -> Result<()> {
+        if opts.verify {
+            typecheck_bform(p).map_err(|d| {
+                Diagnostic::ice(
+                    "optimize",
+                    format!("pass `{pass}` broke typing: {d}"),
+                )
+            })?;
+        }
+        Ok(())
+    };
+    for _round in 0..opts.rounds.max(1) {
+        // Reduction fixpoint.
+        let reduce = SimplifyOpts {
+            inline_once: opts.inline,
+            ..SimplifyOpts::reduce(opts.loop_opts)
+        };
+        for _ in 0..12 {
+            stats.reduce_iterations += 1;
+            stats.passes += 1;
+            let signs = if opts.loop_opts {
+                sign_analysis(p)
+            } else {
+                Default::default()
+            };
+            let changed = simplify_with_signs(p, vs, &reduce, &signs);
+            verify(p, "simplify-reduce")?;
+            let mut more = false;
+            if opts.loop_opts {
+                stats.passes += 1;
+                more |= invariant_removal(p);
+                verify(p, "invariant-removal")?;
+            }
+            if !changed && !more {
+                break;
+            }
+        }
+        // Second group.
+        if opts.specialize {
+            stats.passes += 1;
+            specialize(p, vs);
+            verify(p, "specialize")?;
+        }
+        if opts.switch_cont {
+            stats.passes += 1;
+            inline_switch_continuations(p, vs);
+            verify(p, "switch-continuations")?;
+        }
+        if opts.sink {
+            stats.passes += 1;
+            sink(p);
+            verify(p, "sink")?;
+        }
+        if opts.inline {
+            stats.passes += 1;
+            uncurry(p, vs);
+            verify(p, "uncurry")?;
+        }
+        if opts.flatten {
+            stats.passes += 1;
+            flatten_args(p, vs);
+            verify(p, "flatten-args")?;
+        }
+        if opts.minfix {
+            stats.passes += 1;
+            minimize_fix(p);
+            verify(p, "minimize-fix")?;
+        }
+        if opts.inline {
+            stats.passes += 1;
+            let inline_opts = SimplifyOpts::inline(opts.max_inline_size, opts.loop_opts);
+            simplify(p, vs, &inline_opts);
+            verify(p, "simplify-inline")?;
+        }
+        if opts.loop_opts {
+            stats.passes += 1;
+            hoist_constants(p);
+            verify(p, "hoist-constants")?;
+        }
+    }
+    // Final cleanup reduction.
+    let reduce = SimplifyOpts {
+        inline_once: opts.inline,
+        ..SimplifyOpts::reduce(opts.loop_opts)
+    };
+    for _ in 0..6 {
+        stats.passes += 1;
+        if !simplify(p, vs, &reduce) {
+            break;
+        }
+        verify(p, "simplify-final")?;
+    }
+    stats.remaining_polymorphic = count_polymorphic(&p.body);
+    stats.remaining_typecases = count_typecases(&p.body);
+    stats.size_after = p.body.size();
+    Ok(stats)
+}

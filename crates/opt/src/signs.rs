@@ -1,0 +1,363 @@
+//! Interprocedural rule-of-signs analysis (paper §3.3: "a
+//! 'rule-of-signs' abstract interpretation is used to determine signs
+//! of variables").
+//!
+//! Computes a lower bound for every variable by a whole-program
+//! fixpoint: a function parameter's bound is the meet (minimum) of the
+//! bounds of every actual argument, and locals get bounds from their
+//! defining primitives. The analysis is what lets the comparison
+//! eliminator discharge `i < 0` tests for upward-counting loop
+//! counters — the other half of array-bounds-check removal.
+//!
+//! Widening is immediate: the first time a parameter's bound decreases,
+//! it drops to "unknown", so the fixpoint terminates in a few passes.
+
+use std::collections::HashMap;
+use til_bform::{Atom, BExp, BProgram, BRhs, BSwitch};
+use til_common::Var;
+use til_lmli::prim::MPrim;
+
+/// A variable's lower bound: `i64::MIN` means unknown.
+type Lo = i64;
+
+const UNKNOWN: Lo = i64::MIN;
+/// Sentinel for "no call site seen yet" (top of the meet lattice).
+const UNSEEN: Lo = i64::MAX;
+
+/// Computes lower bounds for all variables. The result maps variables
+/// to proven lower bounds (entries at `i64::MIN` are omitted).
+pub fn sign_analysis(p: &BProgram) -> HashMap<Var, i64> {
+    let mut cx = Signs {
+        lo: HashMap::new(),
+        next_params: HashMap::new(),
+        params: HashMap::new(),
+    };
+    collect_funs(&p.body, &mut cx.params);
+    let all_params: Vec<Var> = cx.params.values().flatten().copied().collect();
+    for v in &all_params {
+        cx.lo.insert(*v, UNSEEN);
+    }
+    for _round in 0..24 {
+        cx.next_params.clear();
+        for v in &all_params {
+            cx.next_params.insert(*v, UNSEEN);
+        }
+        cx.exp(&p.body);
+        // Apply the meets with immediate widening on any decrease.
+        let mut changed = false;
+        for v in &all_params {
+            let new = cx.next_params[v];
+            let old = cx.lo[v];
+            let applied = if old == UNSEEN {
+                new
+            } else if new < old {
+                UNKNOWN
+            } else {
+                old
+            };
+            if applied != old {
+                cx.lo.insert(*v, applied);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cx.lo
+        .into_iter()
+        .filter(|(_, l)| *l != UNKNOWN && *l != UNSEEN)
+        .collect()
+}
+
+fn collect_funs(e: &BExp, out: &mut HashMap<Var, Vec<Var>>) {
+    match e {
+        BExp::Ret(_) => {}
+        BExp::Let { rhs, body, .. } => {
+            for sub in sub_exps(rhs) {
+                collect_funs(sub, out);
+            }
+            collect_funs(body, out);
+        }
+        BExp::Fix { funs, body } => {
+            for f in funs {
+                out.insert(f.var, f.params.iter().map(|(v, _)| *v).collect());
+                collect_funs(&f.body, out);
+            }
+            collect_funs(body, out);
+        }
+    }
+}
+
+fn sub_exps(r: &BRhs) -> Vec<&BExp> {
+    match r {
+        BRhs::Switch(sw) => match sw {
+            BSwitch::Int { arms, default, .. } => arms
+                .iter()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&**default))
+                .collect(),
+            BSwitch::Data { arms, default, .. } => arms
+                .iter()
+                .map(|(_, _, a)| a)
+                .chain(default.iter().map(|d| &**d))
+                .collect(),
+            BSwitch::Str { arms, default, .. } => arms
+                .iter()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&**default))
+                .collect(),
+            BSwitch::Exn { arms, default, .. } => arms
+                .iter()
+                .map(|(_, _, a)| a)
+                .chain(std::iter::once(&**default))
+                .collect(),
+        },
+        BRhs::Typecase {
+            int, float, ptr, ..
+        } => vec![int, float, ptr],
+        BRhs::Handle { body, handler, .. } => vec![body, handler],
+        _ => vec![],
+    }
+}
+
+struct Signs {
+    /// Current bounds: params carry meet results from prior rounds;
+    /// locals are recomputed every round.
+    lo: HashMap<Var, Lo>,
+    /// This round's pending parameter meets.
+    next_params: HashMap<Var, Lo>,
+    params: HashMap<Var, Vec<Var>>,
+}
+
+impl Signs {
+    fn lo_of(&self, a: &Atom) -> Lo {
+        match a {
+            Atom::Int(n) => *n,
+            Atom::Var(v) => self.lo.get(v).copied().unwrap_or(UNKNOWN),
+        }
+    }
+
+    fn exp(&mut self, e: &BExp) {
+        match e {
+            BExp::Ret(_) => {}
+            BExp::Let { var, rhs, body } => {
+                let l = self.rhs_lo(rhs);
+                self.lo.insert(*var, l);
+                for sub in sub_exps(rhs) {
+                    self.exp(sub);
+                }
+                self.exp(body);
+            }
+            BExp::Fix { funs, body } => {
+                for f in funs {
+                    self.exp(&f.body);
+                }
+                self.exp(body);
+            }
+        }
+    }
+
+    /// min in the lattice where UNSEEN is top and UNKNOWN is bottom.
+    fn meet(a: Lo, b: Lo) -> Lo {
+        if a == UNSEEN {
+            b
+        } else if b == UNSEEN {
+            a
+        } else {
+            a.min(b)
+        }
+    }
+
+    fn rhs_lo(&mut self, r: &BRhs) -> Lo {
+        match r {
+            BRhs::Atom(a) => self.lo_of(a),
+            BRhs::Prim { prim, args, .. } => match prim {
+                MPrim::IAdd => {
+                    let (a, b) = (self.lo_of(&args[0]), self.lo_of(&args[1]));
+                    if a == UNSEEN || b == UNSEEN {
+                        UNSEEN
+                    } else if a == UNKNOWN || b == UNKNOWN {
+                        UNKNOWN
+                    } else {
+                        a.saturating_add(b).clamp(UNKNOWN + 1, UNSEEN - 1)
+                    }
+                }
+                MPrim::ISub => {
+                    let a = self.lo_of(&args[0]);
+                    if a == UNSEEN {
+                        UNSEEN
+                    } else if a == UNKNOWN {
+                        UNKNOWN
+                    } else if let Atom::Int(c) = args[1] {
+                        a.saturating_sub(c).clamp(UNKNOWN + 1, UNSEEN - 1)
+                    } else {
+                        UNKNOWN
+                    }
+                }
+                MPrim::IMul => {
+                    let (a, b) = (self.lo_of(&args[0]), self.lo_of(&args[1]));
+                    if a == UNSEEN || b == UNSEEN {
+                        UNSEEN
+                    } else if a >= 0 && b >= 0 {
+                        0
+                    } else {
+                        UNKNOWN
+                    }
+                }
+                MPrim::IMod => match args[1] {
+                    Atom::Int(m) if m > 0 => 0,
+                    _ => UNKNOWN,
+                },
+                MPrim::IAbs
+                | MPrim::ALen
+                | MPrim::StrSize
+                | MPrim::ILt
+                | MPrim::ILe
+                | MPrim::IGt
+                | MPrim::IGe
+                | MPrim::IEq
+                | MPrim::INe
+                | MPrim::FLt
+                | MPrim::FLe
+                | MPrim::FGt
+                | MPrim::FGe
+                | MPrim::FEq
+                | MPrim::FNe
+                | MPrim::SEq
+                | MPrim::PtrEq
+                | MPrim::PolyEq => 0,
+                _ => UNKNOWN,
+            },
+            BRhs::App { f, args, .. } => {
+                if let Atom::Var(fv) = f {
+                    if let Some(ps) = self.params.get(fv).cloned() {
+                        for (p, a) in ps.iter().zip(args) {
+                            let contrib = self.lo_of(a);
+                            let cur = self.next_params.get(p).copied().unwrap_or(UNSEEN);
+                            self.next_params.insert(*p, Self::meet(cur, contrib));
+                        }
+                    }
+                }
+                UNKNOWN
+            }
+            _ => UNKNOWN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use til_bform::BFun;
+    use til_common::VarSupply;
+    use til_lmli::con::Con;
+
+    #[test]
+    fn counting_loop_parameter_is_nonnegative() {
+        // fix go(i) = let j = i + 1 in let r = go(j) in ret r
+        // in let s = go(0) in ret s
+        let mut vs = VarSupply::new();
+        let go = vs.fresh_named("go");
+        let i = vs.fresh_named("i");
+        let j = vs.fresh_named("j");
+        let r = vs.fresh_named("r");
+        let s = vs.fresh_named("s");
+        let body = BExp::Let {
+            var: j,
+            rhs: BRhs::Prim {
+                prim: MPrim::IAdd,
+                cargs: vec![],
+                args: vec![Atom::Var(i), Atom::Int(1)],
+            },
+            body: Box::new(BExp::Let {
+                var: r,
+                rhs: BRhs::App {
+                    f: Atom::Var(go),
+                    cargs: vec![],
+                    args: vec![Atom::Var(j)],
+                },
+                body: Box::new(BExp::Ret(Atom::Var(r))),
+            }),
+        };
+        let prog = BProgram {
+            data: til_lmli::MDataEnv::new(),
+            exns: til_lmli::MExnEnv::new(),
+            body: BExp::Fix {
+                funs: vec![BFun {
+                    var: go,
+                    cparams: vec![],
+                    params: vec![(i, Con::Int)],
+                    ret: Con::Int,
+                    body,
+                }],
+                body: Box::new(BExp::Let {
+                    var: s,
+                    rhs: BRhs::App {
+                        f: Atom::Var(go),
+                        cargs: vec![],
+                        args: vec![Atom::Int(0)],
+                    },
+                    body: Box::new(BExp::Ret(Atom::Var(s))),
+                }),
+            },
+            con: Con::Int,
+        };
+        let lo = sign_analysis(&prog);
+        assert_eq!(lo.get(&i), Some(&0), "loop counter proven >= 0");
+        assert_eq!(lo.get(&j), Some(&1));
+    }
+
+    #[test]
+    fn decrementing_parameter_widens() {
+        // go(n) called with 10 and n - 1: bound must widen to unknown.
+        let mut vs = VarSupply::new();
+        let go = vs.fresh_named("go");
+        let n = vs.fresh_named("n");
+        let m = vs.fresh_named("m");
+        let r = vs.fresh_named("r");
+        let s = vs.fresh_named("s");
+        let body = BExp::Let {
+            var: m,
+            rhs: BRhs::Prim {
+                prim: MPrim::ISub,
+                cargs: vec![],
+                args: vec![Atom::Var(n), Atom::Int(1)],
+            },
+            body: Box::new(BExp::Let {
+                var: r,
+                rhs: BRhs::App {
+                    f: Atom::Var(go),
+                    cargs: vec![],
+                    args: vec![Atom::Var(m)],
+                },
+                body: Box::new(BExp::Ret(Atom::Var(r))),
+            }),
+        };
+        let prog = BProgram {
+            data: til_lmli::MDataEnv::new(),
+            exns: til_lmli::MExnEnv::new(),
+            body: BExp::Fix {
+                funs: vec![BFun {
+                    var: go,
+                    cparams: vec![],
+                    params: vec![(n, Con::Int)],
+                    ret: Con::Int,
+                    body,
+                }],
+                body: Box::new(BExp::Let {
+                    var: s,
+                    rhs: BRhs::App {
+                        f: Atom::Var(go),
+                        cargs: vec![],
+                        args: vec![Atom::Int(10)],
+                    },
+                    body: Box::new(BExp::Ret(Atom::Var(s))),
+                }),
+            },
+            con: Con::Int,
+        };
+        let lo = sign_analysis(&prog);
+        assert_eq!(lo.get(&n), None, "decrementing counter is unknown");
+    }
+}

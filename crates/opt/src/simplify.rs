@@ -1,0 +1,1356 @@
+//! The environment-passing simplifier: one traversal implementing the
+//! paper's *reduction* optimizations (§3.3) — constant folding (of
+//! arithmetic, switches, typecases, and known-record projections), copy
+//! propagation, common-subexpression elimination, dead-code
+//! elimination, redundant-switch elimination, redundant-comparison
+//! elimination (relation propagation + rule-of-signs ranges), inlining
+//! of functions called once, and (optionally, scheduled separately from
+//! once-inlining) size-bounded inlining of small non-recursive
+//! functions. Each sub-optimization is individually toggleable so the
+//! Table 7 loop-optimization ablation can disable exactly the paper's
+//! loop-oriented set.
+
+use crate::census::{census, Census};
+use crate::clone::{alpha_clone, splice_ret, subst_cons_exp};
+use std::collections::{HashMap, HashSet};
+use til_bform::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use til_common::{Var, VarSupply};
+use til_lmli::con::{Con, RepClass};
+use til_lmli::data::MDataEnv;
+use til_lmli::prim::MPrim;
+use til_lmli::rep_tag;
+
+/// Which sub-optimizations run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimplifyOpts {
+    /// Constant folding / algebraic identities / typecase reduction.
+    pub const_fold: bool,
+    /// Dead pure bindings and dead functions are removed.
+    pub dead_code: bool,
+    /// Common-subexpression elimination (loop-oriented; Table 7).
+    pub cse: bool,
+    /// Inline non-escaping functions called exactly once.
+    pub inline_once: bool,
+    /// Clone-inline small non-recursive functions. Never enable
+    /// together with `inline_once` in the same run.
+    pub inline_small: bool,
+    /// Size bound for small-function inlining.
+    pub max_inline_size: usize,
+    /// Propagate switch-arm facts (redundant switch elim; Table 7).
+    pub redundant_switch: bool,
+    /// Fold comparisons entailed by propagated relations and ranges
+    /// (array-bounds-check removal; Table 7).
+    pub compare_elim: bool,
+}
+
+impl SimplifyOpts {
+    /// The reduction-pass configuration (paper's first group).
+    pub fn reduce(loop_opts: bool) -> SimplifyOpts {
+        SimplifyOpts {
+            const_fold: true,
+            dead_code: true,
+            cse: loop_opts,
+            inline_once: true,
+            inline_small: false,
+            max_inline_size: 0,
+            redundant_switch: loop_opts,
+            compare_elim: loop_opts,
+        }
+    }
+
+    /// The small-inlining configuration (paper's second group).
+    pub fn inline(max_size: usize, loop_opts: bool) -> SimplifyOpts {
+        SimplifyOpts {
+            const_fold: true,
+            dead_code: true,
+            cse: loop_opts,
+            inline_once: false,
+            inline_small: true,
+            max_inline_size: max_size,
+            redundant_switch: loop_opts,
+            compare_elim: loop_opts,
+        }
+    }
+}
+
+/// Runs the simplifier once over the program; returns true if anything
+/// changed.
+pub fn simplify(p: &mut BProgram, vs: &mut VarSupply, opts: &SimplifyOpts) -> bool {
+    simplify_with_signs(p, vs, opts, &HashMap::new())
+}
+
+/// Like [`simplify`], seeded with interprocedural lower bounds from the
+/// rule-of-signs analysis (paper §3.3) so comparison elimination can
+/// discharge `i < 0` tests on loop counters.
+pub fn simplify_with_signs(
+    p: &mut BProgram,
+    vs: &mut VarSupply,
+    opts: &SimplifyOpts,
+    signs: &HashMap<Var, i64>,
+) -> bool {
+    let cen = census(&p.body);
+    let boundary = vs.count();
+    let mut facts = Facts::default();
+    if opts.compare_elim {
+        for (v, lo) in signs {
+            facts.narrow(*v, Some(*lo), None);
+        }
+    }
+    let mut s = Simp {
+        census_boundary: boundary,
+        vs,
+        data: &p.data,
+        opts,
+        census: cen,
+        changed: false,
+        env: HashMap::new(),
+        cse: HashMap::new(),
+        used: HashSet::new(),
+        once: HashMap::new(),
+        small: HashMap::new(),
+        facts,
+        inline_budget: 1000,
+    };
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    p.body = s.exp(body);
+    s.changed
+}
+
+#[derive(Clone, Debug)]
+enum Def {
+    Atom(Atom),
+    Record(Vec<Atom>),
+    ConVal {
+        data: til_lambda::DataId,
+        tag: usize,
+        fields: Vec<Atom>,
+    },
+    Boxed(Atom),
+    FloatConst(f64),
+    Cmp(MPrim, Atom, Atom),
+    Len,
+    ArrOfLen(Atom),
+    Fun,
+}
+
+/// Integer facts: per-variable ranges (rule of signs generalized to
+/// intervals) and strict/non-strict order relations between atoms.
+#[derive(Clone, Debug, Default)]
+pub struct Facts {
+    range: HashMap<Var, (Option<i64>, Option<i64>)>,
+    lt: Vec<(Atom, Atom)>,
+    le: Vec<(Atom, Atom)>,
+}
+
+impl Facts {
+    /// Sets (intersects) a variable's known range.
+    pub fn narrow(&mut self, v: Var, lo: Option<i64>, hi: Option<i64>) {
+        let e = self.range.entry(v).or_insert((None, None));
+        if let Some(l) = lo {
+            e.0 = Some(e.0.map_or(l, |x| x.max(l)));
+        }
+        if let Some(h) = hi {
+            e.1 = Some(e.1.map_or(h, |x| x.min(h)));
+        }
+    }
+
+    fn range_of(&self, a: &Atom) -> (Option<i64>, Option<i64>) {
+        match a {
+            Atom::Int(n) => (Some(*n), Some(*n)),
+            Atom::Var(v) => self.range.get(v).copied().unwrap_or((None, None)),
+        }
+    }
+
+    /// Records `a < b`.
+    pub fn add_lt(&mut self, a: Atom, b: Atom) {
+        self.lt.push((a, b));
+        // Range consequences against constants.
+        if let (Atom::Var(v), Atom::Int(n)) = (a, b) {
+            self.narrow(v, None, Some(n - 1));
+        }
+        if let (Atom::Int(n), Atom::Var(v)) = (a, b) {
+            self.narrow(v, Some(n + 1), None);
+        }
+    }
+
+    /// Records `a <= b`.
+    pub fn add_le(&mut self, a: Atom, b: Atom) {
+        self.le.push((a, b));
+        if let (Atom::Var(v), Atom::Int(n)) = (a, b) {
+            self.narrow(v, None, Some(n));
+        }
+        if let (Atom::Int(n), Atom::Var(v)) = (a, b) {
+            self.narrow(v, Some(n), None);
+        }
+    }
+
+    /// Can we prove `a < b`?
+    pub fn proves_lt(&self, a: &Atom, b: &Atom) -> bool {
+        let (_, ahi) = self.range_of(a);
+        let (blo, _) = self.range_of(b);
+        if let (Some(ah), Some(bl)) = (ahi, blo) {
+            if ah < bl {
+                return true;
+            }
+        }
+        if self.lt.iter().any(|(x, y)| x == a && y == b) {
+            return true;
+        }
+        // One step of transitivity: a < c <= b or a <= c < b.
+        for (x, c) in &self.lt {
+            if x == a
+                && (self.le.iter().any(|(p, q)| p == c && q == b)
+                    || self.lt.iter().any(|(p, q)| p == c && q == b)
+                    || c == b)
+            {
+                return true;
+            }
+        }
+        for (x, c) in &self.le {
+            if x == a && self.lt.iter().any(|(p, q)| p == c && q == b) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Can we prove `a <= b`?
+    pub fn proves_le(&self, a: &Atom, b: &Atom) -> bool {
+        if a == b {
+            return true;
+        }
+        let (_, ahi) = self.range_of(a);
+        let (blo, _) = self.range_of(b);
+        if let (Some(ah), Some(bl)) = (ahi, blo) {
+            if ah <= bl {
+                return true;
+            }
+        }
+        self.le.iter().any(|(x, y)| x == a && y == b) || self.proves_lt(a, b)
+    }
+}
+
+enum Outcome {
+    /// The binding reduces to an atom (copy-propagated away).
+    Atom(Atom),
+    /// The binding expands to an expression whose final `Ret` feeds the
+    /// bound variable (switch folding, inlining).
+    Inline(BExp),
+    /// An ordinary right-hand side.
+    Rhs(BRhs),
+}
+
+struct Simp<'a> {
+    /// Variables with ids at or above this were created during this
+    /// pass (inliner clones); the pass-start census knows nothing about
+    /// them, so dead-code decisions must not trust its zero counts.
+    census_boundary: u32,
+    vs: &'a mut VarSupply,
+    data: &'a MDataEnv,
+    opts: &'a SimplifyOpts,
+    census: Census,
+    changed: bool,
+    env: HashMap<Var, Def>,
+    cse: HashMap<String, Var>,
+    used: HashSet<Var>,
+    once: HashMap<Var, BFun>,
+    small: HashMap<Var, BFun>,
+    facts: Facts,
+    inline_budget: usize,
+}
+
+impl<'a> Simp<'a> {
+    fn is_enum(&self, id: til_lambda::DataId) -> bool {
+        self.data.is_enum(id)
+    }
+
+    fn resolve(&self, a: Atom) -> Atom {
+        let mut a = a;
+        for _ in 0..64 {
+            match a {
+                Atom::Var(v) => match self.env.get(&v) {
+                    Some(Def::Atom(next)) => a = *next,
+                    _ => return a,
+                },
+                Atom::Int(_) => return a,
+            }
+        }
+        a
+    }
+
+    fn mark(&mut self, a: &Atom) {
+        if let Atom::Var(v) = a {
+            self.used.insert(*v);
+        }
+    }
+
+    fn mark_rhs(&mut self, r: &BRhs) {
+        match r {
+            BRhs::Atom(a) | BRhs::Select(_, a) | BRhs::Raise { exn: a, .. } => self.mark(a),
+            BRhs::Float(_) | BRhs::Str(_) => {}
+            BRhs::Record(atoms) | BRhs::Con { args: atoms, .. } => {
+                for a in atoms {
+                    self.mark(a);
+                }
+            }
+            BRhs::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    self.mark(a);
+                }
+            }
+            BRhs::Prim { args, .. } => {
+                for a in args {
+                    self.mark(a);
+                }
+            }
+            BRhs::App { f, args, .. } => {
+                self.mark(f);
+                for a in args {
+                    self.mark(a);
+                }
+            }
+            // Arm interiors were marked while they were rebuilt; only
+            // the scrutinee remains.
+            BRhs::Switch(sw) => match sw {
+                BSwitch::Int { scrut, .. }
+                | BSwitch::Data { scrut, .. }
+                | BSwitch::Str { scrut, .. }
+                | BSwitch::Exn { scrut, .. } => self.mark(&scrut.clone()),
+            },
+            BRhs::Typecase { .. } | BRhs::Handle { .. } => {}
+        }
+    }
+
+    fn exp(&mut self, e: BExp) -> BExp {
+        match e {
+            BExp::Ret(a) => {
+                let a = self.resolve(a);
+                self.mark(&a);
+                BExp::Ret(a)
+            }
+            BExp::Let { var, rhs, body } => self.do_let(var, rhs, *body),
+            BExp::Fix { funs, body } => self.do_fix(funs, *body),
+        }
+    }
+
+    fn do_fix(&mut self, funs: Vec<BFun>, body: BExp) -> BExp {
+        let nest: Vec<Var> = funs.iter().map(|f| f.var).collect();
+        // Whole-nest dead-code elimination: if every reference to every
+        // function of the nest comes from within the nest itself, the
+        // entire (possibly mutually recursive) group is unreachable.
+        if self.opts.dead_code && nest.iter().all(|v| v.id() < self.census_boundary) {
+            let mut internal = Census::default();
+            for f in &funs {
+                let c = census(&f.body);
+                for v in &nest {
+                    *internal.calls.entry(*v).or_insert(0) += c.calls(*v);
+                    *internal.escapes.entry(*v).or_insert(0) += c.escapes(*v);
+                }
+            }
+            if nest
+                .iter()
+                .all(|v| self.census.uses(*v) == internal.uses(*v))
+            {
+                self.changed = true;
+                return self.exp(body);
+            }
+        }
+        let mut kept = Vec::new();
+        for f in funs {
+            // Drop functions nobody references.
+            if self.opts.dead_code
+                && f.var.id() < self.census_boundary
+                && self.census.uses(f.var) == 0
+            {
+                self.changed = true;
+                continue;
+            }
+            let body_census = census(&f.body);
+            let nest_recursive = nest.iter().any(|v| body_census.uses(*v) > 0);
+            if self.opts.inline_once
+                && !nest_recursive
+                && self.census.calls(f.var) == 1
+                && self.census.escapes(f.var) == 0
+            {
+                // Stash for inlining at its unique call site.
+                self.once.insert(f.var, f);
+                self.changed = true;
+                continue;
+            }
+            self.env.insert(f.var, Def::Fun);
+            kept.push(f);
+        }
+        // Register small functions for clone-inlining *before* the
+        // bodies are simplified, so a sibling wrapper (worker/wrapper
+        // pairs from uncurrying and argument flattening) inlines into
+        // its worker's recursive call this same pass. Cloning keeps the
+        // original, so only *self*-recursive functions are excluded.
+        if self.opts.inline_small {
+            let mut cands: Vec<&BFun> = Vec::new();
+            for f in &kept {
+                let self_recursive = census(&f.body).uses(f.var) > 0;
+                if !self_recursive && f.body.size() <= self.opts.max_inline_size {
+                    cands.push(f);
+                }
+            }
+            // Mutually recursive candidate pairs would ping-pong the
+            // inliner forever; keep only the smaller of each pair (the
+            // wrapper).
+            let mut excluded: Vec<Var> = Vec::new();
+            for i in 0..cands.len() {
+                for j in (i + 1)..cands.len() {
+                    let f = cands[i];
+                    let g = cands[j];
+                    let f_calls_g = census(&f.body).uses(g.var) > 0;
+                    let g_calls_f = census(&g.body).uses(f.var) > 0;
+                    if f_calls_g && g_calls_f {
+                        if f.body.size() >= g.body.size() {
+                            excluded.push(f.var);
+                        } else {
+                            excluded.push(g.var);
+                        }
+                    }
+                }
+            }
+            let chosen: Vec<BFun> = cands
+                .into_iter()
+                .filter(|f| !excluded.contains(&f.var))
+                .cloned()
+                .collect();
+            for f in chosen {
+                self.small.insert(f.var, f);
+            }
+        }
+        // Simplify the retained bodies.
+        let mut out_funs = Vec::with_capacity(kept.len());
+        for mut f in kept {
+            let saved_facts = self.facts.clone();
+            let saved_cse = self.cse.clone();
+            let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+            f.body = self.exp(b);
+            self.facts = saved_facts;
+            self.cse = saved_cse;
+            out_funs.push(f);
+        }
+        let body = self.exp(body);
+        if out_funs.is_empty() {
+            body
+        } else {
+            BExp::Fix {
+                funs: out_funs,
+                body: Box::new(body),
+            }
+        }
+    }
+
+    fn do_let(&mut self, var: Var, rhs: BRhs, body: BExp) -> BExp {
+        match self.simplify_rhs(var, rhs) {
+            Outcome::Atom(a) => {
+                self.changed = true;
+                self.env.insert(var, Def::Atom(a));
+                self.exp(body)
+            }
+            Outcome::Inline(e) => {
+                self.changed = true;
+                let grafted = splice_ret(e, &mut |a| BExp::Let {
+                    var,
+                    rhs: BRhs::Atom(a),
+                    body: Box::new(BExp::Ret(Atom::Int(0))), // placeholder
+                });
+                // Re-stitch the real continuation: the placeholder body
+                // above is replaced by the actual `body` expression.
+                let grafted = replace_placeholder(grafted, var, body);
+                self.exp(grafted)
+            }
+            Outcome::Rhs(r) => {
+                // Record knowledge about var.
+                self.record_def(var, &r);
+                // CSE.
+                if self.opts.cse {
+                    if let Some(key) = cse_key(&r) {
+                        if let Some(prev) = self.cse.get(&key) {
+                            self.changed = true;
+                            self.env.insert(var, Def::Atom(Atom::Var(*prev)));
+                            return self.exp(body);
+                        }
+                        self.cse.insert(key, var);
+                    }
+                }
+                let bodyout = self.exp(body);
+                let pure = r.is_pure(&|_| false);
+                if self.opts.dead_code && pure && !self.used.contains(&var) {
+                    self.changed = true;
+                    return bodyout;
+                }
+                self.mark_rhs(&r);
+                BExp::Let {
+                    var,
+                    rhs: r,
+                    body: Box::new(bodyout),
+                }
+            }
+        }
+    }
+
+    fn record_def(&mut self, var: Var, r: &BRhs) {
+        match r {
+            BRhs::Record(atoms) => {
+                self.env.insert(var, Def::Record(atoms.clone()));
+            }
+            BRhs::Con {
+                data, tag, args, ..
+            } => {
+                self.env.insert(
+                    var,
+                    Def::ConVal {
+                        data: *data,
+                        tag: *tag,
+                        fields: args.clone(),
+                    },
+                );
+            }
+            BRhs::Float(f) => {
+                self.env.insert(var, Def::FloatConst(*f));
+            }
+            BRhs::Prim { prim, args, .. } => match prim {
+                MPrim::BoxFloat => {
+                    self.env.insert(var, Def::Boxed(args[0]));
+                }
+                MPrim::ILt | MPrim::ILe | MPrim::IGt | MPrim::IGe | MPrim::IEq | MPrim::INe => {
+                    self.env.insert(var, Def::Cmp(*prim, args[0], args[1]));
+                }
+                MPrim::ALen | MPrim::StrSize => {
+                    self.env.insert(var, Def::Len);
+                    self.facts.narrow(var, Some(0), None);
+                }
+                MPrim::IANew | MPrim::FANew | MPrim::PANew => {
+                    self.env.insert(var, Def::ArrOfLen(args[0]));
+                }
+                MPrim::IMod => {
+                    // x mod y has the sign of y; for a positive constant
+                    // modulus the result is in [0, y-1].
+                    if let Atom::Int(m) = args[1] {
+                        if m > 0 {
+                            self.facts.narrow(var, Some(0), Some(m - 1));
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    /// Simplifies one right-hand side (operands already need resolving).
+    fn simplify_rhs(&mut self, bound: Var, r: BRhs) -> Outcome {
+        let _ = bound;
+        match r {
+            BRhs::Atom(a) => Outcome::Atom(self.resolve(a)),
+            BRhs::Float(f) => Outcome::Rhs(BRhs::Float(f)),
+            BRhs::Str(s) => Outcome::Rhs(BRhs::Str(s)),
+            BRhs::Record(atoms) => Outcome::Rhs(BRhs::Record(
+                atoms.into_iter().map(|a| self.resolve(a)).collect(),
+            )),
+            BRhs::Select(i, a) => {
+                let a = self.resolve(a);
+                if self.opts.const_fold {
+                    if let til_bform::Atom::Var(v) = a {
+                        if let Some(Def::Record(fields)) = self.env.get(&v) {
+                            if i < fields.len() {
+                                return Outcome::Atom(self.resolve(fields[i]));
+                            }
+                        }
+                    }
+                }
+                Outcome::Rhs(BRhs::Select(i, a))
+            }
+            BRhs::Con {
+                data,
+                cargs,
+                tag,
+                args,
+            } => Outcome::Rhs(BRhs::Con {
+                data,
+                cargs,
+                tag,
+                args: args.into_iter().map(|a| self.resolve(a)).collect(),
+            }),
+            BRhs::ExnCon { exn, arg } => Outcome::Rhs(BRhs::ExnCon {
+                exn,
+                arg: arg.map(|a| self.resolve(a)),
+            }),
+            BRhs::Prim { prim, cargs, args } => {
+                let args: Vec<til_bform::Atom> =
+                    args.into_iter().map(|a| self.resolve(a)).collect();
+                self.fold_prim(prim, cargs, args)
+            }
+            BRhs::App { f, cargs, args } => {
+                let f = self.resolve(f);
+                let args: Vec<til_bform::Atom> =
+                    args.into_iter().map(|a| self.resolve(a)).collect();
+                if let til_bform::Atom::Var(fv) = f {
+                    if self.opts.inline_once {
+                        if let Some(fun) = self.once.remove(&fv) {
+                            return Outcome::Inline(self.build_inline(fun, &cargs, &args, false));
+                        }
+                    }
+                    if self.opts.inline_small && self.inline_budget > 0 {
+                        if let Some(fun) = self.small.get(&fv).cloned() {
+                            self.inline_budget -= 1;
+                            return Outcome::Inline(self.build_inline(fun, &cargs, &args, true));
+                        }
+                    }
+                }
+                Outcome::Rhs(BRhs::App { f, cargs, args })
+            }
+            BRhs::Raise { exn, con } => Outcome::Rhs(BRhs::Raise {
+                exn: self.resolve(exn),
+                con,
+            }),
+            BRhs::Handle { body, var, handler } => {
+                let saved = (self.facts.clone(), self.cse.clone());
+                let body = self.exp(*body);
+                self.facts = saved.0.clone();
+                self.cse = saved.1.clone();
+                let handler = self.exp(*handler);
+                self.facts = saved.0;
+                self.cse = saved.1;
+                // A handle whose body cannot raise could drop the
+                // handler; conservatively keep it.
+                Outcome::Rhs(BRhs::Handle {
+                    body: Box::new(body),
+                    var,
+                    handler: Box::new(handler),
+                })
+            }
+            BRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => {
+                let enum_fn = |id: til_lambda::DataId| self.is_enum(id);
+                let s = scrut.normalize(&enum_fn);
+                if self.opts.const_fold {
+                    match rep_tag(&s, &enum_fn) {
+                        RepClass::Int => return Outcome::Inline(*int),
+                        RepClass::Float => return Outcome::Inline(*float),
+                        RepClass::Ptr => return Outcome::Inline(*ptr),
+                        RepClass::Unknown => {}
+                    }
+                }
+                let saved = (self.facts.clone(), self.cse.clone());
+                let int = Box::new(self.exp(*int));
+                self.facts = saved.0.clone();
+                self.cse = saved.1.clone();
+                let float = Box::new(self.exp(*float));
+                self.facts = saved.0.clone();
+                self.cse = saved.1.clone();
+                let ptr = Box::new(self.exp(*ptr));
+                self.facts = saved.0;
+                self.cse = saved.1;
+                Outcome::Rhs(BRhs::Typecase {
+                    scrut: s,
+                    int,
+                    float,
+                    ptr,
+                    con,
+                })
+            }
+            BRhs::Switch(sw) => self.fold_switch(sw),
+        }
+    }
+
+    fn build_inline(
+        &mut self,
+        fun: BFun,
+        cargs: &[Con],
+        args: &[til_bform::Atom],
+        clone: bool,
+    ) -> BExp {
+        let mut body = if clone {
+            let mut env = HashMap::new();
+            // Params must map to fresh names too.
+            let mut fun2 = fun.clone();
+            let nparams: Vec<(Var, Con)> = fun2
+                .params
+                .iter()
+                .map(|(v, c)| {
+                    let nv = self.vs.rename(*v);
+                    env.insert(*v, nv);
+                    (nv, c.clone())
+                })
+                .collect();
+            fun2.params = nparams;
+            fun2.body = alpha_clone(&fun.body, &mut env, self.vs);
+            let mut e = fun2.body;
+            // Bind parameters.
+            for ((p, _), a) in fun2.params.iter().zip(args).rev() {
+                e = BExp::Let {
+                    var: *p,
+                    rhs: BRhs::Atom(*a),
+                    body: Box::new(e),
+                };
+            }
+            let cmap: HashMap<til_lmli::con::CVar, Con> = fun2
+                .cparams
+                .iter()
+                .copied()
+                .zip(cargs.iter().cloned())
+                .collect();
+            subst_cons_exp(&mut e, &cmap);
+            return e;
+        } else {
+            fun.body
+        };
+        let cmap: HashMap<til_lmli::con::CVar, Con> = fun
+            .cparams
+            .iter()
+            .copied()
+            .zip(cargs.iter().cloned())
+            .collect();
+        subst_cons_exp(&mut body, &cmap);
+        for ((p, _), a) in fun.params.iter().zip(args).rev() {
+            body = BExp::Let {
+                var: *p,
+                rhs: BRhs::Atom(*a),
+                body: Box::new(body),
+            };
+        }
+        body
+    }
+
+    // ---------------------------------------------------------- prims
+
+    fn fold_prim(&mut self, prim: MPrim, cargs: Vec<Con>, args: Vec<Atom>) -> Outcome {
+        if !self.opts.const_fold {
+            return Outcome::Rhs(BRhs::Prim { prim, cargs, args });
+        }
+        let int2 = |args: &[Atom]| match (args[0], args[1]) {
+            (Atom::Int(a), Atom::Int(b)) => Some((a, b)),
+            _ => None,
+        };
+        // Constant folding and identities.
+        match prim {
+            MPrim::IAdd => {
+                if let Some((a, b)) = int2(&args) {
+                    if let Some(v) = a.checked_add(b) {
+                        return Outcome::Atom(Atom::Int(v));
+                    }
+                }
+                if args[1] == Atom::Int(0) {
+                    return Outcome::Atom(args[0]);
+                }
+                if args[0] == Atom::Int(0) {
+                    return Outcome::Atom(args[1]);
+                }
+            }
+            MPrim::ISub => {
+                if let Some((a, b)) = int2(&args) {
+                    if let Some(v) = a.checked_sub(b) {
+                        return Outcome::Atom(Atom::Int(v));
+                    }
+                }
+                if args[1] == Atom::Int(0) {
+                    return Outcome::Atom(args[0]);
+                }
+            }
+            MPrim::IMul => {
+                if let Some((a, b)) = int2(&args) {
+                    if let Some(v) = a.checked_mul(b) {
+                        return Outcome::Atom(Atom::Int(v));
+                    }
+                }
+                if args[1] == Atom::Int(1) {
+                    return Outcome::Atom(args[0]);
+                }
+                if args[0] == Atom::Int(1) {
+                    return Outcome::Atom(args[1]);
+                }
+                if args[0] == Atom::Int(0) || args[1] == Atom::Int(0) {
+                    return Outcome::Atom(Atom::Int(0));
+                }
+            }
+            MPrim::IDiv => {
+                if let Some((a, b)) = int2(&args) {
+                    if b != 0 && !(a == i64::MIN && b == -1) {
+                        return Outcome::Atom(Atom::Int(a.div_euclid(b)));
+                    }
+                }
+                if args[1] == Atom::Int(1) {
+                    return Outcome::Atom(args[0]);
+                }
+            }
+            MPrim::IMod => {
+                if let Some((a, b)) = int2(&args) {
+                    if b != 0 && !(a == i64::MIN && b == -1) {
+                        return Outcome::Atom(Atom::Int(a.rem_euclid(b)));
+                    }
+                }
+            }
+            MPrim::INeg => {
+                if let Atom::Int(a) = args[0] {
+                    if let Some(v) = a.checked_neg() {
+                        return Outcome::Atom(Atom::Int(v));
+                    }
+                }
+            }
+            MPrim::IAbs => {
+                if let Atom::Int(a) = args[0] {
+                    if let Some(v) = a.checked_abs() {
+                        return Outcome::Atom(Atom::Int(v));
+                    }
+                }
+            }
+            MPrim::AndB | MPrim::OrB | MPrim::XorB | MPrim::Lsl | MPrim::Lsr | MPrim::Asr => {
+                if let Some((a, b)) = int2(&args) {
+                    let v = match prim {
+                        MPrim::AndB => a & b,
+                        MPrim::OrB => a | b,
+                        MPrim::XorB => a ^ b,
+                        MPrim::Lsl => ((a as u64) << (b as u64 & 63)) as i64,
+                        MPrim::Lsr => ((a as u64) >> (b as u64 & 63)) as i64,
+                        _ => a >> (b as u64 & 63),
+                    };
+                    return Outcome::Atom(Atom::Int(v));
+                }
+            }
+            MPrim::NotB => {
+                if let Atom::Int(a) = args[0] {
+                    return Outcome::Atom(Atom::Int(!a));
+                }
+            }
+            MPrim::ILt | MPrim::ILe | MPrim::IGt | MPrim::IGe | MPrim::IEq | MPrim::INe => {
+                if let Some(v) = self.fold_compare(prim, &args[0], &args[1]) {
+                    return Outcome::Atom(Atom::Int(v as i64));
+                }
+            }
+            MPrim::ALen => {
+                if let Atom::Var(v) = args[0] {
+                    if let Some(Def::ArrOfLen(n)) = self.env.get(&v) {
+                        return Outcome::Atom(self.resolve(*n));
+                    }
+                }
+            }
+            MPrim::UnboxFloat => {
+                if let Atom::Var(v) = args[0] {
+                    if let Some(Def::Boxed(inner)) = self.env.get(&v) {
+                        return Outcome::Atom(self.resolve(*inner));
+                    }
+                }
+            }
+            MPrim::FAdd | MPrim::FSub | MPrim::FMul | MPrim::FDiv => {
+                if let (Some(a), Some(b)) = (self.float_of(&args[0]), self.float_of(&args[1])) {
+                    let v = match prim {
+                        MPrim::FAdd => a + b,
+                        MPrim::FSub => a - b,
+                        MPrim::FMul => a * b,
+                        _ => a / b,
+                    };
+                    if v.is_finite() {
+                        return Outcome::Rhs(BRhs::Float(v));
+                    }
+                }
+            }
+            MPrim::FNeg => {
+                if let Some(a) = self.float_of(&args[0]) {
+                    return Outcome::Rhs(BRhs::Float(-a));
+                }
+            }
+            MPrim::FLt | MPrim::FLe | MPrim::FGt | MPrim::FGe | MPrim::FEq | MPrim::FNe => {
+                if let (Some(a), Some(b)) = (self.float_of(&args[0]), self.float_of(&args[1])) {
+                    let v = match prim {
+                        MPrim::FLt => a < b,
+                        MPrim::FLe => a <= b,
+                        MPrim::FGt => a > b,
+                        MPrim::FGe => a >= b,
+                        MPrim::FEq => a == b,
+                        _ => a != b,
+                    };
+                    return Outcome::Atom(Atom::Int(v as i64));
+                }
+            }
+            MPrim::ItoF => {
+                if let Atom::Int(a) = args[0] {
+                    return Outcome::Rhs(BRhs::Float(a as f64));
+                }
+            }
+            MPrim::PolyEq => {
+                // Intensional-polymorphism payoff: equality at a known
+                // representation becomes a primitive comparison.
+                let enum_fn = |id: til_lambda::DataId| self.is_enum(id);
+                let c = cargs[0].normalize(&enum_fn);
+                match &c {
+                    Con::Int => {
+                        return self.fold_prim(MPrim::IEq, vec![], args);
+                    }
+                    Con::Str => {
+                        return Outcome::Rhs(BRhs::Prim {
+                            prim: MPrim::SEq,
+                            cargs: vec![],
+                            args,
+                        });
+                    }
+                    Con::Boxed => {
+                        // Unbox both then compare.
+                        let u1 = self.vs.fresh_named("u");
+                        let u2 = self.vs.fresh_named("u");
+                        let res = self.vs.fresh_named("feq");
+                        return Outcome::Inline(BExp::Let {
+                            var: u1,
+                            rhs: BRhs::Prim {
+                                prim: MPrim::UnboxFloat,
+                                cargs: vec![],
+                                args: vec![args[0]],
+                            },
+                            body: Box::new(BExp::Let {
+                                var: u2,
+                                rhs: BRhs::Prim {
+                                    prim: MPrim::UnboxFloat,
+                                    cargs: vec![],
+                                    args: vec![args[1]],
+                                },
+                                body: Box::new(BExp::Let {
+                                    var: res,
+                                    rhs: BRhs::Prim {
+                                        prim: MPrim::FEq,
+                                        cargs: vec![],
+                                        args: vec![Atom::Var(u1), Atom::Var(u2)],
+                                    },
+                                    body: Box::new(BExp::Ret(Atom::Var(res))),
+                                }),
+                            }),
+                        });
+                    }
+                    Con::Record(fs) if fs.is_empty() => return Outcome::Atom(Atom::Int(1)),
+                    Con::Array(_) | Con::SpecArray(_) => {
+                        return Outcome::Rhs(BRhs::Prim {
+                            prim: MPrim::PtrEq,
+                            cargs,
+                            args,
+                        });
+                    }
+                    _ => {}
+                }
+                return Outcome::Rhs(BRhs::Prim {
+                    prim,
+                    cargs: vec![c],
+                    args,
+                });
+            }
+            MPrim::PtrEq => {
+                if args[0] == args[1] {
+                    return Outcome::Atom(Atom::Int(1));
+                }
+            }
+            MPrim::StrSize => {}
+            _ => {}
+        }
+        Outcome::Rhs(BRhs::Prim { prim, cargs, args })
+    }
+
+    fn float_of(&self, a: &Atom) -> Option<f64> {
+        match a {
+            Atom::Var(v) => match self.env.get(v) {
+                Some(Def::FloatConst(f)) => Some(*f),
+                _ => None,
+            },
+            Atom::Int(_) => None,
+        }
+    }
+
+    fn fold_compare(&self, prim: MPrim, a: &Atom, b: &Atom) -> Option<bool> {
+        // Constant comparisons always fold; fact-based folding is the
+        // loop-oriented comparison elimination and is gated.
+        if let (Atom::Int(x), Atom::Int(y)) = (a, b) {
+            return Some(match prim {
+                MPrim::ILt => x < y,
+                MPrim::ILe => x <= y,
+                MPrim::IGt => x > y,
+                MPrim::IGe => x >= y,
+                MPrim::IEq => x == y,
+                _ => x != y,
+            });
+        }
+        match prim {
+            MPrim::ILt if a == b => return Some(false),
+            MPrim::IGt if a == b => return Some(false),
+            MPrim::ILe | MPrim::IGe | MPrim::IEq if a == b => return Some(true),
+            MPrim::INe if a == b => return Some(false),
+            _ => {}
+        }
+        if !self.opts.compare_elim {
+            return None;
+        }
+        let f = &self.facts;
+        match prim {
+            MPrim::ILt => {
+                if f.proves_lt(a, b) {
+                    Some(true)
+                } else if f.proves_le(b, a) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            MPrim::ILe => {
+                if f.proves_le(a, b) {
+                    Some(true)
+                } else if f.proves_lt(b, a) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            MPrim::IGt => {
+                if f.proves_lt(b, a) {
+                    Some(true)
+                } else if f.proves_le(a, b) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            MPrim::IGe => {
+                if f.proves_le(b, a) {
+                    Some(true)
+                } else if f.proves_lt(a, b) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            MPrim::IEq => {
+                if f.proves_lt(a, b) || f.proves_lt(b, a) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            MPrim::INe => {
+                if f.proves_lt(a, b) || f.proves_lt(b, a) {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    // -------------------------------------------------------- switches
+
+    fn fold_switch(&mut self, sw: BSwitch) -> Outcome {
+        match sw {
+            BSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let scrut = self.resolve(scrut);
+                if self.opts.const_fold {
+                    if let Atom::Int(k) = scrut {
+                        for (v, arm) in &arms {
+                            if *v == k {
+                                return Outcome::Inline(arm.clone());
+                            }
+                        }
+                        return Outcome::Inline(*default);
+                    }
+                }
+                // Rebuild arms with branch facts.
+                let mut out_arms = Vec::with_capacity(arms.len());
+                for (k, arm) in arms {
+                    let saved = (self.facts.clone(), self.cse.clone());
+                    let saved_def = scrut.as_var().and_then(|v| self.env.get(&v).cloned());
+                    if self.opts.redundant_switch {
+                        if let Atom::Var(v) = scrut {
+                            self.push_scrut_fact(v, k);
+                        }
+                    }
+                    let arm = self.exp(arm);
+                    self.facts = saved.0;
+                    self.cse = saved.1;
+                    if let Atom::Var(v) = scrut {
+                        match saved_def {
+                            Some(ref d) => {
+                                self.env.insert(v, d.clone());
+                            }
+                            None => {
+                                self.env.remove(&v);
+                            }
+                        }
+                    }
+                    out_arms.push((k, arm));
+                }
+                let saved = (self.facts.clone(), self.cse.clone());
+                if self.opts.redundant_switch && out_arms.len() == 1 {
+                    // Binary comparison switch: the default is the
+                    // negation when the scrutinee is a comparison.
+                    if let Atom::Var(v) = scrut {
+                        self.push_negated_fact(v, out_arms[0].0);
+                    }
+                }
+                let default = Box::new(self.exp(*default));
+                self.facts = saved.0;
+                self.cse = saved.1;
+                Outcome::Rhs(BRhs::Switch(BSwitch::Int {
+                    scrut,
+                    arms: out_arms,
+                    default,
+                    con,
+                }))
+            }
+            BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => {
+                let scrut = self.resolve(scrut);
+                if self.opts.const_fold {
+                    if let Atom::Var(v) = scrut {
+                        if let Some(Def::ConVal {
+                            data: d2,
+                            tag,
+                            fields,
+                        }) = self.env.get(&v).cloned()
+                        {
+                            if d2 == data {
+                                for (t, binders, arm) in &arms {
+                                    if *t == tag {
+                                        let mut e = arm.clone();
+                                        for (b, f) in binders.iter().zip(&fields).rev() {
+                                            e = BExp::Let {
+                                                var: *b,
+                                                rhs: BRhs::Atom(*f),
+                                                body: Box::new(e),
+                                            };
+                                        }
+                                        return Outcome::Inline(e);
+                                    }
+                                }
+                                if let Some(d) = default {
+                                    return Outcome::Inline(*d);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut out_arms = Vec::with_capacity(arms.len());
+                for (tag, binders, arm) in arms {
+                    let saved = (self.facts.clone(), self.cse.clone());
+                    let saved_def = scrut.as_var().and_then(|v| self.env.get(&v).cloned());
+                    if self.opts.redundant_switch {
+                        if let Atom::Var(v) = scrut {
+                            self.env.insert(
+                                v,
+                                Def::ConVal {
+                                    data,
+                                    tag,
+                                    fields: binders.iter().map(|b| Atom::Var(*b)).collect(),
+                                },
+                            );
+                        }
+                    }
+                    let arm = self.exp(arm);
+                    self.facts = saved.0;
+                    self.cse = saved.1;
+                    if let Atom::Var(v) = scrut {
+                        match saved_def {
+                            Some(ref d) => {
+                                self.env.insert(v, d.clone());
+                            }
+                            None => {
+                                self.env.remove(&v);
+                            }
+                        }
+                    }
+                    out_arms.push((tag, binders, arm));
+                }
+                let default = match default {
+                    Some(d) => {
+                        let saved = (self.facts.clone(), self.cse.clone());
+                        let d = self.exp(*d);
+                        self.facts = saved.0;
+                        self.cse = saved.1;
+                        Some(Box::new(d))
+                    }
+                    None => None,
+                };
+                Outcome::Rhs(BRhs::Switch(BSwitch::Data {
+                    scrut,
+                    data,
+                    cargs,
+                    arms: out_arms,
+                    default,
+                    con,
+                }))
+            }
+            BSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let scrut = self.resolve(scrut);
+                let mut out_arms = Vec::with_capacity(arms.len());
+                for (k, arm) in arms {
+                    let saved = (self.facts.clone(), self.cse.clone());
+                    let arm = self.exp(arm);
+                    self.facts = saved.0;
+                    self.cse = saved.1;
+                    out_arms.push((k, arm));
+                }
+                let saved = (self.facts.clone(), self.cse.clone());
+                let default = Box::new(self.exp(*default));
+                self.facts = saved.0;
+                self.cse = saved.1;
+                Outcome::Rhs(BRhs::Switch(BSwitch::Str {
+                    scrut,
+                    arms: out_arms,
+                    default,
+                    con,
+                }))
+            }
+            BSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let scrut = self.resolve(scrut);
+                let mut out_arms = Vec::with_capacity(arms.len());
+                for (id, binder, arm) in arms {
+                    let saved = (self.facts.clone(), self.cse.clone());
+                    let arm = self.exp(arm);
+                    self.facts = saved.0;
+                    self.cse = saved.1;
+                    out_arms.push((id, binder, arm));
+                }
+                let saved = (self.facts.clone(), self.cse.clone());
+                let default = Box::new(self.exp(*default));
+                self.facts = saved.0;
+                self.cse = saved.1;
+                Outcome::Rhs(BRhs::Switch(BSwitch::Exn {
+                    scrut,
+                    arms: out_arms,
+                    default,
+                    con,
+                }))
+            }
+        }
+    }
+
+    /// Inside the arm `scrut = k`: substitute the constant and, when
+    /// the scrutinee is a comparison result, push the relation.
+    fn push_scrut_fact(&mut self, v: Var, k: i64) {
+        if let Some(Def::Cmp(prim, a, b)) = self.env.get(&v).cloned() {
+            let truth = k != 0;
+            self.push_cmp_fact(prim, a, b, truth);
+        }
+        self.env.insert(v, Def::Atom(Atom::Int(k)));
+    }
+
+    /// Inside the default of a single-arm switch on `scrut = k`: the
+    /// comparison took the other value.
+    fn push_negated_fact(&mut self, v: Var, k: i64) {
+        if let Some(Def::Cmp(prim, a, b)) = self.env.get(&v).cloned() {
+            // In the default branch the value is != k; for 0/1-valued
+            // comparisons that means the negation of (k != 0).
+            let truth = k == 0;
+            self.push_cmp_fact(prim, a, b, truth);
+        }
+    }
+
+    fn push_cmp_fact(&mut self, prim: MPrim, a: Atom, b: Atom, truth: bool) {
+        match (prim, truth) {
+            (MPrim::ILt, true) | (MPrim::IGe, false) => self.facts.add_lt(a, b),
+            (MPrim::ILt, false) | (MPrim::IGe, true) => self.facts.add_le(b, a),
+            (MPrim::ILe, true) | (MPrim::IGt, false) => self.facts.add_le(a, b),
+            (MPrim::ILe, false) | (MPrim::IGt, true) => self.facts.add_lt(b, a),
+            (MPrim::IEq, true) => {
+                self.facts.add_le(a, b);
+                self.facts.add_le(b, a);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Replaces the placeholder `Ret 0` body of the freshly grafted binding
+/// of `var` with the real continuation.
+fn replace_placeholder(e: BExp, var: Var, cont: BExp) -> BExp {
+    match e {
+        BExp::Let { var: v, rhs, body } => {
+            if v == var {
+                if let BRhs::Atom(_) = rhs {
+                    if matches!(*body, BExp::Ret(Atom::Int(0))) {
+                        return BExp::Let {
+                            var: v,
+                            rhs,
+                            body: Box::new(cont),
+                        };
+                    }
+                }
+            }
+            BExp::Let {
+                var: v,
+                rhs,
+                body: Box::new(replace_placeholder(*body, var, cont)),
+            }
+        }
+        BExp::Fix { funs, body } => BExp::Fix {
+            funs,
+            body: Box::new(replace_placeholder(*body, var, cont)),
+        },
+        BExp::Ret(a) => BExp::Ret(a),
+    }
+}
+
+fn atom_key(a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => format!("v{}", v.id()),
+        Atom::Int(n) => format!("i{n}"),
+    }
+}
+
+/// A CSE key for RHSs that are safe to share: pure primitives and
+/// primitives that can only raise (§3.3), selections, and immutable
+/// allocations (records, constructors, strings — SML gives them no
+/// identity).
+fn cse_key(r: &BRhs) -> Option<String> {
+    match r {
+        BRhs::Prim { prim, cargs, args } => {
+            if (prim.is_pure() || prim.only_raises()) && !matches!(prim, MPrim::ALen) {
+                let asl: Vec<String> = args.iter().map(atom_key).collect();
+                Some(format!("p{prim}({});{:?}", asl.join(","), cargs))
+            } else if matches!(prim, MPrim::ALen) {
+                let asl: Vec<String> = args.iter().map(atom_key).collect();
+                Some(format!("len({})", asl.join(",")))
+            } else {
+                None
+            }
+        }
+        BRhs::Select(i, a) => Some(format!("s{i}({})", atom_key(a))),
+        BRhs::Record(atoms) => {
+            let asl: Vec<String> = atoms.iter().map(atom_key).collect();
+            Some(format!("r({})", asl.join(",")))
+        }
+        BRhs::Con {
+            data,
+            cargs,
+            tag,
+            args,
+        } => {
+            let asl: Vec<String> = args.iter().map(atom_key).collect();
+            Some(format!("c{}#{tag}({});{cargs:?}", data.0, asl.join(",")))
+        }
+        BRhs::Str(s) => Some(format!("str{s:?}")),
+        _ => None,
+    }
+}

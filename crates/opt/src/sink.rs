@@ -1,0 +1,395 @@
+//! Sinking (paper §3.3): a pure binding used in only one branch of a
+//! switch is pushed into that branch (but never into a function body),
+//! so branches that don't need the value don't pay for it.
+
+use crate::census::{census, Census};
+use til_bform::{Atom, BExp, BProgram, BRhs, BSwitch};
+use til_common::Var;
+
+/// Runs one sinking round; returns true if anything moved.
+pub fn sink(p: &mut BProgram) -> bool {
+    let mut changed = false;
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    p.body = exp(body, &mut changed);
+    changed
+}
+
+fn exp(e: BExp, changed: &mut bool) -> BExp {
+    match e {
+        BExp::Ret(a) => BExp::Ret(a),
+        BExp::Fix { funs, body } => BExp::Fix {
+            funs: funs
+                .into_iter()
+                .map(|mut f| {
+                    let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+                    f.body = exp(b, changed);
+                    f
+                })
+                .collect(),
+            body: Box::new(exp(*body, changed)),
+        },
+        BExp::Let { var, rhs, body } => {
+            let rhs = rhs_rec(rhs, changed);
+            let body = exp(*body, changed);
+            // Try to sink this binding into a following switch arm.
+            if rhs.is_pure(&|_| false) && !nested(&rhs) {
+                let (out, moved) = try_sink(var, &rhs, body);
+                if moved {
+                    *changed = true;
+                }
+                return out;
+            }
+            BExp::Let {
+                var,
+                rhs,
+                body: Box::new(body),
+            }
+        }
+    }
+}
+
+fn nested(r: &BRhs) -> bool {
+    matches!(
+        r,
+        BRhs::Switch(_) | BRhs::Typecase { .. } | BRhs::Handle { .. }
+    )
+}
+
+/// If `body`'s spine reaches a switch and `var` is used in exactly one
+/// arm (and nowhere else), push `var = rhs` into that arm. Returns the
+/// resulting expression and whether a move happened.
+fn try_sink(var: Var, rhs: &BRhs, body: BExp) -> (BExp, bool) {
+    // Walk the spine: intervening bindings must not use var.
+    fn uses_var(c: &Census, v: Var) -> usize {
+        c.uses(v)
+    }
+    // Locate the first switch along the spine.
+    fn go(var: Var, rhs: &BRhs, e: BExp) -> Result<BExp, BExp> {
+        match e {
+            BExp::Let {
+                var: v2,
+                rhs: BRhs::Switch(sw),
+                body: after,
+            } => {
+                // var must not occur after the switch or in other arms
+                // or the scrutinee.
+                let after_uses = uses_var(&census(&after), var);
+                if after_uses > 0 {
+                    return Err(BExp::Let {
+                        var: v2,
+                        rhs: BRhs::Switch(sw),
+                        body: after,
+                    });
+                }
+                match sink_into_switch(var, rhs, sw) {
+                    Ok(sw2) => Ok(BExp::Let {
+                        var: v2,
+                        rhs: BRhs::Switch(sw2),
+                        body: after,
+                    }),
+                    Err(sw) => Err(BExp::Let {
+                        var: v2,
+                        rhs: BRhs::Switch(sw),
+                        body: after,
+                    }),
+                }
+            }
+            BExp::Let {
+                var: v2,
+                rhs: r2,
+                body: after,
+            } => {
+                // The intervening binding must not use var.
+                let mut used = false;
+                crate::util::rhs_atoms(&r2, &mut |a| {
+                    if *a == Atom::Var(var) {
+                        used = true;
+                    }
+                });
+                if used || nested(&r2) {
+                    return Err(BExp::Let {
+                        var: v2,
+                        rhs: r2,
+                        body: after,
+                    });
+                }
+                match go(var, rhs, *after) {
+                    Ok(e2) => Ok(BExp::Let {
+                        var: v2,
+                        rhs: r2,
+                        body: Box::new(e2),
+                    }),
+                    Err(e2) => Err(BExp::Let {
+                        var: v2,
+                        rhs: r2,
+                        body: Box::new(e2),
+                    }),
+                }
+            }
+            other => Err(other),
+        }
+    }
+    match go(var, rhs, body) {
+        Ok(new_body) => (new_body, true),
+        Err(body) => (
+            BExp::Let {
+                var,
+                rhs: rhs.clone(),
+                body: Box::new(body),
+            },
+            false,
+        ),
+    }
+}
+
+fn sink_into_switch(var: Var, rhs: &BRhs, sw: BSwitch) -> Result<BSwitch, BSwitch> {
+    macro_rules! arm_uses {
+        ($arms:expr, $default:expr, $scrut:expr) => {{
+            if *$scrut == Atom::Var(var) {
+                None
+            } else {
+                let mut hot: Option<usize> = None;
+                let mut total = 0usize;
+                for (i, a) in $arms.iter().enumerate() {
+                    let n = census(a).uses(var);
+                    if n > 0 {
+                        total += 1;
+                        hot = Some(i);
+                    }
+                }
+                let dn = census($default).uses(var);
+                if dn > 0 {
+                    total += 1;
+                    hot = Some(usize::MAX);
+                }
+                if total == 1 {
+                    hot
+                } else {
+                    None
+                }
+            }
+        }};
+    }
+    let push = |e: BExp| -> BExp {
+        BExp::Let {
+            var,
+            rhs: rhs.clone(),
+            body: Box::new(e),
+        }
+    };
+    match sw {
+        BSwitch::Int {
+            scrut,
+            mut arms,
+            mut default,
+            con,
+        } => {
+            let arm_exps: Vec<&BExp> = arms.iter().map(|(_, a)| a).collect();
+            match arm_uses!(arm_exps, &*default, &scrut) {
+                Some(usize::MAX) => {
+                    let d = std::mem::replace(&mut *default, BExp::Ret(Atom::Int(0)));
+                    *default = push(d);
+                    Ok(BSwitch::Int {
+                        scrut,
+                        arms,
+                        default,
+                        con,
+                    })
+                }
+                Some(i) => {
+                    let a = std::mem::replace(&mut arms[i].1, BExp::Ret(Atom::Int(0)));
+                    arms[i].1 = push(a);
+                    Ok(BSwitch::Int {
+                        scrut,
+                        arms,
+                        default,
+                        con,
+                    })
+                }
+                None => Err(BSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    con,
+                }),
+            }
+        }
+        BSwitch::Data {
+            scrut,
+            data,
+            cargs,
+            mut arms,
+            default,
+            con,
+        } => {
+            // Only handle the no-default case uniformly; with a default
+            // we bail out (rare after optimization).
+            let Some(mut default_box) = default else {
+                let arm_exps: Vec<&BExp> = arms.iter().map(|(_, _, a)| a).collect();
+                let hot = {
+                    if scrut == Atom::Var(var) {
+                        None
+                    } else {
+                        let mut hot: Option<usize> = None;
+                        let mut total = 0usize;
+                        for (i, a) in arm_exps.iter().enumerate() {
+                            if census(a).uses(var) > 0 {
+                                total += 1;
+                                hot = Some(i);
+                            }
+                        }
+                        if total == 1 {
+                            hot
+                        } else {
+                            None
+                        }
+                    }
+                };
+                return match hot {
+                    Some(i) => {
+                        let a = std::mem::replace(&mut arms[i].2, BExp::Ret(Atom::Int(0)));
+                        arms[i].2 = push(a);
+                        Ok(BSwitch::Data {
+                            scrut,
+                            data,
+                            cargs,
+                            arms,
+                            default: None,
+                            con,
+                        })
+                    }
+                    None => Err(BSwitch::Data {
+                        scrut,
+                        data,
+                        cargs,
+                        arms,
+                        default: None,
+                        con,
+                    }),
+                };
+            };
+            let arm_exps: Vec<&BExp> = arms.iter().map(|(_, _, a)| a).collect();
+            match arm_uses!(arm_exps, &*default_box, &scrut) {
+                Some(usize::MAX) => {
+                    let d = std::mem::replace(&mut *default_box, BExp::Ret(Atom::Int(0)));
+                    *default_box = push(d);
+                    Ok(BSwitch::Data {
+                        scrut,
+                        data,
+                        cargs,
+                        arms,
+                        default: Some(default_box),
+                        con,
+                    })
+                }
+                Some(i) => {
+                    let a = std::mem::replace(&mut arms[i].2, BExp::Ret(Atom::Int(0)));
+                    arms[i].2 = push(a);
+                    Ok(BSwitch::Data {
+                        scrut,
+                        data,
+                        cargs,
+                        arms,
+                        default: Some(default_box),
+                        con,
+                    })
+                }
+                None => Err(BSwitch::Data {
+                    scrut,
+                    data,
+                    cargs,
+                    arms,
+                    default: Some(default_box),
+                    con,
+                }),
+            }
+        }
+        other => Err(other),
+    }
+}
+
+fn rhs_rec(r: BRhs, changed: &mut bool) -> BRhs {
+    match r {
+        BRhs::Switch(sw) => BRhs::Switch(match sw {
+            BSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => BSwitch::Int {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, a)| (k, exp(a, changed)))
+                    .collect(),
+                default: Box::new(exp(*default, changed)),
+                con,
+            },
+            BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms: arms
+                    .into_iter()
+                    .map(|(t, b, a)| (t, b, exp(a, changed)))
+                    .collect(),
+                default: default.map(|d| Box::new(exp(*d, changed))),
+                con,
+            },
+            BSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => BSwitch::Str {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, a)| (k, exp(a, changed)))
+                    .collect(),
+                default: Box::new(exp(*default, changed)),
+                con,
+            },
+            BSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => BSwitch::Exn {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(id, b, a)| (id, b, exp(a, changed)))
+                    .collect(),
+                default: Box::new(exp(*default, changed)),
+                con,
+            },
+        }),
+        BRhs::Typecase {
+            scrut,
+            int,
+            float,
+            ptr,
+            con,
+        } => BRhs::Typecase {
+            scrut,
+            int: Box::new(exp(*int, changed)),
+            float: Box::new(exp(*float, changed)),
+            ptr: Box::new(exp(*ptr, changed)),
+            con,
+        },
+        BRhs::Handle { body, var, handler } => BRhs::Handle {
+            body: Box::new(exp(*body, changed)),
+            var,
+            handler: Box::new(exp(*handler, changed)),
+        },
+        other => other,
+    }
+}

@@ -1,0 +1,447 @@
+//! Polymorphic-instance specialization.
+//!
+//! Inlining and uncurrying eliminate non-recursive polymorphic
+//! functions, but a *recursive* polymorphic function (`map`, `foldl`)
+//! is never directly inlined (§3.3), so its ground-type applications
+//! would keep paying the intensional-polymorphism cost. This pass
+//! clones a monomorphic instance of a polymorphic `fix` nest per
+//! distinct ground constructor instantiation and redirects those call
+//! sites, which — together with inlining — reproduces the paper's
+//! observation that whole-program optimization removed *all*
+//! polymorphic functions from the benchmark suite (§5.1). The
+//! intensional-polymorphism machinery remains fully functional for
+//! programs where instantiations stay unknown.
+
+use crate::clone::{alpha_clone, subst_cons_exp};
+use std::collections::HashMap;
+use til_bform::{Atom, BExp, BFun, BProgram, BRhs, BSwitch};
+use til_common::{Var, VarSupply};
+use til_lmli::con::{CVar, Con};
+
+/// Runs one specialization round; returns true if any instance was
+/// created.
+pub fn specialize(p: &mut BProgram, vs: &mut VarSupply) -> bool {
+    // Phase 1: find ground applications of polymorphic functions.
+    let mut poly: HashMap<Var, ()> = HashMap::new();
+    collect_poly(&p.body, &mut poly);
+    if poly.is_empty() {
+        return false;
+    }
+    let mut requests: HashMap<(Var, String), Vec<Con>> = HashMap::new();
+    collect_requests(&p.body, &poly, &mut requests);
+    if requests.is_empty() {
+        return false;
+    }
+    // Phase 2: create instances at the defining fixes and redirect
+    // call sites.
+    let mut instances: HashMap<(Var, String), Var> = HashMap::new();
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    let body = rewrite_fixes(body, &requests, &mut instances, vs);
+    p.body = redirect_calls(body, &instances);
+    !instances.is_empty()
+}
+
+fn collect_poly(e: &BExp, out: &mut HashMap<Var, ()>) {
+    walk_exps(e, &mut |e2| {
+        if let BExp::Fix { funs, .. } = e2 {
+            for f in funs {
+                if !f.cparams.is_empty() {
+                    out.insert(f.var, ());
+                }
+            }
+        }
+    });
+}
+
+fn ground(cargs: &[Con]) -> bool {
+    cargs.iter().all(|c| {
+        let mut free = Vec::new();
+        c.free_cvars(&mut free);
+        free.is_empty()
+    })
+}
+
+fn key_of(cargs: &[Con]) -> String {
+    format!("{cargs:?}")
+}
+
+fn collect_requests(
+    e: &BExp,
+    poly: &HashMap<Var, ()>,
+    out: &mut HashMap<(Var, String), Vec<Con>>,
+) {
+    walk_rhss(e, &mut |r| {
+        if let BRhs::App { f, cargs, .. } = r {
+            if let Atom::Var(fv) = f {
+                if !cargs.is_empty() && poly.contains_key(fv) && ground(cargs) {
+                    out.entry((*fv, key_of(cargs)))
+                        .or_insert_with(|| cargs.clone());
+                }
+            }
+        }
+    });
+}
+
+/// At every `Fix` containing requested polymorphic functions, append
+/// specialized nests.
+fn rewrite_fixes(
+    e: BExp,
+    requests: &HashMap<(Var, String), Vec<Con>>,
+    instances: &mut HashMap<(Var, String), Var>,
+    vs: &mut VarSupply,
+) -> BExp {
+    match e {
+        BExp::Ret(a) => BExp::Ret(a),
+        BExp::Let { var, rhs, body } => BExp::Let {
+            var,
+            rhs: rewrite_rhs(rhs, requests, instances, vs),
+            body: Box::new(rewrite_fixes(*body, requests, instances, vs)),
+        },
+        BExp::Fix { funs, body } => {
+            // Recurse into bodies first (inner fixes may also satisfy
+            // requests).
+            let funs: Vec<BFun> = funs
+                .into_iter()
+                .map(|mut f| {
+                    let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+                    f.body = rewrite_fixes(b, requests, instances, vs);
+                    f
+                })
+                .collect();
+            // Which requests target this nest?
+            let nest_vars: Vec<Var> = funs.iter().map(|f| f.var).collect();
+            let mut keys: Vec<(Var, String)> = requests
+                .keys()
+                .filter(|(v, _)| nest_vars.contains(v))
+                .cloned()
+                .collect();
+            keys.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            let mut body = rewrite_fixes(*body, requests, instances, vs);
+            for key in keys {
+                if instances.contains_key(&key) {
+                    continue;
+                }
+                let cargs = &requests[&key];
+                // Clone the whole nest at this instantiation so
+                // mutually recursive calls stay within the instance.
+                let mut env: HashMap<Var, Var> = HashMap::new();
+                let mut spec_funs: Vec<BFun> = Vec::new();
+                for f in &funs {
+                    let nv = vs.rename(f.var);
+                    env.insert(f.var, nv);
+                }
+                for f in &funs {
+                    let cmap: HashMap<CVar, Con> = f
+                        .cparams
+                        .iter()
+                        .copied()
+                        .zip(cargs.iter().cloned())
+                        .collect();
+                    let params: Vec<(Var, Con)> = f
+                        .params
+                        .iter()
+                        .map(|(v, c)| {
+                            let nv = vs.rename(*v);
+                            env.insert(*v, nv);
+                            (nv, c.subst(&cmap))
+                        })
+                        .collect();
+                    let mut b = alpha_clone(&f.body, &mut env, vs);
+                    subst_cons_exp(&mut b, &cmap);
+                    spec_funs.push(BFun {
+                        var: env[&f.var],
+                        cparams: vec![],
+                        params,
+                        ret: f.ret.subst(&cmap),
+                        body: b,
+                    });
+                }
+                // Intra-instance recursive calls must drop their cargs
+                // (the instance is monomorphic).
+                let spec_vars: Vec<Var> = spec_funs.iter().map(|f| f.var).collect();
+                for f in &mut spec_funs {
+                    clear_cargs(&mut f.body, &spec_vars);
+                }
+                for f in &funs {
+                    instances.insert((f.var, key.1.clone()), env[&f.var]);
+                }
+                body = BExp::Fix {
+                    funs: spec_funs,
+                    body: Box::new(body),
+                };
+            }
+            BExp::Fix {
+                funs,
+                body: Box::new(body),
+            }
+        }
+    }
+}
+
+fn rewrite_rhs(
+    r: BRhs,
+    requests: &HashMap<(Var, String), Vec<Con>>,
+    instances: &mut HashMap<(Var, String), Var>,
+    vs: &mut VarSupply,
+) -> BRhs {
+    match r {
+        BRhs::Switch(sw) => BRhs::Switch(match sw {
+            BSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => BSwitch::Int {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, a)| (k, rewrite_fixes(a, requests, instances, vs)))
+                    .collect(),
+                default: Box::new(rewrite_fixes(*default, requests, instances, vs)),
+                con,
+            },
+            BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => BSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms: arms
+                    .into_iter()
+                    .map(|(t, b, a)| (t, b, rewrite_fixes(a, requests, instances, vs)))
+                    .collect(),
+                default: default.map(|d| Box::new(rewrite_fixes(*d, requests, instances, vs))),
+                con,
+            },
+            BSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => BSwitch::Str {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, a)| (k, rewrite_fixes(a, requests, instances, vs)))
+                    .collect(),
+                default: Box::new(rewrite_fixes(*default, requests, instances, vs)),
+                con,
+            },
+            BSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => BSwitch::Exn {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(id, b, a)| (id, b, rewrite_fixes(a, requests, instances, vs)))
+                    .collect(),
+                default: Box::new(rewrite_fixes(*default, requests, instances, vs)),
+                con,
+            },
+        }),
+        BRhs::Typecase {
+            scrut,
+            int,
+            float,
+            ptr,
+            con,
+        } => BRhs::Typecase {
+            scrut,
+            int: Box::new(rewrite_fixes(*int, requests, instances, vs)),
+            float: Box::new(rewrite_fixes(*float, requests, instances, vs)),
+            ptr: Box::new(rewrite_fixes(*ptr, requests, instances, vs)),
+            con,
+        },
+        BRhs::Handle { body, var, handler } => BRhs::Handle {
+            body: Box::new(rewrite_fixes(*body, requests, instances, vs)),
+            var,
+            handler: Box::new(rewrite_fixes(*handler, requests, instances, vs)),
+        },
+        other => other,
+    }
+}
+
+/// Redirects ground applications to their instances.
+fn redirect_calls(mut e: BExp, instances: &HashMap<(Var, String), Var>) -> BExp {
+    map_rhss(&mut e, &mut |r| {
+        if let BRhs::App { f, cargs, .. } = r {
+            if let Atom::Var(fv) = f {
+                if !cargs.is_empty() && ground(cargs) {
+                    if let Some(spec) = instances.get(&(*fv, key_of(cargs))) {
+                        *f = Atom::Var(*spec);
+                        cargs.clear();
+                    }
+                }
+            }
+        }
+    });
+    e
+}
+
+/// Clears cargs on calls to nest-internal functions of an instance.
+fn clear_cargs(e: &mut BExp, nest: &[Var]) {
+    map_rhss(e, &mut |r| {
+        if let BRhs::App { f, cargs, .. } = r {
+            if let Atom::Var(fv) = f {
+                if nest.contains(fv) {
+                    cargs.clear();
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------- walks
+
+fn walk_exps(e: &BExp, f: &mut impl FnMut(&BExp)) {
+    f(e);
+    match e {
+        BExp::Ret(_) => {}
+        BExp::Let { rhs, body, .. } => {
+            for sub in rhs_exps(rhs) {
+                walk_exps(sub, f);
+            }
+            walk_exps(body, f);
+        }
+        BExp::Fix { funs, body } => {
+            for fun in funs {
+                walk_exps(&fun.body, f);
+            }
+            walk_exps(body, f);
+        }
+    }
+}
+
+fn walk_rhss(e: &BExp, f: &mut impl FnMut(&BRhs)) {
+    match e {
+        BExp::Ret(_) => {}
+        BExp::Let { rhs, body, .. } => {
+            f(rhs);
+            for sub in rhs_exps(rhs) {
+                walk_rhss(sub, f);
+            }
+            walk_rhss(body, f);
+        }
+        BExp::Fix { funs, body } => {
+            for fun in funs {
+                walk_rhss(&fun.body, f);
+            }
+            walk_rhss(body, f);
+        }
+    }
+}
+
+fn rhs_exps(r: &BRhs) -> Vec<&BExp> {
+    match r {
+        BRhs::Switch(sw) => match sw {
+            BSwitch::Int { arms, default, .. } => arms
+                .iter()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&**default))
+                .collect(),
+            BSwitch::Data { arms, default, .. } => arms
+                .iter()
+                .map(|(_, _, a)| a)
+                .chain(default.iter().map(|d| &**d))
+                .collect(),
+            BSwitch::Str { arms, default, .. } => arms
+                .iter()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&**default))
+                .collect(),
+            BSwitch::Exn { arms, default, .. } => arms
+                .iter()
+                .map(|(_, _, a)| a)
+                .chain(std::iter::once(&**default))
+                .collect(),
+        },
+        BRhs::Typecase {
+            int, float, ptr, ..
+        } => vec![int, float, ptr],
+        BRhs::Handle { body, handler, .. } => vec![body, handler],
+        _ => vec![],
+    }
+}
+
+/// Applies `f` to every RHS in the tree, mutably.
+pub fn map_rhss(e: &mut BExp, f: &mut impl FnMut(&mut BRhs)) {
+    match e {
+        BExp::Ret(_) => {}
+        BExp::Let { rhs, body, .. } => {
+            f(rhs);
+            for sub in rhs_exps_mut(rhs) {
+                map_rhss(sub, f);
+            }
+            map_rhss(body, f);
+        }
+        BExp::Fix { funs, body } => {
+            for fun in funs {
+                map_rhss(&mut fun.body, f);
+            }
+            map_rhss(body, f);
+        }
+    }
+}
+
+fn rhs_exps_mut(r: &mut BRhs) -> Vec<&mut BExp> {
+    match r {
+        BRhs::Switch(sw) => match sw {
+            BSwitch::Int { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+            BSwitch::Data { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, _, a)| a)
+                .chain(default.iter_mut().map(|d| &mut **d))
+                .collect(),
+            BSwitch::Str { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+            BSwitch::Exn { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, _, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+        },
+        BRhs::Typecase {
+            int, float, ptr, ..
+        } => vec![int, float, ptr],
+        BRhs::Handle { body, handler, .. } => vec![body, handler],
+        _ => vec![],
+    }
+}
+
+/// Counts remaining polymorphic functions (the paper's §5.1 claim is
+/// that this reaches zero on the whole benchmark suite).
+pub fn count_polymorphic(e: &BExp) -> usize {
+    let mut n = 0;
+    walk_exps(e, &mut |e2| {
+        if let BExp::Fix { funs, .. } = e2 {
+            n += funs.iter().filter(|f| !f.cparams.is_empty()).count();
+        }
+    });
+    n
+}
+
+/// Counts typecase expressions remaining in the program.
+pub fn count_typecases(e: &BExp) -> usize {
+    let mut n = 0;
+    walk_rhss(e, &mut |r| {
+        if matches!(r, BRhs::Typecase { .. }) {
+            n += 1;
+        }
+    });
+    n
+}

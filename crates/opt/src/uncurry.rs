@@ -1,0 +1,191 @@
+//! Uncurrying (paper §3.3): a function whose body immediately returns
+//! an inner function is rewritten into a single multi-argument worker
+//! plus a small currying wrapper; the wrapper is then inlined at
+//! saturated call sites by the small-function inliner, which turns
+//! curried (possibly recursive) calls into direct worker calls.
+
+use crate::census::census;
+use til_bform::{Atom, BExp, BFun, BProgram, BRhs};
+use til_common::{Var, VarSupply};
+use til_lmli::con::Con;
+
+/// Runs one uncurrying round; returns true if any function changed.
+pub fn uncurry(p: &mut BProgram, vs: &mut VarSupply) -> bool {
+    let mut changed = false;
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    p.body = exp(body, vs, &mut changed);
+    changed
+}
+
+fn exp(e: BExp, vs: &mut VarSupply, changed: &mut bool) -> BExp {
+    match e {
+        BExp::Ret(a) => BExp::Ret(a),
+        BExp::Let { var, rhs, body } => {
+            let mut rhs = rhs;
+            map_rhss_once(&mut rhs, vs, changed);
+            BExp::Let {
+                var,
+                rhs,
+                body: Box::new(exp(*body, vs, changed)),
+            }
+        }
+        BExp::Fix { funs, body } => {
+            let mut out: Vec<BFun> = Vec::with_capacity(funs.len());
+            for mut f in funs {
+                let b = std::mem::replace(&mut f.body, BExp::Ret(Atom::Int(0)));
+                f.body = exp(b, vs, changed);
+                match try_uncurry(&f, vs) {
+                    Some((worker, wrapper)) => {
+                        *changed = true;
+                        out.push(worker);
+                        out.push(wrapper);
+                    }
+                    None => out.push(f),
+                }
+            }
+            BExp::Fix {
+                funs: out,
+                body: Box::new(exp(*body, vs, changed)),
+            }
+        }
+    }
+}
+
+fn map_rhss_once(r: &mut BRhs, vs: &mut VarSupply, changed: &mut bool) {
+    // Recurse into nested expressions inside this RHS.
+    let mut holder = BExp::Let {
+        var: Var::from_raw(u32::MAX, None),
+        rhs: std::mem::replace(r, BRhs::Atom(Atom::Int(0))),
+        body: Box::new(BExp::Ret(Atom::Int(0))),
+    };
+    // Reuse map over nested exps via specialize::map_rhss on the holder
+    // is not applicable (it visits rhss, not rewrites exps); do direct.
+    if let BExp::Let { rhs, .. } = &mut holder {
+        for sub in nested_exps(rhs) {
+            let owned = std::mem::replace(sub, BExp::Ret(Atom::Int(0)));
+            *sub = exp(owned, vs, changed);
+        }
+        *r = std::mem::replace(rhs, BRhs::Atom(Atom::Int(0)));
+    }
+}
+
+fn nested_exps(r: &mut BRhs) -> Vec<&mut BExp> {
+    use til_bform::BSwitch;
+    match r {
+        BRhs::Switch(sw) => match sw {
+            BSwitch::Int { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+            BSwitch::Data { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, _, a)| a)
+                .chain(default.iter_mut().map(|d| &mut **d))
+                .collect(),
+            BSwitch::Str { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+            BSwitch::Exn { arms, default, .. } => arms
+                .iter_mut()
+                .map(|(_, _, a)| a)
+                .chain(std::iter::once(&mut **default))
+                .collect(),
+        },
+        BRhs::Typecase {
+            int, float, ptr, ..
+        } => vec![int, float, ptr],
+        BRhs::Handle { body, handler, .. } => vec![body, handler],
+        _ => vec![],
+    }
+}
+
+/// `f = λp. fix g = λq. body in ret g`  becomes a worker
+/// `f_unc = λ(p, q). body` plus `f` rebuilt as a currying wrapper.
+fn try_uncurry(f: &BFun, vs: &mut VarSupply) -> Option<(BFun, BFun)> {
+    let BExp::Fix { funs, body } = &f.body else {
+        return None;
+    };
+    if funs.len() != 1 {
+        return None;
+    }
+    let g = &funs[0];
+    if !g.cparams.is_empty() {
+        return None;
+    }
+    let BExp::Ret(Atom::Var(rv)) = &**body else {
+        return None;
+    };
+    if *rv != g.var {
+        return None;
+    }
+    // The inner function must not be self-referential (its recursion,
+    // if any, goes through `f`).
+    if census(&g.body).uses(g.var) > 0 {
+        return None;
+    }
+    if f.params.is_empty() || g.params.is_empty() {
+        return None;
+    }
+    // Don't re-uncurry a currying wrapper we created: its inner body is
+    // already a single direct call.
+    if let BExp::Let { rhs, body: b2, .. } = &g.body {
+        if matches!(rhs, BRhs::App { .. }) && matches!(&**b2, BExp::Ret(_)) {
+            return None;
+        }
+    }
+    let worker_var = vs.fresh_named(&format!("{}_unc", f.var));
+    let worker = BFun {
+        var: worker_var,
+        cparams: f.cparams.clone(),
+        params: f.params.iter().chain(g.params.iter()).cloned().collect(),
+        ret: g.ret.clone(),
+        body: g.body.clone(),
+    };
+    // Wrapper with fresh parameter names.
+    let wp: Vec<(Var, Con)> = f
+        .params
+        .iter()
+        .map(|(v, c)| (vs.rename(*v), c.clone()))
+        .collect();
+    let wq: Vec<(Var, Con)> = g
+        .params
+        .iter()
+        .map(|(v, c)| (vs.rename(*v), c.clone()))
+        .collect();
+    let gw = vs.rename(g.var);
+    let res = vs.fresh_named("r");
+    let call = BExp::Let {
+        var: res,
+        rhs: BRhs::App {
+            f: Atom::Var(worker_var),
+            cargs: f.cparams.iter().map(|c| Con::Var(*c)).collect(),
+            args: wp
+                .iter()
+                .chain(wq.iter())
+                .map(|(v, _)| Atom::Var(*v))
+                .collect(),
+        },
+        body: Box::new(BExp::Ret(Atom::Var(res))),
+    };
+    let wrapper_body = BExp::Fix {
+        funs: vec![BFun {
+            var: gw,
+            cparams: vec![],
+            params: wq,
+            ret: g.ret.clone(),
+            body: call,
+        }],
+        body: Box::new(BExp::Ret(Atom::Var(gw))),
+    };
+    let wrapper = BFun {
+        var: f.var,
+        cparams: f.cparams.clone(),
+        params: wp,
+        ret: f.ret.clone(),
+        body: wrapper_body,
+    };
+    Some((worker, wrapper))
+}

@@ -1,0 +1,33 @@
+//! Small shared traversal helpers.
+
+use til_bform::{Atom, BRhs};
+
+/// Applies `f` to every atom directly contained in an RHS (not
+/// descending into nested arm expressions).
+pub fn rhs_atoms(r: &BRhs, f: &mut impl FnMut(&Atom)) {
+    match r {
+        BRhs::Atom(a) | BRhs::Select(_, a) | BRhs::Raise { exn: a, .. } => f(a),
+        BRhs::Float(_) | BRhs::Str(_) => {}
+        BRhs::Record(atoms) | BRhs::Con { args: atoms, .. } => atoms.iter().for_each(f),
+        BRhs::ExnCon { arg, .. } => {
+            if let Some(a) = arg {
+                f(a)
+            }
+        }
+        BRhs::Prim { args, .. } => args.iter().for_each(f),
+        BRhs::App { f: g, args, .. } => {
+            f(g);
+            args.iter().for_each(f);
+        }
+        BRhs::Switch(sw) => {
+            use til_bform::BSwitch;
+            match sw {
+                BSwitch::Int { scrut, .. }
+                | BSwitch::Data { scrut, .. }
+                | BSwitch::Str { scrut, .. }
+                | BSwitch::Exn { scrut, .. } => f(scrut),
+            }
+        }
+        BRhs::Typecase { .. } | BRhs::Handle { .. } => {}
+    }
+}

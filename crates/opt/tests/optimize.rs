@@ -1,0 +1,167 @@
+//! Full middle-end tests: source → Lambda → Lmli → Bform → optimize →
+//! Bform typecheck, with the paper's headline structural claims
+//! asserted (all polymorphic functions and typecases eliminated on
+//! monomorphizable whole programs).
+
+use til_bform::{from_lmli, typecheck_bform, BProgram};
+use til_lmli::{from_lambda, LmliOptions};
+use til_opt::{optimize, OptOptions, OptStats};
+
+fn build(src: &str, lmli: &LmliOptions) -> (BProgram, til_common::VarSupply) {
+    let mut e = til_elab::elaborate_source(src).expect("elaborate");
+    let m = from_lambda(&e.program, lmli, &mut e.vars).expect("to lmli");
+    let b = from_lmli(&m, &mut e.vars).expect("to bform");
+    (b, e.vars)
+}
+
+fn optimize_ok(src: &str) -> OptStats {
+    til_common::with_big_stack(|| {
+        let (mut b, mut vs) = build(src, &LmliOptions::til());
+        let mut opts = OptOptions::til();
+        opts.verify = true;
+        let stats = optimize(&mut b, &mut vs, &opts).unwrap_or_else(|d| panic!("{d}"));
+        typecheck_bform(&b).unwrap_or_else(|d| panic!("post-opt typecheck: {d}"));
+        stats
+    })
+}
+
+#[test]
+fn prelude_optimizes() {
+    let stats = optimize_ok("");
+    assert!(stats.size_after <= stats.size_before);
+}
+
+#[test]
+fn monomorphization_is_total_on_first_order_code() {
+    let stats = optimize_ok(
+        "val xs = map (fn x => x + 1) [1, 2, 3]
+         val n = length xs
+         val _ = print (Int.toString n)",
+    );
+    assert_eq!(stats.remaining_polymorphic, 0, "paper §5.1: optimizer eliminates all polymorphic functions");
+    assert_eq!(stats.remaining_typecases, 0);
+}
+
+#[test]
+fn dot_product_loop_optimizes() {
+    let stats = optimize_ok(
+        "val n = 8
+         val A = Array2.array (n, n, 0)
+         val B = Array2.array (n, n, 0)
+         fun dot (i, j, bound) =
+           let fun go (cnt, sum) =
+                 if cnt < bound
+                 then go (cnt + 1, sum + sub2 (A, i, cnt) * sub2 (B, cnt, j))
+                 else sum
+           in go (0, 0) end
+         val _ = print (Int.toString (dot (0, 0, n)))",
+    );
+    assert_eq!(stats.remaining_polymorphic, 0);
+    assert_eq!(stats.remaining_typecases, 0);
+}
+
+#[test]
+fn float_code_unboxes() {
+    let stats = optimize_ok(
+        "val a = Array.array (10, 0.0)
+         fun fill i = if i >= 10 then () else (Array.update (a, i, real i * 1.5); fill (i + 1))
+         val _ = fill 0
+         fun total (i, acc) = if i >= 10 then acc else total (i + 1, acc + Array.sub (a, i))
+         val _ = print (Real.toString (total (0, 0.0)))",
+    );
+    assert_eq!(stats.remaining_polymorphic, 0);
+}
+
+#[test]
+fn exceptions_and_handlers_optimize() {
+    optimize_ok(
+        "exception E of int
+         fun risky x = if x > 5 then raise E x else x * 2
+         val v = (risky 10) handle E n => n | Overflow => 0
+         val _ = print (Int.toString v)",
+    );
+}
+
+#[test]
+fn baseline_mode_optimizes_too() {
+    til_common::with_big_stack(|| {
+    let (mut b, mut vs) = build(
+        "val xs = map (fn x => x * 2) [1, 2, 3] val _ = print (Int.toString (length xs))",
+        &LmliOptions::baseline(),
+    );
+    let mut opts = OptOptions::baseline();
+    opts.verify = true;
+    optimize(&mut b, &mut vs, &opts).unwrap_or_else(|d| panic!("{d}"));
+    typecheck_bform(&b).unwrap_or_else(|d| panic!("{d}"));
+    })
+}
+
+#[test]
+fn no_loop_opts_mode_is_sound() {
+    til_common::with_big_stack(|| {
+    let (mut b, mut vs) = build(
+        "val a = Array.array (100, 0)
+         fun fill i = if i >= 100 then () else (Array.update (a, i, i); fill (i + 1))
+         val _ = fill 0
+         val _ = print (Int.toString (Array.sub (a, 50)))",
+        &LmliOptions::til(),
+    );
+    let mut opts = OptOptions::til_no_loop_opts();
+    opts.verify = true;
+    optimize(&mut b, &mut vs, &opts).unwrap_or_else(|d| panic!("{d}"));
+    typecheck_bform(&b).unwrap_or_else(|d| panic!("{d}"));
+    })
+}
+
+#[test]
+fn higher_order_programs_monomorphize() {
+    let stats = optimize_ok(
+        "fun twice f x = f (f x)
+         fun compose f g x = f (g x)
+         val h = compose (fn x => x + 1) (fn x => x * 3)
+         val v = twice h 5
+         val w = foldl (fn (a, b) => a + b) 0 (List.tabulate (10, fn i => i))
+         val _ = print (Int.toString (v + w))",
+    );
+    assert_eq!(stats.remaining_polymorphic, 0);
+}
+
+#[test]
+fn datatype_heavy_code_optimizes() {
+    optimize_ok(
+        "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+         fun insert (Leaf, x) = Node (Leaf, x, Leaf)
+           | insert (Node (l, y, r), x) =
+               if x < y then Node (insert (l, x), y, r)
+               else if x > y then Node (l, y, insert (r, x))
+               else Node (l, y, r)
+         fun size Leaf = 0 | size (Node (l, _, r)) = 1 + size l + size r
+         fun build (n, t) = if n = 0 then t else build (n - 1, insert (t, n * 7 mod 13))
+         val _ = print (Int.toString (size (build (20, Leaf))))",
+    );
+}
+
+#[test]
+fn bounds_checks_are_eliminated_in_counted_loops() {
+    til_common::with_big_stack(|| {
+    // The prelude's Array.sub carries explicit checks; after inlining,
+    // comparison elimination should remove them in this loop (the
+    // remaining program should contain no Subscript raise on the hot
+    // path — we check the weaker property that optimization shrinks
+    // the loop body when loop opts are on versus off).
+    let src = "val a = Array.array (1000, 0)
+         fun sumloop (i, acc) =
+           if i >= 1000 then acc else sumloop (i + 1, acc + Array.sub (a, i))
+         val _ = print (Int.toString (sumloop (0, 0)))";
+    let (mut with_lo, mut vs1) = build(src, &LmliOptions::til());
+    optimize(&mut with_lo, &mut vs1, &OptOptions::til()).unwrap();
+    let (mut without_lo, mut vs2) = build(src, &LmliOptions::til());
+    optimize(&mut without_lo, &mut vs2, &OptOptions::til_no_loop_opts()).unwrap();
+    assert!(
+        with_lo.body.size() < without_lo.body.size(),
+        "loop opts should shrink the program: {} vs {}",
+        with_lo.body.size(),
+        without_lo.body.size()
+    );
+    })
+}

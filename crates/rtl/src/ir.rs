@@ -1,0 +1,299 @@
+//! RTL — the register-transfer language (paper §3.6): ALPHA-style
+//! operations over an infinite supply of representation-annotated
+//! pseudo-registers, with explicit allocation, GC checks, tagging,
+//! and the exception-handler chain (the paper's "interprocedural
+//! goto").
+
+use std::collections::HashMap;
+use til_common::Var;
+use til_runtime::RepExpr;
+use til_vm::{Alu, Falu, RtFn, Trap};
+
+/// A pseudo-register.
+pub type VReg = u32;
+
+/// A local label within a function.
+pub type Lbl = u32;
+
+/// An operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ROp {
+    /// Pseudo-register.
+    V(VReg),
+    /// Immediate.
+    I(i64),
+}
+
+/// Representation annotation of a pseudo-register (the paper's
+/// `INT`/`TRACE`/`LOCATIVE`/computed annotations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RRep {
+    /// Untraced word.
+    Int,
+    /// Raw float bits (untraced).
+    Float,
+    /// Traced pointer (small-constant filtering applies).
+    Trace,
+    /// Code value (odd-encoded; untraced).
+    Code,
+    /// Interior pointer; never live across a GC point.
+    Locative,
+    /// Representation decided by the run-time type in another
+    /// pseudo-register.
+    Computed(VReg),
+}
+
+/// Call targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallTarget {
+    /// Direct call to a code block.
+    Code(Var),
+    /// Indirect call through an odd-encoded code value.
+    Reg(VReg),
+}
+
+/// Static (pre-linked) objects living in the globals segment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StaticObj {
+    /// A string literal.
+    Str(String),
+    /// A ground run-time type representation.
+    Rep(RepExpr),
+    /// A constant exception packet (nullary exceptions, trap stubs).
+    ExnPacket(u32),
+}
+
+/// Header recipe for a record allocation. A dynamic header (mask bits
+/// computed from run-time type representations — the paper's
+/// "construct tags partially at run time") is computed into a register
+/// by the lowering before the `Alloc`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HeadSpec {
+    /// Fully static header word.
+    Static(u64),
+    /// Header computed at run time (in the register).
+    Reg(VReg),
+}
+
+/// Array element kinds (specialized, §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrKind {
+    /// Untraced words.
+    Int,
+    /// Unboxed floats.
+    Float,
+    /// Traced pointers.
+    Ptr,
+}
+
+/// One RTL instruction.
+#[derive(Clone, Debug)]
+pub enum RInstr {
+    /// Register/immediate move.
+    Mov {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: ROp,
+    },
+    /// ALU operation.
+    Alu {
+        /// Operation.
+        op: Alu,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: ROp,
+        /// Right operand.
+        b: ROp,
+    },
+    /// Float operation on raw bits.
+    Falu {
+        /// Operation.
+        op: Falu,
+        /// Destination.
+        dst: VReg,
+        /// Left.
+        a: VReg,
+        /// Right.
+        b: VReg,
+    },
+    /// Int → float.
+    Itof {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        a: VReg,
+    },
+    /// Load word.
+    Ld {
+        /// Destination.
+        dst: VReg,
+        /// Base.
+        base: VReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Store word.
+    St {
+        /// Source.
+        src: VReg,
+        /// Base.
+        base: VReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Load a global slot.
+    LdGlobal {
+        /// Destination.
+        dst: VReg,
+        /// Slot.
+        gid: u32,
+    },
+    /// Store a global slot.
+    StGlobal {
+        /// Source.
+        src: VReg,
+        /// Slot.
+        gid: u32,
+    },
+    /// Load the odd-encoded address of a code block.
+    LeaCode {
+        /// Destination.
+        dst: VReg,
+        /// Code.
+        code: Var,
+    },
+    /// Load the address of a static object.
+    LeaStatic {
+        /// Destination.
+        dst: VReg,
+        /// Static id.
+        obj: u32,
+    },
+    /// Local label.
+    Label(Lbl),
+    /// Unconditional branch.
+    Br(Lbl),
+    /// Branch if zero.
+    Beqz(VReg, Lbl),
+    /// Branch if nonzero.
+    Bnez(VReg, Lbl),
+    /// Non-tail call.
+    Call {
+        /// Target.
+        target: CallTarget,
+        /// Arguments (placed in r0..).
+        args: Vec<VReg>,
+        /// Result (from r0).
+        dst: Option<VReg>,
+    },
+    /// Tail call: pops the frame and jumps.
+    TailCall {
+        /// Target.
+        target: CallTarget,
+        /// Arguments.
+        args: Vec<VReg>,
+    },
+    /// Runtime-service call.
+    CallRt {
+        /// Service.
+        f: RtFn,
+        /// Arguments (placed in r0..).
+        args: Vec<VReg>,
+        /// Result.
+        dst: Option<VReg>,
+        /// Whether the service may allocate (⇒ this is a GC point).
+        alloc: bool,
+    },
+    /// Return (value moves to r0).
+    Ret(Option<VReg>),
+    /// Record/closure/box allocation (with GC check).
+    Alloc {
+        /// Destination (the object pointer).
+        dst: VReg,
+        /// Header recipe.
+        head: HeadSpec,
+        /// Field values.
+        fields: Vec<ROp>,
+    },
+    /// Array allocation (dynamic length, with GC check).
+    AllocArr {
+        /// Destination.
+        dst: VReg,
+        /// Element kind.
+        kind: ArrKind,
+        /// Element count (untagged).
+        len: ROp,
+        /// Initial value for every element.
+        init: VReg,
+    },
+    /// Install an exception handler (frame handler slot `idx`).
+    PushHandler {
+        /// Handler code label.
+        lbl: Lbl,
+        /// Handler nesting slot.
+        idx: u32,
+    },
+    /// Remove the innermost handler.
+    PopHandler {
+        /// Handler nesting slot.
+        idx: u32,
+    },
+    /// Handler entry point: receives the packet (from r0).
+    HandlerEntry {
+        /// Packet destination.
+        dst: VReg,
+    },
+    /// Raise: unwind to the innermost handler.
+    Raise {
+        /// The packet.
+        packet: VReg,
+    },
+    /// Trap if the register is nonzero.
+    TrapIf {
+        /// Condition.
+        cond: VReg,
+        /// Trap kind.
+        trap: Trap,
+    },
+}
+
+/// One lowered function.
+#[derive(Clone, Debug)]
+pub struct RtlFun {
+    /// Name (the code label; `None` for the program entry).
+    pub name: Option<Var>,
+    /// Parameter vregs, in calling-convention order.
+    pub params: Vec<VReg>,
+    /// Body.
+    pub instrs: Vec<RInstr>,
+    /// Representation annotations.
+    pub reps: HashMap<VReg, RRep>,
+    /// Number of labels used.
+    pub nlabels: u32,
+    /// Maximum handler nesting depth.
+    pub nhandlers: u32,
+}
+
+/// A global slot.
+#[derive(Clone, Debug)]
+pub struct GlobalSlot {
+    /// GC interpretation: true = traced.
+    pub traced: bool,
+}
+
+/// The lowered program.
+#[derive(Clone, Debug)]
+pub struct RtlProgram {
+    /// All functions; index 0 is the program entry.
+    pub funs: Vec<RtlFun>,
+    /// Global slots (top-level bindings).
+    pub globals: Vec<GlobalSlot>,
+    /// Static objects.
+    pub statics: Vec<StaticObj>,
+    /// Datatype table for the runtime.
+    pub data_table: Vec<til_runtime::RtData>,
+    /// Universal tagged representation (baseline) or TIL.
+    pub tagged: bool,
+}

@@ -1,0 +1,10 @@
+//! **RTL** — the register-transfer language and the Ubform→RTL
+//! conversion (paper §3.5–3.6): representation decisions, record and
+//! array tagging, GC checks, exception elimination, and run-time
+//! type-representation construction.
+
+pub mod ir;
+pub mod lower;
+
+pub use ir::*;
+pub use lower::{lower, HEAP_BASE};

@@ -1,0 +1,1693 @@
+//! Conversion of closure-converted code to RTL (paper §3.6): decides
+//! value representations, introduces record/array tagging, expands
+//! datatype constructors and switches into loads, compares and pointer
+//! tests, compiles `typecase` into a switch on the run-time type
+//! representation, materializes type representations at call sites
+//! (the run-time cost of intensional polymorphism), and lowers
+//! exceptions onto the handler chain.
+//!
+//! In the baseline ("tagged") mode every integer is low-bit tagged
+//! (`2n+1`) and arithmetic untags/retags — the universal
+//! representation's per-operation cost.
+
+use crate::ir::*;
+use std::collections::HashMap;
+use til_closure::{CExp, CProgram, CRhs, CSwitch, Code};
+use til_common::{Diagnostic, Result, Var};
+use til_lmli::con::{CVar, Con};
+use til_lmli::data::DataRep;
+use til_lmli::prim::MPrim;
+use til_lmli::typecheck::ConCtx;
+use til_runtime::{rep, RepExpr};
+use til_vm::{header, Alu, Falu, RtFn, Trap};
+
+/// Fixed heap base (the globals segment must fit below it; the linker
+/// asserts this).
+pub const HEAP_BASE: u64 = 1 << 21;
+
+/// Lowers a whole program. `tagged` selects the baseline universal
+/// representation.
+pub fn lower(p: &CProgram, tagged: bool) -> Result<RtlProgram> {
+    let data_table = til_ubform::data_table(&p.data)?;
+    let mut lw = Lower {
+        prog: p,
+        tagged,
+        statics: Vec::new(),
+        static_ix: HashMap::new(),
+        globals: Vec::new(),
+        global_ids: HashMap::new(),
+        global_cons: HashMap::new(),
+        sigs: HashMap::new(),
+    };
+    for c in &p.codes {
+        lw.sigs.insert(
+            c.var,
+            Sig {
+                cparams: c.cparams.clone(),
+                captured_cvars: c.captured_cvars,
+                params: c.params.iter().map(|(_, con)| con.clone()).collect(),
+                ret: c.ret.clone(),
+                escapes: c.escapes,
+            },
+        );
+    }
+    // Globals: the main spine (assign ids now; traced flags after
+    // lowering main records their cons).
+    let mut spine = &p.body;
+    while let CExp::Let { var, body, .. } = spine {
+        let gid = lw.globals.len() as u32;
+        lw.globals.push(GlobalSlot { traced: false });
+        lw.global_ids.insert(*var, gid);
+        spine = body;
+    }
+    // Lower main first (it fills in global cons), then the codes.
+    let main = lw.lower_main(&p.body)?;
+    let mut funs = vec![main];
+    for c in &p.codes {
+        funs.push(lw.lower_code(c)?);
+    }
+    // Global traced flags from the recorded cons.
+    for (v, gid) in lw.global_ids.clone() {
+        let traced = match lw.global_cons.get(&v) {
+            Some(c) => match til_ubform::vrep(c, &p.data) {
+                til_ubform::VRep::Trace => true,
+                til_ubform::VRep::Computed(_) => true, // conservative
+                _ => false,
+            },
+            None => false,
+        };
+        lw.globals[gid as usize].traced = traced;
+    }
+    Ok(RtlProgram {
+        funs,
+        globals: lw.globals,
+        statics: lw.statics,
+        data_table,
+        tagged,
+    })
+}
+
+#[derive(Clone)]
+struct Sig {
+    cparams: Vec<CVar>,
+    captured_cvars: usize,
+    params: Vec<Con>,
+    ret: Con,
+    escapes: bool,
+}
+
+struct Lower<'a> {
+    prog: &'a CProgram,
+    tagged: bool,
+    statics: Vec<StaticObj>,
+    static_ix: HashMap<String, u32>,
+    globals: Vec<GlobalSlot>,
+    global_ids: HashMap<Var, u32>,
+    global_cons: HashMap<Var, Con>,
+    sigs: HashMap<Var, Sig>,
+}
+
+impl<'a> Lower<'a> {
+    fn intern_static(&mut self, o: StaticObj) -> u32 {
+        let key = format!("{o:?}");
+        if let Some(&i) = self.static_ix.get(&key) {
+            return i;
+        }
+        let i = self.statics.len() as u32;
+        self.statics.push(o);
+        self.static_ix.insert(key, i);
+        i
+    }
+
+    fn lower_main(&mut self, body: &CExp) -> Result<RtlFun> {
+        let mut cx = FunCx::new(self, vec![], None, true);
+        cx.exp(body, false)?;
+        // The program entry returns normally to the linker's halt stub.
+        cx.instrs.push(RInstr::Ret(None));
+        Ok(cx.finish(None, vec![]))
+    }
+
+    fn lower_code(&mut self, c: &Code) -> Result<RtlFun> {
+        let sig = self.sigs[&c.var].clone();
+        let mut cx = FunCx::new(self, c.cparams.clone(), Some(c), false);
+        // Parameter layout (see DESIGN): escaping codes receive
+        // [env, orig rep args.., orig value args..]; known codes receive
+        // [all rep args.., all value args..].
+        let mut params: Vec<VReg> = Vec::new();
+        if c.escapes {
+            let env = cx.fresh(RRep::Trace);
+            params.push(env);
+            // Original cparams (after the captured prefix) arrive as
+            // rep arguments.
+            for cv in c.cparams.iter().skip(c.captured_cvars) {
+                let r = cx.fresh(RRep::Trace);
+                cx.crmap.insert(*cv, r);
+                params.push(r);
+            }
+            // Captured reps load from the environment.
+            for (i, cv) in c.cparams.iter().take(c.captured_cvars).enumerate() {
+                let r = cx.fresh(RRep::Trace);
+                cx.instrs.push(RInstr::Ld {
+                    dst: r,
+                    base: env,
+                    off: (8 * (1 + i)) as i32,
+                });
+                cx.crmap.insert(*cv, r);
+            }
+            // Value params: [env(param 0 of code), orig...].
+            for (i, (v, con)) in c.params.iter().enumerate() {
+                if i == 0 {
+                    // The env param is the closure environment itself.
+                    cx.vmap.insert(*v, env);
+                    cx.cons.insert(*v, con.clone());
+                } else {
+                    let r = cx.fresh_for_con(con);
+                    cx.vmap.insert(*v, r);
+                    cx.cons.insert(*v, con.clone());
+                    params.push(r);
+                }
+            }
+            cx.env_base = Some((env, c.captured_cvars));
+        } else {
+            for cv in &c.cparams {
+                let r = cx.fresh(RRep::Trace);
+                cx.crmap.insert(*cv, r);
+                params.push(r);
+            }
+            for (v, con) in &c.params {
+                let r = cx.fresh_for_con(con);
+                cx.vmap.insert(*v, r);
+                cx.cons.insert(*v, con.clone());
+                params.push(r);
+            }
+        }
+        let _ = sig;
+        cx.exp(&c.body, true)?;
+        Ok(cx.finish(Some(c.var), params))
+    }
+}
+
+struct FunCx<'a, 'b> {
+    lw: &'b mut Lower<'a>,
+    instrs: Vec<RInstr>,
+    reps: HashMap<VReg, RRep>,
+    next_vreg: VReg,
+    next_lbl: Lbl,
+    vmap: HashMap<Var, VReg>,
+    cons: HashMap<Var, Con>,
+    crmap: HashMap<CVar, VReg>,
+    cparams: Vec<CVar>,
+    handler_depth: u32,
+    max_handlers: u32,
+    in_main: bool,
+    env_base: Option<(VReg, usize)>,
+    #[allow(dead_code)]
+    code: Option<Code>,
+}
+
+fn ice(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::ice("rtl-lower", msg)
+}
+
+impl<'a, 'b> FunCx<'a, 'b> {
+    fn new(
+        lw: &'b mut Lower<'a>,
+        cparams: Vec<CVar>,
+        code: Option<&Code>,
+        in_main: bool,
+    ) -> Self {
+        FunCx {
+            lw,
+            instrs: Vec::new(),
+            reps: HashMap::new(),
+            next_vreg: 0,
+            next_lbl: 0,
+            vmap: HashMap::new(),
+            cons: HashMap::new(),
+            crmap: HashMap::new(),
+            cparams,
+            handler_depth: 0,
+            max_handlers: 0,
+            in_main,
+            env_base: None,
+            code: code.cloned(),
+        }
+    }
+
+    fn finish(self, name: Option<Var>, params: Vec<VReg>) -> RtlFun {
+        RtlFun {
+            name,
+            params,
+            instrs: self.instrs,
+            reps: self.reps,
+            nlabels: self.next_lbl,
+            nhandlers: self.max_handlers,
+        }
+    }
+
+    fn fresh(&mut self, rep: RRep) -> VReg {
+        let v = self.next_vreg;
+        self.next_vreg += 1;
+        self.reps.insert(v, rep);
+        v
+    }
+
+    fn fresh_for_con(&mut self, c: &Con) -> VReg {
+        let rep = self.rep_of_con(c);
+        self.fresh(rep)
+    }
+
+    fn rep_of_con(&mut self, c: &Con) -> RRep {
+        match til_ubform::vrep(c, &self.lw.prog.data) {
+            til_ubform::VRep::Int => RRep::Int,
+            til_ubform::VRep::Float => RRep::Float,
+            til_ubform::VRep::Trace => RRep::Trace,
+            til_ubform::VRep::Computed(cv) => match self.crmap.get(&cv) {
+                Some(r) => RRep::Computed(*r),
+                None => RRep::Trace, // out-of-scope rep: conservative
+            },
+        }
+    }
+
+    fn lbl(&mut self) -> Lbl {
+        let l = self.next_lbl;
+        self.next_lbl += 1;
+        l
+    }
+
+    fn emit(&mut self, i: RInstr) {
+        self.instrs.push(i);
+    }
+
+    fn norm(&self, c: &Con) -> Con {
+        ConCtx::new(&self.lw.prog.data).norm(c)
+    }
+
+    // ---- tagging helpers -------------------------------------------------
+
+    fn int_imm(&self, n: i64) -> i64 {
+        if self.lw.tagged {
+            // The universal representation has 63-bit integers (as
+            // SML/NJ had 31-bit ones against TIL's 32): literals wrap
+            // into the tagged space.
+            n.wrapping_mul(2).wrapping_add(1)
+        } else {
+            n
+        }
+    }
+
+    fn untag(&mut self, v: VReg) -> VReg {
+        if self.lw.tagged {
+            let t = self.fresh(RRep::Int);
+            self.emit(RInstr::Alu {
+                op: Alu::Sra,
+                dst: t,
+                a: ROp::V(v),
+                b: ROp::I(1),
+            });
+            t
+        } else {
+            v
+        }
+    }
+
+    fn retag(&mut self, v: VReg) -> VReg {
+        if self.lw.tagged {
+            let t = self.fresh(RRep::Int);
+            self.emit(RInstr::Alu {
+                op: Alu::Sll,
+                dst: t,
+                a: ROp::V(v),
+                b: ROp::I(1),
+            });
+            let t2 = self.fresh(RRep::Int);
+            self.emit(RInstr::Alu {
+                op: Alu::Or,
+                dst: t2,
+                a: ROp::V(t),
+                b: ROp::I(1),
+            });
+            t2
+        } else {
+            v
+        }
+    }
+
+    // ---- atoms and cons --------------------------------------------------
+
+    fn atom(&mut self, a: &til_bform::Atom) -> Result<VReg> {
+        match a {
+            til_bform::Atom::Int(n) => {
+                let v = self.fresh(RRep::Int);
+                let imm = self.int_imm(*n);
+                self.emit(RInstr::Mov {
+                    dst: v,
+                    src: ROp::I(imm),
+                });
+                Ok(v)
+            }
+            til_bform::Atom::Var(x) => {
+                if let Some(r) = self.vmap.get(x) {
+                    return Ok(*r);
+                }
+                if let Some(gid) = self.lw.global_ids.get(x).copied() {
+                    let con = self
+                        .lw
+                        .global_cons
+                        .get(x)
+                        .cloned()
+                        .unwrap_or(Con::Record(vec![]));
+                    let r = self.fresh_for_con(&con);
+                    self.emit(RInstr::LdGlobal { dst: r, gid });
+                    return Ok(r);
+                }
+                Err(ice(format!("unbound variable {x} in RTL lowering")))
+            }
+        }
+    }
+
+    fn atom_con(&self, a: &til_bform::Atom) -> Con {
+        match a {
+            til_bform::Atom::Int(_) => Con::Int,
+            til_bform::Atom::Var(x) => self
+                .cons
+                .get(x)
+                .or_else(|| self.lw.global_cons.get(x))
+                .cloned()
+                .unwrap_or(Con::Int),
+        }
+    }
+
+    // ---- run-time type representations ------------------------------------
+
+    /// Materializes the run-time representation of a constructor.
+    fn rep_value(&mut self, c: &Con) -> Result<VReg> {
+        let c = self.norm(c);
+        if let Con::Var(cv) = &c {
+            return self
+                .crmap
+                .get(cv)
+                .copied()
+                .ok_or_else(|| ice(format!("no rep register for {cv}")));
+        }
+        let expr = til_ubform::rep_expr(&c, &self.cparams, &self.lw.prog.data)?;
+        self.rep_of_expr(&expr)
+    }
+
+    fn rep_of_expr(&mut self, e: &RepExpr) -> Result<VReg> {
+        if e.is_ground() {
+            // Immediates stay immediate; structured ground reps become
+            // static objects.
+            let imm = match e {
+                RepExpr::Int => Some(rep::INT),
+                RepExpr::Float => Some(rep::FLOAT),
+                RepExpr::Str => Some(rep::STR),
+                RepExpr::Exn => Some(rep::EXN),
+                RepExpr::Arrow => Some(rep::ARROW),
+                _ => None,
+            };
+            let v = self.fresh(RRep::Trace);
+            match imm {
+                Some(i) => self.emit(RInstr::Mov {
+                    dst: v,
+                    src: ROp::I(i as i64),
+                }),
+                None => {
+                    let id = self.lw.intern_static(StaticObj::Rep(e.clone()));
+                    self.emit(RInstr::LeaStatic { dst: v, obj: id });
+                }
+            }
+            return Ok(v);
+        }
+        // Build a heap representation record at run time — the paper's
+        // "types must be constructed and passed ... at run time".
+        match e {
+            RepExpr::Param(i) => {
+                let cv = self.cparams[*i];
+                self.crmap
+                    .get(&cv)
+                    .copied()
+                    .ok_or_else(|| ice(format!("no rep register for parameter {cv}")))
+            }
+            RepExpr::Record(fs) => {
+                let mut fields = vec![ROp::I(rep::TAG_RECORD as i64), ROp::I(fs.len() as i64)];
+                let mut mask: u32 = 0;
+                for (i, f) in fs.iter().enumerate() {
+                    let r = self.rep_of_expr(f)?;
+                    fields.push(ROp::V(r));
+                    mask |= 1 << (2 + i);
+                }
+                let dst = self.fresh(RRep::Trace);
+                self.emit(RInstr::Alloc {
+                    dst,
+                    head: HeadSpec::Static(header::make(
+                        header::KIND_RECORD,
+                        fields.len() as u64,
+                        mask,
+                    )),
+                    fields,
+                });
+                Ok(dst)
+            }
+            RepExpr::Array(el) => {
+                let r = self.rep_of_expr(el)?;
+                let dst = self.fresh(RRep::Trace);
+                self.emit(RInstr::Alloc {
+                    dst,
+                    head: HeadSpec::Static(header::make(header::KIND_RECORD, 2, 0b10)),
+                    fields: vec![ROp::I(rep::TAG_ARRAY as i64), ROp::V(r)],
+                });
+                Ok(dst)
+            }
+            RepExpr::Data(id, args) => {
+                let mut fields = vec![
+                    ROp::I(rep::TAG_DATA as i64),
+                    ROp::I(*id as i64),
+                    ROp::I(args.len() as i64),
+                ];
+                let mut mask: u32 = 0;
+                for (i, a) in args.iter().enumerate() {
+                    let r = self.rep_of_expr(a)?;
+                    fields.push(ROp::V(r));
+                    mask |= 1 << (3 + i);
+                }
+                let dst = self.fresh(RRep::Trace);
+                self.emit(RInstr::Alloc {
+                    dst,
+                    head: HeadSpec::Static(header::make(
+                        header::KIND_RECORD,
+                        fields.len() as u64,
+                        mask,
+                    )),
+                    fields,
+                });
+                Ok(dst)
+            }
+            _ => unreachable!("ground handled above"),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    /// Lowers an expression; in tail position emits the return/tail
+    /// call and yields `None`, otherwise yields the result vreg.
+    fn exp(&mut self, e: &CExp, tail: bool) -> Result<Option<VReg>> {
+        match e {
+            CExp::Ret(a) => {
+                let v = self.atom(a)?;
+                if tail {
+                    self.emit(RInstr::Ret(Some(v)));
+                    Ok(None)
+                } else {
+                    Ok(Some(v))
+                }
+            }
+            CExp::Let { var, rhs, body } => {
+                // Function-tail call patterns become tail calls.
+                let body_returns_var = matches!(
+                    &**body,
+                    CExp::Ret(til_bform::Atom::Var(v)) if v == var
+                );
+                if tail
+                    && body_returns_var
+                    && self.handler_depth == 0
+                    && !self.in_main
+                {
+                    match rhs {
+                        CRhs::CallKnown { code, cargs, args } => {
+                            let (t, a) = self.call_parts(*code, cargs, args)?;
+                            self.emit(RInstr::TailCall { target: t, args: a });
+                            return Ok(None);
+                        }
+                        CRhs::CallClosure { clo, cargs, args } => {
+                            let (t, a) = self.closure_call_parts(clo, cargs, args)?;
+                            self.emit(RInstr::TailCall { target: t, args: a });
+                            return Ok(None);
+                        }
+                        _ => {}
+                    }
+                }
+                let con = self.rhs_con(rhs)?;
+                let tail_rhs = tail && body_returns_var && self.handler_depth == 0;
+                let v = self.rhs(rhs, &con, tail_rhs)?;
+                let v = match v {
+                    Some(v) => v,
+                    None => return Ok(None), // rhs completed the tail
+                };
+                self.vmap.insert(*var, v);
+                self.cons.insert(*var, con.clone());
+                if self.in_main {
+                    if let Some(gid) = self.lw.global_ids.get(var).copied() {
+                        self.emit(RInstr::StGlobal { src: v, gid });
+                        self.lw.global_cons.insert(*var, con);
+                    }
+                }
+                self.exp(body, tail)
+            }
+        }
+    }
+
+    /// Splits a known call into target + final argument registers.
+    fn call_parts(
+        &mut self,
+        code: Var,
+        cargs: &[Con],
+        args: &[til_bform::Atom],
+    ) -> Result<(CallTarget, Vec<VReg>)> {
+        let sig = self
+            .lw
+            .sigs
+            .get(&code)
+            .cloned()
+            .ok_or_else(|| ice(format!("unknown code {code}")))?;
+        let mut out = Vec::new();
+        if sig.escapes {
+            // args[0] is the environment; captured reps live there.
+            out.push(self.atom(&args[0])?);
+            for c in cargs.iter().skip(sig.captured_cvars) {
+                out.push(self.rep_value(c)?);
+            }
+            for a in &args[1..] {
+                out.push(self.atom(a)?);
+            }
+        } else {
+            for c in cargs {
+                out.push(self.rep_value(c)?);
+            }
+            for a in args {
+                out.push(self.atom(a)?);
+            }
+        }
+        Ok((CallTarget::Code(code), out))
+    }
+
+    fn closure_call_parts(
+        &mut self,
+        clo: &til_bform::Atom,
+        cargs: &[Con],
+        args: &[til_bform::Atom],
+    ) -> Result<(CallTarget, Vec<VReg>)> {
+        let c = self.atom(clo)?;
+        let codev = self.fresh(RRep::Code);
+        self.emit(RInstr::Ld {
+            dst: codev,
+            base: c,
+            off: 8,
+        });
+        let env = self.fresh(RRep::Trace);
+        self.emit(RInstr::Ld {
+            dst: env,
+            base: c,
+            off: 16,
+        });
+        let mut out = vec![env];
+        for cg in cargs {
+            out.push(self.rep_value(cg)?);
+        }
+        for a in args {
+            out.push(self.atom(a)?);
+        }
+        Ok((CallTarget::Reg(codev), out))
+    }
+
+    /// Synthesizes the constructor of a right-hand side.
+    fn rhs_con(&mut self, r: &CRhs) -> Result<Con> {
+        Ok(match r {
+            CRhs::Atom(a) => self.atom_con(a),
+            CRhs::Float(_) => Con::Float,
+            CRhs::Str(_) => Con::Str,
+            CRhs::Record(atoms) => {
+                Con::Record(atoms.iter().map(|a| self.atom_con(a)).collect())
+            }
+            CRhs::Select(i, a) => match self.norm(&self.atom_con(a)) {
+                Con::Record(fs) if *i < fs.len() => fs[*i].clone(),
+                other => return Err(ice(format!("select from {other:?}"))),
+            },
+            CRhs::EnvSel(i, a) => match self.norm(&self.atom_con(a)) {
+                Con::Record(fs) if *i < fs.len() => fs[*i].clone(),
+                other => return Err(ice(format!("envsel from {other:?}"))),
+            },
+            CRhs::Con { data, cargs, .. } => Con::Data(*data, cargs.clone()),
+            CRhs::ExnCon { .. } => Con::Exn,
+            CRhs::Prim { prim, cargs, args } => {
+                if matches!(prim, MPrim::ALen) {
+                    Con::Int
+                } else {
+                    let sig = prim.sig();
+                    let map: HashMap<CVar, Con> = (0..sig.cparams)
+                        .map(|i| (CVar(i as u32), cargs[i].clone()))
+                        .collect();
+                    let _ = args;
+                    sig.ret.subst(&map)
+                }
+            }
+            CRhs::CallKnown { code, cargs, .. } => {
+                let sig = self
+                    .lw
+                    .sigs
+                    .get(code)
+                    .cloned()
+                    .ok_or_else(|| ice(format!("unknown code {code}")))?;
+                let map: HashMap<CVar, Con> = sig
+                    .cparams
+                    .iter()
+                    .copied()
+                    .zip(cargs.iter().cloned())
+                    .collect();
+                sig.ret.subst(&map)
+            }
+            CRhs::CallClosure { clo, cargs, .. } => {
+                match self.norm(&self.atom_con(clo)) {
+                    Con::Arrow { cparams, ret, .. } => {
+                        let map: HashMap<CVar, Con> = cparams
+                            .iter()
+                            .copied()
+                            .zip(cargs.iter().cloned())
+                            .collect();
+                        ret.subst(&map)
+                    }
+                    other => return Err(ice(format!("closure call on {other:?}"))),
+                }
+            }
+            CRhs::MkEnv { tenv, venv } => {
+                let mut fs: Vec<Con> = tenv.iter().map(|_| Con::Int).collect();
+                fs.extend(venv.iter().map(|a| self.atom_con(a)));
+                Con::Record(fs)
+            }
+            CRhs::MkClosure { code, .. } => {
+                let sig = self
+                    .lw
+                    .sigs
+                    .get(code)
+                    .cloned()
+                    .ok_or_else(|| ice(format!("unknown code {code}")))?;
+                Con::Arrow {
+                    cparams: sig.cparams[sig.captured_cvars..].to_vec(),
+                    params: sig.params[1..].to_vec(),
+                    ret: Box::new(sig.ret.clone()),
+                }
+            }
+            CRhs::Switch(sw) => match sw {
+                CSwitch::Int { con, .. }
+                | CSwitch::Data { con, .. }
+                | CSwitch::Str { con, .. }
+                | CSwitch::Exn { con, .. } => con.clone(),
+            },
+            CRhs::Typecase { con, .. } => con.clone(),
+            CRhs::Handle { body, .. } => {
+                // The handle's type is its body's type; synthesize from
+                // the body's returned atom via its spine.
+                fn spine_ret_con(cx: &FunCx, e: &CExp) -> Option<Con> {
+                    match e {
+                        CExp::Ret(a) => Some(cx.atom_con(a)),
+                        CExp::Let { body, .. } => spine_ret_con(cx, body),
+                    }
+                }
+                // Fall back to unit; the rep is what matters and a
+                // handle always produces a value of its body's con.
+                spine_ret_con(self, body).unwrap_or(Con::Record(vec![]))
+            }
+            CRhs::Raise { con, .. } => con.clone(),
+        })
+    }
+}
+
+impl<'a, 'b> FunCx<'a, 'b> {
+    /// Lowers one right-hand side to a value register. `tail_direct` is
+    /// true when the value is immediately returned (lets switch arms
+    /// stay in tail position).
+    fn rhs(&mut self, r: &CRhs, con: &Con, tail_direct: bool) -> Result<Option<VReg>> {
+        match r {
+            CRhs::Atom(a) => Ok(Some(self.atom(a)?)),
+            CRhs::Float(f) => {
+                let v = self.fresh(RRep::Float);
+                self.emit(RInstr::Mov {
+                    dst: v,
+                    src: ROp::I(f.to_bits() as i64),
+                });
+                Ok(Some(v))
+            }
+            CRhs::Str(s) => {
+                let id = self.lw.intern_static(StaticObj::Str(s.clone()));
+                let v = self.fresh(RRep::Trace);
+                self.emit(RInstr::LeaStatic { dst: v, obj: id });
+                Ok(Some(v))
+            }
+            CRhs::Record(atoms) => {
+                if atoms.is_empty() {
+                    // Unit is a small constant, not an allocation.
+                    let v = self.fresh(RRep::Int);
+                    let imm = self.int_imm(0);
+                    self.emit(RInstr::Mov {
+                        dst: v,
+                        src: ROp::I(imm),
+                    });
+                    return Ok(Some(v));
+                }
+                let cons: Vec<Con> = atoms.iter().map(|a| self.atom_con(a)).collect();
+                let vs: Vec<ROp> = atoms
+                    .iter()
+                    .map(|a| self.atom(a).map(ROp::V))
+                    .collect::<Result<_>>()?;
+                Ok(Some(self.alloc_record(&vs, &cons)?))
+            }
+            CRhs::Select(i, a) => {
+                let base = self.atom(a)?;
+                let v = self.fresh_for_con(con);
+                self.emit(RInstr::Ld {
+                    dst: v,
+                    base,
+                    off: (8 * (1 + i)) as i32,
+                });
+                Ok(Some(v))
+            }
+            CRhs::EnvSel(i, a) => {
+                let base = self.atom(a)?;
+                let skip = self.env_base.map(|(_, n)| n).unwrap_or(0);
+                let v = self.fresh_for_con(con);
+                self.emit(RInstr::Ld {
+                    dst: v,
+                    base,
+                    off: (8 * (1 + skip + i)) as i32,
+                });
+                Ok(Some(v))
+            }
+            CRhs::Con {
+                data,
+                cargs,
+                tag,
+                args,
+            } => {
+                let md = self.lw.prog.data.get(*data).clone();
+                match &md.cons[*tag] {
+                    None => {
+                        // Nullary: small constant.
+                        let v = self.fresh(RRep::Trace);
+                        let imm = self.int_imm(md.enum_value(*tag));
+                        self.emit(RInstr::Mov {
+                            dst: v,
+                            src: ROp::I(imm),
+                        });
+                        Ok(Some(v))
+                    }
+                    Some(_) => {
+                        let fields = md
+                            .fields_at(*tag, cargs)
+                            .ok_or_else(|| ice("constructor fields"))?;
+                        let mut vs: Vec<ROp> = Vec::new();
+                        let mut cs: Vec<Con> = Vec::new();
+                        if matches!(md.rep, DataRep::Tagged | DataRep::Boxed) {
+                            let t = self.fresh(RRep::Int);
+                            self.emit(RInstr::Mov {
+                                dst: t,
+                                src: ROp::I(self.int_imm(md.sum_tag(*tag))),
+                            });
+                            vs.push(ROp::V(t));
+                            cs.push(Con::Int);
+                        }
+                        for (a, c) in args.iter().zip(&fields) {
+                            vs.push(ROp::V(self.atom(a)?));
+                            cs.push(c.clone());
+                        }
+                        Ok(Some(self.alloc_record(&vs, &cs)?))
+                    }
+                }
+            }
+            CRhs::ExnCon { exn, arg } => match arg {
+                None => {
+                    let id = self.lw.intern_static(StaticObj::ExnPacket(exn.0));
+                    let v = self.fresh(RRep::Trace);
+                    self.emit(RInstr::LeaStatic { dst: v, obj: id });
+                    Ok(Some(v))
+                }
+                Some(a) => {
+                    let idv = self.fresh(RRep::Int);
+                    self.emit(RInstr::Mov {
+                        dst: idv,
+                        src: ROp::I(exn.0 as i64),
+                    });
+                    let ac = self.atom_con(a);
+                    let av = self.atom(a)?;
+                    let rec = self.alloc_record(
+                        &[ROp::V(idv), ROp::V(av)],
+                        &[Con::Int, ac],
+                    )?;
+                    Ok(Some(rec))
+                }
+            },
+            CRhs::MkEnv { tenv, venv } => {
+                let mut vs: Vec<ROp> = Vec::new();
+                let mut cs: Vec<Con> = Vec::new();
+                for c in tenv {
+                    let r = self.rep_value(c)?;
+                    vs.push(ROp::V(r));
+                    // Reps are traced (small immediates are filtered).
+                    cs.push(Con::Str);
+                }
+                for a in venv {
+                    cs.push(self.atom_con(a));
+                    vs.push(ROp::V(self.atom(a)?));
+                }
+                if vs.is_empty() {
+                    let v = self.fresh(RRep::Int);
+                    let imm = self.int_imm(0);
+                    self.emit(RInstr::Mov {
+                        dst: v,
+                        src: ROp::I(imm),
+                    });
+                    return Ok(Some(v));
+                }
+                Ok(Some(self.alloc_record(&vs, &cs)?))
+            }
+            CRhs::MkClosure { code, env } => {
+                let cv = self.fresh(RRep::Code);
+                self.emit(RInstr::LeaCode {
+                    dst: cv,
+                    code: *code,
+                });
+                let ev = self.atom(env)?;
+                let dst = self.fresh(RRep::Trace);
+                // [code (untraced), env (traced unless a small unit)].
+                self.emit(RInstr::Alloc {
+                    dst,
+                    head: HeadSpec::Static(header::make(header::KIND_RECORD, 2, 0b10)),
+                    fields: vec![ROp::V(cv), ROp::V(ev)],
+                });
+                Ok(Some(dst))
+            }
+            CRhs::CallKnown { code, cargs, args } => {
+                let (t, a) = self.call_parts(*code, cargs, args)?;
+                let dst = self.fresh_for_con(con);
+                self.emit(RInstr::Call {
+                    target: t,
+                    args: a,
+                    dst: Some(dst),
+                });
+                Ok(Some(dst))
+            }
+            CRhs::CallClosure { clo, cargs, args } => {
+                let (t, a) = self.closure_call_parts(clo, cargs, args)?;
+                let dst = self.fresh_for_con(con);
+                self.emit(RInstr::Call {
+                    target: t,
+                    args: a,
+                    dst: Some(dst),
+                });
+                Ok(Some(dst))
+            }
+            CRhs::Prim { prim, cargs, args } => self.prim(*prim, cargs, args, con).map(Some),
+            CRhs::Raise { exn, .. } => {
+                let p = self.atom(exn)?;
+                self.emit(RInstr::Raise { packet: p });
+                // Unreachable filler definition keeps liveness simple.
+                let v = self.fresh_for_con(con);
+                self.emit(RInstr::Mov {
+                    dst: v,
+                    src: ROp::I(0),
+                });
+                Ok(Some(v))
+            }
+            CRhs::Handle { body, var, handler } => {
+                let hl = self.lbl();
+                let join = self.lbl();
+                let out = self.fresh_for_con(con);
+                let idx = self.handler_depth;
+                self.handler_depth += 1;
+                self.max_handlers = self.max_handlers.max(self.handler_depth);
+                self.emit(RInstr::PushHandler { lbl: hl, idx });
+                if let Some(v) = self.exp(body, false)? {
+                    self.emit(RInstr::PopHandler { idx });
+                    self.emit(RInstr::Mov {
+                        dst: out,
+                        src: ROp::V(v),
+                    });
+                    self.emit(RInstr::Br(join));
+                }
+                self.handler_depth -= 1;
+                self.emit(RInstr::Label(hl));
+                let packet = self.fresh(RRep::Trace);
+                self.emit(RInstr::HandlerEntry { dst: packet });
+                self.vmap.insert(*var, packet);
+                self.cons.insert(*var, Con::Exn);
+                if let Some(v) = self.exp(handler, false)? {
+                    self.emit(RInstr::Mov {
+                        dst: out,
+                        src: ROp::V(v),
+                    });
+                }
+                self.emit(RInstr::Label(join));
+                Ok(Some(out))
+            }
+            CRhs::Typecase {
+                scrut,
+                int,
+                float,
+                ptr,
+                con,
+            } => {
+                let r = self.rep_value(scrut)?;
+                let lint = self.lbl();
+                let lfloat = self.lbl();
+                let join = self.lbl();
+                let out = self.fresh_for_con(con);
+                self.init_out(out, tail_direct);
+                let c0 = self.fresh(RRep::Int);
+                self.emit(RInstr::Alu {
+                    op: Alu::CmpEq,
+                    dst: c0,
+                    a: ROp::V(r),
+                    b: ROp::I(rep::INT as i64),
+                });
+                self.emit(RInstr::Bnez(c0, lint));
+                let c1 = self.fresh(RRep::Int);
+                self.emit(RInstr::Alu {
+                    op: Alu::CmpEq,
+                    dst: c1,
+                    a: ROp::V(r),
+                    b: ROp::I(rep::FLOAT as i64),
+                });
+                self.emit(RInstr::Bnez(c1, lfloat));
+                self.arm(ptr, out, join, tail_direct)?;
+                self.emit(RInstr::Label(lint));
+                self.arm(int, out, join, tail_direct)?;
+                self.emit(RInstr::Label(lfloat));
+                self.arm(float, out, join, tail_direct)?;
+                self.emit(RInstr::Label(join));
+                Ok(Some(out))
+            }
+            CRhs::Switch(sw) => self.switch(sw, tail_direct).map(Some),
+        }
+    }
+
+    /// Lowers one arm. In tail position the arm returns (or tail-calls)
+    /// directly; otherwise its result moves to `out` and control joins.
+    fn arm(&mut self, e: &CExp, out: VReg, join: Lbl, tail: bool) -> Result<()> {
+        if tail {
+            // The arm ends the function itself (Ret / TailCall).
+            self.exp(e, true)?;
+            return Ok(());
+        }
+        if let Some(v) = self.exp(e, false)? {
+            self.emit(RInstr::Mov {
+                dst: out,
+                src: ROp::V(v),
+            });
+            self.emit(RInstr::Br(join));
+        }
+        Ok(())
+    }
+
+    /// In tail-lowered switches the join is unreachable; keep the
+    /// result register defined so dead code stays well-formed.
+    fn init_out(&mut self, out: VReg, tail: bool) {
+        if tail {
+            self.emit(RInstr::Mov {
+                dst: out,
+                src: ROp::I(0),
+            });
+        }
+    }
+
+    fn switch(&mut self, sw: &CSwitch, tail: bool) -> Result<VReg> {
+        match sw {
+            CSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut)?;
+                let join = self.lbl();
+                let out = self.fresh_for_con(con);
+                self.init_out(out, tail);
+                let labels: Vec<Lbl> = arms.iter().map(|_| self.lbl()).collect();
+                for ((k, _), l) in arms.iter().zip(&labels) {
+                    let c = self.fresh(RRep::Int);
+                    self.emit(RInstr::Alu {
+                        op: Alu::CmpEq,
+                        dst: c,
+                        a: ROp::V(s),
+                        b: ROp::I(self.int_imm(*k)),
+                    });
+                    self.emit(RInstr::Bnez(c, *l));
+                }
+                self.arm(default, out, join, tail)?;
+                for ((_, a), l) in arms.iter().zip(&labels) {
+                    self.emit(RInstr::Label(*l));
+                    self.arm(a, out, join, tail)?;
+                }
+                self.emit(RInstr::Label(join));
+                Ok(out)
+            }
+            CSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut)?;
+                let join = self.lbl();
+                let out = self.fresh_for_con(con);
+                self.init_out(out, tail);
+                let labels: Vec<Lbl> = arms.iter().map(|_| self.lbl()).collect();
+                for ((k, _), l) in arms.iter().zip(&labels) {
+                    let id = self.lw.intern_static(StaticObj::Str(k.clone()));
+                    let sv = self.fresh(RRep::Trace);
+                    self.emit(RInstr::LeaStatic { dst: sv, obj: id });
+                    let c = self.fresh(RRep::Int);
+                    self.emit(RInstr::CallRt {
+                        f: RtFn::StrEq,
+                        args: vec![s, sv],
+                        dst: Some(c),
+                        alloc: false,
+                    });
+                    // StrEq returns a mode-tagged boolean; test truthy.
+                    let u = self.untag(c);
+                    self.emit(RInstr::Bnez(u, *l));
+                }
+                self.arm(default, out, join, tail)?;
+                for ((_, a), l) in arms.iter().zip(&labels) {
+                    self.emit(RInstr::Label(*l));
+                    self.arm(a, out, join, tail)?;
+                }
+                self.emit(RInstr::Label(join));
+                Ok(out)
+            }
+            CSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => {
+                let s = self.atom(scrut)?;
+                let idv = self.fresh(RRep::Int);
+                self.emit(RInstr::Ld {
+                    dst: idv,
+                    base: s,
+                    off: 8,
+                });
+                let join = self.lbl();
+                let out = self.fresh_for_con(con);
+                self.init_out(out, tail);
+                let labels: Vec<Lbl> = arms.iter().map(|_| self.lbl()).collect();
+                for ((id, _, _), l) in arms.iter().zip(&labels) {
+                    let c = self.fresh(RRep::Int);
+                    self.emit(RInstr::Alu {
+                        op: Alu::CmpEq,
+                        dst: c,
+                        a: ROp::V(idv),
+                        b: ROp::I(id.0 as i64),
+                    });
+                    self.emit(RInstr::Bnez(c, *l));
+                }
+                self.arm(default, out, join, tail)?;
+                for ((id, binder, a), l) in arms.iter().zip(&labels) {
+                    self.emit(RInstr::Label(*l));
+                    if let Some(b) = binder {
+                        let bc = self
+                            .lw
+                            .prog
+                            .exns
+                            .arg(*id)
+                            .cloned()
+                            .unwrap_or(Con::Record(vec![]));
+                        let bv = self.fresh_for_con(&bc);
+                        self.emit(RInstr::Ld {
+                            dst: bv,
+                            base: s,
+                            off: 16,
+                        });
+                        self.vmap.insert(*b, bv);
+                        self.cons.insert(*b, bc);
+                    }
+                    self.arm(a, out, join, tail)?;
+                }
+                self.emit(RInstr::Label(join));
+                Ok(out)
+            }
+            CSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => {
+                let md = self.lw.prog.data.get(*data).clone();
+                let s = self.atom(scrut)?;
+                let join = self.lbl();
+                let out = self.fresh_for_con(con);
+                self.init_out(out, tail);
+                // Split arms into nullary and carrying.
+                let lsmall = self.lbl();
+                if md.needs_pointer_test() {
+                    let c = self.fresh(RRep::Int);
+                    self.emit(RInstr::Alu {
+                        op: Alu::CmpLt,
+                        dst: c,
+                        a: ROp::V(s),
+                        b: ROp::I(HEAP_BASE as i64),
+                    });
+                    self.emit(RInstr::Bnez(c, lsmall));
+                }
+                // Pointer side: carrying constructors.
+                let carrying: Vec<&(usize, Vec<Var>, CExp)> = arms
+                    .iter()
+                    .filter(|(t, _, _)| md.cons[*t].is_some())
+                    .collect();
+                let tag_field = matches!(md.rep, DataRep::Tagged | DataRep::Boxed);
+                let mut tagv = None;
+                if tag_field && carrying.len() + md.num_carrying().min(1) > 1 {
+                    let t = self.fresh(RRep::Int);
+                    self.emit(RInstr::Ld {
+                        dst: t,
+                        base: s,
+                        off: 8,
+                    });
+                    tagv = Some(t);
+                }
+                let carry_labels: Vec<Lbl> = carrying.iter().map(|_| self.lbl()).collect();
+                if let Some(tv) = tagv {
+                    for ((tag, _, _), l) in carrying.iter().zip(&carry_labels) {
+                        let c = self.fresh(RRep::Int);
+                        self.emit(RInstr::Alu {
+                            op: Alu::CmpEq,
+                            dst: c,
+                            a: ROp::V(tv),
+                            b: ROp::I(self.int_imm(md.sum_tag(*tag))),
+                        });
+                        self.emit(RInstr::Bnez(c, *l));
+                    }
+                    // Fall through: default (or unreachable).
+                    match default {
+                        Some(d) => self.arm(d, out, join, tail)?,
+                        None => {
+                            // All carrying arms listed: jump to last.
+                            if let Some(l) = carry_labels.last() {
+                                self.emit(RInstr::Br(*l));
+                            }
+                        }
+                    }
+                } else if carrying.len() == 1 {
+                    self.emit(RInstr::Br(carry_labels[0]));
+                } else {
+                    match default {
+                        Some(d) => self.arm(d, out, join, tail)?,
+                        None => {}
+                    }
+                }
+                for ((tag, binders, a), l) in carrying.iter().zip(&carry_labels) {
+                    self.emit(RInstr::Label(*l));
+                    let fields = md
+                        .fields_at(*tag, cargs)
+                        .ok_or_else(|| ice("carrying fields"))?;
+                    let skip = if tag_field { 1 } else { 0 };
+                    match md.rep {
+                        DataRep::Boxed => {
+                            // Single unflattened argument behind the tag.
+                            let bc = fields[0].clone();
+                            let bv = self.fresh_for_con(&bc);
+                            self.emit(RInstr::Ld {
+                                dst: bv,
+                                base: s,
+                                off: 16,
+                            });
+                            self.vmap.insert(binders[0], bv);
+                            self.cons.insert(binders[0], bc);
+                        }
+                        _ => {
+                            for (i, (b, fc)) in binders.iter().zip(&fields).enumerate() {
+                                let bv = self.fresh_for_con(fc);
+                                self.emit(RInstr::Ld {
+                                    dst: bv,
+                                    base: s,
+                                    off: (8 * (1 + skip + i)) as i32,
+                                });
+                                self.vmap.insert(*b, bv);
+                                self.cons.insert(*b, fc.clone());
+                            }
+                        }
+                    }
+                    self.arm(a, out, join, tail)?;
+                }
+                // Small side: nullary constructors.
+                if md.needs_pointer_test() {
+                    self.emit(RInstr::Label(lsmall));
+                    let nullary: Vec<&(usize, Vec<Var>, CExp)> = arms
+                        .iter()
+                        .filter(|(t, _, _)| md.cons[*t].is_none())
+                        .collect();
+                    let nlabels: Vec<Lbl> = nullary.iter().map(|_| self.lbl()).collect();
+                    for ((tag, _, _), l) in nullary.iter().zip(&nlabels) {
+                        let c = self.fresh(RRep::Int);
+                        self.emit(RInstr::Alu {
+                            op: Alu::CmpEq,
+                            dst: c,
+                            a: ROp::V(s),
+                            b: ROp::I(self.int_imm(md.enum_value(*tag))),
+                        });
+                        self.emit(RInstr::Bnez(c, *l));
+                    }
+                    match default {
+                        Some(d) => self.arm(d, out, join, tail)?,
+                        None => {
+                            if let Some(l) = nlabels.last() {
+                                self.emit(RInstr::Br(*l));
+                            }
+                        }
+                    }
+                    for ((_, _, a), l) in nullary.iter().zip(&nlabels) {
+                        self.emit(RInstr::Label(*l));
+                        self.arm(a, out, join, tail)?;
+                    }
+                }
+                self.emit(RInstr::Label(join));
+                Ok(out)
+            }
+        }
+    }
+
+    /// Allocates a record, computing the header (statically when all
+    /// field representations are known, partially at run time
+    /// otherwise).
+    fn alloc_record(&mut self, fields: &[ROp], cons: &[Con]) -> Result<VReg> {
+        let mut mask: u32 = 0;
+        let mut dynamic: Vec<(u8, VReg)> = Vec::new();
+        for (i, c) in cons.iter().enumerate() {
+            match til_ubform::vrep(c, &self.lw.prog.data) {
+                til_ubform::VRep::Trace => mask |= 1 << i,
+                til_ubform::VRep::Int | til_ubform::VRep::Float => {}
+                til_ubform::VRep::Computed(cv) => {
+                    if let Some(r) = self.crmap.get(&cv).copied() {
+                        dynamic.push((i as u8, r));
+                    } else {
+                        mask |= 1 << i; // conservative: trace-filter
+                    }
+                }
+            }
+        }
+        let base = header::make(header::KIND_RECORD, fields.len() as u64, mask);
+        let head = if dynamic.is_empty() || self.lw.tagged {
+            HeadSpec::Static(base)
+        } else {
+            // hd = base | (Σ (rep != 0) << (32 + field)).
+            let h = self.fresh(RRep::Int);
+            self.emit(RInstr::Mov {
+                dst: h,
+                src: ROp::I(base as i64),
+            });
+            for (bit, repv) in dynamic {
+                let c = self.fresh(RRep::Int);
+                self.emit(RInstr::Alu {
+                    op: Alu::CmpNe,
+                    dst: c,
+                    a: ROp::V(repv),
+                    b: ROp::I(rep::INT as i64),
+                });
+                let sh = self.fresh(RRep::Int);
+                self.emit(RInstr::Alu {
+                    op: Alu::Sll,
+                    dst: sh,
+                    a: ROp::V(c),
+                    b: ROp::I(32 + bit as i64),
+                });
+                let h2 = self.fresh(RRep::Int);
+                self.emit(RInstr::Alu {
+                    op: Alu::Or,
+                    dst: h2,
+                    a: ROp::V(h),
+                    b: ROp::V(sh),
+                });
+                self.emit(RInstr::Mov {
+                    dst: h,
+                    src: ROp::V(h2),
+                });
+            }
+            HeadSpec::Reg(h)
+        };
+        let dst = self.fresh(RRep::Trace);
+        self.emit(RInstr::Alloc {
+            dst,
+            head,
+            fields: fields.to_vec(),
+        });
+        Ok(dst)
+    }
+}
+
+impl<'a, 'b> FunCx<'a, 'b> {
+    fn alu2(&mut self, op: Alu, a: ROp, b: ROp, rep: RRep) -> VReg {
+        let d = self.fresh(rep);
+        self.emit(RInstr::Alu { op, dst: d, a, b });
+        d
+    }
+
+    /// Lowers a primitive (the heart of the representation decisions:
+    /// in baseline mode every integer operation pays untag/retag).
+    fn prim(
+        &mut self,
+        p: MPrim,
+        cargs: &[Con],
+        args: &[til_bform::Atom],
+        con: &Con,
+    ) -> Result<VReg> {
+        use MPrim as M;
+        let tagged = self.lw.tagged;
+        let vs: Vec<VReg> = args
+            .iter()
+            .map(|a| self.atom(a))
+            .collect::<Result<_>>()?;
+        let v = |i: usize| ROp::V(vs[i]);
+        Ok(match p {
+            M::IAdd | M::ISub => {
+                let op = if matches!(p, M::IAdd) { Alu::AddV } else { Alu::SubV };
+                if tagged {
+                    let t = self.alu2(op, v(0), v(1), RRep::Int);
+                    let fix = if matches!(p, M::IAdd) { Alu::Sub } else { Alu::Add };
+                    self.alu2(fix, ROp::V(t), ROp::I(1), RRep::Int)
+                } else {
+                    self.alu2(op, v(0), v(1), RRep::Int)
+                }
+            }
+            M::IMul => {
+                if tagged {
+                    let ua = self.alu2(Alu::Sra, v(0), ROp::I(1), RRep::Int);
+                    let ub = self.alu2(Alu::Sub, v(1), ROp::I(1), RRep::Int);
+                    let t = self.alu2(Alu::MulV, ROp::V(ua), ROp::V(ub), RRep::Int);
+                    self.alu2(Alu::Add, ROp::V(t), ROp::I(1), RRep::Int)
+                } else {
+                    self.alu2(Alu::MulV, v(0), v(1), RRep::Int)
+                }
+            }
+            M::IDiv | M::IMod => {
+                let op = if matches!(p, M::IDiv) { Alu::Div } else { Alu::Rem };
+                if tagged {
+                    let ua = self.alu2(Alu::Sra, v(0), ROp::I(1), RRep::Int);
+                    let ub = self.alu2(Alu::Sra, v(1), ROp::I(1), RRep::Int);
+                    let t = self.alu2(op, ROp::V(ua), ROp::V(ub), RRep::Int);
+                    self.retag(t)
+                } else {
+                    self.alu2(op, v(0), v(1), RRep::Int)
+                }
+            }
+            M::INeg => {
+                if tagged {
+                    self.alu2(Alu::SubV, ROp::I(2), v(0), RRep::Int)
+                } else {
+                    self.alu2(Alu::SubV, ROp::I(0), v(0), RRep::Int)
+                }
+            }
+            M::IAbs => {
+                let zero = self.int_imm(0);
+                let c = self.alu2(Alu::CmpLt, v(0), ROp::I(zero), RRep::Int);
+                let out = self.fresh(RRep::Int);
+                self.emit(RInstr::Mov { dst: out, src: v(0) });
+                let l = self.lbl();
+                self.emit(RInstr::Beqz(c, l));
+                let neg = if tagged {
+                    self.alu2(Alu::SubV, ROp::I(2), v(0), RRep::Int)
+                } else {
+                    self.alu2(Alu::SubV, ROp::I(0), v(0), RRep::Int)
+                };
+                self.emit(RInstr::Mov { dst: out, src: ROp::V(neg) });
+                self.emit(RInstr::Label(l));
+                out
+            }
+            M::ILt | M::ILe | M::IGt | M::IGe | M::IEq | M::INe => {
+                // Tagged comparison works directly (the map is
+                // monotone).
+                let (op, swap) = match p {
+                    M::ILt => (Alu::CmpLt, false),
+                    M::ILe => (Alu::CmpLe, false),
+                    M::IGt => (Alu::CmpLt, true),
+                    M::IGe => (Alu::CmpLe, true),
+                    M::IEq => (Alu::CmpEq, false),
+                    _ => (Alu::CmpNe, false),
+                };
+                let (x, y) = if swap { (v(1), v(0)) } else { (v(0), v(1)) };
+                let c = self.alu2(op, x, y, RRep::Int);
+                self.retag(c)
+            }
+            M::AndB | M::OrB => {
+                let op = if matches!(p, M::AndB) { Alu::And } else { Alu::Or };
+                // Tagged values and/or correctly preserve the tag bit.
+                self.alu2(op, v(0), v(1), RRep::Int)
+            }
+            M::XorB => {
+                let t = self.alu2(Alu::Xor, v(0), v(1), RRep::Int);
+                if tagged {
+                    self.alu2(Alu::Or, ROp::V(t), ROp::I(1), RRep::Int)
+                } else {
+                    t
+                }
+            }
+            M::NotB => {
+                let t = self.alu2(Alu::Xor, v(0), ROp::I(-1), RRep::Int);
+                if tagged {
+                    self.alu2(Alu::Or, ROp::V(t), ROp::I(1), RRep::Int)
+                } else {
+                    t
+                }
+            }
+            M::Lsl | M::Lsr | M::Asr => {
+                let op = match p {
+                    M::Lsl => Alu::Sll,
+                    M::Lsr => Alu::Srl,
+                    _ => Alu::Sra,
+                };
+                if tagged {
+                    let ua = self.alu2(Alu::Sra, v(0), ROp::I(1), RRep::Int);
+                    let ub = self.alu2(Alu::Sra, v(1), ROp::I(1), RRep::Int);
+                    let t = self.alu2(op, ROp::V(ua), ROp::V(ub), RRep::Int);
+                    self.retag(t)
+                } else {
+                    self.alu2(op, v(0), v(1), RRep::Int)
+                }
+            }
+            M::Chr => {
+                let u = self.untag(vs[0]);
+                let c1 = self.alu2(Alu::CmpLt, ROp::V(u), ROp::I(0), RRep::Int);
+                self.emit(RInstr::TrapIf { cond: c1, trap: Trap::Chr });
+                let c2 = self.alu2(Alu::CmpLt, ROp::I(255), ROp::V(u), RRep::Int);
+                self.emit(RInstr::TrapIf { cond: c2, trap: Trap::Chr });
+                vs[0]
+            }
+            M::FAdd | M::FSub | M::FMul | M::FDiv => {
+                let op = match p {
+                    M::FAdd => Falu::Add,
+                    M::FSub => Falu::Sub,
+                    M::FMul => Falu::Mul,
+                    _ => Falu::Div,
+                };
+                let d = self.fresh(RRep::Float);
+                self.emit(RInstr::Falu { op, dst: d, a: vs[0], b: vs[1] });
+                d
+            }
+            M::FLt | M::FLe | M::FGt | M::FGe | M::FEq | M::FNe => {
+                let (op, swap) = match p {
+                    M::FLt => (Falu::CmpLt, false),
+                    M::FLe => (Falu::CmpLe, false),
+                    M::FGt => (Falu::CmpLt, true),
+                    M::FGe => (Falu::CmpLe, true),
+                    M::FEq => (Falu::CmpEq, false),
+                    _ => (Falu::CmpNe, false),
+                };
+                let (x, y) = if swap { (vs[1], vs[0]) } else { (vs[0], vs[1]) };
+                let c = self.fresh(RRep::Int);
+                self.emit(RInstr::Falu { op, dst: c, a: x, b: y });
+                self.retag(c)
+            }
+            M::FNeg => {
+                let z = self.fresh(RRep::Float);
+                self.emit(RInstr::Mov { dst: z, src: ROp::I(0) });
+                let d = self.fresh(RRep::Float);
+                self.emit(RInstr::Falu { op: Falu::Sub, dst: d, a: z, b: vs[0] });
+                d
+            }
+            M::FAbs => {
+                // Clear the sign bit.
+                let t = self.alu2(Alu::Sll, v(0), ROp::I(1), RRep::Int);
+                self.alu2(Alu::Srl, ROp::V(t), ROp::I(1), RRep::Float)
+            }
+            M::ItoF => {
+                let u = self.untag(vs[0]);
+                let d = self.fresh(RRep::Float);
+                self.emit(RInstr::Itof { dst: d, a: u });
+                d
+            }
+            M::Floor | M::Trunc => {
+                let f = if matches!(p, M::Floor) { RtFn::Floor } else { RtFn::Trunc };
+                let d = self.fresh(RRep::Int);
+                self.emit(RInstr::CallRt { f, args: vec![vs[0]], dst: Some(d), alloc: false });
+                d
+            }
+            M::FSqrt | M::FSin | M::FCos | M::FAtan | M::FExp | M::FLn => {
+                let f = match p {
+                    M::FSqrt => RtFn::Sqrt,
+                    M::FSin => RtFn::Sin,
+                    M::FCos => RtFn::Cos,
+                    M::FAtan => RtFn::Atan,
+                    M::FExp => RtFn::Exp,
+                    _ => RtFn::Ln,
+                };
+                let d = self.fresh(RRep::Float);
+                self.emit(RInstr::CallRt { f, args: vec![vs[0]], dst: Some(d), alloc: false });
+                d
+            }
+            M::BoxFloat => {
+                let d = self.fresh(RRep::Trace);
+                self.emit(RInstr::Alloc {
+                    dst: d,
+                    head: HeadSpec::Static(header::make(header::KIND_FLOATARRAY, 1, 0)),
+                    fields: vec![v(0)],
+                });
+                d
+            }
+            M::UnboxFloat => {
+                let d = self.fresh(RRep::Float);
+                self.emit(RInstr::Ld { dst: d, base: vs[0], off: 8 });
+                d
+            }
+            M::StrSize | M::ALen => {
+                let h = self.fresh(RRep::Int);
+                self.emit(RInstr::Ld { dst: h, base: vs[0], off: 0 });
+                let t = self.alu2(Alu::Srl, ROp::V(h), ROp::I(3), RRep::Int);
+                let len = self.alu2(Alu::And, ROp::V(t), ROp::I((1 << 29) - 1), RRep::Int);
+                self.retag(len)
+            }
+            M::StrSub => {
+                let d = self.fresh(RRep::Int);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::StrSub,
+                    args: vec![vs[0], vs[1]],
+                    dst: Some(d),
+                    alloc: false,
+                });
+                d
+            }
+            M::StrConcat => {
+                let d = self.fresh(RRep::Trace);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::StrConcat,
+                    args: vec![vs[0], vs[1]],
+                    dst: Some(d),
+                    alloc: true,
+                });
+                d
+            }
+            M::StrFromChar => {
+                let d = self.fresh(RRep::Trace);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::StrFromChar,
+                    args: vec![vs[0]],
+                    dst: Some(d),
+                    alloc: true,
+                });
+                d
+            }
+            M::StrCmp => {
+                let d = self.fresh(RRep::Int);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::StrCmp,
+                    args: vec![vs[0], vs[1]],
+                    dst: Some(d),
+                    alloc: false,
+                });
+                d
+            }
+            M::SEq => {
+                let d = self.fresh(RRep::Int);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::StrEq,
+                    args: vec![vs[0], vs[1]],
+                    dst: Some(d),
+                    alloc: false,
+                });
+                d
+            }
+            M::IntToString => {
+                let d = self.fresh(RRep::Trace);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::IntToStr,
+                    args: vec![vs[0]],
+                    dst: Some(d),
+                    alloc: true,
+                });
+                d
+            }
+            M::FToString => {
+                let d = self.fresh(RRep::Trace);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::FloatToStr,
+                    args: vec![vs[0]],
+                    dst: Some(d),
+                    alloc: true,
+                });
+                d
+            }
+            M::Print => {
+                self.emit(RInstr::CallRt {
+                    f: RtFn::PrintStr,
+                    args: vec![vs[0]],
+                    dst: None,
+                    alloc: false,
+                });
+                let d = self.fresh(RRep::Int);
+                let imm = self.int_imm(0);
+                self.emit(RInstr::Mov { dst: d, src: ROp::I(imm) });
+                d
+            }
+            M::IANew | M::FANew | M::PANew => {
+                let kind = match p {
+                    M::IANew => ArrKind::Int,
+                    M::FANew => ArrKind::Float,
+                    _ => ArrKind::Ptr,
+                };
+                let n = self.untag(vs[0]);
+                let c = self.alu2(Alu::CmpLt, ROp::V(n), ROp::I(0), RRep::Int);
+                self.emit(RInstr::TrapIf { cond: c, trap: Trap::Size });
+                let d = self.fresh(RRep::Trace);
+                self.emit(RInstr::AllocArr { dst: d, kind, len: ROp::V(n), init: vs[1] });
+                d
+            }
+            M::IASub | M::FASub | M::PASub => {
+                let u = self.untag(vs[1]);
+                let t = self.alu2(Alu::Sll, ROp::V(u), ROp::I(3), RRep::Int);
+                let loc = self.alu2(Alu::Add, v(0), ROp::V(t), RRep::Locative);
+                let rep = match p {
+                    M::IASub => RRep::Int,
+                    M::FASub => RRep::Float,
+                    _ => self.rep_of_con(con),
+                };
+                let d = self.fresh(rep);
+                self.emit(RInstr::Ld { dst: d, base: loc, off: 8 });
+                d
+            }
+            M::IAUpd | M::FAUpd | M::PAUpd => {
+                let u = self.untag(vs[1]);
+                let t = self.alu2(Alu::Sll, ROp::V(u), ROp::I(3), RRep::Int);
+                let loc = self.alu2(Alu::Add, v(0), ROp::V(t), RRep::Locative);
+                self.emit(RInstr::St { src: vs[2], base: loc, off: 8 });
+                let d = self.fresh(RRep::Int);
+                let imm = self.int_imm(0);
+                self.emit(RInstr::Mov { dst: d, src: ROp::I(imm) });
+                d
+            }
+            M::PolyEq => {
+                let r = self.rep_value(&cargs[0])?;
+                let d = self.fresh(RRep::Int);
+                self.emit(RInstr::CallRt {
+                    f: RtFn::PolyEq,
+                    args: vec![r, vs[0], vs[1]],
+                    dst: Some(d),
+                    alloc: false,
+                });
+                d
+            }
+            M::PtrEq => {
+                let c = self.alu2(Alu::CmpEq, v(0), v(1), RRep::Int);
+                self.retag(c)
+            }
+        })
+    }
+}

@@ -1,0 +1,301 @@
+//! The two-space copying collector, in both of the paper's flavours:
+//! **nearly tag-free** (table-driven roots, untagged values, record
+//! headers with pointer masks — §2.3) and **tagged** (the baseline's
+//! universal low-bit tagging, where stacks and globals are scanned
+//! exhaustively).
+//!
+//! A `Trace` value is treated as a pointer exactly when it is aligned
+//! and falls inside the heap — which is what lets untagged datatype
+//! values mix small-constant constructors (`nil`) with pointers
+//! (`cons`), per DESIGN.md.
+
+use crate::tables::{FrameInfo, GcMode, GcTables, LocRep, RepLoc};
+use til_vm::{header, regs, Machine, VmError};
+
+/// The collector state (semispace bookkeeping).
+#[derive(Debug)]
+pub struct Collector {
+    /// Interpretation mode.
+    pub mode: GcMode,
+    /// Tables (register maps always; frame maps in tag-free mode).
+    pub tables: GcTables,
+    /// Which semispace is currently "from" (0 or 1).
+    pub from: u8,
+    /// HP after the previous collection (0 = not yet initialized),
+    /// used to meter mutator allocation.
+    pub last_hp: u64,
+}
+
+impl Collector {
+    /// A collector starting with semispace 0 active.
+    pub fn new(mode: GcMode, tables: GcTables) -> Collector {
+        Collector {
+            mode,
+            tables,
+            from: 0,
+            last_hp: 0,
+        }
+    }
+
+    fn semi(&self, m: &Machine, which: u8) -> (u64, u64) {
+        let base = m.layout.heap_base + which as u64 * m.layout.semi_bytes;
+        (base, base + m.layout.semi_bytes)
+    }
+
+    /// Is `v` a pointer the collector must move?
+    fn is_from_ptr(&self, m: &Machine, v: u64) -> bool {
+        let (lo, hi) = self.semi(m, self.from);
+        let in_range = v >= lo && v < hi && v % 8 == 0;
+        match self.mode {
+            GcMode::NearlyTagFree => in_range,
+            GcMode::Tagged => in_range && v & 1 == 0,
+        }
+    }
+
+    /// Copies the object at `v` to to-space (or follows its forwarding
+    /// pointer); returns the new address.
+    fn forward(&self, m: &mut Machine, v: u64, alloc: &mut u64) -> Result<u64, VmError> {
+        let h = m.rd(v)?;
+        if header::kind(h) == header::KIND_FWD {
+            return Ok(header::fwd_addr(h));
+        }
+        let payload_words = match header::kind(h) {
+            header::KIND_RECORD | header::KIND_INTARRAY | header::KIND_FLOATARRAY
+            | header::KIND_PTRARRAY => header::len(h),
+            header::KIND_STRING => header::len(h).div_ceil(8),
+            k => {
+                return Err(VmError::Runtime(format!(
+                    "GC: bad header kind {k} at {v:#x}"
+                )))
+            }
+        };
+        let new = *alloc;
+        m.wr(new, h)?;
+        for i in 0..payload_words {
+            let w = m.rd(v + 8 + i * 8)?;
+            m.wr(new + 8 + i * 8, w)?;
+        }
+        *alloc += 8 * (1 + payload_words);
+        m.wr(v, header::fwd(new))?;
+        m.stats.gc_copied_words += 1 + payload_words;
+        Ok(new)
+    }
+
+    /// Forwards the value at a location if it is a from-space pointer.
+    fn fix(&self, m: &mut Machine, v: u64, alloc: &mut u64) -> Result<u64, VmError> {
+        if self.is_from_ptr(m, v) {
+            self.forward(m, v, alloc)
+        } else {
+            Ok(v)
+        }
+    }
+
+    /// Evaluates a `Computed` rep location: 0 means int-like
+    /// (untraced).
+    fn rep_is_traced(&self, m: &Machine, loc: RepLoc, sp: u64) -> Result<bool, VmError> {
+        let v = match loc {
+            RepLoc::Reg(r) => m.regs[r as usize],
+            RepLoc::Slot(off) => m.rd(sp + off as u64)?,
+        };
+        Ok(v != crate::reps::rep::INT)
+    }
+
+    /// Runs a collection. `pc` is the GC point (the current
+    /// instruction address of the `RtCall(Gc)` or allocating runtime
+    /// call). `needed` is the pending allocation in bytes.
+    pub fn collect(&mut self, m: &mut Machine, pc: u32, needed: u64) -> Result<(), VmError> {
+        m.stats.gc_count += 1;
+        self.meter_allocation(m);
+        let copied_before = m.stats.gc_copied_words;
+        let to = 1 - self.from;
+        let (to_base, to_end) = self.semi(m, to);
+        let mut alloc = to_base;
+
+        // --- Roots: registers at this GC point.
+        let point = self
+            .tables
+            .gc_points
+            .get(&pc)
+            .cloned()
+            .ok_or_else(|| VmError::Runtime(format!("GC at unmapped point pc={pc}")))?;
+        let sp = m.regs[regs::SP as usize];
+        for (r, rep) in &point.regs {
+            let traced = match rep {
+                LocRep::Trace => true,
+                LocRep::Computed(loc) => self.rep_is_traced(m, *loc, sp)?,
+            };
+            if traced {
+                let v = m.regs[*r as usize];
+                let nv = self.fix(m, v, &mut alloc)?;
+                m.regs[*r as usize] = nv;
+            }
+        }
+
+        // --- Roots: the stack.
+        match self.mode {
+            GcMode::NearlyTagFree => {
+                // Walk frames from the GC point's own frame outward.
+                let mut sp_cur = sp;
+                let mut frame: FrameInfo = point.frame.clone();
+                loop {
+                    for (off, rep) in &frame.slots {
+                        let addr = sp_cur + *off as u64;
+                        let traced = match rep {
+                            LocRep::Trace => true,
+                            LocRep::Computed(loc) => {
+                                self.rep_is_traced_at(m, *loc, sp_cur)?
+                            }
+                        };
+                        if traced {
+                            let v = m.rd(addr)?;
+                            let nv = self.fix(m, v, &mut alloc)?;
+                            m.wr(addr, nv)?;
+                        }
+                    }
+                    // Find the caller (return addresses are
+                    // odd-encoded code values).
+                    let ra_val = if frame.size == 0 {
+                        // Leaf GC point: return address still in RA.
+                        m.regs[regs::RA as usize]
+                    } else {
+                        m.rd(sp_cur + frame.ra_offset as u64)?
+                    };
+                    let ra = til_vm::code_index(ra_val);
+                    if self.tables.stops.contains(&ra) {
+                        break;
+                    }
+                    sp_cur += frame.size as u64;
+                    frame = self
+                        .tables
+                        .call_sites
+                        .get(&ra)
+                        .cloned()
+                        .ok_or_else(|| {
+                            VmError::Runtime(format!("GC: unmapped return address {ra}"))
+                        })?;
+                }
+            }
+            GcMode::Tagged => {
+                // Scan the whole live stack by tag bit.
+                let mut a = sp;
+                while a < m.layout.stack_top {
+                    let v = m.rd(a)?;
+                    if self.is_from_ptr(m, v) {
+                        let nv = self.forward(m, v, &mut alloc)?;
+                        m.wr(a, nv)?;
+                    }
+                    a += 8;
+                }
+            }
+        }
+
+        // --- Roots: globals.
+        match self.mode {
+            GcMode::NearlyTagFree => {
+                for (addr, rep) in self.tables.globals.clone() {
+                    let traced = match rep {
+                        LocRep::Trace => true,
+                        LocRep::Computed(loc) => self.rep_is_traced(m, loc, sp)?,
+                    };
+                    if traced {
+                        let v = m.rd(addr)?;
+                        let nv = self.fix(m, v, &mut alloc)?;
+                        m.wr(addr, nv)?;
+                    }
+                }
+            }
+            GcMode::Tagged => {
+                let mut a = 0u64;
+                while a < m.layout.globals_end {
+                    let v = m.rd(a)?;
+                    if self.is_from_ptr(m, v) {
+                        let nv = self.forward(m, v, &mut alloc)?;
+                        m.wr(a, nv)?;
+                    }
+                    a += 8;
+                }
+            }
+        }
+
+        // --- Cheney scan.
+        let mut scan = to_base;
+        while scan < alloc {
+            let h = m.rd(scan)?;
+            let kind = header::kind(h);
+            let len = header::len(h);
+            match kind {
+                header::KIND_RECORD => {
+                    for i in 0..len {
+                        let addr = scan + 8 + i * 8;
+                        let traced = match self.mode {
+                            GcMode::NearlyTagFree => header::mask(h) >> i & 1 == 1,
+                            GcMode::Tagged => true,
+                        };
+                        if traced {
+                            let v = m.rd(addr)?;
+                            let nv = self.fix(m, v, &mut alloc)?;
+                            m.wr(addr, nv)?;
+                        }
+                    }
+                    scan += 8 * (1 + len);
+                }
+                header::KIND_PTRARRAY => {
+                    for i in 0..len {
+                        let addr = scan + 8 + i * 8;
+                        let v = m.rd(addr)?;
+                        let nv = self.fix(m, v, &mut alloc)?;
+                        m.wr(addr, nv)?;
+                    }
+                    scan += 8 * (1 + len);
+                }
+                header::KIND_INTARRAY | header::KIND_FLOATARRAY => {
+                    scan += 8 * (1 + len);
+                }
+                header::KIND_STRING => {
+                    scan += 8 * (1 + len.div_ceil(8));
+                }
+                k => {
+                    return Err(VmError::Runtime(format!(
+                        "GC scan: bad header kind {k} at {scan:#x}"
+                    )))
+                }
+            }
+        }
+
+        // --- Flip.
+        self.from = to;
+        self.last_hp = alloc;
+        m.regs[regs::HP as usize] = alloc;
+        m.regs[regs::HL as usize] = to_end;
+        let live_words = (alloc - to_base) / 8;
+        if live_words > m.stats.max_live_words {
+            m.stats.max_live_words = live_words;
+        }
+        // Collection cost in instruction-equivalents: roughly 3 per
+        // copied word plus a per-collection constant.
+        m.stats.rt_cost += 200 + 3 * (m.stats.gc_copied_words - copied_before);
+        if alloc + needed > to_end {
+            return Err(VmError::OutOfMemory);
+        }
+        Ok(())
+    }
+
+    fn rep_is_traced_at(&self, m: &Machine, loc: RepLoc, sp: u64) -> Result<bool, VmError> {
+        self.rep_is_traced(m, loc, sp)
+    }
+
+    /// Accumulates mutator allocation since the previous collection
+    /// (also called once at program exit).
+    pub fn meter_allocation(&mut self, m: &mut Machine) {
+        let hp = m.regs[regs::HP as usize];
+        let base = if self.last_hp == 0 {
+            m.layout.heap_base
+        } else {
+            self.last_hp
+        };
+        if hp >= base {
+            m.stats.allocated_bytes += hp - base;
+        }
+        self.last_hp = hp;
+    }
+}

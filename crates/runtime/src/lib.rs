@@ -1,0 +1,15 @@
+//! The runtime-system substrate: two-space copying collection in the
+//! paper's **nearly tag-free** flavour (table-driven, type-passing for
+//! unknown slots, §2.3) and the baseline's fully **tagged** flavour,
+//! plus string/math runtime services and tag-free polymorphic
+//! structural equality over run-time type representations.
+
+pub mod gc;
+pub mod reps;
+pub mod rt;
+pub mod tables;
+
+pub use gc::Collector;
+pub use reps::{rep, RepExpr, RtData, RtDataRep};
+pub use rt::{format_real, Rt};
+pub use tables::{FrameInfo, GcMode, GcPoint, GcTables, LocRep, RepLoc};

@@ -1,0 +1,160 @@
+//! Run-time type representations.
+//!
+//! Intensional polymorphism needs types as run-time values (paper
+//! §2.1). A representation is either a small immediate — int-like,
+//! float, string, exn, code — or a pointer to a heap record describing
+//! a structured type. The same representations drive the `typecase`
+//! switch (int / float / pointer), the collector's `Computed` slots
+//! (untraced iff the representation is `REP_INT`), and tag-free
+//! structural equality.
+
+/// Immediate representation values.
+pub mod rep {
+    /// Untraced machine word (ints, chars, enums).
+    pub const INT: u64 = 0;
+    /// `real`: values travel boxed, arrays store them unboxed.
+    pub const FLOAT: u64 = 1;
+    /// String.
+    pub const STR: u64 = 2;
+    /// Exception packet.
+    pub const EXN: u64 = 3;
+    /// Function/closure.
+    pub const ARROW: u64 = 4;
+    /// First word of a heap representation record: record type.
+    pub const TAG_RECORD: u64 = 16;
+    /// Heap representation: array type (`[TAG_ARRAY, elem]`).
+    pub const TAG_ARRAY: u64 = 17;
+    /// Heap representation: datatype (`[TAG_DATA, data_id, n, args…]`).
+    pub const TAG_DATA: u64 = 18;
+}
+
+/// A compile-time recipe for a run-time representation; `Param(i)`
+/// refers to the i-th representation argument in scope (a datatype's
+/// type parameters, or a polymorphic function's constructor
+/// parameters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RepExpr {
+    /// `rep::INT`.
+    Int,
+    /// `rep::FLOAT`.
+    Float,
+    /// `rep::STR`.
+    Str,
+    /// `rep::EXN`.
+    Exn,
+    /// `rep::ARROW`.
+    Arrow,
+    /// Record of field representations.
+    Record(Vec<RepExpr>),
+    /// Array of an element representation.
+    Array(Box<RepExpr>),
+    /// Datatype applied to argument representations.
+    Data(u32, Vec<RepExpr>),
+    /// A representation parameter.
+    Param(usize),
+}
+
+impl RepExpr {
+    /// True when the representation contains no parameters (it can be
+    /// materialized once, statically).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            RepExpr::Int | RepExpr::Float | RepExpr::Str | RepExpr::Exn | RepExpr::Arrow => true,
+            RepExpr::Record(fs) => fs.iter().all(RepExpr::is_ground),
+            RepExpr::Array(e) => e.is_ground(),
+            RepExpr::Data(_, args) => args.iter().all(RepExpr::is_ground),
+            RepExpr::Param(_) => false,
+        }
+    }
+}
+
+/// How a datatype's values are laid out (mirrors the middle end's
+/// `DataRep`, in a form the runtime can interpret).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtDataRep {
+    /// All-nullary: small ints.
+    Enum,
+    /// One carrying constructor: untagged record; constants small ints.
+    Tagless,
+    /// Carrying constructors: records with a tag in field 0.
+    Tagged,
+    /// Baseline: `(tag, pointer-to-unflattened-argument)` records.
+    Boxed,
+}
+
+/// Runtime description of one datatype, for structural equality.
+#[derive(Clone, Debug)]
+pub struct RtData {
+    /// Value layout.
+    pub rep: RtDataRep,
+    /// Per source constructor: `None` for nullary, `Some(fields)` with
+    /// each field's representation recipe (parameters refer to the
+    /// datatype's type arguments).
+    pub cons: Vec<Option<Vec<RepExpr>>>,
+}
+
+impl RtData {
+    /// Small-int value of nullary constructor `tag`.
+    pub fn enum_value(&self, tag: usize) -> i64 {
+        self.cons[..tag].iter().filter(|c| c.is_none()).count() as i64
+    }
+
+    /// Record tag of carrying constructor `tag`.
+    pub fn sum_tag(&self, tag: usize) -> i64 {
+        self.cons[..tag].iter().filter(|c| c.is_some()).count() as i64
+    }
+
+    /// The source tag of the carrying constructor with record-tag `t`.
+    pub fn carrying_with_sum_tag(&self, t: i64) -> Option<usize> {
+        let mut n = 0;
+        for (i, c) in self.cons.iter().enumerate() {
+            if c.is_some() {
+                if n == t {
+                    return Some(i);
+                }
+                n += 1;
+            }
+        }
+        None
+    }
+
+    /// The unique carrying constructor (for `Tagless`).
+    pub fn single_carrying(&self) -> Option<usize> {
+        let mut found = None;
+        for (i, c) in self.cons.iter().enumerate() {
+            if c.is_some() {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groundness() {
+        assert!(RepExpr::Record(vec![RepExpr::Int, RepExpr::Str]).is_ground());
+        assert!(!RepExpr::Array(Box::new(RepExpr::Param(0))).is_ground());
+    }
+
+    #[test]
+    fn tag_arithmetic() {
+        // datatype t = A | B of x | C | D of y
+        let d = RtData {
+            rep: RtDataRep::Tagged,
+            cons: vec![None, Some(vec![RepExpr::Int]), None, Some(vec![RepExpr::Str])],
+        };
+        assert_eq!(d.enum_value(0), 0);
+        assert_eq!(d.enum_value(2), 1);
+        assert_eq!(d.sum_tag(1), 0);
+        assert_eq!(d.sum_tag(3), 1);
+        assert_eq!(d.carrying_with_sum_tag(1), Some(3));
+        assert_eq!(d.single_carrying(), None);
+    }
+}

@@ -1,0 +1,441 @@
+//! The runtime system: the [`til_vm::Runtime`] implementation wiring
+//! the collector, string/math services, and tag-free polymorphic
+//! structural equality into the machine.
+
+use crate::gc::Collector;
+use crate::reps::{rep, RepExpr, RtData, RtDataRep};
+use crate::tables::{GcMode, GcTables};
+use til_vm::{header, regs, Machine, RtFn, Runtime, Trap, VmError};
+
+/// The runtime state.
+pub struct Rt {
+    /// The collector.
+    pub gc: Collector,
+    /// Datatype descriptions for structural equality.
+    pub data: Vec<RtData>,
+}
+
+impl Rt {
+    /// Builds a runtime.
+    pub fn new(mode: GcMode, tables: GcTables, data: Vec<RtData>) -> Rt {
+        Rt {
+            gc: Collector::new(mode, tables),
+            data,
+        }
+    }
+
+    /// The GC-point key for the currently executing runtime call.
+    fn point(m: &Machine) -> u32 {
+        (m.pc - 1) as u32
+    }
+
+    /// Allocates `words` payload words with the given header, returning
+    /// the object address (collecting first if needed).
+    fn alloc(
+        &mut self,
+        m: &mut Machine,
+        head: u64,
+        words: u64,
+    ) -> Result<u64, VmError> {
+        let bytes = 8 * (1 + words);
+        let hp = m.regs[regs::HP as usize];
+        let hl = m.regs[regs::HL as usize];
+        if hp + bytes > hl {
+            self.gc.collect(m, Self::point(m), bytes)?;
+        }
+        let addr = m.regs[regs::HP as usize];
+        m.regs[regs::HP as usize] = addr + bytes;
+        m.wr(addr, head)?;
+        Ok(addr)
+    }
+
+    /// Allocates a string object from Rust bytes.
+    pub fn alloc_string(&mut self, m: &mut Machine, s: &str) -> Result<u64, VmError> {
+        let bytes = s.as_bytes();
+        let words = (bytes.len() as u64).div_ceil(8);
+        let addr = self.alloc(
+            m,
+            header::make(header::KIND_STRING, bytes.len() as u64, 0),
+            words,
+        )?;
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut w = 0u64;
+            for (j, b) in chunk.iter().enumerate() {
+                w |= (*b as u64) << (j * 8);
+            }
+            m.wr(addr + 8 + 8 * i as u64, w)?;
+        }
+        // Charge the copy.
+        m.stats.rt_cost += 4 + words;
+        Ok(addr)
+    }
+
+    fn untag_int(&self, v: u64) -> i64 {
+        match self.gc.mode {
+            GcMode::Tagged => (v as i64) >> 1,
+            GcMode::NearlyTagFree => v as i64,
+        }
+    }
+
+    fn tag_int(&self, v: i64) -> u64 {
+        match self.gc.mode {
+            GcMode::Tagged => ((v << 1) | 1) as u64,
+            GcMode::NearlyTagFree => v as u64,
+        }
+    }
+
+    fn is_small(&self, m: &Machine, v: u64) -> bool {
+        match self.gc.mode {
+            GcMode::NearlyTagFree => {
+                !(v >= m.layout.heap_base && v < m.layout.heap_end() && v % 8 == 0)
+            }
+            GcMode::Tagged => v & 1 == 1,
+        }
+    }
+
+    /// Tag-free structural equality at the representation `r`.
+    fn polyeq(&self, m: &Machine, r: u64, a: u64, b: u64) -> Result<bool, VmError> {
+        m_charge(m);
+        match r {
+            rep::INT | rep::EXN | rep::ARROW => Ok(a == b),
+            rep::FLOAT => {
+                // Boxed floats: compare contents.
+                let fa = f64::from_bits(m.rd(a + 8)?);
+                let fb = f64::from_bits(m.rd(b + 8)?);
+                Ok(fa == fb)
+            }
+            rep::STR => {
+                let sa = m.read_string(a)?;
+                let sb = m.read_string(b)?;
+                Ok(sa == sb)
+            }
+            ptr => {
+                // A heap representation record.
+                let tag = m.rd(ptr + 8)?;
+                match tag {
+                    t if t == rep::TAG_RECORD => {
+                        let n = m.rd(ptr + 16)?;
+                        for i in 0..n {
+                            let fr = m.rd(ptr + 24 + 8 * i)?;
+                            let fa = m.rd(a + 8 + 8 * i)?;
+                            let fb = m.rd(b + 8 + 8 * i)?;
+                            if !self.polyeq(m, fr, fa, fb)? {
+                                return Ok(false);
+                            }
+                        }
+                        Ok(true)
+                    }
+                    t if t == rep::TAG_ARRAY => Ok(a == b),
+                    t if t == rep::TAG_DATA => {
+                        let data_id = m.rd(ptr + 16)? as usize;
+                        let nargs = m.rd(ptr + 24)? as usize;
+                        let mut args = Vec::with_capacity(nargs);
+                        for i in 0..nargs {
+                            args.push(EvRep::Runtime(m.rd(ptr + 32 + 8 * i as u64)?));
+                        }
+                        self.data_eq(m, data_id, &std::rc::Rc::new(args), a, b)
+                    }
+                    other => Err(VmError::Runtime(format!(
+                        "polyeq: bad representation tag {other}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Structural equality of two datatype values.
+    fn data_eq(
+        &self,
+        m: &Machine,
+        data_id: usize,
+        args: &Env<'_>,
+        a: u64,
+        b: u64,
+    ) -> Result<bool, VmError> {
+        let d = self
+            .data
+            .get(data_id)
+            .ok_or_else(|| VmError::Runtime(format!("polyeq: bad datatype id {data_id}")))?;
+        match d.rep {
+            RtDataRep::Enum => Ok(a == b),
+            RtDataRep::Tagless => {
+                if self.is_small(m, a) || self.is_small(m, b) {
+                    return Ok(a == b);
+                }
+                let tag = d
+                    .single_carrying()
+                    .ok_or_else(|| VmError::Runtime("tagless without carrier".into()))?;
+                let fields = d.cons[tag].as_ref().unwrap();
+                self.fields_eq(m, fields, args, a, b, 0)
+            }
+            RtDataRep::Tagged => {
+                if self.is_small(m, a) || self.is_small(m, b) {
+                    return Ok(a == b);
+                }
+                let ta = m.rd(a + 8)?;
+                let tb = m.rd(b + 8)?;
+                if ta != tb {
+                    return Ok(false);
+                }
+                let tag = d
+                    .carrying_with_sum_tag(self.untag_int(ta))
+                    .ok_or_else(|| VmError::Runtime("polyeq: bad sum tag".into()))?;
+                let fields = d.cons[tag].as_ref().unwrap();
+                self.fields_eq(m, fields, args, a, b, 1)
+            }
+            RtDataRep::Boxed => {
+                if self.is_small(m, a) || self.is_small(m, b) {
+                    return Ok(a == b);
+                }
+                let ta = m.rd(a + 8)?;
+                let tb = m.rd(b + 8)?;
+                if ta != tb {
+                    return Ok(false);
+                }
+                let tag = d
+                    .carrying_with_sum_tag(self.untag_int(ta))
+                    .ok_or_else(|| VmError::Runtime("polyeq: bad sum tag".into()))?;
+                let fields = d.cons[tag].as_ref().unwrap();
+                let pa = m.rd(a + 16)?;
+                let pb = m.rd(b + 16)?;
+                let fr = eval_rep(&fields[0], args);
+                self.polyeq_val(m, fr, pa, pb)
+            }
+        }
+    }
+
+    fn fields_eq(
+        &self,
+        m: &Machine,
+        fields: &[RepExpr],
+        args: &Env<'_>,
+        a: u64,
+        b: u64,
+        skip: u64,
+    ) -> Result<bool, VmError> {
+        for (i, f) in fields.iter().enumerate() {
+            let fa = m.rd(a + 8 * (1 + skip + i as u64))?;
+            let fb = m.rd(b + 8 * (1 + skip + i as u64))?;
+            let fr = eval_rep(f, args);
+            if !self.polyeq_val(m, fr, fa, fb)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Equality guided by an evaluated representation.
+    fn polyeq_val(&self, m: &Machine, r: EvRep<'_>, a: u64, b: u64) -> Result<bool, VmError> {
+        match r {
+            EvRep::Runtime(v) => self.polyeq(m, v, a, b),
+            EvRep::Expr(e, env) => match e {
+                RepExpr::Int | RepExpr::Exn | RepExpr::Arrow => Ok(a == b),
+                RepExpr::Float => {
+                    let fa = f64::from_bits(m.rd(a + 8)?);
+                    let fb = f64::from_bits(m.rd(b + 8)?);
+                    Ok(fa == fb)
+                }
+                RepExpr::Str => Ok(m.read_string(a)? == m.read_string(b)?),
+                RepExpr::Array(_) => Ok(a == b),
+                RepExpr::Record(fs) => {
+                    for (i, f) in fs.iter().enumerate() {
+                        let fa = m.rd(a + 8 * (1 + i as u64))?;
+                        let fb = m.rd(b + 8 * (1 + i as u64))?;
+                        let fr = eval_rep(f, &env);
+                        if !self.polyeq_val(m, fr, fa, fb)? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+                RepExpr::Data(id, dargs) => {
+                    let inner: Env<'_> =
+                        std::rc::Rc::new(dargs.iter().map(|da| eval_rep(da, &env)).collect());
+                    self.data_eq(m, *id as usize, &inner, a, b)
+                }
+                RepExpr::Param(_) => unreachable!("resolved by eval_rep"),
+            },
+        }
+    }
+}
+
+/// An environment of evaluated representation arguments.
+type Env<'e> = std::rc::Rc<Vec<EvRep<'e>>>;
+
+/// Evaluates a representation recipe against an environment; structured
+/// recipes stay symbolic (a closure over the environment).
+fn eval_rep<'e>(e: &'e RepExpr, env: &Env<'e>) -> EvRep<'e> {
+    match e {
+        RepExpr::Param(i) => env
+            .get(*i)
+            .cloned()
+            .unwrap_or(EvRep::Runtime(crate::reps::rep::INT)),
+        other => EvRep::Expr(other, env.clone()),
+    }
+}
+
+#[derive(Clone)]
+enum EvRep<'e> {
+    /// A materialized run-time representation value.
+    Runtime(u64),
+    /// A compile-time recipe closed over its parameter environment.
+    Expr(&'e RepExpr, Env<'e>),
+}
+
+fn m_charge(_m: &Machine) {}
+
+impl Runtime for Rt {
+    fn rt_call(&mut self, f: RtFn, m: &mut Machine) -> Result<Option<Trap>, VmError> {
+        match f {
+            RtFn::Gc => {
+                let needed = m.regs[regs::TMP as usize];
+                self.gc.collect(m, Self::point(m), needed)?;
+                Ok(None)
+            }
+            RtFn::PrintStr => {
+                let s = m.read_string(m.regs[0])?;
+                if m.echo {
+                    print!("{s}");
+                }
+                m.stats.rt_cost += 4 + s.len() as u64 / 8;
+                m.output.push_str(&s);
+                Ok(None)
+            }
+            RtFn::IntToStr => {
+                let v = self.untag_int(m.regs[0]);
+                // SML rendering: ~ for negative.
+                let s = if v < 0 {
+                    format!("~{}", v.unsigned_abs())
+                } else {
+                    v.to_string()
+                };
+                let addr = self.alloc_string(m, &s)?;
+                m.regs[0] = addr;
+                Ok(None)
+            }
+            RtFn::FloatToStr => {
+                let v = f64::from_bits(m.regs[0]);
+                let s = format_real(v);
+                let addr = self.alloc_string(m, &s)?;
+                m.regs[0] = addr;
+                Ok(None)
+            }
+            RtFn::StrCmp => {
+                let a = m.read_string(m.regs[0])?;
+                let b = m.read_string(m.regs[1])?;
+                m.stats.rt_cost += 4 + (a.len().min(b.len()) as u64) / 4;
+                m.regs[0] = self.tag_int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                });
+                Ok(None)
+            }
+            RtFn::StrEq => {
+                let a = m.read_string(m.regs[0])?;
+                let b = m.read_string(m.regs[1])?;
+                m.stats.rt_cost += 4 + (a.len().min(b.len()) as u64) / 4;
+                m.regs[0] = self.tag_int((a == b) as i64);
+                Ok(None)
+            }
+            RtFn::StrConcat => {
+                let a = m.read_string(m.regs[0])?;
+                let b = m.read_string(m.regs[1])?;
+                let addr = self.alloc_string(m, &format!("{a}{b}"))?;
+                m.regs[0] = addr;
+                Ok(None)
+            }
+            RtFn::StrSub => {
+                let s = m.read_string(m.regs[0])?;
+                let i = self.untag_int(m.regs[1]);
+                m.stats.rt_cost += 6;
+                if i < 0 || i as usize >= s.len() {
+                    return Ok(Some(Trap::Subscript));
+                }
+                m.regs[0] = self.tag_int(s.as_bytes()[i as usize] as i64);
+                Ok(None)
+            }
+            RtFn::StrFromChar => {
+                let c = self.untag_int(m.regs[0]);
+                let ch = char::from_u32(c as u32).unwrap_or('?');
+                let addr = self.alloc_string(m, &ch.to_string())?;
+                m.regs[0] = addr;
+                Ok(None)
+            }
+            RtFn::PolyEq => {
+                let r = m.regs[0];
+                let a = m.regs[1];
+                let b = m.regs[2];
+                m.stats.rt_cost += 8;
+                let eq = self.polyeq(m, r, a, b)?;
+                m.regs[0] = self.tag_int(eq as i64);
+                Ok(None)
+            }
+            RtFn::Sqrt | RtFn::Sin | RtFn::Cos | RtFn::Atan | RtFn::Exp | RtFn::Ln => {
+                let x = f64::from_bits(m.regs[0]);
+                m.stats.rt_cost += 20;
+                let v = match f {
+                    RtFn::Sqrt => {
+                        if x < 0.0 {
+                            return Ok(Some(Trap::Domain));
+                        }
+                        x.sqrt()
+                    }
+                    RtFn::Sin => x.sin(),
+                    RtFn::Cos => x.cos(),
+                    RtFn::Atan => x.atan(),
+                    RtFn::Exp => x.exp(),
+                    _ => {
+                        if x <= 0.0 {
+                            return Ok(Some(Trap::Domain));
+                        }
+                        x.ln()
+                    }
+                };
+                m.regs[0] = v.to_bits();
+                Ok(None)
+            }
+            RtFn::Floor => {
+                let x = f64::from_bits(m.regs[0]);
+                let v = x.floor();
+                if !v.is_finite() || v < i64::MIN as f64 || v > i64::MAX as f64 {
+                    return Ok(Some(Trap::Overflow));
+                }
+                m.regs[0] = self.tag_int(v as i64);
+                Ok(None)
+            }
+            RtFn::Trunc => {
+                let x = f64::from_bits(m.regs[0]);
+                let v = x.trunc();
+                if !v.is_finite() || v < i64::MIN as f64 || v > i64::MAX as f64 {
+                    return Ok(Some(Trap::Overflow));
+                }
+                m.regs[0] = self.tag_int(v as i64);
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// SML `Real.toString` formatting (close enough: `~` for minus, a
+/// trailing `.0` for integral values).
+pub fn format_real(v: f64) -> String {
+    let s = if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    };
+    s.replace('-', "~")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_formatting_matches_sml() {
+        assert_eq!(format_real(1.0), "1.0");
+        assert_eq!(format_real(-2.5), "~2.5");
+        assert_eq!(format_real(0.125), "0.125");
+    }
+}

@@ -1,0 +1,94 @@
+//! GC tables: the compile-time information that makes nearly tag-free
+//! collection possible (paper §2.3).
+//!
+//! The compiler records, for every *GC point* (allocation-site limit
+//! checks and allocating runtime calls), which registers hold live
+//! pointers, and, for every *call site* (keyed by return address),
+//! the layout of the caller's stack frame — which slots are live
+//! pointers, which hold unknown-type values described by a companion
+//! type-representation slot (Tolmach-style, but eager), and where the
+//! next return address lives so the collector can keep walking.
+
+use std::collections::{HashMap, HashSet};
+
+/// Where a run-time type representation lives, for `Computed` slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepLoc {
+    /// In a register.
+    Reg(u8),
+    /// In the current frame at this byte offset from SP.
+    Slot(u32),
+}
+
+/// The representation of one live location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocRep {
+    /// A traced pointer (possibly a small-constant datatype value,
+    /// which the collector filters by address range).
+    Trace,
+    /// Unknown at compile time: consult the type representation at the
+    /// given location (0 = int-like ⇒ untraced; anything else traced).
+    Computed(RepLoc),
+}
+
+/// Layout of one stack frame.
+#[derive(Clone, Debug, Default)]
+pub struct FrameInfo {
+    /// Frame size in bytes (caller SP = SP + size).
+    pub size: u32,
+    /// Byte offset (from SP) of the saved return address.
+    pub ra_offset: u32,
+    /// Live traced/computed slots as byte offsets from SP.
+    pub slots: Vec<(u32, LocRep)>,
+}
+
+/// Everything the collector must know at one GC point.
+#[derive(Clone, Debug, Default)]
+pub struct GcPoint {
+    /// Live registers and their representations.
+    pub regs: Vec<(u8, LocRep)>,
+    /// The allocating function's own frame.
+    pub frame: FrameInfo,
+}
+
+/// The complete table set for a linked program.
+#[derive(Clone, Debug, Default)]
+pub struct GcTables {
+    /// Per GC-point pc.
+    pub gc_points: HashMap<u32, GcPoint>,
+    /// Per return-address pc: the frame of the function that will
+    /// resume there.
+    pub call_sites: HashMap<u32, FrameInfo>,
+    /// Return addresses at which the stack walk stops (the program
+    /// entry's sentinel).
+    pub stops: HashSet<u32>,
+    /// Global slots (byte addresses) holding traced or computed values.
+    pub globals: Vec<(u64, LocRep)>,
+}
+
+impl GcTables {
+    /// Approximate byte size of the tables (for the executable-size
+    /// comparison, Table 5).
+    pub fn byte_size(&self) -> usize {
+        let frame = |f: &FrameInfo| 8 + 6 * f.slots.len();
+        self.gc_points
+            .values()
+            .map(|g| 8 + 6 * g.regs.len() + frame(&g.frame))
+            .sum::<usize>()
+            + self.call_sites.values().map(frame).sum::<usize>()
+            + 8 * self.stops.len()
+            + 10 * self.globals.len()
+    }
+}
+
+/// How the collector interprets memory: the paper's nearly tag-free
+/// scheme, or the baseline's universal low-bit tagging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcMode {
+    /// Tables + untagged values; record headers carry pointer masks.
+    NearlyTagFree,
+    /// Every value is tagged (ints odd, pointers even); stacks and
+    /// globals are scanned exhaustively by tag; no tables needed
+    /// except live-register maps at GC points.
+    Tagged,
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax for the core-SML subset.
+//!
+//! Tuples are represented as records with numeric labels `1`, `2`, ...
+//! (as in the Definition); `()` is the empty record. List syntax is
+//! desugared by the parser into `::`/`nil` constructor applications, so
+//! the AST has no list form.
+
+use til_common::{Span, Symbol};
+
+/// A complete compilation unit: a sequence of top-level declarations.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Top-level declarations in order.
+    pub decs: Vec<Dec>,
+}
+
+/// A declaration.
+#[derive(Clone, Debug)]
+pub enum Dec {
+    /// `val pat = exp`.
+    Val {
+        /// Bound pattern.
+        pat: Pat,
+        /// Right-hand side.
+        exp: Exp,
+        /// Source location.
+        span: Span,
+    },
+    /// `fun f p1 ... pn = e | ...` with `and`-joined mutual recursion.
+    Fun {
+        /// One entry per function in the `and` chain.
+        binds: Vec<FunBind>,
+        /// Source location.
+        span: Span,
+    },
+    /// `datatype ('a, ...) t = C1 of ty | C2 | ...` with `and` chains.
+    Datatype {
+        /// One entry per datatype in the `and` chain.
+        binds: Vec<DatBind>,
+        /// Source location.
+        span: Span,
+    },
+    /// `type ('a, ...) t = ty` abbreviation.
+    TypeAbbrev {
+        /// Bound type parameters.
+        tyvars: Vec<Symbol>,
+        /// Abbreviation name.
+        name: Symbol,
+        /// Expansion.
+        ty: Ty,
+        /// Source location.
+        span: Span,
+    },
+    /// `exception E` or `exception E of ty`.
+    Exception {
+        /// Exception constructor name.
+        name: Symbol,
+        /// Carried type, if any.
+        arg: Option<Ty>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// One function in a `fun ... and ...` chain.
+#[derive(Clone, Debug)]
+pub struct FunBind {
+    /// Function name.
+    pub name: Symbol,
+    /// Clauses; all must have the same number of curried arguments.
+    pub clauses: Vec<Clause>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One clause of a `fun` binding.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    /// Curried argument patterns.
+    pub pats: Vec<Pat>,
+    /// Optional result-type annotation.
+    pub result_ty: Option<Ty>,
+    /// Clause body.
+    pub body: Exp,
+}
+
+/// One datatype in a `datatype ... and ...` chain.
+#[derive(Clone, Debug)]
+pub struct DatBind {
+    /// Type parameters (`'a`, ...).
+    pub tyvars: Vec<Symbol>,
+    /// Datatype name.
+    pub name: Symbol,
+    /// Constructors with optional argument types.
+    pub cons: Vec<(Symbol, Option<Ty>)>,
+}
+
+/// A type expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ty {
+    /// `'a`.
+    Var(Symbol),
+    /// `(ty, ...) tycon`, e.g. `int`, `'a list`, `(int, string) pair`.
+    Con(Vec<Ty>, Symbol),
+    /// `{l1: ty1, ...}`; tuples use numeric labels.
+    Record(Vec<(Symbol, Ty)>),
+    /// `ty -> ty`.
+    Arrow(Box<Ty>, Box<Ty>),
+}
+
+impl Ty {
+    /// Builds an n-ary tuple type (unit when `tys` is empty).
+    pub fn tuple(tys: Vec<Ty>) -> Ty {
+        Ty::Record(number_labels(tys))
+    }
+}
+
+/// A special (literal) constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SCon {
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Real(f64),
+    /// String.
+    Str(String),
+    /// Character.
+    Char(char),
+    /// Machine word.
+    Word(u64),
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Exp {
+    /// Literal constant.
+    SCon(SCon, Span),
+    /// Variable or constructor occurrence.
+    Var(Symbol, Span),
+    /// `fn rule | rule | ...`.
+    Fn(Vec<Rule>, Span),
+    /// Application `e1 e2`.
+    App(Box<Exp>, Box<Exp>, Span),
+    /// `if e1 then e2 else e3`.
+    If(Box<Exp>, Box<Exp>, Box<Exp>, Span),
+    /// `case e of rule | ...`.
+    Case(Box<Exp>, Vec<Rule>, Span),
+    /// `let decs in e end` (body may be a sequence).
+    Let(Vec<Dec>, Box<Exp>, Span),
+    /// Record (or tuple) construction.
+    Record(Vec<(Symbol, Exp)>, Span),
+    /// `#label` selector used as a function.
+    Selector(Symbol, Span),
+    /// `raise e`.
+    Raise(Box<Exp>, Span),
+    /// `e handle rule | ...`.
+    Handle(Box<Exp>, Vec<Rule>, Span),
+    /// `(e1; e2; ...; en)` — value of `en`.
+    Seq(Vec<Exp>, Span),
+    /// `e1 andalso e2`.
+    Andalso(Box<Exp>, Box<Exp>, Span),
+    /// `e1 orelse e2`.
+    Orelse(Box<Exp>, Box<Exp>, Span),
+    /// `while e1 do e2`.
+    While(Box<Exp>, Box<Exp>, Span),
+    /// `e : ty`.
+    Constraint(Box<Exp>, Ty, Span),
+}
+
+impl Exp {
+    /// Builds an n-ary tuple expression (unit when empty).
+    pub fn tuple(exps: Vec<Exp>, span: Span) -> Exp {
+        Exp::Record(number_labels(exps), span)
+    }
+
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Exp::SCon(_, s)
+            | Exp::Var(_, s)
+            | Exp::Fn(_, s)
+            | Exp::App(_, _, s)
+            | Exp::If(_, _, _, s)
+            | Exp::Case(_, _, s)
+            | Exp::Let(_, _, s)
+            | Exp::Record(_, s)
+            | Exp::Selector(_, s)
+            | Exp::Raise(_, s)
+            | Exp::Handle(_, _, s)
+            | Exp::Seq(_, s)
+            | Exp::Andalso(_, _, s)
+            | Exp::Orelse(_, _, s)
+            | Exp::While(_, _, s)
+            | Exp::Constraint(_, _, s) => *s,
+        }
+    }
+}
+
+/// A `pat => exp` match rule.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Pattern.
+    pub pat: Pat,
+    /// Body.
+    pub exp: Exp,
+}
+
+/// A pattern.
+#[derive(Clone, Debug)]
+pub enum Pat {
+    /// `_`.
+    Wild(Span),
+    /// Variable binding (or nullary-constructor occurrence; the
+    /// elaborator disambiguates against the constructor environment).
+    Var(Symbol, Span),
+    /// Literal.
+    SCon(SCon, Span),
+    /// Constructor application `C pat` (arg `None` for bare `C` that is
+    /// known to be a constructor at parse time, e.g. inside lists).
+    Con(Symbol, Option<Box<Pat>>, Span),
+    /// Record/tuple pattern. `flexible` is true when `...` was present.
+    Record {
+        /// Labelled sub-patterns.
+        fields: Vec<(Symbol, Pat)>,
+        /// `...` present.
+        flexible: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// `x as pat`.
+    As(Symbol, Box<Pat>, Span),
+    /// `pat : ty`.
+    Constraint(Box<Pat>, Ty, Span),
+}
+
+impl Pat {
+    /// Builds an n-ary tuple pattern.
+    pub fn tuple(pats: Vec<Pat>, span: Span) -> Pat {
+        Pat::Record {
+            fields: number_labels(pats),
+            flexible: false,
+            span,
+        }
+    }
+
+    /// The pattern's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Pat::Wild(s)
+            | Pat::Var(_, s)
+            | Pat::SCon(_, s)
+            | Pat::Con(_, _, s)
+            | Pat::As(_, _, s)
+            | Pat::Constraint(_, _, s) => *s,
+            Pat::Record { span, .. } => *span,
+        }
+    }
+}
+
+/// Labels a vector with `1`, `2`, ... as tuple labels.
+pub fn number_labels<T>(items: Vec<T>) -> Vec<(Symbol, T)> {
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (Symbol::intern(&(i + 1).to_string()), t))
+        .collect()
+}
+
+/// True if the record fields are exactly the tuple labels `1..n` in order.
+pub fn is_tuple_labels<T>(fields: &[(Symbol, T)]) -> bool {
+    fields
+        .iter()
+        .enumerate()
+        .all(|(i, (l, _))| l.as_str() == (i + 1).to_string())
+}

@@ -1,0 +1,485 @@
+//! Lexer for the core-SML subset.
+//!
+//! Follows the Definition's lexical rules for the constructs we accept:
+//! alphanumeric and symbolic identifiers, `'a` type variables, nested
+//! `(* ... *)` comments, `~`-negated numeric literals, `0w` word
+//! literals, string escapes, and `#"c"` character literals.
+
+use crate::token::{TokKind, Token};
+use til_common::{Diagnostic, Result, Span, Symbol};
+
+/// Lexes `src` into a token stream terminated by [`TokKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const SYMBOLIC: &str = "!%&$+-/:<=>?@\\~^|*";
+
+fn is_symbolic(c: u8) -> bool {
+    SYMBOLIC.as_bytes().contains(&c)
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'\''
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos as u32;
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokKind::Eof,
+                    span: Span::new(start, start),
+                });
+                return Ok(out);
+            };
+            let kind = self.token(c)?;
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.pos as u32),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::error("lex", Span::new(self.pos as u32, self.pos as u32 + 1), msg)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    let open = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.peek() {
+                            Some(b'(') if self.peek2() == Some(b'*') => {
+                                self.pos += 2;
+                                depth += 1;
+                            }
+                            Some(b'*') if self.peek2() == Some(b')') => {
+                                self.pos += 2;
+                                depth -= 1;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(Diagnostic::error(
+                                    "lex",
+                                    Span::new(open as u32, self.pos as u32),
+                                    "unterminated comment",
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn token(&mut self, c: u8) -> Result<TokKind> {
+        match c {
+            b'(' => {
+                self.pos += 1;
+                Ok(TokKind::LParen)
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(TokKind::RParen)
+            }
+            b'[' => {
+                self.pos += 1;
+                Ok(TokKind::LBracket)
+            }
+            b']' => {
+                self.pos += 1;
+                Ok(TokKind::RBracket)
+            }
+            b'{' => {
+                self.pos += 1;
+                Ok(TokKind::LBrace)
+            }
+            b'}' => {
+                self.pos += 1;
+                Ok(TokKind::RBrace)
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(TokKind::Comma)
+            }
+            b';' => {
+                self.pos += 1;
+                Ok(TokKind::Semi)
+            }
+            b'_' => {
+                self.pos += 1;
+                Ok(TokKind::Underscore)
+            }
+            b'.' => {
+                if self.src[self.pos..].starts_with("...") {
+                    self.pos += 3;
+                    Ok(TokKind::Ellipsis)
+                } else {
+                    Err(self.err("unexpected `.`"))
+                }
+            }
+            b'\'' => self.tyvar(),
+            b'"' => self.string().map(TokKind::Str),
+            b'#' => {
+                if self.peek2() == Some(b'"') {
+                    self.pos += 1;
+                    let s = self.string()?;
+                    let mut it = s.chars();
+                    match (it.next(), it.next()) {
+                        (Some(ch), None) => Ok(TokKind::Char(ch)),
+                        _ => Err(self.err("character literal must contain exactly one character")),
+                    }
+                } else {
+                    self.pos += 1;
+                    Ok(TokKind::Hash)
+                }
+            }
+            b'~' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                self.pos += 1;
+                self.number(true)
+            }
+            c if c.is_ascii_digit() => self.number(false),
+            c if is_ident_start(c) => Ok(self.alpha_ident()),
+            c if is_symbolic(c) => Ok(self.symbolic_ident()),
+            other => Err(self.err(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn tyvar(&mut self) -> Result<TokKind> {
+        self.pos += 1; // '
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_cont) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected type variable name after `'`"));
+        }
+        Ok(TokKind::TyVar(Symbol::intern(&self.src[start..self.pos])))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut code = (d - b'0') as u32;
+                        for _ in 0..2 {
+                            match self.bump() {
+                                Some(d2) if d2.is_ascii_digit() => {
+                                    code = code * 10 + (d2 - b'0') as u32;
+                                }
+                                _ => return Err(self.err("malformed \\ddd escape")),
+                            }
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("\\ddd escape out of range"))?,
+                        );
+                    }
+                    _ => return Err(self.err("unknown string escape")),
+                },
+                Some(c) => {
+                    // Multi-byte UTF-8: copy the full character.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let s = &self.src[self.pos - 1..];
+                        let ch = s.chars().next().unwrap();
+                        out.push(ch);
+                        self.pos += ch.len_utf8() - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, negative: bool) -> Result<TokKind> {
+        let start = self.pos;
+        // 0w / 0x prefixes.
+        if self.peek() == Some(b'0') && self.peek2() == Some(b'w') && !negative {
+            self.pos += 2;
+            let dstart = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if dstart == self.pos {
+                return Err(self.err("expected digits after `0w`"));
+            }
+            let v: u64 = self.src[dstart..self.pos]
+                .parse()
+                .map_err(|_| self.err("word literal out of range"))?;
+            return Ok(TokKind::Word(v));
+        }
+        if self.peek() == Some(b'0') && self.peek2() == Some(b'x') {
+            self.pos += 2;
+            let dstart = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            if dstart == self.pos {
+                return Err(self.err("expected hex digits after `0x`"));
+            }
+            let v = i64::from_str_radix(&self.src[dstart..self.pos], 16)
+                .map_err(|_| self.err("hex literal out of range"))?;
+            return Ok(TokKind::Int(if negative { -v } else { v }));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_real = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_real = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let mut text_end = self.pos;
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // Exponent: e[~]ddd.
+            let save = self.pos;
+            self.pos += 1;
+            let mut exp_neg = false;
+            if self.peek() == Some(b'~') {
+                exp_neg = true;
+                self.pos += 1;
+            }
+            let dstart = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if dstart == self.pos {
+                self.pos = save; // not an exponent after all
+            } else {
+                is_real = true;
+                let _ = exp_neg;
+                text_end = self.pos;
+            }
+        } else {
+            text_end = self.pos;
+        }
+        let text = self.src[start..text_end].replace('~', "-");
+        if is_real {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err("malformed real literal"))?;
+            Ok(TokKind::Real(if negative { -v } else { v }))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err("integer literal out of range"))?;
+            Ok(TokKind::Int(if negative { -v } else { v }))
+        }
+    }
+
+    fn alpha_ident(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_cont) {
+            self.pos += 1;
+        }
+        // Qualified names (`Int.toString`, `Array.sub`) lex as a single
+        // identifier: there is no module system in our subset, but the
+        // basis exposes dotted names for familiarity.
+        while self.peek() == Some(b'.') && self.peek2().is_some_and(is_ident_start) {
+            self.pos += 1;
+            while self.peek().is_some_and(is_ident_cont) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        match text {
+            "and" => TokKind::And,
+            "andalso" => TokKind::Andalso,
+            "as" => TokKind::As,
+            "case" => TokKind::Case,
+            "datatype" => TokKind::Datatype,
+            "do" => TokKind::Do,
+            "else" => TokKind::Else,
+            "end" => TokKind::End,
+            "exception" => TokKind::Exception,
+            "fn" => TokKind::Fn,
+            "fun" => TokKind::Fun,
+            "handle" => TokKind::Handle,
+            "if" => TokKind::If,
+            "in" => TokKind::In,
+            "let" => TokKind::Let,
+            "local" => TokKind::Local,
+            "of" => TokKind::Of,
+            "op" => TokKind::Op,
+            "orelse" => TokKind::Orelse,
+            "raise" => TokKind::Raise,
+            "rec" => TokKind::Rec,
+            "then" => TokKind::Then,
+            "type" => TokKind::Type,
+            "val" => TokKind::Val,
+            "while" => TokKind::While,
+            _ => TokKind::Ident(Symbol::intern(text)),
+        }
+    }
+
+    fn symbolic_ident(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.peek().is_some_and(is_symbolic) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match text {
+            "=" => TokKind::Equals,
+            "=>" => TokKind::DArrow,
+            "->" => TokKind::Arrow,
+            ":" => TokKind::Colon,
+            "|" => TokKind::Bar,
+            _ => TokKind::Ident(Symbol::intern(text)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use til_common::Symbol;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_val() {
+        let ks = kinds("val x = 1");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Val,
+                TokKind::Ident(Symbol::intern("x")),
+                TokKind::Equals,
+                TokKind::Int(1),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(kinds("~42")[0], TokKind::Int(-42));
+        assert_eq!(kinds("~4.5")[0], TokKind::Real(-4.5));
+    }
+
+    #[test]
+    fn real_with_exponent() {
+        assert_eq!(kinds("1.5e2")[0], TokKind::Real(150.0));
+        assert_eq!(kinds("2e~1")[0], TokKind::Real(0.2));
+    }
+
+    #[test]
+    fn word_and_hex_literals() {
+        assert_eq!(kinds("0w255")[0], TokKind::Word(255));
+        assert_eq!(kinds("0xff")[0], TokKind::Int(255));
+    }
+
+    #[test]
+    fn nested_comments() {
+        let ks = kinds("(* a (* nested *) b *) 7");
+        assert_eq!(ks[0], TokKind::Int(7));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\065""#)[0],
+            TokKind::Str("a\nbA".to_string())
+        );
+    }
+
+    #[test]
+    fn char_literal() {
+        assert_eq!(kinds("#\"x\"")[0], TokKind::Char('x'));
+    }
+
+    #[test]
+    fn symbolic_identifiers_munch_maximally() {
+        let ks = kinds("a <= b");
+        assert_eq!(ks[1], TokKind::Ident(Symbol::intern("<=")));
+    }
+
+    #[test]
+    fn cons_and_assign() {
+        assert_eq!(kinds("::")[0], TokKind::Ident(Symbol::intern("::")));
+        assert_eq!(kinds(":=")[0], TokKind::Ident(Symbol::intern(":=")));
+        assert_eq!(kinds(":")[0], TokKind::Colon);
+    }
+
+    #[test]
+    fn tyvars() {
+        assert_eq!(kinds("'a")[0], TokKind::TyVar(Symbol::intern("a")));
+    }
+
+    #[test]
+    fn hash_selector_vs_char() {
+        let ks = kinds("#1 #\"c\"");
+        assert_eq!(ks[0], TokKind::Hash);
+        assert_eq!(ks[1], TokKind::Int(1));
+        assert_eq!(ks[2], TokKind::Char('c'));
+    }
+
+    #[test]
+    fn spans_track_positions() {
+        let ts = lex("val x").unwrap();
+        assert_eq!(ts[0].span, til_common::Span::new(0, 3));
+        assert_eq!(ts[1].span, til_common::Span::new(4, 5));
+    }
+}

@@ -1,0 +1,35 @@
+//! Front-end syntax for the core-SML subset accepted by the TIL
+//! reproduction.
+//!
+//! The paper reuses the ML Kit front end; this crate is our from-scratch
+//! equivalent: a lexer ([`lexer`]), abstract syntax ([`ast`]), and a
+//! recursive-descent parser ([`parser`]) covering the language the
+//! paper's benchmarks need — datatypes, polymorphic functions, records
+//! and tuples, pattern matching, exceptions, references, arrays (via
+//! primitives), and the usual literals.
+//!
+//! # Example
+//!
+//! ```
+//! let prog = til_syntax::parse("val x = 1 + 2").unwrap();
+//! assert_eq!(prog.decs.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::Program;
+
+/// Parses a complete program (a sequence of declarations).
+pub fn parse(src: &str) -> til_common::Result<Program> {
+    let tokens = lexer::lex(src)?;
+    parser::Parser::new(src, tokens).program()
+}
+
+/// Parses a single expression (used by tests and examples).
+pub fn parse_exp(src: &str) -> til_common::Result<ast::Exp> {
+    let tokens = lexer::lex(src)?;
+    parser::Parser::new(src, tokens).single_exp()
+}

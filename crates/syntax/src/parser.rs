@@ -1,0 +1,1117 @@
+//! Recursive-descent parser for the core-SML subset.
+//!
+//! Infix operators come from the Definition's fixed initial basis (there
+//! are no user `infix` declarations in our subset):
+//!
+//! | prec | assoc | operators |
+//! |------|-------|-----------|
+//! | 7 | left  | `*` `/` `div` `mod` |
+//! | 6 | left  | `+` `-` `^` |
+//! | 5 | right | `::` `@` |
+//! | 4 | left  | `=` `<>` `<` `>` `<=` `>=` |
+//! | 3 | right | `:=` |
+//! | 3 | left  | `o` |
+//!
+//! List syntax `[a, b]` desugars to `a :: b :: nil` at parse time.
+
+use crate::ast::*;
+use crate::token::{TokKind, Token};
+use til_common::{Diagnostic, Result, Span, Symbol};
+
+/// The parser state over a token stream.
+pub struct Parser<'a> {
+    #[allow(dead_code)]
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+fn infix_info(name: &str) -> Option<(u8, bool)> {
+    // (precedence, right-associative)
+    match name {
+        "*" | "/" | "div" | "mod" => Some((7, false)),
+        "+" | "-" | "^" => Some((6, false)),
+        "::" | "@" => Some((5, true)),
+        "=" | "<>" | "<" | ">" | "<=" | ">=" => Some((4, false)),
+        ":=" => Some((3, true)),
+        "o" => Some((3, false)),
+        _ => None,
+    }
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over pre-lexed tokens.
+    pub fn new(src: &'a str, tokens: Vec<Token>) -> Parser<'a> {
+        Parser {
+            src,
+            tokens,
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> &TokKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::error("parse", self.span(), msg)
+    }
+
+    fn expect(&mut self, kind: TokKind) -> Result<Span> {
+        if *self.peek() == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn eat(&mut self, kind: TokKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<Symbol> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            TokKind::Equals => {
+                self.bump();
+                Ok(Symbol::intern("="))
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ---------------------------------------------------------------- decs
+
+    /// Parses a whole program.
+    pub fn program(mut self) -> Result<Program> {
+        let mut decs = Vec::new();
+        loop {
+            while self.eat(TokKind::Semi) {}
+            if *self.peek() == TokKind::Eof {
+                return Ok(Program { decs });
+            }
+            decs.push(self.dec()?);
+        }
+    }
+
+    /// Parses a single expression followed by end-of-input.
+    pub fn single_exp(mut self) -> Result<Exp> {
+        let e = self.exp()?;
+        self.expect(TokKind::Eof)?;
+        Ok(e)
+    }
+
+    fn dec(&mut self) -> Result<Dec> {
+        let start = self.span();
+        match self.peek() {
+            TokKind::Val => {
+                self.bump();
+                if self.eat(TokKind::Rec) {
+                    // val rec f = fn match (and ...) — normalize to Fun.
+                    let mut binds = Vec::new();
+                    loop {
+                        let bstart = self.span();
+                        let name = self.ident()?;
+                        self.expect(TokKind::Equals)?;
+                        let fnspan = self.span();
+                        self.expect(TokKind::Fn)?;
+                        let rules = self.match_rules()?;
+                        let clauses = rules
+                            .into_iter()
+                            .map(|r| Clause {
+                                pats: vec![r.pat],
+                                result_ty: None,
+                                body: r.exp,
+                            })
+                            .collect();
+                        binds.push(FunBind {
+                            name,
+                            clauses,
+                            span: bstart.merge(fnspan),
+                        });
+                        if !self.eat(TokKind::And) {
+                            break;
+                        }
+                        self.expect(TokKind::Rec).ok(); // `and rec` optional
+                    }
+                    Ok(Dec::Fun {
+                        binds,
+                        span: start.merge(self.prev_span()),
+                    })
+                } else {
+                    let pat = self.pat()?;
+                    self.expect(TokKind::Equals)?;
+                    let exp = self.exp()?;
+                    Ok(Dec::Val {
+                        pat,
+                        exp,
+                        span: start.merge(self.prev_span()),
+                    })
+                }
+            }
+            TokKind::Fun => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    binds.push(self.fun_bind()?);
+                    if !self.eat(TokKind::And) {
+                        break;
+                    }
+                }
+                Ok(Dec::Fun {
+                    binds,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokKind::Datatype => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    binds.push(self.dat_bind()?);
+                    if !self.eat(TokKind::And) {
+                        break;
+                    }
+                }
+                Ok(Dec::Datatype {
+                    binds,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokKind::Type => {
+                self.bump();
+                let tyvars = self.tyvar_seq()?;
+                let name = self.ident()?;
+                self.expect(TokKind::Equals)?;
+                let ty = self.ty()?;
+                Ok(Dec::TypeAbbrev {
+                    tyvars,
+                    name,
+                    ty,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokKind::Exception => {
+                self.bump();
+                let name = self.ident()?;
+                let arg = if self.eat(TokKind::Of) {
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
+                Ok(Dec::Exception {
+                    name,
+                    arg,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            other => Err(self.err(format!(
+                "expected a declaration, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn fun_bind(&mut self) -> Result<FunBind> {
+        let start = self.span();
+        let mut clauses = Vec::new();
+        let mut name = None;
+        loop {
+            self.eat(TokKind::Op);
+            let n = self.ident()?;
+            match name {
+                None => name = Some(n),
+                Some(prev) if prev == n => {}
+                Some(prev) => {
+                    return Err(self.err(format!(
+                        "clause name `{n}` does not match function name `{prev}`"
+                    )))
+                }
+            }
+            let mut pats = Vec::new();
+            while self.starts_atpat() {
+                pats.push(self.atpat()?);
+            }
+            if pats.is_empty() {
+                return Err(self.err("function clause needs at least one argument pattern"));
+            }
+            let result_ty = if self.eat(TokKind::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            self.expect(TokKind::Equals)?;
+            let body = self.exp()?;
+            clauses.push(Clause {
+                pats,
+                result_ty,
+                body,
+            });
+            // Another clause of the same function?
+            if *self.peek() == TokKind::Bar {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(FunBind {
+            name: name.unwrap(),
+            clauses,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn tyvar_seq(&mut self) -> Result<Vec<Symbol>> {
+        match self.peek().clone() {
+            TokKind::TyVar(v) => {
+                self.bump();
+                Ok(vec![v])
+            }
+            TokKind::LParen if matches!(self.peek2(), TokKind::TyVar(_)) => {
+                self.bump();
+                let mut vs = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        TokKind::TyVar(v) => {
+                            self.bump();
+                            vs.push(v);
+                        }
+                        _ => return Err(self.err("expected type variable")),
+                    }
+                    if !self.eat(TokKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokKind::RParen)?;
+                Ok(vs)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    fn dat_bind(&mut self) -> Result<DatBind> {
+        let tyvars = self.tyvar_seq()?;
+        let name = self.ident()?;
+        self.expect(TokKind::Equals)?;
+        let mut cons = Vec::new();
+        loop {
+            let cname = self.ident()?;
+            let arg = if self.eat(TokKind::Of) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            cons.push((cname, arg));
+            if !self.eat(TokKind::Bar) {
+                break;
+            }
+        }
+        Ok(DatBind { tyvars, name, cons })
+    }
+
+    // --------------------------------------------------------------- types
+
+    fn ty(&mut self) -> Result<Ty> {
+        let lhs = self.ty_tuple()?;
+        if self.eat(TokKind::Arrow) {
+            let rhs = self.ty()?;
+            Ok(Ty::Arrow(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ty_tuple(&mut self) -> Result<Ty> {
+        let first = self.ty_app()?;
+        let star = Symbol::intern("*");
+        let mut parts = vec![first];
+        while matches!(self.peek(), TokKind::Ident(s) if *s == star) {
+            self.bump();
+            parts.push(self.ty_app()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Ty::tuple(parts))
+        }
+    }
+
+    fn ty_app(&mut self) -> Result<Ty> {
+        let mut args: Vec<Ty>;
+        match self.peek().clone() {
+            TokKind::LParen => {
+                self.bump();
+                let mut tys = vec![self.ty()?];
+                while self.eat(TokKind::Comma) {
+                    tys.push(self.ty()?);
+                }
+                self.expect(TokKind::RParen)?;
+                if tys.len() > 1 {
+                    // Must be followed by a type constructor.
+                    let name = self.ident()?;
+                    args = vec![Ty::Con(tys, name)];
+                } else {
+                    args = tys;
+                }
+            }
+            TokKind::TyVar(v) => {
+                self.bump();
+                args = vec![Ty::Var(v)];
+            }
+            TokKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if *self.peek() != TokKind::RBrace {
+                    loop {
+                        let lab = self.label()?;
+                        self.expect(TokKind::Colon)?;
+                        let t = self.ty()?;
+                        fields.push((lab, t));
+                        if !self.eat(TokKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokKind::RBrace)?;
+                fields.sort_by_key(|(l, _)| l.as_str());
+                args = vec![Ty::Record(fields)];
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                args = vec![Ty::Con(vec![], name)];
+            }
+            other => {
+                return Err(self.err(format!("expected a type, found {}", other.describe())))
+            }
+        }
+        // Postfix constructor applications: `int list`, `'a array`.
+        while let TokKind::Ident(name) = self.peek().clone() {
+            if infix_info(name.as_str()).is_some() {
+                break;
+            }
+            self.bump();
+            args = vec![Ty::Con(args, name)];
+        }
+        Ok(args.pop().unwrap())
+    }
+
+    fn label(&mut self) -> Result<Symbol> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            TokKind::Int(n) if n > 0 => {
+                self.bump();
+                Ok(Symbol::intern(&n.to_string()))
+            }
+            other => Err(self.err(format!("expected record label, found {}", other.describe()))),
+        }
+    }
+
+    // --------------------------------------------------------------- exprs
+
+    fn exp(&mut self) -> Result<Exp> {
+        let start = self.span();
+        let mut e = match self.peek() {
+            TokKind::If => {
+                self.bump();
+                let c = self.exp()?;
+                self.expect(TokKind::Then)?;
+                let t = self.exp()?;
+                self.expect(TokKind::Else)?;
+                let f = self.exp()?;
+                Exp::If(
+                    Box::new(c),
+                    Box::new(t),
+                    Box::new(f),
+                    start.merge(self.prev_span()),
+                )
+            }
+            TokKind::While => {
+                self.bump();
+                let c = self.exp()?;
+                self.expect(TokKind::Do)?;
+                let b = self.exp()?;
+                Exp::While(Box::new(c), Box::new(b), start.merge(self.prev_span()))
+            }
+            TokKind::Case => {
+                self.bump();
+                let scrut = self.exp()?;
+                self.expect(TokKind::Of)?;
+                let rules = self.match_rules()?;
+                Exp::Case(Box::new(scrut), rules, start.merge(self.prev_span()))
+            }
+            TokKind::Fn => {
+                self.bump();
+                let rules = self.match_rules()?;
+                Exp::Fn(rules, start.merge(self.prev_span()))
+            }
+            TokKind::Raise => {
+                self.bump();
+                let e = self.exp()?;
+                Exp::Raise(Box::new(e), start.merge(self.prev_span()))
+            }
+            _ => self.or_exp()?,
+        };
+        loop {
+            match self.peek() {
+                TokKind::Handle => {
+                    self.bump();
+                    let rules = self.match_rules()?;
+                    let sp = start.merge(self.prev_span());
+                    e = Exp::Handle(Box::new(e), rules, sp);
+                }
+                TokKind::Colon => {
+                    self.bump();
+                    let ty = self.ty()?;
+                    let sp = start.merge(self.prev_span());
+                    e = Exp::Constraint(Box::new(e), ty, sp);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn match_rules(&mut self) -> Result<Vec<Rule>> {
+        let mut rules = Vec::new();
+        loop {
+            let pat = self.pat()?;
+            self.expect(TokKind::DArrow)?;
+            let exp = self.exp()?;
+            rules.push(Rule { pat, exp });
+            if !self.eat(TokKind::Bar) {
+                return Ok(rules);
+            }
+        }
+    }
+
+    fn or_exp(&mut self) -> Result<Exp> {
+        let start = self.span();
+        let mut e = self.and_exp()?;
+        while self.eat(TokKind::Orelse) {
+            let rhs = self.and_exp()?;
+            let sp = start.merge(self.prev_span());
+            e = Exp::Orelse(Box::new(e), Box::new(rhs), sp);
+        }
+        Ok(e)
+    }
+
+    fn and_exp(&mut self) -> Result<Exp> {
+        let start = self.span();
+        let mut e = self.inf_exp(0)?;
+        while self.eat(TokKind::Andalso) {
+            let rhs = self.inf_exp(0)?;
+            let sp = start.merge(self.prev_span());
+            e = Exp::Andalso(Box::new(e), Box::new(rhs), sp);
+        }
+        Ok(e)
+    }
+
+    /// Precedence-climbing infix parser.
+    fn inf_exp(&mut self, min_prec: u8) -> Result<Exp> {
+        let start = self.span();
+        let mut lhs = self.app_exp()?;
+        loop {
+            let (name, prec, right) = match self.peek() {
+                TokKind::Ident(s) => match infix_info(s.as_str()) {
+                    Some((p, r)) if p >= min_prec => (*s, p, r),
+                    _ => return Ok(lhs),
+                },
+                TokKind::Equals => {
+                    let (p, r) = infix_info("=").unwrap();
+                    if p >= min_prec {
+                        (Symbol::intern("="), p, r)
+                    } else {
+                        return Ok(lhs);
+                    }
+                }
+                _ => return Ok(lhs),
+            };
+            let opspan = self.span();
+            self.bump();
+            let next_min = if right { prec } else { prec + 1 };
+            let rhs = self.inf_exp(next_min)?;
+            let sp = start.merge(self.prev_span());
+            // `a + b` parses to `(+) (a, b)`.
+            lhs = Exp::App(
+                Box::new(Exp::Var(name, opspan)),
+                Box::new(Exp::tuple(vec![lhs, rhs], sp)),
+                sp,
+            );
+        }
+    }
+
+    fn app_exp(&mut self) -> Result<Exp> {
+        let start = self.span();
+        let mut e = self.at_exp()?;
+        while self.starts_atexp() {
+            let arg = self.at_exp()?;
+            let sp = start.merge(self.prev_span());
+            e = Exp::App(Box::new(e), Box::new(arg), sp);
+        }
+        Ok(e)
+    }
+
+    fn starts_atexp(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokKind::Int(_)
+                | TokKind::Real(_)
+                | TokKind::Str(_)
+                | TokKind::Char(_)
+                | TokKind::Word(_)
+                | TokKind::LParen
+                | TokKind::LBracket
+                | TokKind::LBrace
+                | TokKind::Let
+                | TokKind::Hash
+                | TokKind::Op
+        ) || matches!(self.peek(), TokKind::Ident(s) if infix_info(s.as_str()).is_none())
+    }
+
+    fn at_exp(&mut self) -> Result<Exp> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokKind::Int(n) => {
+                self.bump();
+                Ok(Exp::SCon(SCon::Int(n), start))
+            }
+            TokKind::Real(r) => {
+                self.bump();
+                Ok(Exp::SCon(SCon::Real(r), start))
+            }
+            TokKind::Str(s) => {
+                self.bump();
+                Ok(Exp::SCon(SCon::Str(s), start))
+            }
+            TokKind::Char(c) => {
+                self.bump();
+                Ok(Exp::SCon(SCon::Char(c), start))
+            }
+            TokKind::Word(w) => {
+                self.bump();
+                Ok(Exp::SCon(SCon::Word(w), start))
+            }
+            TokKind::Op => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Exp::Var(name, start.merge(self.prev_span())))
+            }
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(Exp::Var(s, start))
+            }
+            TokKind::Hash => {
+                self.bump();
+                let lab = self.label()?;
+                Ok(Exp::Selector(lab, start.merge(self.prev_span())))
+            }
+            TokKind::Let => {
+                self.bump();
+                let mut decs = Vec::new();
+                while *self.peek() != TokKind::In {
+                    while self.eat(TokKind::Semi) {}
+                    if *self.peek() == TokKind::In {
+                        break;
+                    }
+                    decs.push(self.dec()?);
+                }
+                self.expect(TokKind::In)?;
+                let mut body = vec![self.exp()?];
+                while self.eat(TokKind::Semi) {
+                    body.push(self.exp()?);
+                }
+                self.expect(TokKind::End)?;
+                let sp = start.merge(self.prev_span());
+                let body = if body.len() == 1 {
+                    body.pop().unwrap()
+                } else {
+                    Exp::Seq(body, sp)
+                };
+                Ok(Exp::Let(decs, Box::new(body), sp))
+            }
+            TokKind::LParen => {
+                self.bump();
+                if self.eat(TokKind::RParen) {
+                    return Ok(Exp::tuple(vec![], start.merge(self.prev_span())));
+                }
+                let first = self.exp()?;
+                match self.peek() {
+                    TokKind::Comma => {
+                        let mut items = vec![first];
+                        while self.eat(TokKind::Comma) {
+                            items.push(self.exp()?);
+                        }
+                        self.expect(TokKind::RParen)?;
+                        Ok(Exp::tuple(items, start.merge(self.prev_span())))
+                    }
+                    TokKind::Semi => {
+                        let mut items = vec![first];
+                        while self.eat(TokKind::Semi) {
+                            items.push(self.exp()?);
+                        }
+                        self.expect(TokKind::RParen)?;
+                        Ok(Exp::Seq(items, start.merge(self.prev_span())))
+                    }
+                    _ => {
+                        self.expect(TokKind::RParen)?;
+                        Ok(first)
+                    }
+                }
+            }
+            TokKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != TokKind::RBracket {
+                    loop {
+                        items.push(self.exp()?);
+                        if !self.eat(TokKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokKind::RBracket)?;
+                let sp = start.merge(self.prev_span());
+                // Desugar to cons chain.
+                let mut e = Exp::Var(Symbol::intern("nil"), sp);
+                for item in items.into_iter().rev() {
+                    e = Exp::App(
+                        Box::new(Exp::Var(Symbol::intern("::"), sp)),
+                        Box::new(Exp::tuple(vec![item, e], sp)),
+                        sp,
+                    );
+                }
+                Ok(e)
+            }
+            TokKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if *self.peek() != TokKind::RBrace {
+                    loop {
+                        let lab = self.label()?;
+                        self.expect(TokKind::Equals)?;
+                        let e = self.exp()?;
+                        fields.push((lab, e));
+                        if !self.eat(TokKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokKind::RBrace)?;
+                Ok(Exp::Record(fields, start.merge(self.prev_span())))
+            }
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------ patterns
+
+    fn pat(&mut self) -> Result<Pat> {
+        self.pat_prec()
+    }
+
+    fn pat_prec(&mut self) -> Result<Pat> {
+        let start = self.span();
+        let mut lhs = self.con_pat()?;
+        // Only `::` is an infix pattern constructor in our subset.
+        let cons = Symbol::intern("::");
+        if matches!(self.peek(), TokKind::Ident(s) if *s == cons) {
+            self.bump();
+            let rhs = self.pat_prec()?; // right associative
+            let sp = start.merge(self.prev_span());
+            lhs = Pat::Con(
+                cons,
+                Some(Box::new(Pat::tuple(vec![lhs, rhs], sp))),
+                sp,
+            );
+        }
+        // `: ty` constraint.
+        while self.eat(TokKind::Colon) {
+            let ty = self.ty()?;
+            let sp = start.merge(self.prev_span());
+            lhs = Pat::Constraint(Box::new(lhs), ty, sp);
+        }
+        Ok(lhs)
+    }
+
+    fn con_pat(&mut self) -> Result<Pat> {
+        let start = self.span();
+        // `x as pat`.
+        if let TokKind::Ident(s) = self.peek().clone() {
+            if *self.peek2() == TokKind::As {
+                self.bump();
+                self.bump();
+                let p = self.pat()?;
+                return Ok(Pat::As(s, Box::new(p), start.merge(self.prev_span())));
+            }
+        }
+        let first = self.atpat()?;
+        // Constructor application: `C atpat`.
+        if let Pat::Var(name, _) = &first {
+            if self.starts_atpat() {
+                let name = *name;
+                let arg = self.atpat()?;
+                return Ok(Pat::Con(
+                    name,
+                    Some(Box::new(arg)),
+                    start.merge(self.prev_span()),
+                ));
+            }
+        }
+        Ok(first)
+    }
+
+    fn starts_atpat(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokKind::Int(_)
+                | TokKind::Real(_)
+                | TokKind::Str(_)
+                | TokKind::Char(_)
+                | TokKind::Word(_)
+                | TokKind::LParen
+                | TokKind::LBracket
+                | TokKind::LBrace
+                | TokKind::Underscore
+                | TokKind::Op
+        ) || matches!(self.peek(), TokKind::Ident(s) if infix_info(s.as_str()).is_none())
+    }
+
+    fn atpat(&mut self) -> Result<Pat> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokKind::Underscore => {
+                self.bump();
+                Ok(Pat::Wild(start))
+            }
+            TokKind::Int(n) => {
+                self.bump();
+                Ok(Pat::SCon(SCon::Int(n), start))
+            }
+            TokKind::Real(_) => Err(self.err("real literals are not allowed in patterns")),
+            TokKind::Str(s) => {
+                self.bump();
+                Ok(Pat::SCon(SCon::Str(s), start))
+            }
+            TokKind::Char(c) => {
+                self.bump();
+                Ok(Pat::SCon(SCon::Char(c), start))
+            }
+            TokKind::Word(w) => {
+                self.bump();
+                Ok(Pat::SCon(SCon::Word(w), start))
+            }
+            TokKind::Op => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Pat::Var(name, start.merge(self.prev_span())))
+            }
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(Pat::Var(s, start))
+            }
+            TokKind::LParen => {
+                self.bump();
+                if self.eat(TokKind::RParen) {
+                    return Ok(Pat::tuple(vec![], start.merge(self.prev_span())));
+                }
+                let mut items = vec![self.pat()?];
+                while self.eat(TokKind::Comma) {
+                    items.push(self.pat()?);
+                }
+                self.expect(TokKind::RParen)?;
+                if items.len() == 1 {
+                    Ok(items.pop().unwrap())
+                } else {
+                    Ok(Pat::tuple(items, start.merge(self.prev_span())))
+                }
+            }
+            TokKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != TokKind::RBracket {
+                    loop {
+                        items.push(self.pat()?);
+                        if !self.eat(TokKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokKind::RBracket)?;
+                let sp = start.merge(self.prev_span());
+                let mut p = Pat::Var(Symbol::intern("nil"), sp);
+                for item in items.into_iter().rev() {
+                    p = Pat::Con(
+                        Symbol::intern("::"),
+                        Some(Box::new(Pat::tuple(vec![item, p], sp))),
+                        sp,
+                    );
+                }
+                Ok(p)
+            }
+            TokKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                let mut flexible = false;
+                if *self.peek() != TokKind::RBrace {
+                    loop {
+                        if self.eat(TokKind::Ellipsis) {
+                            flexible = true;
+                            break;
+                        }
+                        let lab = self.label()?;
+                        if self.eat(TokKind::Equals) {
+                            let p = self.pat()?;
+                            fields.push((lab, p));
+                        } else if self.eat(TokKind::As) {
+                            // `{x as pat}` shorthand with binding.
+                            let p = self.pat()?;
+                            fields.push((
+                                lab,
+                                Pat::As(lab, Box::new(p), start.merge(self.prev_span())),
+                            ));
+                        } else {
+                            // `{x, y}` shorthand for `{x = x, y = y}`.
+                            fields.push((lab, Pat::Var(lab, self.prev_span())));
+                        }
+                        if !self.eat(TokKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokKind::RBrace)?;
+                Ok(Pat::Record {
+                    fields,
+                    flexible,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            other => Err(self.err(format!("expected a pattern, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Program {
+        let toks = lex(src).unwrap();
+        Parser::new(src, toks).program().unwrap()
+    }
+
+    fn exp_ok(src: &str) -> Exp {
+        let toks = lex(src).unwrap();
+        Parser::new(src, toks).single_exp().unwrap()
+    }
+
+    #[test]
+    fn parses_val_dec() {
+        let p = parse_ok("val x = 1 + 2 * 3");
+        assert_eq!(p.decs.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        // 1 + 2 * 3 = (+)(1, (*)(2, 3))
+        let e = exp_ok("1 + 2 * 3");
+        let Exp::App(f, arg, _) = e else { panic!() };
+        let Exp::Var(op, _) = *f else { panic!() };
+        assert_eq!(op.as_str(), "+");
+        let Exp::Record(fields, _) = *arg else {
+            panic!()
+        };
+        assert!(matches!(fields[0].1, Exp::SCon(SCon::Int(1), _)));
+        assert!(matches!(fields[1].1, Exp::App(_, _, _)));
+    }
+
+    #[test]
+    fn cons_is_right_associative() {
+        // 1 :: 2 :: nil = ::(1, ::(2, nil))
+        let e = exp_ok("1 :: 2 :: nil");
+        let Exp::App(f, arg, _) = e else { panic!() };
+        let Exp::Var(op, _) = *f else { panic!() };
+        assert_eq!(op.as_str(), "::");
+        let Exp::Record(fields, _) = *arg else {
+            panic!()
+        };
+        assert!(matches!(fields[0].1, Exp::SCon(SCon::Int(1), _)));
+    }
+
+    #[test]
+    fn list_sugar_desugars() {
+        let e = exp_ok("[1, 2]");
+        assert!(matches!(e, Exp::App(_, _, _)));
+    }
+
+    #[test]
+    fn fun_with_clauses() {
+        let p = parse_ok("fun len nil = 0 | len (x :: xs) = 1 + len xs");
+        let Dec::Fun { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
+        assert_eq!(binds[0].clauses.len(), 2);
+    }
+
+    #[test]
+    fn mutual_recursion_with_and() {
+        let p = parse_ok("fun even 0 = true | even n = odd (n - 1) and odd 0 = false | odd n = even (n - 1)");
+        let Dec::Fun { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
+        assert_eq!(binds.len(), 2);
+    }
+
+    #[test]
+    fn datatype_with_params() {
+        let p = parse_ok("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree");
+        let Dec::Datatype { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
+        assert_eq!(binds[0].cons.len(), 2);
+        assert_eq!(binds[0].tyvars.len(), 1);
+    }
+
+    #[test]
+    fn case_and_fn() {
+        exp_ok("case xs of nil => 0 | x :: _ => x");
+        exp_ok("fn x => x + 1");
+    }
+
+    #[test]
+    fn let_with_sequence_body() {
+        let e = exp_ok("let val x = 1 in print \"hi\"; x end");
+        let Exp::Let(_, body, _) = e else { panic!() };
+        assert!(matches!(*body, Exp::Seq(_, _)));
+    }
+
+    #[test]
+    fn record_exp_and_selector() {
+        exp_ok("#name {name = \"a\", age = 3}");
+        exp_ok("#2 (1, 2)");
+    }
+
+    #[test]
+    fn handle_and_raise() {
+        exp_ok("(hd nil) handle Empty => 0");
+        exp_ok("raise Subscript");
+    }
+
+    #[test]
+    fn while_and_assign() {
+        exp_ok("while !i < 10 do i := !i + 1");
+    }
+
+    #[test]
+    fn record_pattern_shorthand() {
+        let p = parse_ok("fun f {columns, rows, v} = rows");
+        let Dec::Fun { binds, .. } = &p.decs[0] else {
+            panic!()
+        };
+        let Pat::Record { fields, .. } = &binds[0].clauses[0].pats[0] else {
+            panic!()
+        };
+        assert_eq!(fields.len(), 3);
+    }
+
+    #[test]
+    fn as_pattern() {
+        parse_ok("fun f (l as x :: xs) = l | f nil = nil");
+    }
+
+    #[test]
+    fn type_annotations() {
+        parse_ok("fun f (x : int) : int = x");
+        parse_ok("val g = fn (x : int * int) => #1 x");
+    }
+
+    #[test]
+    fn arrow_types_right_assoc() {
+        let p = parse_ok("val f = g : int -> int -> int");
+        let Dec::Val { exp, .. } = &p.decs[0] else {
+            panic!()
+        };
+        let Exp::Constraint(_, Ty::Arrow(_, rhs), _) = exp else {
+            panic!()
+        };
+        assert!(matches!(**rhs, Ty::Arrow(_, _)));
+    }
+
+    #[test]
+    fn multi_param_tycon() {
+        parse_ok("type ('a, 'b) pair = 'a * 'b");
+    }
+
+    #[test]
+    fn exception_decs() {
+        parse_ok("exception Subscript exception Fail of string");
+    }
+
+    #[test]
+    fn val_rec_normalizes_to_fun() {
+        let p = parse_ok("val rec f = fn 0 => 1 | n => n * f (n - 1)");
+        assert!(matches!(&p.decs[0], Dec::Fun { .. }));
+    }
+
+    #[test]
+    fn op_prefix() {
+        exp_ok("foldl (op +) 0 xs");
+    }
+
+    #[test]
+    fn andalso_orelse_precedence() {
+        // a orelse b andalso c = a orelse (b andalso c)
+        let e = exp_ok("a orelse b andalso c");
+        assert!(matches!(e, Exp::Orelse(_, _, _)));
+    }
+
+    #[test]
+    fn missing_paren_is_error() {
+        let toks = lex("(1, 2").unwrap();
+        assert!(Parser::new("(1, 2", toks).single_exp().is_err());
+    }
+
+    #[test]
+    fn clause_name_mismatch_is_error() {
+        let src = "fun f 0 = 1 | g n = n";
+        let toks = lex(src).unwrap();
+        assert!(Parser::new(src, toks).program().is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Token definitions for the core-SML lexer.
+
+use til_common::{Span, Symbol};
+
+/// A lexical token paired with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokKind,
+    /// Where the token appeared.
+    pub span: Span,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    /// Alphanumeric or symbolic identifier (also covers `*`, `+`, ...).
+    Ident(Symbol),
+    /// Type variable such as `'a`.
+    TyVar(Symbol),
+    /// Integer literal (`~` already applied).
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal with escapes resolved.
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// Word literal `0w...` (kept distinct from `Int` for fidelity).
+    Word(u64),
+
+    // Keywords.
+    And,
+    Andalso,
+    As,
+    Case,
+    Datatype,
+    Do,
+    Else,
+    End,
+    Exception,
+    Fn,
+    Fun,
+    Handle,
+    If,
+    In,
+    Let,
+    Local,
+    Of,
+    Op,
+    Orelse,
+    Raise,
+    Rec,
+    Then,
+    Type,
+    Val,
+    While,
+
+    // Punctuation and reserved symbols.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Underscore,
+    Bar,
+    Colon,
+    Arrow,     // ->
+    DArrow,    // =>
+    Equals,    // = (also an identifier in expressions; lexed specially)
+    Hash,      // #
+    Ellipsis,  // ...
+    Eof,
+}
+
+impl TokKind {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokKind::Ident(s) => format!("identifier `{s}`"),
+            TokKind::TyVar(s) => format!("type variable `'{s}`"),
+            TokKind::Int(n) => format!("integer `{n}`"),
+            TokKind::Real(r) => format!("real `{r}`"),
+            TokKind::Str(_) => "string literal".into(),
+            TokKind::Char(c) => format!("character `#\"{c}\"`"),
+            TokKind::Word(w) => format!("word `0w{w}`"),
+            TokKind::Eof => "end of input".into(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            TokKind::And => "and",
+            TokKind::Andalso => "andalso",
+            TokKind::As => "as",
+            TokKind::Case => "case",
+            TokKind::Datatype => "datatype",
+            TokKind::Do => "do",
+            TokKind::Else => "else",
+            TokKind::End => "end",
+            TokKind::Exception => "exception",
+            TokKind::Fn => "fn",
+            TokKind::Fun => "fun",
+            TokKind::Handle => "handle",
+            TokKind::If => "if",
+            TokKind::In => "in",
+            TokKind::Let => "let",
+            TokKind::Local => "local",
+            TokKind::Of => "of",
+            TokKind::Op => "op",
+            TokKind::Orelse => "orelse",
+            TokKind::Raise => "raise",
+            TokKind::Rec => "rec",
+            TokKind::Then => "then",
+            TokKind::Type => "type",
+            TokKind::Val => "val",
+            TokKind::While => "while",
+            TokKind::LParen => "(",
+            TokKind::RParen => ")",
+            TokKind::LBracket => "[",
+            TokKind::RBracket => "]",
+            TokKind::LBrace => "{",
+            TokKind::RBrace => "}",
+            TokKind::Comma => ",",
+            TokKind::Semi => ";",
+            TokKind::Underscore => "_",
+            TokKind::Bar => "|",
+            TokKind::Colon => ":",
+            TokKind::Arrow => "->",
+            TokKind::DArrow => "=>",
+            TokKind::Equals => "=",
+            TokKind::Hash => "#",
+            TokKind::Ellipsis => "...",
+            _ => "?",
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! **Ubform** — the untyped representation layer (paper §3.5:
+//! "conversion to an untyped language with gc info").
+//!
+//! After closure conversion the types' only remaining job is to say how
+//! values are *represented*: this crate computes, for every
+//! constructor, (a) its value representation ([`VRep`] — the paper's
+//! `INT`/`TRACE`/... variable annotations, including the
+//! `Computed` case where the representation is named by a run-time
+//! type), (b) the run-time type-representation recipe ([`RepExpr`])
+//! that intensional polymorphism passes around, and (c) the per-program
+//! datatype table the runtime's structural equality interprets.
+
+use til_common::{Diagnostic, Result};
+use til_lmli::con::{CVar, Con};
+use til_lmli::data::{DataRep, MDataEnv};
+use til_runtime::{RepExpr, RtData, RtDataRep};
+
+/// The representation of a value (the paper's variable annotations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VRep {
+    /// Untraced machine word (ints, chars, enums).
+    Int,
+    /// Raw 64-bit float bits (only transiently outside float arrays).
+    Float,
+    /// Traced pointer (possibly a small datatype constant).
+    Trace,
+    /// Unknown: the constructor variable's run-time representation
+    /// decides.
+    Computed(CVar),
+}
+
+/// Computes the value representation of a constructor.
+pub fn vrep(c: &Con, data: &MDataEnv) -> VRep {
+    let c = c.normalize(&|id| data.is_enum(id));
+    match c {
+        Con::Int => VRep::Int,
+        Con::Float => VRep::Float,
+        Con::Var(v) => VRep::Computed(v),
+        Con::Data(id, _) if data.is_enum(id) => VRep::Int,
+        Con::Typecase { .. } => match c {
+            // An irreducible typecase over a variable: conservative.
+            Con::Typecase { scrut, .. } => match *scrut {
+                Con::Var(v) => VRep::Computed(v),
+                _ => VRep::Trace,
+            },
+            _ => unreachable!(),
+        },
+        _ => VRep::Trace,
+    }
+}
+
+/// Computes the run-time representation recipe of a constructor, with
+/// `Param(i)` for the i-th entry of `cparams`.
+pub fn rep_expr(c: &Con, cparams: &[CVar], data: &MDataEnv) -> Result<RepExpr> {
+    let c = c.normalize(&|id| data.is_enum(id));
+    go(&c, cparams, data)
+}
+
+fn go(c: &Con, cparams: &[CVar], data: &MDataEnv) -> Result<RepExpr> {
+    Ok(match c {
+        Con::Int => RepExpr::Int,
+        Con::Float | Con::Boxed => RepExpr::Float,
+        Con::Str => RepExpr::Str,
+        Con::Exn => RepExpr::Exn,
+        Con::Arrow { .. } => RepExpr::Arrow,
+        Con::Record(fs) => RepExpr::Record(
+            fs.iter()
+                .map(|f| go(f, cparams, data))
+                .collect::<Result<_>>()?,
+        ),
+        Con::Array(e) | Con::SpecArray(e) => RepExpr::Array(Box::new(go(e, cparams, data)?)),
+        Con::Data(id, args) => {
+            if data.is_enum(*id) {
+                RepExpr::Int
+            } else {
+                RepExpr::Data(
+                    id.0,
+                    args.iter()
+                        .map(|a| go(a, cparams, data))
+                        .collect::<Result<_>>()?,
+                )
+            }
+        }
+        Con::Var(v) => {
+            let i = cparams.iter().position(|c| c == v).ok_or_else(|| {
+                Diagnostic::ice("ubform", format!("constructor variable {v} has no rep slot"))
+            })?;
+            RepExpr::Param(i)
+        }
+        Con::Typecase { .. } => {
+            return Err(Diagnostic::ice(
+                "ubform",
+                "irreducible typecase constructor reached representation analysis",
+            ))
+        }
+    })
+}
+
+/// Builds the runtime datatype table for structural equality.
+pub fn data_table(data: &MDataEnv) -> Result<Vec<RtData>> {
+    let mut out = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let md = data.get(til_lambda::DataId(i as u32));
+        let rep = match md.rep {
+            DataRep::Enum => RtDataRep::Enum,
+            DataRep::Tagless => RtDataRep::Tagless,
+            DataRep::Tagged => RtDataRep::Tagged,
+            DataRep::Boxed => RtDataRep::Boxed,
+        };
+        let cons = md
+            .cons
+            .iter()
+            .map(|c| {
+                c.as_ref()
+                    .map(|fields| {
+                        fields
+                            .iter()
+                            .map(|f| rep_expr(f, &md.params, data))
+                            .collect::<Result<Vec<_>>>()
+                    })
+                    .transpose()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        out.push(RtData { rep, cons });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> MDataEnv {
+        let mut tvs = til_lmli::con::CVarSupply::new();
+        let a = tvs.fresh();
+        let mut e = MDataEnv::new();
+        // bool (enum)
+        e.push(til_lmli::MData {
+            name: til_common::Symbol::intern("bool"),
+            params: vec![],
+            rep: DataRep::Enum,
+            cons: vec![None, None],
+        });
+        // list
+        e.push(til_lmli::MData {
+            name: til_common::Symbol::intern("list"),
+            params: vec![a],
+            rep: DataRep::Tagless,
+            cons: vec![
+                None,
+                Some(vec![
+                    Con::Var(a),
+                    Con::Data(til_lambda::DataId(1), vec![Con::Var(a)]),
+                ]),
+            ],
+        });
+        e
+    }
+
+    #[test]
+    fn vreps_match_paper_classes() {
+        let e = env();
+        assert_eq!(vrep(&Con::Int, &e), VRep::Int);
+        assert_eq!(vrep(&Con::Boxed, &e), VRep::Trace);
+        assert_eq!(vrep(&Con::Data(til_lambda::DataId(0), vec![]), &e), VRep::Int);
+        assert_eq!(
+            vrep(&Con::Data(til_lambda::DataId(1), vec![Con::Int]), &e),
+            VRep::Trace
+        );
+    }
+
+    #[test]
+    fn rep_exprs_translate_params() {
+        let e = env();
+        let md = e.get(til_lambda::DataId(1)).clone();
+        let r = rep_expr(&md.cons[1].as_ref().unwrap()[0], &md.params, &e).unwrap();
+        assert_eq!(r, RepExpr::Param(0));
+    }
+
+    #[test]
+    fn data_table_builds() {
+        let e = env();
+        let t = data_table(&e).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].rep, RtDataRep::Enum);
+        assert!(t[1].cons[1].is_some());
+    }
+}

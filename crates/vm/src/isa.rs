@@ -1,0 +1,348 @@
+//! The instruction set of the simulated RISC machine.
+//!
+//! This is the repo's stand-in for the paper's DEC ALPHA (see
+//! DESIGN.md's substitution table): a 64-bit load/store register
+//! machine with 32 general registers. Unlike the ALPHA, floats share
+//! the integer register file as IEEE-754 bit patterns — a substitution
+//! that only affects constant factors, not the comparisons the paper
+//! makes. Code addresses are instruction indices; memory is
+//! byte-addressed with 8-byte-aligned accesses.
+
+use std::fmt;
+
+/// A register number (0..32).
+pub type Reg = u8;
+
+/// Well-known registers (the machine's calling convention).
+pub mod regs {
+    use super::Reg;
+
+    /// First argument / result register; arguments use r0..r15.
+    pub const A0: Reg = 0;
+    /// Number of argument registers.
+    pub const NUM_ARGS: usize = 16;
+    /// First callee-save register (r16..r23).
+    pub const S0: Reg = 16;
+    /// Number of callee-save registers.
+    pub const NUM_SAVED: usize = 8;
+    /// Allocation (heap) pointer.
+    pub const HP: Reg = 24;
+    /// Heap limit.
+    pub const HL: Reg = 25;
+    /// Return address.
+    pub const RA: Reg = 26;
+    /// Exception-handler chain pointer.
+    pub const EXN: Reg = 27;
+    /// Assembler scratch.
+    pub const TMP: Reg = 28;
+    /// Second scratch.
+    pub const TMP2: Reg = 29;
+    /// Stack pointer (grows down).
+    pub const SP: Reg = 30;
+    /// Always zero.
+    pub const ZERO: Reg = 31;
+
+    /// Registers the register allocator may use.
+    pub const ALLOCATABLE: std::ops::Range<u8> = 0..24;
+}
+
+/// An operand: register or immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Register operand.
+    R(Reg),
+    /// Immediate operand (sign-extended into 64 bits).
+    I(i64),
+}
+
+/// Binary integer ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Alu {
+    /// Wrapping add.
+    Add,
+    /// Add that traps to the overflow handler on signed overflow
+    /// (ALPHA `addlv` + `trapb`).
+    AddV,
+    /// Wrapping subtract.
+    Sub,
+    /// Trapping subtract.
+    SubV,
+    /// Wrapping multiply.
+    Mul,
+    /// Trapping multiply.
+    MulV,
+    /// Euclidean division; traps to the div handler on zero divisor.
+    Div,
+    /// Euclidean remainder; traps on zero divisor.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-if-equal (0/1).
+    CmpEq,
+    /// Set-if-not-equal.
+    CmpNe,
+    /// Set-if-less (signed).
+    CmpLt,
+    /// Set-if-less-or-equal (signed).
+    CmpLe,
+}
+
+/// Binary float operations (registers hold f64 bit patterns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Falu {
+    /// Add.
+    Add,
+    /// Subtract.
+    Sub,
+    /// Multiply.
+    Mul,
+    /// Divide.
+    Div,
+    /// Set-if-equal (integer 0/1 result).
+    CmpEq,
+    /// Set-if-not-equal.
+    CmpNe,
+    /// Set-if-less.
+    CmpLt,
+    /// Set-if-less-or-equal.
+    CmpLe,
+}
+
+/// Runtime services reached by `RtCall` — the boundary between
+/// generated code and the runtime system crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtFn {
+    /// Garbage collection; the requested byte count is in `TMP`.
+    Gc,
+    /// Print the string whose pointer is in r0.
+    PrintStr,
+    /// r0 = fresh string of int in r0.
+    IntToStr,
+    /// r0 = fresh string of the float bits in r0.
+    FloatToStr,
+    /// r0 = three-way comparison of strings r0, r1.
+    StrCmp,
+    /// r0 = 0/1 equality of strings r0, r1.
+    StrEq,
+    /// r0 = fresh concatenation of strings r0, r1.
+    StrConcat,
+    /// r0 = character code at index r1 of string r0 (raises Subscript).
+    StrSub,
+    /// r0 = fresh 1-character string of char code r0.
+    StrFromChar,
+    /// r0 = polymorphic structural equality of r1 and r2 at the type
+    /// representation in r0.
+    PolyEq,
+    /// f-bits in r0 := sqrt(r0) (raises Domain on negative).
+    Sqrt,
+    /// sin.
+    Sin,
+    /// cos.
+    Cos,
+    /// atan.
+    Atan,
+    /// e^x.
+    Exp,
+    /// ln (raises Domain).
+    Ln,
+    /// floor to int (raises Overflow).
+    Floor,
+    /// truncate to int (raises Overflow).
+    Trunc,
+}
+
+/// A code label (resolved to an instruction index by the linker).
+pub type CodeAddr = u32;
+
+/// One machine instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `dst = a <alu> b`.
+    Alu {
+        /// Operation.
+        op: Alu,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Op,
+    },
+    /// `dst = a <falu> b` on float bit patterns.
+    Falu {
+        /// Operation.
+        op: Falu,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Int → float conversion (`dst = (f64)(i64)a` as bits).
+    Itof {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        a: Reg,
+    },
+    /// `dst = mem[base + off]`.
+    Ld {
+        /// Destination.
+        dst: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// `mem[base + off] = src`.
+    St {
+        /// Source.
+        src: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// `dst = op`.
+    Mov {
+        /// Destination.
+        dst: Reg,
+        /// Source operand.
+        src: Op,
+    },
+    /// `dst = code address of label` (for closures and return stubs).
+    Lea {
+        /// Destination.
+        dst: Reg,
+        /// Target label.
+        target: CodeAddr,
+    },
+    /// Unconditional branch.
+    Br(CodeAddr),
+    /// Branch if `r == 0`.
+    Beqz(Reg, CodeAddr),
+    /// Branch if `r != 0`.
+    Bnez(Reg, CodeAddr),
+    /// Call: `RA = pc + 1; pc = target`.
+    Jsr(CodeAddr),
+    /// Indirect call through a register.
+    JsrR(Reg),
+    /// Indirect jump (returns, raises).
+    Jmp(Reg),
+    /// Call into the runtime system.
+    RtCall(RtFn),
+    /// Stop execution; r0 is the exit value.
+    Halt,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu { op, dst, a, b } => write!(f, "{op:?} r{dst}, r{a}, {b:?}"),
+            Instr::Falu { op, dst, a, b } => write!(f, "f{op:?} r{dst}, r{a}, r{b}"),
+            Instr::Itof { dst, a } => write!(f, "itof r{dst}, r{a}"),
+            Instr::Ld { dst, base, off } => write!(f, "ld r{dst}, {off}(r{base})"),
+            Instr::St { src, base, off } => write!(f, "st r{src}, {off}(r{base})"),
+            Instr::Mov { dst, src } => write!(f, "mov r{dst}, {src:?}"),
+            Instr::Lea { dst, target } => write!(f, "lea r{dst}, L{target}"),
+            Instr::Br(t) => write!(f, "br L{t}"),
+            Instr::Beqz(r, t) => write!(f, "beqz r{r}, L{t}"),
+            Instr::Bnez(r, t) => write!(f, "bnez r{r}, L{t}"),
+            Instr::Jsr(t) => write!(f, "jsr L{t}"),
+            Instr::JsrR(r) => write!(f, "jsr (r{r})"),
+            Instr::Jmp(r) => write!(f, "jmp (r{r})"),
+            Instr::RtCall(rf) => write!(f, "rtcall {rf:?}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Heap object headers (shared with the runtime crate).
+pub mod header {
+    /// Object kinds (low 3 bits of the header word).
+    pub const KIND_RECORD: u64 = 0;
+    /// Untraced word array (ints).
+    pub const KIND_INTARRAY: u64 = 1;
+    /// Untraced float array.
+    pub const KIND_FLOATARRAY: u64 = 2;
+    /// Traced pointer array.
+    pub const KIND_PTRARRAY: u64 = 3;
+    /// Byte string (length in bytes).
+    pub const KIND_STRING: u64 = 4;
+    /// Forwarding pointer (during collection).
+    pub const KIND_FWD: u64 = 5;
+
+    /// Builds a header word: kind, length (elements/bytes), and for
+    /// records a 32-bit pointer mask (bit i set = field i traced).
+    pub fn make(kind: u64, len: u64, mask: u32) -> u64 {
+        debug_assert!(len < (1 << 29));
+        kind | (len << 3) | ((mask as u64) << 32)
+    }
+
+    /// Extracts the kind.
+    pub fn kind(h: u64) -> u64 {
+        h & 7
+    }
+
+    /// Extracts the length.
+    pub fn len(h: u64) -> u64 {
+        (h >> 3) & ((1 << 29) - 1)
+    }
+
+    /// Extracts the record pointer mask.
+    pub fn mask(h: u64) -> u32 {
+        (h >> 32) as u32
+    }
+
+    /// Builds a forwarding header to `addr`.
+    pub fn fwd(addr: u64) -> u64 {
+        KIND_FWD | (addr << 3)
+    }
+
+    /// Extracts a forwarding address.
+    pub fn fwd_addr(h: u64) -> u64 {
+        h >> 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = header::make(header::KIND_RECORD, 5, 0b10110);
+        assert_eq!(header::kind(h), header::KIND_RECORD);
+        assert_eq!(header::len(h), 5);
+        assert_eq!(header::mask(h), 0b10110);
+    }
+
+    #[test]
+    fn forwarding_round_trips() {
+        let h = header::fwd(0x12345678);
+        assert_eq!(header::kind(h), header::KIND_FWD);
+        assert_eq!(header::fwd_addr(h), 0x12345678);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Instr::Alu {
+            op: Alu::AddV,
+            dst: 3,
+            a: 4,
+            b: Op::I(1),
+        };
+        assert_eq!(format!("{i}"), "AddV r3, r4, I(1)");
+    }
+}

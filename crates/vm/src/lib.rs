@@ -1,0 +1,9 @@
+//! The virtual machine substrate: an ALPHA-style 64-bit RISC target
+//! (see DESIGN.md's substitution table) with deterministic performance
+//! counters standing in for the paper's hardware measurements.
+
+pub mod isa;
+pub mod machine;
+
+pub use isa::{header, regs, Alu, CodeAddr, Falu, Instr, Op, Reg, RtFn};
+pub use machine::{code_index, code_value, Layout, Machine, Runtime, Stats, Trap, VmError};

@@ -1,0 +1,583 @@
+//! The virtual machine: memory, registers, and the execution loop,
+//! with the deterministic performance counters that replace the
+//! paper's wall-clock and `getrusage` measurements.
+
+use crate::isa::{header, regs, Alu, CodeAddr, Falu, Instr, Op, RtFn};
+use std::fmt;
+
+/// Code addresses, when held in registers or memory, are odd-encoded
+/// (`2·index + 1`) so that neither collector can mistake them for heap
+/// pointers. Direct branch/call targets in instructions stay plain.
+pub fn code_value(idx: CodeAddr) -> u64 {
+    ((idx as u64) << 1) | 1
+}
+
+/// Decodes an odd-encoded code value back to an instruction index.
+pub fn code_index(v: u64) -> u32 {
+    (v >> 1) as u32
+}
+
+/// A machine-level execution error (these indicate compiler bugs or
+/// resource exhaustion, never ordinary ML exceptions, which compile to
+/// in-language control flow).
+#[derive(Debug, Clone)]
+pub enum VmError {
+    /// Unaligned or out-of-range memory access.
+    BadAccess {
+        /// The offending byte address.
+        addr: u64,
+        /// Program counter.
+        pc: usize,
+    },
+    /// Jump outside the code segment.
+    BadJump {
+        /// Target.
+        target: u64,
+        /// Program counter.
+        pc: usize,
+    },
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// Stack overflow.
+    StackOverflow,
+    /// The heap cannot satisfy an allocation even after collection.
+    OutOfMemory,
+    /// A trap fired with no handler configured.
+    UnhandledTrap(Trap),
+    /// The runtime system reported an error.
+    Runtime(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::BadAccess { addr, pc } => {
+                write!(f, "bad memory access at {addr:#x} (pc {pc})")
+            }
+            VmError::BadJump { target, pc } => write!(f, "bad jump to {target} (pc {pc})"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::OutOfMemory => write!(f, "out of memory"),
+            VmError::UnhandledTrap(t) => write!(f, "unhandled trap {t:?}"),
+            VmError::Runtime(s) => write!(f, "runtime error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Hardware traps raised by instructions or runtime services; each
+/// jumps to a compiled stub that raises the corresponding ML exception.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Integer overflow (`AddV`/`SubV`/`MulV`, conversions).
+    Overflow,
+    /// Division by zero.
+    Div,
+    /// String/array subscript from a runtime service.
+    Subscript,
+    /// Math domain error.
+    Domain,
+    /// `chr` out of range.
+    Chr,
+    /// Bad aggregate size.
+    Size,
+}
+
+/// Deterministic performance counters.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Extra instruction-equivalents charged by runtime services
+    /// (string operations, collector work).
+    pub rt_cost: u64,
+    /// Total bytes allocated (mutator).
+    pub allocated_bytes: u64,
+    /// Number of collections.
+    pub gc_count: u64,
+    /// Words copied by the collector.
+    pub gc_copied_words: u64,
+    /// High-water mark of live words (sampled at collections).
+    pub max_live_words: u64,
+    /// High-water mark of stack words.
+    pub max_stack_words: u64,
+}
+
+impl Stats {
+    /// The "execution time" metric: instructions retired plus runtime
+    /// work expressed in instruction equivalents.
+    pub fn time(&self) -> u64 {
+        self.instrs + self.rt_cost
+    }
+}
+
+/// The memory layout of a loaded program.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// End of the globals/static segment (bytes).
+    pub globals_end: u64,
+    /// Start of the heap (bytes).
+    pub heap_base: u64,
+    /// Size of one semispace (bytes).
+    pub semi_bytes: u64,
+    /// Lowest legal stack address (bytes).
+    pub stack_limit: u64,
+    /// Initial stack pointer (bytes, top of memory).
+    pub stack_top: u64,
+}
+
+impl Layout {
+    /// Total memory size in words.
+    pub fn total_words(&self) -> usize {
+        (self.stack_top / 8) as usize
+    }
+
+    /// End of the whole heap area.
+    pub fn heap_end(&self) -> u64 {
+        self.heap_base + 2 * self.semi_bytes
+    }
+}
+
+/// The interface the machine uses to reach the runtime system (GC,
+/// strings, math, polymorphic equality). Implemented by `til-runtime`.
+pub trait Runtime {
+    /// Handles one runtime call. On success the machine continues at
+    /// the next instruction; `Ok(Some(trap))` redirects to a trap stub.
+    fn rt_call(&mut self, f: RtFn, m: &mut Machine) -> Result<Option<Trap>, VmError>;
+}
+
+/// The machine state.
+pub struct Machine {
+    /// General registers (floats live here as bit patterns).
+    pub regs: [u64; 32],
+    /// Word-indexed memory (byte address / 8).
+    pub mem: Vec<u64>,
+    /// Code segment.
+    pub code: Vec<Instr>,
+    /// Program counter.
+    pub pc: usize,
+    /// Trap stub addresses.
+    pub traps: std::collections::HashMap<Trap, CodeAddr>,
+    /// Counters.
+    pub stats: Stats,
+    /// Memory layout.
+    pub layout: Layout,
+    /// Output written by `PrintStr` (also echoed to stdout when
+    /// `echo` is set).
+    pub output: String,
+    /// Echo program output to stdout.
+    pub echo: bool,
+    halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine with the given code and layout; memory is
+    /// zeroed, `SP` starts at the top, `HP` at the heap base, `HL` at
+    /// the end of from-space.
+    pub fn new(code: Vec<Instr>, layout: Layout) -> Machine {
+        let mut m = Machine {
+            regs: [0; 32],
+            mem: vec![0; layout.total_words()],
+            code,
+            pc: 0,
+            traps: Default::default(),
+            stats: Stats::default(),
+            layout: layout.clone(),
+            output: String::new(),
+            echo: false,
+            halted: false,
+        };
+        m.regs[regs::SP as usize] = layout.stack_top;
+        m.regs[regs::HP as usize] = layout.heap_base;
+        m.regs[regs::HL as usize] = layout.heap_base + layout.semi_bytes;
+        m
+    }
+
+    /// Reads the word at byte address `addr`.
+    pub fn rd(&self, addr: u64) -> Result<u64, VmError> {
+        let idx = (addr / 8) as usize;
+        if addr % 8 != 0 || idx >= self.mem.len() {
+            return Err(VmError::BadAccess { addr, pc: self.pc });
+        }
+        Ok(self.mem[idx])
+    }
+
+    /// Writes the word at byte address `addr`.
+    pub fn wr(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
+        let idx = (addr / 8) as usize;
+        if addr % 8 != 0 || idx >= self.mem.len() {
+            return Err(VmError::BadAccess { addr, pc: self.pc });
+        }
+        self.mem[idx] = v;
+        Ok(())
+    }
+
+    /// Reads a register as a float.
+    pub fn f(&self, r: u8) -> f64 {
+        f64::from_bits(self.regs[r as usize])
+    }
+
+    /// Writes a float into a register.
+    pub fn set_f(&mut self, r: u8, v: f64) {
+        self.regs[r as usize] = v.to_bits();
+    }
+
+    /// Reads the UTF-8 string object at byte address `addr`.
+    pub fn read_string(&self, addr: u64) -> Result<String, VmError> {
+        let h = self.rd(addr)?;
+        if header::kind(h) != header::KIND_STRING {
+            return Err(VmError::Runtime(format!(
+                "expected string header at {addr:#x}"
+            )));
+        }
+        let len = header::len(h) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            let w = self.rd(addr + 8 + (i as u64 / 8) * 8)?;
+            bytes.push(((w >> ((i % 8) * 8)) & 0xff) as u8);
+        }
+        String::from_utf8(bytes).map_err(|_| VmError::Runtime("invalid utf8".into()))
+    }
+
+    fn op(&self, o: Op) -> u64 {
+        match o {
+            Op::R(r) => self.regs[r as usize],
+            Op::I(i) => i as u64,
+        }
+    }
+
+    fn trap(&mut self, t: Trap) -> Result<(), VmError> {
+        match self.traps.get(&t) {
+            Some(addr) => {
+                self.pc = *addr as usize;
+                Ok(())
+            }
+            None => Err(VmError::UnhandledTrap(t)),
+        }
+    }
+
+    fn jump(&mut self, target: u64) -> Result<(), VmError> {
+        if (target as usize) < self.code.len() {
+            self.pc = target as usize;
+            Ok(())
+        } else {
+            Err(VmError::BadJump {
+                target,
+                pc: self.pc,
+            })
+        }
+    }
+
+    /// Decodes an odd-encoded code value (see [`code_value`]).
+    fn jump_value(&mut self, v: u64) -> Result<(), VmError> {
+        if v & 1 == 1 {
+            self.jump(v >> 1)
+        } else {
+            Err(VmError::BadJump {
+                target: v,
+                pc: self.pc,
+            })
+        }
+    }
+
+    /// Runs until `Halt`, an error, or `fuel` instructions.
+    pub fn run(&mut self, rt: &mut dyn Runtime, fuel: u64) -> Result<u64, VmError> {
+        let mut budget = fuel;
+        while !self.halted {
+            if budget == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            budget -= 1;
+            self.stats.instrs += 1;
+            // Periodic stack checks keep the common path cheap.
+            if self.stats.instrs % 1024 == 0 {
+                let sp = self.regs[regs::SP as usize];
+                if sp < self.layout.stack_limit {
+                    return Err(VmError::StackOverflow);
+                }
+                let used = (self.layout.stack_top - sp) / 8;
+                if used > self.stats.max_stack_words {
+                    self.stats.max_stack_words = used;
+                }
+            }
+            let i = self
+                .code
+                .get(self.pc)
+                .cloned()
+                .ok_or(VmError::BadJump {
+                    target: self.pc as u64,
+                    pc: self.pc,
+                })?;
+            self.pc += 1;
+            match i {
+                Instr::Alu { op, dst, a, b } => {
+                    let x = self.regs[a as usize] as i64;
+                    let y = self.op(b) as i64;
+                    let v: i64 = match op {
+                        Alu::Add => x.wrapping_add(y),
+                        Alu::Sub => x.wrapping_sub(y),
+                        Alu::Mul => x.wrapping_mul(y),
+                        Alu::AddV => match x.checked_add(y) {
+                            Some(v) => v,
+                            None => {
+                                self.trap(Trap::Overflow)?;
+                                continue;
+                            }
+                        },
+                        Alu::SubV => match x.checked_sub(y) {
+                            Some(v) => v,
+                            None => {
+                                self.trap(Trap::Overflow)?;
+                                continue;
+                            }
+                        },
+                        Alu::MulV => match x.checked_mul(y) {
+                            Some(v) => v,
+                            None => {
+                                self.trap(Trap::Overflow)?;
+                                continue;
+                            }
+                        },
+                        Alu::Div => {
+                            if y == 0 || (x == i64::MIN && y == -1) {
+                                self.trap(Trap::Div)?;
+                                continue;
+                            }
+                            x.div_euclid(y)
+                        }
+                        Alu::Rem => {
+                            if y == 0 || (x == i64::MIN && y == -1) {
+                                self.trap(Trap::Div)?;
+                                continue;
+                            }
+                            x.rem_euclid(y)
+                        }
+                        Alu::And => x & y,
+                        Alu::Or => x | y,
+                        Alu::Xor => x ^ y,
+                        Alu::Sll => ((x as u64) << (y as u64 & 63)) as i64,
+                        Alu::Srl => ((x as u64) >> (y as u64 & 63)) as i64,
+                        Alu::Sra => x >> (y as u64 & 63),
+                        Alu::CmpEq => (x == y) as i64,
+                        Alu::CmpNe => (x != y) as i64,
+                        Alu::CmpLt => (x < y) as i64,
+                        Alu::CmpLe => (x <= y) as i64,
+                    };
+                    if dst != regs::ZERO {
+                        self.regs[dst as usize] = v as u64;
+                    }
+                }
+                Instr::Falu { op, dst, a, b } => {
+                    let x = self.f(a);
+                    let y = self.f(b);
+                    match op {
+                        Falu::Add => self.set_f(dst, x + y),
+                        Falu::Sub => self.set_f(dst, x - y),
+                        Falu::Mul => self.set_f(dst, x * y),
+                        Falu::Div => self.set_f(dst, x / y),
+                        Falu::CmpEq => self.regs[dst as usize] = (x == y) as u64,
+                        Falu::CmpNe => self.regs[dst as usize] = (x != y) as u64,
+                        Falu::CmpLt => self.regs[dst as usize] = (x < y) as u64,
+                        Falu::CmpLe => self.regs[dst as usize] = (x <= y) as u64,
+                    }
+                }
+                Instr::Itof { dst, a } => {
+                    let v = self.regs[a as usize] as i64 as f64;
+                    self.set_f(dst, v);
+                }
+                Instr::Ld { dst, base, off } => {
+                    let addr = self.regs[base as usize].wrapping_add(off as i64 as u64);
+                    let v = self.rd(addr)?;
+                    if dst != regs::ZERO {
+                        self.regs[dst as usize] = v;
+                    }
+                }
+                Instr::St { src, base, off } => {
+                    let addr = self.regs[base as usize].wrapping_add(off as i64 as u64);
+                    let v = self.regs[src as usize];
+                    self.wr(addr, v)?;
+                }
+                Instr::Mov { dst, src } => {
+                    let v = self.op(src);
+                    if dst != regs::ZERO {
+                        self.regs[dst as usize] = v;
+                    }
+                }
+                Instr::Lea { dst, target } => {
+                    self.regs[dst as usize] = code_value(target);
+                }
+                Instr::Br(t) => self.jump(t as u64)?,
+                Instr::Beqz(r, t) => {
+                    if self.regs[r as usize] == 0 {
+                        self.jump(t as u64)?;
+                    }
+                }
+                Instr::Bnez(r, t) => {
+                    if self.regs[r as usize] != 0 {
+                        self.jump(t as u64)?;
+                    }
+                }
+                Instr::Jsr(t) => {
+                    self.regs[regs::RA as usize] = code_value(self.pc as u32);
+                    self.jump(t as u64)?;
+                }
+                Instr::JsrR(r) => {
+                    let t = self.regs[r as usize];
+                    self.regs[regs::RA as usize] = code_value(self.pc as u32);
+                    self.jump_value(t)?;
+                }
+                Instr::Jmp(r) => {
+                    let t = self.regs[r as usize];
+                    self.jump_value(t)?;
+                }
+                Instr::RtCall(rf) => {
+                    if let Some(trap) = rt.rt_call(rf, self)? {
+                        self.trap(trap)?;
+                    }
+                }
+                Instr::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+        Ok(self.regs[regs::A0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs::*;
+
+    struct NoRt;
+    impl Runtime for NoRt {
+        fn rt_call(&mut self, _f: RtFn, _m: &mut Machine) -> Result<Option<Trap>, VmError> {
+            Err(VmError::Runtime("no runtime".into()))
+        }
+    }
+
+    fn layout() -> Layout {
+        Layout {
+            globals_end: 1024,
+            heap_base: 1024,
+            semi_bytes: 4096,
+            stack_limit: 1024 + 2 * 4096,
+            stack_top: 64 * 1024,
+        }
+    }
+
+    fn run(code: Vec<Instr>) -> Result<u64, VmError> {
+        let mut m = Machine::new(code, layout());
+        m.run(&mut NoRt, 10_000)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let v = run(vec![
+            Instr::Mov { dst: 1, src: Op::I(20) },
+            Instr::Alu { op: Alu::Add, dst: 0, a: 1, b: Op::I(22) },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn overflow_traps_without_handler() {
+        let r = run(vec![
+            Instr::Mov { dst: 1, src: Op::I(i64::MAX) },
+            Instr::Alu { op: Alu::AddV, dst: 0, a: 1, b: Op::I(1) },
+            Instr::Halt,
+        ]);
+        assert!(matches!(r, Err(VmError::UnhandledTrap(Trap::Overflow))));
+    }
+
+    #[test]
+    fn overflow_jumps_to_handler() {
+        let mut m = Machine::new(
+            vec![
+                Instr::Mov { dst: 1, src: Op::I(i64::MAX) },
+                Instr::Alu { op: Alu::AddV, dst: 0, a: 1, b: Op::I(1) },
+                Instr::Halt,
+                Instr::Mov { dst: 0, src: Op::I(99) }, // trap stub
+                Instr::Halt,
+            ],
+            layout(),
+        );
+        m.traps.insert(Trap::Overflow, 3);
+        let v = m.run(&mut NoRt, 100).unwrap();
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let hb = layout().heap_base as i64;
+        let v = run(vec![
+            Instr::Mov { dst: 1, src: Op::I(hb) },
+            Instr::Mov { dst: 2, src: Op::I(7) },
+            Instr::St { src: 2, base: 1, off: 8 },
+            Instr::Ld { dst: 0, base: 1, off: 8 },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn unaligned_access_fails() {
+        let r = run(vec![
+            Instr::Mov { dst: 1, src: Op::I(1025) },
+            Instr::Ld { dst: 0, base: 1, off: 0 },
+            Instr::Halt,
+        ]);
+        assert!(matches!(r, Err(VmError::BadAccess { .. })));
+    }
+
+    #[test]
+    fn call_and_return() {
+        // main: jsr f; halt.  f: r0 = 5; ret.
+        let v = run(vec![
+            Instr::Jsr(2),
+            Instr::Halt,
+            Instr::Mov { dst: 0, src: Op::I(5) },
+            Instr::Jmp(RA),
+        ])
+        .unwrap();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn float_ops_share_registers() {
+        let mut m = Machine::new(
+            vec![
+                Instr::Itof { dst: 1, a: 2 },
+                Instr::Falu { op: Falu::Add, dst: 3, a: 1, b: 1 },
+                Instr::Falu { op: Falu::CmpLt, dst: 0, a: 1, b: 3 },
+                Instr::Halt,
+            ],
+            layout(),
+        );
+        m.regs[2] = 21;
+        let v = m.run(&mut NoRt, 100).unwrap();
+        assert_eq!(v, 1); // 21.0 < 42.0
+        assert_eq!(m.f(3), 42.0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_reports() {
+        let r = run(vec![Instr::Br(0)]);
+        assert!(matches!(r, Err(VmError::OutOfFuel)));
+    }
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let v = run(vec![
+            Instr::Mov { dst: ZERO, src: Op::I(7) },
+            Instr::Mov { dst: 0, src: Op::R(ZERO) },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(v, 0);
+    }
+}

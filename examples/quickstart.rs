@@ -1,0 +1,27 @@
+//! Quickstart: compile and run a small SML program with TIL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use til::{Compiler, Options};
+
+fn main() {
+    let src = r#"
+        fun fib 0 = 0
+          | fib 1 = 1
+          | fib n = fib (n - 1) + fib (n - 2)
+        val _ = print "fib 20 = "
+        val _ = print (Int.toString (fib 20))
+        val _ = print "\n"
+    "#;
+    let exe = Compiler::new(Options::til()).compile(src).expect("compile");
+    let out = exe.run(1_000_000_000).expect("run");
+    print!("{}", out.output);
+    println!(
+        "({} instructions, {} bytes allocated, {} collections)",
+        out.stats.time(),
+        out.stats.allocated_bytes,
+        out.stats.gc_count
+    );
+}

@@ -1,0 +1,4 @@
+//! Umbrella crate: re-exports the TIL driver for the repository-level
+//! examples and integration tests.
+
+pub use til::*;

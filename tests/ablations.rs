@@ -1,0 +1,86 @@
+//! Ablations of the paper's individual type-directed optimizations
+//! (§3.2): each toggle must preserve semantics; the metrics move the
+//! way the paper says.
+
+use til::{Compiler, Options};
+
+fn run(src: &str, opts: Options) -> (String, u64, u64) {
+    let exe = Compiler::new(opts).compile(src).expect("compile");
+    let out = exe.run(2_000_000_000).expect("run");
+    (out.output, out.stats.time(), out.stats.allocated_bytes)
+}
+
+const FLOAT_LOOP: &str = "
+    val a = Array.array (500, 0.0)
+    fun fill i = if i >= 500 then () else (Array.update (a, i, real i * 0.25); fill (i + 1))
+    val _ = fill 0
+    fun total (i, acc) = if i >= 500 then acc else total (i + 1, acc + Array.sub (a, i))
+    val _ = print (Real.toString (total (0, 0.0)))";
+
+#[test]
+fn float_boxing_is_load_bearing() {
+    // The paper boxes floats in both compilers (§3.2), and the
+    // typecase float arm's refinement assumes it; the compiler itself
+    // must hold that invariant — the boxed configuration is the only
+    // supported one and must keep float programs working under
+    // verification.
+    let mut o = Options::til();
+    o.verify = true;
+    assert!(o.lmli.box_floats, "boxing is the supported configuration");
+    let (out, _, _) = run(FLOAT_LOOP, o);
+    assert_eq!(out, "31187.5");
+}
+
+#[test]
+fn array_specialization_ablation() {
+    // Without specialization, float arrays hold boxed floats: far more
+    // allocation, same answers.
+    let mut unspec = Options::til();
+    unspec.lmli.specialize_arrays = false;
+    let (a, _, alloc_unspec) = run(FLOAT_LOOP, unspec);
+    let (b, _, alloc_spec) = run(FLOAT_LOOP, Options::til());
+    assert_eq!(a, b);
+    assert!(
+        alloc_unspec > alloc_spec,
+        "boxed-element arrays must allocate more: {alloc_unspec} vs {alloc_spec}"
+    );
+}
+
+#[test]
+fn constructor_flattening_ablation() {
+    let src = "
+        fun build (0, acc) = acc | build (n, acc) = build (n - 1, (n, n * 2) :: acc)
+        fun sum (nil, acc) = acc | sum ((a, b) :: rest, acc) = sum (rest, acc + a + b)
+        val _ = print (Int.toString (sum (build (2000, nil), 0)))";
+    let mut naive = Options::til();
+    naive.lmli.flatten_cons = false;
+    let (a, t_naive, alloc_naive) = run(src, naive);
+    let (b, t_flat, alloc_flat) = run(src, Options::til());
+    assert_eq!(a, b);
+    // Flattened cons cells: fewer allocations and less time (the
+    // paper's `cons` example).
+    assert!(alloc_flat < alloc_naive, "{alloc_flat} vs {alloc_naive}");
+    assert!(t_flat < t_naive, "{t_flat} vs {t_naive}");
+}
+
+#[test]
+fn specialization_off_exercises_runtime_typecase() {
+    let src = "
+        fun nth (a, i) = Array.sub (a, i)
+        val ia = Array.array (3, 7)
+        val fa = Array.array (3, 2.5)
+        val _ = print (Int.toString (nth (ia, 1)))
+        val _ = print \" \"
+        val _ = print (Real.toString (nth (fa, 2)))";
+    let mut generic = Options::til();
+    generic.opt.specialize = false;
+    generic.opt.inline = false;
+    generic.opt.flatten = false;
+    let exe = Compiler::new(generic).compile(src).expect("compile");
+    let stats = exe.info.opt_stats.clone().unwrap();
+    assert!(
+        stats.remaining_typecases > 0,
+        "suppressing specialization must leave run-time type analysis"
+    );
+    assert_eq!(exe.run(1_000_000_000).unwrap().output, "7 2.5");
+}

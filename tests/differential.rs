@@ -1,0 +1,116 @@
+//! Property-based differential testing: generated programs must
+//! produce identical output under the TIL and baseline compilers —
+//! two compilation strategies, one semantics.
+
+use proptest::prelude::*;
+use til::{Compiler, Options};
+
+/// A tiny generator of well-typed integer expressions.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    If(Box<E>, Box<E>, Box<E>),
+    LetPair(Box<E>, Box<E>),
+}
+
+fn gen_e() -> impl Strategy<Value = E> {
+    let leaf = any::<i8>().prop_map(E::Lit);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| E::If(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::LetPair(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn sml(e: &E) -> String {
+    match e {
+        E::Lit(n) => {
+            if *n < 0 {
+                format!("~{}", -(*n as i64))
+            } else {
+                n.to_string()
+            }
+        }
+        E::Add(a, b) => format!("({} + {})", sml(a), sml(b)),
+        E::Sub(a, b) => format!("({} - {})", sml(a), sml(b)),
+        E::Mul(a, b) => format!("({} * {})", sml(a), sml(b)),
+        E::If(c, t, f) => format!("(if {} > 0 then {} else {})", sml(c), sml(t), sml(f)),
+        E::LetPair(a, b) => format!(
+            "(let val p = ({}, {}) in #1 p + #2 p end)",
+            sml(a),
+            sml(b)
+        ),
+    }
+}
+
+/// Reference evaluator (i64, overflow impossible for depth-4 i8 trees).
+fn eval(e: &E) -> i64 {
+    match e {
+        E::Lit(n) => *n as i64,
+        E::Add(a, b) => eval(a) + eval(b),
+        E::Sub(a, b) => eval(a) - eval(b),
+        E::Mul(a, b) => eval(a) * eval(b),
+        E::If(c, t, f) => {
+            if eval(c) > 0 {
+                eval(t)
+            } else {
+                eval(f)
+            }
+        }
+        E::LetPair(a, b) => eval(a) + eval(b),
+    }
+}
+
+fn fmt_sml_int(v: i64) -> String {
+    if v < 0 {
+        format!("~{}", -v)
+    } else {
+        v.to_string()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn generated_expressions_agree_with_reference(e in gen_e()) {
+        let src = format!("val _ = print (Int.toString ({}))", sml(&e));
+        let expected = fmt_sml_int(eval(&e));
+        for opts in [Options::til(), Options::baseline()] {
+            let exe = Compiler::new(opts).compile(&src).expect("compile");
+            let out = exe.run(1_000_000_000).expect("run");
+            prop_assert_eq!(&out.output, &expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn list_programs_agree(xs in proptest::collection::vec(-50i64..50, 0..12)) {
+        let lits: Vec<String> = xs.iter().map(|n| if *n < 0 { format!("~{}", -n) } else { n.to_string() }).collect();
+        let src = format!(
+            "val xs = [{}]
+             val doubled = map (fn x => x * 2) xs
+             val total = foldl (fn (a, b) => a + b) 0 doubled
+             val _ = print (Int.toString (total + length xs))",
+            lits.join(", ")
+        );
+        let expected = fmt_sml_int(xs.iter().map(|x| x * 2).sum::<i64>() + xs.len() as i64);
+        for opts in [Options::til(), Options::baseline()] {
+            let exe = Compiler::new(opts).compile(&src).expect("compile");
+            let out = exe.run(1_000_000_000).expect("run");
+            prop_assert_eq!(&out.output, &expected);
+        }
+    }
+}

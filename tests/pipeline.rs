@@ -1,0 +1,155 @@
+//! Repository-level integration tests spanning every crate: the typed
+//! pipeline's invariants, the collector under pressure, exception
+//! semantics, and mode agreement.
+
+use til::{Compiler, Mode, Options};
+
+fn run(src: &str, opts: Options) -> String {
+    let exe = Compiler::new(opts).compile(src).expect("compile");
+    exe.run(2_000_000_000).expect("run").output
+}
+
+fn agree(src: &str) -> String {
+    let a = run(src, Options::til());
+    let b = run(src, Options::baseline());
+    assert_eq!(a, b, "TIL and baseline must agree");
+    a
+}
+
+#[test]
+fn deep_tail_recursion_does_not_grow_the_stack() {
+    // One million iterations: only tail calls survive regalloc, so the
+    // stack must stay flat.
+    let out = agree(
+        "fun loop (0, acc) = acc | loop (n, acc) = loop (n - 1, acc + 1)
+         val _ = print (Int.toString (loop (1000000, 0)))",
+    );
+    assert_eq!(out, "1000000");
+}
+
+#[test]
+fn mutual_recursion_across_modes() {
+    let out = agree(
+        "fun even 0 = true | even n = odd (n - 1)
+         and odd 0 = false | odd n = even (n - 1)
+         val _ = print (if even 10000 then \"even\" else \"odd\")",
+    );
+    assert_eq!(out, "even");
+}
+
+#[test]
+fn exceptions_unwind_through_many_frames() {
+    let out = agree(
+        "exception Deep of int
+         fun dig 0 = raise Deep 42
+           | dig n = 1 + dig (n - 1)
+         val r = (dig 1000) handle Deep n => n
+         val _ = print (Int.toString r)",
+    );
+    assert_eq!(out, "42");
+}
+
+#[test]
+fn handlers_nest_and_reraise() {
+    let out = agree(
+        "exception A exception B
+         fun f () = ((raise A) handle B => 1) handle A => 2
+         val _ = print (Int.toString (f ()))",
+    );
+    assert_eq!(out, "2");
+}
+
+#[test]
+fn gc_preserves_deep_structures() {
+    let out = agree(
+        "datatype t = L | N of t * int * t
+         fun build 0 = L | build n = N (build (n - 1), n, build (n - 1))
+         fun sum L = 0 | sum (N (a, x, b)) = sum a + x + sum b
+         fun churn 0 = () | churn k = (build 8; churn (k - 1))
+         val live = build 10
+         val _ = churn 2000
+         val _ = print (Int.toString (sum live))",
+    );
+    assert_eq!(out, "2036");
+}
+
+#[test]
+fn overflow_is_detected() {
+    // 10^18 is representable in both modes (TIL has 64-bit ints, the
+    // baseline's tagged representation 63-bit — mirroring the paper's
+    // 32- vs 31-bit difference); 10^19 overflows both.
+    let out = agree(
+        "val big = 1000000000000000000
+         val r = (big * 10) handle Overflow => ~1
+         val _ = print (Int.toString r)",
+    );
+    assert_eq!(out, "~1");
+}
+
+#[test]
+fn polymorphic_equality_on_nested_structures() {
+    let out = agree(
+        "datatype 'a tree = Lf | Nd of 'a tree * 'a * 'a tree
+         val a = Nd (Lf, [1, 2], Nd (Lf, [3], Lf))
+         val b = Nd (Lf, [1, 2], Nd (Lf, [3], Lf))
+         val c = Nd (Lf, [1, 2], Nd (Lf, [4], Lf))
+         val _ = print (if a = b then \"eq\" else \"ne\")
+         val _ = print (if a = c then \"eq\" else \"ne\")",
+    );
+    assert_eq!(out, "eqne");
+}
+
+#[test]
+fn closures_returned_from_functions_survive_gc() {
+    let out = agree(
+        "fun adder n = fn x => x + n
+         fun spin (0, f) = f | spin (k, f) = spin (k - 1, adder k)
+         val keep = adder 100
+         val _ = spin (50000, keep)
+         val _ = print (Int.toString (keep 1))",
+    );
+    assert_eq!(out, "101");
+}
+
+#[test]
+fn string_heavy_program() {
+    let out = agree(
+        "fun rep (0, s) = s | rep (n, s) = rep (n - 1, s ^ \"ab\")
+         val s = rep (50, \"\")
+         val _ = print (Int.toString (size s))
+         val _ = print (str (String.sub (s, 99)))",
+    );
+    assert_eq!(out, "100b");
+}
+
+#[test]
+fn verify_mode_checks_every_pass() {
+    // With verify on (the default), a full compile exercises the
+    // Lambda, Lmli, Bform (per-pass), and closure checkers.
+    let mut opts = Options::til();
+    opts.verify = true;
+    assert_eq!(opts.mode, Mode::Til);
+    let exe = Compiler::new(opts)
+        .compile("val _ = print (Int.toString (length [1,2,3]))")
+        .expect("verified compile");
+    assert_eq!(exe.run(1_000_000_000).unwrap().output, "3");
+}
+
+#[test]
+fn user_errors_are_reported_not_ice() {
+    for bad in [
+        "val x = 1 + \"two\"",
+        "val x = undefined_thing",
+        "fun f = 3",
+        "val x = (1, 2",
+    ] {
+        match Compiler::new(Options::til()).compile(bad) {
+            Err(d) => assert_eq!(
+                d.level,
+                til_common::Level::Error,
+                "expected user error for {bad:?}, got {d}"
+            ),
+            Ok(_) => panic!("expected failure for {bad:?}"),
+        }
+    }
+}
