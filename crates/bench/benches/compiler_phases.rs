@@ -1,50 +1,37 @@
-//! Criterion benchmarks of compiler-phase throughput (the compile-time
-//! side of Table 6).
+//! Benchmarks of compiler-phase throughput (the compile-time side of
+//! Table 6). Hand-rolled harness (no external crates): each case is
+//! warmed once and timed for a fixed number of iterations; the median
+//! per-iteration wall time is reported.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use til::{Compiler, Options};
+use til_bench::time_case;
 
 const MATMULT: &str = include_str!("../sml/matmult.sml");
 const LIFE: &str = include_str!("../sml/life.sml");
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
-    g.sample_size(10);
-    g.bench_function("matmult-til", |b| {
-        b.iter(|| {
-            Compiler::new(Options::til())
-                .compile(std::hint::black_box(MATMULT))
-                .unwrap()
-        })
+fn main() {
+    println!("== compile ==");
+    time_case("matmult-til", 10, || {
+        Compiler::new(Options::til())
+            .compile(std::hint::black_box(MATMULT))
+            .unwrap()
     });
-    g.bench_function("matmult-baseline", |b| {
-        b.iter(|| {
-            Compiler::new(Options::baseline())
-                .compile(std::hint::black_box(MATMULT))
-                .unwrap()
-        })
+    time_case("matmult-baseline", 10, || {
+        Compiler::new(Options::baseline())
+            .compile(std::hint::black_box(MATMULT))
+            .unwrap()
     });
-    g.bench_function("life-til", |b| {
-        b.iter(|| {
-            Compiler::new(Options::til())
-                .compile(std::hint::black_box(LIFE))
-                .unwrap()
-        })
+    time_case("life-til", 10, || {
+        Compiler::new(Options::til())
+            .compile(std::hint::black_box(LIFE))
+            .unwrap()
     });
-    g.finish();
-}
 
-fn bench_frontend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frontend");
-    g.sample_size(20);
-    g.bench_function("parse-prelude", |b| {
-        b.iter(|| til_syntax::parse(std::hint::black_box(til::PRELUDE)).unwrap())
+    println!("== frontend ==");
+    time_case("parse-prelude", 20, || {
+        til_syntax::parse(std::hint::black_box(til::PRELUDE)).unwrap()
     });
-    g.bench_function("elaborate-matmult", |b| {
-        b.iter(|| til_elab::elaborate_source(std::hint::black_box(MATMULT)).unwrap())
+    time_case("elaborate-matmult", 20, || {
+        til_elab::elaborate_source(std::hint::black_box(MATMULT)).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_compile, bench_frontend);
-criterion_main!(benches);

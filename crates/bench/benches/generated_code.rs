@@ -1,22 +1,19 @@
-//! Criterion benchmarks of generated-code execution (the VM dispatch
-//! rate underlying Tables 2-4).
+//! Benchmarks of generated-code execution (the VM dispatch rate
+//! underlying Tables 2-4). Hand-rolled harness, no external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use til::{Compiler, Options};
+use til_bench::time_case;
 
 const LOOP: &str = "fun sum (0, acc) = acc | sum (n, acc) = sum (n - 1, acc + n)
                     val _ = print (Int.toString (sum (20000, 0)))";
 
-fn bench_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("run");
-    g.sample_size(20);
+fn main() {
+    println!("== run ==");
     let til = Compiler::new(Options::til()).compile(LOOP).unwrap();
     let base = Compiler::new(Options::baseline()).compile(LOOP).unwrap();
-    g.bench_function("counted-loop-til", |b| {
-        b.iter(|| til.run(1_000_000_000).unwrap())
-    });
-    g.bench_function("counted-loop-baseline", |b| {
-        b.iter(|| base.run(1_000_000_000).unwrap())
+    time_case("counted-loop-til", 20, || til.run(1_000_000_000).unwrap());
+    time_case("counted-loop-baseline", 20, || {
+        base.run(1_000_000_000).unwrap()
     });
     let alloc = Compiler::new(Options::til())
         .compile(
@@ -25,11 +22,7 @@ fn bench_run(c: &mut Criterion) {
              val _ = print (Int.toString (length (spin (100, nil))))",
         )
         .unwrap();
-    g.bench_function("allocation-and-gc-til", |b| {
-        b.iter(|| alloc.run(1_000_000_000).unwrap())
+    time_case("allocation-and-gc-til", 20, || {
+        alloc.run(1_000_000_000).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_run);
-criterion_main!(benches);

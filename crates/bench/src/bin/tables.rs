@@ -4,7 +4,7 @@
 //! or `all`.
 
 use til::{Compiler, Options};
-use til_bench::{geomean, measure, median, suite, Measurement};
+use til_bench::{export, geomean, measure, median, suite, Measurement};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -100,6 +100,14 @@ fn ratio_table(
 
 fn main_comparison(arg: &str, all: bool) {
     let rows = measure_all();
+    // Machine-readable metrics export: every full-suite run refreshes
+    // the perf-trajectory snapshot (see README for the schema).
+    let export_rows: Vec<(&str, &Measurement, &Measurement)> =
+        rows.iter().map(|r| (r.name, &r.til, &r.base)).collect();
+    match export::write_pipeline_json(&export_rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_pipeline.json: {e}"),
+    }
     if all || arg == "table2" {
         ratio_table(
             "Table 2 / Figure 8: execution time (TIL/baseline)",

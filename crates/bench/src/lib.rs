@@ -69,15 +69,29 @@ pub struct Measurement {
     pub output: String,
     /// Execution-time metric (instructions + runtime work).
     pub time: u64,
+    /// Instructions retired (mutator only).
+    pub instrs: u64,
+    /// Runtime work in instruction-equivalents (strings, collector).
+    pub rt_cost: u64,
     /// Total heap allocation in bytes.
     pub alloc_bytes: u64,
     /// Peak physical memory proxy: live heap + stack + statics + code,
     /// in bytes.
     pub memory_bytes: u64,
+    /// High-water mark of live heap words.
+    pub max_live_words: u64,
+    /// Resident heap words at program exit.
+    pub final_heap_words: u64,
+    /// High-water mark of stack words.
+    pub max_stack_words: u64,
+    /// Generated code size, bytes.
+    pub code_bytes: u64,
     /// Executable size (code + GC tables + static data), bytes.
     pub executable_bytes: u64,
     /// Compile time in seconds.
     pub compile_seconds: f64,
+    /// Per-phase compile seconds, in pipeline order.
+    pub phase_seconds: Vec<(&'static str, f64)>,
     /// Collections run.
     pub gc_count: u64,
 }
@@ -99,12 +113,137 @@ pub fn measure(b: &Bench, opts: Options) -> Result<Measurement, String> {
     Ok(Measurement {
         output: out.output,
         time: stats.time(),
+        instrs: stats.instrs,
+        rt_cost: stats.rt_cost,
         alloc_bytes: stats.allocated_bytes,
         memory_bytes: memory,
+        max_live_words: stats.max_live_words,
+        final_heap_words: stats.final_heap_words,
+        max_stack_words: stats.max_stack_words,
+        code_bytes: exe.info.code_bytes as u64,
         executable_bytes: exe.info.executable_bytes as u64,
         compile_seconds: exe.info.total_seconds(),
+        phase_seconds: exe
+            .info
+            .phases
+            .iter()
+            .map(|p| (p.name, p.seconds))
+            .collect(),
         gc_count: stats.gc_count,
     })
+}
+
+/// The machine-readable metrics export behind `BENCH_pipeline.json`
+/// (hand-rolled JSON via [`til_common::Json`]; see README for the
+/// schema).
+pub mod export {
+    use super::Measurement;
+    use til_common::Json;
+
+    /// Schema identifier written into every export.
+    pub const SCHEMA: &str = "til-bench-pipeline/v1";
+
+    fn mode_json(m: &Measurement) -> Json {
+        Json::obj()
+            .set("instructions_retired", m.instrs)
+            .set("runtime_cost", m.rt_cost)
+            .set("time", m.time)
+            .set("allocated_bytes", m.alloc_bytes)
+            .set("max_live_words", m.max_live_words)
+            .set("final_heap_words", m.final_heap_words)
+            .set("max_stack_words", m.max_stack_words)
+            .set("memory_bytes", m.memory_bytes)
+            .set("gc_count", m.gc_count)
+            .set("code_bytes", m.code_bytes)
+            .set("executable_bytes", m.executable_bytes)
+            .set("compile_seconds", m.compile_seconds)
+            .set(
+                "phases",
+                Json::arr(m.phase_seconds.iter().map(|(name, secs)| {
+                    Json::obj().set("name", *name).set("seconds", *secs)
+                })),
+            )
+    }
+
+    /// Builds the full report from per-benchmark (name, TIL, baseline)
+    /// measurements.
+    pub fn pipeline_json(rows: &[(&str, &Measurement, &Measurement)]) -> Json {
+        let ratio = |a: u64, b: u64| a.max(1) as f64 / b.max(1) as f64;
+        Json::obj()
+            .set("schema", SCHEMA)
+            .set("fuel", super::FUEL)
+            .set(
+                "benchmarks",
+                Json::arr(rows.iter().map(|(name, til, base)| {
+                    Json::obj()
+                        .set("name", *name)
+                        .set(
+                            "modes",
+                            Json::obj()
+                                .set("til", mode_json(til))
+                                .set("baseline", mode_json(base)),
+                        )
+                        .set(
+                            "ratios",
+                            Json::obj()
+                                .set("time", ratio(til.time, base.time))
+                                .set("alloc", ratio(til.alloc_bytes, base.alloc_bytes))
+                                .set("memory", ratio(til.memory_bytes, base.memory_bytes))
+                                .set(
+                                    "executable",
+                                    ratio(til.executable_bytes, base.executable_bytes),
+                                ),
+                        )
+                })),
+            )
+    }
+
+    /// Resolves where `BENCH_pipeline.json` goes: `TIL_BENCH_JSON` if
+    /// set, else the enclosing workspace root (the nearest ancestor of
+    /// the current directory whose `Cargo.toml` declares
+    /// `[workspace]`), else the current directory.
+    pub fn pipeline_json_path() -> std::path::PathBuf {
+        if let Ok(p) = std::env::var("TIL_BENCH_JSON") {
+            return p.into();
+        }
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.join("BENCH_pipeline.json");
+                }
+            }
+            if !dir.pop() {
+                return "BENCH_pipeline.json".into();
+            }
+        }
+    }
+
+    /// Writes the report, returning the path written.
+    pub fn write_pipeline_json(
+        rows: &[(&str, &Measurement, &Measurement)],
+    ) -> std::io::Result<std::path::PathBuf> {
+        let path = pipeline_json_path();
+        std::fs::write(&path, pipeline_json(rows).pretty())?;
+        Ok(path)
+    }
+}
+
+/// Minimal bench-harness primitive: runs `f` once to warm up, then
+/// `iters` timed iterations, and prints the median per-iteration wall
+/// time. Returns the median in seconds (for harnesses that aggregate).
+pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let med = median(&samples);
+    println!("{name:>24}: median {:>12.3} ms over {iters} iters", med * 1e3);
+    med
 }
 
 /// Geometric mean of positive ratios.

@@ -1,0 +1,32 @@
+//! The BENCH_pipeline.json export must be well-formed JSON with the
+//! documented schema, straight from real measurements.
+
+use til::Options;
+use til_bench::{export, measure, suite};
+
+#[test]
+fn pipeline_json_is_well_formed() {
+    // One real benchmark is enough to exercise every field.
+    let b = suite().into_iter().find(|b| b.name == "Matmult").unwrap();
+    let til = measure(&b, Options::til()).expect("til");
+    let base = measure(&b, Options::baseline()).expect("baseline");
+    let json = export::pipeline_json(&[(b.name, &til, &base)]);
+    let text = json.pretty();
+    til_common::json::validate(&text).expect("well-formed JSON");
+    assert!(text.contains("\"schema\": \"til-bench-pipeline/v1\""));
+    assert!(text.contains("\"instructions_retired\""));
+    assert!(text.contains("\"max_live_words\""));
+    assert!(text.contains("\"code_bytes\""));
+    assert!(text.contains("\"phases\""));
+    assert!(text.contains("\"name\": \"parse\""));
+}
+
+#[test]
+fn pipeline_json_path_honors_env_override() {
+    // Env-var override wins; this avoids touching the workspace root
+    // from tests.
+    std::env::set_var("TIL_BENCH_JSON", "/tmp/til-test-bench.json");
+    let p = export::pipeline_json_path();
+    std::env::remove_var("TIL_BENCH_JSON");
+    assert_eq!(p, std::path::PathBuf::from("/tmp/til-test-bench.json"));
+}

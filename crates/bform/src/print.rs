@@ -99,7 +99,7 @@ fn rhs_str(p: &mut Printer, r: &BRhs, data: &MDataEnv) {
             p.word(format!("{name}#{tag}({})", atoms(args)));
         }
         BRhs::ExnCon { exn, arg } => {
-            let a = arg.as_ref().map(|a| atom(a)).unwrap_or_default();
+            let a = arg.as_ref().map(atom).unwrap_or_default();
             p.word(format!("exn#{}({a})", exn.0));
         }
         BRhs::Prim { prim, args, .. } => {

@@ -495,9 +495,7 @@ impl<'a> Cx<'a> {
             let mut body_c;
             if style_env {
                 // Map captures to fresh locals selected from env.
-                let env_param = match &params[0] {
-                    (v, _) => *v,
-                };
+                let env_param = params[0].0;
                 let mut prologue: Vec<(Var, CRhs)> = Vec::new();
                 for (i, (v, c)) in fvs.iter().zip(&capture_cons).enumerate() {
                     let nv = self.vs.rename(*v);

@@ -29,14 +29,9 @@ pub fn typecheck_closure(p: &CProgram) -> Result<()> {
         seen: HashSet::new(),
     };
     let mut spine = &p.body;
-    loop {
-        match spine {
-            CExp::Let { var, body, .. } => {
-                cx.globals.insert(*var);
-                spine = body;
-            }
-            CExp::Ret(_) => break,
-        }
+    while let CExp::Let { var, body, .. } = spine {
+        cx.globals.insert(*var);
+        spine = body;
     }
     for c in &p.codes {
         cx.globals.insert(c.var);

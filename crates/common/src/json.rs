@@ -1,0 +1,346 @@
+//! A tiny hand-rolled JSON writer (no serde: the repo is
+//! zero-dependency by design). Produces pretty-printed, valid JSON from
+//! explicit `obj`/`arr` building blocks; used by the bench harness to
+//! export machine-readable metrics (`BENCH_pipeline.json`).
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (emitted without a decimal point).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Finite float (non-finite values are emitted as `null`, which is
+    /// the only valid-JSON option).
+    Float(f64),
+    /// String (escaped on write).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Adds `key: value` to an object (panics on non-objects —
+    /// builder misuse is a programming error).
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::set on non-object"),
+        }
+        self
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Shortest roundtrip form; ensure it still parses
+                    // as a JSON number (Rust never emits NaN here).
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    it.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+/// A minimal structural validator: checks that `src` is one complete,
+/// well-formed JSON value. Used by tests to keep the hand-rolled writer
+/// honest without pulling in a parser dependency.
+pub fn validate(src: &str) -> Result<(), String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            Ok(())
+        }
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let j = Json::obj()
+            .set("name", "Knuth-Bendix")
+            .set("instrs", 123456u64)
+            .set("ratio", 0.44)
+            .set("ok", true)
+            .set("nothing", Json::Null)
+            .set(
+                "phases",
+                Json::arr([Json::obj().set("phase", "parse").set("seconds", 0.001)]),
+            );
+        let s = j.pretty();
+        validate(&s).expect("well-formed");
+        assert!(s.contains("\"Knuth-Bendix\""));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".into()).pretty();
+        validate(&s).expect("well-formed");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = Json::Float(f64::NAN).pretty();
+        assert_eq!(s.trim(), "null");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("{").is_err());
+        assert!(validate("[1,]").is_err());
+        assert!(validate("{} x").is_err());
+        assert!(validate("").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::obj().pretty().trim(), "{}");
+        assert_eq!(Json::arr([]).pretty().trim(), "[]");
+    }
+}

@@ -5,17 +5,24 @@
 //! ([`Var`], [`VarSupply`]), source locations ([`Span`]), structured
 //! diagnostics ([`Diagnostic`]), and a small indentation-aware pretty
 //! printer ([`pretty::Printer`]) used by the IR dumpers that reproduce the
-//! paper's Section 4 walkthrough.
+//! paper's Section 4 walkthrough. It also hosts the observability
+//! substrate: hierarchical phase tracing ([`trace::Tracer`], toggled by
+//! the `TIL_TRACE` environment variable) and the hand-rolled JSON
+//! writer ([`json::Json`]) behind the bench harness's metrics export.
 
 pub mod diag;
+pub mod json;
 pub mod pretty;
 pub mod span;
 pub mod symbol;
+pub mod trace;
 pub mod var;
 
 pub use diag::{Diagnostic, Level, Result};
+pub use json::Json;
 pub use span::Span;
 pub use symbol::Symbol;
+pub use trace::{TraceEvent, Tracer};
 pub use var::{Var, VarSupply};
 
 /// Runs `f` on a thread with a large stack. The optimizer and

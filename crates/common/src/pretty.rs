@@ -74,8 +74,8 @@ impl Printer {
 }
 
 /// Renders a comma-separated list via `f`.
-pub fn comma_sep<T>(items: &[T], mut f: impl FnMut(&T) -> String) -> String {
-    items.iter().map(|i| f(i)).collect::<Vec<_>>().join(", ")
+pub fn comma_sep<T>(items: &[T], f: impl FnMut(&T) -> String) -> String {
+    items.iter().map(f).collect::<Vec<_>>().join(", ")
 }
 
 #[cfg(test)]

@@ -1,0 +1,247 @@
+//! Compiler observability: hierarchical phase tracing.
+//!
+//! Every pipeline entry point threads a [`Tracer`] through its phases.
+//! A phase opens a [`span`](Tracer::span); spans nest, time themselves,
+//! and may carry counters (IR node counts, bytes, nodes eliminated).
+//! All spans are recorded as structured [`TraceEvent`]s for later
+//! inspection or machine-readable export, and — when tracing is
+//! enabled via the `TIL_TRACE` environment variable or
+//! programmatically — are also streamed to stderr as an indented tree:
+//!
+//! ```text
+//! [til]   optimize ................ 1.234ms  nodes: 812 -> 411
+//! [til]     simplify-reduce ....... 0.410ms  eliminated: 210
+//! ```
+//!
+//! The tracer is deliberately zero-dependency and allocation-light: a
+//! disabled tracer still records events (they feed `CompileInfo`) but
+//! prints nothing.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One closed span: a named unit of compiler work.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span name (phase or pass name).
+    pub name: String,
+    /// Nesting depth at which the span ran (0 = pipeline phase).
+    pub depth: usize,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Counters attached while the span was open, in insertion order
+    /// (e.g. `("ir-nodes", 812)`, `("eliminated", 210)`).
+    pub counters: Vec<(&'static str, i64)>,
+}
+
+struct State {
+    depth: usize,
+    events: Vec<TraceEvent>,
+}
+
+/// A hierarchical span tracer for one compilation.
+pub struct Tracer {
+    /// Stream spans to stderr as they close?
+    echo: bool,
+    state: RefCell<State>,
+}
+
+/// Is `TIL_TRACE` set to a truthy value (anything but `0`/empty)?
+pub fn env_enabled() -> bool {
+    match std::env::var("TIL_TRACE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+impl Tracer {
+    /// A tracer; `echo` additionally streams closed spans to stderr.
+    pub fn new(echo: bool) -> Tracer {
+        Tracer {
+            echo,
+            state: RefCell::new(State {
+                depth: 0,
+                events: Vec::new(),
+            }),
+        }
+    }
+
+    /// A tracer that echoes iff `TIL_TRACE` is set.
+    pub fn from_env() -> Tracer {
+        Tracer::new(env_enabled())
+    }
+
+    /// Is stderr echo on?
+    pub fn echoing(&self) -> bool {
+        self.echo
+    }
+
+    /// Opens a span. The span closes (and is recorded) when the guard
+    /// drops; attach counters to the guard while it is open.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        let depth = {
+            let mut st = self.state.borrow_mut();
+            let d = st.depth;
+            st.depth += 1;
+            d
+        };
+        Span {
+            tracer: self,
+            name: name.into(),
+            depth,
+            start: Instant::now(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Records a pre-timed event at the current depth — for callers
+    /// that measure phases themselves (lap-style) rather than through
+    /// a [`span`](Tracer::span) guard.
+    pub fn event(
+        &self,
+        name: impl Into<String>,
+        seconds: f64,
+        counters: &[(&'static str, i64)],
+    ) {
+        let ev = {
+            let st = self.state.borrow();
+            TraceEvent {
+                name: name.into(),
+                depth: st.depth,
+                seconds,
+                counters: counters.to_vec(),
+            }
+        };
+        self.emit(&ev);
+        self.state.borrow_mut().events.push(ev);
+    }
+
+    /// Records an instantaneous counter-only event at the current depth.
+    pub fn counter(&self, name: impl Into<String>, value: i64) {
+        let ev = {
+            let st = self.state.borrow();
+            TraceEvent {
+                name: name.into(),
+                depth: st.depth,
+                seconds: 0.0,
+                counters: vec![("value", value)],
+            }
+        };
+        self.emit(&ev);
+        self.state.borrow_mut().events.push(ev);
+    }
+
+    /// All events recorded so far, in closing order (children before
+    /// parents, like a post-order traversal).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.borrow().events.clone()
+    }
+
+    /// Consumes the tracer, returning its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.state.into_inner().events
+    }
+
+    fn emit(&self, ev: &TraceEvent) {
+        if !self.echo {
+            return;
+        }
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "[til] {:indent$}{} {:.<pad$} {:>9.3}ms",
+            "",
+            ev.name,
+            "",
+            ev.seconds * 1e3,
+            indent = 2 * ev.depth,
+            pad = 28usize.saturating_sub(ev.name.len() + 2 * ev.depth),
+        );
+        for (k, v) in &ev.counters {
+            let _ = write!(line, "  {k}: {v}");
+        }
+        eprintln!("{line}");
+    }
+
+    fn close(&self, span: &mut Span<'_>) {
+        let ev = TraceEvent {
+            name: std::mem::take(&mut span.name),
+            depth: span.depth,
+            seconds: span.start.elapsed().as_secs_f64(),
+            counters: std::mem::take(&mut span.counters),
+        };
+        self.emit(&ev);
+        let mut st = self.state.borrow_mut();
+        st.depth = span.depth;
+        st.events.push(ev);
+    }
+}
+
+/// An open span; closes on drop.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    depth: usize,
+    start: Instant,
+    counters: Vec<(&'static str, i64)>,
+}
+
+impl Span<'_> {
+    /// Attaches a counter to this span (shown and recorded at close).
+    pub fn counter(&mut self, name: &'static str, value: i64) {
+        self.counters.push((name, value));
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.close(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        let t = Tracer::new(false);
+        {
+            let mut outer = t.span("optimize");
+            outer.counter("ir-nodes", 812);
+            {
+                let mut inner = t.span("simplify");
+                inner.counter("eliminated", 3);
+            }
+        }
+        let evs = t.into_events();
+        assert_eq!(evs.len(), 2);
+        // Children close first.
+        assert_eq!(evs[0].name, "simplify");
+        assert_eq!(evs[0].depth, 1);
+        assert_eq!(evs[0].counters, vec![("eliminated", 3)]);
+        assert_eq!(evs[1].name, "optimize");
+        assert_eq!(evs[1].depth, 0);
+        assert_eq!(evs[1].counters, vec![("ir-nodes", 812)]);
+    }
+
+    #[test]
+    fn depth_restores_after_close() {
+        let t = Tracer::new(false);
+        drop(t.span("a"));
+        drop(t.span("b"));
+        let evs = t.into_events();
+        assert_eq!(evs[0].depth, 0);
+        assert_eq!(evs[1].depth, 0);
+    }
+
+    #[test]
+    fn counters_record_instantaneous_values() {
+        let t = Tracer::new(false);
+        t.counter("code-bytes", 4096);
+        let evs = t.into_events();
+        assert_eq!(evs[0].counters, vec![("value", 4096)]);
+        assert_eq!(evs[0].seconds, 0.0);
+    }
+}

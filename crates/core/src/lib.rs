@@ -22,11 +22,12 @@
 //! assert_eq!(out.output, "42");
 //! ```
 
-use til_common::{Diagnostic, Result};
+use til_common::{Diagnostic, Result, Tracer};
 
 pub use til_backend::{Linked, LinkOptions};
+pub use til_common::TraceEvent;
 pub use til_lmli::LmliOptions;
-pub use til_opt::{OptOptions, OptStats};
+pub use til_opt::{OptOptions, OptStats, PassStat};
 pub use til_vm::{Stats, VmError};
 
 /// The SML prelude prefixed onto every compilation unit.
@@ -56,6 +57,11 @@ pub struct Options {
     /// Typecheck between all typed phases (the paper's engineering
     /// discipline; cheap and recommended).
     pub verify: bool,
+    /// Stream a hierarchical phase/pass trace to stderr (wall-clock,
+    /// IR node counts, size deltas). Also enabled by setting the
+    /// `TIL_TRACE` environment variable; structured trace events are
+    /// recorded into [`CompileInfo::events`] either way.
+    pub trace: bool,
     /// Heap/stack sizing.
     pub link: LinkOptions,
 }
@@ -68,6 +74,7 @@ impl Options {
             lmli: LmliOptions::til(),
             opt: OptOptions::til(),
             verify: true,
+            trace: false,
             link: LinkOptions::default(),
         }
     }
@@ -88,28 +95,57 @@ impl Options {
             lmli: LmliOptions::baseline(),
             opt: OptOptions::baseline(),
             verify: true,
+            trace: false,
             link: LinkOptions::default(),
         }
     }
 }
 
+/// One pipeline phase's measurements.
+#[derive(Clone, Debug)]
+pub struct PhaseInfo {
+    /// Phase name, in pipeline order (e.g. `"parse"`, `"optimize"`).
+    pub name: &'static str,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// IR node count after the phase (None for phases without a
+    /// counted IR, e.g. parse and backend).
+    pub ir_nodes: Option<usize>,
+    /// Node-count change relative to the previous counted phase
+    /// (negative = the phase shrank the program).
+    pub ir_delta: Option<i64>,
+}
+
 /// Per-phase compile-time measurements (Table 6's metric) and sizes.
 #[derive(Clone, Debug, Default)]
 pub struct CompileInfo {
-    /// Wall-clock seconds per phase, in pipeline order.
-    pub phase_seconds: Vec<(&'static str, f64)>,
-    /// Optimizer statistics.
+    /// Per-phase wall-clock and IR-size measurements, in pipeline
+    /// order.
+    pub phases: Vec<PhaseInfo>,
+    /// Optimizer statistics (including per-pass aggregates).
     pub opt_stats: Option<OptStats>,
     /// Generated code size in bytes.
     pub code_bytes: usize,
     /// Executable size (code + GC tables + static data).
     pub executable_bytes: usize,
+    /// The full structured trace (phases plus nested optimizer
+    /// passes), in span-closing order.
+    pub events: Vec<TraceEvent>,
 }
 
 impl CompileInfo {
     /// Total compile time in seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.phase_seconds.iter().map(|(_, s)| s).sum()
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Seconds spent in the named phase (0.0 if it did not run).
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.seconds)
+            .sum()
     }
 }
 
@@ -135,10 +171,11 @@ impl Executable {
         let mut m = self.linked.machine();
         let mut rt = self.linked.runtime();
         m.run(&mut rt, fuel)?;
-        rt.gc.meter_allocation(&mut m);
-        // Account the final live heap for the memory high-water mark.
-        let live = m.stats.gc_copied_words;
-        let _ = live;
+        // Final accounting: meter the allocation tail and fold the
+        // final resident heap into the memory high-water mark (a
+        // program whose high-water is its final live set would
+        // otherwise under-report the Table 4 metric).
+        rt.gc.finish(&mut m);
         Ok(RunOutcome {
             output: m.output.clone(),
             stats: m.stats.clone(),
@@ -191,24 +228,49 @@ impl Compiler {
     }
 
     fn compile_impl(&self, src: &str, mut dumps: Option<&mut PhaseDumps>) -> Result<Executable> {
+        let tracer = Tracer::new(self.opts.trace || til_common::trace::env_enabled());
         let mut info = CompileInfo::default();
         let mut clock = std::time::Instant::now();
-        let mut lap = |info: &mut CompileInfo, name: &'static str| {
+        let mut last_nodes: Option<usize> = None;
+        // Lap-style phase recorder: wall-clock since the previous lap,
+        // plus the size of the IR the phase produced (when counted).
+        let mut lap = |info: &mut CompileInfo, name: &'static str, nodes: Option<usize>| {
             let now = std::time::Instant::now();
-            info.phase_seconds.push((name, (now - clock).as_secs_f64()));
+            let seconds = (now - clock).as_secs_f64();
             clock = now;
+            let ir_delta = match (last_nodes, nodes) {
+                (Some(prev), Some(cur)) => Some(cur as i64 - prev as i64),
+                _ => None,
+            };
+            if nodes.is_some() {
+                last_nodes = nodes;
+            }
+            let mut counters: Vec<(&'static str, i64)> = Vec::new();
+            if let Some(n) = nodes {
+                counters.push(("ir-nodes", n as i64));
+            }
+            if let Some(d) = ir_delta {
+                counters.push(("ir-delta", d));
+            }
+            tracer.event(name, seconds, &counters);
+            info.phases.push(PhaseInfo {
+                name,
+                seconds,
+                ir_nodes: nodes,
+                ir_delta,
+            });
         };
 
         // Front end.
         let prelude = til_syntax::parse(til_elab::PRELUDE)?;
         let user = til_syntax::parse(src).map_err(|d| self.render(src, d))?;
-        lap(&mut info, "parse");
+        lap(&mut info, "parse", None);
         let mut e =
             til_elab::elaborate(&[&prelude, &user]).map_err(|d| self.render(src, d))?;
-        lap(&mut info, "elaborate");
+        lap(&mut info, "elaborate", Some(e.program.body.size()));
         if self.opts.verify {
             til_lambda::typecheck(&e.program)?;
-            lap(&mut info, "lambda-typecheck");
+            lap(&mut info, "lambda-typecheck", None);
         }
         if let Some(d) = dumps.as_deref_mut() {
             d.lambda = til_lambda::print::program(&e.program);
@@ -216,10 +278,10 @@ impl Compiler {
 
         // Lmli: representation decisions.
         let m = til_lmli::from_lambda(&e.program, &self.opts.lmli, &mut e.vars)?;
-        lap(&mut info, "to-lmli");
+        lap(&mut info, "to-lmli", Some(m.body.size()));
         if self.opts.verify {
             til_lmli::typecheck_lmli(&m)?;
-            lap(&mut info, "lmli-typecheck");
+            lap(&mut info, "lmli-typecheck", None);
         }
         if let Some(d) = dumps.as_deref_mut() {
             d.lmli = til_lmli::print::program(&m);
@@ -227,37 +289,44 @@ impl Compiler {
 
         // Bform + optimization.
         let mut b = til_bform::from_lmli(&m, &mut e.vars)?;
-        lap(&mut info, "to-bform");
+        lap(&mut info, "to-bform", Some(b.body.size()));
         if self.opts.verify {
             til_bform::typecheck_bform(&b)?;
-            lap(&mut info, "bform-typecheck");
+            lap(&mut info, "bform-typecheck", None);
         }
         if let Some(d) = dumps.as_deref_mut() {
             d.bform = til_bform::print::program(&b);
         }
         let mut opt = self.opts.opt;
         opt.verify = self.opts.verify;
-        let stats = til_opt::optimize(&mut b, &mut e.vars, &opt)?;
+        let stats = {
+            // Nest the per-pass spans under an `optimize` span.
+            let _span = tracer.span("optimize-passes");
+            til_opt::optimize_traced(&mut b, &mut e.vars, &opt, Some(&tracer))?
+        };
         info.opt_stats = Some(stats);
-        lap(&mut info, "optimize");
+        lap(&mut info, "optimize", Some(b.body.size()));
         if let Some(d) = dumps.as_deref_mut() {
             d.bform_optimized = til_bform::print::program(&b);
         }
 
         // Closure conversion.
         let c = til_closure::closure_convert(&b, &mut e.vars)?;
-        lap(&mut info, "closure-convert");
+        let c_nodes =
+            c.body.size() + c.codes.iter().map(|f| f.body.size()).sum::<usize>();
+        lap(&mut info, "closure-convert", Some(c_nodes));
         if self.opts.verify {
             til_closure::typecheck_closure(&c)?;
-            lap(&mut info, "closure-check");
+            lap(&mut info, "closure-check", None);
         }
 
         // RTL and the backend.
         let rtl = til_rtl::lower(&c, self.opts.mode == Mode::Baseline)?;
-        lap(&mut info, "to-rtl");
+        let rtl_instrs = rtl.funs.iter().map(|f| f.instrs.len()).sum::<usize>();
+        lap(&mut info, "to-rtl", Some(rtl_instrs));
         let linked = til_backend::link(&rtl, &self.opts.link)?;
-        lap(&mut info, "backend");
-        if let Some(d) = dumps.as_deref_mut() {
+        lap(&mut info, "backend", Some(linked.code.len()));
+        if let Some(d) = dumps {
             use std::fmt::Write as _;
             let mut s = String::new();
             for (i, ins) in linked.code.iter().enumerate() {
@@ -267,6 +336,9 @@ impl Compiler {
         }
         info.code_bytes = linked.code_bytes;
         info.executable_bytes = linked.executable_bytes();
+        tracer.counter("code-bytes", linked.code_bytes as i64);
+        tracer.counter("executable-bytes", linked.executable_bytes() as i64);
+        info.events = tracer.into_events();
         Ok(Executable { linked, info })
     }
 

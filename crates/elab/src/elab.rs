@@ -891,7 +891,7 @@ impl Elab {
             match self.venv.get(*sym).cloned() {
                 Some(Binding::Con { data, tag }) => {
                     let info = self.denv.get(data).clone();
-                    if let Some(_) = info.cons[tag].arg {
+                    if info.cons[tag].arg.is_some() {
                         let tyargs: Vec<LTy> =
                             info.params.iter().map(|_| self.fresh()).collect();
                         let want = info.con_arg_ty(tag, &tyargs).unwrap();

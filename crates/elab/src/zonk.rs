@@ -144,7 +144,7 @@ fn rewrite(e: &mut LExp, un: &mut Unifier) -> Result<()> {
                     _ => {
                         return Err(Diagnostic::ice(
                             "zonk",
-                            format!("arithmetic overload resolved to non-numeric type"),
+                            "arithmetic overload resolved to non-numeric type".to_string(),
                         ))
                     }
                 };

@@ -19,5 +19,5 @@ pub mod switch_cont;
 pub mod uncurry;
 pub mod util;
 
-pub use schedule::{optimize, OptOptions, OptStats};
+pub use schedule::{fault, optimize, optimize_traced, OptOptions, OptStats, PassStat};
 pub use simplify::{simplify, SimplifyOpts};

@@ -11,7 +11,10 @@
 //! With `verify` set, the Bform typechecker runs after *every* pass —
 //! the paper's headline engineering practice ("type-checking the
 //! output of each optimization ... helps us identify and eliminate
-//! bugs in the compiler").
+//! bugs in the compiler"). A verify failure is attributed to the pass
+//! that produced it and comes with pretty-printed before/after IR
+//! dumps, turning any miscompile into a one-pass bisection; see
+//! [`fault`] for the injection hook that keeps this machinery tested.
 
 use crate::flatten::flatten_args;
 use crate::invariant::{hoist_constants, invariant_removal};
@@ -23,7 +26,7 @@ use crate::specialize::{count_polymorphic, count_typecases, specialize};
 use crate::switch_cont::inline_switch_continuations;
 use crate::uncurry::uncurry;
 use til_bform::{typecheck_bform, BProgram};
-use til_common::{Diagnostic, Result, VarSupply};
+use til_common::{Diagnostic, Result, Tracer, VarSupply};
 
 /// Optimizer configuration.
 #[derive(Clone, Copy, Debug)]
@@ -117,6 +120,22 @@ impl OptOptions {
     }
 }
 
+/// Aggregate record of every execution of one named pass.
+#[derive(Clone, Debug, Default)]
+pub struct PassStat {
+    /// Pass name as attributed in verify diagnostics.
+    pub name: &'static str,
+    /// Times the pass ran.
+    pub runs: usize,
+    /// Total wall-clock seconds across runs.
+    pub seconds: f64,
+    /// Bform nodes removed (sum of shrinkage across runs).
+    pub nodes_eliminated: u64,
+    /// Bform nodes introduced (sum of growth across runs — inlining
+    /// and flattening legitimately grow the program).
+    pub nodes_added: u64,
+}
+
 /// What the optimizer did.
 #[derive(Clone, Debug, Default)]
 pub struct OptStats {
@@ -133,6 +152,164 @@ pub struct OptStats {
     pub size_before: usize,
     /// Program size after optimization.
     pub size_after: usize,
+    /// Per-pass aggregates, in first-execution order.
+    pub pass_stats: Vec<PassStat>,
+}
+
+impl OptStats {
+    fn record(
+        &mut self,
+        name: &'static str,
+        seconds: f64,
+        size_before: usize,
+        size_after: usize,
+    ) {
+        self.passes += 1;
+        let stat = match self.pass_stats.iter_mut().find(|s| s.name == name) {
+            Some(s) => s,
+            None => {
+                self.pass_stats.push(PassStat {
+                    name,
+                    ..PassStat::default()
+                });
+                self.pass_stats.last_mut().unwrap()
+            }
+        };
+        stat.runs += 1;
+        stat.seconds += seconds;
+        stat.nodes_eliminated += size_before.saturating_sub(size_after) as u64;
+        stat.nodes_added += size_after.saturating_sub(size_before) as u64;
+    }
+}
+
+/// Fault injection: deliberately break a named pass so the verify
+/// machinery itself stays tested.
+///
+/// When armed for pass `P` (programmatically via [`fault::break_pass`]
+/// or with the `TIL_BREAK_PASS` environment variable), the scheduler
+/// corrupts the program immediately after `P` runs by inserting a
+/// reference to an unbound variable — a minimal, always-ill-typed
+/// mutation. With `verify` on, the very next typecheck must then fail
+/// *attributed to `P`*, proving the pass-bisection diagnostics work
+/// end to end.
+pub mod fault {
+    use std::sync::Mutex;
+
+    static ARMED: Mutex<Option<String>> = Mutex::new(None);
+
+    /// Arms fault injection for the named pass; disarms when the guard
+    /// drops. Tests using this are process-global — keep one at a time.
+    pub fn break_pass(name: &str) -> Injection {
+        *ARMED.lock().unwrap() = Some(name.to_string());
+        Injection(())
+    }
+
+    /// Armed-injection guard (see [`break_pass`]).
+    pub struct Injection(());
+
+    impl Drop for Injection {
+        fn drop(&mut self) {
+            ARMED.lock().unwrap().take();
+        }
+    }
+
+    pub(crate) fn armed(pass: &str) -> bool {
+        if ARMED.lock().unwrap().as_deref() == Some(pass) {
+            return true;
+        }
+        std::env::var("TIL_BREAK_PASS").map(|v| v == pass) == Ok(true)
+    }
+}
+
+/// Scheduler context: runs one pass, times it, applies fault
+/// injection, and — with `verify` — typechecks the result, attributing
+/// failures to the pass and dumping before/after IR.
+struct Runner<'a> {
+    verify: bool,
+    tracer: Option<&'a Tracer>,
+    stats: OptStats,
+}
+
+impl Runner<'_> {
+    fn run_pass(
+        &mut self,
+        p: &mut BProgram,
+        vs: &mut VarSupply,
+        name: &'static str,
+        pass: impl FnOnce(&mut BProgram, &mut VarSupply) -> bool,
+    ) -> Result<bool> {
+        let size_before = p.body.size();
+        let snapshot = if self.verify { Some(p.clone()) } else { None };
+        let start = std::time::Instant::now();
+        let changed = pass(p, vs);
+        let seconds = start.elapsed().as_secs_f64();
+        if fault::armed(name) {
+            inject_unbound_var(p, vs);
+        }
+        let size_after = p.body.size();
+        self.stats.record(name, seconds, size_before, size_after);
+        if let Some(t) = self.tracer {
+            t.event(
+                name,
+                seconds,
+                &[
+                    ("nodes-before", size_before as i64),
+                    ("nodes-after", size_after as i64),
+                ],
+            );
+        }
+        if let Some(before) = snapshot {
+            typecheck_bform(p).map_err(|d| attribute(name, &before, p, d))?;
+        }
+        Ok(changed)
+    }
+}
+
+/// The minimal always-ill-typed mutation used by [`fault`]: bind a
+/// fresh variable to another fresh — hence unbound — variable.
+fn inject_unbound_var(p: &mut BProgram, vs: &mut VarSupply) {
+    use til_bform::{Atom, BExp, BRhs};
+    let body = std::mem::replace(&mut p.body, BExp::Ret(Atom::Int(0)));
+    p.body = BExp::Let {
+        var: vs.fresh_named("injected"),
+        rhs: BRhs::Atom(Atom::Var(vs.fresh_named("unbound"))),
+        body: Box::new(body),
+    };
+}
+
+/// Builds the pass-attributed verify diagnostic: names the pass,
+/// writes pretty-printed before/after IR dumps (to the system temp
+/// directory, or inline to stderr if that fails), and wraps the
+/// underlying type error.
+fn attribute(
+    pass: &str,
+    before: &BProgram,
+    after: &BProgram,
+    d: Diagnostic,
+) -> Diagnostic {
+    let before_txt = til_bform::print::program(before);
+    let after_txt = til_bform::print::program(after);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let bpath = dir.join(format!("til-verify-{pid}-{pass}-before.bform"));
+    let apath = dir.join(format!("til-verify-{pid}-{pass}-after.bform"));
+    let dumps = match (
+        std::fs::write(&bpath, &before_txt),
+        std::fs::write(&apath, &after_txt),
+    ) {
+        (Ok(()), Ok(())) => {
+            format!("IR dumps: {} / {}", bpath.display(), apath.display())
+        }
+        _ => {
+            eprintln!("=== til verify: IR before `{pass}` ===\n{before_txt}");
+            eprintln!("=== til verify: IR after `{pass}` ===\n{after_txt}");
+            "IR dumps written to stderr".to_string()
+        }
+    };
+    Diagnostic::ice(
+        "optimize",
+        format!("pass `{pass}` broke typing: {d}; {dumps}"),
+    )
 }
 
 /// Runs the full schedule.
@@ -141,26 +318,34 @@ pub fn optimize(
     vs: &mut VarSupply,
     opts: &OptOptions,
 ) -> Result<OptStats> {
-    let mut stats = OptStats {
-        size_before: p.body.size(),
-        ..OptStats::default()
-    };
+    optimize_traced(p, vs, opts, None)
+}
+
+/// Runs the full schedule, reporting each pass as a span on `tracer`
+/// (with node-count counters) when one is supplied.
+pub fn optimize_traced(
+    p: &mut BProgram,
+    vs: &mut VarSupply,
+    opts: &OptOptions,
+    tracer: Option<&Tracer>,
+) -> Result<OptStats> {
+    let size_before = p.body.size();
     if !opts.enabled {
-        stats.remaining_polymorphic = count_polymorphic(&p.body);
-        stats.remaining_typecases = count_typecases(&p.body);
-        stats.size_after = stats.size_before;
-        return Ok(stats);
+        return Ok(OptStats {
+            size_before,
+            size_after: size_before,
+            remaining_polymorphic: count_polymorphic(&p.body),
+            remaining_typecases: count_typecases(&p.body),
+            ..OptStats::default()
+        });
     }
-    let verify = |p: &BProgram, pass: &str| -> Result<()> {
-        if opts.verify {
-            typecheck_bform(p).map_err(|d| {
-                Diagnostic::ice(
-                    "optimize",
-                    format!("pass `{pass}` broke typing: {d}"),
-                )
-            })?;
-        }
-        Ok(())
+    let mut r = Runner {
+        verify: opts.verify,
+        tracer,
+        stats: OptStats {
+            size_before,
+            ..OptStats::default()
+        },
     };
     for _round in 0..opts.rounds.max(1) {
         // Reduction fixpoint.
@@ -169,20 +354,18 @@ pub fn optimize(
             ..SimplifyOpts::reduce(opts.loop_opts)
         };
         for _ in 0..12 {
-            stats.reduce_iterations += 1;
-            stats.passes += 1;
-            let signs = if opts.loop_opts {
-                sign_analysis(p)
-            } else {
-                Default::default()
-            };
-            let changed = simplify_with_signs(p, vs, &reduce, &signs);
-            verify(p, "simplify-reduce")?;
+            r.stats.reduce_iterations += 1;
+            let changed = r.run_pass(p, vs, "simplify-reduce", |p, vs| {
+                let signs = if opts.loop_opts {
+                    sign_analysis(p)
+                } else {
+                    Default::default()
+                };
+                simplify_with_signs(p, vs, &reduce, &signs)
+            })?;
             let mut more = false;
             if opts.loop_opts {
-                stats.passes += 1;
-                more |= invariant_removal(p);
-                verify(p, "invariant-removal")?;
+                more |= r.run_pass(p, vs, "invariant-removal", |p, _| invariant_removal(p))?;
             }
             if !changed && !more {
                 break;
@@ -190,45 +373,52 @@ pub fn optimize(
         }
         // Second group.
         if opts.specialize {
-            stats.passes += 1;
-            specialize(p, vs);
-            verify(p, "specialize")?;
+            r.run_pass(p, vs, "specialize", |p, vs| {
+                specialize(p, vs);
+                true
+            })?;
         }
         if opts.switch_cont {
-            stats.passes += 1;
-            inline_switch_continuations(p, vs);
-            verify(p, "switch-continuations")?;
+            r.run_pass(p, vs, "switch-continuations", |p, vs| {
+                inline_switch_continuations(p, vs);
+                true
+            })?;
         }
         if opts.sink {
-            stats.passes += 1;
-            sink(p);
-            verify(p, "sink")?;
+            r.run_pass(p, vs, "sink", |p, _| {
+                sink(p);
+                true
+            })?;
         }
         if opts.inline {
-            stats.passes += 1;
-            uncurry(p, vs);
-            verify(p, "uncurry")?;
+            r.run_pass(p, vs, "uncurry", |p, vs| {
+                uncurry(p, vs);
+                true
+            })?;
         }
         if opts.flatten {
-            stats.passes += 1;
-            flatten_args(p, vs);
-            verify(p, "flatten-args")?;
+            r.run_pass(p, vs, "flatten-args", |p, vs| {
+                flatten_args(p, vs);
+                true
+            })?;
         }
         if opts.minfix {
-            stats.passes += 1;
-            minimize_fix(p);
-            verify(p, "minimize-fix")?;
+            r.run_pass(p, vs, "minimize-fix", |p, _| {
+                minimize_fix(p);
+                true
+            })?;
         }
         if opts.inline {
-            stats.passes += 1;
             let inline_opts = SimplifyOpts::inline(opts.max_inline_size, opts.loop_opts);
-            simplify(p, vs, &inline_opts);
-            verify(p, "simplify-inline")?;
+            r.run_pass(p, vs, "simplify-inline", |p, vs| {
+                simplify(p, vs, &inline_opts)
+            })?;
         }
         if opts.loop_opts {
-            stats.passes += 1;
-            hoist_constants(p);
-            verify(p, "hoist-constants")?;
+            r.run_pass(p, vs, "hoist-constants", |p, _| {
+                hoist_constants(p);
+                true
+            })?;
         }
     }
     // Final cleanup reduction.
@@ -237,12 +427,12 @@ pub fn optimize(
         ..SimplifyOpts::reduce(opts.loop_opts)
     };
     for _ in 0..6 {
-        stats.passes += 1;
-        if !simplify(p, vs, &reduce) {
+        let changed = r.run_pass(p, vs, "simplify-final", |p, vs| simplify(p, vs, &reduce))?;
+        if !changed {
             break;
         }
-        verify(p, "simplify-final")?;
     }
+    let mut stats = r.stats;
     stats.remaining_polymorphic = count_polymorphic(&p.body);
     stats.remaining_typecases = count_typecases(&p.body);
     stats.size_after = p.body.size();

@@ -939,10 +939,8 @@ impl<'a> Simp<'a> {
                     args,
                 });
             }
-            MPrim::PtrEq => {
-                if args[0] == args[1] {
-                    return Outcome::Atom(Atom::Int(1));
-                }
+            MPrim::PtrEq if args[0] == args[1] => {
+                return Outcome::Atom(Atom::Int(1));
             }
             MPrim::StrSize => {}
             _ => {}

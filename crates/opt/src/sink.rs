@@ -63,7 +63,10 @@ fn try_sink(var: Var, rhs: &BRhs, body: BExp) -> (BExp, bool) {
     fn uses_var(c: &Census, v: Var) -> usize {
         c.uses(v)
     }
-    // Locate the first switch along the spine.
+    // Locate the first switch along the spine. `Result` here is
+    // control flow (Ok = sunk, Err = expression handed back
+    // unchanged), not error handling — both sides carry the tree.
+    #[allow(clippy::result_large_err)]
     fn go(var: Var, rhs: &BRhs, e: BExp) -> Result<BExp, BExp> {
         match e {
             BExp::Let {
@@ -142,6 +145,9 @@ fn try_sink(var: Var, rhs: &BRhs, body: BExp) -> (BExp, bool) {
     }
 }
 
+// `Result` is control flow (Ok = sunk, Err = switch handed back
+// unchanged), not error handling — both sides carry the tree.
+#[allow(clippy::result_large_err)]
 fn sink_into_switch(var: Var, rhs: &BRhs, sw: BSwitch) -> Result<BSwitch, BSwitch> {
     macro_rules! arm_uses {
         ($arms:expr, $default:expr, $scrut:expr) => {{

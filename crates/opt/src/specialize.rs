@@ -71,12 +71,10 @@ fn collect_requests(
     out: &mut HashMap<(Var, String), Vec<Con>>,
 ) {
     walk_rhss(e, &mut |r| {
-        if let BRhs::App { f, cargs, .. } = r {
-            if let Atom::Var(fv) = f {
-                if !cargs.is_empty() && poly.contains_key(fv) && ground(cargs) {
-                    out.entry((*fv, key_of(cargs)))
-                        .or_insert_with(|| cargs.clone());
-                }
+        if let BRhs::App { f: Atom::Var(fv), cargs, .. } = r {
+            if !cargs.is_empty() && poly.contains_key(fv) && ground(cargs) {
+                out.entry((*fv, key_of(cargs)))
+                    .or_insert_with(|| cargs.clone());
             }
         }
     });
@@ -289,11 +287,9 @@ fn redirect_calls(mut e: BExp, instances: &HashMap<(Var, String), Var>) -> BExp 
 /// Clears cargs on calls to nest-internal functions of an instance.
 fn clear_cargs(e: &mut BExp, nest: &[Var]) {
     map_rhss(e, &mut |r| {
-        if let BRhs::App { f, cargs, .. } = r {
-            if let Atom::Var(fv) = f {
-                if nest.contains(fv) {
-                    cargs.clear();
-                }
+        if let BRhs::App { f: Atom::Var(fv), cargs, .. } = r {
+            if nest.contains(fv) {
+                cargs.clear();
             }
         }
     });

@@ -1191,9 +1191,8 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 } else if carrying.len() == 1 {
                     self.emit(RInstr::Br(carry_labels[0]));
                 } else {
-                    match default {
-                        Some(d) => self.arm(d, out, join, tail)?,
-                        None => {}
+                    if let Some(d) = default {
+                        self.arm(d, out, join, tail)?
                     }
                 }
                 for ((tag, binders, a), l) in carrying.iter().zip(&carry_labels) {

@@ -45,7 +45,7 @@ impl Collector {
     /// Is `v` a pointer the collector must move?
     fn is_from_ptr(&self, m: &Machine, v: u64) -> bool {
         let (lo, hi) = self.semi(m, self.from);
-        let in_range = v >= lo && v < hi && v % 8 == 0;
+        let in_range = v >= lo && v < hi && v.is_multiple_of(8);
         match self.mode {
             GcMode::NearlyTagFree => in_range,
             GcMode::Tagged => in_range && v & 1 == 0,
@@ -282,6 +282,23 @@ impl Collector {
 
     fn rep_is_traced_at(&self, m: &Machine, loc: RepLoc, sp: u64) -> Result<bool, VmError> {
         self.rep_is_traced(m, loc, sp)
+    }
+
+    /// Final accounting at program exit: meters the allocation tail
+    /// and folds the final resident heap into the memory high-water
+    /// mark. `max_live_words` is otherwise sampled only at
+    /// collections, so a program whose high-water is its final live
+    /// set (e.g. one that builds a big structure and never triggers a
+    /// GC) would under-report the paper's Table 4 metric.
+    pub fn finish(&mut self, m: &mut Machine) {
+        self.meter_allocation(m);
+        let (base, _) = self.semi(m, self.from);
+        let hp = m.regs[regs::HP as usize];
+        let resident = if hp >= base { (hp - base) / 8 } else { 0 };
+        m.stats.final_heap_words = resident;
+        if resident > m.stats.max_live_words {
+            m.stats.max_live_words = resident;
+        }
     }
 
     /// Accumulates mutator allocation since the previous collection

@@ -87,7 +87,7 @@ impl Rt {
     fn is_small(&self, m: &Machine, v: u64) -> bool {
         match self.gc.mode {
             GcMode::NearlyTagFree => {
-                !(v >= m.layout.heap_base && v < m.layout.heap_end() && v % 8 == 0)
+                !(v >= m.layout.heap_base && v < m.layout.heap_end() && v.is_multiple_of(8))
             }
             GcMode::Tagged => v & 1 == 1,
         }

@@ -98,8 +98,13 @@ pub struct Stats {
     pub gc_count: u64,
     /// Words copied by the collector.
     pub gc_copied_words: u64,
-    /// High-water mark of live words (sampled at collections).
+    /// High-water mark of live words (sampled at collections and once
+    /// more at program exit — a program whose high-water is its final
+    /// live set would otherwise under-report).
     pub max_live_words: u64,
+    /// Resident heap words at program exit (live data surviving the
+    /// last collection plus everything allocated since).
+    pub final_heap_words: u64,
     /// High-water mark of stack words.
     pub max_stack_words: u64,
 }
@@ -197,7 +202,7 @@ impl Machine {
     /// Reads the word at byte address `addr`.
     pub fn rd(&self, addr: u64) -> Result<u64, VmError> {
         let idx = (addr / 8) as usize;
-        if addr % 8 != 0 || idx >= self.mem.len() {
+        if !addr.is_multiple_of(8) || idx >= self.mem.len() {
             return Err(VmError::BadAccess { addr, pc: self.pc });
         }
         Ok(self.mem[idx])
@@ -206,7 +211,7 @@ impl Machine {
     /// Writes the word at byte address `addr`.
     pub fn wr(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
         let idx = (addr / 8) as usize;
-        if addr % 8 != 0 || idx >= self.mem.len() {
+        if !addr.is_multiple_of(8) || idx >= self.mem.len() {
             return Err(VmError::BadAccess { addr, pc: self.pc });
         }
         self.mem[idx] = v;
@@ -291,7 +296,7 @@ impl Machine {
             budget -= 1;
             self.stats.instrs += 1;
             // Periodic stack checks keep the common path cheap.
-            if self.stats.instrs % 1024 == 0 {
+            if self.stats.instrs.is_multiple_of(1024) {
                 let sp = self.regs[regs::SP as usize];
                 if sp < self.layout.stack_limit {
                     return Err(VmError::StackOverflow);

@@ -1,9 +1,32 @@
-//! Property-based differential testing: generated programs must
-//! produce identical output under the TIL and baseline compilers —
-//! two compilation strategies, one semantics.
+//! Differential testing: generated programs must produce identical
+//! output under the TIL and baseline compilers — two compilation
+//! strategies, one semantics.
+//!
+//! The generator is a small deterministic PRNG (splitmix64) so the
+//! suite needs no external crates and every run exercises the same
+//! program corpus; bump `SEED` to rotate it.
 
-use proptest::prelude::*;
 use til::{Compiler, Options};
+
+const SEED: u64 = 0x05ee_d711_0001;
+
+/// splitmix64 — tiny deterministic PRNG for program generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
 
 /// A tiny generator of well-typed integer expressions.
 #[derive(Debug, Clone)]
@@ -16,19 +39,23 @@ enum E {
     LetPair(Box<E>, Box<E>),
 }
 
-fn gen_e() -> impl Strategy<Value = E> {
-    let leaf = any::<i8>().prop_map(E::Lit);
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| E::If(Box::new(a), Box::new(b), Box::new(c))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::LetPair(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_e(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 {
+        return E::Lit(rng.range(-128, 128) as i8);
+    }
+    let d = depth - 1;
+    match rng.range(0, 6) {
+        0 => E::Lit(rng.range(-128, 128) as i8),
+        1 => E::Add(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+        2 => E::Sub(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+        3 => E::Mul(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+        4 => E::If(
+            Box::new(gen_e(rng, d)),
+            Box::new(gen_e(rng, d)),
+            Box::new(gen_e(rng, d)),
+        ),
+        _ => E::LetPair(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+    }
 }
 
 fn sml(e: &E) -> String {
@@ -78,27 +105,28 @@ fn fmt_sml_int(v: i64) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
-
-    #[test]
-    fn generated_expressions_agree_with_reference(e in gen_e()) {
+#[test]
+fn generated_expressions_agree_with_reference() {
+    let mut rng = Rng(SEED);
+    for case in 0..12 {
+        let e = gen_e(&mut rng, 4);
         let src = format!("val _ = print (Int.toString ({}))", sml(&e));
         let expected = fmt_sml_int(eval(&e));
         for opts in [Options::til(), Options::baseline()] {
             let exe = Compiler::new(opts).compile(&src).expect("compile");
             let out = exe.run(1_000_000_000).expect("run");
-            prop_assert_eq!(&out.output, &expected);
+            assert_eq!(out.output, expected, "case {case}: {src}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
-
-    #[test]
-    fn list_programs_agree(xs in proptest::collection::vec(-50i64..50, 0..12)) {
-        let lits: Vec<String> = xs.iter().map(|n| if *n < 0 { format!("~{}", -n) } else { n.to_string() }).collect();
+#[test]
+fn list_programs_agree() {
+    let mut rng = Rng(SEED ^ 0xa5a5);
+    for case in 0..8 {
+        let len = rng.range(0, 12);
+        let xs: Vec<i64> = (0..len).map(|_| rng.range(-50, 50)).collect();
+        let lits: Vec<String> = xs.iter().map(|n| fmt_sml_int(*n)).collect();
         let src = format!(
             "val xs = [{}]
              val doubled = map (fn x => x * 2) xs
@@ -110,7 +138,7 @@ proptest! {
         for opts in [Options::til(), Options::baseline()] {
             let exe = Compiler::new(opts).compile(&src).expect("compile");
             let out = exe.run(1_000_000_000).expect("run");
-            prop_assert_eq!(&out.output, &expected);
+            assert_eq!(out.output, expected, "case {case}: {src}");
         }
     }
 }

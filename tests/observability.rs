@@ -1,0 +1,173 @@
+//! Regression tests for the observability layer and the PR-1 bug
+//! fixes: pass-attributed verify forensics, per-pass optimizer stats,
+//! phase tracing, and the exit-time memory-accounting fix.
+
+use til::{Compiler, Options};
+
+/// Both paper configurations, verification on — every regression test
+/// here runs under both (the two compilers share one semantics and
+/// one diagnostic discipline).
+fn both_modes() -> [Options; 2] {
+    let mut til = Options::til();
+    til.verify = true;
+    let mut base = Options::baseline();
+    base.verify = true;
+    [til, base]
+}
+
+// --- Root cause: `Executable::run` computed the final live heap into
+// a discarded local, so `max_live_words` stayed at its last
+// collection-time sample. A program whose high-water is its final
+// live set (e.g. it allocates once and never collects) reported ~0
+// for the paper's Table 4 metric.
+
+#[test]
+fn final_live_heap_counts_toward_memory_high_water() {
+    // Builds a ~1000-element list and holds it to the end. Small
+    // enough that no collection runs — so before the fix,
+    // max_live_words was never sampled.
+    let src = "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+               val xs = build (1000, nil)
+               val _ = print (Int.toString (length xs))";
+    for opts in both_modes() {
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let out = exe.run(1_000_000_000).expect("run");
+        assert_eq!(out.output, "1000");
+        assert_eq!(out.stats.gc_count, 0, "test premise: no collection ran");
+        assert!(
+            out.stats.final_heap_words >= 1000,
+            "final resident heap must cover the 1000-cons list, got {}",
+            out.stats.final_heap_words
+        );
+        assert!(
+            out.stats.max_live_words >= out.stats.final_heap_words,
+            "exit-time heap must fold into the high-water mark: max {} < final {}",
+            out.stats.max_live_words,
+            out.stats.final_heap_words
+        );
+    }
+}
+
+#[test]
+fn memory_high_water_still_reflects_collections() {
+    // Churn enough garbage to force collections: the high-water mark
+    // must come from collection-time samples, not only from exit.
+    let src = "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+               fun churn 0 = 0 | churn k = (length (build (2000, nil)) ; churn (k - 1))
+               val _ = print (Int.toString (churn 500))";
+    for opts in both_modes() {
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let out = exe.run(2_000_000_000).expect("run");
+        assert_eq!(out.output, "0");
+        assert!(out.stats.gc_count > 0, "test premise: collections ran");
+        assert!(
+            out.stats.max_live_words >= out.stats.final_heap_words,
+            "high-water mark can never be below the exit-time heap"
+        );
+    }
+}
+
+// --- The pass-attributed verify forensics: a type-breaking pass must
+// be *named* in the diagnostic, with before/after IR dumps.
+
+#[test]
+fn broken_pass_is_named_in_verify_diagnostic() {
+    // `minimize-fix` is scheduled in both TIL and baseline modes.
+    let _guard = til_opt::fault::break_pass("minimize-fix");
+    for opts in both_modes() {
+        let err = match Compiler::new(opts).compile("val _ = print (Int.toString (1 + 2))") {
+            Err(d) => d,
+            Ok(_) => panic!("injected breakage must fail verification"),
+        };
+        assert_eq!(err.level, til_common::Level::Ice);
+        assert!(
+            err.message.contains("pass `minimize-fix` broke typing"),
+            "diagnostic must name the offending pass: {}",
+            err.message
+        );
+        assert!(
+            err.message.contains("IR dumps"),
+            "diagnostic must point at the before/after IR dumps: {}",
+            err.message
+        );
+        // The dumps referenced by the diagnostic must exist and hold
+        // pretty-printed Bform.
+        let mut found = 0;
+        for word in err.message.split([' ', ';']) {
+            if word.contains("til-verify-") {
+                let path = word.trim_end_matches(['/', ',']);
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("dump {path} unreadable: {e}"));
+                assert!(!text.trim().is_empty(), "dump {path} is empty");
+                found += 1;
+            }
+        }
+        assert_eq!(found, 2, "expected before and after dumps: {}", err.message);
+    }
+}
+
+#[test]
+fn unbroken_compile_verifies_clean() {
+    // The same programs compile fine when nothing is injected — the
+    // forensics only fire on real type breakage.
+    for opts in both_modes() {
+        let exe = Compiler::new(opts)
+            .compile("val _ = print (Int.toString (1 + 2))")
+            .expect("verified compile");
+        assert_eq!(exe.run(1_000_000_000).unwrap().output, "3");
+    }
+}
+
+// --- Per-pass optimizer stats and phase-level compile info.
+
+#[test]
+fn optimizer_reports_per_pass_stats() {
+    let src = "fun f x = x + 1
+               fun g x = f (f x)
+               val _ = print (Int.toString (g 40))";
+    for opts in both_modes() {
+        let exe = Compiler::new(opts.clone()).compile(src).expect("compile");
+        let stats = exe.info.opt_stats.clone().expect("opt stats");
+        assert!(!stats.pass_stats.is_empty(), "per-pass stats recorded");
+        let total_runs: usize = stats.pass_stats.iter().map(|p| p.runs).sum();
+        assert_eq!(
+            total_runs, stats.passes,
+            "pass aggregate runs must account for every scheduled pass"
+        );
+        let reduce = stats
+            .pass_stats
+            .iter()
+            .find(|p| p.name == "simplify-reduce")
+            .expect("reduction pass always runs");
+        assert!(reduce.runs >= 1);
+        assert!(
+            reduce.nodes_eliminated > 0,
+            "reduction must shrink the prelude-laden program"
+        );
+    }
+}
+
+#[test]
+fn compile_info_reports_phases_and_trace_events() {
+    let exe = Compiler::new(Options::til())
+        .compile("val _ = print (Int.toString 7)")
+        .expect("compile");
+    let names: Vec<&str> = exe.info.phases.iter().map(|p| p.name).collect();
+    for expected in ["parse", "elaborate", "to-lmli", "to-bform", "optimize", "backend"] {
+        assert!(names.contains(&expected), "missing phase {expected}: {names:?}");
+    }
+    assert!(exe.info.total_seconds() > 0.0);
+    assert!(exe.info.phase_seconds("optimize") > 0.0);
+    // The optimize phase carries an IR node count and a (negative)
+    // delta: optimization must shrink the prelude-laden program.
+    let optimize = exe.info.phases.iter().find(|p| p.name == "optimize").unwrap();
+    assert!(optimize.ir_nodes.unwrap() > 0);
+    assert!(optimize.ir_delta.unwrap() < 0);
+    // The structured trace includes nested per-pass events.
+    assert!(exe
+        .info
+        .events
+        .iter()
+        .any(|e| e.name == "simplify-reduce" && e.depth > 0));
+    assert!(exe.info.events.iter().any(|e| e.name == "backend"));
+}
