@@ -39,10 +39,14 @@ pub struct EmittedFun {
     pub instrs: Vec<Instr>,
     /// Patches.
     pub relocs: Vec<(usize, Reloc)>,
-    /// `(index-after-call, caller frame)` pairs.
-    pub call_sites: Vec<(usize, FrameInfo)>,
-    /// `(gc-instruction index, point)` pairs.
-    pub gc_points: Vec<(usize, GcPoint)>,
+    /// `(index-after-call, RTL instruction index, caller frame)`
+    /// triples; the RTL index lets the table cross-checker recompute
+    /// the liveness the frame was built from.
+    pub call_sites: Vec<(usize, usize, FrameInfo)>,
+    /// `(gc-instruction index, RTL instruction index, point)` triples.
+    /// The prologue GC point of baseline heap frames has no RTL
+    /// counterpart and carries `usize::MAX`.
+    pub gc_points: Vec<(usize, usize, GcPoint)>,
 }
 
 struct Emit<'a> {
@@ -52,8 +56,8 @@ struct Emit<'a> {
     statics_addr: &'a [u64],
     out: Vec<Instr>,
     relocs: Vec<(usize, Reloc)>,
-    call_sites: Vec<(usize, FrameInfo)>,
-    gc_points: Vec<(usize, GcPoint)>,
+    call_sites: Vec<(usize, usize, FrameInfo)>,
+    gc_points: Vec<(usize, usize, GcPoint)>,
     label_pos: HashMap<Lbl, usize>,
     fixups: Vec<(usize, Lbl, FixKind)>,
     frame_bytes: i64,
@@ -303,7 +307,7 @@ impl<'a> Emit<'a> {
                     point.regs.push((i as u8, rep));
                 }
             }
-            self.gc_points.push((gc_at, point));
+            self.gc_points.push((gc_at, usize::MAX, point));
             let ok = self.out.len();
             self.out[b] = Instr::Bnez(TMP, ok as u32);
             self.push(Instr::Mov {
@@ -517,7 +521,7 @@ impl<'a> Emit<'a> {
             }
         }
         point.regs.sort_by_key(|(r, _)| *r);
-        self.gc_points.push((at, point));
+        self.gc_points.push((at, i, point));
     }
 }
 
@@ -677,7 +681,7 @@ impl<'a> Emit<'a> {
                 // instruction.
                 if !self.tagged {
                     let fi = self.frame_info(&self.al.live.live_out[i]);
-                    self.call_sites.push((self.out.len(), fi));
+                    self.call_sites.push((self.out.len(), i, fi));
                 }
                 if let Some(d) = dst {
                     self.write(*d, 0);
@@ -726,13 +730,13 @@ impl<'a> Emit<'a> {
                             point.regs.push((ai as u8, rep));
                         }
                     }
-                    self.gc_points.push((at, point));
+                    self.gc_points.push((at, i, point));
                 }
                 if !self.tagged {
                     // Runtime calls that can walk the stack behave like
                     // calls for the table (harmless otherwise).
                     let fi = self.frame_info(&self.al.live.live_out[i]);
-                    self.call_sites.push((self.out.len(), fi));
+                    self.call_sites.push((self.out.len(), i, fi));
                 }
                 if let Some(d) = dst {
                     self.write(*d, 0);

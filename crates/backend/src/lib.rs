@@ -6,5 +6,7 @@ pub mod emit;
 pub mod link;
 pub mod liveness;
 pub mod regalloc;
+pub mod tables_check;
 
 pub use link::{link, Linked, LinkOptions};
+pub use tables_check::check_gc_tables;

@@ -333,10 +333,10 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions) -> Result<Linked> {
                 }
             }
         }
-        for (at, fi) in &e.call_sites {
+        for (at, _, fi) in &e.call_sites {
             tables.call_sites.insert(base + *at as u32, fi.clone());
         }
-        for (at, gp) in &e.gc_points {
+        for (at, _, gp) in &e.gc_points {
             tables.gc_points.insert(base + *at as u32, gp.clone());
         }
     }

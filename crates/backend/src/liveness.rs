@@ -4,91 +4,9 @@
 //! ... to avoid tracing pointers that are no longer needed").
 
 use std::collections::{HashMap, HashSet};
-use til_rtl::{CallTarget, HeadSpec, Lbl, RInstr, ROp, RtlFun, VReg};
+use til_rtl::{Lbl, RInstr, RtlFun, VReg};
 
-/// Uses of one instruction.
-pub fn uses(i: &RInstr) -> Vec<VReg> {
-    let mut out = Vec::new();
-    fn op(out: &mut Vec<VReg>, o: &ROp) {
-        if let ROp::V(v) = o {
-            out.push(*v);
-        }
-    }
-    match i {
-        RInstr::Mov { src, .. } => op(&mut out, src),
-        RInstr::Alu { a, b, .. } => {
-            op(&mut out, a);
-            op(&mut out, b);
-        }
-        RInstr::Falu { a, b, .. } => {
-            out.push(*a);
-            out.push(*b);
-        }
-        RInstr::Itof { a, .. } => out.push(*a),
-        RInstr::Ld { base, .. } => out.push(*base),
-        RInstr::St { src, base, .. } => {
-            out.push(*src);
-            out.push(*base);
-        }
-        RInstr::LdGlobal { .. }
-        | RInstr::LeaCode { .. }
-        | RInstr::LeaStatic { .. }
-        | RInstr::Label(_)
-        | RInstr::Br(_)
-        | RInstr::PushHandler { .. }
-        | RInstr::PopHandler { .. }
-        | RInstr::HandlerEntry { .. } => {}
-        RInstr::StGlobal { src, .. } => out.push(*src),
-        RInstr::Beqz(v, _) | RInstr::Bnez(v, _) | RInstr::TrapIf { cond: v, .. } => {
-            out.push(*v)
-        }
-        RInstr::Call { target, args, .. } | RInstr::TailCall { target, args } => {
-            if let CallTarget::Reg(v) = target {
-                out.push(*v);
-            }
-            out.extend(args.iter().copied());
-        }
-        RInstr::CallRt { args, .. } => out.extend(args.iter().copied()),
-        RInstr::Ret(v) => {
-            if let Some(v) = v {
-                out.push(*v);
-            }
-        }
-        RInstr::Alloc { head, fields, .. } => {
-            if let HeadSpec::Reg(h) = head {
-                out.push(*h);
-            }
-            for f in fields {
-                op(&mut out, f);
-            }
-        }
-        RInstr::AllocArr { len, init, .. } => {
-            op(&mut out, len);
-            out.push(*init);
-        }
-        RInstr::Raise { packet } => out.push(*packet),
-    }
-    out
-}
-
-/// Definition of one instruction.
-pub fn defs(i: &RInstr) -> Option<VReg> {
-    match i {
-        RInstr::Mov { dst, .. }
-        | RInstr::Alu { dst, .. }
-        | RInstr::Falu { dst, .. }
-        | RInstr::Itof { dst, .. }
-        | RInstr::Ld { dst, .. }
-        | RInstr::LdGlobal { dst, .. }
-        | RInstr::LeaCode { dst, .. }
-        | RInstr::LeaStatic { dst, .. }
-        | RInstr::Alloc { dst, .. }
-        | RInstr::AllocArr { dst, .. }
-        | RInstr::HandlerEntry { dst } => Some(*dst),
-        RInstr::Call { dst, .. } | RInstr::CallRt { dst, .. } => *dst,
-        _ => None,
-    }
-}
+pub use til_rtl::analysis::{defs, uses};
 
 /// Per-instruction live-out sets for a function.
 pub struct Liveness {

@@ -5,6 +5,9 @@
 
 use til::{Compiler, Options};
 
+pub mod gen;
+pub mod rng;
+
 /// One benchmark program.
 #[derive(Clone, Copy, Debug)]
 pub struct Bench {

@@ -1,0 +1,91 @@
+//! Deterministic PRNG shared by the differential-test generator and
+//! any randomized harness code: splitmix64, zero dependencies, stable
+//! across platforms. Lives here (rather than per test file) so every
+//! consumer draws from the same, bias-free implementation.
+
+/// splitmix64 (Steele, Lea & Flood) — 64 bits of state, full-period,
+/// and good enough for program generation.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)` without modulo bias (rejection sampling).
+    /// A degenerate interval (`hi <= lo`) returns `lo` instead of
+    /// dividing by zero.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi as i128 - lo as i128) as u64;
+        // Accept only draws below the largest multiple of `span`:
+        // every residue is then equally likely.
+        let cap = u64::MAX - u64::MAX % span;
+        loop {
+            let x = self.next_u64();
+            if x < cap {
+                return (lo as i128 + (x % span) as i128) as i64;
+            }
+        }
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        (self.range(0, den as i64) as u32) < num
+    }
+
+    /// A uniformly chosen element.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range(0, xs.len() as i64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_stays_in_bounds_and_hits_both_ends() {
+        let mut r = Rng::new(7);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let v = r.range(-3, 3);
+            assert!((-3..3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 2;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn degenerate_interval_returns_lo_instead_of_panicking() {
+        let mut r = Rng::new(7);
+        assert_eq!(r.range(5, 5), 5);
+        assert_eq!(r.range(5, 4), 5);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -4,8 +4,11 @@
 
 pub mod convert;
 pub mod ir;
+pub mod passes;
+pub mod print;
 pub mod typecheck;
 
 pub use convert::closure_convert;
 pub use ir::{CExp, CProgram, CRhs, CSwitch, Code};
+pub use passes::{convert_and_optimize, ClosureOptions, ClosureStats};
 pub use typecheck::typecheck_closure;

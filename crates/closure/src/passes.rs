@@ -1,0 +1,507 @@
+//! Closure-stage passes and the per-pass verification runner.
+//!
+//! The paper's engineering discipline — "we type-check the output of
+//! each optimization" — applies after closure conversion too: every
+//! transformation of the closure-converted IR re-runs
+//! [`crate::typecheck_closure`], and a failure is attributed to the
+//! pass that produced it with before/after IR dumps (the same
+//! forensics the Bform optimizer uses, via
+//! [`til_common::verify::attribute_pass_failure`]). The
+//! [`til_common::fault`] registry (also exposed as `til_opt::fault`)
+//! breaks closure-stage passes by name so the attribution path itself
+//! stays tested.
+//!
+//! The passes are real cleanups the conversion leaves behind:
+//!
+//! * `closure-convert` — the conversion itself, verified as pass zero;
+//! * `closure-prune` — dead pure-binding elimination (unused
+//!   environment selections from the capture prologue, unused closure
+//!   or record allocations);
+//! * `closure-dead-code` — drops code blocks unreachable from the main
+//!   body (known calls and closure allocations are the only ways to
+//!   name a code).
+
+use crate::convert::closure_convert;
+use crate::ir::{CExp, CProgram, CRhs, CSwitch};
+use crate::typecheck::typecheck_closure;
+use std::collections::{HashMap, HashSet};
+use til_bform::{Atom, BProgram};
+use til_common::{fault, Diagnostic, Result, Tracer, Var, VarSupply};
+use til_opt::PassStat;
+
+/// Closure-stage configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosureOptions {
+    /// Run the cleanup passes (off = conversion only).
+    pub enabled: bool,
+    /// Re-run the closure typechecker after conversion and after every
+    /// pass, attributing failures by pass name.
+    pub verify: bool,
+}
+
+impl ClosureOptions {
+    /// Default: passes on, verification per the driver's master switch.
+    pub fn til(verify: bool) -> ClosureOptions {
+        ClosureOptions {
+            enabled: true,
+            verify,
+        }
+    }
+}
+
+/// What the closure stage did.
+#[derive(Clone, Debug, Default)]
+pub struct ClosureStats {
+    /// Passes executed (the conversion itself included).
+    pub passes: usize,
+    /// Program size (closure IR nodes) right after conversion.
+    pub size_before: usize,
+    /// Program size after the cleanup passes.
+    pub size_after: usize,
+    /// Code blocks removed as unreachable.
+    pub codes_removed: usize,
+    /// Per-pass aggregates, in first-execution order.
+    pub pass_stats: Vec<PassStat>,
+}
+
+impl ClosureStats {
+    fn record(&mut self, name: &'static str, seconds: f64, before: usize, after: usize) {
+        self.passes += 1;
+        let stat = match self.pass_stats.iter_mut().find(|s| s.name == name) {
+            Some(s) => s,
+            None => {
+                self.pass_stats.push(PassStat {
+                    name,
+                    ..PassStat::default()
+                });
+                self.pass_stats.last_mut().unwrap()
+            }
+        };
+        stat.runs += 1;
+        stat.seconds += seconds;
+        stat.nodes_eliminated += before.saturating_sub(after) as u64;
+        stat.nodes_added += after.saturating_sub(before) as u64;
+    }
+}
+
+/// Total node count of a closure program (codes + main).
+pub fn program_size(p: &CProgram) -> usize {
+    p.body.size() + p.codes.iter().map(|c| c.body.size()).sum::<usize>()
+}
+
+/// The minimal always-ill-typed mutation used by fault injection: bind
+/// a fresh variable to another fresh — hence unbound — variable at the
+/// head of the main body.
+fn inject_unbound_var(p: &mut CProgram, vs: &mut VarSupply) {
+    let body = std::mem::replace(&mut p.body, CExp::Ret(Atom::Int(0)));
+    p.body = CExp::Let {
+        var: vs.fresh_named("injected"),
+        rhs: CRhs::Atom(Atom::Var(vs.fresh_named("unbound"))),
+        body: Box::new(body),
+    };
+}
+
+fn attribute(pass: &str, before: &str, after: &CProgram, d: Diagnostic) -> Diagnostic {
+    til_common::verify::attribute_pass_failure(
+        "closure",
+        pass,
+        before,
+        &crate::print::program(after),
+        "clo",
+        d,
+    )
+}
+
+/// Converts Bform to closure form and runs the closure-stage cleanup
+/// passes, re-verifying after the conversion and after every pass when
+/// `opts.verify` is set (failures attributed by pass name, with
+/// before/after IR dumps). Pass spans are reported on `tracer`.
+pub fn convert_and_optimize(
+    b: &BProgram,
+    vs: &mut VarSupply,
+    opts: &ClosureOptions,
+    tracer: Option<&Tracer>,
+) -> Result<(CProgram, ClosureStats)> {
+    let mut stats = ClosureStats::default();
+
+    // Pass zero: the conversion itself.
+    let bform_txt = if opts.verify {
+        Some(til_bform::print::program(b))
+    } else {
+        None
+    };
+    let start = std::time::Instant::now();
+    let mut p = closure_convert(b, vs)?;
+    let seconds = start.elapsed().as_secs_f64();
+    if fault::armed("closure-convert") {
+        inject_unbound_var(&mut p, vs);
+    }
+    let converted_size = program_size(&p);
+    stats.record("closure-convert", seconds, b.body.size(), converted_size);
+    if let Some(t) = tracer {
+        t.event(
+            "closure-convert",
+            seconds,
+            &[("nodes-after", converted_size as i64)],
+        );
+    }
+    if let Some(before) = &bform_txt {
+        typecheck_closure(&p).map_err(|d| attribute("closure-convert", before, &p, d))?;
+    }
+    stats.size_before = converted_size;
+
+    if opts.enabled {
+        let mut r = Runner {
+            verify: opts.verify,
+            tracer,
+            stats: &mut stats,
+        };
+        // Pruning can strand a closure's last reference and dead-code
+        // removal can orphan a code's captures, so iterate briefly.
+        for _ in 0..3 {
+            let pruned = r.run_pass(&mut p, vs, "closure-prune", prune_dead_bindings)?;
+            let removed = r.run_pass(&mut p, vs, "closure-dead-code", |p, _| {
+                remove_unreachable_codes(p)
+            })?;
+            if !pruned && !removed {
+                break;
+            }
+        }
+    }
+    stats.size_after = program_size(&p);
+    Ok((p, stats))
+}
+
+/// Scheduler context mirroring the Bform optimizer's `Runner`.
+struct Runner<'a> {
+    verify: bool,
+    tracer: Option<&'a Tracer>,
+    stats: &'a mut ClosureStats,
+}
+
+impl Runner<'_> {
+    fn run_pass(
+        &mut self,
+        p: &mut CProgram,
+        vs: &mut VarSupply,
+        name: &'static str,
+        pass: impl FnOnce(&mut CProgram, &mut VarSupply) -> bool,
+    ) -> Result<bool> {
+        let size_before = program_size(p);
+        let snapshot = if self.verify {
+            Some(crate::print::program(p))
+        } else {
+            None
+        };
+        let start = std::time::Instant::now();
+        let changed = pass(p, vs);
+        let seconds = start.elapsed().as_secs_f64();
+        if fault::armed(name) {
+            inject_unbound_var(p, vs);
+        }
+        let size_after = program_size(p);
+        self.stats.record(name, seconds, size_before, size_after);
+        if let Some(t) = self.tracer {
+            t.event(
+                name,
+                seconds,
+                &[
+                    ("nodes-before", size_before as i64),
+                    ("nodes-after", size_after as i64),
+                ],
+            );
+        }
+        if let Some(before) = snapshot {
+            typecheck_closure(p).map_err(|d| attribute(name, &before, p, d))?;
+        }
+        Ok(changed)
+    }
+}
+
+// --------------------------------------------------- closure-prune
+
+/// Whether a right-hand side is effect-free and can be dropped when
+/// its binding is unused. Primitives and calls are conservatively kept
+/// (prints, array writes, traps); control forms are kept.
+fn rhs_pure(r: &CRhs) -> bool {
+    matches!(
+        r,
+        CRhs::Atom(_)
+            | CRhs::Float(_)
+            | CRhs::Str(_)
+            | CRhs::Record(_)
+            | CRhs::Select(..)
+            | CRhs::Con { .. }
+            | CRhs::ExnCon { .. }
+            | CRhs::MkEnv { .. }
+            | CRhs::MkClosure { .. }
+            | CRhs::EnvSel(..)
+    )
+}
+
+/// Removes unused pure bindings across the whole program. Main-spine
+/// bindings are globals visible from every code block, so use counts
+/// are program-wide. Iterates to a local fixpoint.
+fn prune_dead_bindings(p: &mut CProgram, _vs: &mut VarSupply) -> bool {
+    let mut changed_any = false;
+    loop {
+        let mut uses: HashMap<Var, usize> = HashMap::new();
+        count_exp(&p.body, &mut uses);
+        for c in &p.codes {
+            count_exp(&c.body, &mut uses);
+        }
+        let mut removed = 0usize;
+        p.body = prune_exp(std::mem::replace(&mut p.body, CExp::Ret(Atom::Int(0))), &uses, &mut removed);
+        for c in &mut p.codes {
+            c.body = prune_exp(
+                std::mem::replace(&mut c.body, CExp::Ret(Atom::Int(0))),
+                &uses,
+                &mut removed,
+            );
+        }
+        if removed == 0 {
+            break;
+        }
+        changed_any = true;
+    }
+    changed_any
+}
+
+fn prune_exp(e: CExp, uses: &HashMap<Var, usize>, removed: &mut usize) -> CExp {
+    match e {
+        CExp::Ret(a) => CExp::Ret(a),
+        CExp::Let { var, rhs, body } => {
+            let body = prune_exp(*body, uses, removed);
+            if rhs_pure(&rhs) && uses.get(&var).copied().unwrap_or(0) == 0 {
+                *removed += 1;
+                body
+            } else {
+                CExp::Let {
+                    var,
+                    rhs: prune_rhs(rhs, uses, removed),
+                    body: Box::new(body),
+                }
+            }
+        }
+    }
+}
+
+fn prune_rhs(r: CRhs, uses: &HashMap<Var, usize>, removed: &mut usize) -> CRhs {
+    let pe = |e: Box<CExp>, removed: &mut usize| Box::new(prune_exp(*e, uses, removed));
+    match r {
+        CRhs::Handle { body, var, handler } => CRhs::Handle {
+            body: pe(body, removed),
+            var,
+            handler: pe(handler, removed),
+        },
+        CRhs::Typecase {
+            scrut,
+            int,
+            float,
+            ptr,
+            con,
+        } => CRhs::Typecase {
+            scrut,
+            int: pe(int, removed),
+            float: pe(float, removed),
+            ptr: pe(ptr, removed),
+            con,
+        },
+        CRhs::Switch(sw) => CRhs::Switch(match sw {
+            CSwitch::Int {
+                scrut,
+                arms,
+                default,
+                con,
+            } => CSwitch::Int {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, a)| (k, prune_exp(a, uses, removed)))
+                    .collect(),
+                default: pe(default, removed),
+                con,
+            },
+            CSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms,
+                default,
+                con,
+            } => CSwitch::Data {
+                scrut,
+                data,
+                cargs,
+                arms: arms
+                    .into_iter()
+                    .map(|(t, b, a)| (t, b, prune_exp(a, uses, removed)))
+                    .collect(),
+                default: default.map(|d| pe(d, removed)),
+                con,
+            },
+            CSwitch::Str {
+                scrut,
+                arms,
+                default,
+                con,
+            } => CSwitch::Str {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, a)| (k, prune_exp(a, uses, removed)))
+                    .collect(),
+                default: pe(default, removed),
+                con,
+            },
+            CSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                con,
+            } => CSwitch::Exn {
+                scrut,
+                arms: arms
+                    .into_iter()
+                    .map(|(id, b, a)| (id, b, prune_exp(a, uses, removed)))
+                    .collect(),
+                default: pe(default, removed),
+                con,
+            },
+        }),
+        other => other,
+    }
+}
+
+fn count_atom(a: &Atom, uses: &mut HashMap<Var, usize>) {
+    if let Atom::Var(v) = a {
+        *uses.entry(*v).or_insert(0) += 1;
+    }
+}
+
+fn count_exp(e: &CExp, uses: &mut HashMap<Var, usize>) {
+    match e {
+        CExp::Ret(a) => count_atom(a, uses),
+        CExp::Let { rhs, body, .. } => {
+            count_rhs(rhs, uses);
+            count_exp(body, uses);
+        }
+    }
+}
+
+fn count_rhs(r: &CRhs, uses: &mut HashMap<Var, usize>) {
+    match r {
+        CRhs::Atom(a) | CRhs::Select(_, a) | CRhs::EnvSel(_, a) => count_atom(a, uses),
+        CRhs::Float(_) | CRhs::Str(_) => {}
+        CRhs::Record(atoms) => atoms.iter().for_each(|a| count_atom(a, uses)),
+        CRhs::Con { args, .. } | CRhs::Prim { args, .. } => {
+            args.iter().for_each(|a| count_atom(a, uses))
+        }
+        CRhs::ExnCon { arg, .. } => {
+            if let Some(a) = arg {
+                count_atom(a, uses);
+            }
+        }
+        CRhs::CallKnown { code, args, .. } => {
+            *uses.entry(*code).or_insert(0) += 1;
+            args.iter().for_each(|a| count_atom(a, uses));
+        }
+        CRhs::CallClosure { clo, args, .. } => {
+            count_atom(clo, uses);
+            args.iter().for_each(|a| count_atom(a, uses));
+        }
+        CRhs::MkEnv { venv, .. } => venv.iter().for_each(|a| count_atom(a, uses)),
+        CRhs::MkClosure { code, env } => {
+            *uses.entry(*code).or_insert(0) += 1;
+            count_atom(env, uses);
+        }
+        CRhs::Raise { exn, .. } => count_atom(exn, uses),
+        CRhs::Handle { body, handler, .. } => {
+            count_exp(body, uses);
+            count_exp(handler, uses);
+        }
+        CRhs::Typecase {
+            int, float, ptr, ..
+        } => {
+            count_exp(int, uses);
+            count_exp(float, uses);
+            count_exp(ptr, uses);
+        }
+        CRhs::Switch(sw) => match sw {
+            CSwitch::Int {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                count_atom(scrut, uses);
+                arms.iter().for_each(|(_, a)| count_exp(a, uses));
+                count_exp(default, uses);
+            }
+            CSwitch::Data {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                count_atom(scrut, uses);
+                arms.iter().for_each(|(_, _, a)| count_exp(a, uses));
+                if let Some(d) = default {
+                    count_exp(d, uses);
+                }
+            }
+            CSwitch::Str {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                count_atom(scrut, uses);
+                arms.iter().for_each(|(_, a)| count_exp(a, uses));
+                count_exp(default, uses);
+            }
+            CSwitch::Exn {
+                scrut,
+                arms,
+                default,
+                ..
+            } => {
+                count_atom(scrut, uses);
+                arms.iter().for_each(|(_, _, a)| count_exp(a, uses));
+                count_exp(default, uses);
+            }
+        },
+    }
+}
+
+// ----------------------------------------------- closure-dead-code
+
+/// Drops code blocks unreachable from the main body. Codes are only
+/// ever named by `CallKnown` and `MkClosure`, so reachability is the
+/// transitive closure of those references starting from main.
+fn remove_unreachable_codes(p: &mut CProgram) -> bool {
+    let mut reachable: HashSet<Var> = HashSet::new();
+    let mut frontier: Vec<Var> = Vec::new();
+    collect_code_refs(&p.body, &mut reachable, &mut frontier);
+    while let Some(v) = frontier.pop() {
+        if let Some(c) = p.codes.iter().find(|c| c.var == v) {
+            collect_code_refs(&c.body, &mut reachable, &mut frontier);
+        }
+    }
+    let before = p.codes.len();
+    p.codes.retain(|c| reachable.contains(&c.var));
+    before != p.codes.len()
+}
+
+fn collect_code_refs(e: &CExp, reachable: &mut HashSet<Var>, frontier: &mut Vec<Var>) {
+    // Reuse the use-counting walk: code labels appear in the use map
+    // through CallKnown/MkClosure; anything else is a value variable
+    // and harmlessly ignored by the retain above.
+    let mut uses = HashMap::new();
+    count_exp(e, &mut uses);
+    for v in uses.keys() {
+        if reachable.insert(*v) {
+            frontier.push(*v);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Pretty printer for closure-converted programs, used by the
+//! per-pass verify forensics (before/after IR dumps) and debugging.
+
+use crate::ir::{CExp, CProgram, CRhs, CSwitch};
+use til_bform::Atom;
+use til_common::pretty::Printer;
+use til_lmli::data::MDataEnv;
+
+/// Renders a whole program: every code block, then the main body.
+pub fn program(p: &CProgram) -> String {
+    let mut pr = Printer::new();
+    for c in &p.codes {
+        let cps = if c.cparams.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "[{}]",
+                c.cparams
+                    .iter()
+                    .map(|cv| cv.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        let ps = c
+            .params
+            .iter()
+            .map(|(v, _)| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let kind = if c.escapes { "code" } else { "known code" };
+        pr.line(format!(
+            "{kind} {}{cps}({ps})  (* {} captured cvars, {} captured vars *)",
+            c.var, c.captured_cvars, c.captured_vars
+        ));
+        pr.indent();
+        exp(&mut pr, &c.body, &p.data);
+        pr.dedent();
+    }
+    pr.line("main:");
+    pr.indent();
+    exp(&mut pr, &p.body, &p.data);
+    pr.dedent();
+    pr.finish()
+}
+
+fn atom(a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => v.to_string(),
+        Atom::Int(n) => n.to_string(),
+    }
+}
+
+fn atoms(asl: &[Atom]) -> String {
+    asl.iter().map(atom).collect::<Vec<_>>().join(", ")
+}
+
+fn exp(p: &mut Printer, e: &CExp, data: &MDataEnv) {
+    match e {
+        CExp::Ret(a) => {
+            p.line(format!("ret {}", atom(a)));
+        }
+        CExp::Let { var, rhs, body } => {
+            p.line(format!("let {var} = "));
+            rhs_str(p, rhs, data);
+            exp(p, body, data);
+        }
+    }
+}
+
+fn rhs_str(p: &mut Printer, r: &CRhs, data: &MDataEnv) {
+    match r {
+        CRhs::Atom(a) => {
+            p.word(atom(a));
+        }
+        CRhs::Float(f) => {
+            p.word(format!("{f:?}"));
+        }
+        CRhs::Str(s) => {
+            p.word(format!("{s:?}"));
+        }
+        CRhs::Record(fs) => {
+            p.word(format!("{{{}}}", atoms(fs)));
+        }
+        CRhs::Select(i, a) => {
+            p.word(format!("#{i} {}", atom(a)));
+        }
+        CRhs::Con {
+            data: id,
+            tag,
+            args,
+            ..
+        } => {
+            let name = data.get(*id).name;
+            p.word(format!("{name}#{tag}({})", atoms(args)));
+        }
+        CRhs::ExnCon { exn, arg } => {
+            let a = arg.as_ref().map(atom).unwrap_or_default();
+            p.word(format!("exn#{}({a})", exn.0));
+        }
+        CRhs::Prim { prim, args, .. } => {
+            p.word(format!("{prim}({})", atoms(args)));
+        }
+        CRhs::CallKnown { code, args, .. } => {
+            p.word(format!("call {code}({})", atoms(args)));
+        }
+        CRhs::CallClosure { clo, args, .. } => {
+            p.word(format!("callclo {}({})", atom(clo), atoms(args)));
+        }
+        CRhs::MkEnv { tenv, venv } => {
+            p.word(format!("mkenv[{} reps]{{{}}}", tenv.len(), atoms(venv)));
+        }
+        CRhs::MkClosure { code, env } => {
+            p.word(format!("mkclosure({code}, {})", atom(env)));
+        }
+        CRhs::EnvSel(i, a) => {
+            p.word(format!("envsel #{i} {}", atom(a)));
+        }
+        CRhs::Raise { exn, .. } => {
+            p.word(format!("raise {}", atom(exn)));
+        }
+        CRhs::Handle { body, var, handler } => {
+            p.word("handle");
+            p.indent();
+            exp(p, body, data);
+            p.line(format!("with {var} =>"));
+            p.indent();
+            exp(p, handler, data);
+            p.dedent();
+            p.dedent();
+        }
+        CRhs::Typecase {
+            int, float, ptr, ..
+        } => {
+            p.word("typecase of");
+            p.indent();
+            p.line("int =>");
+            p.indent();
+            exp(p, int, data);
+            p.dedent();
+            p.line("float =>");
+            p.indent();
+            exp(p, float, data);
+            p.dedent();
+            p.line("ptr =>");
+            p.indent();
+            exp(p, ptr, data);
+            p.dedent();
+            p.dedent();
+        }
+        CRhs::Switch(sw) => switch(p, sw, data),
+    }
+}
+
+fn switch(p: &mut Printer, sw: &CSwitch, data: &MDataEnv) {
+    match sw {
+        CSwitch::Int {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_int {} of", atom(scrut)));
+            p.indent();
+            for (k, a) in arms {
+                p.line(format!("{k} =>"));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            p.line("_ =>");
+            p.indent();
+            exp(p, default, data);
+            p.dedent();
+            p.dedent();
+        }
+        CSwitch::Data {
+            scrut,
+            data: id,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_data {} of", atom(scrut)));
+            p.indent();
+            for (tag, binders, a) in arms {
+                let name = data.get(*id).name;
+                let bs = binders
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                p.line(format!("{name}#{tag}({bs}) =>"));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            if let Some(d) = default {
+                p.line("_ =>");
+                p.indent();
+                exp(p, d, data);
+                p.dedent();
+            }
+            p.dedent();
+        }
+        CSwitch::Str {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_str {} of", atom(scrut)));
+            p.indent();
+            for (k, a) in arms {
+                p.line(format!("{k:?} =>"));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            p.line("_ =>");
+            p.indent();
+            exp(p, default, data);
+            p.dedent();
+            p.dedent();
+        }
+        CSwitch::Exn {
+            scrut,
+            arms,
+            default,
+            ..
+        } => {
+            p.word(format!("Switch_exn {} of", atom(scrut)));
+            p.indent();
+            for (id, binder, a) in arms {
+                let b = binder.map(|v| format!("({v})")).unwrap_or_default();
+                p.line(format!("exn#{}{b} =>", id.0));
+                p.indent();
+                exp(p, a, data);
+                p.dedent();
+            }
+            p.line("_ =>");
+            p.indent();
+            exp(p, default, data);
+            p.dedent();
+            p.dedent();
+        }
+    }
+}

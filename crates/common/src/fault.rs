@@ -1,0 +1,43 @@
+//! Fault injection for the per-pass verification machinery.
+//!
+//! The paper's engineering discipline — re-typecheck the IR after every
+//! transformation — is only trustworthy if the *checking machinery
+//! itself* stays tested. This module provides the process-global
+//! arming registry used by every pass-running stage (Bform
+//! optimization, closure-stage passes): arm a pass by name and the
+//! stage's scheduler corrupts the program immediately after that pass
+//! runs, so the very next verification must fail *attributed to that
+//! pass*.
+//!
+//! Arm programmatically with [`break_pass`] (guard-scoped) or
+//! externally with the `TIL_BREAK_PASS` environment variable.
+
+use std::sync::Mutex;
+
+static ARMED: Mutex<Option<String>> = Mutex::new(None);
+
+/// Arms fault injection for the named pass; disarms when the guard
+/// drops. The registry is process-global — tests that arm a pass must
+/// not run concurrently with other compiles in the same process.
+pub fn break_pass(name: &str) -> Injection {
+    *ARMED.lock().unwrap() = Some(name.to_string());
+    Injection(())
+}
+
+/// Armed-injection guard (see [`break_pass`]).
+pub struct Injection(());
+
+impl Drop for Injection {
+    fn drop(&mut self) {
+        ARMED.lock().unwrap().take();
+    }
+}
+
+/// Whether injection is armed for `pass` (programmatically or via the
+/// `TIL_BREAK_PASS` environment variable).
+pub fn armed(pass: &str) -> bool {
+    if ARMED.lock().unwrap().as_deref() == Some(pass) {
+        return true;
+    }
+    std::env::var("TIL_BREAK_PASS").map(|v| v == pass) == Ok(true)
+}

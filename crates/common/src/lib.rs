@@ -11,12 +11,14 @@
 //! writer ([`json::Json`]) behind the bench harness's metrics export.
 
 pub mod diag;
+pub mod fault;
 pub mod json;
 pub mod pretty;
 pub mod span;
 pub mod symbol;
 pub mod trace;
 pub mod var;
+pub mod verify;
 
 pub use diag::{Diagnostic, Level, Result};
 pub use json::Json;

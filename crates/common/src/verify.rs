@@ -1,0 +1,43 @@
+//! Shared forensics for per-pass verification failures.
+//!
+//! Every stage that re-checks its IR after each transformation (the
+//! Bform optimizer, the closure-stage passes) reports failures the
+//! same way: the diagnostic names the offending pass and points at
+//! pretty-printed before/after IR dumps, turning any miscompile into a
+//! one-pass bisection. This module owns that reporting so the format
+//! stays identical across stages.
+
+use crate::Diagnostic;
+
+/// Builds the pass-attributed verify diagnostic: names the pass,
+/// writes the pretty-printed before/after IR dumps (to the system temp
+/// directory, or inline to stderr if that fails), and wraps the
+/// underlying error. `stage` is the diagnostic's phase (e.g.
+/// `"optimize"`), `ext` the dump-file extension (e.g. `"bform"`).
+pub fn attribute_pass_failure(
+    stage: &'static str,
+    pass: &str,
+    before_txt: &str,
+    after_txt: &str,
+    ext: &str,
+    d: Diagnostic,
+) -> Diagnostic {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let bpath = dir.join(format!("til-verify-{pid}-{pass}-before.{ext}"));
+    let apath = dir.join(format!("til-verify-{pid}-{pass}-after.{ext}"));
+    let dumps = match (
+        std::fs::write(&bpath, before_txt),
+        std::fs::write(&apath, after_txt),
+    ) {
+        (Ok(()), Ok(())) => {
+            format!("IR dumps: {} / {}", bpath.display(), apath.display())
+        }
+        _ => {
+            eprintln!("=== til verify: IR before `{pass}` ===\n{before_txt}");
+            eprintln!("=== til verify: IR after `{pass}` ===\n{after_txt}");
+            "IR dumps written to stderr".to_string()
+        }
+    };
+    Diagnostic::ice(stage, format!("pass `{pass}` broke typing: {d}; {dumps}"))
+}

@@ -25,6 +25,7 @@
 use til_common::{Diagnostic, Result, Tracer};
 
 pub use til_backend::{Linked, LinkOptions};
+pub use til_closure::{ClosureOptions, ClosureStats};
 pub use til_common::TraceEvent;
 pub use til_lmli::LmliOptions;
 pub use til_opt::{OptOptions, OptStats, PassStat};
@@ -88,6 +89,36 @@ impl Options {
         }
     }
 
+    /// TIL representations with the optimizer disabled entirely — the
+    /// differential suite's oracle configuration (O0).
+    pub fn o0() -> Options {
+        Options {
+            opt: OptOptions::none(),
+            ..Options::til()
+        }
+    }
+
+    /// Every single-flag ablation of the full TIL optimizer, as
+    /// `(name, options)` pairs. The differential suite compiles each
+    /// generated program under all of these and compares outputs
+    /// against the O0 oracle.
+    pub fn ablations() -> Vec<(&'static str, Options)> {
+        fn with(f: impl FnOnce(&mut OptOptions)) -> Options {
+            let mut o = Options::til();
+            f(&mut o.opt);
+            o
+        }
+        vec![
+            ("no-loop-opts", with(|o| o.loop_opts = false)),
+            ("no-inline", with(|o| o.inline = false)),
+            ("no-flatten", with(|o| o.flatten = false)),
+            ("no-specialize", with(|o| o.specialize = false)),
+            ("no-sink", with(|o| o.sink = false)),
+            ("no-minfix", with(|o| o.minfix = false)),
+            ("no-switch-cont", with(|o| o.switch_cont = false)),
+        ]
+    }
+
     /// The baseline comparator.
     pub fn baseline() -> Options {
         Options {
@@ -124,6 +155,8 @@ pub struct CompileInfo {
     pub phases: Vec<PhaseInfo>,
     /// Optimizer statistics (including per-pass aggregates).
     pub opt_stats: Option<OptStats>,
+    /// Closure-stage statistics (conversion plus cleanup passes).
+    pub closure_stats: Option<ClosureStats>,
     /// Generated code size in bytes.
     pub code_bytes: usize,
     /// Executable size (code + GC tables + static data).
@@ -310,20 +343,34 @@ impl Compiler {
             d.bform_optimized = til_bform::print::program(&b);
         }
 
-        // Closure conversion.
-        let c = til_closure::closure_convert(&b, &mut e.vars)?;
-        let c_nodes =
-            c.body.size() + c.codes.iter().map(|f| f.body.size()).sum::<usize>();
-        lap(&mut info, "closure-convert", Some(c_nodes));
-        if self.opts.verify {
-            til_closure::typecheck_closure(&c)?;
-            lap(&mut info, "closure-check", None);
-        }
+        // Closure conversion plus the closure-stage cleanup passes.
+        // Verification re-runs the closure typechecker after the
+        // conversion and after every pass, attributing failures by
+        // pass name (the same machinery the Bform optimizer uses).
+        let copts = ClosureOptions::til(self.opts.verify);
+        let (c, cstats) = {
+            let _span = tracer.span("closure-passes");
+            til_closure::convert_and_optimize(&b, &mut e.vars, &copts, Some(&tracer))?
+        };
+        let c_nodes = til_closure::passes::program_size(&c);
+        info.closure_stats = Some(cstats);
+        lap(&mut info, "closure", Some(c_nodes));
 
         // RTL and the backend.
         let rtl = til_rtl::lower(&c, self.opts.mode == Mode::Baseline)?;
         let rtl_instrs = rtl.funs.iter().map(|f| f.instrs.len()).sum::<usize>();
         lap(&mut info, "to-rtl", Some(rtl_instrs));
+        if self.opts.verify {
+            // Structural RTL verification (def-before-use, label
+            // resolution, calling convention, representation
+            // annotations)...
+            til_rtl::verify_rtl(&rtl)?;
+            lap(&mut info, "rtl-verify", None);
+            // ...and the GC-table cross-check: every live pointer slot
+            // described, no table entry naming a dead slot.
+            til_backend::check_gc_tables(&rtl)?;
+            lap(&mut info, "gc-check", None);
+        }
         let linked = til_backend::link(&rtl, &self.opts.link)?;
         lap(&mut info, "backend", Some(linked.code.len()));
         if let Some(d) = dumps {

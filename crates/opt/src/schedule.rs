@@ -192,33 +192,12 @@ impl OptStats {
 /// mutation. With `verify` on, the very next typecheck must then fail
 /// *attributed to `P`*, proving the pass-bisection diagnostics work
 /// end to end.
+///
+/// The arming registry is shared with every other pass-running stage
+/// (it lives in [`til_common::fault`]), so the same hook also breaks
+/// closure-stage passes by name.
 pub mod fault {
-    use std::sync::Mutex;
-
-    static ARMED: Mutex<Option<String>> = Mutex::new(None);
-
-    /// Arms fault injection for the named pass; disarms when the guard
-    /// drops. Tests using this are process-global — keep one at a time.
-    pub fn break_pass(name: &str) -> Injection {
-        *ARMED.lock().unwrap() = Some(name.to_string());
-        Injection(())
-    }
-
-    /// Armed-injection guard (see [`break_pass`]).
-    pub struct Injection(());
-
-    impl Drop for Injection {
-        fn drop(&mut self) {
-            ARMED.lock().unwrap().take();
-        }
-    }
-
-    pub(crate) fn armed(pass: &str) -> bool {
-        if ARMED.lock().unwrap().as_deref() == Some(pass) {
-            return true;
-        }
-        std::env::var("TIL_BREAK_PASS").map(|v| v == pass) == Ok(true)
-    }
+    pub use til_common::fault::{armed, break_pass, Injection};
 }
 
 /// Scheduler context: runs one pass, times it, applies fault
@@ -277,38 +256,22 @@ fn inject_unbound_var(p: &mut BProgram, vs: &mut VarSupply) {
     };
 }
 
-/// Builds the pass-attributed verify diagnostic: names the pass,
-/// writes pretty-printed before/after IR dumps (to the system temp
-/// directory, or inline to stderr if that fails), and wraps the
-/// underlying type error.
+/// Builds the pass-attributed verify diagnostic via the shared
+/// forensics helper: names the pass and writes pretty-printed
+/// before/after IR dumps.
 fn attribute(
     pass: &str,
     before: &BProgram,
     after: &BProgram,
     d: Diagnostic,
 ) -> Diagnostic {
-    let before_txt = til_bform::print::program(before);
-    let after_txt = til_bform::print::program(after);
-    let dir = std::env::temp_dir();
-    let pid = std::process::id();
-    let bpath = dir.join(format!("til-verify-{pid}-{pass}-before.bform"));
-    let apath = dir.join(format!("til-verify-{pid}-{pass}-after.bform"));
-    let dumps = match (
-        std::fs::write(&bpath, &before_txt),
-        std::fs::write(&apath, &after_txt),
-    ) {
-        (Ok(()), Ok(())) => {
-            format!("IR dumps: {} / {}", bpath.display(), apath.display())
-        }
-        _ => {
-            eprintln!("=== til verify: IR before `{pass}` ===\n{before_txt}");
-            eprintln!("=== til verify: IR after `{pass}` ===\n{after_txt}");
-            "IR dumps written to stderr".to_string()
-        }
-    };
-    Diagnostic::ice(
+    til_common::verify::attribute_pass_failure(
         "optimize",
-        format!("pass `{pass}` broke typing: {d}; {dumps}"),
+        pass,
+        &til_bform::print::program(before),
+        &til_bform::print::program(after),
+        "bform",
+        d,
     )
 }
 

@@ -3,8 +3,11 @@
 //! array tagging, GC checks, exception elimination, and run-time
 //! type-representation construction.
 
+pub mod analysis;
 pub mod ir;
 pub mod lower;
+pub mod verify;
 
 pub use ir::*;
 pub use lower::{lower, HEAP_BASE};
+pub use verify::verify_rtl;

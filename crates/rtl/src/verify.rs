@@ -1,0 +1,246 @@
+//! Structural verifier for RTL (the machine-checkable counterpart of
+//! the Bform and closure typecheckers, pushed one stage further down):
+//!
+//! * every pseudo-register is defined on every path before it is used
+//!   (forward must-defined dataflow over the same CFG the backend's
+//!   liveness uses, including the `PushHandler` → handler edge);
+//! * every referenced label resolves to exactly one `Label`
+//!   instruction and every handler slot is within the declared depth;
+//! * the calling convention is respected: at most `NUM_ARGS` register
+//!   arguments, direct calls name an existing function with matching
+//!   arity, indirect calls go through a `Code`-representation register;
+//! * every pseudo-register that appears has a representation
+//!   annotation, and computed representations point at an annotated
+//!   register (the GC tables are built from these, so a missing or
+//!   dangling annotation is a collector bug waiting to happen);
+//! * global and static references are in bounds.
+
+use crate::analysis::{defs, uses};
+use crate::ir::{CallTarget, Lbl, RInstr, RRep, RtlFun, RtlProgram, VReg};
+use std::collections::{HashMap, HashSet};
+use til_common::{Diagnostic, Result};
+use til_vm::regs::NUM_ARGS;
+
+/// Verifies a whole lowered program.
+pub fn verify_rtl(p: &RtlProgram) -> Result<()> {
+    let mut arities: HashMap<til_common::Var, usize> = HashMap::new();
+    for f in &p.funs {
+        if let Some(name) = f.name {
+            arities.insert(name, f.params.len());
+        }
+    }
+    for f in &p.funs {
+        verify_fun(p, f, &arities)?;
+    }
+    Ok(())
+}
+
+fn fun_name(f: &RtlFun) -> String {
+    f.name.map(|v| v.to_string()).unwrap_or_else(|| "<entry>".to_string())
+}
+
+fn err(f: &RtlFun, at: usize, msg: impl std::fmt::Display) -> Diagnostic {
+    Diagnostic::ice(
+        "rtl-verify",
+        format!("fun {} instr {at}: {msg}", fun_name(f)),
+    )
+}
+
+fn verify_fun(
+    p: &RtlProgram,
+    f: &RtlFun,
+    arities: &HashMap<til_common::Var, usize>,
+) -> Result<()> {
+    let n = f.instrs.len();
+
+    // Labels: unique definitions, within the declared count.
+    let mut label_at: HashMap<Lbl, usize> = HashMap::new();
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if let RInstr::Label(l) = ins {
+            if *l >= f.nlabels {
+                return Err(err(f, i, format!("label L{l} >= nlabels {}", f.nlabels)));
+            }
+            if label_at.insert(*l, i).is_some() {
+                return Err(err(f, i, format!("label L{l} defined twice")));
+            }
+        }
+    }
+    let resolve = |f: &RtlFun, i: usize, l: Lbl| -> Result<usize> {
+        label_at
+            .get(&l)
+            .copied()
+            .ok_or_else(|| err(f, i, format!("branch to undefined label L{l}")))
+    };
+
+    // Representation annotations.
+    let rep_of = |f: &RtlFun, i: usize, v: VReg| -> Result<RRep> {
+        f.reps
+            .get(&v)
+            .copied()
+            .ok_or_else(|| err(f, i, format!("v{v} has no representation annotation")))
+    };
+    for (i, ins) in f.instrs.iter().enumerate() {
+        for v in uses(ins).into_iter().chain(defs(ins)) {
+            if let RRep::Computed(rv) = rep_of(f, i, v)? {
+                rep_of(f, i, rv).map_err(|_| {
+                    err(f, i, format!("v{v}'s computed representation names unannotated v{rv}"))
+                })?;
+            }
+        }
+    }
+    for v in &f.params {
+        if !f.reps.contains_key(v) {
+            return Err(err(f, 0, format!("parameter v{v} has no representation annotation")));
+        }
+    }
+
+    // Per-instruction structural checks.
+    for (i, ins) in f.instrs.iter().enumerate() {
+        match ins {
+            RInstr::Br(l) | RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
+                resolve(f, i, *l)?;
+            }
+            RInstr::PushHandler { lbl, idx } => {
+                resolve(f, i, *lbl)?;
+                if *idx >= f.nhandlers {
+                    return Err(err(f, i, format!("handler slot {idx} >= nhandlers {}", f.nhandlers)));
+                }
+            }
+            RInstr::PopHandler { idx } if *idx >= f.nhandlers => {
+                return Err(err(f, i, format!("handler slot {idx} >= nhandlers {}", f.nhandlers)));
+            }
+            RInstr::Call { target, args, .. } | RInstr::TailCall { target, args } => {
+                if args.len() > NUM_ARGS {
+                    return Err(err(
+                        f,
+                        i,
+                        format!("{} args exceed the {NUM_ARGS} argument registers", args.len()),
+                    ));
+                }
+                match target {
+                    CallTarget::Code(v) => match arities.get(v) {
+                        None => {
+                            return Err(err(f, i, format!("call to unknown code {v}")));
+                        }
+                        Some(want) if *want != args.len() => {
+                            return Err(err(
+                                f,
+                                i,
+                                format!("call to {v} passes {} args, code takes {want}", args.len()),
+                            ));
+                        }
+                        Some(_) => {}
+                    },
+                    CallTarget::Reg(v) => {
+                        if rep_of(f, i, *v)? != RRep::Code {
+                            return Err(err(
+                                f,
+                                i,
+                                format!("indirect call through v{v} whose representation is not Code"),
+                            ));
+                        }
+                    }
+                }
+            }
+            RInstr::CallRt { args, .. } if args.len() > NUM_ARGS => {
+                return Err(err(
+                    f,
+                    i,
+                    format!("{} args exceed the {NUM_ARGS} argument registers", args.len()),
+                ));
+            }
+            RInstr::LdGlobal { gid, .. } | RInstr::StGlobal { gid, .. }
+                if *gid as usize >= p.globals.len() =>
+            {
+                return Err(err(f, i, format!("global g{gid} out of bounds ({} slots)", p.globals.len())));
+            }
+            RInstr::LeaStatic { obj, .. } if *obj as usize >= p.statics.len() => {
+                return Err(err(f, i, format!("static s{obj} out of bounds ({} objects)", p.statics.len())));
+            }
+            RInstr::LeaCode { code, .. } if !arities.contains_key(code) => {
+                return Err(err(f, i, format!("address of unknown code {code}")));
+            }
+            _ => {}
+        }
+    }
+    if f.params.len() > NUM_ARGS {
+        return Err(err(
+            f,
+            0,
+            format!("{} params exceed the {NUM_ARGS} argument registers", f.params.len()),
+        ));
+    }
+
+    // Definite assignment: forward must-defined analysis, meet =
+    // intersection over predecessors, entry seeded with the params.
+    if n == 0 {
+        return Ok(());
+    }
+    let succs = |i: usize| -> Vec<usize> {
+        match &f.instrs[i] {
+            RInstr::Br(l) => vec![label_at[l]],
+            RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
+                let mut s = vec![label_at[l]];
+                if i + 1 < n {
+                    s.push(i + 1);
+                }
+                s
+            }
+            RInstr::Ret(_) | RInstr::TailCall { .. } | RInstr::Raise { .. } => vec![],
+            RInstr::PushHandler { lbl, .. } => {
+                let mut s = vec![label_at[lbl]];
+                if i + 1 < n {
+                    s.push(i + 1);
+                }
+                s
+            }
+            _ => {
+                if i + 1 < n {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    };
+    // `None` = not yet reached (top).
+    let mut defined_in: Vec<Option<HashSet<VReg>>> = vec![None; n];
+    defined_in[0] = Some(f.params.iter().copied().collect());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let Some(inn) = defined_in[i].clone() else {
+                continue;
+            };
+            let mut out = inn;
+            if let Some(d) = defs(&f.instrs[i]) {
+                out.insert(d);
+            }
+            for s in succs(i) {
+                let next = match &defined_in[s] {
+                    None => Some(out.clone()),
+                    Some(cur) => {
+                        let met: HashSet<VReg> = cur.intersection(&out).copied().collect();
+                        (met.len() != cur.len()).then_some(met)
+                    }
+                };
+                if let Some(next) = next {
+                    defined_in[s] = Some(next);
+                    changed = true;
+                }
+            }
+        }
+    }
+    for (i, (slot, ins)) in defined_in.iter().zip(&f.instrs).enumerate() {
+        let Some(inn) = slot else {
+            continue; // unreachable code
+        };
+        for u in uses(ins) {
+            if !inn.contains(&u) {
+                return Err(err(f, i, format!("v{u} used before it is defined on some path")));
+            }
+        }
+    }
+    Ok(())
+}

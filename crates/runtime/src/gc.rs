@@ -316,3 +316,55 @@ impl Collector {
         self.last_hp = hp;
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use til_vm::Layout;
+
+    fn machine() -> Machine {
+        let layout = Layout {
+            globals_end: 4096,
+            heap_base: 4096,
+            semi_bytes: 8192,
+            stack_limit: 24576,
+            stack_top: 32768,
+        };
+        Machine::new(Vec::new(), layout)
+    }
+
+    /// A program that never collects still has its exit-time resident
+    /// heap folded into the `max_live_words` high-water mark (and its
+    /// allocation tail metered) by `finish` — otherwise Table 4's
+    /// memory metric under-reports any program whose high-water is its
+    /// final live set.
+    #[test]
+    fn finish_folds_exit_resident_heap_into_high_water_with_zero_gcs() {
+        for mode in [GcMode::NearlyTagFree, GcMode::Tagged] {
+            let mut m = machine();
+            // Simulate 24 words of allocation with no collection:
+            // HP advanced, gc_count untouched, high-water never sampled.
+            m.regs[regs::HP as usize] = m.layout.heap_base + 24 * 8;
+            let mut c = Collector::new(mode, GcTables::default());
+            assert_eq!(m.stats.gc_count, 0);
+            assert_eq!(m.stats.max_live_words, 0);
+            c.finish(&mut m);
+            assert_eq!(m.stats.final_heap_words, 24);
+            assert_eq!(m.stats.max_live_words, 24);
+            assert_eq!(m.stats.allocated_bytes, 24 * 8);
+        }
+    }
+
+    /// `finish` must not *lower* a high-water mark already established
+    /// by a collection mid-run.
+    #[test]
+    fn finish_keeps_a_larger_sampled_high_water() {
+        let mut m = machine();
+        m.stats.max_live_words = 1000;
+        m.regs[regs::HP as usize] = m.layout.heap_base + 5 * 8;
+        let mut c = Collector::new(GcMode::NearlyTagFree, GcTables::default());
+        c.finish(&mut m);
+        assert_eq!(m.stats.final_heap_words, 5);
+        assert_eq!(m.stats.max_live_words, 1000);
+    }
+}

@@ -1,144 +1,111 @@
-//! Differential testing: generated programs must produce identical
-//! output under the TIL and baseline compilers — two compilation
-//! strategies, one semantics.
+//! Differential testing over generated typed programs.
 //!
-//! The generator is a small deterministic PRNG (splitmix64) so the
-//! suite needs no external crates and every run exercises the same
-//! program corpus; bump `SEED` to rotate it.
+//! [`til_bench::gen`] produces well-typed programs covering recursion,
+//! currying, tuples, polymorphic instantiation (typecase-specialized
+//! array access at int/real/tuple element types), bounds-checked array
+//! reads, and enough heap churn to force collections under the small
+//! semispace used here. Every program is compiled at O0 (the oracle),
+//! under full TIL optimization, under every single-pass ablation
+//! ([`Options::ablations`]), and under the baseline (tagged) compiler —
+//! all with verification on, so the Bform per-pass typechecker, the
+//! closure-stage per-pass typechecker, the RTL verifier, and the
+//! GC-table cross-check all run on every configuration of every
+//! program. Outputs must agree exactly.
+//!
+//! The corpus is seeded deterministically; the deep (ignored) variant
+//! reads `TIL_DIFF_SEED` so CI can rotate the corpus per run without
+//! making tier-1 flaky.
 
-use til::{Compiler, Options};
+use til::{Compiler, LinkOptions, Options};
+use til_bench::gen::generate;
 
-const SEED: u64 = 0x05ee_d711_0001;
+const SEED: u64 = 0x05ee_d711_0002;
 
-/// splitmix64 — tiny deterministic PRNG for program generation.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.next() % (hi - lo) as u64) as i64
-    }
+/// A semispace small enough that the generated churn loop collects,
+/// large enough for every live set the generator can produce.
+fn small_heap(mut o: Options) -> Options {
+    o.link = LinkOptions {
+        semi_bytes: 64 << 10,
+        ..LinkOptions::default()
+    };
+    o
 }
 
-/// A tiny generator of well-typed integer expressions.
-#[derive(Debug, Clone)]
-enum E {
-    Lit(i8),
-    Add(Box<E>, Box<E>),
-    Sub(Box<E>, Box<E>),
-    Mul(Box<E>, Box<E>),
-    If(Box<E>, Box<E>, Box<E>),
-    LetPair(Box<E>, Box<E>),
-}
-
-fn gen_e(rng: &mut Rng, depth: u32) -> E {
-    if depth == 0 {
-        return E::Lit(rng.range(-128, 128) as i8);
-    }
-    let d = depth - 1;
-    match rng.range(0, 6) {
-        0 => E::Lit(rng.range(-128, 128) as i8),
-        1 => E::Add(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
-        2 => E::Sub(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
-        3 => E::Mul(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
-        4 => E::If(
-            Box::new(gen_e(rng, d)),
-            Box::new(gen_e(rng, d)),
-            Box::new(gen_e(rng, d)),
-        ),
-        _ => E::LetPair(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
-    }
-}
-
-fn sml(e: &E) -> String {
-    match e {
-        E::Lit(n) => {
-            if *n < 0 {
-                format!("~{}", -(*n as i64))
-            } else {
-                n.to_string()
-            }
-        }
-        E::Add(a, b) => format!("({} + {})", sml(a), sml(b)),
-        E::Sub(a, b) => format!("({} - {})", sml(a), sml(b)),
-        E::Mul(a, b) => format!("({} * {})", sml(a), sml(b)),
-        E::If(c, t, f) => format!("(if {} > 0 then {} else {})", sml(c), sml(t), sml(f)),
-        E::LetPair(a, b) => format!(
-            "(let val p = ({}, {}) in #1 p + #2 p end)",
-            sml(a),
-            sml(b)
-        ),
-    }
-}
-
-/// Reference evaluator (i64, overflow impossible for depth-4 i8 trees).
-fn eval(e: &E) -> i64 {
-    match e {
-        E::Lit(n) => *n as i64,
-        E::Add(a, b) => eval(a) + eval(b),
-        E::Sub(a, b) => eval(a) - eval(b),
-        E::Mul(a, b) => eval(a) * eval(b),
-        E::If(c, t, f) => {
-            if eval(c) > 0 {
-                eval(t)
-            } else {
-                eval(f)
-            }
-        }
-        E::LetPair(a, b) => eval(a) + eval(b),
-    }
-}
-
-fn fmt_sml_int(v: i64) -> String {
-    if v < 0 {
-        format!("~{}", -v)
-    } else {
-        v.to_string()
-    }
-}
-
-#[test]
-fn generated_expressions_agree_with_reference() {
-    let mut rng = Rng(SEED);
-    for case in 0..12 {
-        let e = gen_e(&mut rng, 4);
-        let src = format!("val _ = print (Int.toString ({}))", sml(&e));
-        let expected = fmt_sml_int(eval(&e));
-        for opts in [Options::til(), Options::baseline()] {
-            let exe = Compiler::new(opts).compile(&src).expect("compile");
-            let out = exe.run(1_000_000_000).expect("run");
-            assert_eq!(out.output, expected, "case {case}: {src}");
-        }
-    }
-}
-
-#[test]
-fn list_programs_agree() {
-    let mut rng = Rng(SEED ^ 0xa5a5);
-    for case in 0..8 {
-        let len = rng.range(0, 12);
-        let xs: Vec<i64> = (0..len).map(|_| rng.range(-50, 50)).collect();
-        let lits: Vec<String> = xs.iter().map(|n| fmt_sml_int(*n)).collect();
-        let src = format!(
-            "val xs = [{}]
-             val doubled = map (fn x => x * 2) xs
-             val total = foldl (fn (a, b) => a + b) 0 doubled
-             val _ = print (Int.toString (total + length xs))",
-            lits.join(", ")
+/// Compiles and runs one configuration; returns (output, gc_count).
+fn run_config(cfg: &str, opts: Options, seed: u64, src: &str) -> (String, u64) {
+    let exe = Compiler::new(opts).compile(src).unwrap_or_else(|d| {
+        panic!("seed {seed:#x} [{cfg}]: compile failed: {d}\n--- source ---\n{src}")
+    });
+    // Verification really ran at every stage: the driver records a
+    // phase for the closure passes, the RTL verifier, and the GC-table
+    // cross-check.
+    let names: Vec<&str> = exe.info.phases.iter().map(|p| p.name).collect();
+    for required in ["closure", "rtl-verify", "gc-check"] {
+        assert!(
+            names.contains(&required),
+            "seed {seed:#x} [{cfg}]: phase {required} did not run: {names:?}"
         );
-        let expected = fmt_sml_int(xs.iter().map(|x| x * 2).sum::<i64>() + xs.len() as i64);
-        for opts in [Options::til(), Options::baseline()] {
-            let exe = Compiler::new(opts).compile(&src).expect("compile");
-            let out = exe.run(1_000_000_000).expect("run");
-            assert_eq!(out.output, expected, "case {case}: {src}");
+    }
+    let out = exe.run(2_000_000_000).unwrap_or_else(|e| {
+        panic!("seed {seed:#x} [{cfg}]: run failed: {e}\n--- source ---\n{src}")
+    });
+    (out.output, out.stats.gc_count)
+}
+
+/// Runs `cases` seeds starting at `base`: O0 oracle vs full TIL, every
+/// ablation, and the baseline compiler. Returns total collections
+/// observed across the corpus.
+fn run_corpus(base: u64, cases: u64) -> u64 {
+    let mut total_gc = 0;
+    for i in 0..cases {
+        let g = generate(base.wrapping_add(i));
+        let (oracle, gc) = run_config("o0", small_heap(Options::o0()), g.seed, &g.source);
+        total_gc += gc;
+        assert!(
+            !oracle.is_empty(),
+            "seed {:#x}: program printed nothing\n{}",
+            g.seed,
+            g.source
+        );
+        let mut configs: Vec<(&'static str, Options)> =
+            vec![("til", Options::til()), ("baseline", Options::baseline())];
+        configs.extend(Options::ablations());
+        for (cfg, opts) in configs {
+            let (out, gc) = run_config(cfg, small_heap(opts), g.seed, &g.source);
+            total_gc += gc;
+            assert_eq!(
+                out, oracle,
+                "seed {:#x}: [{cfg}] diverges from the O0 oracle\n--- source ---\n{}",
+                g.seed, g.source
+            );
         }
     }
+    total_gc
+}
+
+#[test]
+fn generated_programs_agree_across_optimization_levels() {
+    let total_gc = run_corpus(SEED, 4);
+    // The corpus must actually exercise the collector (nearly tag-free
+    // and tagged both): a zero-GC run would silently stop testing the
+    // GC tables the verifiers vouch for.
+    assert!(
+        total_gc >= 1,
+        "corpus never triggered a collection; shrink the test semispace"
+    );
+}
+
+/// The deep corpus CI runs with a rotated seed (`TIL_DIFF_SEED`, set
+/// from the workflow run number). Ignored by default so tier-1 stays
+/// fast and deterministic.
+#[test]
+#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
+fn deep_generated_corpus_with_rotated_seed() {
+    let base = std::env::var("TIL_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|n| SEED.wrapping_add(n.wrapping_mul(0x9e37_79b9)))
+        .unwrap_or(SEED);
+    let total_gc = run_corpus(base, 16);
+    assert!(total_gc >= 1);
 }
