@@ -9,4 +9,4 @@ pub mod regalloc;
 pub mod tables_check;
 
 pub use link::{link, Linked, LinkOptions};
-pub use tables_check::check_gc_tables;
+pub use tables_check::{check_gc_tables, check_gc_tables_jobs};

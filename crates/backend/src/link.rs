@@ -40,6 +40,11 @@ pub struct LinkOptions {
     pub semi_bytes: u64,
     /// Stack size in bytes.
     pub stack_bytes: u64,
+    /// Worker threads for per-function register allocation and
+    /// emission (the layout, relocation and table assembly that
+    /// follow are sequential, so the image is identical for every
+    /// value).
+    pub jobs: usize,
 }
 
 impl Default for LinkOptions {
@@ -47,6 +52,7 @@ impl Default for LinkOptions {
         LinkOptions {
             semi_bytes: 16 << 20,
             stack_bytes: 4 << 20,
+            jobs: 1,
         }
     }
 }
@@ -194,12 +200,12 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions) -> Result<Linked> {
     let statics_addr = st.addrs.clone();
     let static_bytes = (st.next - globals_bytes) as usize;
 
-    // ---- Emit every function.
-    let mut emitted: Vec<EmittedFun> = Vec::new();
-    for f in &p.funs {
+    // ---- Allocate and emit every function (independent per
+    // function; joined in function order).
+    let emitted: Vec<EmittedFun> = til_common::par::map(opts.jobs, &p.funs, |_, f| {
         let al = allocate(f);
-        emitted.push(emit_fun(f, &al, p.tagged, &statics_addr));
-    }
+        emit_fun(f, &al, p.tagged, &statics_addr)
+    });
 
     // ---- Stub layout:
     //   0: mov EXN, root_handler

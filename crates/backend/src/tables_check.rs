@@ -29,16 +29,23 @@ use til_rtl::{RRep, RtlFun, RtlProgram, VReg};
 /// addresses do not influence the tables, so the re-emission uses
 /// placeholder addresses.
 pub fn check_gc_tables(p: &RtlProgram) -> Result<()> {
+    check_gc_tables_jobs(p, 1)
+}
+
+/// [`check_gc_tables`] on up to `jobs` worker threads, one function
+/// per task; the first failure in function order is reported.
+pub fn check_gc_tables_jobs(p: &RtlProgram, jobs: usize) -> Result<()> {
     if p.tagged {
         return Ok(());
     }
     let statics_addr = vec![0u64; p.statics.len()];
-    for f in &p.funs {
+    til_common::par::map(jobs, &p.funs, |_, f| {
         let al = allocate(f);
         let em = emit_fun(f, &al, false, &statics_addr);
-        check_fun_tables(f, &al, &em)?;
-    }
-    Ok(())
+        check_fun_tables(f, &al, &em)
+    })
+    .into_iter()
+    .collect()
 }
 
 fn slot_byte_off(slot: u32) -> u32 {

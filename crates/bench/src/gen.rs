@@ -2,7 +2,8 @@
 //!
 //! Generates well-typed core-SML programs by construction: every
 //! program contains a randomized instance of each language feature the
-//! differential suite must exercise — recursive and curried functions,
+//! differential suite must exercise — recursive, mutually recursive
+//! (`fun f ... and g ...`), and curried functions,
 //! tuples, polymorphic functions instantiated at int/real/tuple types
 //! (forcing typecase-specialized array access through the polymorphic
 //! `count` helper), bounds-checked array reads including a
@@ -110,6 +111,26 @@ pub fn generate(seed: u64) -> Generated {
         r.range(0, 30)
     ));
 
+    // --- Mutual recursion (`fun f ... and g ...`): two functions
+    // bouncing a decreasing counter between each other, each adding
+    // its own randomized contribution. Exercises the elaborator's
+    // recursive binding groups and the optimizer's handling of call
+    // cycles that single-function recursion cannot reach.
+    let mut_iters = r.range(6, 30);
+    push(format!(
+        "fun ping n acc = if n <= 0 then acc else pong (n - 1) (acc + {})",
+        int_expr(r, &["n", "acc"], 2)
+    ));
+    push(format!(
+        "and pong n acc = if n <= 0 then acc else ping (n - 2) (acc - {})",
+        int_expr(r, &["n"], 2)
+    ));
+    push(format!(
+        "val mutual_chk = ping {mut_iters} {} + pong {} 0",
+        r.range(0, 12),
+        r.range(0, 16)
+    ));
+
     // --- Polymorphic helpers, instantiated at int, real, and tuples.
     push("fun dup x = (x, x)".to_string());
     push("fun appf f x = f x".to_string());
@@ -196,8 +217,8 @@ pub fn generate(seed: u64) -> Generated {
 
     // --- The checksum.
     push(format!(
-        "val _ = print (Int.toString (loop_chk + curried_chk + poly_chk \
-         + arr_chk + churn_chk + {}))",
+        "val _ = print (Int.toString (loop_chk + curried_chk + mutual_chk \
+         + poly_chk + arr_chk + churn_chk + {}))",
         int_expr(r, &[], 3)
     ));
 

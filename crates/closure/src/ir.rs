@@ -40,6 +40,12 @@ impl CProgram {
     pub fn code(&self, v: Var) -> Option<&Code> {
         self.codes.iter().find(|c| c.var == v)
     }
+
+    /// Counts expression nodes across the main body and every code
+    /// block (the pipeline's per-phase IR metric).
+    pub fn size(&self) -> usize {
+        crate::passes::program_size(self)
+    }
 }
 
 /// One closed function.

@@ -13,6 +13,7 @@
 pub mod diag;
 pub mod fault;
 pub mod json;
+pub mod par;
 pub mod pretty;
 pub mod span;
 pub mod symbol;

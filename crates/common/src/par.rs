@@ -1,0 +1,124 @@
+//! A minimal scoped worker pool for the per-function backend stages.
+//!
+//! Zero-dependency by design (the container has no registry access):
+//! plain `std::thread::scope` workers pulling indices off an atomic
+//! counter. The map is *order-preserving* — results come back indexed
+//! by their input position, so callers join per-function work in
+//! deterministic function order no matter how the scheduler interleaved
+//! the workers. Combined with per-worker trace buffers
+//! ([`crate::trace::Tracer::absorb_events`]) and per-worker static-data
+//! tables merged in function order, the compiled artifact is
+//! byte-identical for any job count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-worker stack size. Lowering and emission recurse over single
+/// function bodies (not whole programs), but debug builds are
+/// stack-hungry; 64 MiB of (lazily committed) stack per worker is
+/// plenty and costs only address space.
+const WORKER_STACK: usize = 64 << 20;
+
+/// Resolves the effective job count: the `TIL_JOBS` environment
+/// variable wins, then the programmatic request, then the machine's
+/// available parallelism. Always at least 1.
+pub fn jobs(requested: Option<usize>) -> usize {
+    let env = std::env::var("TIL_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    env.or(requested)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads,
+/// returning results in input order. `f` receives `(index, &item)`.
+///
+/// With `jobs <= 1` (or one item) this degenerates to a plain
+/// sequential loop on the calling thread — the parallel and serial
+/// paths run the *same* closure, so determinism regressions cannot
+/// hide behind the job count.
+pub fn map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(items.len());
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(s, move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                return out;
+                            }
+                            out.push((i, f(i, &items[i])));
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 8] {
+            let out = map(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).map(|i| i * 17 + 3).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(13);
+        assert_eq!(map(1, &items, f), map(8, &items, f));
+    }
+
+    #[test]
+    fn jobs_floor_is_one() {
+        assert!(jobs(Some(0)) >= 1);
+        assert!(jobs(None) >= 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+}

@@ -16,9 +16,15 @@
 //! The tracer is deliberately zero-dependency and allocation-light: a
 //! disabled tracer still records events (they feed `CompileInfo`) but
 //! prints nothing.
+//!
+//! The tracer is `Sync`: parallel pipeline stages (the per-function
+//! backend) record into per-worker [`Tracer`]s and merge them in
+//! deterministic order with [`Tracer::absorb_events`], so the
+//! pass-attributed event stream is identical regardless of the worker
+//! count.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One closed span: a named unit of compiler work.
@@ -44,7 +50,7 @@ struct State {
 pub struct Tracer {
     /// Stream spans to stderr as they close?
     echo: bool,
-    state: RefCell<State>,
+    state: Mutex<State>,
 }
 
 /// Is `TIL_TRACE` set to a truthy value (anything but `0`/empty)?
@@ -60,7 +66,7 @@ impl Tracer {
     pub fn new(echo: bool) -> Tracer {
         Tracer {
             echo,
-            state: RefCell::new(State {
+            state: Mutex::new(State {
                 depth: 0,
                 events: Vec::new(),
             }),
@@ -77,11 +83,36 @@ impl Tracer {
         self.echo
     }
 
+    /// A quiet child tracer for one parallel worker. Workers record
+    /// spans locally (no contention, no interleaved echo) and the
+    /// coordinator merges the buffers in deterministic order with
+    /// [`absorb_events`](Tracer::absorb_events) after joining.
+    pub fn fork(&self) -> Tracer {
+        Tracer::new(false)
+    }
+
+    /// Merges a per-worker event buffer (from
+    /// [`fork`](Tracer::fork) + [`into_events`](Tracer::into_events))
+    /// into this tracer, re-based one level below the current depth.
+    /// Call once per worker, in deterministic (function) order, so the
+    /// merged stream is identical regardless of scheduling.
+    pub fn absorb_events(&self, events: Vec<TraceEvent>) {
+        let base = {
+            let st = self.state.lock().unwrap();
+            st.depth + 1
+        };
+        for mut ev in events {
+            ev.depth += base;
+            self.emit(&ev);
+            self.state.lock().unwrap().events.push(ev);
+        }
+    }
+
     /// Opens a span. The span closes (and is recorded) when the guard
     /// drops; attach counters to the guard while it is open.
     pub fn span(&self, name: impl Into<String>) -> Span<'_> {
         let depth = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock().unwrap();
             let d = st.depth;
             st.depth += 1;
             d
@@ -105,7 +136,7 @@ impl Tracer {
         counters: &[(&'static str, i64)],
     ) {
         let ev = {
-            let st = self.state.borrow();
+            let st = self.state.lock().unwrap();
             TraceEvent {
                 name: name.into(),
                 depth: st.depth,
@@ -114,13 +145,13 @@ impl Tracer {
             }
         };
         self.emit(&ev);
-        self.state.borrow_mut().events.push(ev);
+        self.state.lock().unwrap().events.push(ev);
     }
 
     /// Records an instantaneous counter-only event at the current depth.
     pub fn counter(&self, name: impl Into<String>, value: i64) {
         let ev = {
-            let st = self.state.borrow();
+            let st = self.state.lock().unwrap();
             TraceEvent {
                 name: name.into(),
                 depth: st.depth,
@@ -129,18 +160,18 @@ impl Tracer {
             }
         };
         self.emit(&ev);
-        self.state.borrow_mut().events.push(ev);
+        self.state.lock().unwrap().events.push(ev);
     }
 
     /// All events recorded so far, in closing order (children before
     /// parents, like a post-order traversal).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.state.borrow().events.clone()
+        self.state.lock().unwrap().events.clone()
     }
 
     /// Consumes the tracer, returning its events.
     pub fn into_events(self) -> Vec<TraceEvent> {
-        self.state.into_inner().events
+        self.state.into_inner().unwrap().events
     }
 
     fn emit(&self, ev: &TraceEvent) {
@@ -172,7 +203,7 @@ impl Tracer {
             counters: std::mem::take(&mut span.counters),
         };
         self.emit(&ev);
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().unwrap();
         st.depth = span.depth;
         st.events.push(ev);
     }
@@ -243,5 +274,29 @@ mod tests {
         let evs = t.into_events();
         assert_eq!(evs[0].counters, vec![("value", 4096)]);
         assert_eq!(evs[0].seconds, 0.0);
+    }
+
+    #[test]
+    fn tracer_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Tracer>();
+    }
+
+    #[test]
+    fn absorbed_worker_events_rebase_below_the_current_depth() {
+        let t = Tracer::new(false);
+        let _outer = t.span("backend");
+        let worker = t.fork();
+        {
+            let mut s = worker.span("emit f");
+            s.counter("instrs", 7);
+        }
+        t.absorb_events(worker.into_events());
+        let evs = t.events();
+        assert_eq!(evs[0].name, "emit f");
+        // Worker depth 0 lands one level under the open "backend" span
+        // (depth 1), i.e. at depth 2.
+        assert_eq!(evs[0].depth, 2);
+        assert_eq!(evs[0].counters, vec![("instrs", 7)]);
     }
 }

@@ -53,7 +53,7 @@ impl fmt::Debug for Var {
 ///
 /// One supply is threaded through the whole compilation of a unit, so ids
 /// never collide across phases.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct VarSupply {
     next: u32,
 }

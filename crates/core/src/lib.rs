@@ -22,8 +22,12 @@
 //! assert_eq!(out.output, "42");
 //! ```
 
-use til_common::{Diagnostic, Result, Tracer};
+use std::sync::OnceLock;
+use til_common::{Diagnostic, Result, Tracer, VarSupply};
 
+pub mod pipeline;
+
+pub use pipeline::{Phase, Pipeline};
 pub use til_backend::{Linked, LinkOptions};
 pub use til_closure::{ClosureOptions, ClosureStats};
 pub use til_common::TraceEvent;
@@ -43,6 +47,28 @@ pub enum Mode {
     /// The SML/NJ-like comparator: universal tagged representation,
     /// boxed values, heap-allocated frames, tagged GC.
     Baseline,
+}
+
+/// How much of the prelude's compilation a [`Compiler`] caches across
+/// `compile()` calls. Every level runs the *same* compilation-unit
+/// split (prelude unit + user unit, joined at elaboration), so the
+/// generated code is byte-identical whether the prelude came from the
+/// cache or was rebuilt; the level only decides how much work a warm
+/// compile skips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreludeCache {
+    /// Rebuild the prelude unit on every compile (the split still
+    /// runs; nothing is stored).
+    Off,
+    /// Cache the parsed + elaborated prelude (the zonked Lambda
+    /// skeleton and the elaborator snapshot); everything from Lmli
+    /// conversion down still sees the whole program.
+    Elab,
+    /// Additionally cache the prelude's Lmli conversion and its
+    /// typing environment: warm compiles elaborate, convert and
+    /// typecheck only the user fragment, splicing it into the cached
+    /// skeleton at the Lmli level.
+    Lmli,
 }
 
 /// Compiler configuration.
@@ -65,6 +91,14 @@ pub struct Options {
     pub trace: bool,
     /// Heap/stack sizing.
     pub link: LinkOptions,
+    /// Worker threads for the per-function backend stages (RTL
+    /// lowering, verification, GC-table checking, allocation and
+    /// emission). `None` = the machine's available parallelism; the
+    /// `TIL_JOBS` environment variable overrides either. The output
+    /// is byte-identical for every value.
+    pub jobs: Option<usize>,
+    /// Prelude caching level (see [`PreludeCache`]).
+    pub prelude_cache: PreludeCache,
 }
 
 impl Options {
@@ -77,6 +111,8 @@ impl Options {
             verify: true,
             trace: false,
             link: LinkOptions::default(),
+            jobs: None,
+            prelude_cache: PreludeCache::Elab,
         }
     }
 
@@ -128,8 +164,45 @@ impl Options {
             verify: true,
             trace: false,
             link: LinkOptions::default(),
+            jobs: None,
+            prelude_cache: PreludeCache::Elab,
         }
     }
+
+    /// Every *pair* of optimizer ablations, as `(name, options)`
+    /// triples of the two disabled flags. The deep differential suite
+    /// samples a seeded subset of these: single-flag ablations miss
+    /// bugs that only show when two passes stop covering for each
+    /// other.
+    pub fn ablation_pairs() -> Vec<(String, Options)> {
+        let singles = Options::ablations();
+        let mut out = Vec::new();
+        for i in 0..singles.len() {
+            for j in (i + 1)..singles.len() {
+                let (na, _) = &singles[i];
+                let (nb, ob) = &singles[j];
+                let mut o = singles[i].1.clone();
+                // Apply the second ablation on top of the first: the
+                // single-flag constructors each clear exactly one
+                // field, so merging = copying the cleared field over.
+                merge_disabled(&mut o.opt, &ob.opt);
+                out.push((format!("{na}+{nb}"), o));
+            }
+        }
+        out
+    }
+}
+
+/// Copies every disabled optimizer flag of `b` into `a` (used to
+/// compose two single-flag ablations into a pair).
+fn merge_disabled(a: &mut OptOptions, b: &OptOptions) {
+    a.loop_opts &= b.loop_opts;
+    a.inline &= b.inline;
+    a.flatten &= b.flatten;
+    a.specialize &= b.specialize;
+    a.sink &= b.sink;
+    a.minfix &= b.minfix;
+    a.switch_cont &= b.switch_cont;
 }
 
 /// One pipeline phase's measurements.
@@ -237,15 +310,46 @@ pub struct PhaseDumps {
     pub assembly: String,
 }
 
+/// The prelude's compilation state, computed once per [`Compiler`]
+/// (lazily, on the first `compile()`) and shared by every subsequent
+/// call. Cold and warm compiles run the same split code path, so the
+/// cache cannot change the generated code — only how often this is
+/// rebuilt.
+struct CachedPrelude {
+    /// Elaborator snapshot + zonked Lambda skeleton with its hole.
+    unit: til_elab::PreludeUnit,
+    /// Lambda typing environment at the hole (captured when
+    /// verification is on; drives fragment typechecking at the Lmli
+    /// cache level).
+    lambda_env: Option<til_lambda::typecheck::FragmentEnv>,
+    /// The Lmli-level extension (only at [`PreludeCache::Lmli`]).
+    lmli: Option<LmliPrelude>,
+}
+
+/// The prelude converted to Lmli: the skeleton program, the
+/// conversion environment at the hole, the Lmli typing environment,
+/// and the variable supply after conversion (user elaboration resumes
+/// from it so fragment ids never collide with skeleton ids).
+struct LmliPrelude {
+    skel: til_lmli::MProgram,
+    fcx: til_lmli::FragmentCx,
+    tc_env: Option<til_lmli::FragmentTcEnv>,
+    vars_after: VarSupply,
+}
+
 /// The compiler.
 pub struct Compiler {
     opts: Options,
+    prelude: OnceLock<CachedPrelude>,
 }
 
 impl Compiler {
     /// A compiler with the given options.
     pub fn new(opts: Options) -> Compiler {
-        Compiler { opts }
+        Compiler {
+            opts,
+            prelude: OnceLock::new(),
+        }
     }
 
     /// Compiles `src` (with the prelude) to a runnable executable.
@@ -260,119 +364,273 @@ impl Compiler {
         Ok((exe, dumps))
     }
 
+    /// Builds the prelude unit (parse → elaborate → typecheck → at
+    /// the Lmli cache level, convert + typecheck), recording each
+    /// step as a `prelude-*` phase. Runs once per compiler when the
+    /// cache is on; every compile when it is off.
+    fn build_prelude(&self, pl: &mut Pipeline) -> Result<CachedPrelude> {
+        let past = pl.run(Phase::new("prelude-parse"), || {
+            til_syntax::parse(til_elab::PRELUDE)
+        })?;
+        let unit = pl.run(
+            Phase::new("prelude-elaborate")
+                .count(|u: &til_elab::PreludeUnit| u.skeleton().size()),
+            || til_elab::prelude_unit(&past),
+        )?;
+        // The skeleton typecheck doubles as the capture of the typing
+        // environment at the hole, so it runs as its own phase (a
+        // verifier cannot return a value).
+        let lambda_env = if self.opts.verify {
+            Some(pl.run(Phase::new("prelude-lambda-typecheck"), || {
+                til_lambda::typecheck::typecheck_prelude(&unit.skeleton_program(), unit.hole())
+            })?)
+        } else {
+            None
+        };
+        let lmli = if self.opts.prelude_cache == PreludeCache::Lmli {
+            let skel_prog = unit.skeleton_program();
+            let mut vars = unit.vars();
+            let (skel, fcx) = pl.run(
+                Phase::new("prelude-to-lmli")
+                    .count(|t: &(til_lmli::MProgram, til_lmli::FragmentCx)| t.0.body.size()),
+                || til_lmli::from_lambda_prelude(&skel_prog, &self.opts.lmli, &mut vars, unit.hole()),
+            )?;
+            let tc_env = if self.opts.verify {
+                Some(pl.run(Phase::new("prelude-lmli-typecheck"), || {
+                    til_lmli::typecheck_lmli_prelude(&skel, unit.hole())
+                })?)
+            } else {
+                None
+            };
+            Some(LmliPrelude {
+                skel,
+                fcx,
+                tc_env,
+                vars_after: vars,
+            })
+        } else {
+            None
+        };
+        Ok(CachedPrelude {
+            unit,
+            lambda_env,
+            lmli,
+        })
+    }
+
     fn compile_impl(&self, src: &str, mut dumps: Option<&mut PhaseDumps>) -> Result<Executable> {
         let tracer = Tracer::new(self.opts.trace || til_common::trace::env_enabled());
-        let mut info = CompileInfo::default();
-        let mut clock = std::time::Instant::now();
-        let mut last_nodes: Option<usize> = None;
-        // Lap-style phase recorder: wall-clock since the previous lap,
-        // plus the size of the IR the phase produced (when counted).
-        let mut lap = |info: &mut CompileInfo, name: &'static str, nodes: Option<usize>| {
-            let now = std::time::Instant::now();
-            let seconds = (now - clock).as_secs_f64();
-            clock = now;
-            let ir_delta = match (last_nodes, nodes) {
-                (Some(prev), Some(cur)) => Some(cur as i64 - prev as i64),
-                _ => None,
-            };
-            if nodes.is_some() {
-                last_nodes = nodes;
+        let jobs = til_common::par::jobs(self.opts.jobs);
+        let mut pl = Pipeline::new(&tracer, self.opts.verify);
+
+        // ---- Prelude unit: from the per-compiler cache, or rebuilt.
+        // A warm compile records a `prelude-cache-hit` counter and no
+        // `prelude-*` phases at all.
+        let rebuilt; // keeps an uncached build alive (PreludeCache::Off)
+        let prelude: &CachedPrelude = match self.opts.prelude_cache {
+            PreludeCache::Off => {
+                rebuilt = self.build_prelude(&mut pl)?;
+                &rebuilt
             }
-            let mut counters: Vec<(&'static str, i64)> = Vec::new();
-            if let Some(n) = nodes {
-                counters.push(("ir-nodes", n as i64));
+            PreludeCache::Elab | PreludeCache::Lmli => {
+                if let Some(c) = self.prelude.get() {
+                    tracer.counter("prelude-cache-hit", 1);
+                    c
+                } else {
+                    let built = self.build_prelude(&mut pl)?;
+                    // A concurrent compile may have won the race;
+                    // both builds are identical, so either works.
+                    let _ = self.prelude.set(built);
+                    self.prelude.get().expect("cache was just populated")
+                }
             }
-            if let Some(d) = ir_delta {
-                counters.push(("ir-delta", d));
-            }
-            tracer.event(name, seconds, &counters);
-            info.phases.push(PhaseInfo {
-                name,
-                seconds,
-                ir_nodes: nodes,
-                ir_delta,
-            });
         };
 
-        // Front end.
-        let prelude = til_syntax::parse(til_elab::PRELUDE)?;
-        let user = til_syntax::parse(src).map_err(|d| self.render(src, d))?;
-        lap(&mut info, "parse", None);
-        let mut e =
-            til_elab::elaborate(&[&prelude, &user]).map_err(|d| self.render(src, d))?;
-        lap(&mut info, "elaborate", Some(e.program.body.size()));
-        if self.opts.verify {
-            til_lambda::typecheck(&e.program)?;
-            lap(&mut info, "lambda-typecheck", None);
-        }
-        if let Some(d) = dumps.as_deref_mut() {
-            d.lambda = til_lambda::print::program(&e.program);
-        }
-
-        // Lmli: representation decisions.
-        let m = til_lmli::from_lambda(&e.program, &self.opts.lmli, &mut e.vars)?;
-        lap(&mut info, "to-lmli", Some(m.body.size()));
-        if self.opts.verify {
-            til_lmli::typecheck_lmli(&m)?;
-            lap(&mut info, "lmli-typecheck", None);
-        }
+        // ---- User unit: parse, elaborate against the snapshot, join.
+        let user = pl.run(Phase::new("parse"), || {
+            til_syntax::parse(src).map_err(|d| self.render(src, d))
+        })?;
+        let (m, mut vars) = match &prelude.lmli {
+            None => {
+                // Join at the Lambda level: splice the user body into
+                // the skeleton and run the whole program downstream.
+                let e = pl.run(
+                    Phase::new("elaborate")
+                        .count(|e: &til_elab::Elaborated| e.program.body.size())
+                        .verify("lambda-typecheck", |e: &til_elab::Elaborated| {
+                            til_lambda::typecheck(&e.program).map(|_| ())
+                        }),
+                    || {
+                        til_elab::elaborate_user(&prelude.unit, &user)
+                            .map_err(|d| self.render(src, d))
+                    },
+                )?;
+                if let Some(d) = dumps.as_deref_mut() {
+                    d.lambda = til_lambda::print::program(&e.program);
+                }
+                let mut vars = e.vars;
+                let m = pl.run(
+                    Phase::new("to-lmli")
+                        .count(|m: &til_lmli::MProgram| m.body.size())
+                        .verify("lmli-typecheck", |m: &til_lmli::MProgram| {
+                            til_lmli::typecheck_lmli(m).map(|_| ())
+                        }),
+                    || til_lmli::from_lambda(&e.program, &self.opts.lmli, &mut vars),
+                )?;
+                (m, vars)
+            }
+            Some(lm) => {
+                // Join at the Lmli level: only the user fragment is
+                // elaborated, converted and typechecked; the cached
+                // skeleton supplies the rest.
+                let (frag, mut vars) = pl.run(
+                    Phase::new("elaborate")
+                        .count(|t: &(til_lambda::LProgram, VarSupply)| t.0.body.size())
+                        .verify("lambda-typecheck", |t: &(til_lambda::LProgram, VarSupply)| {
+                            let env = prelude.lambda_env.as_ref().ok_or_else(|| {
+                                Diagnostic::ice("pipeline", "verify on but no captured prelude env")
+                            })?;
+                            til_lambda::typecheck::typecheck_fragment(&t.0, env).map(|_| ())
+                        }),
+                    || {
+                        let u = til_elab::elaborate_user_fragment(
+                            &prelude.unit,
+                            &user,
+                            Some(lm.vars_after.clone()),
+                        )
+                        .map_err(|d| self.render(src, d))?;
+                        let vars = u.vars.clone();
+                        Ok((
+                            til_lambda::LProgram {
+                                data_env: u.data_env,
+                                exn_env: u.exn_env,
+                                body: u.body,
+                                body_ty: til_lambda::ty::LTy::unit(),
+                            },
+                            vars,
+                        ))
+                    },
+                )?;
+                if let Some(d) = dumps.as_deref_mut() {
+                    let mut body = prelude.unit.skeleton().clone();
+                    body.splice_var(prelude.unit.hole(), &frag.body);
+                    d.lambda = til_lambda::print::program(&til_lambda::LProgram {
+                        data_env: frag.data_env.clone(),
+                        exn_env: frag.exn_env.clone(),
+                        body,
+                        body_ty: til_lambda::ty::LTy::unit(),
+                    });
+                }
+                let m_frag = pl.run(
+                    Phase::new("to-lmli")
+                        .count(|m: &til_lmli::MProgram| m.body.size())
+                        .verify("lmli-typecheck", |m: &til_lmli::MProgram| {
+                            let env = lm.tc_env.as_ref().ok_or_else(|| {
+                                Diagnostic::ice("pipeline", "verify on but no captured lmli env")
+                            })?;
+                            til_lmli::typecheck_lmli_fragment(m, env).map(|_| ())
+                        }),
+                    || til_lmli::from_lambda_fragment(&frag, &self.opts.lmli, &mut vars, &lm.fcx),
+                )?;
+                let mut body = lm.skel.body.clone();
+                let spliced = body.splice_var(prelude.unit.hole(), &m_frag.body);
+                debug_assert_eq!(spliced, 1, "the Lmli skeleton has exactly one hole");
+                let m = til_lmli::MProgram {
+                    data: m_frag.data,
+                    exns: m_frag.exns,
+                    body,
+                    con: lm.skel.con.clone(),
+                };
+                (m, vars)
+            }
+        };
+        // Drop the dead weight of the joined prelude before the rest
+        // of the pipeline sees it: unused prelude bindings would
+        // otherwise ride through Bform conversion, typechecking, and
+        // optimization on every compile just to be dead-code
+        // eliminated at the end. Runs on every path (cached or not) so
+        // outputs stay identical across cache states.
+        let mut m = m;
+        pl.run(
+            Phase::new("lmli-prune").count(|t: &(usize, usize)| t.1),
+            || {
+                let removed = til_lmli::prune_dead(&mut m);
+                Ok((removed, m.body.size()))
+            },
+        )?;
         if let Some(d) = dumps.as_deref_mut() {
             d.lmli = til_lmli::print::program(&m);
         }
 
-        // Bform + optimization.
-        let mut b = til_bform::from_lmli(&m, &mut e.vars)?;
-        lap(&mut info, "to-bform", Some(b.body.size()));
-        if self.opts.verify {
-            til_bform::typecheck_bform(&b)?;
-            lap(&mut info, "bform-typecheck", None);
-        }
+        // ---- Bform + optimization.
+        let mut b = pl.run(
+            Phase::new("to-bform")
+                .count(|b: &til_bform::BProgram| b.body.size())
+                .verify("bform-typecheck", |b: &til_bform::BProgram| {
+                    til_bform::typecheck_bform(b).map(|_| ())
+                }),
+            || til_bform::from_lmli(&m, &mut vars),
+        )?;
         if let Some(d) = dumps.as_deref_mut() {
             d.bform = til_bform::print::program(&b);
         }
         let mut opt = self.opts.opt;
         opt.verify = self.opts.verify;
-        let stats = {
-            // Nest the per-pass spans under an `optimize` span.
-            let _span = tracer.span("optimize-passes");
-            til_opt::optimize_traced(&mut b, &mut e.vars, &opt, Some(&tracer))?
-        };
-        info.opt_stats = Some(stats);
-        lap(&mut info, "optimize", Some(b.body.size()));
+        let (stats, _) = pl.run(
+            Phase::new("optimize").count(|t: &(OptStats, usize)| t.1),
+            || {
+                // Nest the per-pass spans under an `optimize` span.
+                let _span = tracer.span("optimize-passes");
+                let stats = til_opt::optimize_traced(&mut b, &mut vars, &opt, Some(&tracer))?;
+                Ok((stats, b.body.size()))
+            },
+        )?;
+        pl.info_mut().opt_stats = Some(stats);
         if let Some(d) = dumps.as_deref_mut() {
             d.bform_optimized = til_bform::print::program(&b);
         }
 
-        // Closure conversion plus the closure-stage cleanup passes.
-        // Verification re-runs the closure typechecker after the
-        // conversion and after every pass, attributing failures by
-        // pass name (the same machinery the Bform optimizer uses).
+        // ---- Closure conversion plus the closure-stage cleanup
+        // passes. Verification re-runs the closure typechecker after
+        // the conversion and after every pass, attributing failures
+        // by pass name (the same machinery the Bform optimizer uses).
         let copts = ClosureOptions::til(self.opts.verify);
-        let (c, cstats) = {
-            let _span = tracer.span("closure-passes");
-            til_closure::convert_and_optimize(&b, &mut e.vars, &copts, Some(&tracer))?
-        };
-        let c_nodes = til_closure::passes::program_size(&c);
-        info.closure_stats = Some(cstats);
-        lap(&mut info, "closure", Some(c_nodes));
+        let (c, cstats) = pl.run(
+            Phase::new("closure").count(|t: &(til_closure::CProgram, ClosureStats)| t.0.size()),
+            || {
+                let _span = tracer.span("closure-passes");
+                til_closure::convert_and_optimize(&b, &mut vars, &copts, Some(&tracer))
+            },
+        )?;
+        pl.info_mut().closure_stats = Some(cstats);
 
-        // RTL and the backend.
-        let rtl = til_rtl::lower(&c, self.opts.mode == Mode::Baseline)?;
-        let rtl_instrs = rtl.funs.iter().map(|f| f.instrs.len()).sum::<usize>();
-        lap(&mut info, "to-rtl", Some(rtl_instrs));
-        if self.opts.verify {
-            // Structural RTL verification (def-before-use, label
-            // resolution, calling convention, representation
-            // annotations)...
-            til_rtl::verify_rtl(&rtl)?;
-            lap(&mut info, "rtl-verify", None);
-            // ...and the GC-table cross-check: every live pointer slot
-            // described, no table entry naming a dead slot.
-            til_backend::check_gc_tables(&rtl)?;
-            lap(&mut info, "gc-check", None);
-        }
-        let linked = til_backend::link(&rtl, &self.opts.link)?;
-        lap(&mut info, "backend", Some(linked.code.len()));
+        // ---- RTL and the backend: per-function work (lowering,
+        // verification, GC-table checks, allocation, emission) fans
+        // out over `jobs` workers and joins in function order.
+        let rtl = pl.run(
+            Phase::new("to-rtl")
+                .count(|r: &til_rtl::RtlProgram| {
+                    r.funs.iter().map(|f| f.instrs.len()).sum::<usize>()
+                })
+                // Structural RTL verification (def-before-use, label
+                // resolution, calling convention, representation
+                // consistency)...
+                .verify("rtl-verify", move |r: &til_rtl::RtlProgram| {
+                    til_rtl::verify_rtl_jobs(r, jobs)
+                })
+                // ...and the GC-table cross-check: every live pointer
+                // slot described, no table entry naming a dead slot.
+                .verify("gc-check", move |r: &til_rtl::RtlProgram| {
+                    til_backend::check_gc_tables_jobs(r, jobs)
+                }),
+            || til_rtl::lower(&c, self.opts.mode == Mode::Baseline, jobs),
+        )?;
+        let mut link_opts = self.opts.link;
+        link_opts.jobs = jobs;
+        let linked = pl.run(
+            Phase::new("backend").count(|l: &Linked| l.code.len()),
+            || til_backend::link(&rtl, &link_opts),
+        )?;
         if let Some(d) = dumps {
             use std::fmt::Write as _;
             let mut s = String::new();
@@ -381,6 +639,7 @@ impl Compiler {
             }
             d.assembly = s;
         }
+        let mut info = pl.into_info();
         info.code_bytes = linked.code_bytes;
         info.executable_bytes = linked.executable_bytes();
         tracer.counter("code-bytes", linked.code_bytes as i64);

@@ -1,0 +1,142 @@
+//! The staged pipeline driver: one [`Phase`] descriptor per stage
+//! (name, optional IR count, optional named verifiers), executed and
+//! timed by a [`Pipeline`].
+//!
+//! Every stage of the compiler — front end, Bform, closure, RTL,
+//! backend — runs through the same `Pipeline::run` call, so phase
+//! attribution (wall-clock, IR node counts, size deltas, trace
+//! events) is uniform: a stage cannot forget to record itself, and a
+//! verifier cannot run without being attributed. Verifiers run only
+//! when the pipeline was built with `verify = true`, each recording
+//! its own phase entry (e.g. `"rtl-verify"`, `"gc-check"`) so failure
+//! diagnostics and timings point at the check, not the stage it
+//! guards.
+
+use crate::{CompileInfo, PhaseInfo};
+use til_common::{Result, Tracer};
+
+/// A named check over a phase's output, run when verification is on.
+type Verifier<'a, T> = (&'static str, Box<dyn FnOnce(&T) -> Result<()> + 'a>);
+
+/// A stage descriptor: what to call it, how to measure its output,
+/// and which checks guard it.
+pub struct Phase<'a, T> {
+    name: &'static str,
+    count: Option<fn(&T) -> usize>,
+    verifiers: Vec<Verifier<'a, T>>,
+}
+
+impl<'a, T> Phase<'a, T> {
+    /// A phase with the given name and no IR count or verifiers.
+    pub fn new(name: &'static str) -> Self {
+        Phase {
+            name,
+            count: None,
+            verifiers: Vec::new(),
+        }
+    }
+
+    /// Counts the phase's output IR (recorded as `ir-nodes`, with a
+    /// delta against the previous counted phase).
+    pub fn count(mut self, f: fn(&T) -> usize) -> Self {
+        self.count = Some(f);
+        self
+    }
+
+    /// Adds a named verifier over the phase's output. Verifiers run
+    /// in the order added, only when verification is enabled, and
+    /// each records its own phase entry under `name`.
+    pub fn verify(
+        mut self,
+        name: &'static str,
+        f: impl FnOnce(&T) -> Result<()> + 'a,
+    ) -> Self {
+        self.verifiers.push((name, Box::new(f)));
+        self
+    }
+}
+
+/// Drives phases in order, accumulating [`CompileInfo`] and emitting
+/// trace events.
+pub struct Pipeline<'t> {
+    tracer: &'t Tracer,
+    verify: bool,
+    info: CompileInfo,
+    clock: std::time::Instant,
+    last_nodes: Option<usize>,
+}
+
+impl<'t> Pipeline<'t> {
+    /// A pipeline reporting through `tracer`; `verify` gates every
+    /// phase's verifiers.
+    pub fn new(tracer: &'t Tracer, verify: bool) -> Self {
+        Pipeline {
+            tracer,
+            verify,
+            info: CompileInfo::default(),
+            clock: std::time::Instant::now(),
+            last_nodes: None,
+        }
+    }
+
+    /// The tracer this pipeline reports through.
+    pub fn tracer(&self) -> &'t Tracer {
+        self.tracer
+    }
+
+    /// The accumulated measurements so far.
+    pub fn info_mut(&mut self) -> &mut CompileInfo {
+        &mut self.info
+    }
+
+    /// Finishes the pipeline. The tracer is shared by reference, so
+    /// the caller drains its events into the returned info.
+    pub fn into_info(self) -> CompileInfo {
+        self.info
+    }
+
+    /// Records one completed phase: wall-clock since the previous
+    /// record, plus the IR size it produced (when counted).
+    fn lap(&mut self, name: &'static str, nodes: Option<usize>) {
+        let now = std::time::Instant::now();
+        let seconds = (now - self.clock).as_secs_f64();
+        self.clock = now;
+        let ir_delta = match (self.last_nodes, nodes) {
+            (Some(prev), Some(cur)) => Some(cur as i64 - prev as i64),
+            _ => None,
+        };
+        if nodes.is_some() {
+            self.last_nodes = nodes;
+        }
+        let mut counters: Vec<(&'static str, i64)> = Vec::new();
+        if let Some(n) = nodes {
+            counters.push(("ir-nodes", n as i64));
+        }
+        if let Some(d) = ir_delta {
+            counters.push(("ir-delta", d));
+        }
+        self.tracer.event(name, seconds, &counters);
+        self.info.phases.push(PhaseInfo {
+            name,
+            seconds,
+            ir_nodes: nodes,
+            ir_delta,
+        });
+    }
+
+    /// Runs one phase: executes `body`, records its timing and IR
+    /// count, then runs each verifier (when enabled), recording each
+    /// under its own name.
+    pub fn run<T>(&mut self, phase: Phase<'_, T>, body: impl FnOnce() -> Result<T>) -> Result<T> {
+        let t = body()?;
+        let nodes = phase.count.map(|f| f(&t));
+        self.lap(phase.name, nodes);
+        if self.verify {
+            for (vname, v) in phase.verifiers {
+                v(&t)?;
+                self.lap(vname, None);
+            }
+        }
+        Ok(t)
+    }
+}

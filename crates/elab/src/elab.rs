@@ -88,6 +88,11 @@ enum TyDef {
 }
 
 /// Elaboration state.
+///
+/// `Clone` snapshots the whole inference state — the prelude cache
+/// clones the post-prelude elaborator once per `compile()` so user
+/// declarations extend a shared, already-typed prelude scope.
+#[derive(Clone)]
 pub struct Elab {
     /// Term-variable supply.
     pub vs: VarSupply,

@@ -13,9 +13,11 @@ pub mod elab;
 pub mod matchcomp;
 pub mod scope;
 pub mod unify;
+pub mod unit;
 pub mod zonk;
 
 pub use elab::{elaborate, Elab, Elaborated};
+pub use unit::{elaborate_user, elaborate_user_fragment, prelude_unit, PreludeUnit, UserUnit};
 
 /// The SML prelude prefixed onto every compilation unit (the paper's
 /// "inline prelude", §5.2): list/string/array library, options, safe

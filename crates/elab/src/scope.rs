@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use til_common::Symbol;
 
 /// A stack-of-bindings scoped map from [`Symbol`] to `V`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ScopeMap<V> {
     stack: Vec<(Symbol, Option<V>)>,
     map: HashMap<Symbol, V>,

@@ -62,7 +62,7 @@ pub enum UEntry {
 }
 
 /// The unifier state.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Unifier {
     entries: Vec<UEntry>,
 }

@@ -1,0 +1,207 @@
+//! The compilation-unit split: a *prelude unit* elaborated once and a
+//! *user unit* elaborated against its snapshot, joined at elaboration.
+//!
+//! The prelude is elaborated with a continuation that returns a fresh
+//! free variable — the *hole* — instead of the usual `()` body, so the
+//! result is a fully zonked Lambda *skeleton* `let p₁ = … in … in hole`
+//! plus the complete post-prelude elaborator state. Each `compile()`
+//! then clones that state (unifier, scopes, supplies — a few maps),
+//! elaborates only the user declarations inside it, and splices the
+//! user body into a copy of the skeleton at the hole. Both the cold and
+//! the warm path run this same code, so cached-prelude compiles are
+//! byte-identical to cold compiles *by construction*; the cache only
+//! changes whether [`prelude_unit`] runs once or every time.
+//!
+//! Variable supplies are partitioned by the clone: the user unit's
+//! fresh variables continue from the snapshot's supply, exactly where a
+//! joint elaboration would have continued after the prelude (plus the
+//! hole), so ids never collide with skeleton ids.
+
+use crate::elab::{Elab, Elaborated};
+use til_common::{Result, Var, VarSupply};
+use til_lambda::ty::LTy;
+use til_lambda::{LExp, LProgram};
+use til_syntax::ast;
+
+/// The cached prelude unit: the post-prelude elaborator snapshot and
+/// the zonked skeleton with its splice hole.
+pub struct PreludeUnit {
+    /// Elaborator state at the hole (post-zonk): scopes, unifier,
+    /// datatype/exception environments, variable supplies.
+    elab: Elab,
+    /// The zonked prelude spine; its innermost body is `Var(hole)`.
+    skeleton: LExp,
+    /// The unique unit-typed hole variable.
+    hole: Var,
+}
+
+impl PreludeUnit {
+    /// The splice hole.
+    pub fn hole(&self) -> Var {
+        self.hole
+    }
+
+    /// The zonked prelude skeleton (innermost body = the hole).
+    pub fn skeleton(&self) -> &LExp {
+        &self.skeleton
+    }
+
+    /// A skeleton-as-program view for the Lambda typechecker's
+    /// prelude entry point (body type is unit: the hole is unit-typed
+    /// and the skeleton is a chain of binders around it).
+    pub fn skeleton_program(&self) -> LProgram {
+        LProgram {
+            data_env: self.elab.denv.clone(),
+            exn_env: self.elab.eenv.clone(),
+            body: self.skeleton.clone(),
+            body_ty: LTy::unit(),
+        }
+    }
+
+    /// The term-variable supply as of the snapshot (for callers that
+    /// must pre-allocate ids between prelude conversion and user
+    /// elaboration — see the Lmli-level cache).
+    pub fn vars(&self) -> VarSupply {
+        self.elab.vs.clone()
+    }
+}
+
+/// Elaborates the prelude alone into a reusable [`PreludeUnit`].
+pub fn prelude_unit(prelude: &ast::Program) -> Result<PreludeUnit> {
+    let mut e = Elab::new();
+    let decs: Vec<&ast::Dec> = prelude.decs.iter().collect();
+    let mut hole = None;
+    let (mut skeleton, _unit_ty) = e.elab_decs(&decs, &mut |me| {
+        let h = me.vs.fresh_named("prelude_hole");
+        hole = Some(h);
+        Ok((
+            LExp::Var {
+                var: h,
+                tyargs: vec![],
+            },
+            LTy::unit(),
+        ))
+    })?;
+    // Zonk the skeleton now: prelude-side unification is complete (the
+    // user unit can only *instantiate* generalized prelude schemes, it
+    // can never constrain a prelude unification variable), so the
+    // skeleton's types are final. The unifier keeps its links for
+    // resolving scheme bodies during user elaboration.
+    crate::zonk::zonk_exp(&mut skeleton, &mut e.un)?;
+    let hole = hole.expect("elab_decs always calls its continuation");
+    Ok(PreludeUnit {
+        elab: e,
+        skeleton,
+        hole,
+    })
+}
+
+/// The user unit elaborated against a prelude snapshot: the typed user
+/// body (not yet spliced) plus the joined environments and supplies.
+pub struct UserUnit {
+    /// The user declarations' spine around a `()` body, zonked.
+    pub body: LExp,
+    /// Datatypes: the prelude's (a stable id prefix) plus the user's.
+    pub data_env: til_lambda::DataEnv,
+    /// Exceptions, likewise.
+    pub exn_env: til_lambda::ExnEnv,
+    /// Term-variable supply after user elaboration.
+    pub vars: VarSupply,
+    /// Type-variable supply after user elaboration.
+    pub tyvars: til_lambda::ty::TyVarSupply,
+}
+
+/// Elaborates the user program against the prelude snapshot without
+/// splicing. `vars` overrides the snapshot's term-variable supply when
+/// the caller has already consumed ids past it (the Lmli-level cache
+/// converts the skeleton first, so user elaboration must start after
+/// the conversion's last id).
+pub fn elaborate_user_fragment(
+    unit: &PreludeUnit,
+    user: &ast::Program,
+    vars: Option<VarSupply>,
+) -> Result<UserUnit> {
+    let mut e = unit.elab.clone();
+    if let Some(vs) = vars {
+        e.vs = vs;
+    }
+    let decs: Vec<&ast::Dec> = user.decs.iter().collect();
+    let (mut body, body_ty) = e.elab_decs(&decs, &mut |_me| Ok((LExp::unit(), LTy::unit())))?;
+    crate::zonk::zonk_exp(&mut body, &mut e.un).and_then(|()| e.un.zonk(&body_ty))?;
+    Ok(UserUnit {
+        body,
+        data_env: e.denv,
+        exn_env: e.eenv,
+        vars: e.vs,
+        tyvars: e.tvs,
+    })
+}
+
+/// Elaborates the user program against the prelude snapshot and
+/// splices it into the skeleton: the drop-in replacement for a joint
+/// `elaborate(&[prelude, user])`.
+pub fn elaborate_user(unit: &PreludeUnit, user: &ast::Program) -> Result<Elaborated> {
+    let u = elaborate_user_fragment(unit, user, None)?;
+    let mut body = unit.skeleton.clone();
+    let spliced = body.splice_var(unit.hole, &u.body);
+    debug_assert_eq!(spliced, 1, "the skeleton has exactly one hole");
+    Ok(Elaborated {
+        program: LProgram {
+            data_env: u.data_env,
+            exn_env: u.exn_env,
+            body,
+            body_ty: LTy::unit(),
+        },
+        vars: u.vars,
+        tyvars: u.tyvars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ast::Program {
+        til_syntax::parse(src).expect("parse")
+    }
+
+    #[test]
+    fn split_elaboration_matches_typechecking() {
+        let unit = prelude_unit(&parse(crate::PRELUDE)).expect("prelude");
+        let user = parse("val x = 1 + 2\nval _ = print (Int.toString x)");
+        let e = elaborate_user(&unit, &user).expect("user");
+        til_lambda::typecheck(&e.program).expect("spliced program typechecks");
+    }
+
+    #[test]
+    fn snapshot_is_reusable_across_compiles() {
+        let unit = prelude_unit(&parse(crate::PRELUDE)).expect("prelude");
+        let a1 = elaborate_user(&unit, &parse("val _ = print \"a\"")).expect("a1");
+        let a2 = elaborate_user(&unit, &parse("val _ = print \"a\"")).expect("a2");
+        // Deterministic: same source, same snapshot, same program.
+        assert_eq!(
+            format!("{:?}", a1.program.body),
+            format!("{:?}", a2.program.body)
+        );
+        // And the snapshot is untouched by user-side datatypes.
+        let with_data = parse("datatype t = A | B val _ = print \"b\"");
+        elaborate_user(&unit, &with_data).expect("user datatypes extend the env");
+        elaborate_user(&unit, &parse("val _ = print \"a\"")).expect("still clean");
+    }
+
+    #[test]
+    fn user_fragment_typechecks_under_the_captured_env() {
+        let unit = prelude_unit(&parse(crate::PRELUDE)).expect("prelude");
+        let env = til_lambda::typecheck::typecheck_prelude(&unit.skeleton_program(), unit.hole())
+            .expect("skeleton typechecks");
+        let u = elaborate_user_fragment(&unit, &parse("val _ = print (Int.toString (length [1,2]))"), None)
+            .expect("fragment");
+        let frag = LProgram {
+            data_env: u.data_env,
+            exn_env: u.exn_env,
+            body: u.body,
+            body_ty: LTy::unit(),
+        };
+        til_lambda::typecheck::typecheck_fragment(&frag, &env).expect("fragment typechecks");
+    }
+}

@@ -486,6 +486,123 @@ impl LExp {
             }
         }
     }
+
+    /// Calls `f` on each direct child expression, mutably.
+    pub fn for_each_child_mut(&mut self, mut f: impl FnMut(&mut LExp)) {
+        match self {
+            LExp::Var { .. }
+            | LExp::Int(_)
+            | LExp::Real(_)
+            | LExp::Char(_)
+            | LExp::Str(_) => {}
+            LExp::Fn { body, .. } => f(body),
+            LExp::App(a, b) => {
+                f(a);
+                f(b);
+            }
+            LExp::Fix { funs, body, .. } => {
+                for fun in funs {
+                    f(&mut fun.body);
+                }
+                f(body);
+            }
+            LExp::Let { rhs, body, .. } => {
+                f(rhs);
+                f(body);
+            }
+            LExp::Record(fields) => {
+                for (_, e) in fields {
+                    f(e);
+                }
+            }
+            LExp::Select { arg, .. } => f(arg),
+            LExp::Con { arg, .. } | LExp::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+            LExp::Switch(sw) => match &mut **sw {
+                LSwitch::Data {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, e) in arms {
+                        f(e);
+                    }
+                    if let Some(d) = default {
+                        f(d);
+                    }
+                }
+                LSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, e) in arms {
+                        f(e);
+                    }
+                    f(default);
+                }
+                LSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, e) in arms {
+                        f(e);
+                    }
+                    f(default);
+                }
+                LSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, e) in arms {
+                        f(e);
+                    }
+                    f(default);
+                }
+            },
+            LExp::Raise { exn, .. } => f(exn),
+            LExp::Handle {
+                body, handler, ..
+            } => {
+                f(body);
+                f(handler);
+            }
+            LExp::Prim { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Replaces every occurrence of `Var(hole)` with `replacement`,
+    /// returning the number of occurrences. The prelude cache splices
+    /// the user unit into the cached prelude skeleton at a unique hole
+    /// variable, so the expected count is exactly 1.
+    pub fn splice_var(&mut self, hole: Var, replacement: &LExp) -> usize {
+        if let LExp::Var { var, .. } = self {
+            if *var == hole {
+                *self = replacement.clone();
+                return 1;
+            }
+        }
+        let mut n = 0;
+        self.for_each_child_mut(|c| n += c.splice_var(hole, replacement));
+        n
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ impl fmt::Display for TyVar {
 }
 
 /// Source of fresh [`TyVar`]s.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TyVarSupply {
     next: u32,
 }

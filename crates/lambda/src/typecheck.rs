@@ -19,11 +19,71 @@ pub fn typecheck(prog: &LProgram) -> Result<LTy> {
         denv: &prog.data_env,
         eenv: &prog.exn_env,
         vars: HashMap::new(),
+        hole: None,
+        captured: None,
     };
     let ty = cx.check(&prog.body)?;
     if ty != prog.body_ty {
         return Err(err(format!(
             "program body type mismatch: computed {}, recorded {}",
+            ty.display(cx.denv),
+            prog.body_ty.display(cx.denv)
+        )));
+    }
+    Ok(ty)
+}
+
+/// The typing environment in scope at the prelude's splice hole:
+/// every prelude binding a user unit may reference. Produced by
+/// [`typecheck_prelude`], consumed by [`typecheck_fragment`] — together
+/// they give the Lmli-level prelude cache the same coverage as
+/// typechecking the spliced whole program, without re-walking the
+/// prelude on every compile.
+pub struct FragmentEnv {
+    vars: HashMap<Var, Scheme>,
+}
+
+/// Typechecks the prelude skeleton (a program whose innermost body is
+/// the free unit-typed variable `hole`) and captures the environment
+/// in scope at the hole.
+pub fn typecheck_prelude(prog: &LProgram, hole: Var) -> Result<FragmentEnv> {
+    let mut cx = Cx {
+        denv: &prog.data_env,
+        eenv: &prog.exn_env,
+        vars: HashMap::new(),
+        hole: Some(hole),
+        captured: None,
+    };
+    let ty = cx.check(&prog.body)?;
+    if ty != prog.body_ty {
+        return Err(err(format!(
+            "prelude skeleton type mismatch: computed {}, recorded {}",
+            ty.display(cx.denv),
+            prog.body_ty.display(cx.denv)
+        )));
+    }
+    let vars = cx
+        .captured
+        .ok_or_else(|| err(format!("prelude skeleton never reached its hole {hole}")))?;
+    Ok(FragmentEnv { vars })
+}
+
+/// Typechecks a user fragment under the prelude environment captured
+/// at the splice hole. `prog` carries the *joined* datatype/exception
+/// environments (prelude ids are a stable prefix) and the fragment as
+/// its body.
+pub fn typecheck_fragment(prog: &LProgram, env: &FragmentEnv) -> Result<LTy> {
+    let mut cx = Cx {
+        denv: &prog.data_env,
+        eenv: &prog.exn_env,
+        vars: env.vars.clone(),
+        hole: None,
+        captured: None,
+    };
+    let ty = cx.check(&prog.body)?;
+    if ty != prog.body_ty {
+        return Err(err(format!(
+            "fragment body type mismatch: computed {}, recorded {}",
             ty.display(cx.denv),
             prog.body_ty.display(cx.denv)
         )));
@@ -45,6 +105,10 @@ struct Cx<'a> {
     denv: &'a DataEnv,
     eenv: &'a ExnEnv,
     vars: HashMap<Var, Scheme>,
+    /// The prelude skeleton's splice hole: a free unit-typed variable.
+    hole: Option<Var>,
+    /// The environment in scope when the hole was reached.
+    captured: Option<HashMap<Var, Scheme>>,
 }
 
 impl<'a> Cx<'a> {
@@ -78,6 +142,15 @@ impl<'a> Cx<'a> {
     fn check(&mut self, e: &LExp) -> Result<LTy> {
         match e {
             LExp::Var { var, tyargs } => {
+                if self.hole == Some(*var) {
+                    // The prelude skeleton's splice hole: unit-typed,
+                    // and the point where the user unit's environment
+                    // is captured.
+                    if self.captured.is_none() {
+                        self.captured = Some(self.vars.clone());
+                    }
+                    return Ok(LTy::unit());
+                }
                 let scheme = self
                     .vars
                     .get(var)

@@ -327,6 +327,129 @@ impl MExp {
             }
         }
     }
+
+    /// Calls `f` on each direct child, mutably.
+    pub fn for_each_child_mut(&mut self, f: &mut impl FnMut(&mut MExp)) {
+        match self {
+            MExp::Var(_) | MExp::Int(_) | MExp::Float(_) | MExp::Str(_) => {}
+            MExp::Fix { funs, body } => {
+                for fun in funs {
+                    f(&mut fun.body);
+                }
+                f(body);
+            }
+            MExp::App { f: g, args, .. } => {
+                f(g);
+                for a in args {
+                    f(a);
+                }
+            }
+            MExp::Let { rhs, body, .. } => {
+                f(rhs);
+                f(body);
+            }
+            MExp::Record(fs) => {
+                for e in fs {
+                    f(e);
+                }
+            }
+            MExp::Select(_, e) => f(e),
+            MExp::Con { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            MExp::ExnCon { arg, .. } => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+            MExp::Switch(sw) => match &mut **sw {
+                MSwitch::Int {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, a) in arms {
+                        f(a);
+                    }
+                    f(default);
+                }
+                MSwitch::Data {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, a) in arms {
+                        f(a);
+                    }
+                    if let Some(d) = default {
+                        f(d);
+                    }
+                }
+                MSwitch::Str {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, a) in arms {
+                        f(a);
+                    }
+                    f(default);
+                }
+                MSwitch::Exn {
+                    scrut,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    f(scrut);
+                    for (_, _, a) in arms {
+                        f(a);
+                    }
+                    f(default);
+                }
+            },
+            MExp::Raise { exn, .. } => f(exn),
+            MExp::Handle { body, handler, .. } => {
+                f(body);
+                f(handler);
+            }
+            MExp::Prim { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            MExp::Typecase {
+                int, float, ptr, ..
+            } => {
+                f(int);
+                f(float);
+                f(ptr);
+            }
+        }
+    }
+
+    /// Replaces every occurrence of `Var(hole)` with `replacement`,
+    /// returning the occurrence count (the prelude skeleton has
+    /// exactly one hole).
+    pub fn splice_var(&mut self, hole: Var, replacement: &MExp) -> usize {
+        if let MExp::Var(v) = self {
+            if *v == hole {
+                *self = replacement.clone();
+                return 1;
+            }
+        }
+        let mut n = 0;
+        self.for_each_child_mut(&mut |c| n += c.splice_var(hole, replacement));
+        n
+    }
 }
 
 #[cfg(test)]

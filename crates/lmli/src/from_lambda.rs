@@ -77,15 +77,7 @@ pub fn from_lambda(
     vs: &mut VarSupply,
 ) -> Result<MProgram> {
     let mdata = build_mdata(&prog.data_env, opts);
-    let mut exns = MExnEnv::new();
-    for i in 0..prog.exn_env.len() {
-        let info = prog.exn_env.get(til_lambda::ExnId(i as u32));
-        let arg = info
-            .arg
-            .as_ref()
-            .map(|t| tcon_with(t, &prog.data_env, opts));
-        exns.push(info.name, arg);
-    }
+    let exns = build_mexns(prog, opts);
     let mut cx = Cx {
         denv: &prog.data_env,
         eenv: &prog.exn_env,
@@ -102,6 +94,97 @@ pub fn from_lambda(
         body,
         con,
     })
+}
+
+/// The conversion environment accumulated while converting the prelude
+/// skeleton — every prelude binding's type/thunk info, captured for
+/// converting user fragments against a cached, already-converted
+/// prelude. Opaque: only [`from_lambda_prelude`] produces one and only
+/// [`from_lambda_fragment`] consumes it.
+pub struct FragmentCx {
+    env: HashMap<Var, VInfo>,
+}
+
+/// Converts the prelude skeleton (innermost body = the unit-typed free
+/// variable `hole`) and captures the conversion environment. The
+/// returned program's body still contains `MExp::Var(hole)`; splice a
+/// converted user fragment into it with [`MExp::splice_var`].
+pub fn from_lambda_prelude(
+    prog: &LProgram,
+    opts: &LmliOptions,
+    vs: &mut VarSupply,
+    hole: Var,
+) -> Result<(MProgram, FragmentCx)> {
+    let mdata = build_mdata(&prog.data_env, opts);
+    let exns = build_mexns(prog, opts);
+    let mut cx = Cx {
+        denv: &prog.data_env,
+        eenv: &prog.exn_env,
+        opts,
+        vs,
+        mdata,
+        env: HashMap::new(),
+    };
+    // The hole is a monomorphic unit-typed variable; converting
+    // `Var(hole)` therefore yields `MExp::Var(hole)` unchanged.
+    cx.bind(hole, vec![], LTy::unit(), false);
+    let (body, body_ty) = cx.exp(&prog.body)?;
+    let con = cx.tcon(&body_ty);
+    let env = std::mem::take(&mut cx.env);
+    Ok((
+        MProgram {
+            data: cx.mdata,
+            exns,
+            body,
+            con,
+        },
+        FragmentCx { env },
+    ))
+}
+
+/// Converts a user fragment under a captured prelude conversion
+/// environment. `prog` carries the *joined* datatype/exception
+/// environments (the prelude's ids are a stable prefix, so the
+/// skeleton's references stay valid) and the fragment as its body.
+pub fn from_lambda_fragment(
+    prog: &LProgram,
+    opts: &LmliOptions,
+    vs: &mut VarSupply,
+    fcx: &FragmentCx,
+) -> Result<MProgram> {
+    let mdata = build_mdata(&prog.data_env, opts);
+    let exns = build_mexns(prog, opts);
+    let mut cx = Cx {
+        denv: &prog.data_env,
+        eenv: &prog.exn_env,
+        opts,
+        vs,
+        mdata,
+        env: fcx.env.clone(),
+    };
+    let (body, body_ty) = cx.exp(&prog.body)?;
+    let con = cx.tcon(&body_ty);
+    Ok(MProgram {
+        data: cx.mdata,
+        exns,
+        body,
+        con,
+    })
+}
+
+/// Translates the exception environment (shared by the whole-program
+/// and split entry points).
+fn build_mexns(prog: &LProgram, opts: &LmliOptions) -> MExnEnv {
+    let mut exns = MExnEnv::new();
+    for i in 0..prog.exn_env.len() {
+        let info = prog.exn_env.get(til_lambda::ExnId(i as u32));
+        let arg = info
+            .arg
+            .as_ref()
+            .map(|t| tcon_with(t, &prog.data_env, opts));
+        exns.push(info.name, arg);
+    }
+    exns
 }
 
 /// Chooses every datatype's representation.

@@ -17,11 +17,18 @@ pub mod exp;
 pub mod from_lambda;
 pub mod prim;
 pub mod print;
+pub mod prune;
 pub mod typecheck;
 
 pub use con::{con_eq, rep_class, rep_tag, CVar, CVarSupply, Con, RepClass};
 pub use data::{DataRep, MData, MDataEnv, MExnEnv};
 pub use exp::{MExp, MFun, MProgram, MSwitch};
-pub use from_lambda::{from_lambda, LmliOptions};
+pub use from_lambda::{
+    from_lambda, from_lambda_fragment, from_lambda_prelude, FragmentCx, LmliOptions,
+};
 pub use prim::{MPrim, MPrimSig};
-pub use typecheck::{typecheck_lmli, ConCtx, Refinement};
+pub use prune::prune_dead;
+pub use typecheck::{
+    typecheck_lmli, typecheck_lmli_fragment, typecheck_lmli_prelude, ConCtx, FragmentTcEnv,
+    Refinement,
+};

@@ -1,0 +1,169 @@
+//! Dead-binding pruning over Lmli.
+//!
+//! The staged pipeline joins the (cached) prelude skeleton with the
+//! user fragment at the Lmli level, so every compile would otherwise
+//! push the entire prelude — mostly bindings the program never touches
+//! — through Bform conversion, typechecking, and optimization, only
+//! for dead-code elimination to discard it near the end. This pass
+//! removes provably dead, effect-free `Let` bindings and unreferenced
+//! `Fix` functions right after the join, in one post-order sweep with
+//! decremental use counts: dropping an inner binding can make an outer
+//! one dead, and chains collapse in a single pass because bodies are
+//! pruned before their binders are judged.
+//!
+//! Conservative by construction: only syntactic values (variables,
+//! constants, records/constructors/selections of values, function
+//! nests with value bodies) are removable, so evaluation order and
+//! effects — raises, handlers, primitives, applications — are
+//! untouched, and mutually recursive functions are only dropped when
+//! the whole cycle is unreferenced from live code.
+
+use crate::exp::{MExp, MProgram};
+use std::collections::HashMap;
+use til_common::Var;
+
+/// Removes dead pure bindings from the program body. Returns how many
+/// `Let` bindings and `Fix` functions were dropped.
+pub fn prune_dead(p: &mut MProgram) -> usize {
+    let mut counts: HashMap<Var, i64> = HashMap::new();
+    add_counts(&mut p.body, &mut counts, 1);
+    let mut removed = 0;
+    prune(&mut p.body, &mut counts, &mut removed);
+    removed
+}
+
+/// Adds `delta` to the use count of every variable occurrence in `e`
+/// (used with -1 to retire the occurrences inside a dropped binding).
+fn add_counts(e: &mut MExp, counts: &mut HashMap<Var, i64>, delta: i64) {
+    if let MExp::Var(v) = e {
+        *counts.entry(*v).or_insert(0) += delta;
+    }
+    e.for_each_child_mut(&mut |c| add_counts(c, counts, delta));
+}
+
+/// Is `e` a syntactic value (no effects, no divergence)?
+fn is_pure(e: &MExp) -> bool {
+    match e {
+        MExp::Var(_) | MExp::Int(_) | MExp::Float(_) | MExp::Str(_) => true,
+        MExp::Record(fs) => fs.iter().all(is_pure),
+        MExp::Select(_, inner) => is_pure(inner),
+        MExp::Con { args, .. } => args.iter().all(is_pure),
+        MExp::ExnCon { arg, .. } => arg.as_deref().is_none_or(is_pure),
+        // A fix expression evaluates to its body's value; the function
+        // definitions themselves are inert.
+        MExp::Fix { body, .. } => is_pure(body),
+        MExp::Let { rhs, body, .. } => is_pure(rhs) && is_pure(body),
+        _ => false,
+    }
+}
+
+fn prune(e: &mut MExp, counts: &mut HashMap<Var, i64>, removed: &mut usize) {
+    match e {
+        MExp::Let { var, rhs, body } => {
+            prune(body, counts, removed);
+            if counts.get(var).copied().unwrap_or(0) == 0 && is_pure(rhs) {
+                add_counts(rhs, counts, -1);
+                *removed += 1;
+                let body = std::mem::replace(body.as_mut(), MExp::Int(0));
+                *e = body;
+            } else {
+                prune(rhs, counts, removed);
+            }
+        }
+        MExp::Fix { funs, body } => {
+            prune(body, counts, removed);
+            for f in funs.iter_mut() {
+                prune(&mut f.body, counts, removed);
+            }
+            // Dropping one function can orphan another (but a live
+            // mutual cycle keeps every member's count positive, so
+            // cycles are only removed wholesale via outer `Let`s).
+            loop {
+                let dead = funs
+                    .iter()
+                    .position(|f| counts.get(&f.var).copied().unwrap_or(0) == 0);
+                match dead {
+                    Some(i) => {
+                        let mut f = funs.remove(i);
+                        add_counts(&mut f.body, counts, -1);
+                        *removed += 1;
+                    }
+                    None => break,
+                }
+            }
+            if funs.is_empty() {
+                let body = std::mem::replace(body.as_mut(), MExp::Int(0));
+                *e = body;
+            }
+        }
+        _ => e.for_each_child_mut(&mut |c| prune(c, counts, removed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::con::Con;
+    use crate::data::{MDataEnv, MExnEnv};
+
+    fn var(n: u32) -> Var {
+        Var::from_raw(n, None)
+    }
+
+    fn prog(body: MExp) -> MProgram {
+        MProgram {
+            data: MDataEnv::default(),
+            exns: MExnEnv::default(),
+            body,
+            con: Con::Int,
+        }
+    }
+
+    #[test]
+    fn dead_let_chains_collapse_in_one_pass() {
+        // let a = 1 in let b = (a, a) in 7  — both bindings dead, and
+        // dropping b must retire its uses of a so a dies too.
+        let body = MExp::Let {
+            var: var(1),
+            rhs: Box::new(MExp::Int(1)),
+            body: Box::new(MExp::Let {
+                var: var(2),
+                rhs: Box::new(MExp::Record(vec![
+                    MExp::Var(var(1)),
+                    MExp::Var(var(1)),
+                ])),
+                body: Box::new(MExp::Int(7)),
+            }),
+        };
+        let mut p = prog(body);
+        assert_eq!(prune_dead(&mut p), 2);
+        assert!(matches!(p.body, MExp::Int(7)));
+    }
+
+    #[test]
+    fn impure_bindings_survive_even_when_unused() {
+        let body = MExp::Let {
+            var: var(1),
+            rhs: Box::new(MExp::Raise {
+                exn: Box::new(MExp::Int(0)),
+                con: Con::Int,
+            }),
+            body: Box::new(MExp::Int(7)),
+        };
+        let mut p = prog(body);
+        assert_eq!(prune_dead(&mut p), 0);
+        assert!(matches!(p.body, MExp::Let { .. }));
+    }
+
+    #[test]
+    fn used_bindings_survive() {
+        let body = MExp::Let {
+            var: var(1),
+            rhs: Box::new(MExp::Int(3)),
+            body: Box::new(MExp::Var(var(1))),
+        };
+        let mut p = prog(body);
+        assert_eq!(prune_dead(&mut p), 0);
+        assert!(matches!(p.body, MExp::Let { .. }));
+    }
+}

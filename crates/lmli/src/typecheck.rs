@@ -35,11 +35,70 @@ pub fn typecheck_lmli(prog: &MProgram) -> Result<Con> {
         vars: HashMap::new(),
         cscope: Vec::new(),
         cx: ConCtx::new(&prog.data),
+        hole: None,
+        captured: None,
     };
     let con = tc.check(&prog.body)?;
     if !tc.eq(&con, &prog.con) {
         return Err(err(format!(
             "program body constructor mismatch: computed {:?}, recorded {:?}",
+            con, prog.con
+        )));
+    }
+    Ok(con)
+}
+
+/// The Lmli typing environment in scope at the prelude skeleton's
+/// splice hole (the hole sits at the top level, outside every
+/// constructor binder, so the variable environment is the whole
+/// context). Produced by [`typecheck_lmli_prelude`], consumed by
+/// [`typecheck_lmli_fragment`].
+pub struct FragmentTcEnv {
+    vars: HashMap<Var, Con>,
+}
+
+/// Typechecks the prelude skeleton (innermost body = the free
+/// unit-typed variable `hole`), capturing the environment at the hole.
+pub fn typecheck_lmli_prelude(prog: &MProgram, hole: Var) -> Result<FragmentTcEnv> {
+    let mut tc = Tc {
+        data: &prog.data,
+        exns: &prog.exns,
+        vars: HashMap::new(),
+        cscope: Vec::new(),
+        cx: ConCtx::new(&prog.data),
+        hole: Some(hole),
+        captured: None,
+    };
+    let con = tc.check(&prog.body)?;
+    if !tc.eq(&con, &prog.con) {
+        return Err(err(format!(
+            "prelude skeleton constructor mismatch: computed {:?}, recorded {:?}",
+            con, prog.con
+        )));
+    }
+    let vars = tc
+        .captured
+        .ok_or_else(|| err(format!("prelude skeleton never reached its hole {hole}")))?;
+    Ok(FragmentTcEnv { vars })
+}
+
+/// Typechecks a user fragment under the captured prelude environment.
+/// `prog` carries the joined datatype/exception environments and the
+/// fragment as its body.
+pub fn typecheck_lmli_fragment(prog: &MProgram, env: &FragmentTcEnv) -> Result<Con> {
+    let mut tc = Tc {
+        data: &prog.data,
+        exns: &prog.exns,
+        vars: env.vars.clone(),
+        cscope: Vec::new(),
+        cx: ConCtx::new(&prog.data),
+        hole: None,
+        captured: None,
+    };
+    let con = tc.check(&prog.body)?;
+    if !tc.eq(&con, &prog.con) {
+        return Err(err(format!(
+            "fragment body constructor mismatch: computed {:?}, recorded {:?}",
             con, prog.con
         )));
     }
@@ -157,6 +216,11 @@ struct Tc<'a> {
     vars: HashMap<Var, Con>,
     cscope: Vec<CVar>,
     cx: ConCtx<'a>,
+    /// The prelude skeleton's splice hole, when checking a skeleton.
+    hole: Option<Var>,
+    /// Environment snapshot taken at the hole (it sits at the top
+    /// level, so no constructor variables or refinements are live).
+    captured: Option<HashMap<Var, Con>>,
 }
 
 impl<'a> Tc<'a> {
@@ -204,11 +268,18 @@ impl<'a> Tc<'a> {
 
     fn check(&mut self, e: &MExp) -> Result<Con> {
         match e {
-            MExp::Var(v) => self
-                .vars
-                .get(v)
-                .cloned()
-                .ok_or_else(|| err(format!("unbound variable {v}"))),
+            MExp::Var(v) => {
+                if self.hole == Some(*v) {
+                    if self.captured.is_none() {
+                        self.captured = Some(self.vars.clone());
+                    }
+                    return Ok(Con::Record(vec![]));
+                }
+                self.vars
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| err(format!("unbound variable {v}")))
+            }
             MExp::Int(_) => Ok(Con::Int),
             MExp::Float(_) => Ok(Con::Float),
             MExp::Str(_) => Ok(Con::Str),

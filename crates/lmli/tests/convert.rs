@@ -136,6 +136,62 @@ fn string_switches() {
     convert_ok("fun kw \"let\" = 1 | kw \"in\" = 2 | kw _ = 0 val k = kw \"in\"");
 }
 
+/// The Lmli-level compilation-unit split: convert the prelude skeleton
+/// once, convert the user fragment against the captured environment,
+/// splice, and check both the per-fragment and joined typecheckers
+/// accept the result.
+#[test]
+fn split_conversion_round_trips() {
+    use til_elab::{elaborate_user_fragment, prelude_unit};
+    use til_lmli::{
+        from_lambda_fragment, from_lambda_prelude, typecheck_lmli_fragment,
+        typecheck_lmli_prelude, MProgram,
+    };
+    let prelude = til_syntax::parse(til_elab::PRELUDE).expect("parse prelude");
+    let user = til_syntax::parse(
+        "datatype t = A | B of int
+         val x = case B 3 of A => 0 | B n => n
+         val _ = print (Int.toString (x + length [1, 2]))",
+    )
+    .expect("parse user");
+    for (name, opts) in [
+        ("til", LmliOptions::til()),
+        ("baseline", LmliOptions::baseline()),
+    ] {
+        let unit = prelude_unit(&prelude).expect("prelude unit");
+        let mut vars = unit.vars();
+        let skel = unit.skeleton_program();
+        let (m_skel, fcx) = from_lambda_prelude(&skel, &opts, &mut vars, unit.hole())
+            .unwrap_or_else(|d| panic!("[{name}] prelude conversion failed: {d}"));
+        let tc_env = typecheck_lmli_prelude(&m_skel, unit.hole())
+            .unwrap_or_else(|d| panic!("[{name}] skeleton lmli typecheck failed: {d}"));
+        // User elaboration resumes the variable supply *after* skeleton
+        // conversion, so fragment ids never collide with skeleton ids.
+        let u = elaborate_user_fragment(&unit, &user, Some(vars)).expect("fragment elaboration");
+        let frag = til_lambda::LProgram {
+            data_env: u.data_env,
+            exn_env: u.exn_env,
+            body: u.body,
+            body_ty: til_lambda::ty::LTy::unit(),
+        };
+        let mut uvars = u.vars;
+        let m_frag = from_lambda_fragment(&frag, &opts, &mut uvars, &fcx)
+            .unwrap_or_else(|d| panic!("[{name}] fragment conversion failed: {d}"));
+        typecheck_lmli_fragment(&m_frag, &tc_env)
+            .unwrap_or_else(|d| panic!("[{name}] fragment lmli typecheck failed: {d}"));
+        let mut body = m_skel.body.clone();
+        assert_eq!(body.splice_var(unit.hole(), &m_frag.body), 1);
+        let joined = MProgram {
+            data: m_frag.data,
+            exns: m_frag.exns,
+            body,
+            con: m_skel.con.clone(),
+        };
+        typecheck_lmli(&joined)
+            .unwrap_or_else(|d| panic!("[{name}] joined lmli typecheck failed: {d}"));
+    }
+}
+
 #[test]
 fn while_loops_and_sequencing() {
     convert_ok(

@@ -10,4 +10,4 @@ pub mod verify;
 
 pub use ir::*;
 pub use lower::{lower, HEAP_BASE};
-pub use verify::verify_rtl;
+pub use verify::{verify_rtl, verify_rtl_jobs};

@@ -26,21 +26,22 @@ use til_vm::{header, Alu, Falu, RtFn, Trap};
 pub const HEAP_BASE: u64 = 1 << 21;
 
 /// Lowers a whole program. `tagged` selects the baseline universal
-/// representation.
-pub fn lower(p: &CProgram, tagged: bool) -> Result<RtlProgram> {
+/// representation; `jobs` bounds the per-function worker pool (the
+/// main spine is lowered first — it records the global slots' cons —
+/// then the codes lower independently and merge in program order, so
+/// the output is identical for every `jobs` value).
+pub fn lower(p: &CProgram, tagged: bool, jobs: usize) -> Result<RtlProgram> {
     let data_table = til_ubform::data_table(&p.data)?;
-    let mut lw = Lower {
+    let mut shared = Shared {
         prog: p,
         tagged,
-        statics: Vec::new(),
-        static_ix: HashMap::new(),
-        globals: Vec::new(),
         global_ids: HashMap::new(),
         global_cons: HashMap::new(),
         sigs: HashMap::new(),
     };
+    let mut globals = Vec::new();
     for c in &p.codes {
-        lw.sigs.insert(
+        shared.sigs.insert(
             c.var,
             Sig {
                 cparams: c.cparams.clone(),
@@ -55,20 +56,42 @@ pub fn lower(p: &CProgram, tagged: bool) -> Result<RtlProgram> {
     // lowering main records their cons).
     let mut spine = &p.body;
     while let CExp::Let { var, body, .. } = spine {
-        let gid = lw.globals.len() as u32;
-        lw.globals.push(GlobalSlot { traced: false });
-        lw.global_ids.insert(*var, gid);
+        let gid = globals.len() as u32;
+        globals.push(GlobalSlot { traced: false });
+        shared.global_ids.insert(*var, gid);
         spine = body;
     }
-    // Lower main first (it fills in global cons), then the codes.
-    let main = lw.lower_main(&p.body)?;
-    let mut funs = vec![main];
-    for c in &p.codes {
-        funs.push(lw.lower_code(c)?);
+    // Lower main first: it fills in the global cons every code may
+    // read, so it cannot join the parallel batch.
+    let (main, main_gcons) = shared.lower_main(&p.body)?;
+    shared.global_cons = main_gcons;
+    // The codes only *read* shared state; each lowers into its own
+    // statics table, merged below.
+    let lowered = til_common::par::map(jobs, &p.codes, |_, c| shared.lower_code(c));
+    // Merge in program order (main, then codes in declaration order):
+    // each function's local statics intern into the root table exactly
+    // as a sequential lowering would have, then its `LeaStatic`
+    // instructions remap to the root indices.
+    let mut statics = StaticsTable::default();
+    let mut funs = Vec::with_capacity(1 + p.codes.len());
+    for part in std::iter::once(Ok(main)).chain(lowered) {
+        let mut part = part?;
+        let remap: Vec<u32> = part
+            .statics
+            .objs
+            .into_iter()
+            .map(|o| statics.intern(o))
+            .collect();
+        for i in &mut part.fun.instrs {
+            if let RInstr::LeaStatic { obj, .. } = i {
+                *obj = remap[*obj as usize];
+            }
+        }
+        funs.push(part.fun);
     }
     // Global traced flags from the recorded cons.
-    for (v, gid) in lw.global_ids.clone() {
-        let traced = match lw.global_cons.get(&v) {
+    for (v, gid) in &shared.global_ids {
+        let traced = match shared.global_cons.get(v) {
             Some(c) => match til_ubform::vrep(c, &p.data) {
                 til_ubform::VRep::Trace => true,
                 til_ubform::VRep::Computed(_) => true, // conservative
@@ -76,12 +99,12 @@ pub fn lower(p: &CProgram, tagged: bool) -> Result<RtlProgram> {
             },
             None => false,
         };
-        lw.globals[gid as usize].traced = traced;
+        globals[*gid as usize].traced = traced;
     }
     Ok(RtlProgram {
         funs,
-        globals: lw.globals,
-        statics: lw.statics,
+        globals,
+        statics: statics.objs,
         data_table,
         tagged,
     })
@@ -96,38 +119,55 @@ struct Sig {
     escapes: bool,
 }
 
-struct Lower<'a> {
+/// Read-only lowering context shared by every function's worker:
+/// after `lower_main` runs, nothing here mutates, so codes lower in
+/// parallel against `&Shared`.
+struct Shared<'a> {
     prog: &'a CProgram,
     tagged: bool,
-    statics: Vec<StaticObj>,
-    static_ix: HashMap<String, u32>,
-    globals: Vec<GlobalSlot>,
     global_ids: HashMap<Var, u32>,
     global_cons: HashMap<Var, Con>,
     sigs: HashMap<Var, Sig>,
 }
 
-impl<'a> Lower<'a> {
-    fn intern_static(&mut self, o: StaticObj) -> u32 {
+/// A deduplicating static-object table. Each function lowers into its
+/// own, then the tables intern into the root in program order.
+#[derive(Default)]
+struct StaticsTable {
+    objs: Vec<StaticObj>,
+    ix: HashMap<String, u32>,
+}
+
+impl StaticsTable {
+    fn intern(&mut self, o: StaticObj) -> u32 {
         let key = format!("{o:?}");
-        if let Some(&i) = self.static_ix.get(&key) {
+        if let Some(&i) = self.ix.get(&key) {
             return i;
         }
-        let i = self.statics.len() as u32;
-        self.statics.push(o);
-        self.static_ix.insert(key, i);
+        let i = self.objs.len() as u32;
+        self.objs.push(o);
+        self.ix.insert(key, i);
         i
     }
+}
 
-    fn lower_main(&mut self, body: &CExp) -> Result<RtlFun> {
+/// One function's lowering output: the function plus its local statics
+/// (indices into `statics.objs`, remapped at the merge).
+struct LoweredFun {
+    fun: RtlFun,
+    statics: StaticsTable,
+}
+
+impl<'a> Shared<'a> {
+    fn lower_main(&self, body: &CExp) -> Result<(LoweredFun, HashMap<Var, Con>)> {
         let mut cx = FunCx::new(self, vec![], None, true);
         cx.exp(body, false)?;
         // The program entry returns normally to the linker's halt stub.
         cx.instrs.push(RInstr::Ret(None));
-        Ok(cx.finish(None, vec![]))
+        Ok(cx.finish_main(None, vec![]))
     }
 
-    fn lower_code(&mut self, c: &Code) -> Result<RtlFun> {
+    fn lower_code(&self, c: &Code) -> Result<LoweredFun> {
         let sig = self.sigs[&c.var].clone();
         let mut cx = FunCx::new(self, c.cparams.clone(), Some(c), false);
         // Parameter layout (see DESIGN): escaping codes receive
@@ -188,7 +228,13 @@ impl<'a> Lower<'a> {
 }
 
 struct FunCx<'a, 'b> {
-    lw: &'b mut Lower<'a>,
+    lw: &'b Shared<'a>,
+    /// This function's local statics (merged into the root after).
+    statics: StaticsTable,
+    /// Global cons recorded while lowering main (codes never write;
+    /// reads overlay [`Shared::global_cons`], which is empty during
+    /// main and complete during the codes).
+    gcons: HashMap<Var, Con>,
     instrs: Vec<RInstr>,
     reps: HashMap<VReg, RRep>,
     next_vreg: VReg,
@@ -211,13 +257,15 @@ fn ice(msg: impl Into<String>) -> Diagnostic {
 
 impl<'a, 'b> FunCx<'a, 'b> {
     fn new(
-        lw: &'b mut Lower<'a>,
+        lw: &'b Shared<'a>,
         cparams: Vec<CVar>,
         code: Option<&Code>,
         in_main: bool,
     ) -> Self {
         FunCx {
             lw,
+            statics: StaticsTable::default(),
+            gcons: HashMap::new(),
             instrs: Vec::new(),
             reps: HashMap::new(),
             next_vreg: 0,
@@ -234,15 +282,31 @@ impl<'a, 'b> FunCx<'a, 'b> {
         }
     }
 
-    fn finish(self, name: Option<Var>, params: Vec<VReg>) -> RtlFun {
-        RtlFun {
-            name,
-            params,
-            instrs: self.instrs,
-            reps: self.reps,
-            nlabels: self.next_lbl,
-            nhandlers: self.max_handlers,
+    fn global_con(&self, x: &Var) -> Option<&Con> {
+        self.gcons.get(x).or_else(|| self.lw.global_cons.get(x))
+    }
+
+    fn intern_static(&mut self, o: StaticObj) -> u32 {
+        self.statics.intern(o)
+    }
+
+    fn finish(self, name: Option<Var>, params: Vec<VReg>) -> LoweredFun {
+        LoweredFun {
+            fun: RtlFun {
+                name,
+                params,
+                instrs: self.instrs,
+                reps: self.reps,
+                nlabels: self.next_lbl,
+                nhandlers: self.max_handlers,
+            },
+            statics: self.statics,
         }
+    }
+
+    fn finish_main(mut self, name: Option<Var>, params: Vec<VReg>) -> (LoweredFun, HashMap<Var, Con>) {
+        let gcons = std::mem::take(&mut self.gcons);
+        (self.finish(name, params), gcons)
     }
 
     fn fresh(&mut self, rep: RRep) -> VReg {
@@ -352,9 +416,7 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 }
                 if let Some(gid) = self.lw.global_ids.get(x).copied() {
                     let con = self
-                        .lw
-                        .global_cons
-                        .get(x)
+                        .global_con(x)
                         .cloned()
                         .unwrap_or(Con::Record(vec![]));
                     let r = self.fresh_for_con(&con);
@@ -372,7 +434,7 @@ impl<'a, 'b> FunCx<'a, 'b> {
             til_bform::Atom::Var(x) => self
                 .cons
                 .get(x)
-                .or_else(|| self.lw.global_cons.get(x))
+                .or_else(|| self.global_con(x))
                 .cloned()
                 .unwrap_or(Con::Int),
         }
@@ -413,7 +475,7 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     src: ROp::I(i as i64),
                 }),
                 None => {
-                    let id = self.lw.intern_static(StaticObj::Rep(e.clone()));
+                    let id = self.intern_static(StaticObj::Rep(e.clone()));
                     self.emit(RInstr::LeaStatic { dst: v, obj: id });
                 }
             }
@@ -539,7 +601,7 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 if self.in_main {
                     if let Some(gid) = self.lw.global_ids.get(var).copied() {
                         self.emit(RInstr::StGlobal { src: v, gid });
-                        self.lw.global_cons.insert(*var, con);
+                        self.gcons.insert(*var, con);
                     }
                 }
                 self.exp(body, tail)
@@ -728,15 +790,19 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 Ok(Some(v))
             }
             CRhs::Str(s) => {
-                let id = self.lw.intern_static(StaticObj::Str(s.clone()));
+                let id = self.intern_static(StaticObj::Str(s.clone()));
                 let v = self.fresh(RRep::Trace);
                 self.emit(RInstr::LeaStatic { dst: v, obj: id });
                 Ok(Some(v))
             }
             CRhs::Record(atoms) => {
                 if atoms.is_empty() {
-                    // Unit is a small constant, not an allocation.
-                    let v = self.fresh(RRep::Int);
+                    // Unit is a small constant, not an allocation. It
+                    // keeps its con's representation (Trace for the
+                    // record con) so copies into join registers stay
+                    // rep-consistent; the collector filters small
+                    // constants out of traced slots.
+                    let v = self.fresh_for_con(con);
                     let imm = self.int_imm(0);
                     self.emit(RInstr::Mov {
                         dst: v,
@@ -815,7 +881,7 @@ impl<'a, 'b> FunCx<'a, 'b> {
             }
             CRhs::ExnCon { exn, arg } => match arg {
                 None => {
-                    let id = self.lw.intern_static(StaticObj::ExnPacket(exn.0));
+                    let id = self.intern_static(StaticObj::ExnPacket(exn.0));
                     let v = self.fresh(RRep::Trace);
                     self.emit(RInstr::LeaStatic { dst: v, obj: id });
                     Ok(Some(v))
@@ -849,7 +915,9 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     vs.push(ROp::V(self.atom(a)?));
                 }
                 if vs.is_empty() {
-                    let v = self.fresh(RRep::Int);
+                    // Empty environment: a small constant standing in
+                    // for the record, rep-matched to its con as above.
+                    let v = self.fresh_for_con(con);
                     let imm = self.int_imm(0);
                     self.emit(RInstr::Mov {
                         dst: v,
@@ -1051,7 +1119,7 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 self.init_out(out, tail);
                 let labels: Vec<Lbl> = arms.iter().map(|_| self.lbl()).collect();
                 for ((k, _), l) in arms.iter().zip(&labels) {
-                    let id = self.lw.intern_static(StaticObj::Str(k.clone()));
+                    let id = self.intern_static(StaticObj::Str(k.clone()));
                     let sv = self.fresh(RRep::Trace);
                     self.emit(RInstr::LeaStatic { dst: sv, obj: id });
                     let c = self.fresh(RRep::Int);
@@ -1631,7 +1699,9 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     dst: None,
                     alloc: false,
                 });
-                let d = self.fresh(RRep::Int);
+                // Unit result: rep-matched to its (record) con so
+                // copies into join registers stay consistent.
+                let d = self.fresh_for_con(con);
                 let imm = self.int_imm(0);
                 self.emit(RInstr::Mov { dst: d, src: ROp::I(imm) });
                 d
@@ -1667,7 +1737,8 @@ impl<'a, 'b> FunCx<'a, 'b> {
                 let t = self.alu2(Alu::Sll, ROp::V(u), ROp::I(3), RRep::Int);
                 let loc = self.alu2(Alu::Add, v(0), ROp::V(t), RRep::Locative);
                 self.emit(RInstr::St { src: vs[2], base: loc, off: 8 });
-                let d = self.fresh(RRep::Int);
+                // Unit result, rep-matched to its con (see Print).
+                let d = self.fresh_for_con(con);
                 let imm = self.int_imm(0);
                 self.emit(RInstr::Mov { dst: d, src: ROp::I(imm) });
                 d

@@ -16,23 +16,29 @@
 //! * global and static references are in bounds.
 
 use crate::analysis::{defs, uses};
-use crate::ir::{CallTarget, Lbl, RInstr, RRep, RtlFun, RtlProgram, VReg};
+use crate::ir::{CallTarget, Lbl, RInstr, ROp, RRep, RtlFun, RtlProgram, VReg};
 use std::collections::{HashMap, HashSet};
 use til_common::{Diagnostic, Result};
 use til_vm::regs::NUM_ARGS;
 
-/// Verifies a whole lowered program.
+/// Verifies a whole lowered program on a single thread.
 pub fn verify_rtl(p: &RtlProgram) -> Result<()> {
+    verify_rtl_jobs(p, 1)
+}
+
+/// Verifies a whole lowered program, checking functions on up to
+/// `jobs` worker threads. On multiple failures the first in function
+/// order is reported, matching the sequential verifier.
+pub fn verify_rtl_jobs(p: &RtlProgram, jobs: usize) -> Result<()> {
     let mut arities: HashMap<til_common::Var, usize> = HashMap::new();
     for f in &p.funs {
         if let Some(name) = f.name {
             arities.insert(name, f.params.len());
         }
     }
-    for f in &p.funs {
-        verify_fun(p, f, &arities)?;
-    }
-    Ok(())
+    til_common::par::map(jobs, &p.funs, |_, f| verify_fun(p, f, &arities))
+        .into_iter()
+        .collect()
 }
 
 fn fun_name(f: &RtlFun) -> String {
@@ -99,6 +105,32 @@ fn verify_fun(
         match ins {
             RInstr::Br(l) | RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
                 resolve(f, i, *l)?;
+            }
+            // Representation consistency across moves: in the nearly
+            // tag-free scheme an untraced register flowing into a
+            // traced destination would make the collector trace a raw
+            // word. (The converse — a traced value narrowed into an
+            // untraced slot — is legal: the lowering does it for
+            // pointer compares and spills, and an untraced copy merely
+            // opts out of GC. Immediates and computed representations
+            // are skipped: small constants are filtered at trace time,
+            // and computed reps are only resolvable at run time. The
+            // tagged baseline is exempt: there every word carries its
+            // own tag, so the collector can scan any register.)
+            RInstr::Mov {
+                dst,
+                src: ROp::V(s),
+            } if !p.tagged => {
+                let srep = rep_of(f, i, *s)?;
+                if rep_of(f, i, *dst)? == RRep::Trace
+                    && matches!(srep, RRep::Int | RRep::Float | RRep::Code | RRep::Locative)
+                {
+                    return Err(err(
+                        f,
+                        i,
+                        format!("mov of untraced v{s} ({srep:?}) into traced v{dst}"),
+                    ));
+                }
             }
             RInstr::PushHandler { lbl, idx } => {
                 resolve(f, i, *lbl)?;
@@ -243,4 +275,117 @@ fn verify_fun(
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{RtlFun, RtlProgram};
+
+    /// A one-function program: the entry defines v0 and v1 by
+    /// immediate moves, runs `instrs`, and returns.
+    fn prog(reps: &[(VReg, RRep)], instrs: Vec<RInstr>) -> RtlProgram {
+        let mut all = vec![
+            RInstr::Mov {
+                dst: 0,
+                src: ROp::I(0),
+            },
+            RInstr::Mov {
+                dst: 1,
+                src: ROp::I(0),
+            },
+        ];
+        all.extend(instrs);
+        all.push(RInstr::Ret(None));
+        RtlProgram {
+            funs: vec![RtlFun {
+                name: None,
+                params: vec![],
+                instrs: all,
+                reps: reps.iter().copied().collect(),
+                nlabels: 0,
+                nhandlers: 0,
+            }],
+            globals: vec![],
+            statics: vec![],
+            data_table: vec![],
+            tagged: false,
+        }
+    }
+
+    /// Fault injection: an untraced register moved into a traced
+    /// destination must fail verification — the collector would trace
+    /// a raw word.
+    #[test]
+    fn untraced_source_into_traced_destination_is_rejected() {
+        for srep in [RRep::Int, RRep::Float, RRep::Code, RRep::Locative] {
+            let p = prog(
+                &[(0, srep), (1, RRep::Trace), (2, RRep::Trace)],
+                vec![RInstr::Mov {
+                    dst: 2,
+                    src: ROp::V(0),
+                }],
+            );
+            let e = verify_rtl(&p).expect_err("verifier must reject the rep-changing mov");
+            assert!(
+                e.to_string().contains("untraced"),
+                "unexpected diagnostic: {e}"
+            );
+        }
+    }
+
+    /// The narrowing direction is legal (pointer compares and spills
+    /// copy traced values into untraced registers), as are immediate
+    /// sources into traced destinations (small-constant filtering).
+    #[test]
+    fn traced_narrowing_and_immediates_stay_legal() {
+        let p = prog(
+            &[(0, RRep::Int), (1, RRep::Trace), (2, RRep::Int)],
+            vec![
+                RInstr::Mov {
+                    dst: 2,
+                    src: ROp::V(1),
+                },
+                RInstr::Mov {
+                    dst: 1,
+                    src: ROp::I(42),
+                },
+            ],
+        );
+        verify_rtl(&p).expect("Trace→Int and immediate moves verify");
+    }
+
+    /// The tagged baseline is exempt: every word carries its own tag,
+    /// so the collector can scan any register and the same mov is
+    /// legal.
+    #[test]
+    fn tagged_mode_permits_rep_changing_moves() {
+        let mut p = prog(
+            &[(0, RRep::Int), (1, RRep::Trace), (2, RRep::Trace)],
+            vec![RInstr::Mov {
+                dst: 2,
+                src: ROp::V(0),
+            }],
+        );
+        p.tagged = true;
+        verify_rtl(&p).expect("tagged programs may move untraced into traced");
+    }
+
+    /// The parallel verifier agrees with the sequential one on both
+    /// accept and reject.
+    #[test]
+    fn parallel_verifier_matches_sequential() {
+        let bad = prog(
+            &[(0, RRep::Int), (1, RRep::Trace), (2, RRep::Trace)],
+            vec![RInstr::Mov {
+                dst: 2,
+                src: ROp::V(0),
+            }],
+        );
+        let good = prog(&[(0, RRep::Int), (1, RRep::Trace)], vec![]);
+        for jobs in [1, 8] {
+            assert!(verify_rtl_jobs(&bad, jobs).is_err());
+            assert!(verify_rtl_jobs(&good, jobs).is_ok());
+        }
+    }
 }

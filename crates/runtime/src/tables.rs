@@ -32,7 +32,7 @@ pub enum LocRep {
 }
 
 /// Layout of one stack frame.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FrameInfo {
     /// Frame size in bytes (caller SP = SP + size).
     pub size: u32,
@@ -43,7 +43,7 @@ pub struct FrameInfo {
 }
 
 /// Everything the collector must know at one GC point.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GcPoint {
     /// Live registers and their representations.
     pub regs: Vec<(u8, LocRep)>,
@@ -52,7 +52,7 @@ pub struct GcPoint {
 }
 
 /// The complete table set for a linked program.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GcTables {
     /// Per GC-point pc.
     pub gc_points: HashMap<u32, GcPoint>,

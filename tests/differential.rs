@@ -95,17 +95,55 @@ fn generated_programs_agree_across_optimization_levels() {
     );
 }
 
-/// The deep corpus CI runs with a rotated seed (`TIL_DIFF_SEED`, set
-/// from the workflow run number). Ignored by default so tier-1 stays
-/// fast and deterministic.
-#[test]
-#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
-fn deep_generated_corpus_with_rotated_seed() {
-    let base = std::env::var("TIL_DIFF_SEED")
+/// The deep-corpus base seed: `TIL_DIFF_SEED` (set by CI from the
+/// workflow run number) rotates the corpus per run without making
+/// tier-1 flaky.
+fn deep_base() -> u64 {
+    std::env::var("TIL_DIFF_SEED")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
         .map(|n| SEED.wrapping_add(n.wrapping_mul(0x9e37_79b9)))
-        .unwrap_or(SEED);
-    let total_gc = run_corpus(base, 16);
+        .unwrap_or(SEED)
+}
+
+/// The deep corpus CI runs with a rotated seed. Ignored by default so
+/// tier-1 stays fast and deterministic.
+#[test]
+#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
+fn deep_generated_corpus_with_rotated_seed() {
+    let total_gc = run_corpus(deep_base(), 16);
     assert!(total_gc >= 1);
+}
+
+/// Pairwise ablations: single-pass ablations can mask bugs that only
+/// appear when two passes are *both* disabled (one pass cleaning up
+/// after the other's absence). All C(7,2) = 21 pair configurations
+/// exist ([`Options::ablation_pairs`]); compiling every program under
+/// every pair is too slow even for the deep tier, so each program
+/// gets a seeded sample — rotated by `TIL_DIFF_SEED` along with the
+/// corpus, so CI covers different pairs each run while any single
+/// failure stays reproducible from the printed seed.
+#[test]
+#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
+fn deep_pairwise_ablations_agree() {
+    const PROGRAMS: u64 = 4;
+    const PAIRS_PER_PROGRAM: usize = 6;
+    let base = deep_base();
+    let pairs = Options::ablation_pairs();
+    let r = &mut til_bench::rng::Rng::new(base ^ 0x9a12_ab1a_7e55_0003);
+    for i in 0..PROGRAMS {
+        let g = generate(base.wrapping_add(i));
+        let (oracle, _) = run_config("o0", small_heap(Options::o0()), g.seed, &g.source);
+        let mut remaining: Vec<usize> = (0..pairs.len()).collect();
+        for _ in 0..PAIRS_PER_PROGRAM {
+            let k = r.range(0, remaining.len() as i64) as usize;
+            let (name, opts) = &pairs[remaining.swap_remove(k)];
+            let (out, _) = run_config(name, small_heap(opts.clone()), g.seed, &g.source);
+            assert_eq!(
+                out, oracle,
+                "seed {:#x}: pair ablation [{name}] diverges from the O0 oracle\n--- source ---\n{}",
+                g.seed, g.source
+            );
+        }
+    }
 }
