@@ -8,5 +8,5 @@ pub mod liveness;
 pub mod regalloc;
 pub mod tables_check;
 
-pub use link::{link, Linked, LinkOptions};
+pub use link::{fun_label, link, Linked, LinkOptions};
 pub use tables_check::{check_gc_tables, check_gc_tables_jobs};

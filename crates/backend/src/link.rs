@@ -6,10 +6,10 @@
 use crate::emit::{emit_fun, EmittedFun, Reloc};
 use crate::regalloc::allocate;
 use std::collections::HashMap;
-use til_common::{Diagnostic, Result, Var};
+use til_common::{Diagnostic, Result, Tracer, Var};
 use til_runtime::{rep, FrameInfo, GcMode, GcTables, LocRep, RepExpr, RtData};
 use til_rtl::{RtlProgram, StaticObj, HEAP_BASE};
-use til_vm::{code_value, header, regs, Instr, Layout, Op, RtFn, Trap};
+use til_vm::{code_value, header, regs, FuncRange, Instr, Layout, Op, RtFn, Trap};
 
 /// A linked, loadable program.
 pub struct Linked {
@@ -31,6 +31,11 @@ pub struct Linked {
     pub code_bytes: usize,
     /// Static data bytes.
     pub static_bytes: usize,
+    /// Per-function code ranges (sorted by start; emitted alongside
+    /// the GC tables). Drives the execution profiler's per-function
+    /// attribution and the census's closure detection; pc values below
+    /// the first range are linker stub code.
+    pub fun_ranges: Vec<FuncRange>,
 }
 
 /// Link-time configuration.
@@ -165,8 +170,10 @@ impl Statics {
     }
 }
 
-/// Links an RTL program into a runnable image.
-pub fn link(p: &RtlProgram, opts: &LinkOptions) -> Result<Linked> {
+/// Links an RTL program into a runnable image. When `tracer` is given,
+/// per-function `emit` spans are recorded (buffered per worker, merged
+/// in function order).
+pub fn link(p: &RtlProgram, opts: &LinkOptions, tracer: Option<&Tracer>) -> Result<Linked> {
     // ---- Static data layout: globals first, then objects.
     let globals_bytes = 8 * p.globals.len() as u64;
     let mut st = Statics {
@@ -202,10 +209,18 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions) -> Result<Linked> {
 
     // ---- Allocate and emit every function (independent per
     // function; joined in function order).
-    let emitted: Vec<EmittedFun> = til_common::par::map(opts.jobs, &p.funs, |_, f| {
-        let al = allocate(f);
-        emit_fun(f, &al, p.tagged, &statics_addr)
-    });
+    let emit_span = tracer.map(|t| t.span("emit-functions"));
+    let emitted: Vec<EmittedFun> =
+        til_common::par::map_traced(opts.jobs, &p.funs, tracer, |_, f, t| {
+            let mut span = t.map(|t| t.span(format!("emit {}", fun_label(f.name))));
+            let al = allocate(f);
+            let e = emit_fun(f, &al, p.tagged, &statics_addr);
+            if let Some(s) = span.as_mut() {
+                s.counter("instrs", e.instrs.len() as i64);
+            }
+            e
+        });
+    drop(emit_span);
 
     // ---- Stub layout:
     //   0: mov EXN, root_handler
@@ -265,11 +280,17 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions) -> Result<Linked> {
         return Err(Diagnostic::ice("link", "static segment overflow"));
     }
 
-    // ---- Function bases.
+    // ---- Function bases (and the profiler's range map).
     let mut base_of: HashMap<Option<Var>, u32> = HashMap::new();
+    let mut fun_ranges: Vec<FuncRange> = Vec::new();
     let mut next = code.len() as u32;
     for e in &emitted {
         base_of.insert(e.name, next);
+        fun_ranges.push(FuncRange {
+            name: fun_label(e.name),
+            start: next,
+            end: next + e.instrs.len() as u32,
+        });
         next += e.instrs.len() as u32;
     }
     let code_label = |v: Var| -> Result<u32> {
@@ -386,7 +407,17 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions) -> Result<Linked> {
         },
         code_bytes,
         static_bytes,
+        fun_ranges,
     })
+}
+
+/// Display label for a function: the entry function (`name == None`)
+/// is `"main"`; compiled functions use their deterministic `Var` name.
+pub fn fun_label(name: Option<Var>) -> String {
+    match name {
+        None => "main".into(),
+        Some(v) => v.to_string(),
+    }
 }
 
 impl Linked {

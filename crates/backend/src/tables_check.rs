@@ -20,7 +20,7 @@
 use crate::emit::{emit_fun, EmittedFun};
 use crate::regalloc::{allocate, Alloc, Loc};
 use std::collections::BTreeMap;
-use til_common::{Diagnostic, Result};
+use til_common::{Diagnostic, Result, Tracer};
 use til_runtime::{FrameInfo, LocRep, RepLoc};
 use til_rtl::{RRep, RtlFun, RtlProgram, VReg};
 
@@ -29,23 +29,26 @@ use til_rtl::{RRep, RtlFun, RtlProgram, VReg};
 /// addresses do not influence the tables, so the re-emission uses
 /// placeholder addresses.
 pub fn check_gc_tables(p: &RtlProgram) -> Result<()> {
-    check_gc_tables_jobs(p, 1)
+    check_gc_tables_jobs(p, 1, None)
 }
 
 /// [`check_gc_tables`] on up to `jobs` worker threads, one function
-/// per task; the first failure in function order is reported.
-pub fn check_gc_tables_jobs(p: &RtlProgram, jobs: usize) -> Result<()> {
+/// per task; the first failure in function order is reported. With a
+/// tracer, each function's check records its own span.
+pub fn check_gc_tables_jobs(p: &RtlProgram, jobs: usize, tracer: Option<&Tracer>) -> Result<()> {
     if p.tagged {
         return Ok(());
     }
     let statics_addr = vec![0u64; p.statics.len()];
-    til_common::par::map(jobs, &p.funs, |_, f| {
+    let span = tracer.map(|t| t.span("gc-check-functions"));
+    let results = til_common::par::map_traced(jobs, &p.funs, tracer, |_, f, t| {
+        let _span = t.map(|t| t.span(format!("gc-check {}", fun_name(f))));
         let al = allocate(f);
         let em = emit_fun(f, &al, false, &statics_addr);
         check_fun_tables(f, &al, &em)
-    })
-    .into_iter()
-    .collect()
+    });
+    drop(span);
+    results.into_iter().collect()
 }
 
 fn slot_byte_off(slot: u32) -> u32 {

@@ -1,0 +1,139 @@
+//! CI gate for the runtime-observability layer. Runs the suite under
+//! the pressured heap and checks, per benchmark:
+//!
+//! * **profiling transparency** — output and every `Stats` counter are
+//!   identical with profiling on and off;
+//! * **exhaustive attribution** — per-function and per-opcode
+//!   instruction counts both sum to `Stats::instrs` exactly;
+//! * **pause/census invariants** — one pause per collection, pauses
+//!   monotone on the instruction timeline, each post-GC census total
+//!   equals that pause's surviving live words, the exit census equals
+//!   `final_heap_words`, and the census maximum equals
+//!   `max_live_words`;
+//! * **export freshness** — the committed `BENCH_runtime.json` is
+//!   well-formed and byte-identical to a freshly computed export.
+
+use til::{Compiler, Options};
+use til_bench::{export, suite, RuntimeMeasurement, FUEL, RUNTIME_SEMI_BYTES};
+
+fn main() {
+    let mut any_gc = false;
+    let mut rows: Vec<(&'static str, RuntimeMeasurement)> = Vec::new();
+    for b in suite() {
+        let mut opts = Options::til();
+        opts.link.semi_bytes = RUNTIME_SEMI_BYTES;
+        let exe = Compiler::new(opts)
+            .compile(b.source)
+            .unwrap_or_else(|d| panic!("{}: compile: {d}", b.name));
+        let off = exe
+            .run_with(FUEL, false)
+            .unwrap_or_else(|e| panic!("{}: unprofiled run: {e}", b.name));
+        let on = exe
+            .run_with(FUEL, true)
+            .unwrap_or_else(|e| panic!("{}: profiled run: {e}", b.name));
+        assert_eq!(off.output, on.output, "{}: profiling changed output", b.name);
+        assert_eq!(off.stats, on.stats, "{}: profiling changed Stats", b.name);
+        assert!(off.profile.is_none(), "{}: unprofiled run has a profile", b.name);
+        let p = on
+            .profile
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: profiled run has no profile", b.name));
+        let stats = &on.stats;
+
+        assert_eq!(
+            p.pauses.len() as u64,
+            stats.gc_count,
+            "{}: one pause record per collection",
+            b.name
+        );
+        any_gc |= stats.gc_count > 0;
+        for w in p.pauses.windows(2) {
+            assert!(
+                w[0].at_instr <= w[1].at_instr,
+                "{}: pauses out of timeline order",
+                b.name
+            );
+        }
+
+        let fn_instrs: u64 = p.functions.iter().map(|f| f.instrs).sum();
+        assert_eq!(fn_instrs, stats.instrs, "{}: function attribution not exhaustive", b.name);
+        let op_instrs: u64 = p.opcodes.iter().map(|(_, n)| n).sum();
+        assert_eq!(op_instrs, stats.instrs, "{}: opcode histogram not exhaustive", b.name);
+
+        for (i, pause) in p.pauses.iter().enumerate() {
+            let c = p
+                .censuses
+                .iter()
+                .find(|c| c.after_gc == Some(i as u64))
+                .unwrap_or_else(|| panic!("{}: collection {i} has no census", b.name));
+            assert_eq!(
+                c.classes.total_words(),
+                pause.live_words,
+                "{}: census {i} does not sum to surviving live words",
+                b.name
+            );
+        }
+        let exit = p
+            .censuses
+            .iter()
+            .find(|c| c.after_gc.is_none())
+            .unwrap_or_else(|| panic!("{}: no exit census", b.name));
+        assert_eq!(
+            exit.classes.total_words(),
+            stats.final_heap_words,
+            "{}: exit census does not sum to the resident heap",
+            b.name
+        );
+        let census_max = p
+            .censuses
+            .iter()
+            .map(|c| c.classes.total_words())
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            census_max, stats.max_live_words,
+            "{}: census maximum disagrees with max_live_words",
+            b.name
+        );
+
+        rows.push((
+            b.name,
+            RuntimeMeasurement {
+                output: on.output.clone(),
+                stats: on.stats.clone(),
+                profile: p.clone(),
+            },
+        ));
+    }
+    assert!(
+        any_gc,
+        "pressured heap produced no collections — the smoke test has no GC coverage"
+    );
+
+    let row_refs: Vec<(&str, &RuntimeMeasurement)> = rows.iter().map(|(n, m)| (*n, m)).collect();
+    let fresh = export::runtime_json(&row_refs, RUNTIME_SEMI_BYTES).pretty();
+    til_common::json::validate(&fresh)
+        .unwrap_or_else(|e| panic!("runtime export is not well-formed JSON: {e}"));
+    assert!(
+        fresh.contains(export::RUNTIME_SCHEMA),
+        "runtime export is missing its schema identifier"
+    );
+    let path = export::default_out_dir().join("BENCH_runtime.json");
+    match std::fs::read_to_string(&path) {
+        Ok(disk) => assert_eq!(
+            disk,
+            fresh,
+            "{} is stale — regenerate with `cargo run --release -p til-bench --bin tables -- runtime`",
+            path.display()
+        ),
+        Err(e) => panic!(
+            "cannot read {}: {e} (generate it with `cargo run --release -p til-bench --bin tables -- runtime`)",
+            path.display()
+        ),
+    }
+    println!(
+        "runtime smoke OK: {} benchmarks, schema {}",
+        rows.len(),
+        export::RUNTIME_SCHEMA
+    );
+}

@@ -1,16 +1,70 @@
 //! Regenerates every table and figure of the paper's evaluation
 //! (Section 5): Tables 1–7, which are also the data behind Figures
-//! 8–12. Run with a table name (`table1` ... `table7`, `polycount`)
-//! or `all`.
+//! 8–12, plus the runtime-observability report behind
+//! `BENCH_runtime.json`. Run with a section name (`table1` ...
+//! `table7`, `polycount`, `runtime`) or `all`.
+//!
+//! Flags:
+//!
+//! * `--out-dir DIR` — where all outputs land (the text report
+//!   `tables_output.txt`, `BENCH_pipeline.json`, `BENCH_runtime.json`,
+//!   Chrome traces). Defaults to the workspace root.
+//! * `--chrome-trace BENCH` — additionally compile and run benchmark
+//!   `BENCH` (e.g. `Life`) with profiling on and write a combined
+//!   compile+runtime Chrome trace to `trace_BENCH.json`; open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
 
+use std::path::PathBuf;
 use til::{Compiler, Options};
-use til_bench::{export, geomean, measure, median, suite, Measurement};
+use til_bench::{
+    export, geomean, measure, measure_runtime, median, suite, Measurement, RUNTIME_SEMI_BYTES,
+};
+
+/// Mirrors everything printed so the run can leave a `tables_output.txt`
+/// snapshot next to the JSON exports.
+struct Report {
+    text: String,
+}
+
+impl Report {
+    fn new() -> Report {
+        Report {
+            text: String::new(),
+        }
+    }
+
+    fn say(&mut self, line: impl AsRef<str>) {
+        let line = line.as_ref();
+        println!("{line}");
+        self.text.push_str(line);
+        self.text.push('\n');
+    }
+}
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut table: Option<String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut chrome: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out-dir" => {
+                out_dir = Some(args.next().expect("--out-dir needs a directory").into());
+            }
+            "--chrome-trace" => {
+                chrome = Some(args.next().expect("--chrome-trace needs a benchmark name"));
+            }
+            _ => table = Some(a),
+        }
+    }
+    let arg = table.unwrap_or_else(|| "all".into());
+    let explicit_dir = out_dir.is_some();
+    let out_dir = out_dir.unwrap_or_else(export::default_out_dir);
+
+    let mut r = Report::new();
     let all = arg == "all";
     if all || arg == "table1" {
-        table1();
+        table1(&mut r);
     }
     let need_main = all
         || matches!(
@@ -18,21 +72,35 @@ fn main() {
             "table2" | "table3" | "table4" | "table5" | "table6"
         );
     if need_main {
-        main_comparison(&arg, all);
+        main_comparison(&mut r, &arg, all, &out_dir, explicit_dir);
     }
     if all || arg == "table7" {
-        table7();
+        table7(&mut r);
     }
     if all || arg == "polycount" {
-        polycount();
+        polycount(&mut r);
+    }
+    if need_main || arg == "runtime" {
+        runtime_report(&mut r, &out_dir);
+    }
+    if let Some(name) = chrome {
+        chrome_trace(&mut r, &name, &out_dir);
+    }
+    let report_path = out_dir.join("tables_output.txt");
+    match std::fs::write(&report_path, &r.text) {
+        Ok(()) => println!("wrote {}", report_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", report_path.display()),
     }
 }
 
-fn table1() {
-    println!("\n== Table 1: benchmark programs ==");
+fn table1(r: &mut Report) {
+    r.say("\n== Table 1: benchmark programs ==");
     for b in suite() {
         let lines = b.source.lines().count();
-        println!("{:>12}  {:>4} lines  {}", b.name, lines, b.description);
+        r.say(format!(
+            "{:>12}  {:>4} lines  {}",
+            b.name, lines, b.description
+        ));
     }
 }
 
@@ -67,49 +135,56 @@ const PAPER_EXE: [f64; 8] = [0.43, 0.46, 0.48, 0.61, 0.43, 0.34, 0.63, 0.47];
 const PAPER_COMPILE: [f64; 8] = [5.8, 5.4, 9.0, 15.8, 8.6, 3.5, 14.7, 12.9];
 
 fn ratio_table(
+    r: &mut Report,
     title: &str,
     rows: &[Row],
     paper: &[f64; 8],
     f: impl Fn(&Measurement) -> f64,
     invert: bool,
 ) {
-    println!("\n== {title} ==");
-    println!(
+    r.say(format!("\n== {title} =="));
+    r.say(format!(
         "{:>12} {:>14} {:>14} {:>10} {:>10}",
         "program", "TIL", "baseline", "measured", "paper"
-    );
+    ));
     let mut ratios = Vec::new();
-    for (i, r) in rows.iter().enumerate() {
-        let (a, b) = (f(&r.til), f(&r.base));
+    for (i, row) in rows.iter().enumerate() {
+        let (a, b) = (f(&row.til), f(&row.base));
         let ratio = if invert { b / a } else { a / b };
         ratios.push(ratio);
-        println!(
+        r.say(format!(
             "{:>12} {:>14.0} {:>14.0} {:>10.3} {:>10.3}",
-            r.name, a, b, ratio, paper[i]
-        );
+            row.name, a, b, ratio, paper[i]
+        ));
     }
-    println!(
+    r.say(format!(
         "{:>12} {:>14} {:>14} {:>10.3} {:>10.3}",
         "geo.mean",
         "",
         "",
         geomean(&ratios),
         geomean(paper)
-    );
+    ));
 }
 
-fn main_comparison(arg: &str, all: bool) {
+fn main_comparison(r: &mut Report, arg: &str, all: bool, out_dir: &std::path::Path, explicit_dir: bool) {
     let rows = measure_all();
     // Machine-readable metrics export: every full-suite run refreshes
     // the perf-trajectory snapshot (see README for the schema).
     let export_rows: Vec<(&str, &Measurement, &Measurement)> =
-        rows.iter().map(|r| (r.name, &r.til, &r.base)).collect();
-    match export::write_pipeline_json(&export_rows) {
+        rows.iter().map(|row| (row.name, &row.til, &row.base)).collect();
+    let written = if explicit_dir {
+        export::write_pipeline_json_at(&export_rows, &out_dir.join("BENCH_pipeline.json"))
+    } else {
+        export::write_pipeline_json(&export_rows)
+    };
+    match written {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_pipeline.json: {e}"),
     }
     if all || arg == "table2" {
         ratio_table(
+            r,
             "Table 2 / Figure 8: execution time (TIL/baseline)",
             &rows,
             &PAPER_TIME,
@@ -119,6 +194,7 @@ fn main_comparison(arg: &str, all: bool) {
     }
     if all || arg == "table3" {
         ratio_table(
+            r,
             "Table 3 / Figure 9: heap allocation (TIL/baseline)",
             &rows,
             &PAPER_ALLOC,
@@ -128,6 +204,7 @@ fn main_comparison(arg: &str, all: bool) {
     }
     if all || arg == "table4" {
         ratio_table(
+            r,
             "Table 4 / Figure 10: max physical memory (TIL/baseline)",
             &rows,
             &PAPER_MEM,
@@ -139,8 +216,9 @@ fn main_comparison(arg: &str, all: bool) {
         // Add the paper's fixed runtime-system sizes (TIL ~100K,
         // SML/NJ ~425K) so the comparison includes what the paper says
         // dominates it.
-        println!("\n(Table 5 adds the paper's runtime constants: TIL +100KB, baseline +425KB)");
+        r.say("\n(Table 5 adds the paper's runtime constants: TIL +100KB, baseline +425KB)");
         ratio_table(
+            r,
             "Table 5: stand-alone executable size (TIL/baseline)",
             &rows,
             &PAPER_EXE,
@@ -149,48 +227,48 @@ fn main_comparison(arg: &str, all: bool) {
         );
         let rows2: Vec<(f64, f64)> = rows
             .iter()
-            .map(|r| {
+            .map(|row| {
                 (
-                    r.til.executable_bytes as f64 + 100.0 * 1024.0,
-                    r.base.executable_bytes as f64 + 425.0 * 1024.0,
+                    row.til.executable_bytes as f64 + 100.0 * 1024.0,
+                    row.base.executable_bytes as f64 + 425.0 * 1024.0,
                 )
             })
             .collect();
         let ratios: Vec<f64> = rows2.iter().map(|(a, b)| a / b).collect();
-        println!(
+        r.say(format!(
             "   with runtime constants: geo.mean {:.3} (paper {:.3})",
             geomean(&ratios),
             geomean(&PAPER_EXE)
-        );
+        ));
     }
     if all || arg == "table6" {
-        println!("\n== Table 6 / Figure 11: compile time (TIL/baseline; paper: TIL ~8.4x slower) ==");
+        r.say("\n== Table 6 / Figure 11: compile time (TIL/baseline; paper: TIL ~8.4x slower) ==");
         let mut ratios = Vec::new();
-        for (i, r) in rows.iter().enumerate() {
-            let ratio = r.til.compile_seconds / r.base.compile_seconds.max(1e-9);
+        for (i, row) in rows.iter().enumerate() {
+            let ratio = row.til.compile_seconds / row.base.compile_seconds.max(1e-9);
             ratios.push(ratio);
-            println!(
+            r.say(format!(
                 "{:>12} {:>10.3}s {:>10.3}s {:>10.2} {:>10.1}",
-                r.name, r.til.compile_seconds, r.base.compile_seconds, ratio, PAPER_COMPILE[i]
-            );
+                row.name, row.til.compile_seconds, row.base.compile_seconds, ratio, PAPER_COMPILE[i]
+            ));
         }
-        println!(
+        r.say(format!(
             "{:>12} {:>10} {:>11} {:>10.2} {:>10.1}",
             "geo.mean",
             "",
             "",
             geomean(&ratios),
             geomean(&PAPER_COMPILE)
-        );
+        ));
     }
 }
 
-fn table7() {
-    println!("\n== Table 7 / Figure 12: loop-optimization ablation (with/without) ==");
-    println!(
+fn table7(r: &mut Report) {
+    r.say("\n== Table 7 / Figure 12: loop-optimization ablation (with/without) ==");
+    r.say(format!(
         "{:>12} {:>10} {:>10} {:>12} {:>12}",
         "program", "time", "paper", "alloc", "paper"
-    );
+    ));
     const PAPER_T7_TIME: [f64; 8] = [0.41, 0.17, 0.62, 0.89, 1.00, 0.65, 0.87, 0.61];
     const PAPER_T7_ALLOC: [f64; 8] = [0.54, 0.035, 0.66, 1.04, 1.20, 1.00, 0.96, 0.84];
     let mut times = Vec::new();
@@ -203,39 +281,112 @@ fn table7() {
         let a = with.alloc_bytes.max(1) as f64 / without.alloc_bytes.max(1) as f64;
         times.push(t);
         allocs.push(a);
-        println!(
+        r.say(format!(
             "{:>12} {:>10.3} {:>10.2} {:>12.3} {:>12.2}",
             b.name, t, PAPER_T7_TIME[i], a, PAPER_T7_ALLOC[i]
-        );
+        ));
     }
-    println!(
+    r.say(format!(
         "{:>12} {:>10.3} {:>10.2} {:>12.3} {:>12.2}",
         "median",
         median(&times),
         0.61,
         median(&allocs),
         0.90
-    );
-    println!(
+    ));
+    r.say(format!(
         "{:>12} {:>10.3} {:>10.2} {:>12.3} {:>12.2}",
         "geo.mean",
         geomean(&times),
         0.58,
         geomean(&allocs),
         0.58
-    );
+    ));
 }
 
-fn polycount() {
-    println!("\n== Section 5.1 claim: polymorphic functions after optimization ==");
+fn polycount(r: &mut Report) {
+    r.say("\n== Section 5.1 claim: polymorphic functions after optimization ==");
     for b in suite() {
         let exe = Compiler::new(Options::til())
             .compile(b.source)
             .unwrap_or_else(|d| panic!("{d}"));
         let stats = exe.info.opt_stats.clone().unwrap_or_default();
-        println!(
+        r.say(format!(
             "{:>12}: {} polymorphic functions, {} typecases remain (paper: 0)",
             b.name, stats.remaining_polymorphic, stats.remaining_typecases
-        );
+        ));
+    }
+}
+
+/// The runtime-observability section: rerun the suite (TIL mode) under
+/// a pressured heap with profiling on, print the pause/census/profile
+/// summary, and export `BENCH_runtime.json`.
+fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
+    r.say(format!(
+        "\n== Runtime observability (semispace {} KB, profiled) ==",
+        RUNTIME_SEMI_BYTES >> 10
+    ));
+    r.say(format!(
+        "{:>12} {:>5} {:>10} {:>10} {:>11} {:>24}",
+        "program", "GCs", "max pause", "live max", "exit words", "hottest function"
+    ));
+    let ms: Vec<(&'static str, til_bench::RuntimeMeasurement)> = suite()
+        .into_iter()
+        .map(|b| {
+            let m = measure_runtime(&b, RUNTIME_SEMI_BYTES).unwrap_or_else(|e| panic!("{e}"));
+            (b.name, m)
+        })
+        .collect();
+    for (name, m) in &ms {
+        let p = &m.profile;
+        let hottest = p
+            .top_functions(1)
+            .first()
+            .map(|f| format!("{} ({})", f.name, f.instrs))
+            .unwrap_or_default();
+        let exit_words = p
+            .censuses
+            .iter()
+            .find(|c| c.after_gc.is_none())
+            .map_or(0, |c| c.classes.total_words());
+        r.say(format!(
+            "{:>12} {:>5} {:>10} {:>10} {:>11} {:>24}",
+            name,
+            m.stats.gc_count,
+            p.pauses.iter().map(|g| g.pause_cost).max().unwrap_or(0),
+            m.stats.max_live_words,
+            exit_words,
+            hottest,
+        ));
+    }
+    let rows: Vec<(&str, &til_bench::RuntimeMeasurement)> =
+        ms.iter().map(|(n, m)| (*n, m)).collect();
+    match export::write_runtime_json(&rows, RUNTIME_SEMI_BYTES, out_dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_runtime.json: {e}"),
+    }
+}
+
+/// Compile + profiled run of one named benchmark, exported as a Chrome
+/// trace-event file (`trace_<name>.json` in the output directory).
+fn chrome_trace(r: &mut Report, name: &str, out_dir: &std::path::Path) {
+    let b = suite()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("no benchmark named {name}"));
+    let mut opts = Options::til();
+    opts.link.semi_bytes = RUNTIME_SEMI_BYTES;
+    let exe = Compiler::new(opts)
+        .compile(b.source)
+        .unwrap_or_else(|d| panic!("{d}"));
+    let out = exe
+        .run_with(til_bench::FUEL, true)
+        .unwrap_or_else(|e| panic!("{}: run: {e}", b.name));
+    let profile = out.profile.expect("profiled run returns a profile");
+    let json = til::chrome_trace_json(&exe.info, Some((&out.stats, &profile)));
+    let path = out_dir.join(format!("trace_{}.json", b.name));
+    match std::fs::write(&path, json.pretty()) {
+        Ok(()) => r.say(format!("wrote Chrome trace {}", path.display())),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }

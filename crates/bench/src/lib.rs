@@ -102,6 +102,47 @@ pub struct Measurement {
 /// Instruction budget per benchmark run.
 pub const FUEL: u64 = 4_000_000_000;
 
+/// Semispace size for the pressured-heap runtime-observability runs.
+/// The default 16 MB semispace never fills on these scaled-down
+/// benchmarks, so the runtime export runs the suite under a small heap
+/// to exercise the collector (pauses, censuses) while still fitting
+/// every benchmark's live set (Knuth-Bendix peaks above a 256 KB
+/// semispace).
+pub const RUNTIME_SEMI_BYTES: u64 = 1 << 20;
+
+/// One profiled, pressured-heap run of one benchmark (TIL mode).
+#[derive(Clone, Debug)]
+pub struct RuntimeMeasurement {
+    /// Program output.
+    pub output: String,
+    /// Machine counters — identical to an unprofiled run's.
+    pub stats: til::Stats,
+    /// Profiler payload: opcode histogram, per-function attribution,
+    /// GC pauses, heap censuses.
+    pub profile: til::RunProfile,
+}
+
+/// Compiles one benchmark in TIL mode with a `semi_bytes` semispace
+/// and runs it with profiling on.
+pub fn measure_runtime(b: &Bench, semi_bytes: u64) -> Result<RuntimeMeasurement, String> {
+    let mut opts = Options::til();
+    opts.link.semi_bytes = semi_bytes;
+    let exe = Compiler::new(opts)
+        .compile(b.source)
+        .map_err(|d| format!("{}: compile: {d}", b.name))?;
+    let out = exe
+        .run_with(FUEL, true)
+        .map_err(|e| format!("{}: run: {e}", b.name))?;
+    let profile = out
+        .profile
+        .ok_or_else(|| format!("{}: profiled run returned no profile", b.name))?;
+    Ok(RuntimeMeasurement {
+        output: out.output,
+        stats: out.stats,
+        profile,
+    })
+}
+
 /// Compiles and runs one benchmark under the given options.
 pub fn measure(b: &Bench, opts: Options) -> Result<Measurement, String> {
     let exe = Compiler::new(opts)
@@ -201,34 +242,157 @@ pub mod export {
             )
     }
 
-    /// Resolves where `BENCH_pipeline.json` goes: `TIL_BENCH_JSON` if
-    /// set, else the enclosing workspace root (the nearest ancestor of
-    /// the current directory whose `Cargo.toml` declares
-    /// `[workspace]`), else the current directory.
-    pub fn pipeline_json_path() -> std::path::PathBuf {
-        if let Ok(p) = std::env::var("TIL_BENCH_JSON") {
-            return p.into();
-        }
+    /// The default output directory for bench artifacts: the enclosing
+    /// workspace root (the nearest ancestor of the current directory
+    /// whose `Cargo.toml` declares `[workspace]`), else the current
+    /// directory.
+    pub fn default_out_dir() -> std::path::PathBuf {
         let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
         loop {
             let manifest = dir.join("Cargo.toml");
             if let Ok(text) = std::fs::read_to_string(&manifest) {
                 if text.contains("[workspace]") {
-                    return dir.join("BENCH_pipeline.json");
+                    return dir;
                 }
             }
             if !dir.pop() {
-                return "BENCH_pipeline.json".into();
+                return ".".into();
             }
         }
+    }
+
+    /// Resolves where `BENCH_pipeline.json` goes: `TIL_BENCH_JSON` if
+    /// set, else [`default_out_dir`].
+    pub fn pipeline_json_path() -> std::path::PathBuf {
+        if let Ok(p) = std::env::var("TIL_BENCH_JSON") {
+            return p.into();
+        }
+        default_out_dir().join("BENCH_pipeline.json")
     }
 
     /// Writes the report, returning the path written.
     pub fn write_pipeline_json(
         rows: &[(&str, &Measurement, &Measurement)],
     ) -> std::io::Result<std::path::PathBuf> {
-        let path = pipeline_json_path();
-        std::fs::write(&path, pipeline_json(rows).pretty())?;
+        write_pipeline_json_at(rows, &pipeline_json_path())
+    }
+
+    /// Writes the report to an explicit path.
+    pub fn write_pipeline_json_at(
+        rows: &[(&str, &Measurement, &Measurement)],
+        path: &std::path::Path,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::write(path, pipeline_json(rows).pretty())?;
+        Ok(path.to_path_buf())
+    }
+
+    // ---- Runtime observability export (`BENCH_runtime.json`).
+
+    /// Schema identifier of the runtime-observability export.
+    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v1";
+
+    /// Functions reported per benchmark in the execution profile.
+    pub const TOP_K: usize = 10;
+
+    fn census_json(c: &til::CensusClasses) -> Json {
+        Json::obj()
+            .set("record_words", c.record_words)
+            .set("array_words", c.array_words)
+            .set("string_words", c.string_words)
+            .set("closure_words", c.closure_words)
+            .set("unknown_words", c.unknown_words)
+            .set("total_words", c.total_words())
+    }
+
+    /// Builds the runtime-observability report: per benchmark, the GC
+    /// pause distribution, the exit heap census, the hottest functions,
+    /// and the opcode mix. Everything here is a pure function of the
+    /// deterministic instruction stream, so the file is byte-stable
+    /// across runs and machines.
+    pub fn runtime_json(rows: &[(&str, &super::RuntimeMeasurement)], semi_bytes: u64) -> Json {
+        Json::obj()
+            .set("schema", RUNTIME_SCHEMA)
+            .set("fuel", super::FUEL)
+            .set("semi_bytes", semi_bytes)
+            .set(
+                "benchmarks",
+                Json::arr(rows.iter().map(|(name, m)| {
+                    let p = &m.profile;
+                    let count = p.pauses.len() as u64;
+                    let total_cost: u64 = p.pauses.iter().map(|g| g.pause_cost).sum();
+                    let exit_census = p
+                        .censuses
+                        .iter()
+                        .find(|c| c.after_gc.is_none())
+                        .map(|c| census_json(&c.classes))
+                        .unwrap_or_else(Json::obj);
+                    Json::obj()
+                        .set("name", *name)
+                        .set(
+                            "stats",
+                            Json::obj()
+                                .set("instructions_retired", m.stats.instrs)
+                                .set("runtime_cost", m.stats.rt_cost)
+                                .set("time", m.stats.time())
+                                .set("allocated_bytes", m.stats.allocated_bytes)
+                                .set("max_live_words", m.stats.max_live_words)
+                                .set("final_heap_words", m.stats.final_heap_words)
+                                .set("gc_count", m.stats.gc_count),
+                        )
+                        .set(
+                            "gc_pauses",
+                            Json::obj()
+                                .set("count", count)
+                                .set(
+                                    "max_cost",
+                                    p.pauses.iter().map(|g| g.pause_cost).max().unwrap_or(0),
+                                )
+                                .set(
+                                    "mean_cost",
+                                    if count > 0 {
+                                        total_cost as f64 / count as f64
+                                    } else {
+                                        0.0
+                                    },
+                                )
+                                .set(
+                                    "total_copied_words",
+                                    p.pauses.iter().map(|g| g.copied_words).sum::<u64>(),
+                                )
+                                .set(
+                                    "max_live_words",
+                                    p.pauses.iter().map(|g| g.live_words).max().unwrap_or(0),
+                                ),
+                        )
+                        .set("exit_census", exit_census)
+                        .set(
+                            "top_functions",
+                            Json::arr(p.top_functions(TOP_K).into_iter().map(|f| {
+                                Json::obj()
+                                    .set("name", f.name.clone())
+                                    .set("instrs", f.instrs)
+                                    .set("alloc_bytes", f.alloc_bytes)
+                                    .set("traps", f.traps)
+                            })),
+                        )
+                        .set(
+                            "opcodes",
+                            Json::arr(p.opcodes.iter().map(|(op, n)| {
+                                Json::obj().set("name", *op).set("count", *n)
+                            })),
+                        )
+                })),
+            )
+    }
+
+    /// Writes the runtime report into `dir`, returning the path.
+    pub fn write_runtime_json(
+        rows: &[(&str, &super::RuntimeMeasurement)],
+        semi_bytes: u64,
+        dir: &std::path::Path,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join("BENCH_runtime.json");
+        std::fs::write(&path, runtime_json(rows, semi_bytes).pretty())?;
         Ok(path)
     }
 }

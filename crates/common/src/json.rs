@@ -178,6 +178,90 @@ impl From<String> for Json {
     }
 }
 
+/// One event in the Chrome trace-event format (the JSON consumed by
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)).
+/// Timestamps are microseconds; which clock they are microseconds *of*
+/// is up to the producer (the bench exporter uses wall-clock µs for
+/// compile phases and deterministic instruction time — 1 instruction =
+/// 1 µs — for runtime spans, on separate track ids).
+#[derive(Clone, Debug)]
+pub struct ChromeEvent {
+    /// Event name (shown on the slice).
+    pub name: String,
+    /// Category tag (comma-separated in the format; one is plenty).
+    pub cat: &'static str,
+    /// Phase: `'X'` = complete slice, `'i'` = instant, `'M'` = metadata.
+    pub ph: char,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: Option<f64>,
+    /// Track (thread) id — distinct ids render as separate rows.
+    pub tid: u64,
+    /// Extra key/value payload (shown in the slice details pane).
+    pub args: Json,
+}
+
+impl ChromeEvent {
+    /// A complete (`ph: "X"`) slice.
+    pub fn complete(name: impl Into<String>, cat: &'static str, ts_us: f64, dur_us: f64, tid: u64) -> ChromeEvent {
+        ChromeEvent {
+            name: name.into(),
+            cat,
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            tid,
+            args: Json::obj(),
+        }
+    }
+
+    /// A `thread_name` metadata event labelling track `tid`.
+    pub fn thread_name(tid: u64, label: &str) -> ChromeEvent {
+        ChromeEvent {
+            name: "thread_name".into(),
+            cat: "__metadata",
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: None,
+            tid,
+            args: Json::obj().set("name", label),
+        }
+    }
+
+    /// Attaches an argument (chainable).
+    pub fn arg(mut self, key: &str, value: impl Into<Json>) -> ChromeEvent {
+        self.args = self.args.set(key, value);
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .set("name", self.name.as_str())
+            .set("cat", self.cat)
+            .set("ph", self.ph.to_string())
+            .set("ts", self.ts_us)
+            .set("pid", 1u64)
+            .set("tid", self.tid);
+        if let Some(d) = self.dur_us {
+            j = j.set("dur", d);
+        }
+        if !matches!(&self.args, Json::Obj(fields) if fields.is_empty()) {
+            j = j.set("args", self.args.clone());
+        }
+        j
+    }
+}
+
+/// Wraps events into a complete Chrome trace document
+/// (`{"traceEvents": [...]}`). Load the written file via
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(events: &[ChromeEvent]) -> Json {
+    Json::obj()
+        .set("traceEvents", Json::arr(events.iter().map(|e| e.to_json())))
+        .set("displayTimeUnit", "ms")
+}
+
 /// A minimal structural validator: checks that `src` is one complete,
 /// well-formed JSON value. Used by tests to keep the hand-rolled writer
 /// honest without pulling in a parser dependency.
@@ -342,5 +426,21 @@ mod tests {
     fn empty_containers() {
         assert_eq!(Json::obj().pretty().trim(), "{}");
         assert_eq!(Json::arr([]).pretty().trim(), "[]");
+    }
+
+    #[test]
+    fn chrome_trace_round_trips() {
+        let evs = vec![
+            ChromeEvent::thread_name(1, "compile (wall clock)"),
+            ChromeEvent::complete("parse", "compile", 0.0, 1500.0, 1),
+            ChromeEvent::complete("gc-pause", "runtime", 12_000.0, 800.0, 2)
+                .arg("live-words", 4096u64)
+                .arg("trigger-pc", 77u64),
+        ];
+        let s = chrome_trace(&evs).pretty();
+        validate(&s).expect("well-formed chrome trace");
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("\"ph\": \"X\""));
+        assert!(s.contains("\"live-words\""));
     }
 }

@@ -22,7 +22,7 @@ pub mod var;
 pub mod verify;
 
 pub use diag::{Diagnostic, Level, Result};
-pub use json::Json;
+pub use json::{ChromeEvent, Json};
 pub use span::Span;
 pub use symbol::Symbol;
 pub use trace::{TraceEvent, Tracer};

@@ -34,6 +34,11 @@ pub struct TraceEvent {
     pub name: String,
     /// Nesting depth at which the span ran (0 = pipeline phase).
     pub depth: usize,
+    /// Seconds from the tracer's epoch (root tracer creation) to the
+    /// span opening. Forked worker tracers share the parent's epoch, so
+    /// absorbed events stay on one timeline — this is what lets the
+    /// Chrome trace exporter place spans on a common time axis.
+    pub start: f64,
     /// Wall-clock duration in seconds.
     pub seconds: f64,
     /// Counters attached while the span was open, in insertion order
@@ -50,6 +55,9 @@ struct State {
 pub struct Tracer {
     /// Stream spans to stderr as they close?
     echo: bool,
+    /// Time zero for every `TraceEvent::start` recorded through this
+    /// tracer (shared with forked workers).
+    epoch: Instant,
     state: Mutex<State>,
 }
 
@@ -66,6 +74,7 @@ impl Tracer {
     pub fn new(echo: bool) -> Tracer {
         Tracer {
             echo,
+            epoch: Instant::now(),
             state: Mutex::new(State {
                 depth: 0,
                 events: Vec::new(),
@@ -88,7 +97,14 @@ impl Tracer {
     /// coordinator merges the buffers in deterministic order with
     /// [`absorb_events`](Tracer::absorb_events) after joining.
     pub fn fork(&self) -> Tracer {
-        Tracer::new(false)
+        Tracer {
+            echo: false,
+            epoch: self.epoch,
+            state: Mutex::new(State {
+                depth: 0,
+                events: Vec::new(),
+            }),
+        }
     }
 
     /// Merges a per-worker event buffer (from
@@ -135,11 +151,13 @@ impl Tracer {
         seconds: f64,
         counters: &[(&'static str, i64)],
     ) {
+        let now = self.epoch.elapsed().as_secs_f64();
         let ev = {
             let st = self.state.lock().unwrap();
             TraceEvent {
                 name: name.into(),
                 depth: st.depth,
+                start: (now - seconds).max(0.0),
                 seconds,
                 counters: counters.to_vec(),
             }
@@ -150,11 +168,13 @@ impl Tracer {
 
     /// Records an instantaneous counter-only event at the current depth.
     pub fn counter(&self, name: impl Into<String>, value: i64) {
+        let now = self.epoch.elapsed().as_secs_f64();
         let ev = {
             let st = self.state.lock().unwrap();
             TraceEvent {
                 name: name.into(),
                 depth: st.depth,
+                start: now,
                 seconds: 0.0,
                 counters: vec![("value", value)],
             }
@@ -172,6 +192,17 @@ impl Tracer {
     /// Consumes the tracer, returning its events.
     pub fn into_events(self) -> Vec<TraceEvent> {
         self.state.into_inner().unwrap().events
+    }
+
+    /// Records (and echoes, when enabled) pre-built events verbatim —
+    /// no depth re-basing and no timestamp adjustment. Used to splice
+    /// runtime-span events (whose timeline is deterministic instruction
+    /// time, not wall clock) into a compile-phase tracer.
+    pub fn replay_events(&self, events: Vec<TraceEvent>) {
+        for ev in events {
+            self.emit(&ev);
+            self.state.lock().unwrap().events.push(ev);
+        }
     }
 
     fn emit(&self, ev: &TraceEvent) {
@@ -199,6 +230,7 @@ impl Tracer {
         let ev = TraceEvent {
             name: std::mem::take(&mut span.name),
             depth: span.depth,
+            start: span.start.duration_since(self.epoch).as_secs_f64(),
             seconds: span.start.elapsed().as_secs_f64(),
             counters: std::mem::take(&mut span.counters),
         };
@@ -280,6 +312,36 @@ mod tests {
     fn tracer_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<Tracer>();
+    }
+
+    #[test]
+    fn forked_workers_share_the_parent_epoch() {
+        let t = Tracer::new(false);
+        let outer = t.span("parent");
+        let w = t.fork();
+        drop(w.span("child"));
+        let child = w.into_events().remove(0);
+        drop(outer);
+        let parent = t.into_events().remove(0);
+        // The child opened after the parent span, on the same epoch, so
+        // its start cannot precede the parent's.
+        assert!(child.start >= parent.start);
+    }
+
+    #[test]
+    fn replay_records_events_verbatim() {
+        let t = Tracer::new(false);
+        t.replay_events(vec![TraceEvent {
+            name: "gc-pause".into(),
+            depth: 1,
+            start: 0.25,
+            seconds: 0.001,
+            counters: vec![("live-words", 42)],
+        }]);
+        let evs = t.into_events();
+        assert_eq!(evs[0].name, "gc-pause");
+        assert_eq!(evs[0].depth, 1);
+        assert_eq!(evs[0].start, 0.25);
     }
 
     #[test]

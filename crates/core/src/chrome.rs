@@ -1,0 +1,97 @@
+//! Chrome trace-event export: one `chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev) file combining the wall-clock
+//! compile-phase tree with the deterministic runtime spans of a
+//! profiled run.
+//!
+//! The two timelines have incompatible units, so each gets its own
+//! track (Chrome "thread"): compile events are wall-clock microseconds
+//! from the tracer epoch, runtime events sit on instruction time where
+//! one instruction-equivalent ([`Stats::time`] unit) is one
+//! microsecond. Both tracks are labeled with metadata events so the
+//! unit convention is visible in the viewer.
+
+use crate::{CompileInfo, RunProfile};
+use til_common::json::{chrome_trace, ChromeEvent, Json};
+use til_vm::Stats;
+
+/// Track carrying the compile-phase tree (wall-clock µs).
+const TID_COMPILE: u64 = 1;
+/// Track carrying runtime spans (1 instruction-equivalent = 1 µs).
+const TID_RUNTIME: u64 = 2;
+
+/// Builds a Chrome trace-event JSON document from a compile's recorded
+/// events and, optionally, a profiled run. Counter-only compile events
+/// (zero duration) are kept: they render as zero-width slices whose
+/// args carry the counter value.
+pub fn chrome_trace_json(info: &CompileInfo, run: Option<(&Stats, &RunProfile)>) -> Json {
+    let mut evs = vec![ChromeEvent::thread_name(
+        TID_COMPILE,
+        "compile (wall clock)",
+    )];
+    for e in &info.events {
+        let mut ce = ChromeEvent::complete(
+            e.name.clone(),
+            "compile",
+            e.start * 1e6,
+            e.seconds * 1e6,
+            TID_COMPILE,
+        );
+        for (k, v) in &e.counters {
+            ce = ce.arg(k, *v);
+        }
+        evs.push(ce);
+    }
+    if let Some((stats, rp)) = run {
+        evs.push(ChromeEvent::thread_name(
+            TID_RUNTIME,
+            "run (1 instr = 1us)",
+        ));
+        // The depth-0 "run" slice spans the whole instruction timeline;
+        // pauses and hot-function slices nest inside it by containment.
+        evs.push(
+            ChromeEvent::complete("run", "runtime", 0.0, stats.time() as f64, TID_RUNTIME)
+                .arg("instrs", stats.instrs)
+                .arg("rt-cost", stats.rt_cost)
+                .arg("gc-count", stats.gc_count)
+                .arg("allocated-bytes", stats.allocated_bytes)
+                .arg("max-live-words", stats.max_live_words),
+        );
+        for (i, p) in rp.pauses.iter().enumerate() {
+            let mut ce = ChromeEvent::complete(
+                "gc-pause",
+                "runtime",
+                p.at_instr as f64,
+                p.pause_cost as f64,
+                TID_RUNTIME,
+            )
+            .arg("trigger-pc", p.trigger_pc as u64)
+            .arg("copied-words", p.copied_words)
+            .arg("live-words", p.live_words);
+            if let Some(c) = rp.censuses.iter().find(|c| c.after_gc == Some(i as u64)) {
+                ce = census_args(ce, &c.classes);
+            }
+            evs.push(ce);
+        }
+        if let Some(c) = rp.censuses.iter().find(|c| c.after_gc.is_none()) {
+            evs.push(census_args(
+                ChromeEvent::complete(
+                    "exit-census",
+                    "runtime",
+                    stats.instrs as f64,
+                    0.0,
+                    TID_RUNTIME,
+                ),
+                &c.classes,
+            ));
+        }
+    }
+    chrome_trace(&evs)
+}
+
+fn census_args(ce: ChromeEvent, c: &crate::CensusClasses) -> ChromeEvent {
+    ce.arg("record-words", c.record_words)
+        .arg("array-words", c.array_words)
+        .arg("string-words", c.string_words)
+        .arg("closure-words", c.closure_words)
+        .arg("unknown-words", c.unknown_words)
+}

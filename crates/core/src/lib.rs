@@ -25,15 +25,18 @@
 use std::sync::OnceLock;
 use til_common::{Diagnostic, Result, Tracer, VarSupply};
 
+pub mod chrome;
 pub mod pipeline;
 
+pub use chrome::chrome_trace_json;
 pub use pipeline::{Phase, Pipeline};
 pub use til_backend::{Linked, LinkOptions};
 pub use til_closure::{ClosureOptions, ClosureStats};
 pub use til_common::TraceEvent;
 pub use til_lmli::LmliOptions;
 pub use til_opt::{OptOptions, OptStats, PassStat};
-pub use til_vm::{Stats, VmError};
+pub use til_runtime::{CensusClasses, GcPause, HeapCensus};
+pub use til_vm::{FuncProfile, Stats, VmError};
 
 /// The SML prelude prefixed onto every compilation unit.
 pub use til_elab::PRELUDE;
@@ -260,6 +263,118 @@ pub struct Executable {
     linked: Linked,
     /// Compilation measurements.
     pub info: CompileInfo,
+    /// Echo the runtime spans of profiled runs to stderr (inherited
+    /// from the compile's tracing setting).
+    trace_echo: bool,
+}
+
+/// A profiled run's observability payload. Every field is a pure
+/// function of the deterministic instruction stream: profiles are
+/// byte-identical across runs and machines, and collecting them leaves
+/// [`Stats`] untouched.
+#[derive(Clone, Debug)]
+pub struct RunProfile {
+    /// Per-opcode retired-instruction histogram (nonzero entries, in
+    /// fixed opcode order).
+    pub opcodes: Vec<(&'static str, u64)>,
+    /// Per-function profiles in code order (plus a trailing
+    /// `"(stubs)"` bucket when linker stub code executed).
+    pub functions: Vec<FuncProfile>,
+    /// GC pause records, in collection order.
+    pub pauses: Vec<GcPause>,
+    /// Type-indexed heap censuses: one per collection plus an
+    /// exit-time sample (`after_gc: None`).
+    pub censuses: Vec<HeapCensus>,
+}
+
+impl RunProfile {
+    /// The top `k` functions by instructions retired (ties broken by
+    /// name, so the ranking is deterministic).
+    pub fn top_functions(&self, k: usize) -> Vec<&FuncProfile> {
+        let mut v: Vec<&FuncProfile> = self.functions.iter().filter(|f| f.instrs > 0).collect();
+        v.sort_by(|a, b| b.instrs.cmp(&a.instrs).then_with(|| a.name.cmp(&b.name)));
+        v.truncate(k);
+        v
+    }
+
+    /// Renders the profile as trace events on the deterministic
+    /// instruction timeline (1 instruction-equivalent = 1 µs, so a
+    /// printed "ms" is a thousand instruction-equivalents). Children
+    /// (pauses, censuses, hot functions) precede the depth-0 `run`
+    /// event, matching the tracer's children-close-first convention.
+    pub fn trace_events(&self, stats: &Stats) -> Vec<TraceEvent> {
+        let at_us = |n: u64| n as f64 * 1e-6;
+        let mut evs = Vec::new();
+        for (i, p) in self.pauses.iter().enumerate() {
+            evs.push(TraceEvent {
+                name: "gc-pause".into(),
+                depth: 1,
+                start: at_us(p.at_instr),
+                seconds: at_us(p.pause_cost),
+                counters: vec![
+                    ("trigger-pc", p.trigger_pc as i64),
+                    ("cost", p.pause_cost as i64),
+                    ("copied-words", p.copied_words as i64),
+                    ("live-words", p.live_words as i64),
+                ],
+            });
+            if let Some(c) = self
+                .censuses
+                .iter()
+                .find(|c| c.after_gc == Some(i as u64))
+            {
+                evs.push(census_event(c, at_us(p.at_instr)));
+            }
+        }
+        if let Some(c) = self.censuses.iter().find(|c| c.after_gc.is_none()) {
+            evs.push(census_event(c, at_us(stats.instrs)));
+        }
+        for f in self.top_functions(8) {
+            evs.push(TraceEvent {
+                name: format!("fn {}", f.name),
+                depth: 1,
+                start: 0.0,
+                seconds: at_us(f.instrs),
+                counters: vec![
+                    ("instrs", f.instrs as i64),
+                    ("alloc-bytes", f.alloc_bytes as i64),
+                    ("traps", f.traps as i64),
+                ],
+            });
+        }
+        evs.push(TraceEvent {
+            name: "run".into(),
+            depth: 0,
+            start: 0.0,
+            seconds: at_us(stats.time()),
+            counters: vec![
+                ("instrs", stats.instrs as i64),
+                ("rt-cost", stats.rt_cost as i64),
+                ("gc-count", stats.gc_count as i64),
+                ("allocated-bytes", stats.allocated_bytes as i64),
+                ("max-live-words", stats.max_live_words as i64),
+            ],
+        });
+        evs
+    }
+}
+
+fn census_event(c: &HeapCensus, start: f64) -> TraceEvent {
+    TraceEvent {
+        name: "heap-census".into(),
+        depth: 1,
+        start,
+        seconds: 0.0,
+        counters: vec![
+            ("after-gc", c.after_gc.map_or(-1, |i| i as i64)),
+            ("record-words", c.classes.record_words as i64),
+            ("array-words", c.classes.array_words as i64),
+            ("string-words", c.classes.string_words as i64),
+            ("closure-words", c.classes.closure_words as i64),
+            ("unknown-words", c.classes.unknown_words as i64),
+            ("total-words", c.classes.total_words() as i64),
+        ],
+    }
 }
 
 /// The result of running an executable.
@@ -267,24 +382,59 @@ pub struct Executable {
 pub struct RunOutcome {
     /// Everything the program printed.
     pub output: String,
-    /// Machine counters (time/allocation/memory metrics).
+    /// Machine counters (time/allocation/memory metrics). Identical
+    /// whether or not the run was profiled.
     pub stats: Stats,
+    /// The observability payload of a profiled run (`None` when
+    /// profiling was off).
+    pub profile: Option<RunProfile>,
 }
 
 impl Executable {
-    /// Runs the program with the given instruction budget.
+    /// Runs the program with the given instruction budget. Profiling
+    /// follows the `TIL_PROFILE` environment variable.
     pub fn run(&self, fuel: u64) -> std::result::Result<RunOutcome, VmError> {
+        self.run_with(fuel, til_vm::profile::env_enabled())
+    }
+
+    /// Runs the program, explicitly profiled or not. A profiled run
+    /// additionally returns a [`RunProfile`] (and echoes runtime spans
+    /// to stderr when the compile traced); its `Stats` are identical
+    /// to an unprofiled run's.
+    pub fn run_with(&self, fuel: u64, profile: bool) -> std::result::Result<RunOutcome, VmError> {
         let mut m = self.linked.machine();
         let mut rt = self.linked.runtime();
+        if profile {
+            m.profiler = Some(Box::new(til_vm::Profiler::new(self.linked.fun_ranges.clone())));
+            let fun_code_start = self
+                .linked
+                .fun_ranges
+                .first()
+                .map_or(self.linked.code.len() as u32, |r| r.start);
+            rt.gc.profile = Some(til_runtime::GcProfile::new(fun_code_start));
+        }
         m.run(&mut rt, fuel)?;
         // Final accounting: meter the allocation tail and fold the
         // final resident heap into the memory high-water mark (a
         // program whose high-water is its final live set would
         // otherwise under-report the Table 4 metric).
         rt.gc.finish(&mut m);
+        let profile = m.profiler.take().map(|p| {
+            let g = rt.gc.profile.take().unwrap_or_default();
+            RunProfile {
+                opcodes: p.opcode_histogram(),
+                functions: p.function_profiles(),
+                pauses: g.pauses,
+                censuses: g.censuses,
+            }
+        });
+        if let (Some(rp), true) = (&profile, self.trace_echo) {
+            Tracer::new(true).replay_events(rp.trace_events(&m.stats));
+        }
         Ok(RunOutcome {
             output: m.output.clone(),
             stats: m.stats.clone(),
+            profile,
         })
     }
 
@@ -615,21 +765,23 @@ impl Compiler {
                 // Structural RTL verification (def-before-use, label
                 // resolution, calling convention, representation
                 // consistency)...
-                .verify("rtl-verify", move |r: &til_rtl::RtlProgram| {
-                    til_rtl::verify_rtl_jobs(r, jobs)
+                .verify("rtl-verify", {
+                    let tr = &tracer;
+                    move |r: &til_rtl::RtlProgram| til_rtl::verify_rtl_jobs(r, jobs, Some(tr))
                 })
                 // ...and the GC-table cross-check: every live pointer
                 // slot described, no table entry naming a dead slot.
-                .verify("gc-check", move |r: &til_rtl::RtlProgram| {
-                    til_backend::check_gc_tables_jobs(r, jobs)
+                .verify("gc-check", {
+                    let tr = &tracer;
+                    move |r: &til_rtl::RtlProgram| til_backend::check_gc_tables_jobs(r, jobs, Some(tr))
                 }),
-            || til_rtl::lower(&c, self.opts.mode == Mode::Baseline, jobs),
+            || til_rtl::lower(&c, self.opts.mode == Mode::Baseline, jobs, Some(&tracer)),
         )?;
         let mut link_opts = self.opts.link;
         link_opts.jobs = jobs;
         let linked = pl.run(
             Phase::new("backend").count(|l: &Linked| l.code.len()),
-            || til_backend::link(&rtl, &link_opts),
+            || til_backend::link(&rtl, &link_opts, Some(&tracer)),
         )?;
         if let Some(d) = dumps {
             use std::fmt::Write as _;
@@ -644,8 +796,13 @@ impl Compiler {
         info.executable_bytes = linked.executable_bytes();
         tracer.counter("code-bytes", linked.code_bytes as i64);
         tracer.counter("executable-bytes", linked.executable_bytes() as i64);
+        let trace_echo = tracer.echoing();
         info.events = tracer.into_events();
-        Ok(Executable { linked, info })
+        Ok(Executable {
+            linked,
+            info,
+            trace_echo,
+        })
     }
 
     fn render(&self, src: &str, d: Diagnostic) -> Diagnostic {

@@ -30,7 +30,12 @@ pub const HEAP_BASE: u64 = 1 << 21;
 /// main spine is lowered first — it records the global slots' cons —
 /// then the codes lower independently and merge in program order, so
 /// the output is identical for every `jobs` value).
-pub fn lower(p: &CProgram, tagged: bool, jobs: usize) -> Result<RtlProgram> {
+pub fn lower(
+    p: &CProgram,
+    tagged: bool,
+    jobs: usize,
+    tracer: Option<&til_common::Tracer>,
+) -> Result<RtlProgram> {
     let data_table = til_ubform::data_table(&p.data)?;
     let mut shared = Shared {
         prog: p,
@@ -63,11 +68,23 @@ pub fn lower(p: &CProgram, tagged: bool, jobs: usize) -> Result<RtlProgram> {
     }
     // Lower main first: it fills in the global cons every code may
     // read, so it cannot join the parallel batch.
-    let (main, main_gcons) = shared.lower_main(&p.body)?;
+    let lower_span = tracer.map(|t| t.span("lower-functions"));
+    let (main, main_gcons) = {
+        let _s = tracer.map(|t| t.span("lower main"));
+        shared.lower_main(&p.body)?
+    };
     shared.global_cons = main_gcons;
     // The codes only *read* shared state; each lowers into its own
     // statics table, merged below.
-    let lowered = til_common::par::map(jobs, &p.codes, |_, c| shared.lower_code(c));
+    let lowered = til_common::par::map_traced(jobs, &p.codes, tracer, |_, c, t| {
+        let mut span = t.map(|t| t.span(format!("lower {}", c.var)));
+        let part = shared.lower_code(c);
+        if let (Some(s), Ok(part)) = (span.as_mut(), &part) {
+            s.counter("rtl-instrs", part.fun.instrs.len() as i64);
+        }
+        part
+    });
+    drop(lower_span);
     // Merge in program order (main, then codes in declaration order):
     // each function's local statics intern into the root table exactly
     // as a sequential lowering would have, then its `LeaStatic`

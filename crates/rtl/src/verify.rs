@@ -23,22 +23,32 @@ use til_vm::regs::NUM_ARGS;
 
 /// Verifies a whole lowered program on a single thread.
 pub fn verify_rtl(p: &RtlProgram) -> Result<()> {
-    verify_rtl_jobs(p, 1)
+    verify_rtl_jobs(p, 1, None)
 }
 
 /// Verifies a whole lowered program, checking functions on up to
 /// `jobs` worker threads. On multiple failures the first in function
-/// order is reported, matching the sequential verifier.
-pub fn verify_rtl_jobs(p: &RtlProgram, jobs: usize) -> Result<()> {
+/// order is reported, matching the sequential verifier. With a tracer,
+/// each function's check records its own span (buffered per worker,
+/// merged in function order).
+pub fn verify_rtl_jobs(
+    p: &RtlProgram,
+    jobs: usize,
+    tracer: Option<&til_common::Tracer>,
+) -> Result<()> {
     let mut arities: HashMap<til_common::Var, usize> = HashMap::new();
     for f in &p.funs {
         if let Some(name) = f.name {
             arities.insert(name, f.params.len());
         }
     }
-    til_common::par::map(jobs, &p.funs, |_, f| verify_fun(p, f, &arities))
-        .into_iter()
-        .collect()
+    let span = tracer.map(|t| t.span("verify-functions"));
+    let results = til_common::par::map_traced(jobs, &p.funs, tracer, |_, f, t| {
+        let _span = t.map(|t| t.span(format!("verify {}", fun_name(f))));
+        verify_fun(p, f, &arities)
+    });
+    drop(span);
+    results.into_iter().collect()
 }
 
 fn fun_name(f: &RtlFun) -> String {
@@ -384,8 +394,8 @@ mod tests {
         );
         let good = prog(&[(0, RRep::Int), (1, RRep::Trace)], vec![]);
         for jobs in [1, 8] {
-            assert!(verify_rtl_jobs(&bad, jobs).is_err());
-            assert!(verify_rtl_jobs(&good, jobs).is_ok());
+            assert!(verify_rtl_jobs(&bad, jobs, None).is_err());
+            assert!(verify_rtl_jobs(&good, jobs, None).is_ok());
         }
     }
 }

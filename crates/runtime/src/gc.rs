@@ -9,8 +9,55 @@
 //! values mix small-constant constructors (`nil`) with pointers
 //! (`cons`), per DESIGN.md.
 
+use crate::census::{self, HeapCensus, RepClass};
+use crate::reps::rep;
 use crate::tables::{FrameInfo, GcMode, GcTables, LocRep, RepLoc};
+use std::collections::HashMap;
 use til_vm::{header, regs, Machine, VmError};
+
+/// One collection's pause record. All fields are functions of the
+/// deterministic instruction stream, so pause distributions are
+/// byte-identical across runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcPause {
+    /// The GC point (instruction address of the triggering
+    /// `RtCall`).
+    pub trigger_pc: u32,
+    /// Instructions retired when the pause began (the pause's position
+    /// on the deterministic timeline).
+    pub at_instr: u64,
+    /// Pause cost in instruction-equivalents (the `rt_cost` this
+    /// collection charged: per-collection constant + copy work).
+    pub pause_cost: u64,
+    /// Words this collection copied.
+    pub copied_words: u64,
+    /// Live words surviving this collection.
+    pub live_words: u64,
+}
+
+/// Observability state carried by a collector when profiling is on:
+/// per-collection pause records plus type-indexed heap censuses.
+#[derive(Clone, Debug, Default)]
+pub struct GcProfile {
+    /// First code index belonging to a compiled function (from the
+    /// linker's function-range map) — drives the census's closure
+    /// detection.
+    pub fun_code_start: u32,
+    /// One record per collection, in collection order.
+    pub pauses: Vec<GcPause>,
+    /// One census per collection plus one exit-time sample.
+    pub censuses: Vec<HeapCensus>,
+}
+
+impl GcProfile {
+    /// An empty profile; `fun_code_start` comes from the linker.
+    pub fn new(fun_code_start: u32) -> GcProfile {
+        GcProfile {
+            fun_code_start,
+            ..Default::default()
+        }
+    }
+}
 
 /// The collector state (semispace bookkeeping).
 #[derive(Debug)]
@@ -24,6 +71,10 @@ pub struct Collector {
     /// HP after the previous collection (0 = not yet initialized),
     /// used to meter mutator allocation.
     pub last_hp: u64,
+    /// Pause/census recording, on when the run is profiled. Strictly
+    /// observational: collection behaviour and every `Stats` counter
+    /// are identical whether this is `Some` or `None`.
+    pub profile: Option<GcProfile>,
 }
 
 impl Collector {
@@ -34,6 +85,7 @@ impl Collector {
             tables,
             from: 0,
             last_hp: 0,
+            profile: None,
         }
     }
 
@@ -90,14 +142,49 @@ impl Collector {
         }
     }
 
-    /// Evaluates a `Computed` rep location: 0 means int-like
-    /// (untraced).
-    fn rep_is_traced(&self, m: &Machine, loc: RepLoc, sp: u64) -> Result<bool, VmError> {
-        let v = match loc {
+    /// Reads a `Computed` rep location's runtime type representation.
+    fn rep_value(&self, m: &Machine, loc: RepLoc, sp: u64) -> Result<u64, VmError> {
+        Ok(match loc {
             RepLoc::Reg(r) => m.regs[r as usize],
             RepLoc::Slot(off) => m.rd(sp + off as u64)?,
-        };
-        Ok(v != crate::reps::rep::INT)
+        })
+    }
+
+    /// Interprets a companion-slot rep value as a census class (census
+    /// refinement; read errors and unknown shapes resolve to `None`).
+    /// `old_from` is the pre-flip from-space: a rep record living there
+    /// may itself have been copied, so follow its forwarding pointer.
+    fn rep_class(&self, m: &Machine, rep_val: u64, old_from: (u64, u64)) -> Option<RepClass> {
+        match rep_val {
+            rep::INT => None,
+            // Boxed floats are 1-element float arrays; let the header
+            // classify them.
+            rep::FLOAT => None,
+            rep::STR => Some(RepClass::String),
+            rep::EXN => Some(RepClass::Record),
+            rep::ARROW => Some(RepClass::Closure),
+            ptr => {
+                let a = if ptr >= old_from.0 && ptr < old_from.1 {
+                    let h = m.rd(ptr).ok()?;
+                    if header::kind(h) == header::KIND_FWD {
+                        header::fwd_addr(h)
+                    } else {
+                        ptr
+                    }
+                } else {
+                    ptr
+                };
+                let h = m.rd(a).ok()?;
+                if header::kind(h) != header::KIND_RECORD || header::len(h) == 0 {
+                    return None;
+                }
+                match m.rd(a + 8).ok()? {
+                    rep::TAG_RECORD | rep::TAG_DATA => Some(RepClass::Record),
+                    rep::TAG_ARRAY => Some(RepClass::Array),
+                    _ => None,
+                }
+            }
+        }
     }
 
     /// Runs a collection. `pc` is the GC point (the current
@@ -107,9 +194,15 @@ impl Collector {
         m.stats.gc_count += 1;
         self.meter_allocation(m);
         let copied_before = m.stats.gc_copied_words;
+        let rt_before = m.stats.rt_cost;
         let to = 1 - self.from;
         let (to_base, to_end) = self.semi(m, to);
         let mut alloc = to_base;
+        // When profiling, remember `(forwarded address, rep value)` for
+        // every Computed root so the census can refine its header-based
+        // classification after the scan. Purely observational.
+        let profiling = self.profile.is_some();
+        let mut computed_roots: Vec<(u64, u64)> = Vec::new();
 
         // --- Roots: registers at this GC point.
         let point = self
@@ -120,14 +213,19 @@ impl Collector {
             .ok_or_else(|| VmError::Runtime(format!("GC at unmapped point pc={pc}")))?;
         let sp = m.regs[regs::SP as usize];
         for (r, rep) in &point.regs {
-            let traced = match rep {
-                LocRep::Trace => true,
-                LocRep::Computed(loc) => self.rep_is_traced(m, *loc, sp)?,
+            let rep_val = match rep {
+                LocRep::Trace => None,
+                LocRep::Computed(loc) => Some(self.rep_value(m, *loc, sp)?),
             };
-            if traced {
+            if rep_val != Some(rep::INT) {
                 let v = m.regs[*r as usize];
                 let nv = self.fix(m, v, &mut alloc)?;
                 m.regs[*r as usize] = nv;
+                if profiling {
+                    if let Some(rv) = rep_val {
+                        computed_roots.push((nv, rv));
+                    }
+                }
             }
         }
 
@@ -140,16 +238,21 @@ impl Collector {
                 loop {
                     for (off, rep) in &frame.slots {
                         let addr = sp_cur + *off as u64;
-                        let traced = match rep {
-                            LocRep::Trace => true,
+                        let rep_val = match rep {
+                            LocRep::Trace => None,
                             LocRep::Computed(loc) => {
-                                self.rep_is_traced_at(m, *loc, sp_cur)?
+                                Some(self.rep_value(m, *loc, sp_cur)?)
                             }
                         };
-                        if traced {
+                        if rep_val != Some(rep::INT) {
                             let v = m.rd(addr)?;
                             let nv = self.fix(m, v, &mut alloc)?;
                             m.wr(addr, nv)?;
+                            if profiling {
+                                if let Some(rv) = rep_val {
+                                    computed_roots.push((nv, rv));
+                                }
+                            }
                         }
                     }
                     // Find the caller (return addresses are
@@ -193,14 +296,19 @@ impl Collector {
         match self.mode {
             GcMode::NearlyTagFree => {
                 for (addr, rep) in self.tables.globals.clone() {
-                    let traced = match rep {
-                        LocRep::Trace => true,
-                        LocRep::Computed(loc) => self.rep_is_traced(m, loc, sp)?,
+                    let rep_val = match rep {
+                        LocRep::Trace => None,
+                        LocRep::Computed(loc) => Some(self.rep_value(m, loc, sp)?),
                     };
-                    if traced {
+                    if rep_val != Some(rep::INT) {
                         let v = m.rd(addr)?;
                         let nv = self.fix(m, v, &mut alloc)?;
                         m.wr(addr, nv)?;
+                        if profiling {
+                            if let Some(rv) = rep_val {
+                                computed_roots.push((nv, rv));
+                            }
+                        }
                     }
                 }
             }
@@ -262,11 +370,39 @@ impl Collector {
             }
         }
 
+        // --- Census (profiling only; before the flip so rep records
+        // still in old from-space can be followed through forwarding).
+        let census = if profiling {
+            let old_from = self.semi(m, self.from);
+            let mut known: HashMap<u64, RepClass> = HashMap::new();
+            for (addr, rv) in computed_roots {
+                if let Some(c) = self.rep_class(m, rv, old_from) {
+                    known.insert(addr, c);
+                }
+            }
+            let fun_code_start = self.profile.as_ref().map_or(0, |p| p.fun_code_start);
+            Some(census::scan(
+                m,
+                to_base,
+                alloc,
+                fun_code_start,
+                self.mode == GcMode::Tagged,
+                &known,
+            )?)
+        } else {
+            None
+        };
+
         // --- Flip.
         self.from = to;
         self.last_hp = alloc;
         m.regs[regs::HP as usize] = alloc;
         m.regs[regs::HL as usize] = to_end;
+        if let Some(p) = m.profiler.as_deref_mut() {
+            // The flip moved HP without allocating; re-base the
+            // profiler's allocation attribution.
+            p.note_rt(alloc);
+        }
         let live_words = (alloc - to_base) / 8;
         if live_words > m.stats.max_live_words {
             m.stats.max_live_words = live_words;
@@ -274,14 +410,24 @@ impl Collector {
         // Collection cost in instruction-equivalents: roughly 3 per
         // copied word plus a per-collection constant.
         m.stats.rt_cost += 200 + 3 * (m.stats.gc_copied_words - copied_before);
+        if let (Some(p), Some(classes)) = (self.profile.as_mut(), census) {
+            let idx = p.pauses.len() as u64;
+            p.pauses.push(GcPause {
+                trigger_pc: pc,
+                at_instr: m.stats.instrs,
+                pause_cost: m.stats.rt_cost - rt_before,
+                copied_words: m.stats.gc_copied_words - copied_before,
+                live_words,
+            });
+            p.censuses.push(HeapCensus {
+                after_gc: Some(idx),
+                classes,
+            });
+        }
         if alloc + needed > to_end {
             return Err(VmError::OutOfMemory);
         }
         Ok(())
-    }
-
-    fn rep_is_traced_at(&self, m: &Machine, loc: RepLoc, sp: u64) -> Result<bool, VmError> {
-        self.rep_is_traced(m, loc, sp)
     }
 
     /// Final accounting at program exit: meters the allocation tail
@@ -298,6 +444,25 @@ impl Collector {
         m.stats.final_heap_words = resident;
         if resident > m.stats.max_live_words {
             m.stats.max_live_words = resident;
+        }
+        // Exit-time census over the resident heap (no GC point, so no
+        // companion reps — header classification only). Its total
+        // equals `final_heap_words` by construction.
+        if let Some(p) = &self.profile {
+            let fun_code_start = p.fun_code_start;
+            let tagged = self.mode == GcMode::Tagged;
+            if hp >= base {
+                if let Ok(classes) =
+                    census::scan(m, base, hp, fun_code_start, tagged, &HashMap::new())
+                {
+                    if let Some(p) = self.profile.as_mut() {
+                        p.censuses.push(HeapCensus {
+                            after_gc: None,
+                            classes,
+                        });
+                    }
+                }
+            }
         }
     }
 

@@ -4,12 +4,14 @@
 //! plus string/math runtime services and tag-free polymorphic
 //! structural equality over run-time type representations.
 
+pub mod census;
 pub mod gc;
 pub mod reps;
 pub mod rt;
 pub mod tables;
 
-pub use gc::Collector;
+pub use census::{CensusClasses, HeapCensus, RepClass};
+pub use gc::{Collector, GcPause, GcProfile};
 pub use reps::{rep, RepExpr, RtData, RtDataRep};
 pub use rt::{format_real, Rt};
 pub use tables::{FrameInfo, GcMode, GcPoint, GcTables, LocRep, RepLoc};

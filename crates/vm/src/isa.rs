@@ -246,6 +246,42 @@ pub enum Instr {
     Halt,
 }
 
+impl Instr {
+    /// Number of opcode classes — one per `Instr` variant. Dense so the
+    /// profiler's histogram is a flat array indexed by
+    /// [`opcode`](Instr::opcode).
+    pub const NUM_OPCODES: usize = 15;
+
+    /// A dense opcode index in `0..NUM_OPCODES`.
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::Alu { .. } => 0,
+            Instr::Falu { .. } => 1,
+            Instr::Itof { .. } => 2,
+            Instr::Ld { .. } => 3,
+            Instr::St { .. } => 4,
+            Instr::Mov { .. } => 5,
+            Instr::Lea { .. } => 6,
+            Instr::Br(_) => 7,
+            Instr::Beqz(..) => 8,
+            Instr::Bnez(..) => 9,
+            Instr::Jsr(_) => 10,
+            Instr::JsrR(_) => 11,
+            Instr::Jmp(_) => 12,
+            Instr::RtCall(_) => 13,
+            Instr::Halt => 14,
+        }
+    }
+
+    /// The mnemonic for an opcode index from [`Instr::opcode`].
+    pub fn opcode_name(op: usize) -> &'static str {
+        [
+            "alu", "falu", "itof", "ld", "st", "mov", "lea", "br", "beqz", "bnez", "jsr", "jsrr",
+            "jmp", "rtcall", "halt",
+        ][op]
+    }
+}
+
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

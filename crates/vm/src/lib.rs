@@ -4,6 +4,8 @@
 
 pub mod isa;
 pub mod machine;
+pub mod profile;
 
 pub use isa::{header, regs, Alu, CodeAddr, Falu, Instr, Op, Reg, RtFn};
 pub use machine::{code_index, code_value, Layout, Machine, Runtime, Stats, Trap, VmError};
+pub use profile::{FuncProfile, FuncRange, Profiler};

@@ -84,8 +84,10 @@ pub enum Trap {
     Size,
 }
 
-/// Deterministic performance counters.
-#[derive(Clone, Debug, Default)]
+/// Deterministic performance counters. `PartialEq`/`Eq` back the
+/// profiling-transparency guarantee: a profiled run's `Stats` must
+/// compare equal to an unprofiled run's.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Instructions retired.
     pub instrs: u64,
@@ -173,6 +175,11 @@ pub struct Machine {
     pub output: String,
     /// Echo program output to stdout.
     pub echo: bool,
+    /// Optional execution profiler (observes every retired
+    /// instruction; never affects `stats` or execution). Boxed so the
+    /// unprofiled machine stays one pointer wider, not a histogram
+    /// wider.
+    pub profiler: Option<Box<crate::profile::Profiler>>,
     halted: bool,
 }
 
@@ -191,6 +198,7 @@ impl Machine {
             layout: layout.clone(),
             output: String::new(),
             echo: false,
+            profiler: None,
             halted: false,
         };
         m.regs[regs::SP as usize] = layout.stack_top;
@@ -253,6 +261,9 @@ impl Machine {
     }
 
     fn trap(&mut self, t: Trap) -> Result<(), VmError> {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.trap();
+        }
         match self.traps.get(&t) {
             Some(addr) => {
                 self.pc = *addr as usize;
@@ -315,6 +326,9 @@ impl Machine {
                     pc: self.pc,
                 })?;
             self.pc += 1;
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.retire(self.pc - 1, &i, self.regs[regs::HP as usize]);
+            }
             match i {
                 Instr::Alu { op, dst, a, b } => {
                     let x = self.regs[a as usize] as i64;

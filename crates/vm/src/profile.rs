@@ -1,0 +1,249 @@
+//! The execution profiler: per-opcode retired-instruction histograms
+//! and per-function attribution of instructions, allocation, and traps.
+//!
+//! The profiler is strictly an *observer*: it reads the instruction
+//! stream and the heap pointer, and never touches [`Stats`] or any
+//! machine state, so a profiled run retires exactly the same
+//! instructions, allocates exactly the same bytes, and reports exactly
+//! the same counters as an unprofiled one (`tests/observability.rs`
+//! asserts `Stats` equality with profiling on and off). Because the VM
+//! itself is deterministic, every profile is a pure function of the
+//! program — byte-identical across runs, machines, and job counts.
+//!
+//! [`Stats`]: crate::machine::Stats
+//!
+//! Attribution is driven by a [`FuncRange`] map that the linker emits
+//! alongside the GC tables: each compiled function's half-open
+//! instruction-index range, sorted by start. Program counters below the
+//! first function (the entry/trap stubs the linker lays down before any
+//! function body) fall into an implicit `"(stubs)"` bucket.
+
+use crate::isa::Instr;
+
+/// Is `TIL_PROFILE` set to a truthy value (anything but `0`/empty)?
+pub fn env_enabled() -> bool {
+    match std::env::var("TIL_PROFILE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// One function's half-open code range `[start, end)`, in instruction
+/// indices. Produced by the linker in emission order (so ranges are
+/// sorted and non-overlapping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncRange {
+    /// Deterministic function name (`"main"` for the entry function).
+    pub name: String,
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+}
+
+/// Per-function execution totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncProfile {
+    /// Function name (or `"(stubs)"` for linker stub code).
+    pub name: String,
+    /// Instructions retired while the pc was inside this function.
+    pub instrs: u64,
+    /// Heap bytes allocated by this function's instructions.
+    pub alloc_bytes: u64,
+    /// Hardware traps (overflow, div, subscript, …) raised here.
+    pub traps: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Counts {
+    instrs: u64,
+    alloc_bytes: u64,
+    traps: u64,
+}
+
+/// The profiler itself: attach one to a `Machine` (boxed, so the
+/// machine stays cheap to move) and it observes every retired
+/// instruction.
+pub struct Profiler {
+    /// Sorted function ranges; index `ranges.len()` is the implicit
+    /// stub bucket.
+    ranges: Vec<FuncRange>,
+    counts: Vec<Counts>,
+    opcodes: [u64; Instr::NUM_OPCODES],
+    /// Bucket of the most recently retired instruction — both a lookup
+    /// cache (straight-line code stays in one function) and the
+    /// attribution target for allocation observed on the *next* retire.
+    cur: usize,
+    /// Heap pointer after the previous retire; `u64::MAX` until the
+    /// first instruction (and after a collection resets the HP).
+    last_hp: u64,
+}
+
+impl Profiler {
+    /// A profiler over the linker's function-range map. `ranges` must
+    /// be sorted by `start` with non-overlapping, non-empty ranges (the
+    /// linker emits them that way).
+    pub fn new(ranges: Vec<FuncRange>) -> Profiler {
+        let n = ranges.len();
+        Profiler {
+            ranges,
+            counts: vec![Counts::default(); n + 1],
+            opcodes: [0; Instr::NUM_OPCODES],
+            cur: n,
+            last_hp: u64::MAX,
+        }
+    }
+
+    /// Maps a pc to its bucket: a range index, or `ranges.len()` for
+    /// stub code outside every function.
+    fn locate(&self, pc: usize) -> usize {
+        let pc = pc as u32;
+        if let Some(r) = self.ranges.get(self.cur) {
+            if r.start <= pc && pc < r.end {
+                return self.cur;
+            }
+        }
+        let idx = self.ranges.partition_point(|r| r.start <= pc);
+        match idx.checked_sub(1) {
+            Some(i) if pc < self.ranges[i].end => i,
+            _ => self.ranges.len(),
+        }
+    }
+
+    /// Observes one retired instruction: `pc` is the instruction's own
+    /// index, `hp` the heap pointer as it issues (i.e. after the
+    /// *previous* instruction finished executing). Allocation
+    /// moves only the HP, so the HP delta between consecutive retires
+    /// is allocation attributed to the previously-current function
+    /// (which covers both open-coded allocation and runtime-service
+    /// allocation performed inside an `RtCall`). The collector re-bases
+    /// the delta via [`note_rt`](Profiler::note_rt) when it flips
+    /// semispaces, so a flip never shows up as allocation; a backwards
+    /// HP move without a re-base is likewise treated as a reset.
+    pub fn retire(&mut self, pc: usize, instr: &Instr, hp: u64) {
+        if self.last_hp != u64::MAX && hp > self.last_hp {
+            self.counts[self.cur].alloc_bytes += hp - self.last_hp;
+        }
+        self.last_hp = hp;
+        let cur = self.locate(pc);
+        self.counts[cur].instrs += 1;
+        self.opcodes[instr.opcode()] += 1;
+        self.cur = cur;
+    }
+
+    /// Observes a hardware trap raised by the current instruction.
+    pub fn trap(&mut self) {
+        self.counts[self.cur].traps += 1;
+    }
+
+    /// Re-bases the HP-delta baseline. The collector calls this after a
+    /// semispace flip so the flip's HP move (in either direction) is
+    /// never mistaken for allocation.
+    pub fn note_rt(&mut self, hp: u64) {
+        self.last_hp = hp;
+    }
+
+    /// The per-opcode histogram: `(mnemonic, retired)` for every opcode
+    /// with a nonzero count, in fixed opcode order.
+    pub fn opcode_histogram(&self) -> Vec<(&'static str, u64)> {
+        self.opcodes
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(op, &n)| (Instr::opcode_name(op), n))
+            .collect()
+    }
+
+    /// Per-function profiles in code order, with a trailing
+    /// `"(stubs)"` bucket when any stub instruction retired.
+    pub fn function_profiles(&self) -> Vec<FuncProfile> {
+        let mut out: Vec<FuncProfile> = self
+            .ranges
+            .iter()
+            .zip(&self.counts)
+            .map(|(r, c)| FuncProfile {
+                name: r.name.clone(),
+                instrs: c.instrs,
+                alloc_bytes: c.alloc_bytes,
+                traps: c.traps,
+            })
+            .collect();
+        let stubs = self.counts[self.ranges.len()];
+        if stubs.instrs > 0 || stubs.alloc_bytes > 0 || stubs.traps > 0 {
+            out.push(FuncProfile {
+                name: "(stubs)".into(),
+                instrs: stubs.instrs,
+                alloc_bytes: stubs.alloc_bytes,
+                traps: stubs.traps,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Op;
+
+    fn ranges() -> Vec<FuncRange> {
+        vec![
+            FuncRange {
+                name: "main".into(),
+                start: 10,
+                end: 20,
+            },
+            FuncRange {
+                name: "f_1".into(),
+                start: 20,
+                end: 35,
+            },
+        ]
+    }
+
+    #[test]
+    fn locates_functions_and_stubs() {
+        let p = Profiler::new(ranges());
+        assert_eq!(p.locate(3), 2); // stub bucket
+        assert_eq!(p.locate(10), 0);
+        assert_eq!(p.locate(19), 0);
+        assert_eq!(p.locate(20), 1);
+        assert_eq!(p.locate(34), 1);
+        assert_eq!(p.locate(35), 2);
+    }
+
+    #[test]
+    fn attributes_instrs_and_allocation() {
+        let mut p = Profiler::new(ranges());
+        let mov = Instr::Mov {
+            dst: 1,
+            src: Op::I(0),
+        };
+        p.retire(10, &mov, 1000); // main, establishes hp baseline
+        p.retire(11, &mov, 1016); // main allocated 16 bytes at pc 10
+        p.retire(20, &mov, 1016); // f_1
+        p.retire(21, &mov, 800); // hp moved backwards: GC flip, no charge
+        p.retire(22, &mov, 824); // f_1 allocated 24 bytes
+        let funs = p.function_profiles();
+        assert_eq!(funs[0].name, "main");
+        assert_eq!(funs[0].instrs, 2);
+        assert_eq!(funs[0].alloc_bytes, 16);
+        assert_eq!(funs[1].name, "f_1");
+        assert_eq!(funs[1].instrs, 3);
+        assert_eq!(funs[1].alloc_bytes, 24);
+        assert_eq!(funs.len(), 2); // no stub instructions retired
+        assert_eq!(p.opcode_histogram(), vec![("mov", 5)]);
+    }
+
+    #[test]
+    fn traps_charge_the_current_function() {
+        let mut p = Profiler::new(ranges());
+        let mov = Instr::Mov {
+            dst: 1,
+            src: Op::I(0),
+        };
+        p.retire(12, &mov, 0);
+        p.trap();
+        assert_eq!(p.function_profiles()[0].traps, 1);
+    }
+}

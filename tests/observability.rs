@@ -1,6 +1,8 @@
-//! Regression tests for the observability layer and the PR-1 bug
-//! fixes: pass-attributed verify forensics, per-pass optimizer stats,
-//! phase tracing, and the exit-time memory-accounting fix.
+//! Regression tests for the observability layer: pass-attributed
+//! verify forensics, per-pass optimizer stats, phase tracing, the
+//! exit-time memory-accounting fix, and the runtime layer (execution
+//! profiles, GC pause spans, type-indexed heap censuses, Chrome trace
+//! export).
 
 use til::{Compiler, Options};
 
@@ -170,4 +172,194 @@ fn compile_info_reports_phases_and_trace_events() {
         .iter()
         .any(|e| e.name == "simplify-reduce" && e.depth > 0));
     assert!(exe.info.events.iter().any(|e| e.name == "backend"));
+}
+
+#[test]
+fn backend_trace_has_per_function_spans() {
+    // The per-function backend stages (RTL lowering, verification,
+    // GC-table checks, emission) each record one span per function —
+    // merged in deterministic function order regardless of the worker
+    // count (workers buffer locally; no interleaving).
+    let src = "fun f x = x + 1
+               val _ = print (Int.toString (f 41))";
+    let mut opts = Options::til();
+    opts.jobs = Some(4);
+    let exe = Compiler::new(opts).compile(src).expect("compile");
+    for prefix in ["lower ", "verify ", "gc-check ", "emit "] {
+        assert!(
+            exe.info.events.iter().any(|e| e.name.starts_with(prefix)),
+            "missing per-function `{prefix}*` spans in the trace"
+        );
+    }
+    // The emission spans carry per-function instruction counts.
+    assert!(exe
+        .info
+        .events
+        .iter()
+        .any(|e| e.name.starts_with("emit ")
+            && e.counters.iter().any(|(k, v)| *k == "instrs" && *v > 0)));
+    // Deterministic merge: two compiles at different worker counts
+    // record the identical event-name sequence.
+    let mut opts1 = Options::til();
+    opts1.jobs = Some(1);
+    let exe1 = Compiler::new(opts1).compile(src).expect("compile");
+    let names = |e: &til::CompileInfo| e.events.iter().map(|x| x.name.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&exe.info), names(&exe1.info));
+}
+
+// --- The runtime observability layer: per-function execution
+// profiles, GC pause spans, type-indexed heap censuses, and the
+// Chrome trace export. Everything is a pure function of the
+// deterministic instruction stream, and profiling must never perturb
+// the run it observes.
+
+/// Allocation churn that forces collections under a small semispace
+/// while holding a list across them.
+const CHURN_SRC: &str = "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+     fun churn 0 = 0 | churn k = (length (build (2000, nil)) ; churn (k - 1))
+     val keep = build (500, nil)
+     val _ = print (Int.toString (churn 200 + length keep))";
+
+fn small_heap_modes() -> [Options; 2] {
+    let mut modes = both_modes();
+    for m in &mut modes {
+        m.link.semi_bytes = 256 << 10;
+    }
+    modes
+}
+
+#[test]
+fn profiling_leaves_stats_and_output_unchanged() {
+    for opts in small_heap_modes() {
+        let exe = Compiler::new(opts).compile(CHURN_SRC).expect("compile");
+        let off = exe.run_with(2_000_000_000, false).expect("unprofiled run");
+        let on = exe.run_with(2_000_000_000, true).expect("profiled run");
+        assert_eq!(off.output, on.output, "profiling changed program output");
+        assert_eq!(off.stats, on.stats, "profiling changed Stats");
+        assert!(off.profile.is_none() && on.profile.is_some());
+    }
+}
+
+#[test]
+fn gc_pause_spans_present_iff_collections_ran() {
+    for opts in small_heap_modes() {
+        // A quiet program: no collections, so no pause spans — but the
+        // exit census still samples the resident heap.
+        let exe = Compiler::new(opts.clone())
+            .compile("val _ = print (Int.toString (1 + 2))")
+            .expect("compile");
+        let out = exe.run_with(1_000_000_000, true).expect("run");
+        let p = out.profile.expect("profile");
+        assert_eq!(out.stats.gc_count, 0, "test premise: no collection");
+        assert!(p.pauses.is_empty(), "pause spans without a collection");
+        assert!(p.censuses.iter().any(|c| c.after_gc.is_none()));
+
+        // The churner: exactly one pause span per collection, in
+        // timeline order, each costed like the collector charges.
+        let exe = Compiler::new(opts).compile(CHURN_SRC).expect("compile");
+        let out = exe.run_with(2_000_000_000, true).expect("run");
+        let p = out.profile.expect("profile");
+        assert!(out.stats.gc_count > 0, "test premise: collections ran");
+        assert_eq!(p.pauses.len() as u64, out.stats.gc_count);
+        for w in p.pauses.windows(2) {
+            assert!(w[0].at_instr <= w[1].at_instr, "pauses out of order");
+        }
+        for g in &p.pauses {
+            assert_eq!(
+                g.pause_cost,
+                200 + 3 * g.copied_words,
+                "pause cost must match the collector's charge"
+            );
+        }
+        let total_pause: u64 = p.pauses.iter().map(|g| g.pause_cost).sum();
+        assert!(total_pause <= out.stats.rt_cost, "pauses exceed runtime cost");
+    }
+}
+
+#[test]
+fn census_totals_match_the_live_heap_at_every_sample() {
+    for opts in small_heap_modes() {
+        let tagged = opts.mode == til::Mode::Baseline;
+        let exe = Compiler::new(opts).compile(CHURN_SRC).expect("compile");
+        let out = exe.run_with(2_000_000_000, true).expect("run");
+        let p = out.profile.expect("profile");
+        assert!(out.stats.gc_count > 0, "test premise: collections ran");
+        for (i, g) in p.pauses.iter().enumerate() {
+            let c = p
+                .censuses
+                .iter()
+                .find(|c| c.after_gc == Some(i as u64))
+                .unwrap_or_else(|| panic!("collection {i} has no census"));
+            assert_eq!(
+                c.classes.total_words(),
+                g.live_words,
+                "census {i} ({tagged}) must sum to that collection's surviving words",
+                tagged = if tagged { "tagged" } else { "tag-free" },
+            );
+        }
+        let exit = p.censuses.iter().find(|c| c.after_gc.is_none()).expect("exit census");
+        assert_eq!(exit.classes.total_words(), out.stats.final_heap_words);
+        let census_max = p.censuses.iter().map(|c| c.classes.total_words()).max().unwrap();
+        assert_eq!(census_max, out.stats.max_live_words);
+        // The program's live data is cons cells. Nearly tag-free mode
+        // resolves them to records (headers + companion reps); the
+        // tagged baseline's uniform tagging cannot, so they land in
+        // `unknown` — that gap is the census-level measure of what
+        // intensional polymorphism buys.
+        if tagged {
+            assert!(exit.classes.unknown_words > 0, "tagged records are unresolvable");
+        } else {
+            assert!(exit.classes.record_words > 0, "cons cells classify as records");
+        }
+    }
+}
+
+#[test]
+fn function_and_opcode_attribution_is_exhaustive() {
+    for opts in small_heap_modes() {
+        let exe = Compiler::new(opts).compile(CHURN_SRC).expect("compile");
+        let out = exe.run_with(2_000_000_000, true).expect("run");
+        let p = out.profile.expect("profile");
+        let fn_instrs: u64 = p.functions.iter().map(|f| f.instrs).sum();
+        assert_eq!(fn_instrs, out.stats.instrs, "every retired instruction attributed");
+        let op_instrs: u64 = p.opcodes.iter().map(|(_, n)| n).sum();
+        assert_eq!(op_instrs, out.stats.instrs, "opcode histogram covers every retire");
+        let fn_alloc: u64 = p.functions.iter().map(|f| f.alloc_bytes).sum();
+        assert_eq!(
+            fn_alloc, out.stats.allocated_bytes,
+            "every allocated byte attributed to a function"
+        );
+        // The ranking helper is ordered and bounded.
+        let top = p.top_functions(3);
+        assert!(top.len() <= 3);
+        for w in top.windows(2) {
+            assert!(w[0].instrs >= w[1].instrs);
+        }
+        assert!(top[0].instrs > 0);
+    }
+}
+
+#[test]
+fn chrome_trace_export_round_trips() {
+    let mut opts = Options::til();
+    opts.link.semi_bytes = 256 << 10;
+    let exe = Compiler::new(opts).compile(CHURN_SRC).expect("compile");
+    let out = exe.run_with(2_000_000_000, true).expect("run");
+    let profile = out.profile.as_ref().expect("profile");
+
+    // Runtime spans on the instruction timeline, nested under `run`.
+    let evs = profile.trace_events(&out.stats);
+    assert!(evs.iter().any(|e| e.name == "gc-pause" && e.depth == 1));
+    assert!(evs.iter().any(|e| e.name == "heap-census" && e.depth == 1));
+    let run = evs.last().expect("events");
+    assert_eq!((run.name.as_str(), run.depth), ("run", 0));
+    assert_eq!(run.seconds, out.stats.time() as f64 * 1e-6);
+
+    // The combined compile+runtime Chrome trace is well-formed JSON
+    // with both tracks present.
+    let json = til::chrome_trace_json(&exe.info, Some((&out.stats, profile))).pretty();
+    til_common::json::validate(&json).expect("well-formed Chrome trace JSON");
+    for needle in ["traceEvents", "thread_name", "gc-pause", "exit-census", "\"run\""] {
+        assert!(json.contains(needle), "Chrome trace is missing {needle}");
+    }
 }
