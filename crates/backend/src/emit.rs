@@ -31,6 +31,44 @@ pub enum Reloc {
     TrapTarget(Trap),
 }
 
+/// Machine-level representation class of a calling-convention value,
+/// derived from the RTL rep annotations and threaded through
+/// [`crate::Linked`] so the machine-code verifier can check argument
+/// and result registers at every call site and return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MRep {
+    /// Raw untraced word (native int or float bits).
+    Untraced,
+    /// GC-safe traced pointer (or pointer-filtered word).
+    Traced,
+    /// Baseline-mode tagged word (low-bit-discriminated int/pointer).
+    Tagged,
+    /// Odd-encoded code value.
+    Code,
+    /// Rep decided at run time (polymorphic value with a companion).
+    Unknown,
+}
+
+/// A function's machine-level calling-convention signature.
+#[derive(Clone, Debug)]
+pub struct FunSig {
+    /// Per-parameter rep class, in argument-register order.
+    pub params: Vec<MRep>,
+    /// Rep class of the value returned in r0.
+    pub ret: MRep,
+}
+
+/// Maps an RTL rep annotation to its calling-convention class.
+fn mrep_of(rep: Option<&RRep>, tagged: bool) -> MRep {
+    match rep {
+        Some(RRep::Int) if tagged => MRep::Tagged,
+        Some(RRep::Int) | Some(RRep::Float) if !tagged => MRep::Untraced,
+        Some(RRep::Trace) => MRep::Traced,
+        Some(RRep::Code) => MRep::Code,
+        _ => MRep::Unknown,
+    }
+}
+
 /// One emitted function before linking.
 pub struct EmittedFun {
     /// Code label.
@@ -47,6 +85,8 @@ pub struct EmittedFun {
     /// The prologue GC point of baseline heap frames has no RTL
     /// counterpart and carries `usize::MAX`.
     pub gc_points: Vec<(usize, usize, GcPoint)>,
+    /// Calling-convention signature for the verifier.
+    pub sig: FunSig,
 }
 
 struct Emit<'a> {
@@ -123,12 +163,36 @@ pub fn emit_fun(
             },
         };
     }
+    // Calling-convention signature: parameter classes straight from
+    // the rep annotations; the result class is the join over every
+    // `Ret(Some _)` (functions that diverge or return unit get
+    // `Unknown`, which the verifier treats as unconstrained).
+    let mut ret = None;
+    for ins in &f.instrs {
+        if let RInstr::Ret(Some(v)) = ins {
+            let m = mrep_of(f.reps.get(v), tagged);
+            ret = Some(match ret {
+                None => m,
+                Some(prev) if prev == m => m,
+                Some(_) => MRep::Unknown,
+            });
+        }
+    }
+    let sig = FunSig {
+        params: f
+            .params
+            .iter()
+            .map(|p| mrep_of(f.reps.get(p), tagged))
+            .collect(),
+        ret: ret.unwrap_or(MRep::Unknown),
+    };
     EmittedFun {
         name: f.name,
         instrs: e.out,
         relocs: e.relocs,
         call_sites: e.call_sites,
         gc_points: e.gc_points,
+        sig,
     }
 }
 

@@ -5,6 +5,7 @@
 pub mod emit;
 pub mod link;
 pub mod liveness;
+pub mod mcv;
 pub mod regalloc;
 pub mod tables_check;
 

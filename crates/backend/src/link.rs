@@ -3,7 +3,7 @@
 //! relocations, assembles the final GC tables, and produces a runnable
 //! machine image.
 
-use crate::emit::{emit_fun, EmittedFun, Reloc};
+use crate::emit::{emit_fun, EmittedFun, FunSig, Reloc};
 use crate::regalloc::allocate;
 use std::collections::HashMap;
 use til_common::{Diagnostic, Result, Tracer, Var};
@@ -36,6 +36,10 @@ pub struct Linked {
     /// attribution and the census's closure detection; pc values below
     /// the first range are linker stub code.
     pub fun_ranges: Vec<FuncRange>,
+    /// Calling-convention signatures, one per entry of `fun_ranges`
+    /// (same order). Consumed by the machine-code verifier
+    /// ([`crate::mcv`]); not part of the runnable image.
+    pub sigs: Vec<FunSig>,
 }
 
 /// Link-time configuration.
@@ -370,6 +374,12 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions, tracer: Option<&Tracer>) -> Resu
     // Patch the main call.
     let main = base_of[&None];
     code[jsr_main_at] = Instr::Jsr(main);
+    let sigs: Vec<FunSig> = emitted.iter().map(|e| e.sig.clone()).collect();
+
+    // Seeded corruption of the assembled unit, for testing the
+    // machine-code verifier's detection and attribution (no-op unless
+    // armed via `mcv::fault::break_emit` / `TIL_BREAK_EMIT`).
+    crate::mcv::fault::apply_armed(&mut code, &mut tables, &fun_ranges);
 
     // ---- Layout + image.
     let layout = Layout {
@@ -408,6 +418,7 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions, tracer: Option<&Tracer>) -> Resu
         code_bytes,
         static_bytes,
         fun_ranges,
+        sigs,
     })
 }
 

@@ -1,0 +1,1305 @@
+//! The machine-code verifier (`mc-verify`): a static
+//! abstract-interpretation pass over the *linked* til-vm unit that
+//! extends the paper's per-pass checking discipline through register
+//! allocation, emission, and linking — the stages where representation
+//! bugs (traced vs. untraced, §2.3) become silent heap corruption.
+//!
+//! Per function (over [`Linked::fun_ranges`]), a worklist dataflow
+//! runs over basic blocks with an abstract machine state: each integer
+//! register and stack slot carries an [`Abs`] class (⊥ / untraced /
+//! traced / tagged / code / interior / stale / unknown / ⊤). The pass
+//! verifies, without executing anything:
+//!
+//! 1. **Control-flow integrity** — every branch lands inside the
+//!    function, on a function entry (tail call), or on a trap stub;
+//!    every `Jsr` targets a function entry; every load/store base is a
+//!    provably plausible pointer class.
+//! 2. **Calling convention** — argument and result registers carry the
+//!    rep classes the callee's signature demands ([`FunSig`], derived
+//!    from the RTL rep annotations and threaded through `emit`), the
+//!    stack delta is zero at every return and tail call, and the
+//!    return-address slot of every frame descriptor holds a code value.
+//! 3. **GC tables re-derived** — at every safe point the abstract
+//!    state must *imply* the emitted table: every slot or register the
+//!    table claims traced must be abstractly traceable, and every
+//!    companion-slot pair must name an initialized companion. This is
+//!    an independent re-derivation from the machine code alone —
+//!    `check_gc_tables` cross-checks the tables against RTL liveness;
+//!    `mc-verify` never sees the RTL.
+//! 4. **Nearly tag-free flow rule** — in nearly tag-free mode no
+//!    definitely-untraced value flows into a traced position (a
+//!    traced-masked record field, a traced global, a traced argument),
+//!    enforced post-regalloc where spills and reloads can break it.
+//!
+//! The key novel class is [`Abs::Stale`]: a pointer the tables did
+//! *not* cover at a GC point it was live across. The collector would
+//! not have updated it, so any later checked use (load/store base,
+//! call argument, table claim, return value) is flagged. Real emitted
+//! code never trips this — everything live across a safe point is in
+//! the tables — so a `Stale` observation is a definite table bug.
+//!
+//! What the pass deliberately does **not** prove: termination or fuel
+//! bounds (every loop is abstracted by a join), heap well-typedness of
+//! loaded values (a load produces ⊤, checked again only when used in a
+//! constrained position), or anything about the runtime services
+//! beyond their register-preservation contract. Flagging is tuned to
+//! *definite* violations: joins go to ⊤ rather than guess, so a clean
+//! pass is a soundness statement about the tables and conventions, not
+//! a completeness one.
+
+pub mod fault;
+
+use crate::emit::{FunSig, MRep};
+use crate::link::Linked;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use til_common::{Diagnostic, Result, Tracer};
+use til_runtime::{FrameInfo, GcMode, GcPoint, LocRep, RepLoc};
+use til_rtl::HEAP_BASE;
+use til_vm::{code_index, regs, Alu, Instr, Op, RtFn};
+
+/// Abstract class of one machine word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Abs {
+    /// Unreachable.
+    Bot,
+    /// Frame slot never written on this path.
+    Uninit,
+    /// Known immediate (also covers static addresses from `Lea*`).
+    Const(i64),
+    /// Raw untraced word: native int, float bits, comparison result.
+    Untraced,
+    /// GC-safe traced pointer (or pointer-filtered word).
+    Traced,
+    /// Baseline-mode tagged word.
+    Tagged,
+    /// Odd-encoded code value.
+    Code,
+    /// Heap-interior pointer (HP-derived or locative); dies at a GC.
+    Interior,
+    /// Exception-handler chain record on the stack.
+    Handler,
+    /// SP-derived stack address.
+    StackAddr,
+    /// Pointer that was live across a GC point the tables did not
+    /// cover — the collector would not have updated it.
+    Stale,
+    /// Valid word whose tracedness is decided at run time (companion).
+    Unknown,
+    /// Any valid word (top).
+    Any,
+}
+
+/// Join (= widen: the lattice is flat, so joins stabilize in one
+/// step). `Stale` absorbs every value class: if a merged value is used
+/// after the merge it was live on the stale path too, so the uncovered
+/// table entry is a real bug.
+pub fn join(a: Abs, b: Abs) -> Abs {
+    use Abs::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (Bot, x) | (x, Bot) => x,
+        (Any, _) | (_, Any) => Any,
+        (Stale, Handler) | (Handler, Stale) | (Stale, StackAddr) | (StackAddr, Stale) => Any,
+        (Stale, _) | (_, Stale) => Stale,
+        _ => Any,
+    }
+}
+
+/// Abstract machine state at one program point.
+#[derive(Clone, PartialEq)]
+struct State {
+    /// Per-register class. HP/HL/SP/ZERO are handled by role (their
+    /// entries are ignored on read).
+    regs: [Abs; 32],
+    /// Frame words, keyed by byte offset relative to the *entry* SP
+    /// (an access `off(SP)` under delta `d` touches key `off - d`).
+    frame: BTreeMap<i64, Abs>,
+    /// Class of frame words not in the map.
+    frame_default: Abs,
+    /// Bytes SP sits below its entry value; `None` once SP was
+    /// assigned from a register (legal only on the terminal raise
+    /// path).
+    delta: Option<i64>,
+    /// The last constant header stored to `0(HP)`, for record-field
+    /// mask checks.
+    cur_header: Option<u64>,
+}
+
+impl State {
+    fn frame_get(&self, key: i64) -> Abs {
+        *self.frame.get(&key).unwrap_or(&self.frame_default)
+    }
+
+    fn join_from(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..32 {
+            let j = join(self.regs[i], other.regs[i]);
+            if j != self.regs[i] {
+                self.regs[i] = j;
+                changed = true;
+            }
+        }
+        let keys: Vec<i64> = self
+            .frame
+            .keys()
+            .chain(other.frame.keys())
+            .copied()
+            .collect();
+        let new_default = join(self.frame_default, other.frame_default);
+        for k in keys {
+            let j = join(self.frame_get(k), other.frame_get(k));
+            if self.frame_get(k) != j || !self.frame.contains_key(&k) {
+                self.frame.insert(k, j);
+                changed = true;
+            }
+        }
+        if new_default != self.frame_default {
+            self.frame_default = new_default;
+            changed = true;
+        }
+        if self.delta != other.delta && self.delta.is_some() {
+            self.delta = None;
+            changed = true;
+        }
+        if self.cur_header != other.cur_header && self.cur_header.is_some() {
+            self.cur_header = None;
+            changed = true;
+        }
+        changed
+    }
+}
+
+fn class_of_mrep(m: MRep) -> Abs {
+    match m {
+        MRep::Untraced => Abs::Untraced,
+        MRep::Traced => Abs::Traced,
+        MRep::Tagged => Abs::Tagged,
+        MRep::Code => Abs::Code,
+        MRep::Unknown => Abs::Unknown,
+    }
+}
+
+/// Classes that definitely cannot sit in a traced position (nearly
+/// tag-free mode).
+fn definitely_untraced(a: Abs) -> bool {
+    matches!(a, Abs::Untraced | Abs::Code | Abs::Uninit | Abs::Stale | Abs::Bot)
+}
+
+/// Classes that are definitely not a usable value at all.
+fn definitely_unusable(a: Abs) -> bool {
+    matches!(a, Abs::Uninit | Abs::Stale | Abs::Bot)
+}
+
+/// Runs the machine-code verifier over every function of a linked
+/// unit, in parallel (`jobs` workers, per-function `mc-verify <fun>`
+/// spans under `tracer`), plus a control-flow-integrity pass over the
+/// linker's stub region.
+pub fn verify_linked(l: &Linked, jobs: usize, tracer: Option<&Tracer>) -> Result<()> {
+    let first_fun = l
+        .fun_ranges
+        .first()
+        .map(|r| r.start)
+        .unwrap_or(l.code.len() as u32);
+    verify_stubs(l, first_fun)?;
+    let entry_of: HashMap<u32, usize> = l
+        .fun_ranges
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.start, i))
+        .collect();
+    let trap_starts: HashSet<u32> = l.traps.values().copied().collect();
+    let idxs: Vec<usize> = (0..l.fun_ranges.len()).collect();
+    let entry_of = &entry_of;
+    let trap_starts = &trap_starts;
+    let results: Vec<Result<()>> =
+        til_common::par::map_traced(jobs, &idxs, tracer, |_, &fi, t| {
+            let _span = t.map(|t| t.span(format!("mc-verify {}", l.fun_ranges[fi].name)));
+            Fun::new(l, fi, entry_of, trap_starts).run()
+        });
+    results.into_iter().collect::<Result<Vec<()>>>()?;
+    Ok(())
+}
+
+/// The stub region (entry, halt, uncaught handler, trap stubs) has no
+/// frames or tables; check only that its control flow stays inside the
+/// unit and calls land on function entries.
+fn verify_stubs(l: &Linked, first_fun: u32) -> Result<()> {
+    let len = l.code.len() as u32;
+    let entries: HashSet<u32> = l.fun_ranges.iter().map(|r| r.start).collect();
+    for pc in 0..first_fun {
+        let bad = |what: &str, t: u32| {
+            Err(Diagnostic::ice(
+                "mc-verify",
+                format!("<stub>: pc {pc}: {what} target {t} outside the unit"),
+            ))
+        };
+        match &l.code[pc as usize] {
+            Instr::Br(t) | Instr::Beqz(_, t) | Instr::Bnez(_, t) if *t >= len => {
+                return bad("branch", *t)
+            }
+            Instr::Lea { target, .. } if *target >= len => return bad("lea", *target),
+            Instr::Jsr(t)
+                if !entries.contains(t) => {
+                    return Err(Diagnostic::ice(
+                        "mc-verify",
+                        format!("<stub>: pc {pc}: jsr target {t} is not a function entry"),
+                    ));
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// How a block-local step continues.
+enum Flow {
+    /// Fall through to the next instruction.
+    Fall,
+    /// Conditional branch: both the (in-range) target and fall-through.
+    CondBranch(u32),
+    /// Unconditional in-range jump.
+    Jump(u32),
+    /// No in-function successor (return, tail call, raise, trap).
+    Stop,
+}
+
+struct Fun<'a> {
+    l: &'a Linked,
+    tagged: bool,
+    name: &'a str,
+    start: u32,
+    end: u32,
+    sig: &'a FunSig,
+    entry_of: &'a HashMap<u32, usize>,
+    trap_starts: &'a HashSet<u32>,
+    leaders: HashSet<u32>,
+    states: HashMap<u32, State>,
+    work: VecDeque<u32>,
+}
+
+impl<'a> Fun<'a> {
+    fn new(
+        l: &'a Linked,
+        fi: usize,
+        entry_of: &'a HashMap<u32, usize>,
+        trap_starts: &'a HashSet<u32>,
+    ) -> Self {
+        let r = &l.fun_ranges[fi];
+        Fun {
+            l,
+            tagged: l.mode == GcMode::Tagged,
+            name: &r.name,
+            start: r.start,
+            end: r.end,
+            sig: &l.sigs[fi],
+            entry_of,
+            trap_starts,
+            leaders: HashSet::new(),
+            states: HashMap::new(),
+            work: VecDeque::new(),
+        }
+    }
+
+    fn in_range(&self, pc: u32) -> bool {
+        pc >= self.start && pc < self.end
+    }
+
+    fn entry_state(&self) -> State {
+        let mut st = State {
+            regs: [Abs::Any; 32],
+            frame: BTreeMap::new(),
+            frame_default: Abs::Uninit,
+            delta: Some(0),
+            cur_header: None,
+        };
+        for (i, p) in self.sig.params.iter().enumerate() {
+            if i < regs::NUM_ARGS {
+                st.regs[i] = class_of_mrep(*p);
+            }
+        }
+        st.regs[regs::RA as usize] = Abs::Code;
+        st.regs[regs::EXN as usize] = Abs::Handler;
+        st
+    }
+
+    /// State on entry to an exception-handler block: the raise restored
+    /// SP to its push-time value and popped EXN; everything else —
+    /// including every frame slot — is unknown, except the packet in
+    /// r0.
+    fn handler_state(&self, delta: Option<i64>) -> State {
+        let mut st = State {
+            regs: [Abs::Any; 32],
+            frame: BTreeMap::new(),
+            frame_default: Abs::Any,
+            delta,
+            cur_header: None,
+        };
+        st.regs[0] = Abs::Traced;
+        st.regs[regs::EXN as usize] = Abs::Handler;
+        st
+    }
+
+    fn fail(&self, pc: u32, st: &State, msg: &str) -> Diagnostic {
+        let mut dump = String::new();
+        for (i, a) in st.regs.iter().enumerate() {
+            if *a != Abs::Any && !matches!(i as u8, regs::HP | regs::HL | regs::SP | regs::ZERO) {
+                dump.push_str(&format!(" r{i}={a:?}"));
+            }
+        }
+        let delta = match st.delta {
+            Some(d) => d.to_string(),
+            None => "?".into(),
+        };
+        let mut frame = String::new();
+        for (k, a) in &st.frame {
+            if *a != st.frame_default {
+                frame.push_str(&format!(" [{k}]={a:?}"));
+            }
+        }
+        Diagnostic::ice(
+            "mc-verify",
+            format!(
+                "{}: pc {pc} ({}): {msg}\n  regs:{dump}\n  frame(delta={delta}, default={:?}):{frame}",
+                self.name, self.l.code[pc as usize], st.frame_default
+            ),
+        )
+    }
+
+    /// Reads a register's class; dedicated-role registers read as their
+    /// role.
+    fn rd(&self, st: &State, r: u8) -> Abs {
+        match r {
+            regs::HP => Abs::Traced,
+            regs::HL => Abs::Untraced,
+            regs::SP => Abs::StackAddr,
+            regs::ZERO => Abs::Const(0),
+            _ => st.regs[r as usize],
+        }
+    }
+
+    fn rd_op(&self, st: &State, o: &Op) -> Abs {
+        match o {
+            Op::I(i) => Abs::Const(*i),
+            Op::R(r) => self.rd(st, *r),
+        }
+    }
+
+    /// Joins `new` into the recorded entry state of leader `pc`,
+    /// queueing it on change.
+    fn flow_to(&mut self, pc: u32, new: &State) {
+        match self.states.get_mut(&pc) {
+            Some(old) => {
+                if old.join_from(new) {
+                    self.work.push_back(pc);
+                }
+            }
+            None => {
+                self.states.insert(pc, new.clone());
+                self.work.push_back(pc);
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<()> {
+        // Block leaders: the entry, every in-range branch/Lea target.
+        self.leaders.insert(self.start);
+        for pc in self.start..self.end {
+            match &self.l.code[pc as usize] {
+                Instr::Br(t) | Instr::Beqz(_, t) | Instr::Bnez(_, t)
+                    if self.in_range(*t) => {
+                        self.leaders.insert(*t);
+                    }
+                Instr::Lea { target, .. }
+                    if self.in_range(*target) => {
+                        self.leaders.insert(*target);
+                    }
+                _ => {}
+            }
+        }
+        self.states.insert(self.start, self.entry_state());
+        self.work.push_back(self.start);
+        while let Some(leader) = self.work.pop_front() {
+            let mut st = self.states[&leader].clone();
+            let mut pc = leader;
+            loop {
+                if pc >= self.end {
+                    return Err(self.fail(
+                        pc - 1,
+                        &st,
+                        "control falls off the end of the function",
+                    ));
+                }
+                if pc != leader && self.leaders.contains(&pc) {
+                    self.flow_to(pc, &st);
+                    break;
+                }
+                let flow = self.step(pc, &mut st)?;
+                match flow {
+                    Flow::Fall => pc += 1,
+                    Flow::CondBranch(t) => {
+                        self.flow_to(t, &st);
+                        pc += 1;
+                    }
+                    Flow::Jump(t) => {
+                        self.flow_to(t, &st);
+                        break;
+                    }
+                    Flow::Stop => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------- instruction step
+
+    fn step(&mut self, pc: u32, st: &mut State) -> Result<Flow> {
+        let ins = self.l.code[pc as usize].clone();
+        match ins {
+            Instr::Mov { dst, src } => {
+                let cls = match src {
+                    Op::I(i) => Abs::Const(i),
+                    Op::R(r) => self.rd(st, r),
+                };
+                self.write_reg(pc, st, dst, cls)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Alu { op, dst, a, b } => {
+                let ca = self.rd(st, a);
+                let cb = self.rd_op(st, &b);
+                // SP arithmetic is the frame discipline, not a value.
+                if dst == regs::SP {
+                    if a == regs::SP {
+                        match (op, &b, st.delta) {
+                            (Alu::Sub, Op::I(n), Some(d)) => st.delta = Some(d + n),
+                            (Alu::Add, Op::I(n), Some(d)) => st.delta = Some(d - n),
+                            _ => st.delta = None,
+                        }
+                    } else {
+                        st.delta = None;
+                    }
+                    return Ok(Flow::Fall);
+                }
+                let cls = match op {
+                    Alu::CmpEq | Alu::CmpNe | Alu::CmpLt | Alu::CmpLe => Abs::Untraced,
+                    _ if ca == Abs::Stale || cb == Abs::Stale => Abs::Stale,
+                    _ if matches!(ca, Abs::Traced | Abs::Interior)
+                        || matches!(cb, Abs::Traced | Abs::Interior) =>
+                    {
+                        Abs::Interior
+                    }
+                    _ if a == regs::SP || matches!(ca, Abs::StackAddr) => Abs::StackAddr,
+                    // Arithmetic on a word of unknown class may be
+                    // pointer arithmetic (e.g. indexing off a value
+                    // loaded from the heap): the result stays unknown.
+                    _ if matches!(ca, Abs::Any | Abs::Unknown)
+                        || matches!(cb, Abs::Any | Abs::Unknown) =>
+                    {
+                        Abs::Any
+                    }
+                    _ if self.tagged => Abs::Tagged,
+                    _ => Abs::Untraced,
+                };
+                self.write_reg(pc, st, dst, cls)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Falu { dst, .. } | Instr::Itof { dst, .. } => {
+                self.write_reg(pc, st, dst, Abs::Untraced)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Ld { dst, base, off } => {
+                let cls = self.load(pc, st, base, off)?;
+                self.write_reg(pc, st, dst, cls)?;
+                Ok(Flow::Fall)
+            }
+            Instr::St { src, base, off } => {
+                self.store(pc, st, src, base, off)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Lea { dst, target } => {
+                if !self.in_range(target) {
+                    return Err(self.fail(
+                        pc,
+                        st,
+                        &format!("lea target {target} outside the function"),
+                    ));
+                }
+                // A Lea target is a handler entry: seed its block with
+                // the post-raise state (SP restored to the push-time
+                // delta, every slot unknown).
+                let hs = self.handler_state(st.delta);
+                self.flow_to(target, &hs);
+                self.write_reg(pc, st, dst, Abs::Code)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Br(t) => {
+                if self.in_range(t) {
+                    return Ok(Flow::Jump(t));
+                }
+                if self.trap_starts.contains(&t) {
+                    return Ok(Flow::Stop);
+                }
+                // Direct tail call: target must be a function entry,
+                // with the frame fully popped and arguments in place.
+                if let Some(&callee) = self.entry_of.get(&t) {
+                    if st.delta != Some(0) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("tail call with SP delta {:?} (frame not popped)", st.delta),
+                        ));
+                    }
+                    let sig = self.l.sigs[callee].clone();
+                    self.check_args(pc, st, &sig, "tail call")?;
+                    return Ok(Flow::Stop);
+                }
+                Err(self.fail(
+                    pc,
+                    st,
+                    &format!("branch target {t} is neither local, a function entry, nor a trap stub"),
+                ))
+            }
+            Instr::Beqz(r, t) | Instr::Bnez(r, t) => {
+                let c = self.rd(st, r);
+                if definitely_unusable(c) {
+                    return Err(self.fail(pc, st, &format!("branch on {c:?} value in r{r}")));
+                }
+                if self.in_range(t) {
+                    return Ok(Flow::CondBranch(t));
+                }
+                if self.trap_starts.contains(&t) {
+                    return Ok(Flow::Fall);
+                }
+                Err(self.fail(
+                    pc,
+                    st,
+                    &format!("conditional branch target {t} is neither local nor a trap stub"),
+                ))
+            }
+            Instr::Jsr(t) => {
+                let Some(&callee) = self.entry_of.get(&t) else {
+                    return Err(self.fail(
+                        pc,
+                        st,
+                        &format!("jsr target {t} is not a function entry"),
+                    ));
+                };
+                let sig = self.l.sigs[callee].clone();
+                self.check_args(pc, st, &sig, "call")?;
+                self.call_transfer(pc, st, class_of_mrep(sig.ret))?;
+                Ok(Flow::Fall)
+            }
+            Instr::JsrR(r) => {
+                let c = self.rd(st, r);
+                let sig = self.indirect_sig(pc, st, r, c)?;
+                if let Some(sig) = &sig {
+                    self.check_args(pc, st, sig, "call")?;
+                }
+                let ret = sig.map(|s| class_of_mrep(s.ret)).unwrap_or(Abs::Any);
+                self.call_transfer(pc, st, ret)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Jmp(r) => {
+                self.jmp(pc, st, r)?;
+                Ok(Flow::Stop)
+            }
+            Instr::RtCall(f) => {
+                self.rtcall(pc, st, f)?;
+                Ok(Flow::Fall)
+            }
+            Instr::Halt => Err(self.fail(pc, st, "halt inside a function body")),
+        }
+    }
+
+    fn write_reg(&self, pc: u32, st: &mut State, dst: u8, cls: Abs) -> Result<()> {
+        match dst {
+            regs::SP => {
+                // Only the raise sequence assigns SP from a register;
+                // the path must terminate without touching the frame.
+                st.delta = None;
+                Ok(())
+            }
+            regs::ZERO => Err(self.fail(pc, st, "write to the zero register")),
+            regs::HP | regs::HL => Ok(()),
+            _ => {
+                st.regs[dst as usize] = cls;
+                Ok(())
+            }
+        }
+    }
+
+    // ----------------------------------------------------- loads & stores
+
+    /// A base class that can legally be dereferenced.
+    fn check_base(&self, pc: u32, st: &State, base: u8, cls: Abs) -> Result<()> {
+        let ok = match cls {
+            Abs::Traced | Abs::Interior | Abs::Tagged | Abs::Handler | Abs::StackAddr
+            | Abs::Unknown | Abs::Any => true,
+            Abs::Const(c) => c >= 0 && c % 8 == 0 && (c as u64) < HEAP_BASE,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(self.fail(
+                pc,
+                st,
+                &format!("memory access through r{base} holding {cls:?}"),
+            ))
+        }
+    }
+
+    fn frame_key(&self, pc: u32, st: &State, off: i32) -> Result<i64> {
+        match st.delta {
+            Some(d) => Ok(off as i64 - d),
+            None => Err(self.fail(pc, st, "frame access with unknown SP delta")),
+        }
+    }
+
+    fn load(&self, pc: u32, st: &State, base: u8, off: i32) -> Result<Abs> {
+        match base {
+            regs::SP => {
+                let k = self.frame_key(pc, st, off)?;
+                let c = st.frame_get(k);
+                if c == Abs::Uninit {
+                    return Err(self.fail(pc, st, &format!("load of uninitialized frame slot {off}")));
+                }
+                Ok(c)
+            }
+            regs::EXN => {
+                let c = self.rd(st, regs::EXN);
+                if !matches!(c, Abs::Handler | Abs::StackAddr | Abs::Any) {
+                    return Err(self.fail(pc, st, &format!("EXN holds {c:?} at handler access")));
+                }
+                Ok(match off {
+                    0 => Abs::Handler,
+                    8 => Abs::Code,
+                    16 => Abs::StackAddr,
+                    _ => Abs::Any,
+                })
+            }
+            regs::ZERO => {
+                // A global load: traced globals are collector-updated,
+                // so they never go stale.
+                if self
+                    .l
+                    .tables
+                    .globals
+                    .iter()
+                    .any(|(o, r)| *o == off as u64 && matches!(r, LocRep::Trace))
+                {
+                    Ok(Abs::Traced)
+                } else {
+                    Ok(Abs::Any)
+                }
+            }
+            _ => {
+                let c = self.rd(st, base);
+                self.check_base(pc, st, base, c)?;
+                Ok(Abs::Any)
+            }
+        }
+    }
+
+    fn store(&mut self, pc: u32, st: &mut State, src: u8, base: u8, off: i32) -> Result<()> {
+        let sc = self.rd(st, src);
+        match base {
+            regs::SP => {
+                let k = self.frame_key(pc, st, off)?;
+                st.frame.insert(k, sc);
+                Ok(())
+            }
+            regs::HP => {
+                if off == 0 {
+                    st.cur_header = match sc {
+                        Abs::Const(h) => Some(h as u64),
+                        _ => None,
+                    };
+                    return Ok(());
+                }
+                if let Some(h) = st.cur_header {
+                    let field = (off as u64 / 8) - 1;
+                    let traced_field = til_vm::header::kind(h) == til_vm::header::KIND_RECORD
+                        && (til_vm::header::mask(h) >> field) & 1 == 1;
+                    if traced_field {
+                        let bad = if self.tagged {
+                            definitely_unusable(sc)
+                        } else {
+                            definitely_untraced(sc) && sc != Abs::Code
+                        };
+                        if bad || matches!(sc, Abs::Stale | Abs::Uninit) {
+                            return Err(self.fail(
+                                pc,
+                                st,
+                                &format!("{sc:?} value stored into traced field {field}"),
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            regs::ZERO => {
+                let traced = self
+                    .l
+                    .tables
+                    .globals
+                    .iter()
+                    .any(|(o, r)| *o == off as u64 && matches!(r, LocRep::Trace));
+                if traced && !self.tagged && definitely_untraced(sc) && sc != Abs::Code {
+                    return Err(self.fail(
+                        pc,
+                        st,
+                        &format!("{sc:?} value stored into traced global at {off}"),
+                    ));
+                }
+                if traced && definitely_unusable(sc) {
+                    return Err(self.fail(
+                        pc,
+                        st,
+                        &format!("{sc:?} value stored into traced global at {off}"),
+                    ));
+                }
+                Ok(())
+            }
+            _ => {
+                let c = self.rd(st, base);
+                self.check_base(pc, st, base, c)?;
+                if definitely_unusable(sc) {
+                    return Err(self.fail(pc, st, &format!("store of {sc:?} value from r{src}")));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------- calls and returns
+
+    /// Checks argument registers against a callee signature. Only
+    /// definite violations flag: an untraced word where a traced
+    /// pointer is demanded (nearly tag-free mode), or an
+    /// uninitialized/stale word anywhere.
+    fn check_args(&self, pc: u32, st: &State, sig: &FunSig, what: &str) -> Result<()> {
+        for (i, p) in sig.params.iter().enumerate() {
+            if i >= regs::NUM_ARGS {
+                break;
+            }
+            let a = st.regs[i];
+            if definitely_unusable(a) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!("{what} passes {a:?} value in argument register r{i}"),
+                ));
+            }
+            if !self.tagged && *p == MRep::Traced && matches!(a, Abs::Untraced) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!("{what} passes untraced value where r{i} must be traced"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the signature of an indirect call target when the
+    /// abstract state pins it to a known code constant.
+    fn indirect_sig(&self, pc: u32, st: &State, r: u8, c: Abs) -> Result<Option<FunSig>> {
+        match c {
+            Abs::Code | Abs::Any | Abs::Unknown => Ok(None),
+            Abs::Const(v) => {
+                if v & 1 == 1 {
+                    if let Some(&fi) = self.entry_of.get(&(code_index(v as u64))) {
+                        return Ok(Some(self.l.sigs[fi].clone()));
+                    }
+                }
+                Err(self.fail(
+                    pc,
+                    st,
+                    &format!("indirect call through r{r} = constant {v} (not a code value)"),
+                ))
+            }
+            other => Err(self.fail(
+                pc,
+                st,
+                &format!("indirect call through r{r} holding {other:?}"),
+            )),
+        }
+    }
+
+    /// The effect of returning from a call: caller-save registers are
+    /// clobbered, the result lands in r0, RA holds this return
+    /// address, and — in nearly tag-free mode — any traced frame slot
+    /// the call-site descriptor did not list is stale (the callee may
+    /// have collected).
+    fn call_transfer(&mut self, pc: u32, st: &mut State, ret: Abs) -> Result<()> {
+        if !self.tagged {
+            match self.l.tables.call_sites.get(&(pc + 1)) {
+                None => {
+                    return Err(self.fail(pc, st, "call site has no frame descriptor"));
+                }
+                Some(fi) => {
+                    let fi = fi.clone();
+                    self.check_frame_info(pc, st, &fi)?;
+                    self.stale_unlisted_slots(st, &fi);
+                }
+            }
+        }
+        for r in 0..24 {
+            st.regs[r] = Abs::Any;
+        }
+        st.regs[regs::TMP as usize] = Abs::Any;
+        st.regs[regs::TMP2 as usize] = Abs::Any;
+        st.regs[0] = ret;
+        st.regs[regs::RA as usize] = Abs::Code;
+        st.cur_header = None;
+        Ok(())
+    }
+
+    /// Verifies a call-site frame descriptor against the abstract
+    /// frame: size matches the live delta, the RA slot holds a code
+    /// value, claimed-traced slots are traceable, companion slots are
+    /// initialized.
+    fn check_frame_info(&self, pc: u32, st: &State, fi: &FrameInfo) -> Result<()> {
+        let Some(d) = st.delta else {
+            return Err(self.fail(pc, st, "call with unknown SP delta"));
+        };
+        if fi.size as i64 != d {
+            return Err(self.fail(
+                pc,
+                st,
+                &format!("frame descriptor says {} bytes but SP delta is {d}", fi.size),
+            ));
+        }
+        if fi.size > 0 {
+            let ra = st.frame_get(fi.ra_offset as i64 - d);
+            if !matches!(ra, Abs::Code | Abs::Any) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!(
+                        "return-address slot {} holds {ra:?}, not a code value",
+                        fi.ra_offset
+                    ),
+                ));
+            }
+        }
+        // Call-site descriptors are built from liveness *after* the
+        // call, so they may claim slots holding dead values: the
+        // call's own result slot (written only on return, Uninit
+        // during the walk) and, in loops, leftovers from a previous
+        // iteration that a later safe point already left unlisted
+        // (Stale). The collector's pointer filter makes both harmless
+        // during a stack walk, so Uninit and Stale are legal here —
+        // unlike at GC points, whose descriptors come from liveness
+        // *before* the call and must be exact. A claimed-traced slot
+        // holding a definitely-untraced integer or a raw code pointer
+        // remains fatal: those are rep violations no filter excuses.
+        for (o, rep) in &fi.slots {
+            let c = st.frame_get(*o as i64 - d);
+            match rep {
+                LocRep::Trace => {
+                    if matches!(c, Abs::Untraced | Abs::Code) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("table claims slot {o} traced but it holds {c:?}"),
+                        ));
+                    }
+                }
+                LocRep::Computed(loc) => {
+                    if matches!(c, Abs::Bot) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("companion-typed slot {o} holds {c:?}"),
+                        ));
+                    }
+                    self.check_companion(pc, st, loc)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_companion(&self, pc: u32, st: &State, loc: &RepLoc) -> Result<()> {
+        let c = match loc {
+            RepLoc::Reg(r) => self.rd(st, *r),
+            RepLoc::Slot(o) => {
+                let Some(d) = st.delta else {
+                    return Err(self.fail(pc, st, "companion slot with unknown SP delta"));
+                };
+                st.frame_get(*o as i64 - d)
+            }
+        };
+        if definitely_unusable(c) {
+            return Err(self.fail(pc, st, &format!("rep companion at {loc:?} holds {c:?}")));
+        }
+        Ok(())
+    }
+
+    /// After a possible collection, any traced value in a frame slot
+    /// the tables did not list was not updated by the collector.
+    /// (Tagged mode scans the whole stack by tag, so slots are exempt
+    /// there.)
+    fn stale_unlisted_slots(&self, st: &mut State, fi: &FrameInfo) {
+        let Some(d) = st.delta else { return };
+        let listed: HashSet<i64> = fi.slots.iter().map(|(o, _)| *o as i64 - d).collect();
+        for (k, c) in st.frame.iter_mut() {
+            if matches!(c, Abs::Traced | Abs::Interior) && !listed.contains(k) {
+                *c = Abs::Stale;
+            }
+        }
+    }
+
+    fn jmp(&mut self, pc: u32, st: &mut State, r: u8) -> Result<()> {
+        let c = self.rd(st, r);
+        if r == regs::RA {
+            // Return.
+            if st.delta != Some(0) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!("return with SP delta {:?} (frame not popped)", st.delta),
+                ));
+            }
+            if !matches!(c, Abs::Code | Abs::Any) {
+                return Err(self.fail(pc, st, &format!("return through RA holding {c:?}")));
+            }
+            let r0 = st.regs[0];
+            match self.sig.ret {
+                MRep::Traced if !self.tagged => {
+                    if definitely_untraced(r0) && r0 != Abs::Code {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("returns {r0:?} where the signature demands traced"),
+                        ));
+                    }
+                    if definitely_unusable(r0) {
+                        return Err(self.fail(pc, st, &format!("returns {r0:?} value")));
+                    }
+                }
+                MRep::Unknown => {}
+                _ => {
+                    if definitely_unusable(r0) {
+                        return Err(self.fail(pc, st, &format!("returns {r0:?} value")));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Indirect tail call (through the linker's scratch register) or
+        // the terminal jump of a raise (through TMP, SP already reset).
+        let raise = r == regs::TMP && st.delta.is_none();
+        if !raise && st.delta != Some(0) {
+            return Err(self.fail(
+                pc,
+                st,
+                &format!("indirect tail call with SP delta {:?}", st.delta),
+            ));
+        }
+        if let Some(sig) = self.indirect_sig(pc, st, r, c)? {
+            if !raise {
+                self.check_args(pc, st, &sig, "tail call")?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------- runtime services
+
+    fn rtcall(&mut self, pc: u32, st: &mut State, f: RtFn) -> Result<()> {
+        // Per-service arity and result class. Services read at most
+        // r0..r2 (plus TMP for Gc), write only r0, and preserve every
+        // other register.
+        let (arity, result) = match f {
+            RtFn::Gc => (0, RtRes::Preserve),
+            RtFn::PrintStr => (1, RtRes::Preserve),
+            RtFn::IntToStr | RtFn::FloatToStr | RtFn::StrFromChar => (1, RtRes::Str),
+            RtFn::StrConcat => (2, RtRes::Str),
+            RtFn::StrCmp | RtFn::StrEq | RtFn::StrSub => (2, RtRes::Int),
+            RtFn::PolyEq => (3, RtRes::Int),
+            RtFn::Sqrt | RtFn::Sin | RtFn::Cos | RtFn::Atan | RtFn::Exp | RtFn::Ln => {
+                (1, RtRes::Float)
+            }
+            RtFn::Floor | RtFn::Trunc => (1, RtRes::Int),
+        };
+        for i in 0..arity {
+            let a = st.regs[i];
+            if definitely_unusable(a) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!("runtime call {f:?} reads {a:?} value in r{i}"),
+                ));
+            }
+        }
+        // A safe point: re-derive the GC table from the abstract state.
+        let point = self.l.tables.gc_points.get(&pc).cloned();
+        if matches!(f, RtFn::Gc) && point.is_none() {
+            return Err(self.fail(pc, st, "collector call without a GC point table entry"));
+        }
+        if let Some(p) = &point {
+            self.check_gc_point(pc, st, p)?;
+        }
+        // Call-site descriptors also cover runtime calls that can walk
+        // the stack; check when present (allocation sites emit the GC
+        // point without one).
+        if !self.tagged {
+            if let Some(fi) = self.l.tables.call_sites.get(&(pc + 1)) {
+                let fi = fi.clone();
+                self.check_frame_info(pc, st, &fi)?;
+            }
+        }
+        if let Some(p) = point {
+            self.gc_transfer(st, &p);
+        }
+        match result {
+            RtRes::Preserve => {}
+            RtRes::Str => st.regs[0] = Abs::Traced,
+            RtRes::Int => {
+                st.regs[0] = if self.tagged { Abs::Tagged } else { Abs::Untraced }
+            }
+            RtRes::Float => st.regs[0] = Abs::Untraced,
+        }
+        Ok(())
+    }
+
+    /// The GC-table re-derivation at a safe point: the frame size must
+    /// match the live SP delta, a leaf point must still hold the
+    /// return address in RA, and everything the table claims traced
+    /// must be abstractly traceable.
+    fn check_gc_point(&self, pc: u32, st: &State, p: &GcPoint) -> Result<()> {
+        let Some(d) = st.delta else {
+            return Err(self.fail(pc, st, "GC point with unknown SP delta"));
+        };
+        if p.frame.size as i64 != d {
+            return Err(self.fail(
+                pc,
+                st,
+                &format!("GC point says frame {} bytes but SP delta is {d}", p.frame.size),
+            ));
+        }
+        if p.frame.size == 0 {
+            let ra = self.rd(st, regs::RA);
+            if !matches!(ra, Abs::Code | Abs::Any) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!("leaf GC point but RA holds {ra:?}"),
+                ));
+            }
+        }
+        for (r, rep) in &p.regs {
+            let c = self.rd(st, *r);
+            match rep {
+                LocRep::Trace => {
+                    if definitely_untraced(c) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("GC point claims r{r} traced but it holds {c:?}"),
+                        ));
+                    }
+                }
+                LocRep::Computed(loc) => {
+                    if definitely_unusable(c) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("companion-typed r{r} holds {c:?}"),
+                        ));
+                    }
+                    self.check_companion(pc, st, loc)?;
+                }
+            }
+        }
+        self.check_frame_info_slots(pc, st, &p.frame, d)
+    }
+
+    fn check_frame_info_slots(&self, pc: u32, st: &State, fi: &FrameInfo, d: i64) -> Result<()> {
+        for (o, rep) in &fi.slots {
+            let c = st.frame_get(*o as i64 - d);
+            match rep {
+                LocRep::Trace => {
+                    if definitely_untraced(c) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("GC point claims slot {o} traced but it holds {c:?}"),
+                        ));
+                    }
+                }
+                LocRep::Computed(loc) => {
+                    if definitely_unusable(c) {
+                        return Err(self.fail(
+                            pc,
+                            st,
+                            &format!("companion-typed slot {o} holds {c:?}"),
+                        ));
+                    }
+                    self.check_companion(pc, st, loc)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The collection's effect on the abstract state: listed locations
+    /// keep their class (the collector updates them); unlisted traced
+    /// registers go stale in both modes, unlisted traced frame slots
+    /// only in nearly tag-free mode (the tagged collector scans the
+    /// whole stack).
+    fn gc_transfer(&self, st: &mut State, p: &GcPoint) {
+        let listed_regs: HashSet<u8> = p.regs.iter().map(|(r, _)| *r).collect();
+        for r in 0..24u8 {
+            if !listed_regs.contains(&r)
+                && matches!(st.regs[r as usize], Abs::Traced | Abs::Interior)
+            {
+                st.regs[r as usize] = Abs::Stale;
+            }
+        }
+        for r in [regs::TMP, regs::TMP2] {
+            if !listed_regs.contains(&r)
+                && matches!(st.regs[r as usize], Abs::Traced | Abs::Interior)
+            {
+                st.regs[r as usize] = Abs::Stale;
+            }
+        }
+        if !self.tagged {
+            if let Some(d) = st.delta {
+                self.stale_unlisted_slots_of(st, &p.frame, d);
+            }
+        }
+        st.cur_header = None;
+    }
+
+    fn stale_unlisted_slots_of(&self, st: &mut State, fi: &FrameInfo, d: i64) {
+        let listed: HashSet<i64> = fi.slots.iter().map(|(o, _)| *o as i64 - d).collect();
+        for (k, c) in st.frame.iter_mut() {
+            if matches!(c, Abs::Traced | Abs::Interior) && !listed.contains(k) {
+                *c = Abs::Stale;
+            }
+        }
+    }
+}
+
+enum RtRes {
+    Preserve,
+    Str,
+    Int,
+    Float,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Abs; 13] = [
+        Abs::Bot,
+        Abs::Uninit,
+        Abs::Const(7),
+        Abs::Untraced,
+        Abs::Traced,
+        Abs::Tagged,
+        Abs::Code,
+        Abs::Interior,
+        Abs::Handler,
+        Abs::StackAddr,
+        Abs::Stale,
+        Abs::Unknown,
+        Abs::Any,
+    ];
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        for a in ALL {
+            assert_eq!(join(a, a), a, "{a:?} not idempotent");
+            for b in ALL {
+                assert_eq!(join(a, b), join(b, a), "{a:?} ⊔ {b:?} not commutative");
+            }
+        }
+    }
+
+    #[test]
+    fn join_respects_bottom_and_top() {
+        for a in ALL {
+            assert_eq!(join(Abs::Bot, a), a);
+            assert_eq!(join(Abs::Any, a), Abs::Any);
+        }
+    }
+
+    #[test]
+    fn join_stabilizes_in_one_step() {
+        // Flat lattice: a second join with the same operand changes
+        // nothing, so block-entry widening terminates.
+        for a in ALL {
+            for b in ALL {
+                let j = join(a, b);
+                assert_eq!(join(j, b), j, "{a:?} ⊔ {b:?} not stable");
+                assert_eq!(join(j, a), j, "{a:?} ⊔ {b:?} not stable");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_absorbs_value_classes_but_not_stack_structure() {
+        for v in [Abs::Traced, Abs::Interior, Abs::Tagged, Abs::Code, Abs::Untraced, Abs::Const(1)]
+        {
+            assert_eq!(join(Abs::Stale, v), Abs::Stale);
+        }
+        assert_eq!(join(Abs::Stale, Abs::Handler), Abs::Any);
+        assert_eq!(join(Abs::Stale, Abs::StackAddr), Abs::Any);
+    }
+
+    #[test]
+    fn mixed_value_classes_join_to_top() {
+        assert_eq!(join(Abs::Untraced, Abs::Traced), Abs::Any);
+        assert_eq!(join(Abs::Const(1), Abs::Const(2)), Abs::Any);
+        assert_eq!(join(Abs::Const(1), Abs::Const(1)), Abs::Const(1));
+        assert_eq!(join(Abs::Unknown, Abs::Traced), Abs::Any);
+        assert_eq!(join(Abs::Uninit, Abs::Traced), Abs::Any);
+        assert_eq!(join(Abs::Uninit, Abs::Stale), Abs::Stale);
+    }
+
+    #[test]
+    fn state_join_tracks_frame_defaults_and_delta() {
+        let mk = |default, delta| State {
+            regs: [Abs::Any; 32],
+            frame: BTreeMap::new(),
+            frame_default: default,
+            delta,
+            cur_header: Some(3),
+        };
+        let mut a = mk(Abs::Uninit, Some(24));
+        a.frame.insert(-24, Abs::Code);
+        a.frame.insert(-16, Abs::Traced);
+        let mut b = mk(Abs::Any, Some(24));
+        b.frame.insert(-16, Abs::Traced);
+        assert!(a.join_from(&b));
+        assert_eq!(a.frame_default, Abs::Any);
+        assert_eq!(a.frame_get(-16), Abs::Traced);
+        // The explicit Code slot joins with b's default (Any).
+        assert_eq!(a.frame_get(-24), Abs::Any);
+        assert_eq!(a.delta, Some(24));
+        // Same join again: fixpoint.
+        assert!(!a.join_from(&b));
+        // Disagreeing deltas poison; an agreeing in-progress header
+        // survives the join.
+        let c = mk(Abs::Any, Some(0));
+        assert!(a.join_from(&c));
+        assert_eq!(a.delta, None);
+        assert_eq!(a.cur_header, Some(3));
+        // A disagreeing header clears, and once cleared (like a
+        // poisoned delta) it stays cleared without reporting change —
+        // the worklist must converge.
+        let mut d = mk(Abs::Any, None);
+        d.cur_header = None;
+        assert!(a.join_from(&d));
+        assert_eq!(a.cur_header, None);
+        assert!(!a.join_from(&d));
+    }
+}

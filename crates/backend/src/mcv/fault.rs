@@ -1,0 +1,223 @@
+//! Fault injection for the machine-code verifier.
+//!
+//! Mirrors `til_common::fault` (the Bform/closure-stage registry) one
+//! level down: arm a named corruption and [`crate::link`] applies it to
+//! the fully assembled unit — code and GC tables — immediately before
+//! returning, so the `mc-verify` phase must catch it and attribute the
+//! failure to the right function and pc. Each fault models a real
+//! emitter/linker bug class:
+//!
+//! * `swap-spill-slot` — a call-site frame descriptor swaps the return
+//!   address slot with a traced spill slot (§2.3 table corruption);
+//! * `drop-gc-entry` — a GC point loses a traced-slot (or register)
+//!   entry, so the collector would miss a root;
+//! * `retarget-branch` — a local branch is retargeted into the middle
+//!   of another function (control-flow integrity);
+//! * `clobber-sp` — an epilogue restores SP short by one word
+//!   (callee-save discipline);
+//! * `drop-call-site` — a call loses its frame descriptor, so the
+//!   stack walk could not parse the caller's frame.
+//!
+//! Arm programmatically with [`break_emit`] (guard-scoped) or
+//! externally with the `TIL_BREAK_EMIT` environment variable. The
+//! registry is process-global: tests that arm a fault must not run
+//! concurrently with other compiles in the same process.
+
+use std::sync::Mutex;
+use til_runtime::{GcTables, LocRep};
+use til_vm::{regs, Alu, FuncRange, Instr, Op};
+
+/// Every fault name [`apply_armed`] understands.
+pub const FAULTS: [&str; 5] = [
+    "swap-spill-slot",
+    "drop-gc-entry",
+    "retarget-branch",
+    "clobber-sp",
+    "drop-call-site",
+];
+
+static ARMED: Mutex<Option<String>> = Mutex::new(None);
+static LAST: Mutex<Option<FaultReport>> = Mutex::new(None);
+
+/// Where an armed fault actually landed, for attribution asserts: the
+/// verifier's diagnostic must name this function, and flag a pc inside
+/// it.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// The fault name that was applied.
+    pub fault: String,
+    /// Label of the function whose code/tables were corrupted.
+    pub fun: String,
+    /// The corrupted pc (instruction index in the linked unit).
+    pub pc: u32,
+}
+
+/// Arms the named fault; disarms when the guard drops.
+pub fn break_emit(name: &str) -> Injection {
+    *ARMED.lock().unwrap() = Some(name.to_string());
+    LAST.lock().unwrap().take();
+    Injection(())
+}
+
+/// Armed-injection guard (see [`break_emit`]).
+pub struct Injection(());
+
+impl Drop for Injection {
+    fn drop(&mut self) {
+        ARMED.lock().unwrap().take();
+    }
+}
+
+fn armed_name() -> Option<String> {
+    if let Some(n) = ARMED.lock().unwrap().clone() {
+        return Some(n);
+    }
+    std::env::var("TIL_BREAK_EMIT").ok().filter(|v| !v.is_empty())
+}
+
+/// The report of the most recently applied fault (cleared by
+/// [`break_emit`]). `None` when the armed fault found no applicable
+/// site in the unit.
+pub fn last_report() -> Option<FaultReport> {
+    LAST.lock().unwrap().clone()
+}
+
+fn fun_of(pc: u32, fun_ranges: &[FuncRange]) -> String {
+    fun_ranges
+        .iter()
+        .find(|r| r.start <= pc && pc < r.end)
+        .map(|r| r.name.clone())
+        .unwrap_or_else(|| "<stub>".into())
+}
+
+/// Applies the armed fault (if any) to the assembled unit. No-op when
+/// nothing is armed; records a [`FaultReport`] when a corruption was
+/// actually applied.
+pub fn apply_armed(code: &mut [Instr], tables: &mut GcTables, fun_ranges: &[FuncRange]) {
+    let Some(name) = armed_name() else { return };
+    let landed = match name.as_str() {
+        "swap-spill-slot" => swap_spill_slot(tables),
+        "drop-gc-entry" => drop_gc_entry(tables),
+        "retarget-branch" => retarget_branch(code, fun_ranges),
+        "clobber-sp" => clobber_sp(code, fun_ranges),
+        "drop-call-site" => drop_call_site(code, tables),
+        _ => None,
+    };
+    if let Some(pc) = landed {
+        *LAST.lock().unwrap() = Some(FaultReport {
+            fault: name,
+            fun: fun_of(pc, fun_ranges),
+            pc,
+        });
+    }
+}
+
+/// Swaps the return-address slot with a traced spill slot in the first
+/// call-site frame descriptor that has one.
+fn swap_spill_slot(tables: &mut GcTables) -> Option<u32> {
+    let mut pcs: Vec<u32> = tables.call_sites.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        let fi = tables.call_sites.get_mut(&pc).unwrap();
+        if let Some(entry) = fi
+            .slots
+            .iter_mut()
+            .find(|(o, rep)| *o != fi.ra_offset && matches!(rep, LocRep::Trace))
+        {
+            std::mem::swap(&mut entry.0, &mut fi.ra_offset);
+            // The check fires at the call instruction itself.
+            return Some(pc - 1);
+        }
+    }
+    None
+}
+
+/// Removes one traced entry from a GC point — preferring a frame slot
+/// at a point that also has a call-site descriptor, so the loss is
+/// observable at the very next table check.
+fn drop_gc_entry(tables: &mut GcTables) -> Option<u32> {
+    let mut pcs: Vec<u32> = tables.gc_points.keys().copied().collect();
+    pcs.sort_unstable();
+    for &pc in &pcs {
+        if !tables.call_sites.contains_key(&(pc + 1)) {
+            continue;
+        }
+        let p = tables.gc_points.get_mut(&pc).unwrap();
+        if !p.frame.slots.is_empty() {
+            p.frame.slots.remove(0);
+            return Some(pc);
+        }
+    }
+    for &pc in &pcs {
+        let p = tables.gc_points.get_mut(&pc).unwrap();
+        if !p.frame.slots.is_empty() {
+            p.frame.slots.remove(0);
+            return Some(pc);
+        }
+        if !p.regs.is_empty() {
+            p.regs.remove(0);
+            return Some(pc);
+        }
+    }
+    None
+}
+
+/// Retargets the first intra-function branch into the interior of
+/// another function.
+fn retarget_branch(code: &mut [Instr], fun_ranges: &[FuncRange]) -> Option<u32> {
+    for (i, r) in fun_ranges.iter().enumerate() {
+        let victim = fun_ranges
+            .iter()
+            .enumerate()
+            .find(|(j, v)| *j != i && v.end - v.start >= 2)?;
+        let bad = victim.1.start + 1;
+        for pc in r.start..r.end {
+            let local = |t: u32| t >= r.start && t < r.end;
+            match &mut code[pc as usize] {
+                Instr::Br(t) | Instr::Beqz(_, t) | Instr::Bnez(_, t) if local(*t) => {
+                    *t = bad;
+                    return Some(pc);
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Shrinks the first epilogue's SP restore by one word.
+fn clobber_sp(code: &mut [Instr], fun_ranges: &[FuncRange]) -> Option<u32> {
+    for r in fun_ranges {
+        for pc in r.start..r.end {
+            if let Instr::Alu {
+                op: Alu::Add,
+                dst,
+                a,
+                b: Op::I(n),
+            } = &mut code[pc as usize]
+            {
+                if *dst == regs::SP && *a == regs::SP && *n > 0 {
+                    *n -= 8;
+                    return Some(pc);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Removes the frame descriptor of the first `Jsr`/`JsrR` call site.
+fn drop_call_site(code: &[Instr], tables: &mut GcTables) -> Option<u32> {
+    let mut pcs: Vec<u32> = tables.call_sites.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        if pc == 0 {
+            continue;
+        }
+        if matches!(code[pc as usize - 1], Instr::Jsr(_) | Instr::JsrR(_)) {
+            tables.call_sites.remove(&pc);
+            return Some(pc - 1);
+        }
+    }
+    None
+}

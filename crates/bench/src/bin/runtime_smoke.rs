@@ -10,6 +10,9 @@
 //!   equals that pause's surviving live words, the exit census equals
 //!   `final_heap_words`, and the census maximum equals
 //!   `max_live_words`;
+//! * **baseline census** — the tagged-baseline leg agrees on output
+//!   and its exit census also accounts for the whole resident heap
+//!   (the census-gap columns compare the two modes);
 //! * **export freshness** — the committed `BENCH_runtime.json` is
 //!   well-formed and byte-identical to a freshly computed export.
 
@@ -18,7 +21,7 @@ use til_bench::{export, suite, RuntimeMeasurement, FUEL, RUNTIME_SEMI_BYTES};
 
 fn main() {
     let mut any_gc = false;
-    let mut rows: Vec<(&'static str, RuntimeMeasurement)> = Vec::new();
+    let mut rows: Vec<(&'static str, RuntimeMeasurement, RuntimeMeasurement)> = Vec::new();
     for b in suite() {
         let mut opts = Options::til();
         opts.link.semi_bytes = RUNTIME_SEMI_BYTES;
@@ -96,6 +99,30 @@ fn main() {
             b.name
         );
 
+        // The tagged-baseline leg of the census-gap columns: same
+        // program, same pressured heap, fully tagged collector. The
+        // output must agree with TIL mode, and its exit census must
+        // account for the whole resident heap too.
+        let mb = til_bench::measure_runtime_baseline(&b, RUNTIME_SEMI_BYTES)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            mb.output, on.output,
+            "{}: tagged baseline output differs from TIL mode",
+            b.name
+        );
+        let base_exit = mb
+            .profile
+            .censuses
+            .iter()
+            .find(|c| c.after_gc.is_none())
+            .unwrap_or_else(|| panic!("{}: baseline run has no exit census", b.name));
+        assert_eq!(
+            base_exit.classes.total_words(),
+            mb.stats.final_heap_words,
+            "{}: baseline exit census does not sum to the resident heap",
+            b.name
+        );
+
         rows.push((
             b.name,
             RuntimeMeasurement {
@@ -103,6 +130,7 @@ fn main() {
                 stats: on.stats.clone(),
                 profile: p.clone(),
             },
+            mb,
         ));
     }
     assert!(
@@ -110,7 +138,8 @@ fn main() {
         "pressured heap produced no collections — the smoke test has no GC coverage"
     );
 
-    let row_refs: Vec<(&str, &RuntimeMeasurement)> = rows.iter().map(|(n, m)| (*n, m)).collect();
+    let row_refs: Vec<(&str, &RuntimeMeasurement, &RuntimeMeasurement)> =
+        rows.iter().map(|(n, m, mb)| (*n, m, mb)).collect();
     let fresh = export::runtime_json(&row_refs, RUNTIME_SEMI_BYTES).pretty();
     til_common::json::validate(&fresh)
         .unwrap_or_else(|e| panic!("runtime export is not well-formed JSON: {e}"));

@@ -318,9 +318,10 @@ fn polycount(r: &mut Report) {
     }
 }
 
-/// The runtime-observability section: rerun the suite (TIL mode) under
-/// a pressured heap with profiling on, print the pause/census/profile
-/// summary, and export `BENCH_runtime.json`.
+/// The runtime-observability section: rerun the suite under a
+/// pressured heap with profiling on — in TIL mode and in the tagged
+/// baseline (for the census-gap columns) — print the
+/// pause/census/profile summary, and export `BENCH_runtime.json`.
 fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
     r.say(format!(
         "\n== Runtime observability (semispace {} KB, profiled) ==",
@@ -330,14 +331,21 @@ fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
         "{:>12} {:>5} {:>10} {:>10} {:>11} {:>24}",
         "program", "GCs", "max pause", "live max", "exit words", "hottest function"
     ));
-    let ms: Vec<(&'static str, til_bench::RuntimeMeasurement)> = suite()
+    let ms: Vec<(
+        &'static str,
+        til_bench::RuntimeMeasurement,
+        til_bench::RuntimeMeasurement,
+    )> = suite()
         .into_iter()
         .map(|b| {
             let m = measure_runtime(&b, RUNTIME_SEMI_BYTES).unwrap_or_else(|e| panic!("{e}"));
-            (b.name, m)
+            let mb = til_bench::measure_runtime_baseline(&b, RUNTIME_SEMI_BYTES)
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(m.output, mb.output, "{}: baseline output differs", b.name);
+            (b.name, m, mb)
         })
         .collect();
-    for (name, m) in &ms {
+    for (name, m, _) in &ms {
         let p = &m.profile;
         let hottest = p
             .top_functions(1)
@@ -359,8 +367,11 @@ fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
             hottest,
         ));
     }
-    let rows: Vec<(&str, &til_bench::RuntimeMeasurement)> =
-        ms.iter().map(|(n, m)| (*n, m)).collect();
+    let rows: Vec<(
+        &str,
+        &til_bench::RuntimeMeasurement,
+        &til_bench::RuntimeMeasurement,
+    )> = ms.iter().map(|(n, m, mb)| (*n, m, mb)).collect();
     match export::write_runtime_json(&rows, RUNTIME_SEMI_BYTES, out_dir) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_runtime.json: {e}"),

@@ -7,9 +7,11 @@
 //! tuples, polymorphic functions instantiated at int/real/tuple types
 //! (forcing typecase-specialized array access through the polymorphic
 //! `count` helper), bounds-checked array reads including a
-//! `Subscript`-handled possibly-out-of-bounds access, and a list-churn
-//! loop that allocates enough short-lived heap to force collections
-//! under a small semispace. The program prints a single integer
+//! `Subscript`-handled possibly-out-of-bounds access, datatypes with
+//! recursive constructors (a polymorphic search tree and an expression
+//! evaluator, putting recursive traced pointers into spill slots), and
+//! a list-churn loop that allocates enough short-lived heap to force
+//! collections under a small semispace. The program prints a single integer
 //! checksum, so any two compilations can be compared by output alone —
 //! the O0 compile is the oracle; no Rust-side evaluator is needed.
 
@@ -201,6 +203,59 @@ pub fn generate(seed: u64) -> Generated {
         r.range(1, 9)
     ));
 
+    // --- Datatypes with recursive constructors: a polymorphic search
+    // tree instantiated at a tuple payload (recursive traced pointers
+    // in every node, spilled across the non-tail recursive insert and
+    // fold), and a small expression datatype evaluated by a multi-arm
+    // case. Exercises recursive-pointer reps in spill slots — exactly
+    // the frames the GC tables and the machine-code verifier must
+    // describe.
+    let key_a = r.range(2, 9);
+    let key_b = r.range(1, 7);
+    let tree_n = r.range(10, 28);
+    push("datatype 'a tree = Lf | Nd of 'a tree * 'a * 'a tree".to_string());
+    push(
+        "fun tins cmp (t, x) = case t of \
+         Lf => Nd (Lf, x, Lf) \
+         | Nd (l, y, r) => if cmp (x, y) then Nd (tins cmp (l, x), y, r) \
+         else Nd (l, y, tins cmp (r, x))"
+            .to_string(),
+    );
+    push(
+        "fun tfold f a t = case t of Lf => a \
+         | Nd (l, x, r) => tfold f (f (x, tfold f a l)) r"
+            .to_string(),
+    );
+    // A toggling sign spreads keys to both sides of the root without
+    // needing `mod`.
+    push(format!(
+        "fun tbuild n t flip = if n <= 0 then t \
+         else tbuild (n - 1) \
+         (tins (fn ((a, _), (b, _)) => a < b) \
+         (t, (if flip > 0 then n * {key_a} else 0 - n * {key_b}, n))) (1 - flip)"
+    ));
+    push(format!(
+        "val tree_chk = tfold (fn ((k, v), s) => s + k * {} - v) {} (tbuild {tree_n} Lf 1)",
+        r.range(1, 5),
+        r.range(0, 10)
+    ));
+    let lit_vars: [&str; 0] = [];
+    push("datatype expr = Lit of int | Neg of expr | Plus of expr * expr".to_string());
+    push(format!(
+        "fun mke n = if n <= 0 then Lit {} \
+         else if n > {} then Plus (mke (n - 1), Neg (mke (n - 2))) \
+         else Plus (Neg (mke (n - 2)), mke (n - 1))",
+        int_expr(r, &lit_vars, 1),
+        r.range(2, 6)
+    ));
+    push(
+        "fun eval e = case e of Lit i => i \
+         | Neg a => 0 - eval a \
+         | Plus (a, b) => eval a + eval b"
+            .to_string(),
+    );
+    push(format!("val expr_chk = eval (mke {})", r.range(6, 12)));
+
     // --- Heap churn: short-lived cons cells, tuned to force
     // collections under the differential suite's small semispace.
     let build_len = r.range(24, 80);
@@ -218,7 +273,7 @@ pub fn generate(seed: u64) -> Generated {
     // --- The checksum.
     push(format!(
         "val _ = print (Int.toString (loop_chk + curried_chk + mutual_chk \
-         + poly_chk + arr_chk + churn_chk + {}))",
+         + poly_chk + arr_chk + tree_chk + expr_chk + churn_chk + {}))",
         int_expr(r, &[], 3)
     ));
 

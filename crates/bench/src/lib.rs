@@ -125,7 +125,22 @@ pub struct RuntimeMeasurement {
 /// Compiles one benchmark in TIL mode with a `semi_bytes` semispace
 /// and runs it with profiling on.
 pub fn measure_runtime(b: &Bench, semi_bytes: u64) -> Result<RuntimeMeasurement, String> {
-    let mut opts = Options::til();
+    measure_runtime_with(b, semi_bytes, Options::til())
+}
+
+/// The tagged-baseline counterpart of [`measure_runtime`]: same
+/// pressured heap, fully tagged collector. Its exit census quantifies
+/// the per-benchmark representation gap against TIL mode (tag words,
+/// boxing, and how much of the heap the census can still classify).
+pub fn measure_runtime_baseline(b: &Bench, semi_bytes: u64) -> Result<RuntimeMeasurement, String> {
+    measure_runtime_with(b, semi_bytes, Options::baseline())
+}
+
+fn measure_runtime_with(
+    b: &Bench,
+    semi_bytes: u64,
+    mut opts: Options,
+) -> Result<RuntimeMeasurement, String> {
     opts.link.semi_bytes = semi_bytes;
     let exe = Compiler::new(opts)
         .compile(b.source)
@@ -289,7 +304,8 @@ pub mod export {
     // ---- Runtime observability export (`BENCH_runtime.json`).
 
     /// Schema identifier of the runtime-observability export.
-    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v1";
+    /// `v2` added the tagged-baseline census columns.
+    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v2";
 
     /// Functions reported per benchmark in the execution profile.
     pub const TOP_K: usize = 10;
@@ -305,26 +321,57 @@ pub mod export {
     }
 
     /// Builds the runtime-observability report: per benchmark, the GC
-    /// pause distribution, the exit heap census, the hottest functions,
-    /// and the opcode mix. Everything here is a pure function of the
-    /// deterministic instruction stream, so the file is byte-stable
-    /// across runs and machines.
-    pub fn runtime_json(rows: &[(&str, &super::RuntimeMeasurement)], semi_bytes: u64) -> Json {
+    /// pause distribution, the exit heap census (in TIL mode and in
+    /// the tagged baseline, with the census gap between them), the
+    /// hottest functions, and the opcode mix. Everything here is a
+    /// pure function of the deterministic instruction stream, so the
+    /// file is byte-stable across runs and machines.
+    pub fn runtime_json(
+        rows: &[(&str, &super::RuntimeMeasurement, &super::RuntimeMeasurement)],
+        semi_bytes: u64,
+    ) -> Json {
         Json::obj()
             .set("schema", RUNTIME_SCHEMA)
             .set("fuel", super::FUEL)
             .set("semi_bytes", semi_bytes)
             .set(
                 "benchmarks",
-                Json::arr(rows.iter().map(|(name, m)| {
+                Json::arr(rows.iter().map(|(name, m, mb)| {
                     let p = &m.profile;
                     let count = p.pauses.len() as u64;
                     let total_cost: u64 = p.pauses.iter().map(|g| g.pause_cost).sum();
-                    let exit_census = p
-                        .censuses
-                        .iter()
-                        .find(|c| c.after_gc.is_none())
-                        .map(|c| census_json(&c.classes))
+                    let exit = |mm: &super::RuntimeMeasurement| {
+                        mm.profile
+                            .censuses
+                            .iter()
+                            .find(|c| c.after_gc.is_none())
+                            .map(|c| c.classes.clone())
+                    };
+                    let exit_til = exit(m);
+                    let exit_base = exit(mb);
+                    // The representation gap: how much bigger the
+                    // tagged heap is, and how much of it the census
+                    // cannot classify (`unknown`) relative to the
+                    // table-driven TIL census.
+                    let gap = match (&exit_til, &exit_base) {
+                        (Some(t), Some(b)) => Json::obj()
+                            .set(
+                                "total_words_ratio",
+                                b.total_words().max(1) as f64 / t.total_words().max(1) as f64,
+                            )
+                            .set(
+                                "unknown_words_delta",
+                                b.unknown_words as i64 - t.unknown_words as i64,
+                            ),
+                        _ => Json::obj(),
+                    };
+                    let exit_census = exit_til
+                        .as_ref()
+                        .map(census_json)
+                        .unwrap_or_else(Json::obj);
+                    let baseline_exit_census = exit_base
+                        .as_ref()
+                        .map(census_json)
                         .unwrap_or_else(Json::obj);
                     Json::obj()
                         .set("name", *name)
@@ -365,6 +412,8 @@ pub mod export {
                                 ),
                         )
                         .set("exit_census", exit_census)
+                        .set("baseline_exit_census", baseline_exit_census)
+                        .set("census_gap", gap)
                         .set(
                             "top_functions",
                             Json::arr(p.top_functions(TOP_K).into_iter().map(|f| {
@@ -387,7 +436,7 @@ pub mod export {
 
     /// Writes the runtime report into `dir`, returning the path.
     pub fn write_runtime_json(
-        rows: &[(&str, &super::RuntimeMeasurement)],
+        rows: &[(&str, &super::RuntimeMeasurement, &super::RuntimeMeasurement)],
         semi_bytes: u64,
         dir: &std::path::Path,
     ) -> std::io::Result<std::path::PathBuf> {

@@ -780,7 +780,16 @@ impl Compiler {
         let mut link_opts = self.opts.link;
         link_opts.jobs = jobs;
         let linked = pl.run(
-            Phase::new("backend").count(|l: &Linked| l.code.len()),
+            Phase::new("backend")
+                .count(|l: &Linked| l.code.len())
+                // The machine-code verifier: abstract interpretation
+                // over the *linked* image — control-flow integrity,
+                // calling convention, and an independent re-derivation
+                // of the GC tables from the code alone.
+                .verify("mc-verify", {
+                    let tr = &tracer;
+                    move |l: &Linked| til_backend::mcv::verify_linked(l, jobs, Some(tr))
+                }),
             || til_backend::link(&rtl, &link_opts, Some(&tracer)),
         )?;
         if let Some(d) = dumps {

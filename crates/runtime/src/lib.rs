@@ -4,6 +4,11 @@
 //! plus string/math runtime services and tag-free polymorphic
 //! structural equality over run-time type representations.
 
+// Hot-path hygiene: the collector and runtime services must report
+// every failure as a typed `VmError`, never abort the host process.
+// (`clippy.toml` exempts test code.)
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 pub mod census;
 pub mod gc;
 pub mod reps;

@@ -165,7 +165,9 @@ impl Rt {
                 let tag = d
                     .single_carrying()
                     .ok_or_else(|| VmError::Runtime("tagless without carrier".into()))?;
-                let fields = d.cons[tag].as_ref().unwrap();
+                let fields = d.cons[tag]
+                    .as_ref()
+                    .ok_or_else(|| VmError::Runtime("polyeq: constant constructor carries".into()))?;
                 self.fields_eq(m, fields, args, a, b, 0)
             }
             RtDataRep::Tagged => {
@@ -180,7 +182,9 @@ impl Rt {
                 let tag = d
                     .carrying_with_sum_tag(self.untag_int(ta))
                     .ok_or_else(|| VmError::Runtime("polyeq: bad sum tag".into()))?;
-                let fields = d.cons[tag].as_ref().unwrap();
+                let fields = d.cons[tag]
+                    .as_ref()
+                    .ok_or_else(|| VmError::Runtime("polyeq: constant constructor carries".into()))?;
                 self.fields_eq(m, fields, args, a, b, 1)
             }
             RtDataRep::Boxed => {
@@ -195,7 +199,9 @@ impl Rt {
                 let tag = d
                     .carrying_with_sum_tag(self.untag_int(ta))
                     .ok_or_else(|| VmError::Runtime("polyeq: bad sum tag".into()))?;
-                let fields = d.cons[tag].as_ref().unwrap();
+                let fields = d.cons[tag]
+                    .as_ref()
+                    .ok_or_else(|| VmError::Runtime("polyeq: constant constructor carries".into()))?;
                 let pa = m.rd(a + 16)?;
                 let pb = m.rd(b + 16)?;
                 let fr = eval_rep(&fields[0], args);

@@ -2,6 +2,11 @@
 //! (see DESIGN.md's substitution table) with deterministic performance
 //! counters standing in for the paper's hardware measurements.
 
+// Hot-path hygiene: the interpreter loop and its services must report
+// every failure as a typed `VmError`, never abort the host process.
+// (`clippy.toml` exempts test code.)
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 pub mod isa;
 pub mod machine;
 pub mod profile;

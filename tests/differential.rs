@@ -40,7 +40,7 @@ fn run_config(cfg: &str, opts: Options, seed: u64, src: &str) -> (String, u64) {
     // phase for the closure passes, the RTL verifier, and the GC-table
     // cross-check.
     let names: Vec<&str> = exe.info.phases.iter().map(|p| p.name).collect();
-    for required in ["closure", "rtl-verify", "gc-check"] {
+    for required in ["closure", "rtl-verify", "gc-check", "mc-verify"] {
         assert!(
             names.contains(&required),
             "seed {seed:#x} [{cfg}]: phase {required} did not run: {names:?}"

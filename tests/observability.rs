@@ -207,6 +207,52 @@ fn backend_trace_has_per_function_spans() {
     assert_eq!(names(&exe.info), names(&exe1.info));
 }
 
+#[test]
+fn machine_code_verifier_is_an_attributed_phase() {
+    // The machine-code verifier runs over the *linked* image as its
+    // own attributed pipeline phase, with one trace span per verified
+    // function — so a verification failure (and its cost) can be read
+    // straight off the compile trace. (Recursive helper so the
+    // optimizer cannot inline it away: the linked image keeps at
+    // least two functions.)
+    let src = "fun count (0, acc) = acc | count (n, acc) = count (n - 1, acc + 1)
+               val _ = print (Int.toString (count (42, 0)))";
+    let mut opts = Options::til();
+    opts.jobs = Some(4);
+    let exe = Compiler::new(opts).compile(src).expect("compile");
+    let mcv = exe
+        .info
+        .phases
+        .iter()
+        .find(|p| p.name == "mc-verify")
+        .expect("mc-verify phase missing from compile info");
+    assert!(mcv.seconds >= 0.0);
+    assert!(
+        exe.info.events.iter().any(|e| e.name == "mc-verify"),
+        "mc-verify has no trace event"
+    );
+    let fun_spans = exe
+        .info
+        .events
+        .iter()
+        .filter(|e| e.name.starts_with("mc-verify ") && e.depth > 0)
+        .count();
+    assert!(
+        fun_spans >= 2,
+        "expected per-function mc-verify spans (main + count), got {fun_spans}"
+    );
+    // Verification off: the phase (and its spans) must vanish
+    // entirely — the verifier costs nothing when disabled.
+    let mut off = Options::til();
+    off.verify = false;
+    let exe_off = Compiler::new(off).compile(src).expect("compile");
+    assert!(
+        exe_off.info.phases.iter().all(|p| p.name != "mc-verify")
+            && exe_off.info.events.iter().all(|e| !e.name.starts_with("mc-verify")),
+        "mc-verify phase present with verification disabled"
+    );
+}
+
 // --- The runtime observability layer: per-function execution
 // profiles, GC pause spans, type-indexed heap censuses, and the
 // Chrome trace export. Everything is a pure function of the
