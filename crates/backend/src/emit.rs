@@ -364,6 +364,7 @@ impl<'a> Emit<'a> {
                     size: self.frame_bytes as u32,
                     ra_offset: 0,
                     slots: vec![],
+                    dead: vec![],
                 },
             };
             for (i, p) in self.f.params.iter().enumerate() {
@@ -545,7 +546,35 @@ impl<'a> Emit<'a> {
             size: self.frame_bytes as u32,
             ra_offset: 0,
             slots,
+            dead: vec![],
         }
+    }
+
+    /// A call site's frame descriptor: the slots live *after* the call
+    /// (what the collector must trace once the callee returns), with
+    /// the subset that is provably dead at the call instruction itself
+    /// — slot-resident values in `live_out` but not `live_in`, i.e.
+    /// the call's own result slot — marked so the machine-code
+    /// verifier can hold every other listed slot to be genuinely
+    /// traceable during the callee's stack walk.
+    fn call_frame_info(
+        &self,
+        live_out: &std::collections::HashSet<VReg>,
+        live_in: &std::collections::HashSet<VReg>,
+    ) -> FrameInfo {
+        let mut fi = self.frame_info(live_out);
+        for v in live_out {
+            if live_in.contains(v) {
+                continue;
+            }
+            if let Loc::Slot(s) = self.loc(*v) {
+                if self.loc_rep_reg_slotted(*v).is_some() {
+                    fi.dead.push(self.slot_byte_off(s));
+                }
+            }
+        }
+        fi.dead.sort_unstable();
+        fi
     }
 
     fn loc_rep_reg_slotted(&self, v: VReg) -> Option<LocRep> {
@@ -744,7 +773,8 @@ impl<'a> Emit<'a> {
                 // Call-site table: the return address is the next
                 // instruction.
                 if !self.tagged {
-                    let fi = self.frame_info(&self.al.live.live_out[i]);
+                    let fi =
+                        self.call_frame_info(&self.al.live.live_out[i], &self.al.live.live_in[i]);
                     self.call_sites.push((self.out.len(), i, fi));
                 }
                 if let Some(d) = dst {
@@ -799,7 +829,8 @@ impl<'a> Emit<'a> {
                 if !self.tagged {
                     // Runtime calls that can walk the stack behave like
                     // calls for the table (harmless otherwise).
-                    let fi = self.frame_info(&self.al.live.live_out[i]);
+                    let fi =
+                        self.call_frame_info(&self.al.live.live_out[i], &self.al.live.live_in[i]);
                     self.call_sites.push((self.out.len(), i, fi));
                 }
                 if let Some(d) = dst {

@@ -887,18 +887,28 @@ impl<'a> Fun<'a> {
             }
         }
         // Call-site descriptors are built from liveness *after* the
-        // call, so they may claim slots holding dead values: the
-        // call's own result slot (written only on return, Uninit
-        // during the walk) and, in loops, leftovers from a previous
-        // iteration that a later safe point already left unlisted
-        // (Stale). The collector's pointer filter makes both harmless
-        // during a stack walk, so Uninit and Stale are legal here —
-        // unlike at GC points, whose descriptors come from liveness
-        // *before* the call and must be exact. A claimed-traced slot
-        // holding a definitely-untraced integer or a raw code pointer
-        // remains fatal: those are rep violations no filter excuses.
+        // call, so they may claim slots holding dead values — but the
+        // emitter now marks exactly which ones (`fi.dead`: the call's
+        // own result slot, written only on return and Uninit during
+        // the walk). Dead-marked slots keep the old tolerance: the
+        // collector's pointer filter makes them harmless, so only rep
+        // violations no filter excuses (a definitely-untraced integer
+        // or a raw code pointer in a claimed-traced slot) stay fatal.
+        // Every *unmarked* slot is claimed genuinely live across the
+        // call, so a definitely-dead value there (Uninit: never
+        // written on this path; Stale: a pointer an earlier safe point
+        // already left uncovered) is a table bug this check now
+        // rejects — unlike the blanket tolerance that used to mask it.
         for (o, rep) in &fi.slots {
             let c = st.frame_get(*o as i64 - d);
+            let claimed_dead = fi.dead.contains(o);
+            if !claimed_dead && matches!(c, Abs::Uninit | Abs::Stale) {
+                return Err(self.fail(
+                    pc,
+                    st,
+                    &format!("table claims slot {o} live across the call but it holds {c:?}"),
+                ));
+            }
             match rep {
                 LocRep::Trace => {
                     if matches!(c, Abs::Untraced | Abs::Code) {

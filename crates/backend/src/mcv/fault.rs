@@ -16,7 +16,11 @@
 //! * `clobber-sp` — an epilogue restores SP short by one word
 //!   (callee-save discipline);
 //! * `drop-call-site` — a call loses its frame descriptor, so the
-//!   stack walk could not parse the caller's frame.
+//!   stack walk could not parse the caller's frame;
+//! * `claim-dead-live` — a call-site descriptor drops its dead-slot
+//!   marks, claiming the call's uninitialized result slot holds a
+//!   live value (the blanket Uninit/Stale tolerance the verifier used
+//!   to extend to *every* listed slot masked exactly this corruption).
 //!
 //! Arm programmatically with [`break_emit`] (guard-scoped) or
 //! externally with the `TIL_BREAK_EMIT` environment variable. The
@@ -28,12 +32,13 @@ use til_runtime::{GcTables, LocRep};
 use til_vm::{regs, Alu, FuncRange, Instr, Op};
 
 /// Every fault name [`apply_armed`] understands.
-pub const FAULTS: [&str; 5] = [
+pub const FAULTS: [&str; 6] = [
     "swap-spill-slot",
     "drop-gc-entry",
     "retarget-branch",
     "clobber-sp",
     "drop-call-site",
+    "claim-dead-live",
 ];
 
 static ARMED: Mutex<Option<String>> = Mutex::new(None);
@@ -97,10 +102,11 @@ pub fn apply_armed(code: &mut [Instr], tables: &mut GcTables, fun_ranges: &[Func
     let Some(name) = armed_name() else { return };
     let landed = match name.as_str() {
         "swap-spill-slot" => swap_spill_slot(tables),
-        "drop-gc-entry" => drop_gc_entry(tables),
+        "drop-gc-entry" => drop_gc_entry(tables, fun_ranges),
         "retarget-branch" => retarget_branch(code, fun_ranges),
         "clobber-sp" => clobber_sp(code, fun_ranges),
         "drop-call-site" => drop_call_site(code, tables),
+        "claim-dead-live" => claim_dead_live(tables),
         _ => None,
     };
     if let Some(pc) = landed {
@@ -133,11 +139,46 @@ fn swap_spill_slot(tables: &mut GcTables) -> Option<u32> {
 }
 
 /// Removes one traced entry from a GC point — preferring a frame slot
-/// at a point that also has a call-site descriptor, so the loss is
-/// observable at the very next table check.
-fn drop_gc_entry(tables: &mut GcTables) -> Option<u32> {
+/// that (a) the call-site descriptor at the return address also lists
+/// as genuinely live across the call, and (b) stays listed at a later
+/// GC point of the same function. Such a slot carries a dynamic heap
+/// value threaded through an allocating loop (a toplevel frame slot
+/// may merely hold a pointer into static data, which the collector
+/// never moves — dropping its entry is unobservable), so the slot the
+/// table stops covering goes stale and the loss is caught at a
+/// downstream check or use.
+fn drop_gc_entry(tables: &mut GcTables, fun_ranges: &[FuncRange]) -> Option<u32> {
     let mut pcs: Vec<u32> = tables.gc_points.keys().copied().collect();
     pcs.sort_unstable();
+    let fun_end = |pc: u32| {
+        fun_ranges
+            .iter()
+            .find(|r| r.start <= pc && pc < r.end)
+            .map_or(0, |r| r.end)
+    };
+    for &pc in &pcs {
+        let Some(cs) = tables.call_sites.get(&(pc + 1)) else {
+            continue;
+        };
+        let end = fun_end(pc);
+        let across_and_looped = |o: u32| {
+            cs.slots.iter().any(|(so, _)| *so == o)
+                && !cs.dead.contains(&o)
+                && tables.gc_points.iter().any(|(&q, g)| {
+                    q > pc && q < end && g.frame.slots.iter().any(|(so, _)| *so == o)
+                })
+        };
+        let at = tables.gc_points[&pc]
+            .frame
+            .slots
+            .iter()
+            .position(|(o, _)| across_and_looped(*o));
+        if let Some(at) = at {
+            let p = tables.gc_points.get_mut(&pc).unwrap();
+            p.frame.slots.remove(at);
+            return Some(pc);
+        }
+    }
     for &pc in &pcs {
         if !tables.call_sites.contains_key(&(pc + 1)) {
             continue;
@@ -201,6 +242,24 @@ fn clobber_sp(code: &mut [Instr], fun_ranges: &[FuncRange]) -> Option<u32> {
                     return Some(pc);
                 }
             }
+        }
+    }
+    None
+}
+
+/// Clears the dead-slot marks of the first call-site descriptor that
+/// has any: the descriptor now claims the call's own result slot (the
+/// only slot the emitter ever marks dead) holds a live value during
+/// the callee's stack walk, though nothing has written it yet.
+fn claim_dead_live(tables: &mut GcTables) -> Option<u32> {
+    let mut pcs: Vec<u32> = tables.call_sites.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        let fi = tables.call_sites.get_mut(&pc).unwrap();
+        if !fi.dead.is_empty() {
+            fi.dead.clear();
+            // The check fires at the call instruction itself.
+            return Some(pc - 1);
         }
     }
     None

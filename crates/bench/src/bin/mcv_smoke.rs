@@ -21,7 +21,10 @@ use til_backend::mcv::fault;
 /// recursive calls with traced values (a list and an accumulator
 /// string) live across both user calls and runtime-service calls, so
 /// frames carry traced spill slots; several multi-instruction
-/// functions give the branch retargeter a victim.
+/// functions give the branch retargeter a victim; `pairup` holds the
+/// result of one non-inlined call in a frame slot across a second
+/// call, so at least one call-site descriptor carries a dead-slot
+/// mark for `claim-dead-live` to erase.
 const PROBE: &str = "
     fun build (n, acc) = if n = 0 then acc else build (n - 1, n :: acc)
     fun sum (xs, a) =
@@ -31,7 +34,12 @@ const PROBE: &str = "
     fun shout (n, s) =
         if n = 0 then s
         else shout (n - 1, s ^ Int.toString (sum (build (n, nil), 0)))
+    fun pairup n =
+        let val xs = build (n, nil)
+            val ys = build (n + 1, nil)
+        in sum (xs, sum (ys, 0)) end
     val _ = print (shout (6, \"\"))
+    val _ = print (Int.toString (pairup 4))
     val _ = print \"\\n\"
 ";
 

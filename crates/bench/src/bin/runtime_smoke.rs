@@ -5,23 +5,36 @@
 //!   identical with profiling on and off;
 //! * **exhaustive attribution** — per-function and per-opcode
 //!   instruction counts both sum to `Stats::instrs` exactly;
-//! * **pause/census invariants** — one pause per collection, pauses
-//!   monotone on the instruction timeline, each post-GC census total
-//!   equals that pause's surviving live words, the exit census equals
-//!   `final_heap_words`, and the census maximum equals
-//!   `max_live_words`;
+//! * **pause/census invariants** — one pause per collection under
+//!   stop-the-world scheduling, pauses monotone on the instruction
+//!   timeline, each post-GC census total equals that cycle's surviving
+//!   live words, the exit census equals `final_heap_words`, and the
+//!   census maximum equals `max_live_words`;
+//! * **incremental scheduling** — the incremental leg produces the
+//!   same output and `Stats`, one slice group per collection, every
+//!   slice within the pause budget, and (suite-wide) a maximum pause
+//!   strictly below the stop-the-world maximum;
 //! * **baseline census** — the tagged-baseline leg agrees on output
 //!   and its exit census also accounts for the whole resident heap
 //!   (the census-gap columns compare the two modes);
 //! * **export freshness** — the committed `BENCH_runtime.json` is
 //!   well-formed and byte-identical to a freshly computed export.
 
-use til::{Compiler, Options};
-use til_bench::{export, suite, RuntimeMeasurement, FUEL, RUNTIME_SEMI_BYTES};
+use til::{CensusWhen, Compiler, Options, DEFAULT_PAUSE_BUDGET};
+use til_bench::{export, suite, RuntimeMeasurement, RuntimeRow, FUEL, RUNTIME_SEMI_BYTES};
 
 fn main() {
+    let budget = DEFAULT_PAUSE_BUDGET;
     let mut any_gc = false;
-    let mut rows: Vec<(&'static str, RuntimeMeasurement, RuntimeMeasurement)> = Vec::new();
+    let mut any_sliced = false;
+    let mut stw_suite_max = 0u64;
+    let mut inc_suite_max = 0u64;
+    let mut rows: Vec<(
+        &'static str,
+        RuntimeMeasurement,
+        RuntimeMeasurement,
+        RuntimeMeasurement,
+    )> = Vec::new();
     for b in suite() {
         let mut opts = Options::til();
         opts.link.semi_bytes = RUNTIME_SEMI_BYTES;
@@ -67,7 +80,7 @@ fn main() {
             let c = p
                 .censuses
                 .iter()
-                .find(|c| c.after_gc == Some(i as u64))
+                .find(|c| c.after_gc() == Some(i as u64))
                 .unwrap_or_else(|| panic!("{}: collection {i} has no census", b.name));
             assert_eq!(
                 c.classes.total_words(),
@@ -79,7 +92,7 @@ fn main() {
         let exit = p
             .censuses
             .iter()
-            .find(|c| c.after_gc.is_none())
+            .find(|c| c.when == CensusWhen::Exit)
             .unwrap_or_else(|| panic!("{}: no exit census", b.name));
         assert_eq!(
             exit.classes.total_words(),
@@ -99,6 +112,64 @@ fn main() {
             b.name
         );
 
+        // The incremental leg: same program, same heap, collection
+        // sliced under the default pause budget. Results and Stats
+        // must be identical to stop-the-world scheduling; the pause
+        // records must decompose each collection into budget-bounded
+        // slices.
+        let mi = til_bench::measure_runtime_incremental(&b, RUNTIME_SEMI_BYTES, budget)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            mi.output, on.output,
+            "{}: incremental output differs from stop-the-world",
+            b.name
+        );
+        assert_eq!(
+            mi.stats, on.stats,
+            "{}: incremental Stats differ from stop-the-world",
+            b.name
+        );
+        let pi = &mi.profile;
+        let slices = pi.cycle_slices();
+        assert_eq!(
+            slices.len() as u64,
+            mi.stats.gc_count,
+            "{}: one slice group per collection cycle",
+            b.name
+        );
+        assert!(
+            slices.iter().all(|&n| n >= 1),
+            "{}: a collection cycle produced no slices",
+            b.name
+        );
+        for (i, pause) in pi.pauses.iter().enumerate() {
+            assert!(
+                pause.pause_cost <= budget,
+                "{}: incremental slice {i} cost {} exceeds the budget {budget}",
+                b.name,
+                pause.pause_cost
+            );
+        }
+        // The two legs must also agree on collection totals, cycle by
+        // cycle: the slices of cycle `c` sum to the stop-the-world
+        // pause of collection `c`.
+        for (c, stw_pause) in p.pauses.iter().enumerate() {
+            let cycle_cost: u64 = pi
+                .pauses
+                .iter()
+                .filter(|q| q.cycle == c as u64)
+                .map(|q| q.pause_cost)
+                .sum();
+            assert_eq!(
+                cycle_cost, stw_pause.pause_cost,
+                "{}: cycle {c} slice costs do not sum to the stop-the-world pause",
+                b.name
+            );
+        }
+        any_sliced |= pi.pauses.len() as u64 > mi.stats.gc_count;
+        stw_suite_max = stw_suite_max.max(p.max_pause());
+        inc_suite_max = inc_suite_max.max(pi.max_pause());
+
         // The tagged-baseline leg of the census-gap columns: same
         // program, same pressured heap, fully tagged collector. The
         // output must agree with TIL mode, and its exit census must
@@ -114,7 +185,7 @@ fn main() {
             .profile
             .censuses
             .iter()
-            .find(|c| c.after_gc.is_none())
+            .find(|c| c.when == CensusWhen::Exit)
             .unwrap_or_else(|| panic!("{}: baseline run has no exit census", b.name));
         assert_eq!(
             base_exit.classes.total_words(),
@@ -130,6 +201,7 @@ fn main() {
                 stats: on.stats.clone(),
                 profile: p.clone(),
             },
+            mi,
             mb,
         ));
     }
@@ -137,10 +209,29 @@ fn main() {
         any_gc,
         "pressured heap produced no collections — the smoke test has no GC coverage"
     );
+    assert!(
+        any_sliced,
+        "no benchmark's collection was actually sliced — the budget gate has no coverage"
+    );
+    assert!(
+        inc_suite_max <= budget,
+        "incremental suite max pause {inc_suite_max} exceeds the budget {budget}"
+    );
+    assert!(
+        inc_suite_max < stw_suite_max,
+        "incremental suite max pause {inc_suite_max} is not strictly below stop-the-world's {stw_suite_max}"
+    );
 
-    let row_refs: Vec<(&str, &RuntimeMeasurement, &RuntimeMeasurement)> =
-        rows.iter().map(|(n, m, mb)| (*n, m, mb)).collect();
-    let fresh = export::runtime_json(&row_refs, RUNTIME_SEMI_BYTES).pretty();
+    let row_refs: Vec<RuntimeRow> = rows
+        .iter()
+        .map(|(n, m, mi, mb)| RuntimeRow {
+            name: n,
+            stw: m,
+            incremental: mi,
+            baseline: mb,
+        })
+        .collect();
+    let fresh = export::runtime_json(&row_refs, RUNTIME_SEMI_BYTES, budget).pretty();
     til_common::json::validate(&fresh)
         .unwrap_or_else(|e| panic!("runtime export is not well-formed JSON: {e}"));
     assert!(
@@ -161,8 +252,11 @@ fn main() {
         ),
     }
     println!(
-        "runtime smoke OK: {} benchmarks, schema {}",
+        "runtime smoke OK: {} benchmarks, schema {}, max pause {} (stw) vs {} (incremental, budget {})",
         rows.len(),
-        export::RUNTIME_SCHEMA
+        export::RUNTIME_SCHEMA,
+        stw_suite_max,
+        inc_suite_max,
+        budget
     );
 }

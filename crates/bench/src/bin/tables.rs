@@ -319,60 +319,67 @@ fn polycount(r: &mut Report) {
 }
 
 /// The runtime-observability section: rerun the suite under a
-/// pressured heap with profiling on — in TIL mode and in the tagged
-/// baseline (for the census-gap columns) — print the
-/// pause/census/profile summary, and export `BENCH_runtime.json`.
+/// pressured heap with profiling on — in TIL mode under both
+/// collection-scheduling modes, and in the tagged baseline (for the
+/// census-gap columns) — print the pause/census/profile summary, and
+/// export `BENCH_runtime.json`.
 fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
+    let budget = til::DEFAULT_PAUSE_BUDGET;
     r.say(format!(
-        "\n== Runtime observability (semispace {} KB, profiled) ==",
+        "\n== Runtime observability (semispace {} KB, profiled, pause budget {budget}) ==",
         RUNTIME_SEMI_BYTES >> 10
     ));
     r.say(format!(
-        "{:>12} {:>5} {:>10} {:>10} {:>11} {:>24}",
-        "program", "GCs", "max pause", "live max", "exit words", "hottest function"
+        "{:>12} {:>5} {:>10} {:>10} {:>7} {:>10} {:>24}",
+        "program", "GCs", "stw max", "inc max", "slices", "live max", "hottest function"
     ));
     let ms: Vec<(
         &'static str,
+        til_bench::RuntimeMeasurement,
         til_bench::RuntimeMeasurement,
         til_bench::RuntimeMeasurement,
     )> = suite()
         .into_iter()
         .map(|b| {
             let m = measure_runtime(&b, RUNTIME_SEMI_BYTES).unwrap_or_else(|e| panic!("{e}"));
+            let mi = til_bench::measure_runtime_incremental(&b, RUNTIME_SEMI_BYTES, budget)
+                .unwrap_or_else(|e| panic!("{e}"));
             let mb = til_bench::measure_runtime_baseline(&b, RUNTIME_SEMI_BYTES)
                 .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(m.output, mi.output, "{}: incremental output differs", b.name);
+            assert_eq!(m.stats, mi.stats, "{}: incremental Stats differ", b.name);
             assert_eq!(m.output, mb.output, "{}: baseline output differs", b.name);
-            (b.name, m, mb)
+            (b.name, m, mi, mb)
         })
         .collect();
-    for (name, m, _) in &ms {
+    for (name, m, mi, _) in &ms {
         let p = &m.profile;
         let hottest = p
             .top_functions(1)
             .first()
             .map(|f| format!("{} ({})", f.name, f.instrs))
             .unwrap_or_default();
-        let exit_words = p
-            .censuses
-            .iter()
-            .find(|c| c.after_gc.is_none())
-            .map_or(0, |c| c.classes.total_words());
         r.say(format!(
-            "{:>12} {:>5} {:>10} {:>10} {:>11} {:>24}",
+            "{:>12} {:>5} {:>10} {:>10} {:>7} {:>10} {:>24}",
             name,
             m.stats.gc_count,
-            p.pauses.iter().map(|g| g.pause_cost).max().unwrap_or(0),
+            p.max_pause(),
+            mi.profile.max_pause(),
+            mi.profile.pauses.len(),
             m.stats.max_live_words,
-            exit_words,
             hottest,
         ));
     }
-    let rows: Vec<(
-        &str,
-        &til_bench::RuntimeMeasurement,
-        &til_bench::RuntimeMeasurement,
-    )> = ms.iter().map(|(n, m, mb)| (*n, m, mb)).collect();
-    match export::write_runtime_json(&rows, RUNTIME_SEMI_BYTES, out_dir) {
+    let rows: Vec<til_bench::RuntimeRow> = ms
+        .iter()
+        .map(|(n, m, mi, mb)| til_bench::RuntimeRow {
+            name: n,
+            stw: m,
+            incremental: mi,
+            baseline: mb,
+        })
+        .collect();
+    match export::write_runtime_json(&rows, RUNTIME_SEMI_BYTES, budget, out_dir) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_runtime.json: {e}"),
     }

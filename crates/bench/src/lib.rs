@@ -136,6 +136,34 @@ pub fn measure_runtime_baseline(b: &Bench, semi_bytes: u64) -> Result<RuntimeMea
     measure_runtime_with(b, semi_bytes, Options::baseline())
 }
 
+/// The incremental-collection counterpart of [`measure_runtime`]: TIL
+/// mode, same pressured heap, collection sliced under `budget`
+/// instruction-equivalents per pause. Output and `Stats` are identical
+/// to the stop-the-world leg; only the pause records differ.
+pub fn measure_runtime_incremental(
+    b: &Bench,
+    semi_bytes: u64,
+    budget: u64,
+) -> Result<RuntimeMeasurement, String> {
+    let mut opts = Options::til();
+    opts.gc_mode = til::CollectMode::Incremental { budget };
+    measure_runtime_with(b, semi_bytes, opts)
+}
+
+/// One benchmark's row of the runtime-observability export: the two
+/// TIL-mode collection-scheduling legs plus the tagged baseline.
+#[derive(Clone, Debug)]
+pub struct RuntimeRow<'a> {
+    /// Benchmark name.
+    pub name: &'a str,
+    /// TIL mode, stop-the-world collection.
+    pub stw: &'a RuntimeMeasurement,
+    /// TIL mode, incremental collection (the export's `pause_budget`).
+    pub incremental: &'a RuntimeMeasurement,
+    /// Tagged baseline (census-gap columns).
+    pub baseline: &'a RuntimeMeasurement,
+}
+
 fn measure_runtime_with(
     b: &Bench,
     semi_bytes: u64,
@@ -304,14 +332,17 @@ pub mod export {
     // ---- Runtime observability export (`BENCH_runtime.json`).
 
     /// Schema identifier of the runtime-observability export.
-    /// `v2` added the tagged-baseline census columns.
-    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v2";
+    /// `v3` added the incremental-collection leg (per-mode pause
+    /// distributions, slice counts, the pause budget) and census
+    /// provenance marks; `v2` added the tagged-baseline census columns.
+    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v3";
 
     /// Functions reported per benchmark in the execution profile.
     pub const TOP_K: usize = 10;
 
-    fn census_json(c: &til::CensusClasses) -> Json {
+    fn census_json(c: &til::CensusClasses, provenance: &str) -> Json {
         Json::obj()
+            .set("provenance", provenance)
             .set("record_words", c.record_words)
             .set("array_words", c.array_words)
             .set("string_words", c.string_words)
@@ -320,31 +351,63 @@ pub mod export {
             .set("total_words", c.total_words())
     }
 
+    /// The pause-distribution columns of one run: identical shape for
+    /// both collection-scheduling modes, so downstream tooling compares
+    /// them field by field. Under incremental collection `count` is the
+    /// number of *slices* (`cycles` collections contributed them);
+    /// under stop-the-world the two are equal.
+    fn pause_dist_json(p: &til::RunProfile) -> Json {
+        let count = p.pauses.len() as u64;
+        let total_cost: u64 = p.pauses.iter().map(|g| g.pause_cost).sum();
+        let slices = p.cycle_slices();
+        Json::obj()
+            .set("count", count)
+            .set("cycles", slices.len() as u64)
+            .set("max_slices_per_cycle", slices.iter().copied().max().unwrap_or(0))
+            .set("max_cost", p.max_pause())
+            .set(
+                "mean_cost",
+                if count > 0 {
+                    total_cost as f64 / count as f64
+                } else {
+                    0.0
+                },
+            )
+            .set("total_cost", total_cost)
+            .set(
+                "total_copied_words",
+                p.pauses.iter().map(|g| g.copied_words).sum::<u64>(),
+            )
+            .set(
+                "max_live_words",
+                p.pauses.iter().map(|g| g.live_words).max().unwrap_or(0),
+            )
+    }
+
     /// Builds the runtime-observability report: per benchmark, the GC
-    /// pause distribution, the exit heap census (in TIL mode and in
-    /// the tagged baseline, with the census gap between them), the
-    /// hottest functions, and the opcode mix. Everything here is a
-    /// pure function of the deterministic instruction stream, so the
-    /// file is byte-stable across runs and machines.
-    pub fn runtime_json(
-        rows: &[(&str, &super::RuntimeMeasurement, &super::RuntimeMeasurement)],
-        semi_bytes: u64,
-    ) -> Json {
+    /// pause distribution under *both* collection-scheduling modes
+    /// (stop-the-world and incremental under `pause_budget`), the exit
+    /// heap census (in TIL mode and in the tagged baseline, with the
+    /// census gap between them), the hottest functions, and the opcode
+    /// mix. Everything here is a pure function of the deterministic
+    /// instruction stream, so the file is byte-stable across runs and
+    /// machines.
+    pub fn runtime_json(rows: &[super::RuntimeRow<'_>], semi_bytes: u64, pause_budget: u64) -> Json {
         Json::obj()
             .set("schema", RUNTIME_SCHEMA)
             .set("fuel", super::FUEL)
             .set("semi_bytes", semi_bytes)
+            .set("pause_budget", pause_budget)
             .set(
                 "benchmarks",
-                Json::arr(rows.iter().map(|(name, m, mb)| {
+                Json::arr(rows.iter().map(|row| {
+                    let (m, mi, mb) = (row.stw, row.incremental, row.baseline);
                     let p = &m.profile;
-                    let count = p.pauses.len() as u64;
-                    let total_cost: u64 = p.pauses.iter().map(|g| g.pause_cost).sum();
                     let exit = |mm: &super::RuntimeMeasurement| {
                         mm.profile
                             .censuses
                             .iter()
-                            .find(|c| c.after_gc.is_none())
+                            .find(|c| c.when == til::CensusWhen::Exit)
                             .map(|c| c.classes.clone())
                     };
                     let exit_til = exit(m);
@@ -367,14 +430,14 @@ pub mod export {
                     };
                     let exit_census = exit_til
                         .as_ref()
-                        .map(census_json)
+                        .map(|c| census_json(c, "exit"))
                         .unwrap_or_else(Json::obj);
                     let baseline_exit_census = exit_base
                         .as_ref()
-                        .map(census_json)
+                        .map(|c| census_json(c, "exit"))
                         .unwrap_or_else(Json::obj);
                     Json::obj()
-                        .set("name", *name)
+                        .set("name", row.name)
                         .set(
                             "stats",
                             Json::obj()
@@ -386,30 +449,18 @@ pub mod export {
                                 .set("final_heap_words", m.stats.final_heap_words)
                                 .set("gc_count", m.stats.gc_count),
                         )
+                        // The two legs run the same program to the same
+                        // `Stats`; the export records that agreement so
+                        // a regression is visible in the diff.
+                        .set(
+                            "modes_agree",
+                            m.output == mi.output && m.stats == mi.stats,
+                        )
                         .set(
                             "gc_pauses",
                             Json::obj()
-                                .set("count", count)
-                                .set(
-                                    "max_cost",
-                                    p.pauses.iter().map(|g| g.pause_cost).max().unwrap_or(0),
-                                )
-                                .set(
-                                    "mean_cost",
-                                    if count > 0 {
-                                        total_cost as f64 / count as f64
-                                    } else {
-                                        0.0
-                                    },
-                                )
-                                .set(
-                                    "total_copied_words",
-                                    p.pauses.iter().map(|g| g.copied_words).sum::<u64>(),
-                                )
-                                .set(
-                                    "max_live_words",
-                                    p.pauses.iter().map(|g| g.live_words).max().unwrap_or(0),
-                                ),
+                                .set("stop_the_world", pause_dist_json(p))
+                                .set("incremental", pause_dist_json(&mi.profile)),
                         )
                         .set("exit_census", exit_census)
                         .set("baseline_exit_census", baseline_exit_census)
@@ -436,12 +487,13 @@ pub mod export {
 
     /// Writes the runtime report into `dir`, returning the path.
     pub fn write_runtime_json(
-        rows: &[(&str, &super::RuntimeMeasurement, &super::RuntimeMeasurement)],
+        rows: &[super::RuntimeRow<'_>],
         semi_bytes: u64,
+        pause_budget: u64,
         dir: &std::path::Path,
     ) -> std::io::Result<std::path::PathBuf> {
         let path = dir.join("BENCH_runtime.json");
-        std::fs::write(&path, runtime_json(rows, semi_bytes).pretty())?;
+        std::fs::write(&path, runtime_json(rows, semi_bytes, pause_budget).pretty())?;
         Ok(path)
     }
 }

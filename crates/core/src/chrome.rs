@@ -65,24 +65,43 @@ pub fn chrome_trace_json(info: &CompileInfo, run: Option<(&Stats, &RunProfile)>)
                 TID_RUNTIME,
             )
             .arg("trigger-pc", p.trigger_pc as u64)
+            .arg("cycle", p.cycle)
             .arg("copied-words", p.copied_words)
             .arg("live-words", p.live_words);
-            if let Some(c) = rp.censuses.iter().find(|c| c.after_gc == Some(i as u64)) {
-                ce = census_args(ce, &c.classes);
+            // The cycle's census rides on its last slice (under
+            // stop-the-world collection, the pause itself).
+            let last_of_cycle = rp.pauses.get(i + 1).is_none_or(|q| q.cycle != p.cycle);
+            if last_of_cycle {
+                if let Some(c) = rp.censuses.iter().find(|c| c.after_gc() == Some(p.cycle)) {
+                    ce = census_args(ce, &c.classes);
+                }
             }
             evs.push(ce);
         }
-        if let Some(c) = rp.censuses.iter().find(|c| c.after_gc.is_none()) {
-            evs.push(census_args(
-                ChromeEvent::complete(
-                    "exit-census",
-                    "runtime",
-                    stats.instrs as f64,
-                    0.0,
-                    TID_RUNTIME,
-                ),
-                &c.classes,
-            ));
+        for c in &rp.censuses {
+            match c.when {
+                til_runtime::CensusWhen::MidRun { at_instr } => evs.push(census_args(
+                    ChromeEvent::complete(
+                        "midrun-census",
+                        "runtime",
+                        at_instr as f64,
+                        0.0,
+                        TID_RUNTIME,
+                    ),
+                    &c.classes,
+                )),
+                til_runtime::CensusWhen::Exit => evs.push(census_args(
+                    ChromeEvent::complete(
+                        "exit-census",
+                        "runtime",
+                        stats.instrs as f64,
+                        0.0,
+                        TID_RUNTIME,
+                    ),
+                    &c.classes,
+                )),
+                til_runtime::CensusWhen::AfterGc(_) => {}
+            }
         }
     }
     chrome_trace(&evs)

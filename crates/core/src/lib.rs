@@ -35,7 +35,9 @@ pub use til_closure::{ClosureOptions, ClosureStats};
 pub use til_common::TraceEvent;
 pub use til_lmli::LmliOptions;
 pub use til_opt::{OptOptions, OptStats, PassStat};
-pub use til_runtime::{CensusClasses, GcPause, HeapCensus};
+pub use til_runtime::{
+    CensusClasses, CensusWhen, CollectMode, GcPause, HeapCensus, DEFAULT_PAUSE_BUDGET,
+};
 pub use til_vm::{FuncProfile, Stats, VmError};
 
 /// The SML prelude prefixed onto every compilation unit.
@@ -102,6 +104,12 @@ pub struct Options {
     pub jobs: Option<usize>,
     /// Prelude caching level (see [`PreludeCache`]).
     pub prelude_cache: PreludeCache,
+    /// How the collector schedules its work: one stop-the-world pause
+    /// per collection, or bounded incremental slices (see
+    /// [`CollectMode`]). The `TIL_GC_MODE` environment variable
+    /// overrides this at run time. Program results and [`Stats`] are
+    /// identical under every value; only the pause structure differs.
+    pub gc_mode: CollectMode,
 }
 
 impl Options {
@@ -116,6 +124,7 @@ impl Options {
             link: LinkOptions::default(),
             jobs: None,
             prelude_cache: PreludeCache::Elab,
+            gc_mode: CollectMode::StopTheWorld,
         }
     }
 
@@ -169,6 +178,7 @@ impl Options {
             link: LinkOptions::default(),
             jobs: None,
             prelude_cache: PreludeCache::Elab,
+            gc_mode: CollectMode::StopTheWorld,
         }
     }
 
@@ -266,6 +276,9 @@ pub struct Executable {
     /// Echo the runtime spans of profiled runs to stderr (inherited
     /// from the compile's tracing setting).
     trace_echo: bool,
+    /// Collection scheduling (inherited from [`Options::gc_mode`];
+    /// `TIL_GC_MODE` overrides it at run time).
+    gc_mode: CollectMode,
 }
 
 /// A profiled run's observability payload. Every field is a pure
@@ -280,14 +293,39 @@ pub struct RunProfile {
     /// Per-function profiles in code order (plus a trailing
     /// `"(stubs)"` bucket when linker stub code executed).
     pub functions: Vec<FuncProfile>,
-    /// GC pause records, in collection order.
+    /// GC pause records, in collection order. Under
+    /// [`CollectMode::StopTheWorld`] there is exactly one per
+    /// collection; under [`CollectMode::Incremental`] each collection
+    /// cycle contributes one record per slice (slices of one cycle
+    /// share a [`GcPause::cycle`] value).
     pub pauses: Vec<GcPause>,
-    /// Type-indexed heap censuses: one per collection plus an
-    /// exit-time sample (`after_gc: None`).
+    /// Type-indexed heap censuses: one per collection
+    /// ([`CensusWhen::AfterGc`]), at most one mid-run sample for runs
+    /// that never collect ([`CensusWhen::MidRun`]), plus an exit-time
+    /// sample ([`CensusWhen::Exit`]).
     pub censuses: Vec<HeapCensus>,
 }
 
 impl RunProfile {
+    /// The longest pause cost over the run (0 when nothing collected).
+    pub fn max_pause(&self) -> u64 {
+        self.pauses.iter().map(|p| p.pause_cost).max().unwrap_or(0)
+    }
+
+    /// Slice counts per collection cycle, in cycle order. Every entry
+    /// is 1 under [`CollectMode::StopTheWorld`].
+    pub fn cycle_slices(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for p in &self.pauses {
+            let cycle = p.cycle as usize;
+            if out.len() <= cycle {
+                out.resize(cycle + 1, 0);
+            }
+            out[cycle] += 1;
+        }
+        out
+    }
+
     /// The top `k` functions by instructions retired (ties broken by
     /// name, so the ranking is deterministic).
     pub fn top_functions(&self, k: usize) -> Vec<&FuncProfile> {
@@ -318,16 +356,25 @@ impl RunProfile {
                     ("live-words", p.live_words as i64),
                 ],
             });
-            if let Some(c) = self
-                .censuses
-                .iter()
-                .find(|c| c.after_gc == Some(i as u64))
-            {
-                evs.push(census_event(c, at_us(p.at_instr)));
+            // Attach the cycle's census to its last slice (for
+            // stop-the-world pauses, the pause itself).
+            let last_of_cycle = self.pauses.get(i + 1).is_none_or(|q| q.cycle != p.cycle);
+            if last_of_cycle {
+                if let Some(c) = self
+                    .censuses
+                    .iter()
+                    .find(|c| c.after_gc() == Some(p.cycle))
+                {
+                    evs.push(census_event(c, at_us(p.at_instr)));
+                }
             }
         }
-        if let Some(c) = self.censuses.iter().find(|c| c.after_gc.is_none()) {
-            evs.push(census_event(c, at_us(stats.instrs)));
+        for c in &self.censuses {
+            match c.when {
+                CensusWhen::MidRun { at_instr } => evs.push(census_event(c, at_us(at_instr))),
+                CensusWhen::Exit => evs.push(census_event(c, at_us(stats.instrs))),
+                CensusWhen::AfterGc(_) => {}
+            }
         }
         for f in self.top_functions(8) {
             evs.push(TraceEvent {
@@ -366,7 +413,7 @@ fn census_event(c: &HeapCensus, start: f64) -> TraceEvent {
         start,
         seconds: 0.0,
         counters: vec![
-            ("after-gc", c.after_gc.map_or(-1, |i| i as i64)),
+            ("after-gc", c.after_gc().map_or(-1, |i| i as i64)),
             ("record-words", c.classes.record_words as i64),
             ("array-words", c.classes.array_words as i64),
             ("string-words", c.classes.string_words as i64),
@@ -402,8 +449,22 @@ impl Executable {
     /// to stderr when the compile traced); its `Stats` are identical
     /// to an unprofiled run's.
     pub fn run_with(&self, fuel: u64, profile: bool) -> std::result::Result<RunOutcome, VmError> {
+        self.run_with_gc_mode(fuel, profile, CollectMode::from_env().unwrap_or(self.gc_mode))
+    }
+
+    /// Runs under an explicit collection-scheduling mode, ignoring
+    /// both the compile-time [`Options::gc_mode`] and `TIL_GC_MODE`
+    /// (the differential suite uses this to drive one compiled image
+    /// through both modes).
+    pub fn run_with_gc_mode(
+        &self,
+        fuel: u64,
+        profile: bool,
+        gc_mode: CollectMode,
+    ) -> std::result::Result<RunOutcome, VmError> {
         let mut m = self.linked.machine();
         let mut rt = self.linked.runtime();
+        rt.gc.collect_mode = gc_mode;
         if profile {
             m.profiler = Some(Box::new(til_vm::Profiler::new(self.linked.fun_ranges.clone())));
             let fun_code_start = self
@@ -811,6 +872,7 @@ impl Compiler {
             linked,
             info,
             trace_echo,
+            gc_mode: self.opts.gc_mode,
         })
     }
 

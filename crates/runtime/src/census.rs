@@ -86,14 +86,49 @@ impl CensusClasses {
     }
 }
 
-/// One census sample: the heap walked after a collection (or at exit).
+/// Provenance of one census sample — when (and over what region) the
+/// heap was walked. Exported into the benchmark schema so downstream
+/// comparisons (e.g. `census_gap`) can tell an after-collection sample
+/// from an exit-only or mid-run one instead of silently comparing
+/// samples taken under different conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CensusWhen {
+    /// Over to-space right after collection cycle `n` (zero-based),
+    /// with companion-slot rep refinement from that cycle's roots.
+    AfterGc(u64),
+    /// Mid-run, over the allocated heap prefix — taken by the
+    /// runtime's periodic hook so zero-GC runs still record a live
+    /// census instead of only the exit sample. Header classification
+    /// only. `at_instr` is the sample's position on the deterministic
+    /// instruction timeline.
+    MidRun {
+        /// Instructions retired when the sample was taken.
+        at_instr: u64,
+    },
+    /// At program exit, over the resident heap (header classification
+    /// only).
+    Exit,
+}
+
+/// One census sample: the heap walked after a collection, mid-run, or
+/// at exit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HeapCensus {
-    /// Zero-based index of the collection this sample followed, or
-    /// `None` for the exit-time sample over the allocation tail.
-    pub after_gc: Option<u64>,
+    /// When this sample was taken.
+    pub when: CensusWhen,
     /// The bucketed live words.
     pub classes: CensusClasses,
+}
+
+impl HeapCensus {
+    /// Zero-based collection-cycle index for after-GC samples, `None`
+    /// for mid-run and exit samples.
+    pub fn after_gc(&self) -> Option<u64> {
+        match self.when {
+            CensusWhen::AfterGc(n) => Some(n),
+            _ => None,
+        }
+    }
 }
 
 /// Walks the contiguous object region `[base, end)` and buckets every

@@ -15,8 +15,8 @@ pub mod reps;
 pub mod rt;
 pub mod tables;
 
-pub use census::{CensusClasses, HeapCensus, RepClass};
-pub use gc::{Collector, GcPause, GcProfile};
+pub use census::{CensusClasses, CensusWhen, HeapCensus, RepClass};
+pub use gc::{CollectMode, Collector, GcPause, GcProfile, DEFAULT_PAUSE_BUDGET};
 pub use reps::{rep, RepExpr, RtData, RtDataRep};
 pub use rt::{format_real, Rt};
 pub use tables::{FrameInfo, GcMode, GcPoint, GcTables, LocRep, RepLoc};

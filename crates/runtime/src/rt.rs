@@ -291,6 +291,32 @@ enum EvRep<'e> {
 fn m_charge(_m: &Machine) {}
 
 impl Runtime for Rt {
+    /// The store barrier: only active while an incremental collection
+    /// cycle is held open (never the case in integrated runs, where
+    /// `collect` drains its cycle within one safe point).
+    fn pre_store(
+        &mut self,
+        m: &mut Machine,
+        base: u64,
+        addr: u64,
+        val: u64,
+    ) -> Result<u64, VmError> {
+        if self.gc.cycle_active() {
+            return self.gc.barrier_store(m, base, addr, val);
+        }
+        Ok(val)
+    }
+
+    /// Low-frequency observational work: a profiled run that has not
+    /// collected yet records one mid-run heap census, so zero-GC runs
+    /// report a live sample instead of only the exit census.
+    fn periodic(&mut self, m: &mut Machine) -> Result<(), VmError> {
+        if self.gc.profile.is_some() && m.stats.gc_count == 0 && !self.gc.has_midrun_census() {
+            self.gc.midrun_census(m);
+        }
+        Ok(())
+    }
+
     fn rt_call(&mut self, f: RtFn, m: &mut Machine) -> Result<Option<Trap>, VmError> {
         match f {
             RtFn::Gc => {

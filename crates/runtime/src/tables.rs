@@ -40,6 +40,15 @@ pub struct FrameInfo {
     pub ra_offset: u32,
     /// Live traced/computed slots as byte offsets from SP.
     pub slots: Vec<(u32, LocRep)>,
+    /// Offsets among `slots` whose values are provably dead at the
+    /// call instruction itself (call-site descriptors are built from
+    /// liveness *after* the call, so the call's own result slot — and
+    /// nothing else — may legitimately hold garbage while the callee
+    /// walks the stack). The collector ignores this list (its pointer
+    /// filter already makes such slots harmless); the machine-code
+    /// verifier uses it to reject descriptors that claim a dead value
+    /// live.
+    pub dead: Vec<u32>,
 }
 
 /// Everything the collector must know at one GC point.
@@ -70,7 +79,7 @@ impl GcTables {
     /// Approximate byte size of the tables (for the executable-size
     /// comparison, Table 5).
     pub fn byte_size(&self) -> usize {
-        let frame = |f: &FrameInfo| 8 + 6 * f.slots.len();
+        let frame = |f: &FrameInfo| 8 + 6 * f.slots.len() + 4 * f.dead.len();
         self.gc_points
             .values()
             .map(|g| 8 + 6 * g.regs.len() + frame(&g.frame))

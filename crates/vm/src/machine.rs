@@ -152,6 +152,29 @@ pub trait Runtime {
     /// Handles one runtime call. On success the machine continues at
     /// the next instruction; `Ok(Some(trap))` redirects to a trap stub.
     fn rt_call(&mut self, f: RtFn, m: &mut Machine) -> Result<Option<Trap>, VmError>;
+
+    /// Store barrier hook, called before every `St` lands with the
+    /// base-register value (the mutated object for field stores), the
+    /// effective address, and the value; returns the value to store.
+    /// The default is the identity — a runtime with an open incremental
+    /// collection cycle uses this to keep the copy invariants.
+    fn pre_store(
+        &mut self,
+        _m: &mut Machine,
+        _base: u64,
+        _addr: u64,
+        val: u64,
+    ) -> Result<u64, VmError> {
+        Ok(val)
+    }
+
+    /// Periodic hook, called from the machine's low-frequency check
+    /// (every 1024 retired instructions). The default does nothing; the
+    /// runtime uses it for observational work such as the zero-GC
+    /// mid-run heap census. Implementations must not change `Stats`.
+    fn periodic(&mut self, _m: &mut Machine) -> Result<(), VmError> {
+        Ok(())
+    }
 }
 
 /// The machine state.
@@ -316,6 +339,7 @@ impl Machine {
                 if used > self.stats.max_stack_words {
                     self.stats.max_stack_words = used;
                 }
+                rt.periodic(self)?;
             }
             let i = self
                 .code
@@ -413,8 +437,10 @@ impl Machine {
                     }
                 }
                 Instr::St { src, base, off } => {
-                    let addr = self.regs[base as usize].wrapping_add(off as i64 as u64);
+                    let base_v = self.regs[base as usize];
+                    let addr = base_v.wrapping_add(off as i64 as u64);
                     let v = self.regs[src as usize];
+                    let v = rt.pre_store(self, base_v, addr, v)?;
                     self.wr(addr, v)?;
                 }
                 Instr::Mov { dst, src } => {
@@ -451,7 +477,16 @@ impl Machine {
                     self.jump_value(t)?;
                 }
                 Instr::RtCall(rf) => {
-                    if let Some(trap) = rt.rt_call(rf, self)? {
+                    let trap = rt.rt_call(rf, self)?;
+                    if let Some(p) = self.profiler.as_deref_mut() {
+                        // Heap growth inside the runtime call (string
+                        // services) is the runtime's allocation, not
+                        // the interpreted caller's: charge it to the
+                        // profiler's `rt` bucket and re-base so the
+                        // next retired instruction starts clean.
+                        p.note_rt_call(self.regs[regs::HP as usize]);
+                    }
+                    if let Some(trap) = trap {
                         self.trap(trap)?;
                     }
                 }

@@ -77,6 +77,10 @@ pub struct Profiler {
     /// Heap pointer after the previous retire; `u64::MAX` until the
     /// first instruction (and after a collection resets the HP).
     last_hp: u64,
+    /// Heap bytes allocated by runtime services inside `RtCall`s
+    /// (string construction, …) — a distinct bucket so the interpreted
+    /// caller is never charged for the runtime's allocation.
+    rt_alloc_bytes: u64,
 }
 
 impl Profiler {
@@ -91,6 +95,7 @@ impl Profiler {
             opcodes: [0; Instr::NUM_OPCODES],
             cur: n,
             last_hp: u64::MAX,
+            rt_alloc_bytes: 0,
         }
     }
 
@@ -114,12 +119,15 @@ impl Profiler {
     /// index, `hp` the heap pointer as it issues (i.e. after the
     /// *previous* instruction finished executing). Allocation
     /// moves only the HP, so the HP delta between consecutive retires
-    /// is allocation attributed to the previously-current function
-    /// (which covers both open-coded allocation and runtime-service
-    /// allocation performed inside an `RtCall`). The collector re-bases
-    /// the delta via [`note_rt`](Profiler::note_rt) when it flips
-    /// semispaces, so a flip never shows up as allocation; a backwards
-    /// HP move without a re-base is likewise treated as a reset.
+    /// is open-coded allocation attributed to the previously-current
+    /// function. Runtime-service allocation inside an `RtCall` is
+    /// re-based into the `rt` bucket via
+    /// [`note_rt_call`](Profiler::note_rt_call) before the next retire,
+    /// so it is never mischarged to the interpreted caller. The
+    /// collector re-bases the delta via [`note_rt`](Profiler::note_rt)
+    /// when it flips semispaces, so a flip never shows up as
+    /// allocation; a backwards HP move without a re-base is likewise
+    /// treated as a reset.
     pub fn retire(&mut self, pc: usize, instr: &Instr, hp: u64) {
         if self.last_hp != u64::MAX && hp > self.last_hp {
             self.counts[self.cur].alloc_bytes += hp - self.last_hp;
@@ -143,6 +151,20 @@ impl Profiler {
         self.last_hp = hp;
     }
 
+    /// Charges heap growth since the last baseline to the runtime
+    /// (`"(rt)"`) bucket and re-bases. The machine calls this after
+    /// every `RtCall` returns: any HP delta at that point is runtime
+    /// allocation (string services), not the interpreted caller's —
+    /// a collection inside the call already re-based via
+    /// [`note_rt`](Profiler::note_rt), so only post-collection service
+    /// allocation lands here.
+    pub fn note_rt_call(&mut self, hp: u64) {
+        if self.last_hp != u64::MAX && hp > self.last_hp {
+            self.rt_alloc_bytes += hp - self.last_hp;
+        }
+        self.last_hp = hp;
+    }
+
     /// The per-opcode histogram: `(mnemonic, retired)` for every opcode
     /// with a nonzero count, in fixed opcode order.
     pub fn opcode_histogram(&self) -> Vec<(&'static str, u64)> {
@@ -155,7 +177,8 @@ impl Profiler {
     }
 
     /// Per-function profiles in code order, with a trailing
-    /// `"(stubs)"` bucket when any stub instruction retired.
+    /// `"(stubs)"` bucket when any stub instruction retired and a
+    /// trailing `"(rt)"` bucket when runtime services allocated.
     pub fn function_profiles(&self) -> Vec<FuncProfile> {
         let mut out: Vec<FuncProfile> = self
             .ranges
@@ -175,6 +198,13 @@ impl Profiler {
                 instrs: stubs.instrs,
                 alloc_bytes: stubs.alloc_bytes,
                 traps: stubs.traps,
+            });
+        }
+        if self.rt_alloc_bytes > 0 {
+            out.push(FuncProfile {
+                name: "(rt)".into(),
+                alloc_bytes: self.rt_alloc_bytes,
+                ..FuncProfile::default()
             });
         }
         out
@@ -233,6 +263,27 @@ mod tests {
         assert_eq!(funs[1].alloc_bytes, 24);
         assert_eq!(funs.len(), 2); // no stub instructions retired
         assert_eq!(p.opcode_histogram(), vec![("mov", 5)]);
+    }
+
+    #[test]
+    fn rt_call_allocation_lands_in_the_rt_bucket() {
+        let mut p = Profiler::new(ranges());
+        let mov = Instr::Mov {
+            dst: 1,
+            src: Op::I(0),
+        };
+        p.retire(10, &mov, 1000); // main, establishes hp baseline
+        // An RtCall at pc 11 whose string service allocated 32 bytes:
+        // the machine re-bases right after the call returns...
+        p.retire(11, &mov, 1000);
+        p.note_rt_call(1032);
+        // ...so the next retire charges main nothing.
+        p.retire(12, &mov, 1032);
+        let funs = p.function_profiles();
+        assert_eq!(funs[0].name, "main");
+        assert_eq!(funs[0].alloc_bytes, 0);
+        assert_eq!(funs.last().map(|f| f.name.as_str()), Some("(rt)"));
+        assert_eq!(funs.last().map(|f| f.alloc_bytes), Some(32));
     }
 
     #[test]

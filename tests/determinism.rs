@@ -67,6 +67,40 @@ fn output_is_identical_across_jobs_and_cache_state() {
 }
 
 #[test]
+fn gc_mode_changes_neither_the_image_nor_the_run() {
+    // The collection-scheduling mode is a pure runtime knob: compiles
+    // under both option values must produce byte-identical linked
+    // images, and (profile off) the same image must run to identical
+    // output and Stats under both modes — even when collections run.
+    let churn = "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+                 fun churn 0 = 0 | churn k = (length (build (800, nil)) ; churn (k - 1))
+                 val _ = print (Int.toString (churn 40))";
+    let mut stw = opts(PreludeCache::Elab, 1);
+    stw.link.semi_bytes = 64 << 10;
+    let mut inc = stw.clone();
+    inc.gc_mode = til::CollectMode::Incremental {
+        budget: til::DEFAULT_PAUSE_BUDGET,
+    };
+    let exe_stw = Compiler::new(stw).compile(churn).expect("stw compile");
+    let exe_inc = Compiler::new(inc).compile(churn).expect("incremental compile");
+    let fp = |e: &til::Executable| {
+        let l = e.linked();
+        (l.code.clone(), l.tables.clone(), l.image.clone())
+    };
+    assert_eq!(
+        fp(&exe_stw),
+        fp(&exe_inc),
+        "gc_mode leaked into the compiled image"
+    );
+    let out_stw = exe_stw.run_with(2_000_000_000, false).expect("stw run");
+    let out_inc = exe_inc.run_with(2_000_000_000, false).expect("incremental run");
+    assert!(out_stw.stats.gc_count > 0, "test premise: collections ran");
+    assert_eq!(out_stw.output, out_inc.output, "gc_mode changed program output");
+    assert_eq!(out_stw.stats, out_inc.stats, "gc_mode changed Stats");
+    assert_eq!(out_stw.output, "0");
+}
+
+#[test]
 fn elab_and_lmli_caches_agree_with_uncached_compiles() {
     // `Off` rebuilds the prelude every compile through the same split
     // path the caches snapshot, so all three levels must agree with

@@ -16,7 +16,7 @@
 //! reads `TIL_DIFF_SEED` so CI can rotate the corpus per run without
 //! making tier-1 flaky.
 
-use til::{Compiler, LinkOptions, Options};
+use til::{CollectMode, Compiler, LinkOptions, Options, DEFAULT_PAUSE_BUDGET};
 use til_bench::gen::generate;
 
 const SEED: u64 = 0x05ee_d711_0002;
@@ -49,6 +49,28 @@ fn run_config(cfg: &str, opts: Options, seed: u64, src: &str) -> (String, u64) {
     let out = exe.run(2_000_000_000).unwrap_or_else(|e| {
         panic!("seed {seed:#x} [{cfg}]: run failed: {e}\n--- source ---\n{src}")
     });
+    // Every configuration also runs under incremental collection
+    // scheduling on the same compiled image: slicing the collector's
+    // work must never change program results or machine counters.
+    let inc = exe
+        .run_with_gc_mode(
+            2_000_000_000,
+            false,
+            CollectMode::Incremental {
+                budget: DEFAULT_PAUSE_BUDGET,
+            },
+        )
+        .unwrap_or_else(|e| {
+            panic!("seed {seed:#x} [{cfg}/incremental]: run failed: {e}\n--- source ---\n{src}")
+        });
+    assert_eq!(
+        inc.output, out.output,
+        "seed {seed:#x} [{cfg}]: incremental collection changed program output\n--- source ---\n{src}"
+    );
+    assert_eq!(
+        inc.stats, out.stats,
+        "seed {seed:#x} [{cfg}]: incremental collection changed Stats\n--- source ---\n{src}"
+    );
     (out.output, out.stats.gc_count)
 }
 

@@ -298,7 +298,7 @@ fn gc_pause_spans_present_iff_collections_ran() {
         let p = out.profile.expect("profile");
         assert_eq!(out.stats.gc_count, 0, "test premise: no collection");
         assert!(p.pauses.is_empty(), "pause spans without a collection");
-        assert!(p.censuses.iter().any(|c| c.after_gc.is_none()));
+        assert!(p.censuses.iter().any(|c| c.when == til::CensusWhen::Exit));
 
         // The churner: exactly one pause span per collection, in
         // timeline order, each costed like the collector charges.
@@ -334,7 +334,7 @@ fn census_totals_match_the_live_heap_at_every_sample() {
             let c = p
                 .censuses
                 .iter()
-                .find(|c| c.after_gc == Some(i as u64))
+                .find(|c| c.after_gc() == Some(i as u64))
                 .unwrap_or_else(|| panic!("collection {i} has no census"));
             assert_eq!(
                 c.classes.total_words(),
@@ -343,7 +343,11 @@ fn census_totals_match_the_live_heap_at_every_sample() {
                 tagged = if tagged { "tagged" } else { "tag-free" },
             );
         }
-        let exit = p.censuses.iter().find(|c| c.after_gc.is_none()).expect("exit census");
+        let exit = p
+            .censuses
+            .iter()
+            .find(|c| c.when == til::CensusWhen::Exit)
+            .expect("exit census");
         assert_eq!(exit.classes.total_words(), out.stats.final_heap_words);
         let census_max = p.censuses.iter().map(|c| c.classes.total_words()).max().unwrap();
         assert_eq!(census_max, out.stats.max_live_words);
@@ -382,6 +386,134 @@ fn function_and_opcode_attribution_is_exhaustive() {
             assert!(w[0].instrs >= w[1].instrs);
         }
         assert!(top[0].instrs > 0);
+    }
+}
+
+#[test]
+fn incremental_collection_slices_within_budget_and_matches_stop_the_world() {
+    // The same program under both collection-scheduling modes: program
+    // results and Stats must be identical, and the incremental leg
+    // must decompose each collection into budget-bounded slices whose
+    // costs sum to the stop-the-world pause.
+    let budget = 1_000;
+    let mut stw = Options::til();
+    stw.link.semi_bytes = 256 << 10;
+    let mut inc = stw.clone();
+    inc.gc_mode = til::CollectMode::Incremental { budget };
+
+    let exe_stw = Compiler::new(stw).compile(CHURN_SRC).expect("compile");
+    let exe_inc = Compiler::new(inc).compile(CHURN_SRC).expect("compile");
+    let out_stw = exe_stw.run_with(2_000_000_000, true).expect("stw run");
+    let out_inc = exe_inc.run_with(2_000_000_000, true).expect("incremental run");
+    assert_eq!(out_stw.output, out_inc.output, "mode changed program output");
+    assert_eq!(out_stw.stats, out_inc.stats, "mode changed Stats");
+    assert!(out_stw.stats.gc_count > 0, "test premise: collections ran");
+
+    let ps = out_stw.profile.expect("stw profile");
+    let pi = out_inc.profile.expect("incremental profile");
+    assert_eq!(ps.pauses.len() as u64, out_stw.stats.gc_count);
+    assert_eq!(
+        pi.cycle_slices().len() as u64,
+        out_inc.stats.gc_count,
+        "one slice group per collection cycle"
+    );
+    assert!(
+        pi.pauses.len() as u64 > out_inc.stats.gc_count,
+        "the tight budget must actually slice some collection"
+    );
+    for (i, g) in pi.pauses.iter().enumerate() {
+        assert!(
+            g.pause_cost <= budget,
+            "slice {i} cost {} exceeds the budget {budget}",
+            g.pause_cost
+        );
+    }
+    assert!(pi.max_pause() <= budget);
+    assert!(
+        pi.max_pause() < ps.max_pause(),
+        "incremental max pause {} not below stop-the-world's {}",
+        pi.max_pause(),
+        ps.max_pause()
+    );
+    // Slice costs of cycle `c` sum to stop-the-world's pause `c`, and
+    // the cycle census (keyed by cycle, riding on the last slice)
+    // still matches that collection's surviving words.
+    for (c, stw_pause) in ps.pauses.iter().enumerate() {
+        let cycle_cost: u64 = pi
+            .pauses
+            .iter()
+            .filter(|q| q.cycle == c as u64)
+            .map(|q| q.pause_cost)
+            .sum();
+        assert_eq!(cycle_cost, stw_pause.pause_cost, "cycle {c} cost decomposition");
+        let census = pi
+            .censuses
+            .iter()
+            .find(|x| x.after_gc() == Some(c as u64))
+            .unwrap_or_else(|| panic!("cycle {c} has no census"));
+        assert_eq!(census.classes.total_words(), stw_pause.live_words);
+    }
+}
+
+#[test]
+fn zero_gc_profiled_runs_record_a_midrun_census() {
+    // A program that allocates but never collects used to be invisible
+    // to the census between startup and exit. The periodic check now
+    // takes one mid-run sample, marked with its own provenance.
+    let src = "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+               val xs = build (1000, nil)
+               val _ = print (Int.toString (length xs))";
+    for opts in both_modes() {
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let out = exe.run_with(1_000_000_000, true).expect("run");
+        assert_eq!(out.stats.gc_count, 0, "test premise: no collection ran");
+        let p = out.profile.expect("profile");
+        let mids: Vec<_> = p
+            .censuses
+            .iter()
+            .filter(|c| matches!(c.when, til::CensusWhen::MidRun { .. }))
+            .collect();
+        assert_eq!(mids.len(), 1, "exactly one mid-run census in a zero-GC run");
+        let til::CensusWhen::MidRun { at_instr } = mids[0].when else {
+            unreachable!()
+        };
+        assert!(at_instr > 0 && at_instr < out.stats.instrs);
+        assert!(mids[0].classes.total_words() > 0, "mid-run census saw no heap");
+        assert!(
+            p.censuses.iter().any(|c| c.when == til::CensusWhen::Exit),
+            "exit census still present"
+        );
+        // An unprofiled run of the same image reports identical Stats:
+        // the sample is an observer, never a mutation.
+        let off = exe.run_with(1_000_000_000, false).expect("unprofiled run");
+        assert_eq!(off.stats, out.stats);
+    }
+}
+
+#[test]
+fn runtime_string_allocation_lands_in_the_rt_bucket() {
+    // `Int.toString` allocates its result inside the `RtCall`; the
+    // HP-delta attribution used to mischarge those bytes to whichever
+    // interpreted function the pc happened to be in. They now land in
+    // a distinct `(rt)` bucket — and attribution stays exhaustive.
+    let src = "fun go 0 = 0 | go n = (print (Int.toString n) ; go (n - 1))
+               val _ = go 50";
+    for opts in both_modes() {
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let out = exe.run_with(1_000_000_000, true).expect("run");
+        let p = out.profile.expect("profile");
+        let rt = p
+            .functions
+            .iter()
+            .find(|f| f.name == "(rt)")
+            .expect("runtime allocation bucket missing");
+        assert!(rt.alloc_bytes > 0, "string services allocated nothing?");
+        assert_eq!(rt.instrs, 0, "the rt bucket never retires instructions");
+        let fn_alloc: u64 = p.functions.iter().map(|f| f.alloc_bytes).sum();
+        assert_eq!(
+            fn_alloc, out.stats.allocated_bytes,
+            "attribution must stay exhaustive with the rt bucket"
+        );
     }
 }
 
