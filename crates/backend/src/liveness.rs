@@ -4,7 +4,7 @@
 //! ... to avoid tracing pointers that are no longer needed").
 
 use std::collections::{HashMap, HashSet};
-use til_rtl::{Lbl, RInstr, RtlFun, VReg};
+use til_rtl::{RtlFun, VReg};
 
 pub use til_rtl::analysis::{defs, uses};
 
@@ -21,13 +21,12 @@ pub struct Liveness {
 /// is live).
 pub fn liveness(f: &RtlFun) -> Liveness {
     let n = f.instrs.len();
-    // Successors.
-    let mut label_at: HashMap<Lbl, usize> = HashMap::new();
-    for (i, ins) in f.instrs.iter().enumerate() {
-        if let RInstr::Label(l) = ins {
-            label_at.insert(*l, i);
-        }
-    }
+    // Successors — the shared model in `til_rtl::analysis`, which adds
+    // a handler edge from *every* instruction in a protected region
+    // (any of them may raise: calls, traps, plain arithmetic), so
+    // values live only into a handler are live across every potential
+    // raise point and land in listed frame slots.
+    let succ = til_rtl::analysis::successors(f);
     // Rep dependencies: value vreg -> rep vreg.
     let mut rep_dep: HashMap<VReg, VReg> = HashMap::new();
     for (v, r) in &f.reps {
@@ -35,35 +34,7 @@ pub fn liveness(f: &RtlFun) -> Liveness {
             rep_dep.insert(*v, *rv);
         }
     }
-    let succs = |i: usize| -> Vec<usize> {
-        match &f.instrs[i] {
-            RInstr::Br(l) => vec![label_at[l]],
-            RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
-                let mut s = vec![label_at[l]];
-                if i + 1 < n {
-                    s.push(i + 1);
-                }
-                s
-            }
-            RInstr::Ret(_) | RInstr::TailCall { .. } | RInstr::Raise { .. } => vec![],
-            RInstr::PushHandler { lbl, .. } => {
-                // The handler is reachable from anywhere in the
-                // protected region; modelling the edge here is sound.
-                let mut s = vec![label_at[lbl]];
-                if i + 1 < n {
-                    s.push(i + 1);
-                }
-                s
-            }
-            _ => {
-                if i + 1 < n {
-                    vec![i + 1]
-                } else {
-                    vec![]
-                }
-            }
-        }
-    };
+    let succs = |i: usize| -> &[usize] { &succ[i] };
     let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
     let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
     let mut changed = true;
@@ -71,7 +42,7 @@ pub fn liveness(f: &RtlFun) -> Liveness {
         changed = false;
         for i in (0..n).rev() {
             let mut out: HashSet<VReg> = HashSet::new();
-            for s in succs(i) {
+            for &s in succs(i) {
                 out.extend(live_in[s].iter().copied());
             }
             let mut inn = out.clone();

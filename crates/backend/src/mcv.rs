@@ -13,7 +13,19 @@
 //! 1. **Control-flow integrity** — every branch lands inside the
 //!    function, on a function entry (tail call), or on a trap stub;
 //!    every `Jsr` targets a function entry; every load/store base is a
-//!    provably plausible pointer class.
+//!    provably plausible pointer class; every `Lea` (a handler
+//!    install) targets a block inside the function.
+//!
+//!    Handler targets are legal join points with their own flow rule:
+//!    from the installing `Lea` to the uninstalling `Ld EXN ← 0(EXN)`
+//!    the verifier keeps an abstract stack of active handlers, and
+//!    *every* instruction in the protected region flows its machine
+//!    state into each active handler entry (any of them may raise —
+//!    calls, arithmetic traps, runtime services). Registers are
+//!    clobbered and the packet lands traced in r0, but the frame is
+//!    carried over verbatim, so a slot live into a handler must arrive
+//!    initialized and collector-covered — Stale or Uninit there is
+//!    flagged exactly like on a fall-through path.
 //! 2. **Calling convention** — argument and result registers carry the
 //!    rep classes the callee's signature demands ([`FunSig`], derived
 //!    from the RTL rep annotations and threaded through `emit`), the
@@ -107,6 +119,19 @@ pub fn join(a: Abs, b: Abs) -> Abs {
     }
 }
 
+/// One installed exception handler, tracked abstractly: the `Lea` of
+/// the handler-entry address marks the install (the record stores and
+/// the EXN update follow within a few non-trapping instructions), and
+/// the `Ld EXN ← 0(EXN)` of `PopHandler` — or of a raise sequence —
+/// uninstalls the innermost one.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HandlerCtx {
+    /// Handler entry pc (the `Lea` target).
+    target: u32,
+    /// SP delta at install time — what a raise restores SP to.
+    delta: Option<i64>,
+}
+
 /// Abstract machine state at one program point.
 #[derive(Clone, PartialEq)]
 struct State {
@@ -125,6 +150,11 @@ struct State {
     /// The last constant header stored to `0(HP)`, for record-field
     /// mask checks.
     cur_header: Option<u64>,
+    /// Active in-function handlers, innermost last. Joins keep the
+    /// longest common prefix (a merge point reached with different
+    /// handler stacks keeps only the handlers installed on *both*
+    /// paths).
+    handlers: Vec<HandlerCtx>,
 }
 
 impl State {
@@ -165,6 +195,16 @@ impl State {
         }
         if self.cur_header != other.cur_header && self.cur_header.is_some() {
             self.cur_header = None;
+            changed = true;
+        }
+        let common = self
+            .handlers
+            .iter()
+            .zip(other.handlers.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if common < self.handlers.len() {
+            self.handlers.truncate(common);
             changed = true;
         }
         changed
@@ -313,6 +353,7 @@ impl<'a> Fun<'a> {
             frame_default: Abs::Uninit,
             delta: Some(0),
             cur_header: None,
+            handlers: Vec::new(),
         };
         for (i, p) in self.sig.params.iter().enumerate() {
             if i < regs::NUM_ARGS {
@@ -324,21 +365,27 @@ impl<'a> Fun<'a> {
         st
     }
 
-    /// State on entry to an exception-handler block: the raise restored
-    /// SP to its push-time value and popped EXN; everything else —
-    /// including every frame slot — is unknown, except the packet in
-    /// r0.
-    fn handler_state(&self, delta: Option<i64>) -> State {
-        let mut st = State {
+    /// State on entry to the handler at `depth` of `st.handlers`, as
+    /// seen from a raise at the program point owning `st`: the raise
+    /// restored SP to its install-time delta, popped the handler (and
+    /// everything inside it), clobbered the registers — the raising
+    /// path may be arbitrarily deep — and delivered the packet in r0.
+    /// The *frame* is carried over verbatim: a raise never rewrites the
+    /// protecting frame's slots, so whatever the region's tables did to
+    /// them (including leaving a live pointer Stale at an uncovered
+    /// safe point) is exactly what the handler observes.
+    fn handler_entry_state(&self, st: &State, depth: usize) -> State {
+        let mut hs = State {
             regs: [Abs::Any; 32],
-            frame: BTreeMap::new(),
-            frame_default: Abs::Any,
-            delta,
+            frame: st.frame.clone(),
+            frame_default: st.frame_default,
+            delta: st.handlers[depth].delta,
             cur_header: None,
+            handlers: st.handlers[..depth].to_vec(),
         };
-        st.regs[0] = Abs::Traced;
-        st.regs[regs::EXN as usize] = Abs::Handler;
-        st
+        hs.regs[0] = Abs::Traced;
+        hs.regs[regs::EXN as usize] = Abs::Handler;
+        hs
     }
 
     fn fail(&self, pc: u32, st: &State, msg: &str) -> Diagnostic {
@@ -436,6 +483,19 @@ impl<'a> Fun<'a> {
                     break;
                 }
                 let flow = self.step(pc, &mut st)?;
+                // Any instruction of a protected region may raise —
+                // calls raise out of callees, arithmetic traps to a
+                // stub, runtime services raise Domain/Size — so the
+                // state at every point flows into every active handler
+                // entry. Handler entries thus join *real* frame
+                // states: a slot the region's tables stopped covering
+                // arrives Stale and is flagged at its first
+                // handler-side use or table claim, instead of being
+                // washed out by an all-⊤ seed.
+                for depth in 0..st.handlers.len() {
+                    let hs = self.handler_entry_state(&st, depth);
+                    self.flow_to(st.handlers[depth].target, &hs);
+                }
                 match flow {
                     Flow::Fall => pc += 1,
                     Flow::CondBranch(t) => {
@@ -511,6 +571,13 @@ impl<'a> Fun<'a> {
             }
             Instr::Ld { dst, base, off } => {
                 let cls = self.load(pc, st, base, off)?;
+                // `Ld EXN ← 0(EXN)` restores the saved handler chain:
+                // `PopHandler`, or the unwind step of a raise
+                // sequence. Either way the innermost handler is no
+                // longer installed.
+                if dst == regs::EXN && base == regs::EXN && off == 0 {
+                    st.handlers.pop();
+                }
                 self.write_reg(pc, st, dst, cls)?;
                 Ok(Flow::Fall)
             }
@@ -526,11 +593,14 @@ impl<'a> Fun<'a> {
                         &format!("lea target {target} outside the function"),
                     ));
                 }
-                // A Lea target is a handler entry: seed its block with
-                // the post-raise state (SP restored to the push-time
-                // delta, every slot unknown).
-                let hs = self.handler_state(st.delta);
-                self.flow_to(target, &hs);
+                // A Lea target is a handler entry: the handler is
+                // installed from here (the record stores and the EXN
+                // update that follow cannot trap). Every subsequent
+                // point flows its state into the entry — see `run`.
+                st.handlers.push(HandlerCtx {
+                    target,
+                    delta: st.delta,
+                });
                 self.write_reg(pc, st, dst, Abs::Code)?;
                 Ok(Flow::Fall)
             }

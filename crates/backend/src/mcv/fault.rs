@@ -20,7 +20,13 @@
 //! * `claim-dead-live` — a call-site descriptor drops its dead-slot
 //!   marks, claiming the call's uninitialized result slot holds a
 //!   live value (the blanket Uninit/Stale tolerance the verifier used
-//!   to extend to *every* listed slot masked exactly this corruption).
+//!   to extend to *every* listed slot masked exactly this corruption);
+//! * `drop-handler-edge` — a call site inside a protected region loses
+//!   a traced slot the handler depends on (the collector stops
+//!   updating it across the call, so the raise path reads a stale
+//!   pointer), or — when no slot tables exist, as in the tagged
+//!   baseline — the handler-install `Lea` is retargeted into another
+//!   function's interior (the handler branch of the CFI check).
 //!
 //! Arm programmatically with [`break_emit`] (guard-scoped) or
 //! externally with the `TIL_BREAK_EMIT` environment variable. The
@@ -32,13 +38,14 @@ use til_runtime::{GcTables, LocRep};
 use til_vm::{regs, Alu, FuncRange, Instr, Op};
 
 /// Every fault name [`apply_armed`] understands.
-pub const FAULTS: [&str; 6] = [
+pub const FAULTS: [&str; 7] = [
     "swap-spill-slot",
     "drop-gc-entry",
     "retarget-branch",
     "clobber-sp",
     "drop-call-site",
     "claim-dead-live",
+    "drop-handler-edge",
 ];
 
 static ARMED: Mutex<Option<String>> = Mutex::new(None);
@@ -107,6 +114,7 @@ pub fn apply_armed(code: &mut [Instr], tables: &mut GcTables, fun_ranges: &[Func
         "clobber-sp" => clobber_sp(code, fun_ranges),
         "drop-call-site" => drop_call_site(code, tables),
         "claim-dead-live" => claim_dead_live(tables),
+        "drop-handler-edge" => drop_handler_edge(code, tables, fun_ranges),
         _ => None,
     };
     if let Some(pc) = landed {
@@ -139,14 +147,14 @@ fn swap_spill_slot(tables: &mut GcTables) -> Option<u32> {
 }
 
 /// Removes one traced entry from a GC point — preferring a frame slot
-/// that (a) the call-site descriptor at the return address also lists
-/// as genuinely live across the call, and (b) stays listed at a later
-/// GC point of the same function. Such a slot carries a dynamic heap
-/// value threaded through an allocating loop (a toplevel frame slot
-/// may merely hold a pointer into static data, which the collector
-/// never moves — dropping its entry is unobservable), so the slot the
-/// table stops covering goes stale and the loss is caught at a
-/// downstream check or use.
+/// in a non-toplevel function that (a) the call-site descriptor at the
+/// return address also lists as genuinely live across the call, and
+/// (b) stays listed at a later GC point of the same function. Such a
+/// slot carries a dynamic heap value threaded through an allocating
+/// loop (a toplevel frame slot may hold a pointer into static data or
+/// a value the verifier only knows as ⊤, so dropping its entry can be
+/// unobservable), so the slot the table stops covering goes stale and
+/// the loss is caught at a downstream check or use.
 fn drop_gc_entry(tables: &mut GcTables, fun_ranges: &[FuncRange]) -> Option<u32> {
     let mut pcs: Vec<u32> = tables.gc_points.keys().copied().collect();
     pcs.sort_unstable();
@@ -156,7 +164,16 @@ fn drop_gc_entry(tables: &mut GcTables, fun_ranges: &[FuncRange]) -> Option<u32>
             .find(|r| r.start <= pc && pc < r.end)
             .map_or(0, |r| r.end)
     };
+    // The entry function (lowest code range) is the toplevel.
+    let entry_start = fun_ranges.iter().map(|r| r.start).min().unwrap_or(0);
+    let entry_end = fun_ranges
+        .iter()
+        .find(|r| r.start == entry_start)
+        .map_or(0, |r| r.end);
     for &pc in &pcs {
+        if pc >= entry_start && pc < entry_end {
+            continue;
+        }
         let Some(cs) = tables.call_sites.get(&(pc + 1)) else {
             continue;
         };
@@ -260,6 +277,82 @@ fn claim_dead_live(tables: &mut GcTables) -> Option<u32> {
             fi.dead.clear();
             // The check fires at the call instruction itself.
             return Some(pc - 1);
+        }
+    }
+    None
+}
+
+/// Breaks a handler edge. Preferred flavor: a call site inside a
+/// protected region (between a handler-install `Lea` and its target)
+/// loses a traced, genuinely-live slot that is also listed at a table
+/// entry at or past the handler entry — the collector stops updating
+/// the slot across the call, so on the raise path the handler reads a
+/// pointer the tables left stale, and the verifier flags the first
+/// downstream claim or use. Fallback (the tagged baseline keeps no
+/// slot tables): retarget the handler-install `Lea` into another
+/// function's interior, tripping the CFI check at exactly the seeded
+/// pc.
+fn drop_handler_edge(
+    code: &mut [Instr],
+    tables: &mut GcTables,
+    fun_ranges: &[FuncRange],
+) -> Option<u32> {
+    // Handler regions: (install pc, handler entry, function end).
+    let mut regions: Vec<(u32, u32, u32)> = Vec::new();
+    for r in fun_ranges {
+        for pc in r.start..r.end {
+            if let Instr::Lea { target, .. } = code[pc as usize] {
+                if target > pc && target < r.end {
+                    regions.push((pc, target, r.end));
+                }
+            }
+        }
+    }
+    // The preferred flavor skips the toplevel (lowest code range):
+    // its slots often hold static data the verifier classes as
+    // constants, which a missed collector update cannot disturb.
+    let entry_start = fun_ranges.iter().map(|r| r.start).min().unwrap_or(0);
+    let entry_end = fun_ranges
+        .iter()
+        .find(|r| r.start == entry_start)
+        .map_or(0, |r| r.end);
+    for &(lea, target, end) in &regions {
+        if lea >= entry_start && lea < entry_end {
+            continue;
+        }
+        for pc in lea..target {
+            if !matches!(code[pc as usize], Instr::Jsr(_) | Instr::JsrR(_)) {
+                continue;
+            }
+            let Some(fi) = tables.call_sites.get(&(pc + 1)) else {
+                continue;
+            };
+            let listed_from_handler = |o: u32| {
+                tables.gc_points.iter().any(|(&q, g)| {
+                    q >= target && q < end && g.frame.slots.iter().any(|(so, _)| *so == o)
+                }) || tables.call_sites.iter().any(|(&q, f)| {
+                    q > target && q <= end && f.slots.iter().any(|(so, _)| *so == o)
+                })
+            };
+            let at = fi.slots.iter().position(|(o, rep)| {
+                matches!(rep, LocRep::Trace) && !fi.dead.contains(o) && listed_from_handler(*o)
+            });
+            if let Some(at) = at {
+                tables.call_sites.get_mut(&(pc + 1)).unwrap().slots.remove(at);
+                return Some(pc);
+            }
+        }
+    }
+    for &(lea, _, _) in &regions {
+        let me = fun_ranges.iter().find(|r| r.start <= lea && lea < r.end)?;
+        if let Some(victim) = fun_ranges
+            .iter()
+            .find(|v| v.start != me.start && v.end - v.start >= 2)
+        {
+            if let Instr::Lea { target, .. } = &mut code[lea as usize] {
+                *target = victim.start + 1;
+                return Some(lea);
+            }
         }
     }
     None

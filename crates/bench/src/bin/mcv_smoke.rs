@@ -24,7 +24,11 @@ use til_backend::mcv::fault;
 /// functions give the branch retargeter a victim; `pairup` holds the
 /// result of one non-inlined call in a frame slot across a second
 /// call, so at least one call-site descriptor carries a dead-slot
-/// mark for `claim-dead-live` to erase.
+/// mark for `claim-dead-live` to erase; `shield` keeps a list slotted
+/// across a protected call that raises and reads it back in the
+/// handler — across a handler-side call, so the slot is listed in
+/// tables on both sides of the handler edge and `drop-handler-edge`
+/// has its preferred site.
 const PROBE: &str = "
     fun build (n, acc) = if n = 0 then acc else build (n - 1, n :: acc)
     fun sum (xs, a) =
@@ -38,8 +42,17 @@ const PROBE: &str = "
         let val xs = build (n, nil)
             val ys = build (n + 1, nil)
         in sum (xs, sum (ys, 0)) end
+    fun boomy n =
+        if n = 0 then raise Fail \"deep\"
+        else sum (build (n, nil), 0) + boomy (n - 1)
+    fun shield n =
+        let val keep = build (n, nil)
+            val got = (boomy n) handle Fail _ => sum (keep, 0) + sum (keep, 1)
+        in if n = 0 then got else got + shield (n - 1) end
     val _ = print (shout (6, \"\"))
     val _ = print (Int.toString (pairup 4))
+    val _ = print \"-\"
+    val _ = print (Int.toString (shield 5))
     val _ = print \"\\n\"
 ";
 
@@ -59,7 +72,7 @@ fn check_clean(mode: &str) {
         Ok(exe) => {
             let out = exe.run(1_000_000_000).expect("probe must run");
             assert!(
-                out.output.contains("21"),
+                out.output.contains("25-76"),
                 "[{mode}] probe output wrong: {:?}",
                 out.output
             );
@@ -139,9 +152,10 @@ fn main() {
     }
     // Tagged baseline has no call-site descriptors (the collector
     // scans the whole stack by tag), so only the code-level faults
-    // apply.
+    // apply — `drop-handler-edge` takes its CFI fallback there
+    // (retargeting the handler-install Lea out of the function).
     check_clean("baseline");
-    for name in ["retarget-branch", "clobber-sp"] {
+    for name in ["retarget-branch", "clobber-sp", "drop-handler-edge"] {
         check_fault("baseline", name);
     }
     println!("mcv-fault smoke: all cases pass");

@@ -1,9 +1,10 @@
 //! Typed program generator for differential testing.
 //!
-//! Generates well-typed core-SML programs by construction: every
-//! program contains a randomized instance of each language feature the
-//! differential suite must exercise — recursive, mutually recursive
-//! (`fun f ... and g ...`), and curried functions,
+//! Generates well-typed core-SML programs by construction, in three
+//! [`Class`]es. [`Class::Mixed`] (the default, what [`generate`]
+//! produces) contains a randomized instance of each broad language
+//! feature the differential suite must exercise — recursive, mutually
+//! recursive (`fun f ... and g ...`), and curried functions,
 //! tuples, polymorphic functions instantiated at int/real/tuple types
 //! (forcing typecase-specialized array access through the polymorphic
 //! `count` helper), bounds-checked array reads including a
@@ -11,9 +12,29 @@
 //! recursive constructors (a polymorphic search tree and an expression
 //! evaluator, putting recursive traced pointers into spill slots), and
 //! a list-churn loop that allocates enough short-lived heap to force
-//! collections under a small semispace. The program prints a single integer
-//! checksum, so any two compilations can be compared by output alone —
-//! the O0 compile is the oracle; no Rust-side evaluator is needed.
+//! collections under a small semispace.
+//!
+//! [`Class::Exceptions`] stresses handler-crossing control flow: user
+//! exceptions with int, string, and tuple payloads, raises unwinding
+//! non-tail frames, values live *only* into a handler (the shape that
+//! flushed out the handler-edge GC-liveness bug), nested handlers with
+//! re-raises, hardware traps (`Div`) and SML-level raises
+//! (`Subscript`) recovered in a loop, exceptions flowing out of
+//! datatype dispatch, and heap churn inside a protected region so
+//! collections run with a handler installed.
+//!
+//! [`Class::Strings`] keeps the runtime string services busy:
+//! concat-builders, `Int.toString` traffic, `implode`/`explode`/
+//! `substring` round trips, `String.concat`/`String.compare` over
+//! built lists, a `Subscript`-handled out-of-bounds `String.sub`, and
+//! long-lived strings held across collections — so the census
+//! `string` row and the profiler's `(rt)` allocation bucket carry
+//! real traffic.
+//!
+//! Every program prints a deterministic checksum (the string class
+//! also prints a string slice), so any two compilations can be
+//! compared by output alone — the O0 compile is the oracle; no
+//! Rust-side evaluator is needed.
 
 use crate::rng::Rng;
 
@@ -23,6 +44,35 @@ pub struct Generated {
     pub seed: u64,
     /// Core-SML source text.
     pub source: String,
+}
+
+/// Which feature mix a generated program emphasizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// The broad feature mix (recursion, currying, polymorphism,
+    /// arrays, datatypes, heap churn). What [`generate`] produces.
+    Mixed,
+    /// Raise/handle-heavy programs: payload-carrying user exceptions,
+    /// deep raises, handler-crossing liveness, nested handlers,
+    /// recovered traps, churn inside protected regions.
+    Exceptions,
+    /// String-heavy programs: runtime string services, long-lived
+    /// strings across collections, string contents in the output.
+    Strings,
+}
+
+impl Class {
+    /// Every generator class, in rotation order.
+    pub const ALL: [Class; 3] = [Class::Mixed, Class::Exceptions, Class::Strings];
+
+    /// Short name for test labels and CI logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Mixed => "mixed",
+            Class::Exceptions => "exceptions",
+            Class::Strings => "strings",
+        }
+    }
 }
 
 /// An integer literal in SML spelling (`~` for the unary minus).
@@ -81,15 +131,38 @@ fn real_lit(r: &mut Rng) -> String {
     }
 }
 
-/// Generates one program from `seed`.
+/// Generates one [`Class::Mixed`] program from `seed`.
 pub fn generate(seed: u64) -> Generated {
-    let r = &mut Rng::new(seed);
-    let mut s = String::new();
-    let mut push = |line: String| {
-        s.push_str(&line);
-        s.push('\n');
-    };
+    generate_class(seed, Class::Mixed)
+}
 
+/// Generates one program of `class` from `seed`. The classes draw
+/// from decorrelated random streams, so `Exceptions` seed `n` shares
+/// nothing with `Mixed` seed `n`.
+pub fn generate_class(seed: u64, class: Class) -> Generated {
+    let salt = match class {
+        Class::Mixed => 0,
+        Class::Exceptions => 0x5eed_ec5e_0000_0001,
+        Class::Strings => 0x5eed_57f2_0000_0002,
+    };
+    let r = &mut Rng::new(seed ^ salt);
+    let mut s = String::new();
+    {
+        let mut push = |line: String| {
+            s.push_str(&line);
+            s.push('\n');
+        };
+        match class {
+            Class::Mixed => gen_mixed(r, &mut push),
+            Class::Exceptions => gen_exceptions(r, &mut push),
+            Class::Strings => gen_strings(r, &mut push),
+        }
+    }
+    Generated { seed, source: s }
+}
+
+/// The broad feature mix (see the module doc).
+fn gen_mixed(r: &mut Rng, push: &mut dyn FnMut(String)) {
     // --- Recursive accumulation (tail recursion, linear growth).
     let loop_iters = r.range(8, 40);
     push(format!(
@@ -276,8 +349,226 @@ pub fn generate(seed: u64) -> Generated {
          + poly_chk + arr_chk + tree_chk + expr_chk + churn_chk + {}))",
         int_expr(r, &[], 3)
     ));
+}
 
-    Generated { seed, source: s }
+/// Raise/handle-heavy programs (see the module doc).
+fn gen_exceptions(r: &mut Rng, push: &mut dyn FnMut(String)) {
+    // User exceptions with int, string, and tuple payloads — the
+    // payloads are first-class values crossing handler edges.
+    push("exception Bail of int".to_string());
+    push("exception Msg of string".to_string());
+    push("exception Pair of int * int".to_string());
+    push("fun build (n, acc) = if n <= 0 then acc else build (n - 1, n :: acc)".to_string());
+    push(
+        "fun sum (xs, a) = case xs of nil => a | x :: rest => sum (rest, a + x)"
+            .to_string(),
+    );
+
+    // --- A raise unwinding non-tail frames (each level has a pending
+    // add), with `keep` live *only* into the handler: the exact
+    // handler-crossing GC-liveness shape, under heap pressure from
+    // the list it must keep.
+    let deep_n = r.range(5, 14);
+    push(format!(
+        "fun deep n = if n <= 0 then raise Bail {} else deep (n - 1) + {}",
+        r.range(2, 30),
+        int_expr(r, &["n"], 2)
+    ));
+    push(format!(
+        "fun guard n = \
+         let val keep = build (n + {}, nil) \
+         in (deep n) handle Bail k => k + sum (keep, 0) | Msg s => size s end",
+        r.range(2, 8)
+    ));
+    push(format!("val guard_chk = guard {deep_n}"));
+
+    // --- A string payload grown across the raising recursion and
+    // consumed in the handler (string allocation inside a protected
+    // region, a string value across the handler edge).
+    let shout_n = r.range(3, 9);
+    push(format!(
+        "fun shout (n, s) = if n <= 0 then raise Msg s \
+         else shout (n - 1, s ^ Int.toString (n * {}))",
+        r.range(1, 7)
+    ));
+    push(format!(
+        "val msg_chk = (shout ({shout_n}, \"g\")) \
+         handle Msg s => size s + ord (String.sub (s, 0))"
+    ));
+
+    // --- Nested handlers with a re-raise: the inner handler catches a
+    // tuple payload and conditionally raises a different exception
+    // caught by the outer handler.
+    let flip_gate = r.range(2, 10);
+    let flip_add = r.range(1, 20);
+    let flip_cut = r.range(6, 28);
+    push(format!(
+        "fun flip n = \
+         ((if n > {flip_gate} then raise Pair (n, n + {flip_add}) else n * 3) \
+         handle Pair (a, b) => if a + b > {flip_cut} then raise Bail (a - b) else a * b) \
+         handle Bail k => k + {}",
+        r.range(0, 12)
+    ));
+    push("fun flips (n, acc) = if n <= 0 then acc else flips (n - 1, acc + flip n)".to_string());
+    push(format!("val nest_chk = flips ({}, 0)", r.range(5, 16)));
+
+    // --- Recovered traps in a loop: `div 0` is a hardware trap
+    // (exactly one iteration hits the zero divisor), and the short
+    // array turns the head of the loop into SML-level `Subscript`
+    // raises from the prelude's bounds check.
+    let trips_n = r.range(6, 14);
+    let div_at = r.range(1, trips_n);
+    push(format!(
+        "val tarr = Array.array ({}, {})",
+        r.range(2, 6),
+        r.range(1, 9)
+    ));
+    push(format!(
+        "fun trips (n, acc) = if n <= 0 then acc \
+         else trips (n - 1, acc + ((100 div (n - {div_at})) handle Div => ~1) \
+         + (Array.sub (tarr, n) handle Subscript => 1))"
+    ));
+    push(format!("val trap_chk = trips ({trips_n}, 0)"));
+
+    // --- Exceptions out of datatype dispatch: a case arm raises, the
+    // driver recovers per element.
+    let quick_cut = r.range(2, 12);
+    push("datatype job = Quick of int | Slow of int * int".to_string());
+    push(format!(
+        "fun run j = case j of \
+         Quick x => if x < {quick_cut} then raise Bail (x + 1) else x \
+         | Slow (a, b) => if a = b then raise Pair (a, b) else a * b - {}",
+        r.range(0, 9)
+    ));
+    push(
+        "fun sched (js, acc) = case js of nil => acc \
+         | j :: rest => sched (rest, acc + (run j handle Bail k => k | Pair (a, b) => a + b))"
+            .to_string(),
+    );
+    let jobs: Vec<String> = (0..r.range(4, 8))
+        .map(|_| {
+            if r.chance(1, 2) {
+                format!("Quick ({})", sml_int(r.range(-6, 18)))
+            } else {
+                format!("Slow ({}, {})", r.range(0, 9), r.range(0, 9))
+            }
+        })
+        .collect();
+    push(format!("val job_chk = sched ([{}], 0)", jobs.join(", ")));
+
+    // --- Heap churn inside a protected region: collections run with
+    // a handler installed, and one iteration raises out of the middle
+    // of the allocating expression.
+    let churn_len = r.range(24, 72);
+    let churn_iters = r.range(24, 72);
+    let raise_at = r.range(1, churn_iters);
+    push(format!(
+        "fun churn (n, acc) = if n <= 0 then acc \
+         else churn (n - 1, acc + ((sum (build ({churn_len}, nil), 0) \
+         + (if n = {raise_at} then raise Msg \"gc\" else 0)) \
+         handle Msg s => size s))"
+    ));
+    push(format!("val churn_chk = churn ({churn_iters}, 0)"));
+
+    // --- The checksum.
+    push(format!(
+        "val _ = print (Int.toString (guard_chk + msg_chk + nest_chk \
+         + trap_chk + job_chk + churn_chk + {}))",
+        int_expr(r, &[], 3)
+    ));
+}
+
+/// String-heavy programs (see the module doc).
+fn gen_strings(r: &mut Rng, push: &mut dyn FnMut(String)) {
+    push("fun build (n, acc) = if n <= 0 then acc else build (n - 1, n :: acc)".to_string());
+    push(
+        "fun sum (xs, a) = case xs of nil => a | x :: rest => sum (rest, a + x)"
+            .to_string(),
+    );
+    // Concat-builders: every `^` and `Int.toString` is an `RtCall`
+    // into the runtime string services (the `(rt)` profiler bucket).
+    push("fun rep (n, s, acc) = if n <= 0 then acc else rep (n - 1, s, acc ^ s)".to_string());
+    push(format!(
+        "fun spell (n, acc) = if n <= 0 then acc \
+         else spell (n - 1, Int.toString (n * {}) ^ \".\" ^ acc)",
+        r.range(1, 9)
+    ));
+    // An order-sensitive rolling checksum over characters, kept small
+    // by `mod` so it never overflows.
+    push(
+        "fun csum (cs, a) = case cs of nil => a \
+         | c :: rest => csum (rest, (a * 7 + ord c) mod 9973)"
+            .to_string(),
+    );
+    let keep_n = r.range(6, 20);
+    let rep_n = r.range(4, 12);
+    let rep_lit = ["ab", "xyz", "q-", "##", "lo"][r.range(0, 5) as usize];
+    push(format!(
+        "val keeper = spell ({keep_n}, \"{}\")",
+        ["", "end", "z"][r.range(0, 3) as usize]
+    ));
+    push(format!("val reps = rep ({rep_n}, \"{rep_lit}\", \"\")"));
+    push("val blend_chk = csum (explode (keeper ^ reps), 0)".to_string());
+    // implode/explode round trip and an in-bounds substring slice
+    // (`keeper` holds at least two characters per `spell` level, so
+    // the slice bounds are always inside it).
+    let sub_at = r.range(0, 3);
+    let sub_len = r.range(1, keep_n);
+    push(format!(
+        "val round_chk = size (implode (explode keeper)) \
+         + csum (explode (substring (keeper, {sub_at}, {sub_len})), 1)"
+    ));
+    // Char-level access, including an out-of-bounds read recovered
+    // from the runtime's hardware `Subscript` trap.
+    push(format!(
+        "val pick_chk = ord (String.sub (reps, {})) \
+         + ((ord (String.sub (keeper, size keeper + {}))) handle Subscript => {}) \
+         + ord (String.sub (str (chr {}), 0))",
+        r.range(0, rep_n),
+        r.range(1, 6),
+        r.range(0, 50),
+        r.range(48, 123)
+    ));
+    // String.concat/String.compare over a mapped list of rendered ints.
+    push(format!(
+        "val joined = String.concat (map (fn n => Int.toString n ^ \"{}\") \
+         (build ({}, nil)))",
+        ["/", ";", ","][r.range(0, 3) as usize],
+        r.range(4, 16)
+    ));
+    push(
+        "val cat_chk = size joined \
+         + (case String.compare (keeper, joined) of LESS => 1 | EQUAL => 2 | GREATER => 3) \
+         + (if Char.isDigit (String.sub (joined, 0)) then 1 else 0)"
+            .to_string(),
+    );
+    // Heap churn with per-iteration `Int.toString` allocation: the
+    // long-lived `keeper`/`reps`/`joined` strings survive the
+    // collections this forces, so every census taken at a pause sees
+    // a non-empty `string` class.
+    let churn_len = r.range(24, 72);
+    let churn_iters = r.range(24, 72);
+    push(format!(
+        "fun churn (n, acc) = if n <= 0 then acc \
+         else churn (n - 1, acc + sum (build ({churn_len}, nil), 0) \
+         + size (Int.toString (n * {})))",
+        r.range(1, 99)
+    ));
+    push(format!("val churn_chk = churn ({churn_iters}, 0)"));
+
+    // --- The checksum, plus a string slice printed directly so the
+    // differential comparison covers string *contents*, not just
+    // numbers derived from them.
+    push(format!(
+        "val _ = print (Int.toString (blend_chk + round_chk + pick_chk \
+         + cat_chk + churn_chk + size keeper + {}))",
+        int_expr(r, &[], 2)
+    ));
+    push("val _ = print \"|\"".to_string());
+    push(format!(
+        "val _ = print (substring (keeper, 0, {}))",
+        r.range(1, 6)
+    ));
 }
 
 #[cfg(test)]
@@ -287,10 +578,48 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(generate(99).source, generate(99).source);
+        for class in Class::ALL {
+            assert_eq!(
+                generate_class(7, class).source,
+                generate_class(7, class).source
+            );
+        }
     }
 
     #[test]
     fn programs_vary_with_the_seed() {
         assert_ne!(generate(1).source, generate(2).source);
+    }
+
+    #[test]
+    fn classes_produce_distinct_programs() {
+        let mixed = generate_class(5, Class::Mixed).source;
+        let exns = generate_class(5, Class::Exceptions).source;
+        let strs = generate_class(5, Class::Strings).source;
+        assert_ne!(mixed, exns);
+        assert_ne!(exns, strs);
+    }
+
+    #[test]
+    fn exception_class_raises_and_handles() {
+        for seed in 0..8 {
+            let src = generate_class(seed, Class::Exceptions).source;
+            assert!(src.contains("raise"), "seed {seed}: no raise\n{src}");
+            assert!(src.contains("handle"), "seed {seed}: no handle\n{src}");
+            assert!(
+                src.contains("exception"),
+                "seed {seed}: no exception dec\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_class_is_string_heavy() {
+        for seed in 0..8 {
+            let src = generate_class(seed, Class::Strings).source;
+            for needle in ["^", "Int.toString", "explode", "substring", "String.compare"] {
+                assert!(src.contains(needle), "seed {seed}: no {needle}\n{src}");
+            }
+        }
     }
 }

@@ -1,8 +1,74 @@
-//! Instruction-level use/def facts for RTL. The backend's dataflow
-//! (liveness, register allocation) and the RTL verifier both consume
-//! these, so they live with the IR rather than in the backend.
+//! Instruction-level use/def facts and the control-flow successor
+//! model for RTL. The backend's dataflow (liveness, register
+//! allocation) and the RTL verifier both consume these, so they live
+//! with the IR rather than in the backend.
 
-use crate::ir::{CallTarget, HeadSpec, RInstr, ROp, VReg};
+use crate::ir::{CallTarget, HeadSpec, Lbl, RInstr, ROp, RtlFun, VReg};
+use std::collections::HashMap;
+
+/// Per-instruction successors, including handler edges.
+///
+/// A `PushHandler { lbl }` protects the lexical region up to the
+/// handler's `Label` (the lowering always places the handler entry
+/// after the whole protected body, and nested handles nest lexically).
+/// *Every* instruction in that region gets an edge to the handler
+/// label: calls raise out of callees, `Raise` jumps there directly,
+/// `TrapIf` and plain arithmetic trap at run time (overflow, divide),
+/// and `RtCall` primitives raise Domain/Size. Values live only into a
+/// handler are therefore live across every potential raise point — the
+/// GC tables and the register allocator both depend on this (a
+/// handler-crossing value must sit in a listed frame slot, not a
+/// register the callee clobbers or a slot the collector skips).
+pub fn successors(f: &RtlFun) -> Vec<Vec<usize>> {
+    let n = f.instrs.len();
+    let mut label_at: HashMap<Lbl, usize> = HashMap::new();
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if let RInstr::Label(l) = ins {
+            label_at.insert(*l, i);
+        }
+    }
+    let mut succ: Vec<Vec<usize>> = (0..n)
+        .map(|i| match &f.instrs[i] {
+            RInstr::Br(l) => vec![label_at[l]],
+            RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
+                let mut s = vec![label_at[l]];
+                if i + 1 < n {
+                    s.push(i + 1);
+                }
+                s
+            }
+            // `Raise` transfers to the innermost handler; when that
+            // handler is in this function the edge is added below.
+            RInstr::Ret(_) | RInstr::TailCall { .. } | RInstr::Raise { .. } => vec![],
+            RInstr::PushHandler { lbl, .. } => {
+                let mut s = vec![label_at[lbl]];
+                if i + 1 < n {
+                    s.push(i + 1);
+                }
+                s
+            }
+            _ => {
+                if i + 1 < n {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+        })
+        .collect();
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if let RInstr::PushHandler { lbl, .. } = ins {
+            if let Some(&t) = label_at.get(lbl) {
+                for s in succ.iter_mut().take(t).skip(i + 1) {
+                    if !s.contains(&t) {
+                        s.push(t);
+                    }
+                }
+            }
+        }
+    }
+    succ
+}
 
 /// Uses of one instruction.
 pub fn uses(i: &RInstr) -> Vec<VReg> {

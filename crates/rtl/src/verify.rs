@@ -3,7 +3,8 @@
 //!
 //! * every pseudo-register is defined on every path before it is used
 //!   (forward must-defined dataflow over the same CFG the backend's
-//!   liveness uses, including the `PushHandler` → handler edge);
+//!   liveness uses — [`crate::analysis::successors`], including a
+//!   handler edge from every may-raise point in a protected region);
 //! * every referenced label resolves to exactly one `Label`
 //!   instruction and every handler slot is within the declared depth;
 //! * the calling convention is respected: at most `NUM_ARGS` register
@@ -218,33 +219,11 @@ fn verify_fun(
     if n == 0 {
         return Ok(());
     }
-    let succs = |i: usize| -> Vec<usize> {
-        match &f.instrs[i] {
-            RInstr::Br(l) => vec![label_at[l]],
-            RInstr::Beqz(_, l) | RInstr::Bnez(_, l) => {
-                let mut s = vec![label_at[l]];
-                if i + 1 < n {
-                    s.push(i + 1);
-                }
-                s
-            }
-            RInstr::Ret(_) | RInstr::TailCall { .. } | RInstr::Raise { .. } => vec![],
-            RInstr::PushHandler { lbl, .. } => {
-                let mut s = vec![label_at[lbl]];
-                if i + 1 < n {
-                    s.push(i + 1);
-                }
-                s
-            }
-            _ => {
-                if i + 1 < n {
-                    vec![i + 1]
-                } else {
-                    vec![]
-                }
-            }
-        }
-    };
+    // Shared successor model (`analysis::successors`): includes an
+    // edge to the handler label from every instruction in a protected
+    // region, since any of them may raise.
+    let succ = crate::analysis::successors(f);
+    let succs = |i: usize| -> &[usize] { &succ[i] };
     // `None` = not yet reached (top).
     let mut defined_in: Vec<Option<HashSet<VReg>>> = vec![None; n];
     defined_in[0] = Some(f.params.iter().copied().collect());
@@ -259,7 +238,7 @@ fn verify_fun(
             if let Some(d) = defs(&f.instrs[i]) {
                 out.insert(d);
             }
-            for s in succs(i) {
+            for &s in succs(i) {
                 let next = match &defined_in[s] {
                     None => Some(out.clone()),
                     Some(cur) => {

@@ -1,23 +1,29 @@
 //! Differential testing over generated typed programs.
 //!
-//! [`til_bench::gen`] produces well-typed programs covering recursion,
-//! currying, tuples, polymorphic instantiation (typecase-specialized
-//! array access at int/real/tuple element types), bounds-checked array
-//! reads, and enough heap churn to force collections under the small
-//! semispace used here. Every program is compiled at O0 (the oracle),
-//! under full TIL optimization, under every single-pass ablation
-//! ([`Options::ablations`]), and under the baseline (tagged) compiler —
-//! all with verification on, so the Bform per-pass typechecker, the
-//! closure-stage per-pass typechecker, the RTL verifier, and the
-//! GC-table cross-check all run on every configuration of every
-//! program. Outputs must agree exactly.
+//! [`til_bench::gen`] produces well-typed programs in three classes:
+//! the broad `Mixed` feature sweep (recursion, currying, tuples,
+//! polymorphic instantiation with typecase-specialized array access,
+//! bounds-checked array reads, heap churn), the `Exceptions` class
+//! (payload-carrying raise/handle across recursion and datatypes,
+//! values live only into handlers, nested handlers with re-raises,
+//! recovered traps, churn inside protected regions), and the
+//! `Strings` class (runtime string services, long-lived strings
+//! across collections, string contents in the output). Every program
+//! is compiled at O0 (the oracle), under full TIL optimization, under
+//! every single-pass ablation ([`Options::ablations`]), and under the
+//! baseline (tagged) compiler — all with verification on, so the
+//! Bform per-pass typechecker, the closure-stage per-pass
+//! typechecker, the RTL verifier, the GC-table cross-check, and the
+//! machine-code verifier all run on every configuration of every
+//! program, and every image also re-runs under incremental
+//! collection. Outputs must agree exactly.
 //!
-//! The corpus is seeded deterministically; the deep (ignored) variant
-//! reads `TIL_DIFF_SEED` so CI can rotate the corpus per run without
-//! making tier-1 flaky.
+//! The corpus is seeded deterministically; the deep (ignored)
+//! variants read `TIL_DIFF_SEED` so CI can rotate the corpus per run
+//! without making tier-1 flaky.
 
 use til::{CollectMode, Compiler, LinkOptions, Options, DEFAULT_PAUSE_BUDGET};
-use til_bench::gen::generate;
+use til_bench::gen::{generate_class, Class};
 
 const SEED: u64 = 0x05ee_d711_0002;
 
@@ -74,14 +80,15 @@ fn run_config(cfg: &str, opts: Options, seed: u64, src: &str) -> (String, u64) {
     (out.output, out.stats.gc_count)
 }
 
-/// Runs `cases` seeds starting at `base`: O0 oracle vs full TIL, every
-/// ablation, and the baseline compiler. Returns total collections
-/// observed across the corpus.
-fn run_corpus(base: u64, cases: u64) -> u64 {
+/// Runs `cases` seeds of `class` starting at `base`: O0 oracle vs
+/// full TIL, every ablation, and the baseline compiler. Returns total
+/// collections observed across the corpus.
+fn run_corpus_class(base: u64, cases: u64, class: Class) -> u64 {
     let mut total_gc = 0;
     for i in 0..cases {
-        let g = generate(base.wrapping_add(i));
-        let (oracle, gc) = run_config("o0", small_heap(Options::o0()), g.seed, &g.source);
+        let g = generate_class(base.wrapping_add(i), class);
+        let label = |cfg: &str| format!("{}/{cfg}", class.name());
+        let (oracle, gc) = run_config(&label("o0"), small_heap(Options::o0()), g.seed, &g.source);
         total_gc += gc;
         assert!(
             !oracle.is_empty(),
@@ -93,16 +100,23 @@ fn run_corpus(base: u64, cases: u64) -> u64 {
             vec![("til", Options::til()), ("baseline", Options::baseline())];
         configs.extend(Options::ablations());
         for (cfg, opts) in configs {
-            let (out, gc) = run_config(cfg, small_heap(opts), g.seed, &g.source);
+            let (out, gc) = run_config(&label(cfg), small_heap(opts), g.seed, &g.source);
             total_gc += gc;
             assert_eq!(
                 out, oracle,
-                "seed {:#x}: [{cfg}] diverges from the O0 oracle\n--- source ---\n{}",
-                g.seed, g.source
+                "seed {:#x}: [{}] diverges from the O0 oracle\n--- source ---\n{}",
+                g.seed,
+                label(cfg),
+                g.source
             );
         }
     }
     total_gc
+}
+
+/// The original corpus runner: [`Class::Mixed`].
+fn run_corpus(base: u64, cases: u64) -> u64 {
+    run_corpus_class(base, cases, Class::Mixed)
 }
 
 #[test]
@@ -115,6 +129,68 @@ fn generated_programs_agree_across_optimization_levels() {
         total_gc >= 1,
         "corpus never triggered a collection; shrink the test semispace"
     );
+}
+
+#[test]
+fn exception_programs_agree_across_optimization_levels() {
+    // The raise/handle class: every config compiles handler-crossing
+    // control flow with full verification (the per-pass typecheckers,
+    // the RTL verifier, the GC-table cross-check, and mc-verify all
+    // assert over handler edges), and the collector runs with
+    // handlers installed.
+    let total_gc = run_corpus_class(SEED, 2, Class::Exceptions);
+    assert!(
+        total_gc >= 1,
+        "exception corpus never triggered a collection with a handler installed"
+    );
+}
+
+#[test]
+fn string_programs_agree_across_optimization_levels() {
+    // The string-heavy class: runtime string services (RtCall
+    // allocation) under every config, long-lived strings surviving
+    // collections, and string *contents* in the compared output.
+    let total_gc = run_corpus_class(SEED, 2, Class::Strings);
+    assert!(
+        total_gc >= 1,
+        "string corpus never triggered a collection with live strings"
+    );
+}
+
+/// Minimized regression for the handler-crossing GC-liveness bug the
+/// exception corpus flushed out: `keep` is live *only* into the
+/// handler, and `boom` churns enough heap inside the protected region
+/// to force many collections before raising. Liveness (and therefore
+/// the call-site GC descriptors) used to add the handler edge only at
+/// the `PushHandler` itself, so `keep` was considered dead across the
+/// region's calls, omitted from the collector's root set, and left
+/// dangling into from-space after the second collection — full TIL
+/// mode printed garbage (e.g. 112) instead of 180. The shared
+/// successor model (`til_rtl::analysis::successors`) now adds the
+/// handler edge from every instruction in the protected region.
+#[test]
+fn values_live_only_into_a_handler_survive_collections() {
+    const SRC: &str = "
+        fun build (n, acc) = if n = 0 then acc else build (n - 1, n :: acc)
+        fun sum (xs, a) = case xs of nil => a | x :: r => sum (r, a + x)
+        fun boom n =
+            if n = 0 then raise Fail \"deep\"
+            else sum (build (n, nil), 0) + boom (n - 1)
+        fun shield n =
+            let val keep = build (9, nil)
+                val got = (boom 400) handle Fail _ => sum (keep, 0)
+            in if n = 0 then got else got + shield (n - 1) end
+        val _ = print (Int.toString (shield 3))
+    ";
+    for (cfg, opts) in [
+        ("o0", Options::o0()),
+        ("til", Options::til()),
+        ("baseline", Options::baseline()),
+    ] {
+        let (out, gc) = run_config(cfg, small_heap(opts), 0, SRC);
+        assert_eq!(out, "180", "[{cfg}] handler-crossing liveness regressed");
+        assert!(gc >= 2, "[{cfg}] premise: multiple collections inside the region");
+    }
 }
 
 /// The deep-corpus base seed: `TIL_DIFF_SEED` (set by CI from the
@@ -137,6 +213,23 @@ fn deep_generated_corpus_with_rotated_seed() {
     assert!(total_gc >= 1);
 }
 
+/// The deep raise/handle corpus, rotated along with the mixed one
+/// (CI's `differential-deep` job picks every ignored test up).
+#[test]
+#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
+fn deep_exception_corpus_with_rotated_seed() {
+    let total_gc = run_corpus_class(deep_base(), 8, Class::Exceptions);
+    assert!(total_gc >= 1);
+}
+
+/// The deep string-heavy corpus, rotated along with the mixed one.
+#[test]
+#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
+fn deep_string_corpus_with_rotated_seed() {
+    let total_gc = run_corpus_class(deep_base(), 8, Class::Strings);
+    assert!(total_gc >= 1);
+}
+
 /// Pairwise ablations: single-pass ablations can mask bugs that only
 /// appear when two passes are *both* disabled (one pass cleaning up
 /// after the other's absence). All C(7,2) = 21 pair configurations
@@ -144,26 +237,35 @@ fn deep_generated_corpus_with_rotated_seed() {
 /// every pair is too slow even for the deep tier, so each program
 /// gets a seeded sample — rotated by `TIL_DIFF_SEED` along with the
 /// corpus, so CI covers different pairs each run while any single
-/// failure stays reproducible from the printed seed.
+/// failure stays reproducible from the printed seed. The programs
+/// rotate through every generator class, so the pairwise sample also
+/// covers raise/handle and string-heavy control flow.
 #[test]
 #[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
 fn deep_pairwise_ablations_agree() {
-    const PROGRAMS: u64 = 4;
+    const PROGRAMS: u64 = 6;
     const PAIRS_PER_PROGRAM: usize = 6;
     let base = deep_base();
     let pairs = Options::ablation_pairs();
     let r = &mut til_bench::rng::Rng::new(base ^ 0x9a12_ab1a_7e55_0003);
     for i in 0..PROGRAMS {
-        let g = generate(base.wrapping_add(i));
-        let (oracle, _) = run_config("o0", small_heap(Options::o0()), g.seed, &g.source);
+        let class = Class::ALL[(i % Class::ALL.len() as u64) as usize];
+        let g = generate_class(base.wrapping_add(i), class);
+        let (oracle, _) = run_config(
+            &format!("{}/o0", class.name()),
+            small_heap(Options::o0()),
+            g.seed,
+            &g.source,
+        );
         let mut remaining: Vec<usize> = (0..pairs.len()).collect();
         for _ in 0..PAIRS_PER_PROGRAM {
             let k = r.range(0, remaining.len() as i64) as usize;
             let (name, opts) = &pairs[remaining.swap_remove(k)];
-            let (out, _) = run_config(name, small_heap(opts.clone()), g.seed, &g.source);
+            let label = format!("{}/{name}", class.name());
+            let (out, _) = run_config(&label, small_heap(opts.clone()), g.seed, &g.source);
             assert_eq!(
                 out, oracle,
-                "seed {:#x}: pair ablation [{name}] diverges from the O0 oracle\n--- source ---\n{}",
+                "seed {:#x}: pair ablation [{label}] diverges from the O0 oracle\n--- source ---\n{}",
                 g.seed, g.source
             );
         }

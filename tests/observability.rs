@@ -518,6 +518,79 @@ fn runtime_string_allocation_lands_in_the_rt_bucket() {
 }
 
 #[test]
+fn string_heavy_programs_populate_the_string_census_row() {
+    // A generated string-heavy program ([`til_bench::gen`]'s Strings
+    // class): long-lived strings survive the collections its churn
+    // forces under a small semispace, so TIL-mode censuses must
+    // classify a non-empty `string` row — at pause time (strings
+    // survived a copy) and at exit — and the runtime string services
+    // (`^`, `Int.toString`, ...) must land their allocation in the
+    // `(rt)` bucket.
+    let g = til_bench::gen::generate_class(1, til_bench::gen::Class::Strings);
+    let mut opts = Options::til();
+    opts.verify = true;
+    opts.link.semi_bytes = 64 << 10;
+    let exe = Compiler::new(opts).compile(&g.source).expect("compile");
+    let out = exe.run_with(2_000_000_000, true).expect("run");
+    assert!(out.stats.gc_count > 0, "test premise: collections ran");
+    let p = out.profile.expect("profile");
+    let exit = p
+        .censuses
+        .iter()
+        .find(|c| c.when == til::CensusWhen::Exit)
+        .expect("exit census");
+    assert!(
+        exit.classes.string_words > 0,
+        "exit census has an empty string row on a string-heavy program"
+    );
+    let pause_strings = p
+        .censuses
+        .iter()
+        .filter(|c| c.after_gc().is_some())
+        .map(|c| c.classes.string_words)
+        .max()
+        .expect("pause-time census");
+    assert!(
+        pause_strings > 0,
+        "no pause-time census saw a surviving string"
+    );
+    let rt = p
+        .functions
+        .iter()
+        .find(|f| f.name == "(rt)")
+        .expect("runtime allocation bucket missing");
+    assert!(rt.alloc_bytes > 0, "string services allocated nothing");
+}
+
+#[test]
+fn recovered_traps_are_counted_per_function() {
+    // `div 0` raises the hardware `Div` trap on exactly one iteration
+    // (n = 3) and the handler recovers; the execution profile must
+    // attribute exactly that one trap to the raising function, in
+    // both rep modes, without perturbing Stats or output.
+    let src = "fun walk (n, acc) =
+                   if n <= 0 then acc
+                   else walk (n - 1, acc + ((100 div (n - 3)) handle Div => ~1))
+               val _ = print (Int.toString (walk (10, 0)))";
+    for opts in both_modes() {
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let off = exe.run_with(1_000_000_000, false).expect("unprofiled run");
+        let out = exe.run_with(1_000_000_000, true).expect("profiled run");
+        assert_eq!(out.output, "107", "raise-and-recover result wrong");
+        assert_eq!(off.stats, out.stats, "profiling perturbed the trapping run");
+        let p = out.profile.expect("profile");
+        let traps: u64 = p.functions.iter().map(|f| f.traps).sum();
+        assert_eq!(traps, 1, "exactly one recovered Div trap expected");
+        let f = p.functions.iter().find(|f| f.traps > 0).expect("trapping fn");
+        assert!(
+            f.name.starts_with("walk"),
+            "trap attributed to `{}`, not the raising function",
+            f.name
+        );
+    }
+}
+
+#[test]
 fn chrome_trace_export_round_trips() {
     let mut opts = Options::til();
     opts.link.semi_bytes = 256 << 10;

@@ -112,6 +112,44 @@ fn closures_returned_from_functions_survive_gc() {
 }
 
 #[test]
+fn exception_payloads_cross_handlers_under_gc_pressure() {
+    // First-class exception values end-to-end under heap pressure: a
+    // string payload grown across the raising recursion, a list live
+    // *only* into the handler, and enough churn inside the protected
+    // region that collections run before the raise — so the payload,
+    // the handler-live list, and the handler record itself all
+    // survive copying. The 64 KB semispace forces several
+    // collections per run in every mode.
+    let src = "
+        fun build (n, acc) = if n = 0 then acc else build (n - 1, n :: acc)
+        fun sum (xs, a) = case xs of nil => a | x :: r => sum (r, a + x)
+        exception Grown of string
+        fun grow (n, s) =
+            if n = 0 then raise Grown s
+            else sum (build (n, nil), 0) + grow (n - 1, s ^ Int.toString n)
+        fun shield n =
+            let val keep = build (n, nil)
+                val got = (grow (60, \"p\")) handle Grown s => size s + sum (keep, 0)
+            in if n = 0 then got else got + shield (n - 1) end
+        val _ = print (Int.toString (shield 2))
+    ";
+    // The payload is \"p\" ^ \"60\" ^ ... ^ \"1\" (112 chars); each of the
+    // three shield levels adds sum (build (n, nil)) for n = 2, 1, 0:
+    // 3 * 112 + (3 + 1 + 0) = 340.
+    let mut outputs = Vec::new();
+    for mut opts in [Options::o0(), Options::til(), Options::baseline()] {
+        opts.link.semi_bytes = 64 << 10;
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let out = exe.run(2_000_000_000).expect("run");
+        assert!(out.stats.gc_count > 0, "test premise: collections ran");
+        outputs.push(out.output);
+    }
+    for o in &outputs {
+        assert_eq!(o, "340", "exception payload corrupted: {outputs:?}");
+    }
+}
+
+#[test]
 fn string_heavy_program() {
     let out = agree(
         "fun rep (0, s) = s | rep (n, s) = rep (n - 1, s ^ \"ab\")
