@@ -1,0 +1,2411 @@
+# TIL x86-64 backend output (AT&T syntax).
+# GC stack maps are derived from the target-independent safe-point
+# data; each map is keyed by the return-address label after its call.
+	.text
+
+	.globl til_main
+til_main:
+	subq $24, %rsp
+	movq $0, %rbx
+	movq %rbx, til_globals+0(%rip)
+	movq $0, %rdi
+	movq %rdi, til_globals+8(%rip)
+	movq $10, %rsi
+	movq $10, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_0:
+	# map .Lsm_til_main_0: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc1:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %r9
+	addq $24, %r15
+	movq %r9, til_globals+16(%rip)
+	movq $11, %rsi
+	movq $10, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc2
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_1:
+	# map .Lsm_til_main_1: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc2:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %r8
+	addq $24, %r15
+	movq %r8, til_globals+24(%rip)
+	movq $9, %rsi
+	movq $11, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc3
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_2:
+	# map .Lsm_til_main_2: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc3:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rcx
+	addq $24, %r15
+	movq %rcx, til_globals+32(%rip)
+	movq $10, %rsi
+	movq $11, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc4
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_3:
+	# map .Lsm_til_main_3: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc4:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdx
+	addq $24, %r15
+	movq %rdx, til_globals+40(%rip)
+	movq $10, %rsi
+	movq $12, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc5
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_4:
+	# map .Lsm_til_main_4: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc5:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, til_globals+48(%rip)
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc6
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_5:
+	# map .Lsm_til_main_5: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc6:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rdi, 8(%r15)
+	movq %rbx, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, til_globals+56(%rip)
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc7
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_6:
+	# map .Lsm_til_main_6: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc7:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, til_globals+64(%rip)
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc8
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_7:
+	# map .Lsm_til_main_7: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc8:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rcx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, til_globals+72(%rip)
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc9
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_8:
+	# map .Lsm_til_main_8: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc9:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r8, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, til_globals+80(%rip)
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L0_alc10
+	movq $24, %rax
+	call til_rt_gc
+.Lret_0_9:
+	# map .Lsm_til_main_9: frame=32 ra_off=24 slots=[] dead=[]
+.L0_alc10:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r9, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	movq %rsi, til_globals+88(%rip)
+	leaq til_static_0(%rip), %rax
+	movq %rax, 0(%rsp)
+	movq 0(%rsp), %rax
+	movq %rax, til_globals+96(%rip)
+	leaq til_static_1(%rip), %rax
+	movq %rax, 8(%rsp)
+	movq 8(%rsp), %rax
+	movq %rax, til_globals+104(%rip)
+	movq $0, %rdi
+	movq %rdi, til_globals+112(%rip)
+	movq $0, %rdi
+	movq %rdi, til_globals+120(%rip)
+	movq $18, %rdi
+	call til_generations_954_flat_2364
+.Lret_0_10:
+	# map .Lsm_til_main_10: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace), (16, Trace)] dead=[16]
+	movq %rax, 16(%rsp)
+	movq 16(%rsp), %rax
+	movq %rax, til_globals+128(%rip)
+	movq $0, %rdi
+	movq 16(%rsp), %rdi
+	movq %rdi, %rsi
+	call til_len_1100_flat_2390
+.Lret_0_11:
+	# map .Lsm_til_main_11: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace), (16, Trace)] dead=[]
+	movq %rax, %rdi
+	movq %rdi, til_globals+136(%rip)
+	call til_rt_int_to_str
+.Lret_0_12:
+	# map .Lsm_til_main_12: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace), (16, Trace)] dead=[]
+	movq %rax, %rdi
+	movq %rdi, til_globals+144(%rip)
+	call til_rt_print_str
+.Lret_0_13:
+	# map .Lsm_til_main_13: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace), (16, Trace)] dead=[]
+	movq $0, %rdi
+	movq %rdi, til_globals+152(%rip)
+	movq 0(%rsp), %rdi
+	call til_rt_print_str
+.Lret_0_14:
+	# map .Lsm_til_main_14: frame=32 ra_off=24 slots=[(8, Trace), (16, Trace)] dead=[]
+	movq $0, %rdi
+	movq %rdi, til_globals+160(%rip)
+	movq $0, %rdi
+	movq 16(%rsp), %rdi
+	movq %rdi, %rsi
+	call til_sum_979_flat_2389
+.Lret_0_15:
+	# map .Lsm_til_main_15: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+	movq %rax, %rdi
+	movq %rdi, til_globals+168(%rip)
+	call til_rt_int_to_str
+.Lret_0_16:
+	# map .Lsm_til_main_16: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+	movq %rax, %rdi
+	movq %rdi, til_globals+176(%rip)
+	call til_rt_print_str
+.Lret_0_17:
+	# map .Lsm_til_main_17: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+	movq $0, %rdi
+	movq %rdi, til_globals+184(%rip)
+	movq 8(%rsp), %rdi
+	call til_rt_print_str
+.Lret_0_18:
+	# map .Lsm_til_main_18: frame=32 ra_off=24 slots=[] dead=[]
+	movq $0, %rdi
+	movq %rdi, til_globals+192(%rip)
+	addq $24, %rsp
+	ret
+
+	.globl til_revAppend_621_flat_2354
+til_revAppend_621_flat_2354:
+	movq %rsi, %rdx
+	movq $0, %rsi
+	movq %rdi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L1_b1
+	jmp .L1_b2
+.L1_b2:
+	movq 8(%rdi), %rsi
+	movq 16(%rdi), %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L1_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_1_0:
+	# map .Lsm_til_revAppend_621_flat_2354_0: frame=8 ra_off=0 slots=[] dead=[]
+.L1_alc1:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdx, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	jmp til_revAppend_621_flat_2354
+.L1_b1:
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L1_b3
+	jmp .L1_b3
+.L1_b3:
+	movq %rdx, %rax
+	ret
+.L1_b0:
+	movq %rsi, %rax
+	ret
+
+	.globl til_map_1067_unc_2355
+til_map_1067_unc_2355:
+	subq $24, %rsp
+	movq %rdi, 0(%rsp)
+	movq %rsi, %rdi
+	movq $0, %rsi
+	movq %rdi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L2_b1
+	jmp .L2_b2
+.L2_b2:
+	movq 8(%rdi), %rdx
+	movq 16(%rdi), %rax
+	movq %rax, 8(%rsp)
+	movq 0(%rsp), %rax
+	movq 8(%rax), %rsi
+	movq 0(%rsp), %rax
+	movq 16(%rax), %rdi
+	movq %rsi, %r11
+	sarq $1, %r11
+	movq %rdx, %rsi
+	call *%r11
+.Lret_2_0:
+	# map .Lsm_til_map_1067_unc_2355_0: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace), (16, Trace)] dead=[16]
+	movq %rax, 16(%rsp)
+	movq 0(%rsp), %rdi
+	movq 8(%rsp), %rsi
+	call til_map_1067_unc_2355
+.Lret_2_1:
+	# map .Lsm_til_map_1067_unc_2355_1: frame=32 ra_off=24 slots=[(16, Trace)] dead=[]
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L2_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_2_2:
+	# map .Lsm_til_map_1067_unc_2355_2: frame=32 ra_off=24 slots=[(16, Trace)] dead=[]
+.L2_alc1:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq 16(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L2_b1:
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L2_b3
+	jmp .L2_b3
+.L2_b3:
+	movq til_globals+8(%rip), %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L2_b0:
+	movq %rsi, %rax
+	addq $24, %rsp
+	ret
+
+	.globl til_List_filter_1052_unc_2356
+til_List_filter_1052_unc_2356:
+	subq $24, %rsp
+	movq %rdi, 0(%rsp)
+	movq %rsi, %rdi
+	movq $0, %rsi
+	movq %rdi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L3_b1
+	jmp .L3_b2
+.L3_b2:
+	movq 8(%rdi), %rax
+	movq %rax, 8(%rsp)
+	movq 16(%rdi), %rax
+	movq %rax, 16(%rsp)
+	movq 0(%rsp), %rax
+	movq 8(%rax), %rsi
+	movq 0(%rsp), %rax
+	movq 16(%rax), %rdi
+	movq %rsi, %r11
+	sarq $1, %r11
+	movq 8(%rsp), %rsi
+	call *%r11
+.Lret_3_0:
+	# map .Lsm_til_List_filter_1052_unc_2356_0: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace), (16, Trace)] dead=[]
+	movq %rax, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L3_b4
+	movq 0(%rsp), %rdi
+	movq 16(%rsp), %rsi
+	addq $24, %rsp
+	jmp til_List_filter_1052_unc_2356
+.L3_b4:
+	movq 0(%rsp), %rdi
+	movq 16(%rsp), %rsi
+	call til_List_filter_1052_unc_2356
+.Lret_3_1:
+	# map .Lsm_til_List_filter_1052_unc_2356_1: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L3_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_3_2:
+	# map .Lsm_til_List_filter_1052_unc_2356_2: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L3_alc1:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq 8(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L3_b3:
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L3_b1:
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L3_b5
+	jmp .L3_b5
+.L3_b5:
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L3_b0:
+	movq %rsi, %rax
+	addq $24, %rsp
+	ret
+
+	.globl til_go_1083_flat_2358
+til_go_1083_flat_2358:
+	movq %rsi, %rdx
+	movq $0, %rsi
+	movq %rdi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L4_b1
+	jmp .L4_b2
+.L4_b2:
+	movq 8(%rdi), %rsi
+	movq 16(%rdi), %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L4_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_4_0:
+	# map .Lsm_til_go_1083_flat_2358_0: frame=8 ra_off=0 slots=[] dead=[]
+.L4_alc1:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdx, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	jmp til_go_1083_flat_2358
+.L4_b1:
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L4_b3
+	jmp .L4_b3
+.L4_b3:
+	movq %rdx, %rax
+	ret
+.L4_b0:
+	movq %rsi, %rax
+	ret
+
+	.globl til_List_concat_2357
+til_List_concat_2357:
+	subq $24, %rsp
+	movq %rdi, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L5_b1
+	jmp .L5_b2
+.L5_b2:
+	movq 8(%rsi), %rax
+	movq %rax, 0(%rsp)
+	movq 16(%rsi), %rdi
+	call til_List_concat_2357
+.Lret_5_0:
+	# map .Lsm_til_List_concat_2357_0: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace)] dead=[8]
+	movq %rax, 8(%rsp)
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	movq 0(%rsp), %rdi
+	movq %rdi, %rsi
+	call til_go_1083_flat_2358
+.Lret_5_1:
+	# map .Lsm_til_List_concat_2357_1: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+	movq %rax, %rdi
+	movq 8(%rsp), %rsi
+	addq $24, %rsp
+	jmp til_revAppend_621_flat_2354
+.L5_b1:
+	movq %rsi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L5_b3
+	jmp .L5_b3
+.L5_b3:
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L5_b0:
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+
+	.globl til_member_1025_flat_2359
+til_member_1025_flat_2359:
+	movq %rsi, %rdx
+	movq $0, %rsi
+	movq %rdx, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L6_b1
+	jmp .L6_b2
+.L6_b2:
+	movq 8(%rdx), %rsi
+	movq 16(%rdx), %r8
+	movq 8(%rdi), %rcx
+	movq 16(%rdi), %rdx
+	movq 8(%rsi), %rdi
+	movq %rcx, %rax
+	cmpq %rdi, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L6_b4
+	movq $0, %rdi
+	movq %rdi, %rsi
+	jmp .L6_b3
+.L6_b4:
+	movq 16(%rsi), %rdi
+	movq %rdx, %rax
+	cmpq %rdi, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	movq %rdi, %rsi
+	jmp .L6_b3
+.L6_b3:
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L6_b6
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L6_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_6_0:
+	# map .Lsm_til_member_1025_flat_2359_0: frame=8 ra_off=0 slots=[] dead=[]
+.L6_alc1:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rcx, 8(%r15)
+	movq %rdx, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %r8, %rsi
+	jmp til_member_1025_flat_2359
+.L6_b6:
+	movq $1, %rdi
+	movq %rdi, %rax
+	ret
+.L6_b5:
+	movq %rdi, %rax
+	ret
+.L6_b1:
+	movq %rdx, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L6_b7
+	jmp .L6_b7
+.L6_b7:
+	movq $0, %rdi
+	movq %rdi, %rax
+	ret
+.L6_b0:
+	movq %rsi, %rax
+	ret
+
+	.globl til_neighbours_2361
+til_neighbours_2361:
+	subq $8, %rsp
+	movq %rsi, %rax
+	movq %rdi, %rsi
+	movq %rax, %rdi
+	movq 8(%rdi), %rax
+	movq %rax, 0(%rsp)
+	movq 16(%rdi), %rcx
+	movq $1, %rdi
+	movq 0(%rsp), %rax
+	subq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdx
+	movq $1, %rdi
+	movq %rcx, %rax
+	subq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_0:
+	# map .Lsm_til_neighbours_2361_0: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc1:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %r12
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc2
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_1:
+	# map .Lsm_til_neighbours_2361_1: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc2:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rbp
+	addq $24, %r15
+	movq $1, %rsi
+	movq 0(%rsp), %rax
+	addq %rsi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rsi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc3
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_2:
+	# map .Lsm_til_neighbours_2361_2: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc3:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rbx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc4
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_3:
+	# map .Lsm_til_neighbours_2361_3: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc4:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rcx, 16(%r15)
+	movq %r15, %r9
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc5
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_4:
+	# map .Lsm_til_neighbours_2361_4: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc5:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rcx, 16(%r15)
+	movq %r15, %r8
+	addq $24, %r15
+	movq $1, %rdi
+	movq %rcx, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc6
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_5:
+	# map .Lsm_til_neighbours_2361_5: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc6:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rcx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc7
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_6:
+	# map .Lsm_til_neighbours_2361_6: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc7:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc8
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_7:
+	# map .Lsm_til_neighbours_2361_7: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc8:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc9
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_8:
+	# map .Lsm_til_neighbours_2361_8: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc9:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc10
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_9:
+	# map .Lsm_til_neighbours_2361_9: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc10:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc11
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_10:
+	# map .Lsm_til_neighbours_2361_10: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc11:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rcx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc12
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_11:
+	# map .Lsm_til_neighbours_2361_11: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc12:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r8, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc13
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_12:
+	# map .Lsm_til_neighbours_2361_12: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc13:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r9, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc14
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_13:
+	# map .Lsm_til_neighbours_2361_13: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc14:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rbx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc15
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_14:
+	# map .Lsm_til_neighbours_2361_14: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc15:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rbp, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L7_alc16
+	movq $24, %rax
+	call til_rt_gc
+.Lret_7_15:
+	# map .Lsm_til_neighbours_2361_15: frame=16 ra_off=8 slots=[] dead=[]
+.L7_alc16:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r12, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, %rax
+	addq $8, %rsp
+	ret
+
+	.globl til_dedup_2363
+til_dedup_2363:
+	subq $24, %rsp
+	movq %rdi, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L8_b1
+	jmp .L8_b2
+.L8_b2:
+	movq 8(%rsi), %rax
+	movq %rax, 0(%rsp)
+	movq 16(%rsi), %rax
+	movq %rax, 8(%rsp)
+	movq 0(%rsp), %rdi
+	movq 8(%rsp), %rsi
+	call til_member_1025_flat_2359
+.Lret_8_0:
+	# map .Lsm_til_dedup_2363_0: frame=32 ra_off=24 slots=[(0, Trace), (8, Trace)] dead=[]
+	movq %rax, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L8_b4
+	movq 8(%rsp), %rdi
+	call til_dedup_2363
+.Lret_8_1:
+	# map .Lsm_til_dedup_2363_1: frame=32 ra_off=24 slots=[(0, Trace)] dead=[]
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L8_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_8_2:
+	# map .Lsm_til_dedup_2363_2: frame=32 ra_off=24 slots=[(0, Trace)] dead=[]
+.L8_alc1:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L8_b4:
+	movq 8(%rsp), %rdi
+	addq $24, %rsp
+	jmp til_dedup_2363
+.L8_b3:
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L8_b1:
+	movq %rsi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L8_b5
+	jmp .L8_b5
+.L8_b5:
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L8_b0:
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+
+	.globl til_anon_2370
+til_anon_2370:
+	movq %rsi, %rax
+	movq %rdi, %rsi
+	movq %rax, %rdi
+	movq 8(%rsi), %rdx
+	movq 8(%rdi), %rsi
+	movq 16(%rdi), %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L9_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_9_0:
+	# map .Lsm_til_anon_2370_0: frame=8 ra_off=0 slots=[] dead=[]
+.L9_alc1:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdx, %rsi
+	jmp til_member_1025_flat_2359
+
+	.globl til_len_1100_flat_2374
+til_len_1100_flat_2374:
+	movq %rsi, %rdx
+	movq %rdi, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L10_b1
+	jmp .L10_b2
+.L10_b2:
+	movq 8(%rsi), %rdi
+	movq 16(%rsi), %rsi
+	movq $1, %rdi
+	movq %rdx, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	movq %rdi, %rax
+	movq %rsi, %rdi
+	movq %rax, %rsi
+	jmp til_len_1100_flat_2374
+.L10_b1:
+	movq %rsi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L10_b3
+	jmp .L10_b3
+.L10_b3:
+	movq %rdx, %rax
+	ret
+.L10_b0:
+	movq %rdi, %rax
+	ret
+
+	.globl til_anon_2366
+til_anon_2366:
+	subq $24, %rsp
+	movq 8(%rdi), %rdi
+	movq 8(%rsi), %rax
+	movq %rax, 0(%rsp)
+	movq 16(%rsi), %rcx
+	leaq 16(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc1
+	movq $16, %rax
+	call til_rt_gc
+.Lret_11_0:
+	# map .Lsm_til_anon_2366_0: frame=32 ra_off=24 slots=[] dead=[]
+.L11_alc1:
+	movabsq $4294967304, %rax
+	movq %rax, 0(%r15)
+	movq %rdi, 8(%r15)
+	movq %r15, 8(%rsp)
+	addq $16, %r15
+	movq $1, %rdi
+	movq 0(%rsp), %rax
+	subq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdx
+	movq $1, %rdi
+	movq %rcx, %rax
+	subq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc2
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_1:
+	# map .Lsm_til_anon_2366_1: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc2:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %r12
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc3
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_2:
+	# map .Lsm_til_anon_2366_2: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc3:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rbp
+	addq $24, %r15
+	movq $1, %rsi
+	movq 0(%rsp), %rax
+	addq %rsi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rsi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc4
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_3:
+	# map .Lsm_til_anon_2366_3: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc4:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rbx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc5
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_4:
+	# map .Lsm_til_anon_2366_4: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc5:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rcx, 16(%r15)
+	movq %r15, %r9
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc6
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_5:
+	# map .Lsm_til_anon_2366_5: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc6:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rcx, 16(%r15)
+	movq %r15, %r8
+	addq $24, %r15
+	movq $1, %rdi
+	movq %rcx, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc7
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_6:
+	# map .Lsm_til_anon_2366_6: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc7:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rcx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc8
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_7:
+	# map .Lsm_til_anon_2366_7: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc8:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc9
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_8:
+	# map .Lsm_til_anon_2366_8: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc9:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc10
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_9:
+	# map .Lsm_til_anon_2366_9: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc10:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc11
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_10:
+	# map .Lsm_til_anon_2366_10: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc11:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc12
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_11:
+	# map .Lsm_til_anon_2366_11: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc12:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rcx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc13
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_12:
+	# map .Lsm_til_anon_2366_12: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc13:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r8, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc14
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_13:
+	# map .Lsm_til_anon_2366_13: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc14:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r9, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc15
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_14:
+	# map .Lsm_til_anon_2366_14: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc15:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rbx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc16
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_15:
+	# map .Lsm_til_anon_2366_15: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc16:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rbp, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc17
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_16:
+	# map .Lsm_til_anon_2366_16: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc17:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r12, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	leaq til_anon_2370(%rip), %rax
+	leaq 1(%rax,%rax), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L11_alc18
+	movq $24, %rax
+	call til_rt_gc
+.Lret_11_17:
+	# map .Lsm_til_anon_2366_17: frame=32 ra_off=24 slots=[(8, Trace)] dead=[]
+.L11_alc18:
+	movabsq $8589934608, %rax
+	movq %rax, 0(%r15)
+	movq %rdi, 8(%r15)
+	movq 8(%rsp), %r10
+	movq %r10, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	call til_List_filter_1052_unc_2356
+.Lret_11_18:
+	# map .Lsm_til_anon_2366_18: frame=32 ra_off=24 slots=[] dead=[]
+	movq %rax, %rsi
+	movq $0, %rdi
+	movq %rdi, %rax
+	movq %rsi, %rdi
+	movq %rax, %rsi
+	call til_len_1100_flat_2374
+.Lret_11_19:
+	# map .Lsm_til_anon_2366_19: frame=32 ra_off=24 slots=[] dead=[]
+	movq %rax, %rdx
+	movq $2, %rdi
+	movq %rdx, %rax
+	cmpq %rdi, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L11_b1
+	movq $3, %rdi
+	movq %rdx, %rax
+	cmpq %rdi, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L11_b1:
+	movq $1, %rdi
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+.L11_b0:
+	movq %rdi, %rax
+	addq $24, %rsp
+	ret
+
+	.globl til_anon_2382
+til_anon_2382:
+	movq %rsi, %rax
+	movq %rdi, %rsi
+	movq %rax, %rdi
+	movq 8(%rsi), %rdx
+	movq 8(%rdi), %rsi
+	movq 16(%rdi), %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L12_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_12_0:
+	# map .Lsm_til_anon_2382_0: frame=8 ra_off=0 slots=[] dead=[]
+.L12_alc1:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdx, %rsi
+	jmp til_member_1025_flat_2359
+
+	.globl til_len_1100_flat_2386
+til_len_1100_flat_2386:
+	movq %rsi, %rdx
+	movq %rdi, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L13_b1
+	jmp .L13_b2
+.L13_b2:
+	movq 8(%rsi), %rdi
+	movq 16(%rsi), %rsi
+	movq $1, %rdi
+	movq %rdx, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	movq %rdi, %rax
+	movq %rsi, %rdi
+	movq %rax, %rsi
+	jmp til_len_1100_flat_2386
+.L13_b1:
+	movq %rsi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L13_b3
+	jmp .L13_b3
+.L13_b3:
+	movq %rdx, %rax
+	ret
+.L13_b0:
+	movq %rdi, %rax
+	ret
+
+	.globl til_isBirth_2378
+til_isBirth_2378:
+	subq $40, %rsp
+	movq %rsi, %rax
+	movq %rdi, %rsi
+	movq %rax, %rdi
+	movq 8(%rsi), %rax
+	movq %rax, 0(%rsp)
+	movq 8(%rdi), %rax
+	movq %rax, 8(%rsp)
+	movq 16(%rdi), %rax
+	movq %rax, 16(%rsp)
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_0:
+	# map .Lsm_til_isBirth_2378_0: frame=48 ra_off=40 slots=[(0, Trace)] dead=[]
+.L14_alc1:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 8(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq 16(%rsp), %r10
+	movq %r10, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq 0(%rsp), %rsi
+	call til_member_1025_flat_2359
+.Lret_14_1:
+	# map .Lsm_til_isBirth_2378_1: frame=48 ra_off=40 slots=[(0, Trace)] dead=[]
+	movq %rax, %rdi
+	movq %rdi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L14_b1
+	movq $1, %rdi
+	movq %rdi, %rsi
+	jmp .L14_b0
+.L14_b1:
+	movq $0, %rdi
+	movq %rdi, %rsi
+	jmp .L14_b0
+.L14_b0:
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $1, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L14_b3
+	movq $0, %rdi
+	movq %rdi, %rax
+	addq $40, %rsp
+	ret
+.L14_b3:
+	leaq 16(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc2
+	movq $16, %rax
+	call til_rt_gc
+.Lret_14_2:
+	# map .Lsm_til_isBirth_2378_2: frame=48 ra_off=40 slots=[(0, Trace)] dead=[]
+.L14_alc2:
+	movabsq $4294967304, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %r15, 24(%rsp)
+	addq $16, %r15
+	movq $1, %rdi
+	movq 8(%rsp), %rax
+	subq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdx
+	movq $1, %rdi
+	movq 16(%rsp), %rax
+	subq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc3
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_3:
+	# map .Lsm_til_isBirth_2378_3: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc3:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %r12
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc4
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_4:
+	# map .Lsm_til_isBirth_2378_4: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc4:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 8(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rbp
+	addq $24, %r15
+	movq $1, %rsi
+	movq 8(%rsp), %rax
+	addq %rsi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rsi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc5
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_5:
+	# map .Lsm_til_isBirth_2378_5: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc5:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rbx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc6
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_6:
+	# map .Lsm_til_isBirth_2378_6: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc6:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq 16(%rsp), %r10
+	movq %r10, 16(%r15)
+	movq %r15, %r9
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc7
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_7:
+	# map .Lsm_til_isBirth_2378_7: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc7:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq 16(%rsp), %r10
+	movq %r10, 16(%r15)
+	movq %r15, %r8
+	addq $24, %r15
+	movq $1, %rdi
+	movq 16(%rsp), %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc8
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_8:
+	# map .Lsm_til_isBirth_2378_8: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc8:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rcx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc9
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_9:
+	# map .Lsm_til_isBirth_2378_9: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc9:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq 8(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdx
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc10
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_10:
+	# map .Lsm_til_isBirth_2378_10: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc10:
+	movabsq $16, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc11
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_11:
+	# map .Lsm_til_isBirth_2378_11: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc11:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc12
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_12:
+	# map .Lsm_til_isBirth_2378_12: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc12:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rdx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc13
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_13:
+	# map .Lsm_til_isBirth_2378_13: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc13:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rcx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc14
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_14:
+	# map .Lsm_til_isBirth_2378_14: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc14:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r8, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc15
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_15:
+	# map .Lsm_til_isBirth_2378_15: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc15:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r9, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc16
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_16:
+	# map .Lsm_til_isBirth_2378_16: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc16:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rbx, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc17
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_17:
+	# map .Lsm_til_isBirth_2378_17: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc17:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rbp, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc18
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_18:
+	# map .Lsm_til_isBirth_2378_18: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc18:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %r12, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	leaq til_anon_2382(%rip), %rax
+	leaq 1(%rax,%rax), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L14_alc19
+	movq $24, %rax
+	call til_rt_gc
+.Lret_14_19:
+	# map .Lsm_til_isBirth_2378_19: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+.L14_alc19:
+	movabsq $8589934608, %rax
+	movq %rax, 0(%r15)
+	movq %rdi, 8(%r15)
+	movq 24(%rsp), %r10
+	movq %r10, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	call til_List_filter_1052_unc_2356
+.Lret_14_20:
+	# map .Lsm_til_isBirth_2378_20: frame=48 ra_off=40 slots=[] dead=[]
+	movq %rax, %rsi
+	movq $0, %rdi
+	movq %rdi, %rax
+	movq %rsi, %rdi
+	movq %rax, %rsi
+	call til_len_1100_flat_2386
+.Lret_14_21:
+	# map .Lsm_til_isBirth_2378_21: frame=48 ra_off=40 slots=[] dead=[]
+	movq %rax, %rsi
+	movq $3, %rdi
+	movq %rsi, %rax
+	cmpq %rdi, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	movq %rdi, %rax
+	addq $40, %rsp
+	ret
+.L14_b2:
+	movq %rdi, %rax
+	addq $40, %rsp
+	ret
+
+	.globl til_go_1083_flat_2388
+til_go_1083_flat_2388:
+	movq %rsi, %rdx
+	movq $0, %rsi
+	movq %rdi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L15_b1
+	jmp .L15_b2
+.L15_b2:
+	movq 8(%rdi), %rsi
+	movq 16(%rdi), %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L15_alc1
+	movq $24, %rax
+	call til_rt_gc
+.Lret_15_0:
+	# map .Lsm_til_go_1083_flat_2388_0: frame=8 ra_off=0 slots=[] dead=[]
+.L15_alc1:
+	movabsq $12884901904, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdx, 16(%r15)
+	movq %r15, %rsi
+	addq $24, %r15
+	jmp til_go_1083_flat_2388
+.L15_b1:
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L15_b3
+	jmp .L15_b3
+.L15_b3:
+	movq %rdx, %rax
+	ret
+.L15_b0:
+	movq %rsi, %rax
+	ret
+
+	.globl til_generations_954_flat_2364
+til_generations_954_flat_2364:
+	subq $40, %rsp
+	movq %rsi, 0(%rsp)
+	movq $0, %rsi
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rsi
+	testq %rsi, %rsi
+	jnz .L16_b1
+	movq $1, %rsi
+	movq %rdi, %rax
+	subq %rsi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, 8(%rsp)
+	leaq 16(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L16_alc1
+	movq $16, %rax
+	call til_rt_gc
+.Lret_16_0:
+	# map .Lsm_til_generations_954_flat_2364_0: frame=48 ra_off=40 slots=[(0, Trace)] dead=[]
+.L16_alc1:
+	movabsq $4294967304, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %r15, %rsi
+	addq $16, %r15
+	leaq til_anon_2366(%rip), %rax
+	leaq 1(%rax,%rax), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L16_alc2
+	movq $24, %rax
+	call til_rt_gc
+.Lret_16_1:
+	# map .Lsm_til_generations_954_flat_2364_1: frame=48 ra_off=40 slots=[(0, Trace)] dead=[]
+.L16_alc2:
+	movabsq $8589934608, %rax
+	movq %rax, 0(%r15)
+	movq %rdi, 8(%r15)
+	movq %rsi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq 0(%rsp), %rsi
+	call til_List_filter_1052_unc_2356
+.Lret_16_2:
+	# map .Lsm_til_generations_954_flat_2364_2: frame=48 ra_off=40 slots=[(0, Trace), (16, Trace)] dead=[16]
+	movq %rax, 16(%rsp)
+	leaq til_neighbours_2361(%rip), %rax
+	leaq 1(%rax,%rax), %rax
+	movq %rax, %rsi
+	movq til_globals+120(%rip), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L16_alc3
+	movq $24, %rax
+	call til_rt_gc
+.Lret_16_3:
+	# map .Lsm_til_generations_954_flat_2364_3: frame=48 ra_off=40 slots=[(0, Trace), (16, Trace)] dead=[]
+.L16_alc3:
+	movabsq $8589934608, %rax
+	movq %rax, 0(%r15)
+	movq %rsi, 8(%r15)
+	movq %rdi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq 0(%rsp), %rsi
+	call til_map_1067_unc_2355
+.Lret_16_4:
+	# map .Lsm_til_generations_954_flat_2364_4: frame=48 ra_off=40 slots=[(0, Trace), (16, Trace)] dead=[]
+	movq %rax, %rdi
+	call til_List_concat_2357
+.Lret_16_5:
+	# map .Lsm_til_generations_954_flat_2364_5: frame=48 ra_off=40 slots=[(0, Trace), (16, Trace)] dead=[]
+	movq %rax, %rdi
+	call til_dedup_2363
+.Lret_16_6:
+	# map .Lsm_til_generations_954_flat_2364_6: frame=48 ra_off=40 slots=[(0, Trace), (16, Trace)] dead=[]
+	movq %rax, %rdx
+	leaq 16(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L16_alc4
+	movq $16, %rax
+	call til_rt_gc
+.Lret_16_7:
+	# map .Lsm_til_generations_954_flat_2364_7: frame=48 ra_off=40 slots=[(0, Trace), (16, Trace)] dead=[]
+.L16_alc4:
+	movabsq $4294967304, %rax
+	movq %rax, 0(%r15)
+	movq 0(%rsp), %r10
+	movq %r10, 8(%r15)
+	movq %r15, %rsi
+	addq $16, %r15
+	leaq til_isBirth_2378(%rip), %rax
+	leaq 1(%rax,%rax), %rax
+	movq %rax, %rdi
+	leaq 24(%r15), %rax
+	cmpq %r14, %rax
+	jbe .L16_alc5
+	movq $24, %rax
+	call til_rt_gc
+.Lret_16_8:
+	# map .Lsm_til_generations_954_flat_2364_8: frame=48 ra_off=40 slots=[(16, Trace)] dead=[]
+.L16_alc5:
+	movabsq $8589934608, %rax
+	movq %rax, 0(%r15)
+	movq %rdi, 8(%r15)
+	movq %rsi, 16(%r15)
+	movq %r15, %rdi
+	addq $24, %r15
+	movq %rdx, %rsi
+	call til_List_filter_1052_unc_2356
+.Lret_16_9:
+	# map .Lsm_til_generations_954_flat_2364_9: frame=48 ra_off=40 slots=[(16, Trace), (24, Trace)] dead=[24]
+	movq %rax, 24(%rsp)
+	movq til_globals+0(%rip), %rax
+	movq %rax, %rdi
+	movq 16(%rsp), %rdi
+	movq %rdi, %rsi
+	call til_go_1083_flat_2388
+.Lret_16_10:
+	# map .Lsm_til_generations_954_flat_2364_10: frame=48 ra_off=40 slots=[(24, Trace)] dead=[]
+	movq %rax, %rdi
+	movq 24(%rsp), %rsi
+	call til_revAppend_621_flat_2354
+.Lret_16_11:
+	# map .Lsm_til_generations_954_flat_2364_11: frame=48 ra_off=40 slots=[] dead=[]
+	movq %rax, %rdi
+	movq 8(%rsp), %rdi
+	movq %rdi, %rsi
+	addq $40, %rsp
+	jmp til_generations_954_flat_2364
+.L16_b1:
+	movq 0(%rsp), %rax
+	addq $40, %rsp
+	ret
+.L16_b0:
+	movq %rsi, %rax
+	addq $40, %rsp
+	ret
+
+	.globl til_sum_979_flat_2389
+til_sum_979_flat_2389:
+	movq $0, %rdx
+	movq %rdi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rdx
+	testq %rdx, %rdx
+	jnz .L17_b1
+	jmp .L17_b2
+.L17_b2:
+	movq 8(%rdi), %rdx
+	movq 16(%rdi), %rcx
+	movq 8(%rdx), %rdi
+	movq 16(%rdx), %rdx
+	movq %rsi, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rsi
+	movq $2, %rdi
+	movq %rdi, %rax
+	imulq %rdx, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	movq %rsi, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	movq %rdi, %rsi
+	movq %rcx, %rdi
+	jmp til_sum_979_flat_2389
+.L17_b1:
+	movq %rdi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L17_b3
+	jmp .L17_b3
+.L17_b3:
+	movq %rsi, %rax
+	ret
+.L17_b0:
+	movq %rdx, %rax
+	ret
+
+	.globl til_len_1100_flat_2390
+til_len_1100_flat_2390:
+	movq %rsi, %rdx
+	movq %rdi, %rsi
+	movq $0, %rdi
+	movq %rsi, %rax
+	cmpq $2097152, %rax
+	setl %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L18_b1
+	jmp .L18_b2
+.L18_b2:
+	movq 8(%rsi), %rdi
+	movq 16(%rsi), %rsi
+	movq $1, %rdi
+	movq %rdx, %rax
+	addq %rdi, %rax
+	jo til_rt_trap_overflow
+	movq %rax, %rdi
+	movq %rdi, %rax
+	movq %rsi, %rdi
+	movq %rax, %rsi
+	jmp til_len_1100_flat_2390
+.L18_b1:
+	movq %rsi, %rax
+	cmpq $0, %rax
+	sete %al
+	movzbq %al, %rax
+	movq %rax, %rdi
+	testq %rdi, %rdi
+	jnz .L18_b3
+	jmp .L18_b3
+.L18_b3:
+	movq %rdx, %rax
+	ret
+.L18_b0:
+	movq %rdi, %rax
+	ret
+
+	.section .rodata
+.Lsm_til_main_0: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_1: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_2: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_3: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_4: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_5: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_6: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_7: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_8: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_9: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_main_10: # stack map
+	.quad 32, 24, 3 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_main_11: # stack map
+	.quad 32, 24, 3 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_main_12: # stack map
+	.quad 32, 24, 3 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_main_13: # stack map
+	.quad 32, 24, 3 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_main_14: # stack map
+	.quad 32, 24, 2 # frame size, ra offset, nslots
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_main_15: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_main_16: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_main_17: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_main_18: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_revAppend_621_flat_2354_0: # stack map
+	.quad 8, 0, 0 # frame size, ra offset, nslots
+.Lsm_til_map_1067_unc_2355_0: # stack map
+	.quad 32, 24, 3 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_map_1067_unc_2355_1: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 16 # Trace
+.Lsm_til_map_1067_unc_2355_2: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 16 # Trace
+.Lsm_til_List_filter_1052_unc_2356_0: # stack map
+	.quad 32, 24, 3 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+	.quad 16 # Trace
+.Lsm_til_List_filter_1052_unc_2356_1: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_List_filter_1052_unc_2356_2: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_go_1083_flat_2358_0: # stack map
+	.quad 8, 0, 0 # frame size, ra offset, nslots
+.Lsm_til_List_concat_2357_0: # stack map
+	.quad 32, 24, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+.Lsm_til_List_concat_2357_1: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_member_1025_flat_2359_0: # stack map
+	.quad 8, 0, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_0: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_1: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_2: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_3: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_4: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_5: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_6: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_7: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_8: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_9: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_10: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_11: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_12: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_13: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_14: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_neighbours_2361_15: # stack map
+	.quad 16, 8, 0 # frame size, ra offset, nslots
+.Lsm_til_dedup_2363_0: # stack map
+	.quad 32, 24, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 8 # Trace
+.Lsm_til_dedup_2363_1: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_dedup_2363_2: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_anon_2370_0: # stack map
+	.quad 8, 0, 0 # frame size, ra offset, nslots
+.Lsm_til_anon_2366_0: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_anon_2366_1: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_2: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_3: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_4: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_5: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_6: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_7: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_8: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_9: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_10: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_11: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_12: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_13: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_14: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_15: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_16: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_17: # stack map
+	.quad 32, 24, 1 # frame size, ra offset, nslots
+	.quad 8 # Trace
+.Lsm_til_anon_2366_18: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_anon_2366_19: # stack map
+	.quad 32, 24, 0 # frame size, ra offset, nslots
+.Lsm_til_anon_2382_0: # stack map
+	.quad 8, 0, 0 # frame size, ra offset, nslots
+.Lsm_til_isBirth_2378_0: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_isBirth_2378_1: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_isBirth_2378_2: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_isBirth_2378_3: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_4: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_5: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_6: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_7: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_8: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_9: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_10: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_11: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_12: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_13: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_14: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_15: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_16: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_17: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_18: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_19: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_isBirth_2378_20: # stack map
+	.quad 48, 40, 0 # frame size, ra offset, nslots
+.Lsm_til_isBirth_2378_21: # stack map
+	.quad 48, 40, 0 # frame size, ra offset, nslots
+.Lsm_til_go_1083_flat_2388_0: # stack map
+	.quad 8, 0, 0 # frame size, ra offset, nslots
+.Lsm_til_generations_954_flat_2364_0: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_generations_954_flat_2364_1: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 0 # Trace
+.Lsm_til_generations_954_flat_2364_2: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_3: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_4: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_5: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_6: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_7: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 0 # Trace
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_8: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 16 # Trace
+.Lsm_til_generations_954_flat_2364_9: # stack map
+	.quad 48, 40, 2 # frame size, ra offset, nslots
+	.quad 16 # Trace
+	.quad 24 # Trace
+.Lsm_til_generations_954_flat_2364_10: # stack map
+	.quad 48, 40, 1 # frame size, ra offset, nslots
+	.quad 24 # Trace
+.Lsm_til_generations_954_flat_2364_11: # stack map
+	.quad 48, 40, 0 # frame size, ra offset, nslots
+	.section .rodata
+til_static_0:
+	.quad 12 # string header
+	.ascii " "
+
+	.section .rodata
+til_static_1:
+	.quad 12 # string header
+	.ascii "\n"
+

@@ -1,6 +1,10 @@
-//! The backend (paper §3.7): register allocation, frame construction,
-//! GC-table generation, machine-code emission, and linking for the
-//! simulated ALPHA-style target.
+//! The backend (paper §3.7): register allocation, RTL → LIR lowering,
+//! frame construction, GC-table generation, machine-code emission,
+//! and linking. Code generation is split target-independent /
+//! per-target: [`emit`] lowers allocated RTL into [`til_lir`]'s IR,
+//! and the [`targets`] module holds the [`til_lir::Target`] impls —
+//! the simulated ALPHA-style VM (the reference target, linked and
+//! run) and textual x86-64 (assembly with re-derived GC stack maps).
 
 pub mod emit;
 pub mod link;
@@ -8,6 +12,8 @@ pub mod liveness;
 pub mod mcv;
 pub mod regalloc;
 pub mod tables_check;
+pub mod targets;
 
 pub use link::{fun_label, link, Linked, LinkOptions};
 pub use tables_check::{check_gc_tables, check_gc_tables_jobs};
+pub use targets::x64::{emit_x64, X64Module};

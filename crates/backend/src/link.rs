@@ -40,6 +40,12 @@ pub struct Linked {
     /// (same order). Consumed by the machine-code verifier
     /// ([`crate::mcv`]); not part of the runnable image.
     pub sigs: Vec<FunSig>,
+    /// Sorted pcs of the heap-pointer bumps completing
+    /// exception-packet allocations. The execution profiler charges
+    /// the HP delta observed after these instructions to its `"(rt)"`
+    /// bucket, so packet construction is visible as runtime allocation
+    /// instead of vanishing into the raising function's total.
+    pub exn_alloc_pcs: Vec<u32>,
 }
 
 /// Link-time configuration.
@@ -118,7 +124,10 @@ impl Statics {
         if let Some(&a) = self.packets.get(&exn) {
             return a;
         }
-        let a = self.alloc_words(&[header::make(header::KIND_RECORD, 1, 0), exn as u64]);
+        let a = self.alloc_words(&[
+            header::make(header::KIND_RECORD, 1, 0) | header::EXN_BIT,
+            exn as u64,
+        ]);
         self.packets.insert(exn, a);
         a
     }
@@ -307,6 +316,7 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions, tracer: Option<&Tracer>) -> Resu
     // ---- Concatenate with relocation.
     let mut tables = GcTables::default();
     tables.stops.insert(halt_at);
+    let mut exn_alloc_pcs: Vec<u32> = Vec::new();
     for e in &emitted {
         let base = base_of[&e.name];
         debug_assert_eq!(base as usize, code.len());
@@ -370,6 +380,9 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions, tracer: Option<&Tracer>) -> Resu
         for (at, _, gp) in &e.gc_points {
             tables.gc_points.insert(base + *at as u32, gp.clone());
         }
+        for at in &e.exn_allocs {
+            exn_alloc_pcs.push(base + *at as u32);
+        }
     }
     // Patch the main call.
     let main = base_of[&None];
@@ -419,6 +432,7 @@ pub fn link(p: &RtlProgram, opts: &LinkOptions, tracer: Option<&Tracer>) -> Resu
         static_bytes,
         fun_ranges,
         sigs,
+        exn_alloc_pcs,
     })
 }
 

@@ -59,65 +59,19 @@
 //! pass is a soundness statement about the tables and conventions, not
 //! a completeness one.
 
+pub mod dataflow;
 pub mod fault;
+pub mod x64;
 
 use crate::emit::{FunSig, MRep};
 use crate::link::Linked;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use dataflow::{Flow, Worklist};
+pub use dataflow::{join, Abs};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use til_common::{Diagnostic, Result, Tracer};
 use til_runtime::{FrameInfo, GcMode, GcPoint, LocRep, RepLoc};
 use til_rtl::HEAP_BASE;
 use til_vm::{code_index, regs, Alu, Instr, Op, RtFn};
-
-/// Abstract class of one machine word.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Abs {
-    /// Unreachable.
-    Bot,
-    /// Frame slot never written on this path.
-    Uninit,
-    /// Known immediate (also covers static addresses from `Lea*`).
-    Const(i64),
-    /// Raw untraced word: native int, float bits, comparison result.
-    Untraced,
-    /// GC-safe traced pointer (or pointer-filtered word).
-    Traced,
-    /// Baseline-mode tagged word.
-    Tagged,
-    /// Odd-encoded code value.
-    Code,
-    /// Heap-interior pointer (HP-derived or locative); dies at a GC.
-    Interior,
-    /// Exception-handler chain record on the stack.
-    Handler,
-    /// SP-derived stack address.
-    StackAddr,
-    /// Pointer that was live across a GC point the tables did not
-    /// cover — the collector would not have updated it.
-    Stale,
-    /// Valid word whose tracedness is decided at run time (companion).
-    Unknown,
-    /// Any valid word (top).
-    Any,
-}
-
-/// Join (= widen: the lattice is flat, so joins stabilize in one
-/// step). `Stale` absorbs every value class: if a merged value is used
-/// after the merge it was live on the stale path too, so the uncovered
-/// table entry is a real bug.
-pub fn join(a: Abs, b: Abs) -> Abs {
-    use Abs::*;
-    if a == b {
-        return a;
-    }
-    match (a, b) {
-        (Bot, x) | (x, Bot) => x,
-        (Any, _) | (_, Any) => Any,
-        (Stale, Handler) | (Handler, Stale) | (Stale, StackAddr) | (StackAddr, Stale) => Any,
-        (Stale, _) | (_, Stale) => Stale,
-        _ => Any,
-    }
-}
 
 /// One installed exception handler, tracked abstractly: the `Lea` of
 /// the handler-entry address marks the install (the record stores and
@@ -293,18 +247,6 @@ fn verify_stubs(l: &Linked, first_fun: u32) -> Result<()> {
     Ok(())
 }
 
-/// How a block-local step continues.
-enum Flow {
-    /// Fall through to the next instruction.
-    Fall,
-    /// Conditional branch: both the (in-range) target and fall-through.
-    CondBranch(u32),
-    /// Unconditional in-range jump.
-    Jump(u32),
-    /// No in-function successor (return, tail call, raise, trap).
-    Stop,
-}
-
 struct Fun<'a> {
     l: &'a Linked,
     tagged: bool,
@@ -314,9 +256,7 @@ struct Fun<'a> {
     sig: &'a FunSig,
     entry_of: &'a HashMap<u32, usize>,
     trap_starts: &'a HashSet<u32>,
-    leaders: HashSet<u32>,
-    states: HashMap<u32, State>,
-    work: VecDeque<u32>,
+    flow: Worklist<State>,
 }
 
 impl<'a> Fun<'a> {
@@ -336,9 +276,7 @@ impl<'a> Fun<'a> {
             sig: &l.sigs[fi],
             entry_of,
             trap_starts,
-            leaders: HashSet::new(),
-            states: HashMap::new(),
-            work: VecDeque::new(),
+            flow: Worklist::new(),
         }
     }
 
@@ -436,39 +374,29 @@ impl<'a> Fun<'a> {
     /// Joins `new` into the recorded entry state of leader `pc`,
     /// queueing it on change.
     fn flow_to(&mut self, pc: u32, new: &State) {
-        match self.states.get_mut(&pc) {
-            Some(old) => {
-                if old.join_from(new) {
-                    self.work.push_back(pc);
-                }
-            }
-            None => {
-                self.states.insert(pc, new.clone());
-                self.work.push_back(pc);
-            }
-        }
+        self.flow.flow_to(pc, new, |old, new| old.join_from(new));
     }
 
     fn run(mut self) -> Result<()> {
         // Block leaders: the entry, every in-range branch/Lea target.
-        self.leaders.insert(self.start);
+        self.flow.leaders.insert(self.start);
         for pc in self.start..self.end {
             match &self.l.code[pc as usize] {
                 Instr::Br(t) | Instr::Beqz(_, t) | Instr::Bnez(_, t)
                     if self.in_range(*t) => {
-                        self.leaders.insert(*t);
+                        self.flow.leaders.insert(*t);
                     }
                 Instr::Lea { target, .. }
                     if self.in_range(*target) => {
-                        self.leaders.insert(*target);
+                        self.flow.leaders.insert(*target);
                     }
                 _ => {}
             }
         }
-        self.states.insert(self.start, self.entry_state());
-        self.work.push_back(self.start);
-        while let Some(leader) = self.work.pop_front() {
-            let mut st = self.states[&leader].clone();
+        self.flow.states.insert(self.start, self.entry_state());
+        self.flow.work.push_back(self.start);
+        while let Some(leader) = self.flow.work.pop_front() {
+            let mut st = self.flow.states[&leader].clone();
             let mut pc = leader;
             loop {
                 if pc >= self.end {
@@ -478,7 +406,7 @@ impl<'a> Fun<'a> {
                         "control falls off the end of the function",
                     ));
                 }
-                if pc != leader && self.leaders.contains(&pc) {
+                if pc != leader && self.flow.leaders.contains(&pc) {
                     self.flow_to(pc, &st);
                     break;
                 }
@@ -1353,6 +1281,7 @@ mod tests {
             frame_default: default,
             delta,
             cur_header: Some(3),
+            handlers: Vec::new(),
         };
         let mut a = mk(Abs::Uninit, Some(24));
         a.frame.insert(-24, Abs::Code);

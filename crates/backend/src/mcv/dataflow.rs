@@ -1,0 +1,119 @@
+//! Target-independent dataflow core of the machine-code verifier: the
+//! abstract word classes, their join, the block-flow vocabulary, and
+//! the worklist fixpoint bookkeeping. The per-target *transfer rules*
+//! — what each instruction does to the abstract state, and what each
+//! safe point's tables must imply — live with their targets:
+//! [`crate::mcv`] for the linked VM unit, [`crate::mcv::x64`] for the
+//! textual x86-64 stream.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Abstract class of one machine word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Abs {
+    /// Unreachable.
+    Bot,
+    /// Frame slot never written on this path.
+    Uninit,
+    /// Known immediate (also covers static addresses from `Lea*`).
+    Const(i64),
+    /// Raw untraced word: native int, float bits, comparison result.
+    Untraced,
+    /// GC-safe traced pointer (or pointer-filtered word).
+    Traced,
+    /// Baseline-mode tagged word.
+    Tagged,
+    /// Odd-encoded code value.
+    Code,
+    /// Heap-interior pointer (HP-derived or locative); dies at a GC.
+    Interior,
+    /// Exception-handler chain record on the stack.
+    Handler,
+    /// SP-derived stack address.
+    StackAddr,
+    /// Pointer that was live across a GC point the tables did not
+    /// cover — the collector would not have updated it.
+    Stale,
+    /// Valid word whose tracedness is decided at run time (companion).
+    Unknown,
+    /// Any valid word (top).
+    Any,
+}
+
+/// Join (= widen: the lattice is flat, so joins stabilize in one
+/// step). `Stale` absorbs every value class: if a merged value is used
+/// after the merge it was live on the stale path too, so the uncovered
+/// table entry is a real bug.
+pub fn join(a: Abs, b: Abs) -> Abs {
+    use Abs::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (Bot, x) | (x, Bot) => x,
+        (Any, _) | (_, Any) => Any,
+        (Stale, Handler) | (Handler, Stale) | (Stale, StackAddr) | (StackAddr, Stale) => Any,
+        (Stale, _) | (_, Stale) => Stale,
+        _ => Any,
+    }
+}
+
+/// How a block-local step continues.
+pub enum Flow {
+    /// Fall through to the next instruction.
+    Fall,
+    /// Conditional branch: both the (in-range) target and fall-through.
+    CondBranch(u32),
+    /// Unconditional in-range jump.
+    Jump(u32),
+    /// No in-function successor (return, tail call, raise, trap).
+    Stop,
+}
+
+/// Worklist fixpoint bookkeeping over block leaders: recorded entry
+/// states, the pending queue, and the join-and-requeue step. The
+/// target's driver discovers leaders, steps instructions, and calls
+/// [`Worklist::flow_to`] for every edge (including non-CFG edges like
+/// the VM verifier's protected-region → handler-entry flows).
+pub struct Worklist<S> {
+    /// Block leaders (entry + every branch target).
+    pub leaders: HashSet<u32>,
+    /// Best-known entry state per leader.
+    pub states: HashMap<u32, S>,
+    /// Leaders whose entry state changed since last stepped.
+    pub work: VecDeque<u32>,
+}
+
+impl<S: Clone> Worklist<S> {
+    /// Empty instance; seed with [`Worklist::flow_to`] at the entry.
+    pub fn new() -> Self {
+        Worklist {
+            leaders: HashSet::new(),
+            states: HashMap::new(),
+            work: VecDeque::new(),
+        }
+    }
+
+    /// Joins `new` into the recorded entry state of leader `pc` with
+    /// the target's join (`join_into` returns whether anything
+    /// changed), queueing the leader on change or first visit.
+    pub fn flow_to(&mut self, pc: u32, new: &S, join_into: impl FnOnce(&mut S, &S) -> bool) {
+        match self.states.get_mut(&pc) {
+            Some(old) => {
+                if join_into(old, new) {
+                    self.work.push_back(pc);
+                }
+            }
+            None => {
+                self.states.insert(pc, new.clone());
+                self.work.push_back(pc);
+            }
+        }
+    }
+}
+
+impl<S: Clone> Default for Worklist<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,414 @@
+//! Per-target mcv rules for the textual x86-64 backend, instantiating
+//! the shared [`super::dataflow`] worklist over the structured
+//! [`X64Op`] stream the emitter mirrors alongside the text.
+//!
+//! The x64 target is never linked or executed here, so the rules are
+//! the *structural* half of the VM verifier's contract — the part
+//! checkable from the instruction stream alone:
+//!
+//! 1. **rsp discipline** — the tracked rsp delta (bytes below the
+//!    entry rsp) is exactly zero at every `ret` and tail-call `jmp`,
+//!    never rises above the frame base, and is reassigned from a
+//!    register only on the terminal raise path.
+//! 2. **Arguments defined before calls** — every argument register a
+//!    call reads was written on *every* path since the last clobber
+//!    (ordinary calls clobber all allocatable registers; the
+//!    `til_rt_*` runtime stubs preserve them, matching the VM's
+//!    runtime-service contract). Indirect calls additionally need the
+//!    decoded target in `r11`.
+//! 3. **Control-flow integrity** — every `jmp`/`jcc` lands on a label
+//!    defined once in the same function, and every direct call names a
+//!    function of the module or a runtime stub.
+//! 4. **Safe-point coverage** — every call carries an in-range stack
+//!    map (shared with [`crate::targets::x64::validate`], kept here so
+//!    the rules stand alone).
+//!
+//! Handler-entry blocks have no in-stream edge (they are reached only
+//! through a raise, which restores the install-time rsp and delivers
+//! the packet in `rax`), so after the main fixpoint drains, any
+//! unvisited label is seeded with exactly that state and the fixpoint
+//! resumes — the x64 counterpart of the VM verifier's
+//! protected-region → handler-entry flows.
+//!
+//! The value-class half (traced vs. untraced, stale-pointer detection,
+//! table re-derivation against an abstract heap) needs the linked
+//! image and stays VM-side in [`crate::mcv`].
+
+use super::dataflow::{Flow, Worklist};
+use crate::targets::x64::{X64Fun, X64Module, X64Op, REG};
+use std::collections::{HashMap, HashSet};
+use til_common::{Diagnostic, Result};
+
+/// Abstract state at one op: the rsp delta and the registers written
+/// since the last clobber.
+#[derive(Clone, PartialEq)]
+struct St {
+    /// Bytes rsp sits below its entry value; `None` once reassigned
+    /// from a register (legal only on the terminal raise path) or once
+    /// paths disagree.
+    delta: Option<i64>,
+    /// Registers (names without `%`) defined on every path here since
+    /// the last full clobber.
+    defined: HashSet<String>,
+}
+
+impl St {
+    fn join_from(&mut self, other: &St) -> bool {
+        let mut changed = false;
+        if self.delta != other.delta && self.delta.is_some() {
+            self.delta = None;
+            changed = true;
+        }
+        let before = self.defined.len();
+        self.defined.retain(|r| other.defined.contains(r));
+        changed || self.defined.len() != before
+    }
+}
+
+/// Runs the x64 rules over every function of an emitted module.
+pub fn verify(m: &X64Module) -> Result<()> {
+    let fun_syms: HashSet<&str> = m.funs.iter().map(|f| f.symbol.as_str()).collect();
+    for f in &m.funs {
+        verify_fun(f, &fun_syms)?;
+    }
+    Ok(())
+}
+
+fn fail(f: &X64Fun, i: usize, msg: &str) -> Diagnostic {
+    Diagnostic::ice(
+        "mc-verify-x64",
+        format!("{}: op {i} ({:?}): {msg}", f.symbol, f.ops[i]),
+    )
+}
+
+fn verify_fun(f: &X64Fun, fun_syms: &HashSet<&str>) -> Result<()> {
+    // Label → op index, each defined exactly once.
+    let mut at: HashMap<&str, u32> = HashMap::new();
+    for (i, op) in f.ops.iter().enumerate() {
+        if let X64Op::Local(l) = op {
+            if at.insert(l.as_str(), i as u32).is_some() {
+                return Err(fail(f, i, "duplicate label"));
+            }
+        }
+    }
+    // Every label is a leader: fall-through into one is a join.
+    let mut flow: Worklist<St> = Worklist::new();
+    flow.leaders.insert(0);
+    for (i, op) in f.ops.iter().enumerate() {
+        if matches!(op, X64Op::Local(_)) {
+            flow.leaders.insert(i as u32);
+        }
+    }
+    let entry = St {
+        delta: Some(0),
+        defined: REG
+            .iter()
+            .take(f.nparams.min(REG.len()))
+            .map(|r| (*r).to_string())
+            .collect(),
+    };
+    flow.flow_to(0, &entry, |o, n| o.join_from(n));
+    loop {
+        while let Some(leader) = flow.work.pop_front() {
+            let mut st = flow.states[&leader].clone();
+            let mut i = leader as usize;
+            loop {
+                if i >= f.ops.len() {
+                    return Err(fail(f, i - 1, "control falls off the end of the function"));
+                }
+                if i as u32 != leader && flow.leaders.contains(&(i as u32)) {
+                    flow.flow_to(i as u32, &st, |o, n| o.join_from(n));
+                    break;
+                }
+                match step(f, i, &mut st, &at, fun_syms)? {
+                    Flow::Fall => i += 1,
+                    Flow::CondBranch(t) => {
+                        flow.flow_to(t, &st, |o, n| o.join_from(n));
+                        i += 1;
+                    }
+                    Flow::Jump(t) => {
+                        flow.flow_to(t, &st, |o, n| o.join_from(n));
+                        break;
+                    }
+                    Flow::Stop => break,
+                }
+            }
+        }
+        // A label no in-stream edge reaches is a handler entry: a
+        // raise restored rsp to its install-time value (the frame is
+        // intact below the prologue) and delivered the packet in rax.
+        let orphan = f.ops.iter().enumerate().find_map(|(i, op)| {
+            if matches!(op, X64Op::Local(_)) && !flow.states.contains_key(&(i as u32)) {
+                Some(i as u32)
+            } else {
+                None
+            }
+        });
+        match orphan {
+            Some(i) => {
+                let seed = St {
+                    delta: Some(f.frame_bytes as i64),
+                    defined: std::iter::once("rax".to_string()).collect(),
+                };
+                flow.flow_to(i, &seed, |o, n| o.join_from(n));
+            }
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+fn step(
+    f: &X64Fun,
+    i: usize,
+    st: &mut St,
+    at: &HashMap<&str, u32>,
+    fun_syms: &HashSet<&str>,
+) -> Result<Flow> {
+    match &f.ops[i] {
+        X64Op::Local(_) => Ok(Flow::Fall),
+        X64Op::Other { defs } => {
+            for d in defs {
+                if d == "rsp" {
+                    // Only the raise sequence assigns rsp from a
+                    // register; the path must terminate without
+                    // touching the frame.
+                    st.delta = None;
+                } else {
+                    st.defined.insert(d.clone());
+                }
+            }
+            Ok(Flow::Fall)
+        }
+        X64Op::Rsp(d) => {
+            match st.delta {
+                Some(cur) => {
+                    let next = cur - d;
+                    if next < 0 {
+                        return Err(fail(f, i, "rsp adjusted above the frame base"));
+                    }
+                    st.delta = Some(next);
+                }
+                None => return Err(fail(f, i, "rsp adjustment with unknown delta")),
+            }
+            Ok(Flow::Fall)
+        }
+        X64Op::Ret => {
+            if st.delta != Some(0) {
+                return Err(fail(
+                    f,
+                    i,
+                    &format!("return with rsp delta {:?} (frame not popped)", st.delta),
+                ));
+            }
+            Ok(Flow::Stop)
+        }
+        X64Op::Jmp(t) => match at.get(t.as_str()) {
+            Some(&target) => Ok(Flow::Jump(target)),
+            None => Err(fail(f, i, &format!("jump to undefined label {t}"))),
+        },
+        X64Op::Jcc(t) => match at.get(t.as_str()) {
+            Some(&target) => Ok(Flow::CondBranch(target)),
+            None => Err(fail(f, i, &format!("jump to undefined label {t}"))),
+        },
+        X64Op::JmpReg(t) => {
+            if t.starts_with("til_rt_trap_") {
+                // Conditional side exit to a trap stub; fall through.
+                return Ok(Flow::Fall);
+            }
+            // Tail call (direct symbol or decoded target in r11) or
+            // the terminal jump of a raise (delta already unknown).
+            if let Some(d) = st.delta {
+                if d != 0 {
+                    return Err(fail(
+                        f,
+                        i,
+                        &format!("tail call with rsp delta {d} (frame not popped)"),
+                    ));
+                }
+            }
+            Ok(Flow::Stop)
+        }
+        X64Op::Call { target, nargs, map } => {
+            match map {
+                None => return Err(fail(f, i, "call without a stack map")),
+                Some(k) if *k >= f.maps.len() => {
+                    return Err(fail(f, i, &format!("stack map index {k} out of range")))
+                }
+                Some(_) => {}
+            }
+            for r in REG.iter().take((*nargs).min(REG.len())) {
+                if !st.defined.contains(*r) {
+                    return Err(fail(
+                        f,
+                        i,
+                        &format!("argument register %{r} not defined on every path to the call"),
+                    ));
+                }
+            }
+            match target {
+                Some(s) if s.starts_with("til_rt_") => {
+                    // Runtime stubs preserve every register (the VM's
+                    // runtime-service contract); only rax is written.
+                    st.defined.insert("rax".to_string());
+                }
+                Some(s) => {
+                    if !fun_syms.contains(s.as_str()) {
+                        return Err(fail(f, i, &format!("call to unknown symbol {s}")));
+                    }
+                    st.defined.clear();
+                    st.defined.insert("rax".to_string());
+                }
+                None => {
+                    if !st.defined.contains("r11") {
+                        return Err(fail(
+                            f,
+                            i,
+                            "indirect call without a decoded target in %r11",
+                        ));
+                    }
+                    st.defined.clear();
+                    st.defined.insert("rax".to_string());
+                }
+            }
+            Ok(Flow::Fall)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use til_runtime::{FrameInfo, GcPoint};
+
+    fn fun(ops: Vec<X64Op>, maps: usize, frame_bytes: u32, nparams: usize) -> X64Fun {
+        X64Fun {
+            symbol: "til_t".into(),
+            lines: Vec::new(),
+            ops,
+            maps: (0..maps)
+                .map(|_| GcPoint {
+                    regs: vec![],
+                    frame: FrameInfo {
+                        size: frame_bytes + 8,
+                        ra_offset: frame_bytes,
+                        slots: vec![],
+                        dead: vec![],
+                    },
+                })
+                .collect(),
+            frame_bytes,
+            nparams,
+        }
+    }
+
+    fn check(f: X64Fun) -> Result<()> {
+        let m = X64Module {
+            funs: vec![f],
+            statics: vec![],
+        };
+        verify(&m)
+    }
+
+    fn defs(rs: &[&str]) -> X64Op {
+        X64Op::Other {
+            defs: rs.iter().map(|r| (*r).to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn balanced_frame_and_defined_args_pass() {
+        let f = fun(
+            vec![
+                X64Op::Rsp(-24),
+                defs(&["rdi"]),
+                X64Op::Call {
+                    target: Some("til_rt_gc".into()),
+                    nargs: 1,
+                    map: Some(0),
+                },
+                X64Op::Rsp(24),
+                X64Op::Ret,
+            ],
+            1,
+            24,
+            0,
+        );
+        assert!(check(f).is_ok());
+    }
+
+    #[test]
+    fn unbalanced_return_is_flagged() {
+        let f = fun(vec![X64Op::Rsp(-24), X64Op::Ret], 0, 24, 0);
+        let e = check(f).unwrap_err();
+        assert!(e.message.contains("frame not popped"), "{}", e.message);
+    }
+
+    #[test]
+    fn undefined_argument_register_is_flagged() {
+        let f = fun(
+            vec![
+                // Ordinary call clobbers, so rsi (set before it) is no
+                // longer defined at the second call.
+                defs(&["rdi"]),
+                defs(&["rsi"]),
+                X64Op::Call {
+                    target: Some("til_t".into()),
+                    nargs: 1,
+                    map: Some(0),
+                },
+                X64Op::Call {
+                    target: Some("til_t".into()),
+                    nargs: 2,
+                    map: Some(0),
+                },
+                X64Op::Ret,
+            ],
+            1,
+            0,
+            1,
+        );
+        let e = check(f).unwrap_err();
+        assert!(
+            e.message.contains("not defined on every path to the call"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn trap_jump_falls_through_and_raise_path_allows_unknown_delta() {
+        let f = fun(
+            vec![
+                X64Op::Rsp(-24),
+                X64Op::JmpReg("til_rt_trap_overflow".into()),
+                defs(&["rax", "r11", "rsp"]),
+                X64Op::JmpReg("r11".into()),
+            ],
+            0,
+            24,
+            0,
+        );
+        assert!(check(f).is_ok());
+    }
+
+    #[test]
+    fn orphan_label_is_verified_as_a_handler_entry() {
+        // The handler block is reachable only through a raise, yet its
+        // unbalanced ret must still be caught.
+        let f = fun(
+            vec![
+                X64Op::Rsp(-24),
+                X64Op::Rsp(24),
+                X64Op::Ret,
+                X64Op::Local(".L0_b1".into()),
+                X64Op::Ret,
+            ],
+            0,
+            24,
+            0,
+        );
+        let e = check(f).unwrap_err();
+        assert!(e.message.contains("frame not popped"), "{}", e.message);
+    }
+}

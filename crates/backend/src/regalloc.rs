@@ -2,27 +2,22 @@
 //! registers are caller-save in our convention) get stack-frame slots
 //! — which is exactly what the nearly tag-free GC tables describe —
 //! and the remaining, call-free live ranges are colored by
-//! Chaitin-style graph coloring over the 22 allocatable registers.
-//! Tail calls keep loop-carried values in registers (nothing is live
-//! across a tail call), so tight loops run register-resident, as in
-//! the paper's Figure 7.
+//! Chaitin-style graph coloring over the target's allocatable
+//! registers (described by a [`RegFile`], so every [`til_lir::Target`]
+//! shares this allocator). Tail calls keep loop-carried values in
+//! registers (nothing is live across a tail call), so tight loops run
+//! register-resident, as in the paper's Figure 7.
 
 use crate::liveness::{defs, liveness, uses, Liveness};
 use std::collections::{HashMap, HashSet};
+use til_lir::RegFile;
 use til_rtl::{RInstr, RtlFun, VReg};
 
-/// Number of colorable registers (r0..r21; r22/r23 are backend
-/// scratch, r24+ are special).
-pub const K: usize = 22;
+pub use til_lir::Loc;
 
-/// Where a vreg lives.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Loc {
-    /// A physical register.
-    Reg(u8),
-    /// A frame slot index.
-    Slot(u32),
-}
+/// Number of colorable registers on the VM target (r0..r21; r22/r23
+/// are backend scratch, r24+ are special).
+pub const K: usize = crate::targets::vm::VM_REG_FILE.allocatable;
 
 /// Allocation result.
 pub struct Alloc {
@@ -41,8 +36,17 @@ fn is_call(i: &RInstr) -> bool {
     )
 }
 
-/// Allocates registers and slots for one function.
+/// Allocates registers and slots for one function against the VM
+/// target's register file.
 pub fn allocate(f: &RtlFun) -> Alloc {
+    allocate_for(f, &crate::targets::vm::VM_REG_FILE)
+}
+
+/// Allocates registers and slots for one function against an arbitrary
+/// target register file: colors `0..rf.allocatable` are handed out,
+/// everything else spills to frame slots. Colors `0..rf.num_args` are
+/// the argument registers of the target's convention.
+pub fn allocate_for(f: &RtlFun, rf: &RegFile) -> Alloc {
     let live = liveness(f);
     // 1. Values live across calls (or into handlers) get slots.
     let mut slotted: HashSet<VReg> = HashSet::new();
@@ -58,7 +62,7 @@ pub fn allocate(f: &RtlFun) -> Alloc {
     // 2. Color the rest; on failure move more vregs to slots.
     let mut loc: HashMap<VReg, Loc> = HashMap::new();
     loop {
-        match try_color(f, &live, &slotted) {
+        match try_color(f, &live, &slotted, rf.allocatable) {
             Ok(colors) => {
                 for (v, c) in colors {
                     loc.insert(v, Loc::Reg(c));
@@ -88,6 +92,7 @@ fn try_color(
     f: &RtlFun,
     live: &Liveness,
     slotted: &HashSet<VReg>,
+    k: usize,
 ) -> Result<HashMap<VReg, u8>, VReg> {
     let mut nodes: HashSet<VReg> = HashSet::new();
     for ins in &f.instrs {
@@ -146,7 +151,7 @@ fn try_color(
             .filter(|v| !removed.contains(v))
             .min_by_key(|v| {
                 let d = degree[v];
-                if d < K {
+                if d < k {
                     (0usize, d)
                 } else {
                     (1usize, usize::MAX - d)
@@ -169,7 +174,7 @@ fn try_color(
             .iter()
             .filter_map(|n| colors.get(n).copied())
             .collect();
-        match (0..K as u8).find(|c| !used.contains(c)) {
+        match (0..k as u8).find(|c| !used.contains(c)) {
             Some(c) => {
                 colors.insert(v, c);
             }

@@ -13,6 +13,11 @@
 //!   `BENCH` (e.g. `Life`) with profiling on and write a combined
 //!   compile+runtime Chrome trace to `trace_BENCH.json`; open it in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `--asm BENCH` — compile benchmark `BENCH` through the second
+//!   backend target and write its textual x86-64 (with GC stack maps)
+//!   to `BENCH_x64.s` in the output directory, after structural
+//!   validation and the per-target mcv rules. With no section name,
+//!   only the assembly is produced (CI diffs the committed golden).
 
 use std::path::PathBuf;
 use til::{Compiler, Options};
@@ -45,6 +50,7 @@ fn main() {
     let mut table: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut chrome: Option<String> = None;
+    let mut asm: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -54,10 +60,14 @@ fn main() {
             "--chrome-trace" => {
                 chrome = Some(args.next().expect("--chrome-trace needs a benchmark name"));
             }
+            "--asm" => {
+                asm = Some(args.next().expect("--asm needs a benchmark name"));
+            }
             _ => table = Some(a),
         }
     }
-    let arg = table.unwrap_or_else(|| "all".into());
+    // `--asm` alone skips the table sections (CI's asm-smoke path).
+    let arg = table.unwrap_or_else(|| if asm.is_some() { "none".into() } else { "all".into() });
     let explicit_dir = out_dir.is_some();
     let out_dir = out_dir.unwrap_or_else(export::default_out_dir);
 
@@ -85,6 +95,9 @@ fn main() {
     }
     if let Some(name) = chrome {
         chrome_trace(&mut r, &name, &out_dir);
+    }
+    if let Some(name) = asm {
+        emit_asm_bench(&mut r, &name, &out_dir);
     }
     let report_path = out_dir.join("tables_output.txt");
     match std::fs::write(&report_path, &r.text) {
@@ -382,6 +395,51 @@ fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
     match export::write_runtime_json(&rows, RUNTIME_SEMI_BYTES, budget, out_dir) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_runtime.json: {e}"),
+    }
+}
+
+/// The second backend target over one named benchmark: emit textual
+/// x86-64, structurally validate it (labels resolve, every safe point
+/// carries a stack map), run the per-target mcv rules, and write
+/// `BENCH_x64.s`. CI regenerates and diffs the committed golden, so a
+/// backend change that perturbs the assembly must re-pin it.
+fn emit_asm_bench(r: &mut Report, name: &str, out_dir: &std::path::Path) {
+    use til_backend::targets::x64::X64Op;
+    let b = suite()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("no benchmark named {name}"));
+    let mut opts = Options::til();
+    opts.emit_asm = true;
+    let exe = Compiler::new(opts)
+        .compile(b.source)
+        .unwrap_or_else(|d| panic!("{d}"));
+    let m = exe.asm().expect("emit_asm set but no x64 module");
+    // The compile already validated under `verify`; repeat here so the
+    // smoke stands alone even if verification is ever toggled off.
+    til_backend::targets::x64::validate(m).unwrap_or_else(|e| panic!("x64 validate: {e}"));
+    til_backend::mcv::x64::verify(m).unwrap_or_else(|e| panic!("{e}"));
+    let calls: usize = m
+        .funs
+        .iter()
+        .map(|f| {
+            f.ops
+                .iter()
+                .filter(|o| matches!(o, X64Op::Call { .. }))
+                .count()
+        })
+        .sum();
+    let maps: usize = m.funs.iter().map(|f| f.maps.len()).sum();
+    r.say(format!("\n== x64 backend: {} ==", b.name));
+    r.say(format!(
+        "{} functions, {calls} safe points, {maps} stack maps, {} statics",
+        m.funs.len(),
+        m.statics.len()
+    ));
+    let path = out_dir.join("BENCH_x64.s");
+    match std::fs::write(&path, m.text()) {
+        Ok(()) => r.say(format!("wrote {}", path.display())),
+        Err(e) => panic!("could not write {}: {e}", path.display()),
     }
 }
 

@@ -1,6 +1,6 @@
 //! Typed program generator for differential testing.
 //!
-//! Generates well-typed core-SML programs by construction, in three
+//! Generates well-typed core-SML programs by construction, in four
 //! [`Class`]es. [`Class::Mixed`] (the default, what [`generate`]
 //! produces) contains a randomized instance of each broad language
 //! feature the differential suite must exercise — recursive, mutually
@@ -31,6 +31,17 @@
 //! `string` row and the profiler's `(rt)` allocation bucket carry
 //! real traffic.
 //!
+//! [`Class::Readers`] is the lexer shape: one long input string built
+//! once, then scanned by index-driven loops whose inner bodies are
+//! `String.sub` reads — a rolling hash, a digit classifier, an
+//! integer lexer that accumulates digit runs into token values, a
+//! strided backward scan, `Subscript`-guarded lookahead past both
+//! ends, a windowed reader allocating a `substring` per step, and
+//! list churn that keeps reading the (long-lived) input between
+//! collections. Where `Strings` stresses the string *builders*,
+//! `Readers` stresses per-character access and the bounds checks in
+//! front of it.
+//!
 //! Every program prints a deterministic checksum (the string class
 //! also prints a string slice), so any two compilations can be
 //! compared by output alone — the O0 compile is the oracle; no
@@ -59,11 +70,20 @@ pub enum Class {
     /// String-heavy programs: runtime string services, long-lived
     /// strings across collections, string contents in the output.
     Strings,
+    /// Reader/lexer programs: index-driven scans over one long input
+    /// string with `String.sub`-heavy inner loops — rolling hashes,
+    /// digit-run lexing, strided and `Subscript`-guarded reads.
+    Readers,
 }
 
 impl Class {
     /// Every generator class, in rotation order.
-    pub const ALL: [Class; 3] = [Class::Mixed, Class::Exceptions, Class::Strings];
+    pub const ALL: [Class; 4] = [
+        Class::Mixed,
+        Class::Exceptions,
+        Class::Strings,
+        Class::Readers,
+    ];
 
     /// Short name for test labels and CI logs.
     pub fn name(self) -> &'static str {
@@ -71,6 +91,7 @@ impl Class {
             Class::Mixed => "mixed",
             Class::Exceptions => "exceptions",
             Class::Strings => "strings",
+            Class::Readers => "readers",
         }
     }
 }
@@ -144,6 +165,7 @@ pub fn generate_class(seed: u64, class: Class) -> Generated {
         Class::Mixed => 0,
         Class::Exceptions => 0x5eed_ec5e_0000_0001,
         Class::Strings => 0x5eed_57f2_0000_0002,
+        Class::Readers => 0x5eed_4ead_0000_0003,
     };
     let r = &mut Rng::new(seed ^ salt);
     let mut s = String::new();
@@ -156,6 +178,7 @@ pub fn generate_class(seed: u64, class: Class) -> Generated {
             Class::Mixed => gen_mixed(r, &mut push),
             Class::Exceptions => gen_exceptions(r, &mut push),
             Class::Strings => gen_strings(r, &mut push),
+            Class::Readers => gen_readers(r, &mut push),
         }
     }
     Generated { seed, source: s }
@@ -571,6 +594,130 @@ fn gen_strings(r: &mut Rng, push: &mut dyn FnMut(String)) {
     ));
 }
 
+/// Reader/lexer programs (see the module doc).
+fn gen_readers(r: &mut Rng, push: &mut dyn FnMut(String)) {
+    // --- The input: rendered ints joined by a separator, the whole
+    // run repeated a few times. Built once and then only *read* — a
+    // single long-lived heap string every scan below indexes into.
+    let sep = ["/", ";", ",", ":"][r.range(0, 4) as usize];
+    push(format!(
+        "fun render (n, acc) = if n <= 0 then acc \
+         else render (n - 1, Int.toString (n * {}) ^ \"{sep}\" ^ acc)",
+        r.range(1, 13)
+    ));
+    push("fun rep (n, s, acc) = if n <= 0 then acc else rep (n - 1, s, acc ^ s)".to_string());
+    let render_n = r.range(12, 40);
+    let rep_n = r.range(2, 6);
+    push(format!(
+        "val input = rep ({rep_n}, render ({render_n}, \"{}\"), \"\")",
+        ["", "end", "!"][r.range(0, 3) as usize]
+    ));
+    push("val len = size input".to_string());
+
+    // --- A rolling hash over every character, by index. The inner
+    // body is exactly one bounds-checked `String.sub`.
+    let hash_mul = [31, 33, 131][r.range(0, 3) as usize];
+    push(format!(
+        "fun hash (i, a) = if i >= len then a \
+         else hash (i + 1, (a * {hash_mul} + ord (String.sub (input, i))) mod 65521)"
+    ));
+    push(format!("val hash_chk = hash (0, {})", r.range(0, 9)));
+
+    // --- A classifier pass: count digit characters (every item in
+    // the input contributes a digit run, so the count is never zero).
+    push(
+        "fun digits (i, a) = if i >= len then a \
+         else digits (i + 1, a + (if Char.isDigit (String.sub (input, i)) then 1 else 0))"
+            .to_string(),
+    );
+    push("val digit_chk = digits (0, 0)".to_string());
+
+    // --- The lexer: accumulate each digit run into a token value,
+    // skip everything else, sum the tokens. `lexnum` returns the
+    // (index, value) pair the driver resumes from — an int pair
+    // flowing between the two scan loops.
+    push(
+        "fun lexnum (i, v) = if i >= len then (i, v) \
+         else if Char.isDigit (String.sub (input, i)) \
+         then lexnum (i + 1, (v * 10 + (ord (String.sub (input, i)) - 48)) mod 9973) \
+         else (i, v)"
+            .to_string(),
+    );
+    push(
+        "fun toks (i, a) = if i >= len then a \
+         else if Char.isDigit (String.sub (input, i)) \
+         then (let val p = lexnum (i, 0) in toks (#1 p, (a + #2 p) mod 65521) end) \
+         else toks (i + 1, a)"
+            .to_string(),
+    );
+    push("val tok_chk = toks (0, 0)".to_string());
+
+    // --- A strided backward scan from the last character.
+    let stride = r.range(1, 5);
+    push(format!(
+        "fun back (i, a) = if i < 0 then a \
+         else back (i - {stride}, (a * 3 + ord (String.sub (input, i))) mod 65521)"
+    ));
+    push("val back_chk = back (len - 1, 0)".to_string());
+
+    // --- Guarded lookahead: reads past both ends recover from the
+    // runtime's `Subscript` trap, in-bounds peeks at the edges don't.
+    push(format!(
+        "fun peek i = (ord (String.sub (input, i))) handle Subscript => ~{}",
+        r.range(1, 9)
+    ));
+    push(format!(
+        "val peek_chk = peek 0 + peek (len - 1) + peek len + peek (len + {}) + peek (0 - {})",
+        r.range(1, 30),
+        r.range(1, 6)
+    ));
+
+    // --- A windowed reader: each step slices a fresh `substring` (an
+    // allocation per window, under the long-lived input) and folds its
+    // first and last characters into the sum. `render_n >= 12` items
+    // of at least two characters each keep every window in bounds.
+    let win = r.range(3, 9);
+    let step = r.range(1, 5);
+    push(format!(
+        "fun windows (i, a) = if i + {win} > len then a \
+         else windows (i + {step}, (a + ord (String.sub (substring (input, i, {win}), 0)) \
+         + ord (String.sub (substring (input, i, {win}), {})) ) mod 65521)",
+        win - 1
+    ));
+    push("val win_chk = windows (0, 0)".to_string());
+
+    // --- Heap churn that keeps reading: cons-cell garbage per
+    // iteration plus one indexed read, so collections interleave with
+    // the scans while `input` stays live across every pause.
+    push("fun build (n, acc) = if n <= 0 then acc else build (n - 1, n :: acc)".to_string());
+    push(
+        "fun sum (xs, a) = case xs of nil => a | x :: rest => sum (rest, a + x)"
+            .to_string(),
+    );
+    let churn_len = r.range(24, 72);
+    let churn_iters = r.range(24, 72);
+    push(format!(
+        "fun churn (n, acc) = if n <= 0 then acc \
+         else churn (n - 1, acc + sum (build ({churn_len}, nil), 0) \
+         + ord (String.sub (input, n mod len)))"
+    ));
+    push(format!("val churn_chk = churn ({churn_iters}, 0)"));
+
+    // --- The checksum, plus a slice of the input printed directly so
+    // the differential comparison covers the scanned *contents* too.
+    push(format!(
+        "val _ = print (Int.toString (hash_chk + digit_chk + tok_chk \
+         + back_chk + peek_chk + win_chk + churn_chk + {}))",
+        int_expr(r, &[], 2)
+    ));
+    push("val _ = print \"|\"".to_string());
+    push(format!(
+        "val _ = print (substring (input, {}, {}))",
+        r.range(0, 4),
+        r.range(2, 8)
+    ));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,8 +743,11 @@ mod tests {
         let mixed = generate_class(5, Class::Mixed).source;
         let exns = generate_class(5, Class::Exceptions).source;
         let strs = generate_class(5, Class::Strings).source;
+        let reads = generate_class(5, Class::Readers).source;
         assert_ne!(mixed, exns);
         assert_ne!(exns, strs);
+        assert_ne!(strs, reads);
+        assert_ne!(mixed, reads);
     }
 
     #[test]
@@ -620,6 +770,26 @@ mod tests {
             for needle in ["^", "Int.toString", "explode", "substring", "String.compare"] {
                 assert!(src.contains(needle), "seed {seed}: no {needle}\n{src}");
             }
+        }
+    }
+
+    #[test]
+    fn reader_class_is_sub_heavy() {
+        for seed in 0..8 {
+            let src = generate_class(seed, Class::Readers).source;
+            for needle in [
+                "String.sub (input",
+                "Char.isDigit",
+                "substring",
+                "handle Subscript",
+            ] {
+                assert!(src.contains(needle), "seed {seed}: no {needle}\n{src}");
+            }
+            // The scans index off one shared long-lived input.
+            assert!(
+                src.matches("String.sub (input").count() >= 8,
+                "seed {seed}: not sub-heavy\n{src}"
+            );
         }
     }
 }

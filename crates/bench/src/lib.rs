@@ -347,6 +347,7 @@ pub mod export {
             .set("array_words", c.array_words)
             .set("string_words", c.string_words)
             .set("closure_words", c.closure_words)
+            .set("exn_words", c.exn_words)
             .set("unknown_words", c.unknown_words)
             .set("total_words", c.total_words())
     }

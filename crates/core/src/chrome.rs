@@ -112,5 +112,6 @@ fn census_args(ce: ChromeEvent, c: &crate::CensusClasses) -> ChromeEvent {
         .arg("array-words", c.array_words)
         .arg("string-words", c.string_words)
         .arg("closure-words", c.closure_words)
+        .arg("exn-words", c.exn_words)
         .arg("unknown-words", c.unknown_words)
 }

@@ -110,6 +110,11 @@ pub struct Options {
     /// overrides this at run time. Program results and [`Stats`] are
     /// identical under every value; only the pause structure differs.
     pub gc_mode: CollectMode,
+    /// Also emit textual x86-64 through the second backend target
+    /// (structurally validated and mcv-checked when [`Options::verify`]
+    /// is on); retrieve it with [`Executable::asm`]. The VM image is
+    /// byte-identical either way.
+    pub emit_asm: bool,
 }
 
 impl Options {
@@ -125,6 +130,7 @@ impl Options {
             jobs: None,
             prelude_cache: PreludeCache::Elab,
             gc_mode: CollectMode::StopTheWorld,
+            emit_asm: false,
         }
     }
 
@@ -179,6 +185,7 @@ impl Options {
             jobs: None,
             prelude_cache: PreludeCache::Elab,
             gc_mode: CollectMode::StopTheWorld,
+            emit_asm: false,
         }
     }
 
@@ -271,6 +278,9 @@ impl CompileInfo {
 /// A compiled, runnable executable.
 pub struct Executable {
     linked: Linked,
+    /// Textual x86-64 from the second backend target (only with
+    /// [`Options::emit_asm`]).
+    asm: Option<til_backend::X64Module>,
     /// Compilation measurements.
     pub info: CompileInfo,
     /// Echo the runtime spans of profiled runs to stderr (inherited
@@ -418,6 +428,7 @@ fn census_event(c: &HeapCensus, start: f64) -> TraceEvent {
             ("array-words", c.classes.array_words as i64),
             ("string-words", c.classes.string_words as i64),
             ("closure-words", c.classes.closure_words as i64),
+            ("exn-words", c.classes.exn_words as i64),
             ("unknown-words", c.classes.unknown_words as i64),
             ("total-words", c.classes.total_words() as i64),
         ],
@@ -466,7 +477,10 @@ impl Executable {
         let mut rt = self.linked.runtime();
         rt.gc.collect_mode = gc_mode;
         if profile {
-            m.profiler = Some(Box::new(til_vm::Profiler::new(self.linked.fun_ranges.clone())));
+            m.profiler = Some(Box::new(
+                til_vm::Profiler::new(self.linked.fun_ranges.clone())
+                    .with_exn_allocs(self.linked.exn_alloc_pcs.clone()),
+            ));
             let fun_code_start = self
                 .linked
                 .fun_ranges
@@ -502,6 +516,12 @@ impl Executable {
     /// The linked image (for inspection).
     pub fn linked(&self) -> &Linked {
         &self.linked
+    }
+
+    /// The textual x86-64 module, when compiled with
+    /// [`Options::emit_asm`].
+    pub fn asm(&self) -> Option<&til_backend::X64Module> {
+        self.asm.as_ref()
     }
 }
 
@@ -853,6 +873,26 @@ impl Compiler {
                 }),
             || til_backend::link(&rtl, &link_opts, Some(&tracer)),
         )?;
+        // The second target: textual x86-64 from the same allocated
+        // LIR, with its own structural validation and per-target mcv
+        // rules. Runs after the link so a VM-side verifier failure
+        // wins, and never perturbs the linked image.
+        let asm = if self.opts.emit_asm {
+            Some(pl.run(
+                Phase::new("emit-x64")
+                    .count(|m: &til_backend::X64Module| {
+                        m.funs.iter().map(|f| f.ops.len()).sum::<usize>()
+                    })
+                    .verify("x64-validate", |m: &til_backend::X64Module| {
+                        til_backend::targets::x64::validate(m)
+                            .map_err(|e| Diagnostic::ice("x64-validate", e))
+                    })
+                    .verify("mc-verify-x64", til_backend::mcv::x64::verify),
+                || Ok(til_backend::emit_x64(&rtl)),
+            )?)
+        } else {
+            None
+        };
         if let Some(d) = dumps {
             use std::fmt::Write as _;
             let mut s = String::new();
@@ -870,6 +910,7 @@ impl Compiler {
         info.events = tracer.into_events();
         Ok(Executable {
             linked,
+            asm,
             info,
             trace_echo,
             gc_mode: self.opts.gc_mode,

@@ -1,0 +1,413 @@
+//! **LIR** — the target-independent low-level IR sitting between RTL
+//! and machine code, plus the [`Target`] abstraction the backend's
+//! pluggable code generators implement.
+//!
+//! RTL is lowered (after register allocation) into [`LirFun`]: the
+//! same ALPHA-style operation vocabulary, still over virtual
+//! registers, but with everything a code generator needs *resolved
+//! and attached* rather than recomputed per target:
+//!
+//! * the register/slot [`Assignment`] the allocator produced;
+//! * a [`SafePoint`] embedded on every instruction that can reach a
+//!   collection or a stack walk (calls, runtime-service calls,
+//!   allocations), carrying the sorted live-in/live-out virtual
+//!   register sets the GC tables are derived from;
+//! * the calling-convention signature ([`FunSig`]) the machine-code
+//!   verifier checks against;
+//! * handler install/uninstall as first-class ops ([`LInstr::PushHandler`],
+//!   [`LInstr::PopHandler`]), so every target implements the
+//!   exception-chain discipline from the same IR.
+//!
+//! A [`Target`] supplies the pieces that genuinely differ per machine:
+//! the [`RegFile`] the allocator colors against, instruction
+//! selection over [`LInstr`], the frame layout ([`FrameLayout`]) that
+//! positions spill slots and the return address, and the encoding of
+//! the per-site GC tables. The table *content* — which slots hold
+//! live traced pointers at a safe point, and which listed slots are
+//! provably dead there — is target-independent and derived here
+//! ([`frame_info`], [`call_frame_info`]) from the safe-point data, so
+//! a new target cannot get the paper's §2.3 invariants wrong by
+//! re-deriving them.
+
+#![deny(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+use til_common::Var;
+use til_runtime::{FrameInfo, LocRep, RepLoc};
+use til_vm::{Alu, Falu, RtFn, Trap};
+
+pub use til_rtl::{ArrKind, CallTarget, HeadSpec, Lbl, ROp, RRep, VReg};
+
+/// Machine-level representation class of a calling-convention value,
+/// derived from the RTL rep annotations and threaded through the
+/// linked unit so the machine-code verifier can check argument and
+/// result registers at every call site and return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MRep {
+    /// Raw untraced word (native int or float bits).
+    Untraced,
+    /// GC-safe traced pointer (or pointer-filtered word).
+    Traced,
+    /// Baseline-mode tagged word (low-bit-discriminated int/pointer).
+    Tagged,
+    /// Odd-encoded code value.
+    Code,
+    /// Rep decided at run time (polymorphic value with a companion).
+    Unknown,
+}
+
+/// A function's machine-level calling-convention signature.
+#[derive(Clone, Debug)]
+pub struct FunSig {
+    /// Per-parameter rep class, in argument-register order.
+    pub params: Vec<MRep>,
+    /// Rep class of the returned value.
+    pub ret: MRep,
+}
+
+/// Maps an RTL rep annotation to its calling-convention class.
+pub fn mrep_of(rep: Option<&RRep>, tagged: bool) -> MRep {
+    match rep {
+        Some(RRep::Int) if tagged => MRep::Tagged,
+        Some(RRep::Int) | Some(RRep::Float) if !tagged => MRep::Untraced,
+        Some(RRep::Trace) => MRep::Traced,
+        Some(RRep::Code) => MRep::Code,
+        _ => MRep::Unknown,
+    }
+}
+
+/// Derives a function's calling-convention signature from its RTL rep
+/// annotations: parameter classes straight from the annotations; the
+/// result class is the join over every `Ret(Some _)` (functions that
+/// diverge or return unit get `Unknown`, which the verifier treats as
+/// unconstrained).
+pub fn fun_sig(f: &til_rtl::RtlFun, tagged: bool) -> FunSig {
+    let mut ret = None;
+    for ins in &f.instrs {
+        if let til_rtl::RInstr::Ret(Some(v)) = ins {
+            let m = mrep_of(f.reps.get(v), tagged);
+            ret = Some(match ret {
+                None => m,
+                Some(prev) if prev == m => m,
+                Some(_) => MRep::Unknown,
+            });
+        }
+    }
+    FunSig {
+        params: f
+            .params
+            .iter()
+            .map(|p| mrep_of(f.reps.get(p), tagged))
+            .collect(),
+        ret: ret.unwrap_or(MRep::Unknown),
+    }
+}
+
+/// Relocations a target leaves for its linker to patch.
+#[derive(Clone, Debug)]
+pub enum Reloc {
+    /// Direct branch/call target: the entry of a code block.
+    CodeTarget(Var),
+    /// Immediate odd-encoded code value (closures).
+    CodeImm(Var),
+    /// Branch to a trap stub.
+    TrapTarget(Trap),
+}
+
+/// Where a virtual register lives after allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register (a color in `0..RegFile::allocatable`; the
+    /// target maps colors to machine registers).
+    Reg(u8),
+    /// A frame slot index (the target maps indices to byte offsets via
+    /// its [`FrameLayout`]).
+    Slot(u32),
+}
+
+/// The allocator's verdict for one function: virtual-register
+/// locations plus the number of frame slots the layout must reserve.
+#[derive(Clone, Debug, Default)]
+pub struct Assignment {
+    /// Location of every virtual register that occurs in the function.
+    pub loc: HashMap<VReg, Loc>,
+    /// Number of frame slots used.
+    pub nslots: u32,
+}
+
+impl Assignment {
+    /// The location of `v`; allocation covers every vreg that occurs
+    /// in the function, so a miss is a lowering bug.
+    pub fn loc(&self, v: VReg) -> Loc {
+        match self.loc.get(&v) {
+            Some(l) => *l,
+            None => unreachable!("vreg {v} has no location"),
+        }
+    }
+}
+
+/// The description of a target's allocatable register file, consumed
+/// by the (target-independent) register allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct RegFile {
+    /// Target name (diagnostics only).
+    pub name: &'static str,
+    /// Number of colorable registers; the allocator hands out colors
+    /// `0..allocatable` and spills the rest to frame slots.
+    pub allocatable: usize,
+    /// How many arguments travel in registers. Colors `0..num_args`
+    /// must map to the argument registers, in convention order.
+    pub num_args: usize,
+}
+
+/// A safe point: an instruction at which a collection or a stack walk
+/// can observe the frame. Carries the liveness the GC tables are
+/// derived from, resolved to *sorted* virtual-register sets so every
+/// target derives byte-identical tables from the same data.
+#[derive(Clone, Debug)]
+pub struct SafePoint {
+    /// Index of the originating RTL instruction (the table
+    /// cross-checker recomputes liveness from it).
+    pub rtl_at: usize,
+    /// Vregs live into the instruction, sorted.
+    pub live_in: Vec<VReg>,
+    /// Vregs live out of the instruction, sorted.
+    pub live_out: Vec<VReg>,
+}
+
+/// One LIR instruction: the RTL operation vocabulary with safe-point
+/// liveness attached where a target must emit GC tables.
+#[derive(Clone, Debug)]
+pub enum LInstr {
+    /// Register/immediate move.
+    Mov { dst: VReg, src: ROp },
+    /// ALU operation.
+    Alu { op: Alu, dst: VReg, a: ROp, b: ROp },
+    /// Float operation on raw bits.
+    Falu { op: Falu, dst: VReg, a: VReg, b: VReg },
+    /// Int → float.
+    Itof { dst: VReg, a: VReg },
+    /// Load word.
+    Ld { dst: VReg, base: VReg, off: i32 },
+    /// Store word.
+    St { src: VReg, base: VReg, off: i32 },
+    /// Load a global slot.
+    LdGlobal { dst: VReg, gid: u32 },
+    /// Store a global slot.
+    StGlobal { src: VReg, gid: u32 },
+    /// Load the odd-encoded address of a code block.
+    LeaCode { dst: VReg, code: Var },
+    /// Load the address of a static object.
+    LeaStatic { dst: VReg, obj: u32 },
+    /// Local label.
+    Label(Lbl),
+    /// Unconditional branch.
+    Br(Lbl),
+    /// Branch if zero.
+    Beqz(VReg, Lbl),
+    /// Branch if nonzero.
+    Bnez(VReg, Lbl),
+    /// Non-tail call; a safe point (the callee may collect).
+    Call {
+        target: CallTarget,
+        args: Vec<VReg>,
+        dst: Option<VReg>,
+        sp: SafePoint,
+    },
+    /// Tail call: pops the frame and jumps. Not a safe point (nothing
+    /// of this frame survives it).
+    TailCall { target: CallTarget, args: Vec<VReg> },
+    /// Runtime-service call; a safe point (allocating services
+    /// collect, stack-walking services parse the frame).
+    CallRt {
+        f: RtFn,
+        args: Vec<VReg>,
+        dst: Option<VReg>,
+        /// Whether the service may allocate (⇒ emit a GC point).
+        alloc: bool,
+        sp: SafePoint,
+    },
+    /// Return.
+    Ret(Option<VReg>),
+    /// Record/closure/box allocation with GC limit check; a safe
+    /// point.
+    Alloc {
+        dst: VReg,
+        head: HeadSpec,
+        fields: Vec<ROp>,
+        sp: SafePoint,
+    },
+    /// Array allocation (dynamic length) with GC limit check; a safe
+    /// point.
+    AllocArr {
+        dst: VReg,
+        kind: ArrKind,
+        len: ROp,
+        init: VReg,
+        sp: SafePoint,
+    },
+    /// Install an exception handler (frame handler slot `idx`).
+    PushHandler { lbl: Lbl, idx: u32 },
+    /// Remove the innermost handler.
+    PopHandler { idx: u32 },
+    /// Handler entry point: receives the packet from the return/packet
+    /// register.
+    HandlerEntry { dst: VReg },
+    /// Raise: unwind to the innermost handler.
+    Raise { packet: VReg },
+    /// Trap if the register is nonzero.
+    TrapIf { cond: VReg, trap: Trap },
+}
+
+/// One function in LIR: the lowered body plus everything instruction
+/// selection needs (assignment, rep annotations, signature).
+#[derive(Clone, Debug)]
+pub struct LirFun {
+    /// Name (the code label; `None` for the program entry).
+    pub name: Option<Var>,
+    /// Parameter vregs, in calling-convention order.
+    pub params: Vec<VReg>,
+    /// Representation annotations (from RTL).
+    pub reps: HashMap<VReg, RRep>,
+    /// Maximum handler nesting depth.
+    pub nhandlers: u32,
+    /// Body.
+    pub instrs: Vec<LInstr>,
+    /// Register/slot assignment.
+    pub assign: Assignment,
+    /// Calling-convention signature.
+    pub sig: FunSig,
+}
+
+/// Per-target frame geometry: where the return address and the spill
+/// slots live. The *content* of the GC tables is derived from this
+/// plus the safe-point data by [`frame_info`]/[`call_frame_info`];
+/// only the geometry is the target's business.
+pub trait FrameLayout {
+    /// Frame size in bytes (what a stack walk must skip).
+    fn frame_size(&self) -> u32;
+    /// Byte offset of the return-address slot within the frame.
+    fn ra_offset(&self) -> u32;
+    /// Byte offset of spill slot `slot` within the frame.
+    fn slot_byte_off(&self, slot: u32) -> u32;
+}
+
+/// Context shared by every function of a compilation unit during
+/// instruction selection.
+pub struct TargetCtx<'a> {
+    /// Universal tagged representation (baseline) or nearly tag-free.
+    pub tagged: bool,
+    /// Resolved address of every static object.
+    pub statics_addr: &'a [u64],
+}
+
+/// A pluggable code generator: a register file for the allocator and
+/// instruction selection from LIR to the target's output form.
+pub trait Target {
+    /// What selecting one function produces (machine code plus
+    /// target-encoded tables, in whatever form the target's linker
+    /// consumes).
+    type Output;
+
+    /// Target name (diagnostics, trace spans).
+    fn name(&self) -> &'static str;
+
+    /// The register file the allocator colors against for this target.
+    fn reg_file(&self) -> &'static RegFile;
+
+    /// Selects instructions for one function.
+    fn select_fun(&self, f: &LirFun, ctx: &TargetCtx) -> Self::Output;
+}
+
+// ------------------------------------------------- GC-table derivation
+
+/// The GC descriptor of `v` when observed *from a stable location*
+/// during a collection or stack walk: `Trace` for unconditionally
+/// traced values; for computed reps, the companion's slot when the
+/// companion is itself slotted, else conservatively `Trace` (sound:
+/// pointer filtering skips non-pointers). `None` for values the
+/// collector ignores.
+pub fn loc_rep_slotted(f: &LirFun, layout: &dyn FrameLayout, v: VReg) -> Option<LocRep> {
+    match f.reps.get(&v) {
+        Some(RRep::Trace) => Some(LocRep::Trace),
+        Some(RRep::Computed(rv)) => match f.assign.loc(*rv) {
+            Loc::Slot(s) => Some(LocRep::Computed(RepLoc::Slot(layout.slot_byte_off(s)))),
+            Loc::Reg(_) => Some(LocRep::Trace),
+        },
+        _ => None,
+    }
+}
+
+/// The GC descriptor of `v` when observed from a *register* at a GC
+/// point (registers are stable across an in-function collection, so a
+/// register-resident companion may be named directly).
+pub fn loc_rep_reg(f: &LirFun, layout: &dyn FrameLayout, v: VReg) -> Option<LocRep> {
+    match f.reps.get(&v) {
+        Some(RRep::Trace) => Some(LocRep::Trace),
+        Some(RRep::Computed(rv)) => {
+            let loc = match f.assign.loc(*rv) {
+                Loc::Reg(r) => RepLoc::Reg(r),
+                Loc::Slot(s) => RepLoc::Slot(layout.slot_byte_off(s)),
+            };
+            Some(LocRep::Computed(loc))
+        }
+        _ => None,
+    }
+}
+
+/// The frame descriptor visible at a point where `live` (sorted vregs)
+/// are live: every slotted pointer-typed live value, as (byte offset,
+/// descriptor), sorted by offset. Tagged mode keeps no slot tables
+/// (the collector scans the whole stack by tag).
+pub fn frame_info(
+    f: &LirFun,
+    layout: &dyn FrameLayout,
+    tagged: bool,
+    live: &[VReg],
+) -> FrameInfo {
+    let mut slots = Vec::new();
+    if !tagged {
+        for v in live {
+            if let Loc::Slot(s) = f.assign.loc(*v) {
+                if let Some(rep) = loc_rep_slotted(f, layout, *v) {
+                    slots.push((layout.slot_byte_off(s), rep));
+                }
+            }
+        }
+        slots.sort_by_key(|(o, _)| *o);
+    }
+    FrameInfo {
+        size: layout.frame_size(),
+        ra_offset: layout.ra_offset(),
+        slots,
+        dead: vec![],
+    }
+}
+
+/// A call site's frame descriptor: the slots live *after* the call
+/// (what the collector must trace once the callee returns), with the
+/// subset that is provably dead at the call instruction itself —
+/// slot-resident values in `live_out` but not `live_in`, i.e. the
+/// call's own result slot — marked so the machine-code verifier can
+/// hold every other listed slot to be genuinely traceable during the
+/// callee's stack walk.
+pub fn call_frame_info(
+    f: &LirFun,
+    layout: &dyn FrameLayout,
+    tagged: bool,
+    sp: &SafePoint,
+) -> FrameInfo {
+    let mut fi = frame_info(f, layout, tagged, &sp.live_out);
+    for v in &sp.live_out {
+        if sp.live_in.binary_search(v).is_ok() {
+            continue;
+        }
+        if let Loc::Slot(s) = f.assign.loc(*v) {
+            if loc_rep_slotted(f, layout, *v).is_some() {
+                fi.dead.push(layout.slot_byte_off(s));
+            }
+        }
+    }
+    fi.dead.sort_unstable();
+    fi
+}

@@ -911,11 +911,25 @@ impl<'a, 'b> FunCx<'a, 'b> {
                     });
                     let ac = self.atom_con(a);
                     let av = self.atom(a)?;
-                    let rec = self.alloc_record(
-                        &[ROp::V(idv), ROp::V(av)],
-                        &[Con::Int, ac],
-                    )?;
-                    Ok(Some(rec))
+                    // Packet = [id, payload], header marked with the
+                    // exception bit so the census and the allocation
+                    // profiler can tell packet construction apart from
+                    // ordinary records. Exception payloads are ground
+                    // (no type variables in `exception` declarations),
+                    // so the mask is static: traced unless the payload
+                    // is an unboxed int/float.
+                    let mask = match til_ubform::vrep(&ac, &self.lw.prog.data) {
+                        til_ubform::VRep::Int | til_ubform::VRep::Float => 0,
+                        _ => 0b10,
+                    };
+                    let head = header::make(header::KIND_RECORD, 2, mask) | header::EXN_BIT;
+                    let dst = self.fresh(RRep::Trace);
+                    self.emit(RInstr::Alloc {
+                        dst,
+                        head: HeadSpec::Static(head),
+                        fields: vec![ROp::V(idv), ROp::V(av)],
+                    });
+                    Ok(Some(dst))
                 }
             },
             CRhs::MkEnv { tenv, venv } => {

@@ -45,6 +45,9 @@ pub enum RepClass {
     String,
     /// Closures (code pointer + environment).
     Closure,
+    /// Exception packets (`[id]` / `[id, payload]` records whose
+    /// header carries [`header::EXN_BIT`]).
+    Exn,
     /// Unresolvable without a companion rep (tagged-mode records).
     Unknown,
 }
@@ -60,6 +63,8 @@ pub struct CensusClasses {
     pub string_words: u64,
     /// Words in closures.
     pub closure_words: u64,
+    /// Words in exception packets.
+    pub exn_words: u64,
     /// Words whose representation could not be resolved.
     pub unknown_words: u64,
 }
@@ -72,6 +77,7 @@ impl CensusClasses {
             + self.array_words
             + self.string_words
             + self.closure_words
+            + self.exn_words
             + self.unknown_words
     }
 
@@ -81,6 +87,7 @@ impl CensusClasses {
             RepClass::Array => self.array_words += words,
             RepClass::String => self.string_words += words,
             RepClass::Closure => self.closure_words += words,
+            RepClass::Exn => self.exn_words += words,
             RepClass::Unknown => self.unknown_words += words,
         }
     }
@@ -152,7 +159,13 @@ pub fn scan(
         let len = header::len(h);
         let (words, class) = match header::kind(h) {
             header::KIND_RECORD => {
-                let class = if let Some(&c) = known.get(&a) {
+                let class = if header::is_exn(h) {
+                    // The exn bit is definitive (set by the lowering
+                    // and the linker on every packet, in both rep
+                    // modes), so it wins over companion refinement and
+                    // survives the tagged baseline's Unknown fallback.
+                    RepClass::Exn
+                } else if let Some(&c) = known.get(&a) {
                     c
                 } else if tagged {
                     RepClass::Unknown

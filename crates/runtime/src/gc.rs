@@ -306,7 +306,7 @@ impl Collector {
             // classify them.
             rep::FLOAT => None,
             rep::STR => Some(RepClass::String),
-            rep::EXN => Some(RepClass::Record),
+            rep::EXN => Some(RepClass::Exn),
             rep::ARROW => Some(RepClass::Closure),
             ptr => {
                 let a = if ptr >= old_from.0 && ptr < old_from.1 {

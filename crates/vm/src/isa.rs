@@ -341,6 +341,17 @@ pub mod header {
         (h >> 32) as u32
     }
 
+    /// Exception-packet marker: bit 63 of a record header (pointer-mask
+    /// bit 31, which field masks never reach — packets have at most two
+    /// fields). Lets the census and the allocation profiler tell packet
+    /// construction apart from ordinary records without a tag word.
+    pub const EXN_BIT: u64 = 1 << 63;
+
+    /// Is this record header an exception packet's?
+    pub fn is_exn(h: u64) -> bool {
+        h & EXN_BIT != 0 && kind(h) == KIND_RECORD
+    }
+
     /// Builds a forwarding header to `addr`.
     pub fn fwd(addr: u64) -> u64 {
         KIND_FWD | (addr << 3)

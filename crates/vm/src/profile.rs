@@ -81,6 +81,15 @@ pub struct Profiler {
     /// (string construction, …) — a distinct bucket so the interpreted
     /// caller is never charged for the runtime's allocation.
     rt_alloc_bytes: u64,
+    /// Sorted pcs of exception-packet allocation bumps (from the
+    /// linker): the HP delta observed right after one of these retires
+    /// is packet construction, charged to the `"(rt)"` bucket like the
+    /// other runtime services instead of the raising function.
+    exn_pcs: Vec<u32>,
+    /// pc of the most recently retired instruction (`u32::MAX` before
+    /// the first retire) — the instruction whose allocation the next
+    /// retire's HP delta reports.
+    last_pc: u32,
 }
 
 impl Profiler {
@@ -96,7 +105,17 @@ impl Profiler {
             cur: n,
             last_hp: u64::MAX,
             rt_alloc_bytes: 0,
+            exn_pcs: Vec::new(),
+            last_pc: u32::MAX,
         }
+    }
+
+    /// Registers the linker's sorted exception-packet allocation pcs
+    /// (the HP-bump instruction completing each packet).
+    pub fn with_exn_allocs(mut self, pcs: Vec<u32>) -> Profiler {
+        debug_assert!(pcs.windows(2).all(|w| w[0] < w[1]), "exn pcs sorted");
+        self.exn_pcs = pcs;
+        self
     }
 
     /// Maps a pc to its bucket: a range index, or `ranges.len()` for
@@ -130,13 +149,22 @@ impl Profiler {
     /// treated as a reset.
     pub fn retire(&mut self, pc: usize, instr: &Instr, hp: u64) {
         if self.last_hp != u64::MAX && hp > self.last_hp {
-            self.counts[self.cur].alloc_bytes += hp - self.last_hp;
+            let delta = hp - self.last_hp;
+            // Exception-packet construction (the previous instruction
+            // was a registered packet bump) is runtime work, like the
+            // string services: charge the rt bucket, not the raiser.
+            if self.exn_pcs.binary_search(&self.last_pc).is_ok() {
+                self.rt_alloc_bytes += delta;
+            } else {
+                self.counts[self.cur].alloc_bytes += delta;
+            }
         }
         self.last_hp = hp;
         let cur = self.locate(pc);
         self.counts[cur].instrs += 1;
         self.opcodes[instr.opcode()] += 1;
         self.cur = cur;
+        self.last_pc = pc as u32;
     }
 
     /// Observes a hardware trap raised by the current instruction.
@@ -284,6 +312,24 @@ mod tests {
         assert_eq!(funs[0].alloc_bytes, 0);
         assert_eq!(funs.last().map(|f| f.name.as_str()), Some("(rt)"));
         assert_eq!(funs.last().map(|f| f.alloc_bytes), Some(32));
+    }
+
+    #[test]
+    fn exn_packet_allocation_lands_in_the_rt_bucket() {
+        let mut p = Profiler::new(ranges()).with_exn_allocs(vec![11]);
+        let mov = Instr::Mov {
+            dst: 1,
+            src: Op::I(0),
+        };
+        p.retire(10, &mov, 1000); // main, establishes hp baseline
+        p.retire(11, &mov, 1000); // the packet's HP bump retires
+        p.retire(12, &mov, 1024); // its 24-byte packet charges rt
+        p.retire(13, &mov, 1040); // ordinary allocation still charges main
+        let funs = p.function_profiles();
+        assert_eq!(funs[0].name, "main");
+        assert_eq!(funs[0].alloc_bytes, 16);
+        assert_eq!(funs.last().map(|f| f.name.as_str()), Some("(rt)"));
+        assert_eq!(funs.last().map(|f| f.alloc_bytes), Some(24));
     }
 
     #[test]

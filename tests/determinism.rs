@@ -9,6 +9,7 @@
 //! images are only comparable within a level.
 
 use til::{Compiler, Options, PreludeCache};
+use til_bench::gen::{generate_class, Class};
 
 const SRC: &str = "datatype 'a tree = Lf | Nd of 'a tree * 'a * 'a tree
      fun insert (Lf, x) = Nd (Lf, x, Lf)
@@ -44,6 +45,118 @@ fn compile(c: &Compiler) -> (Vec<til_vm::isa::Instr>, til_runtime::GcTables, Vec
     );
     let l = exe.linked();
     (l.code.clone(), l.tables.clone(), l.image.clone())
+}
+
+/// FNV-1a over a canonical rendering of the linked unit: every code
+/// instruction (assembly `Display`), the full GC tables (`Debug`), and
+/// the initial memory image word by word. Any byte-level drift in the
+/// emitted code, the tables, or the statics changes the hash.
+fn image_hash(exe: &til::Executable) -> u64 {
+    let l = exe.linked();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for ins in &l.code {
+        eat(format!("{ins};").as_bytes());
+    }
+    // The tables hash in sorted-key order (they live in hash maps,
+    // whose iteration order is not part of the image).
+    let mut gc_points: Vec<_> = l.tables.gc_points.iter().collect();
+    gc_points.sort_by_key(|(pc, _)| **pc);
+    for (pc, gp) in gc_points {
+        eat(format!("g{pc}:{gp:?};").as_bytes());
+    }
+    let mut call_sites: Vec<_> = l.tables.call_sites.iter().collect();
+    call_sites.sort_by_key(|(pc, _)| **pc);
+    for (pc, fi) in call_sites {
+        eat(format!("c{pc}:{fi:?};").as_bytes());
+    }
+    let mut stops: Vec<_> = l.tables.stops.iter().collect();
+    stops.sort();
+    eat(format!("s{stops:?};{:?}", l.tables.globals).as_bytes());
+    for (a, w) in &l.image {
+        eat(&a.to_le_bytes());
+        eat(&w.to_le_bytes());
+    }
+    h
+}
+
+/// The golden-image corpus: the fixture above plus one generated
+/// program per differential class, with the committed hash of the
+/// full-TIL linked image. One hash per program: the image is
+/// byte-identical across every prelude-cache level and worker count
+/// (the test asserts exactly that), and the hashes pin the backend's
+/// observable output — any refactor of lowering, register allocation,
+/// emission, or linking must either reproduce them byte for byte or
+/// consciously re-pin them with a changelog entry explaining the
+/// image change.
+const GOLDEN_SEED: u64 = 3;
+fn golden_corpus() -> Vec<(&'static str, String, u64)> {
+    vec![
+        ("fixture", SRC.to_string(), 0x272e_5529_0882_71be),
+        (
+            "mixed",
+            generate_class(GOLDEN_SEED, Class::Mixed).source,
+            0x1a1e_1e6c_c146_cc28,
+        ),
+        (
+            "exceptions",
+            generate_class(GOLDEN_SEED, Class::Exceptions).source,
+            0xa918_cf8e_675f_c936,
+        ),
+        (
+            "strings",
+            generate_class(GOLDEN_SEED, Class::Strings).source,
+            0xabed_6ca9_50c2_6e97,
+        ),
+    ]
+}
+
+#[test]
+fn linked_image_matches_the_committed_golden_hash() {
+    // Re-pin after an intentional image change with
+    // `TIL_PIN_GOLDEN=1 cargo test --test determinism linked_image -- --nocapture`
+    // and paste the printed constants.
+    let pin = std::env::var("TIL_PIN_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0");
+    for (name, src, want) in golden_corpus() {
+        for cache in [PreludeCache::Off, PreludeCache::Elab, PreludeCache::Lmli] {
+            for jobs in [1usize, 8] {
+                let exe = Compiler::new(opts(cache, jobs))
+                    .compile(&src)
+                    .expect("compile");
+                if pin {
+                    println!("golden {name} {cache:?} jobs={jobs}: {:#018x}", image_hash(&exe));
+                    continue;
+                }
+                assert_eq!(
+                    image_hash(&exe),
+                    want,
+                    "[{name}/{cache:?}/jobs={jobs}] linked image diverged from \
+                     the committed golden hash (got {:#018x})",
+                    image_hash(&exe)
+                );
+            }
+        }
+        if pin {
+            continue;
+        }
+        // The collection-scheduling mode is a runtime knob: compiling
+        // with the incremental scheduler must reproduce the same image.
+        let mut inc = opts(PreludeCache::Elab, 1);
+        inc.gc_mode = til::CollectMode::Incremental {
+            budget: til::DEFAULT_PAUSE_BUDGET,
+        };
+        let exe = Compiler::new(inc).compile(&src).expect("compile");
+        assert_eq!(
+            image_hash(&exe),
+            want,
+            "[{name}] gc_mode leaked into the golden image"
+        );
+    }
 }
 
 #[test]

@@ -1,14 +1,18 @@
 //! Differential testing over generated typed programs.
 //!
-//! [`til_bench::gen`] produces well-typed programs in three classes:
+//! [`til_bench::gen`] produces well-typed programs in four classes:
 //! the broad `Mixed` feature sweep (recursion, currying, tuples,
 //! polymorphic instantiation with typecase-specialized array access,
 //! bounds-checked array reads, heap churn), the `Exceptions` class
 //! (payload-carrying raise/handle across recursion and datatypes,
 //! values live only into handlers, nested handlers with re-raises,
-//! recovered traps, churn inside protected regions), and the
-//! `Strings` class (runtime string services, long-lived strings
-//! across collections, string contents in the output). Every program
+//! recovered traps, churn inside protected regions), the `Strings`
+//! class (runtime string services, long-lived strings across
+//! collections, string contents in the output), and the `Readers`
+//! class (lexer-shaped index loops whose inner bodies are
+//! bounds-checked `String.sub` reads over one long-lived input
+//! string, including `Subscript`-recovered reads past both ends).
+//! Every program
 //! is compiled at O0 (the oracle), under full TIL optimization, under
 //! every single-pass ablation ([`Options::ablations`]), and under the
 //! baseline (tagged) compiler — all with verification on, so the
@@ -157,6 +161,19 @@ fn string_programs_agree_across_optimization_levels() {
     );
 }
 
+#[test]
+fn reader_programs_agree_across_optimization_levels() {
+    // The lexer-shaped class: `String.sub`-heavy index loops over one
+    // long-lived input string under every config, with the input held
+    // live across the churn loop's collections and `Subscript`
+    // recovery on reads past both ends of the string.
+    let total_gc = run_corpus_class(SEED, 2, Class::Readers);
+    assert!(
+        total_gc >= 1,
+        "reader corpus never triggered a collection with the input live"
+    );
+}
+
 /// Minimized regression for the handler-crossing GC-liveness bug the
 /// exception corpus flushed out: `keep` is live *only* into the
 /// handler, and `boom` churns enough heap inside the protected region
@@ -227,6 +244,14 @@ fn deep_exception_corpus_with_rotated_seed() {
 #[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
 fn deep_string_corpus_with_rotated_seed() {
     let total_gc = run_corpus_class(deep_base(), 8, Class::Strings);
+    assert!(total_gc >= 1);
+}
+
+/// The deep reader/lexer corpus, rotated along with the mixed one.
+#[test]
+#[ignore = "deep corpus: run explicitly, optionally with TIL_DIFF_SEED=<n>"]
+fn deep_reader_corpus_with_rotated_seed() {
+    let total_gc = run_corpus_class(deep_base(), 8, Class::Readers);
     assert!(total_gc >= 1);
 }
 

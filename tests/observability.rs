@@ -563,6 +563,74 @@ fn string_heavy_programs_populate_the_string_census_row() {
 }
 
 #[test]
+fn exception_allocation_is_visible_to_profiler_and_census() {
+    // Exception-packet construction used to be invisible: the packet's
+    // bytes were charged to whichever function the pc was in, and the
+    // census filed packets under `record` (or `unknown` in the tagged
+    // baseline). Packets now carry a header marker — the profiler
+    // charges them to the runtime `(rt)` bucket like the other runtime
+    // services, and the census gets a distinct `exn` row, in both rep
+    // modes. The program raises (and recovers) 300 payload-carrying
+    // exceptions (one 3-word packet each), holds 60 packets live to
+    // exit as first-class values, and churns enough to collect with
+    // the stash live.
+    let src = "exception Bail of int
+               fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+               fun mk (0, acc) = acc | mk (n, acc) = mk (n - 1, Bail n :: acc)
+               fun count (xs, a) = case xs of nil => a | _ :: r => count (r, a + 1)
+               fun churn (0, acc) = acc
+                 | churn (n, acc) = churn (n - 1, acc + length (build (400, nil)))
+               fun boom (0, k) = raise Bail k | boom (n, k) = boom (n - 1, k) + 1
+               fun spin (0, acc) = acc
+                 | spin (n, acc) = spin (n - 1, acc + ((boom (3, n)) handle Bail k => k))
+               val stash = mk (60, nil)
+               val chk = spin (300, 0) + churn (50, 0)
+               val _ = print (Int.toString (chk + count (stash, 0)))";
+    for opts in small_heap_modes() {
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let out = exe.run_with(2_000_000_000, true).expect("run");
+        assert!(out.stats.gc_count > 0, "test premise: collections ran");
+        let p = out.profile.expect("profile");
+        let rt = p
+            .functions
+            .iter()
+            .find(|f| f.name == "(rt)")
+            .expect("rt bucket missing on an exception-heavy run");
+        assert!(
+            rt.alloc_bytes >= 300 * 24,
+            "packet construction under-charged to the rt bucket: {}",
+            rt.alloc_bytes
+        );
+        let fn_alloc: u64 = p.functions.iter().map(|f| f.alloc_bytes).sum();
+        assert_eq!(
+            fn_alloc, out.stats.allocated_bytes,
+            "attribution must stay exhaustive with exn packets re-bucketed"
+        );
+        let exit = p
+            .censuses
+            .iter()
+            .find(|c| c.when == til::CensusWhen::Exit)
+            .expect("exit census");
+        assert!(
+            exit.classes.exn_words >= 60 * 3,
+            "exit census must classify the live packet stash: {} exn words",
+            exit.classes.exn_words
+        );
+        let pause_exn = p
+            .censuses
+            .iter()
+            .filter(|c| c.after_gc().is_some())
+            .map(|c| c.classes.exn_words)
+            .max()
+            .expect("pause-time census");
+        assert!(
+            pause_exn > 0,
+            "no pause-time census saw a surviving exception packet"
+        );
+    }
+}
+
+#[test]
 fn recovered_traps_are_counted_per_function() {
     // `div 0` raises the hardware `Div` trap on exactly one iteration
     // (n = 3) and the handler recovers; the execution profile must

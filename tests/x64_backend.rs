@@ -1,0 +1,83 @@
+//! The second backend target end-to-end: compiling with
+//! [`til::Options::emit_asm`] produces textual x86-64 alongside the
+//! (unchanged) VM image, the module passes structural validation and
+//! the per-target mcv rules, and every safe point carries a stack map
+//! derived from the same target-independent data as the VM's tables.
+
+use til_backend::targets::x64::{validate, X64Op};
+use til_backend::X64Module;
+
+const PROGRAM: &str = r#"
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+exception Odd
+fun check n = if n mod 2 = 0 then n else raise Odd
+val guarded = (check 7) handle Odd => ~1
+val xs = Array.array (16, 0)
+fun fill i = if i < 16 then (Array.update (xs, i, i * i); fill (i + 1)) else ()
+val _ = fill 0
+val _ = print (Int.toString (fib 12))
+val _ = print (Int.toString (Array.sub (xs, 7)))
+val _ = print (Int.toString guarded)
+"#;
+
+fn compile_asm(opts: til::Options) -> (til::Executable, String) {
+    let mut opts = opts;
+    opts.emit_asm = true;
+    let exe = til::Compiler::new(opts).compile(PROGRAM).expect("compile");
+    let text = exe.asm().expect("emit_asm set but no module").text();
+    (exe, text)
+}
+
+#[test]
+fn emits_validated_assembly_with_stack_maps() {
+    let (exe, text) = compile_asm(til::Options::til());
+    let m: &X64Module = exe.asm().unwrap();
+    validate(m).expect("structural validation");
+    til_backend::mcv::x64::verify(m).expect("per-target mcv rules");
+    assert!(!m.funs.is_empty());
+    // Every call is a safe point with an in-range stack map, and each
+    // map is rendered into the .rodata table section.
+    let mut calls = 0;
+    for f in &m.funs {
+        for op in &f.ops {
+            if let X64Op::Call { map, .. } = op {
+                calls += 1;
+                assert!(map.is_some_and(|k| k < f.maps.len()));
+            }
+        }
+        for k in 0..f.maps.len() {
+            assert!(
+                text.contains(&format!(".Lsm_{}_{k}:", f.symbol)),
+                "stack map table {k} of {} missing from the text",
+                f.symbol
+            );
+        }
+    }
+    assert!(calls > 0, "the program should contain calls");
+    assert!(text.contains("\t.text\n"));
+    assert!(text.contains("til_rt_gc"));
+}
+
+#[test]
+fn vm_image_and_output_are_unchanged_by_emit_asm() {
+    let plain = til::Compiler::new(til::Options::til())
+        .compile(PROGRAM)
+        .expect("compile");
+    let (with_asm, _) = compile_asm(til::Options::til());
+    assert_eq!(
+        plain.linked().code.len(),
+        with_asm.linked().code.len(),
+        "emit_asm must not perturb the VM image"
+    );
+    let out = with_asm.run(50_000_000).expect("run").output;
+    assert_eq!(out, plain.run(50_000_000).expect("run").output);
+}
+
+#[test]
+fn baseline_mode_also_emits_assembly() {
+    let (exe, text) = compile_asm(til::Options::baseline());
+    let m = exe.asm().unwrap();
+    validate(m).expect("structural validation");
+    til_backend::mcv::x64::verify(m).expect("per-target mcv rules");
+    assert!(text.contains("\t.text\n"));
+}
