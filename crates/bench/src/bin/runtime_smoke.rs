@@ -10,10 +10,17 @@
 //!   timeline, each post-GC census total equals that cycle's surviving
 //!   live words, the exit census equals `final_heap_words`, and the
 //!   census maximum equals `max_live_words`;
+//! * **allocation sites** — the site survival table is a second
+//!   exhaustive view of the same HP deltas (site allocation sums to
+//!   function allocation), every census's per-site breakdown sums to
+//!   its class totals, site exit residency accounts for the whole
+//!   resident heap, and the table is byte-identical across collection
+//!   modes;
 //! * **incremental scheduling** — the incremental leg produces the
 //!   same output and `Stats`, one slice group per collection, every
-//!   slice within the pause budget, and (suite-wide) a maximum pause
-//!   strictly below the stop-the-world maximum;
+//!   slice within the pause budget, p50/p95/p99 monotone with p99 ≤
+//!   budget, and (suite-wide) a maximum pause strictly below the
+//!   stop-the-world maximum;
 //! * **baseline census** — the tagged-baseline leg agrees on output
 //!   and its exit census also accounts for the whole resident heap
 //!   (the census-gap columns compare the two modes);
@@ -112,6 +119,38 @@ fn main() {
             b.name
         );
 
+        // Allocation-site invariants: the site table and the
+        // per-function attribution are two views of the same HP
+        // deltas, every census's site breakdown must sum to its class
+        // totals, and the sites' exit residency must account for the
+        // whole resident heap.
+        let site_alloc: u64 = p.sites.iter().map(|s| s.alloc_words * 8).sum();
+        let fn_alloc: u64 = p.functions.iter().map(|f| f.alloc_bytes).sum();
+        assert_eq!(
+            site_alloc, fn_alloc,
+            "{}: site allocation does not sum to function allocation",
+            b.name
+        );
+        for c in &p.censuses {
+            let site_total: u64 = c
+                .sites
+                .iter()
+                .map(|s| s.classes.total_words())
+                .sum();
+            assert_eq!(
+                site_total,
+                c.classes.total_words(),
+                "{}: census site breakdown does not sum to its class totals",
+                b.name
+            );
+        }
+        let site_exit: u64 = p.sites.iter().map(|s| s.live_at_exit_words).sum();
+        assert_eq!(
+            site_exit, stats.final_heap_words,
+            "{}: site exit residency does not sum to the resident heap",
+            b.name
+        );
+
         // The incremental leg: same program, same heap, collection
         // sliced under the default pause budget. Results and Stats
         // must be identical to stop-the-world scheduling; the pause
@@ -150,6 +189,34 @@ fn main() {
                 pause.pause_cost
             );
         }
+        // The percentile view of the same distribution: tail latency
+        // is the figure that matters, so gate p99 (and the ordering
+        // p50 <= p95 <= p99 <= max) explicitly rather than only the
+        // maximum.
+        let (p50, p95, p99) = (
+            pi.pause_percentile(50.0),
+            pi.pause_percentile(95.0),
+            pi.pause_percentile(99.0),
+        );
+        assert!(
+            p50 <= p95 && p95 <= p99 && p99 <= pi.max_pause(),
+            "{}: pause percentiles are not monotone (p50 {p50}, p95 {p95}, p99 {p99}, max {})",
+            b.name,
+            pi.max_pause()
+        );
+        assert!(
+            p99 <= budget,
+            "{}: incremental p99 pause {p99} exceeds the budget {budget}",
+            b.name
+        );
+        // Site statistics are mode-independent: the copy stream is
+        // identical under confined slicing, so the survival tables
+        // must match byte for byte.
+        assert_eq!(
+            p.sites, pi.sites,
+            "{}: incremental site statistics differ from stop-the-world",
+            b.name
+        );
         // The two legs must also agree on collection totals, cycle by
         // cycle: the slices of cycle `c` sum to the stop-the-world
         // pause of collection `c`.

@@ -18,6 +18,11 @@
 //!   to `BENCH_x64.s` in the output directory, after structural
 //!   validation and the per-target mcv rules. With no section name,
 //!   only the assembly is produced (CI diffs the committed golden).
+//! * `--alloc-sites BENCH` — run benchmark `BENCH` profiled under the
+//!   pressured heap and print its allocation-site survival table
+//!   (words allocated, words surviving 1/2/N collections, words live
+//!   at exit, per site). With no section name, only this table is
+//!   produced (CI's site-smoke path).
 
 use std::path::PathBuf;
 use til::{Compiler, Options};
@@ -51,6 +56,7 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut chrome: Option<String> = None;
     let mut asm: Option<String> = None;
+    let mut sites: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -63,11 +69,21 @@ fn main() {
             "--asm" => {
                 asm = Some(args.next().expect("--asm needs a benchmark name"));
             }
+            "--alloc-sites" => {
+                sites = Some(args.next().expect("--alloc-sites needs a benchmark name"));
+            }
             _ => table = Some(a),
         }
     }
-    // `--asm` alone skips the table sections (CI's asm-smoke path).
-    let arg = table.unwrap_or_else(|| if asm.is_some() { "none".into() } else { "all".into() });
+    // `--asm` / `--alloc-sites` alone skip the table sections (CI's
+    // smoke paths).
+    let arg = table.unwrap_or_else(|| {
+        if asm.is_some() || sites.is_some() {
+            "none".into()
+        } else {
+            "all".into()
+        }
+    });
     let explicit_dir = out_dir.is_some();
     let out_dir = out_dir.unwrap_or_else(export::default_out_dir);
 
@@ -98,6 +114,9 @@ fn main() {
     }
     if let Some(name) = asm {
         emit_asm_bench(&mut r, &name, &out_dir);
+    }
+    if let Some(name) = sites {
+        alloc_sites_bench(&mut r, &name);
     }
     let report_path = out_dir.join("tables_output.txt");
     match std::fs::write(&report_path, &r.text) {
@@ -383,6 +402,32 @@ fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
             hottest,
         ));
     }
+    // The allocation-site survival table (ISSUE: "which sites produce
+    // long-lived data"): per benchmark, the top sites by words
+    // allocated with their survival and exit-residency columns.
+    r.say(format!(
+        "\n== Allocation sites (top 3 by words allocated; survival at 1/2/{} collections) ==",
+        export::SURVIVAL_N
+    ));
+    r.say(format!(
+        "{:>12} {:>24} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "program", "site", "alloc", "surv1", "surv2", "survN", "at exit"
+    ));
+    for (name, m, _, _) in &ms {
+        for s in m.profile.top_sites(3) {
+            let surv = |k: usize| s.survived_words.get(k - 1).copied().unwrap_or(0);
+            r.say(format!(
+                "{:>12} {:>24} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                s.name,
+                s.alloc_words,
+                surv(1),
+                surv(2),
+                surv(export::SURVIVAL_N),
+                s.live_at_exit_words,
+            ));
+        }
+    }
     let rows: Vec<til_bench::RuntimeRow> = ms
         .iter()
         .map(|(n, m, mi, mb)| til_bench::RuntimeRow {
@@ -395,6 +440,44 @@ fn runtime_report(r: &mut Report, out_dir: &std::path::Path) {
     match export::write_runtime_json(&rows, RUNTIME_SEMI_BYTES, budget, out_dir) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_runtime.json: {e}"),
+    }
+}
+
+/// The allocation-site survival table for one named benchmark: a
+/// profiled pressured-heap run, top sites by words allocated with the
+/// full survival histogram depth. CI runs this as a smoke over one
+/// benchmark (`tables --alloc-sites Life`).
+fn alloc_sites_bench(r: &mut Report, name: &str) {
+    let b = suite()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("no benchmark named {name}"));
+    let m = measure_runtime(&b, RUNTIME_SEMI_BYTES).unwrap_or_else(|e| panic!("{e}"));
+    r.say(format!(
+        "\n== Allocation sites: {} ({} GCs, {} sites) ==",
+        b.name,
+        m.stats.gc_count,
+        m.profile.sites.len()
+    ));
+    r.say(format!(
+        "{:>24} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "site", "pc", "alloc", "surv1", "surv2", "survN", "at exit", "depth"
+    ));
+    let top = m.profile.top_sites(export::TOP_K);
+    assert!(!top.is_empty(), "{}: no allocation sites recorded", b.name);
+    for s in &top {
+        let surv = |k: usize| s.survived_words.get(k - 1).copied().unwrap_or(0);
+        r.say(format!(
+            "{:>24} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            s.name,
+            if s.pc == u32::MAX { "-".into() } else { s.pc.to_string() },
+            s.alloc_words,
+            surv(1),
+            surv(2),
+            surv(export::SURVIVAL_N),
+            s.live_at_exit_words,
+            s.survived_words.len(),
+        ));
     }
 }
 

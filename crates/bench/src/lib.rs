@@ -332,13 +332,19 @@ pub mod export {
     // ---- Runtime observability export (`BENCH_runtime.json`).
 
     /// Schema identifier of the runtime-observability export.
-    /// `v3` added the incremental-collection leg (per-mode pause
-    /// distributions, slice counts, the pause budget) and census
-    /// provenance marks; `v2` added the tagged-baseline census columns.
-    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v3";
+    /// `v4` added per-benchmark `alloc_sites` (allocation-site
+    /// survival statistics) and pause-cost percentiles; `v3` added the
+    /// incremental-collection leg (per-mode pause distributions, slice
+    /// counts, the pause budget) and census provenance marks; `v2`
+    /// added the tagged-baseline census columns.
+    pub const RUNTIME_SCHEMA: &str = "til-bench-runtime/v4";
 
     /// Functions reported per benchmark in the execution profile.
     pub const TOP_K: usize = 10;
+
+    /// The deep-survival column: `survived_n_words` counts words that
+    /// survived at least this many collections.
+    pub const SURVIVAL_N: usize = 8;
 
     fn census_json(c: &til::CensusClasses, provenance: &str) -> Json {
         Json::obj()
@@ -366,6 +372,9 @@ pub mod export {
             .set("cycles", slices.len() as u64)
             .set("max_slices_per_cycle", slices.iter().copied().max().unwrap_or(0))
             .set("max_cost", p.max_pause())
+            .set("p50_cost", p.pause_percentile(50.0))
+            .set("p95_cost", p.pause_percentile(95.0))
+            .set("p99_cost", p.pause_percentile(99.0))
             .set(
                 "mean_cost",
                 if count > 0 {
@@ -385,20 +394,43 @@ pub mod export {
             )
     }
 
+    /// One allocation site's export row: total words, the 1/2/N
+    /// survival columns (words surviving at least that many
+    /// collections), the histogram depth, and exit residency. The
+    /// `(rt)` and `(unmapped)` pseudo-sites export `pc` −1 / −2.
+    fn site_json(s: &til::SiteProfile) -> Json {
+        let surv = |k: usize| s.survived_words.get(k - 1).copied().unwrap_or(0);
+        let pc = match s.pc {
+            u32::MAX => -1i64,
+            pc if pc == u32::MAX - 1 => -2,
+            pc => pc as i64,
+        };
+        Json::obj()
+            .set("name", s.name.clone())
+            .set("pc", pc)
+            .set("alloc_words", s.alloc_words)
+            .set("survived_1_words", surv(1))
+            .set("survived_2_words", surv(2))
+            .set("survived_n_words", surv(SURVIVAL_N))
+            .set("max_survived_cycles", s.survived_words.len() as u64)
+            .set("live_at_exit_words", s.live_at_exit_words)
+    }
+
     /// Builds the runtime-observability report: per benchmark, the GC
     /// pause distribution under *both* collection-scheduling modes
     /// (stop-the-world and incremental under `pause_budget`), the exit
     /// heap census (in TIL mode and in the tagged baseline, with the
-    /// census gap between them), the hottest functions, and the opcode
-    /// mix. Everything here is a pure function of the deterministic
-    /// instruction stream, so the file is byte-stable across runs and
-    /// machines.
+    /// census gap between them), the allocation-site survival table,
+    /// the hottest functions, and the opcode mix. Everything here is a
+    /// pure function of the deterministic instruction stream, so the
+    /// file is byte-stable across runs and machines.
     pub fn runtime_json(rows: &[super::RuntimeRow<'_>], semi_bytes: u64, pause_budget: u64) -> Json {
         Json::obj()
             .set("schema", RUNTIME_SCHEMA)
             .set("fuel", super::FUEL)
             .set("semi_bytes", semi_bytes)
             .set("pause_budget", pause_budget)
+            .set("survival_n", SURVIVAL_N as u64)
             .set(
                 "benchmarks",
                 Json::arr(rows.iter().map(|row| {
@@ -457,6 +489,10 @@ pub mod export {
                             "modes_agree",
                             m.output == mi.output && m.stats == mi.stats,
                         )
+                        // Site statistics are likewise a pure function
+                        // of the (mode-independent) instruction and
+                        // copy stream, so the two legs must agree.
+                        .set("sites_agree", p.sites == mi.profile.sites)
                         .set(
                             "gc_pauses",
                             Json::obj()
@@ -466,6 +502,10 @@ pub mod export {
                         .set("exit_census", exit_census)
                         .set("baseline_exit_census", baseline_exit_census)
                         .set("census_gap", gap)
+                        .set(
+                            "alloc_sites",
+                            Json::arr(p.top_sites(TOP_K).into_iter().map(site_json)),
+                        )
                         .set(
                             "top_functions",
                             Json::arr(p.top_functions(TOP_K).into_iter().map(|f| {

@@ -12,15 +12,21 @@
 //! Arm programmatically with [`break_pass`] (guard-scoped) or
 //! externally with the `TIL_BREAK_PASS` environment variable.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 static ARMED: Mutex<Option<String>> = Mutex::new(None);
+
+/// The arming slot, tolerating poison: a test that panicked while
+/// armed must not wedge every later compile in the process.
+fn armed_slot() -> MutexGuard<'static, Option<String>> {
+    ARMED.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Arms fault injection for the named pass; disarms when the guard
 /// drops. The registry is process-global — tests that arm a pass must
 /// not run concurrently with other compiles in the same process.
 pub fn break_pass(name: &str) -> Injection {
-    *ARMED.lock().unwrap() = Some(name.to_string());
+    *armed_slot() = Some(name.to_string());
     Injection(())
 }
 
@@ -29,14 +35,14 @@ pub struct Injection(());
 
 impl Drop for Injection {
     fn drop(&mut self) {
-        ARMED.lock().unwrap().take();
+        armed_slot().take();
     }
 }
 
 /// Whether injection is armed for `pass` (programmatically or via the
 /// `TIL_BREAK_PASS` environment variable).
 pub fn armed(pass: &str) -> bool {
-    if ARMED.lock().unwrap().as_deref() == Some(pass) {
+    if armed_slot().as_deref() == Some(pass) {
         return true;
     }
     std::env::var("TIL_BREAK_PASS").map(|v| v == pass) == Ok(true)

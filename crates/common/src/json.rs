@@ -43,6 +43,9 @@ impl Json {
     pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
             Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            // Builder misuse is a programming error in the
+            // exporter, not a runtime condition (documented above).
+            #[allow(clippy::panic)]
             _ => panic!("Json::set on non-object"),
         }
         self
@@ -211,6 +214,20 @@ impl ChromeEvent {
             ph: 'X',
             ts_us,
             dur_us: Some(dur_us),
+            tid,
+            args: Json::obj(),
+        }
+    }
+
+    /// A counter (`ph: "C"`) sample: each arg becomes one series of
+    /// the counter track named `name`, sampled at `ts_us`.
+    pub fn counter(name: impl Into<String>, cat: &'static str, ts_us: f64, tid: u64) -> ChromeEvent {
+        ChromeEvent {
+            name: name.into(),
+            cat,
+            ph: 'C',
+            ts_us,
+            dur_us: None,
             tid,
             args: Json::obj(),
         }

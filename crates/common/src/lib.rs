@@ -10,6 +10,12 @@
 //! the `TIL_TRACE` environment variable) and the hand-rolled JSON
 //! writer ([`json::Json`]) behind the bench harness's metrics export.
 
+// Substrate hygiene: everything in this crate runs under every phase
+// of every compile — failures must be typed, propagated, or carry a
+// documented scoped `allow` justifying why aborting is the only
+// option. (`clippy.toml` exempts test code.)
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 pub mod diag;
 pub mod fault;
 pub mod json;
@@ -34,11 +40,14 @@ pub use var::{Var, VarSupply};
 /// point routes through here.
 pub fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
     std::thread::scope(|s| {
-        std::thread::Builder::new()
+        // OS thread-spawn failure (resource exhaustion) has no
+        // recovery path inside a compile; a panic on the big-stack
+        // thread is re-raised here with its original payload.
+        #[allow(clippy::expect_used)]
+        let h = std::thread::Builder::new()
             .stack_size(512 << 20)
             .spawn_scoped(s, f)
-            .expect("spawn compiler thread")
-            .join()
-            .expect("compiler thread panicked")
+            .expect("spawn compiler thread");
+        h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
     })
 }

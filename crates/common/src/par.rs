@@ -18,6 +18,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// plenty and costs only address space.
 const WORKER_STACK: usize = 64 << 20;
 
+/// OS thread-spawn failure (resource exhaustion) has no recovery path
+/// inside a compile — abort the pipeline with the cause.
+#[allow(clippy::panic)]
+fn spawn_failed(e: std::io::Error) -> ! {
+    panic!("spawn worker thread: {e}")
+}
+
 /// Resolves the effective job count: the `TIL_JOBS` environment
 /// variable wins, then the programmatic request, then the machine's
 /// available parallelism. Always at least 1.
@@ -71,18 +78,26 @@ where
                             out.push((i, f(i, &items[i])));
                         }
                     })
-                    .expect("spawn worker thread")
+                    .unwrap_or_else(|e| spawn_failed(e))
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("worker thread panicked") {
+            let out = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            for (i, r) in out {
                 results[i] = Some(r);
             }
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("every index produced a result"))
+        .map(|r| {
+            // Workers claim indices from one shared counter until it
+            // passes `items.len()`, so every slot is filled exactly
+            // once; an empty slot is a scheduler bug, not a runtime
+            // condition.
+            #[allow(clippy::expect_used)]
+            r.expect("every index produced a result")
+        })
         .collect()
 }
 

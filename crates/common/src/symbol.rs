@@ -35,7 +35,7 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `s`, returning its canonical `Symbol`.
     pub fn intern(s: &str) -> Symbol {
-        let mut i = interner().lock().unwrap();
+        let mut i = interner().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&id) = i.map.get(s) {
             return Symbol(id);
         }
@@ -50,7 +50,7 @@ impl Symbol {
 
     /// Returns the interned string.
     pub fn as_str(&self) -> &'static str {
-        interner().lock().unwrap().strings[self.0 as usize]
+        interner().lock().unwrap_or_else(std::sync::PoisonError::into_inner).strings[self.0 as usize]
     }
 
     /// Raw index, useful for dense side tables.

@@ -114,13 +114,13 @@ impl Tracer {
     /// merged stream is identical regardless of scheduling.
     pub fn absorb_events(&self, events: Vec<TraceEvent>) {
         let base = {
-            let st = self.state.lock().unwrap();
+            let st = self.locked();
             st.depth + 1
         };
         for mut ev in events {
             ev.depth += base;
             self.emit(&ev);
-            self.state.lock().unwrap().events.push(ev);
+            self.locked().events.push(ev);
         }
     }
 
@@ -128,7 +128,7 @@ impl Tracer {
     /// drops; attach counters to the guard while it is open.
     pub fn span(&self, name: impl Into<String>) -> Span<'_> {
         let depth = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.locked();
             let d = st.depth;
             st.depth += 1;
             d
@@ -153,7 +153,7 @@ impl Tracer {
     ) {
         let now = self.epoch.elapsed().as_secs_f64();
         let ev = {
-            let st = self.state.lock().unwrap();
+            let st = self.locked();
             TraceEvent {
                 name: name.into(),
                 depth: st.depth,
@@ -163,14 +163,14 @@ impl Tracer {
             }
         };
         self.emit(&ev);
-        self.state.lock().unwrap().events.push(ev);
+        self.locked().events.push(ev);
     }
 
     /// Records an instantaneous counter-only event at the current depth.
     pub fn counter(&self, name: impl Into<String>, value: i64) {
         let now = self.epoch.elapsed().as_secs_f64();
         let ev = {
-            let st = self.state.lock().unwrap();
+            let st = self.locked();
             TraceEvent {
                 name: name.into(),
                 depth: st.depth,
@@ -180,18 +180,21 @@ impl Tracer {
             }
         };
         self.emit(&ev);
-        self.state.lock().unwrap().events.push(ev);
+        self.locked().events.push(ev);
     }
 
     /// All events recorded so far, in closing order (children before
     /// parents, like a post-order traversal).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.state.lock().unwrap().events.clone()
+        self.locked().events.clone()
     }
 
     /// Consumes the tracer, returning its events.
     pub fn into_events(self) -> Vec<TraceEvent> {
-        self.state.into_inner().unwrap().events
+        self.state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .events
     }
 
     /// Records (and echoes, when enabled) pre-built events verbatim —
@@ -201,8 +204,17 @@ impl Tracer {
     pub fn replay_events(&self, events: Vec<TraceEvent>) {
         for ev in events {
             self.emit(&ev);
-            self.state.lock().unwrap().events.push(ev);
+            self.locked().events.push(ev);
         }
+    }
+
+    /// Locks the event state, tolerating poison: a panicking worker
+    /// must not cascade a second failure into every later trace call —
+    /// the events recorded so far are still coherent.
+    fn locked(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn emit(&self, ev: &TraceEvent) {
@@ -235,7 +247,7 @@ impl Tracer {
             counters: std::mem::take(&mut span.counters),
         };
         self.emit(&ev);
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         st.depth = span.depth;
         st.events.push(ev);
     }

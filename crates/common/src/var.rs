@@ -81,10 +81,11 @@ impl VarSupply {
 
     fn named(&mut self, hint: Option<Symbol>) -> Var {
         let id = self.next;
-        self.next = self
-            .next
-            .checked_add(1)
-            .expect("variable supply exhausted");
+        // 2^32 variables means a runaway pass, not a user error —
+        // wrapping silently would alias live variables.
+        #[allow(clippy::expect_used)]
+        let next = self.next.checked_add(1).expect("variable supply exhausted");
+        self.next = next;
         Var { id, hint }
     }
 

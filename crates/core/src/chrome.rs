@@ -80,7 +80,7 @@ pub fn chrome_trace_json(info: &CompileInfo, run: Option<(&Stats, &RunProfile)>)
         }
         for c in &rp.censuses {
             match c.when {
-                til_runtime::CensusWhen::MidRun { at_instr } => evs.push(census_args(
+                til_runtime::CensusWhen::MidRun { at_instr, .. } => evs.push(census_args(
                     ChromeEvent::complete(
                         "midrun-census",
                         "runtime",
@@ -101,6 +101,41 @@ pub fn chrome_trace_json(info: &CompileInfo, run: Option<(&Stats, &RunProfile)>)
                     &c.classes,
                 )),
                 til_runtime::CensusWhen::AfterGc(_) => {}
+            }
+        }
+        // Allocation-site counter track: one `ph:"C"` sample per
+        // census, with a series per top site (by words allocated)
+        // carrying that site's live words at the sample. Perfetto
+        // renders this as the per-site residency timeline — the
+        // visual form of the survival statistics.
+        let top: Vec<&str> = rp.top_sites(8).iter().map(|s| s.name.as_str()).collect();
+        if !top.is_empty() {
+            for c in &rp.censuses {
+                let ts = match c.when {
+                    til_runtime::CensusWhen::AfterGc(cycle) => rp
+                        .pauses
+                        .iter()
+                        .filter(|p| p.cycle == cycle)
+                        .map(|p| p.at_instr)
+                        .max(),
+                    til_runtime::CensusWhen::MidRun { at_instr, .. } => Some(at_instr),
+                    til_runtime::CensusWhen::Exit => Some(stats.instrs),
+                };
+                let Some(ts) = ts else { continue };
+                if c.sites.is_empty() {
+                    continue;
+                }
+                let mut ce =
+                    ChromeEvent::counter("site-live-words", "runtime", ts as f64, TID_RUNTIME);
+                for name in &top {
+                    let words = c
+                        .sites
+                        .iter()
+                        .find(|s| s.name == *name)
+                        .map_or(0, |s| s.classes.total_words());
+                    ce = ce.arg(name, words);
+                }
+                evs.push(ce);
             }
         }
     }

@@ -36,9 +36,9 @@ pub use til_common::TraceEvent;
 pub use til_lmli::LmliOptions;
 pub use til_opt::{OptOptions, OptStats, PassStat};
 pub use til_runtime::{
-    CensusClasses, CensusWhen, CollectMode, GcPause, HeapCensus, DEFAULT_PAUSE_BUDGET,
+    CensusClasses, CensusWhen, CollectMode, GcPause, HeapCensus, SiteCensus, DEFAULT_PAUSE_BUDGET,
 };
-pub use til_vm::{FuncProfile, Stats, VmError};
+pub use til_vm::{FuncProfile, SiteProfile, Stats, VmError};
 
 /// The SML prelude prefixed onto every compilation unit.
 pub use til_elab::PRELUDE;
@@ -115,6 +115,14 @@ pub struct Options {
     /// is on); retrieve it with [`Executable::asm`]. The VM image is
     /// byte-identical either way.
     pub emit_asm: bool,
+    /// Mid-run heap-census cadence for profiled runs: `None` (the
+    /// default) records at most one mid-run sample, and only while the
+    /// run has not collected yet; `Some(n)` samples roughly every `n`
+    /// retired instructions, collections or not. The
+    /// `TIL_CENSUS_EVERY` environment variable overrides this at run
+    /// time (`0` = the default behaviour). Strictly observational:
+    /// program output and [`Stats`] are identical under every value.
+    pub census_every: Option<u64>,
 }
 
 impl Options {
@@ -131,6 +139,7 @@ impl Options {
             prelude_cache: PreludeCache::Elab,
             gc_mode: CollectMode::StopTheWorld,
             emit_asm: false,
+            census_every: None,
         }
     }
 
@@ -186,6 +195,7 @@ impl Options {
             prelude_cache: PreludeCache::Elab,
             gc_mode: CollectMode::StopTheWorld,
             emit_asm: false,
+            census_every: None,
         }
     }
 
@@ -289,6 +299,10 @@ pub struct Executable {
     /// Collection scheduling (inherited from [`Options::gc_mode`];
     /// `TIL_GC_MODE` overrides it at run time).
     gc_mode: CollectMode,
+    /// Mid-run census cadence (inherited from
+    /// [`Options::census_every`]; `TIL_CENSUS_EVERY` overrides it at
+    /// run time).
+    census_every: Option<u64>,
 }
 
 /// A profiled run's observability payload. Every field is a pure
@@ -310,16 +324,47 @@ pub struct RunProfile {
     /// share a [`GcPause::cycle`] value).
     pub pauses: Vec<GcPause>,
     /// Type-indexed heap censuses: one per collection
-    /// ([`CensusWhen::AfterGc`]), at most one mid-run sample for runs
-    /// that never collect ([`CensusWhen::MidRun`]), plus an exit-time
-    /// sample ([`CensusWhen::Exit`]).
+    /// ([`CensusWhen::AfterGc`]), mid-run samples per the census
+    /// cadence ([`CensusWhen::MidRun`] — by default at most one, only
+    /// for runs that never collect), plus an exit-time sample
+    /// ([`CensusWhen::Exit`]). Each sample also carries a per-site
+    /// breakdown ([`HeapCensus::sites`]).
     pub censuses: Vec<HeapCensus>,
+    /// Per-allocation-site lifetime statistics (words allocated,
+    /// survival histogram by collection count, words live at exit),
+    /// sorted by site pc with the `(rt)` pseudo-site last. Site
+    /// identity is carried across semispace flips by the collector
+    /// reporting every forwarding copy to the profiler's heap side
+    /// map.
+    pub sites: Vec<SiteProfile>,
 }
 
 impl RunProfile {
     /// The longest pause cost over the run (0 when nothing collected).
     pub fn max_pause(&self) -> u64 {
         self.pauses.iter().map(|p| p.pause_cost).max().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile of the pause-cost distribution
+    /// (`q` in `(0, 100]`; 0 when nothing collected). `q = 100` is
+    /// [`max_pause`](RunProfile::max_pause).
+    pub fn pause_percentile(&self, q: f64) -> u64 {
+        let mut costs: Vec<u64> = self.pauses.iter().map(|p| p.pause_cost).collect();
+        if costs.is_empty() {
+            return 0;
+        }
+        costs.sort_unstable();
+        let rank = (q / 100.0 * costs.len() as f64).ceil() as usize;
+        costs[rank.clamp(1, costs.len()) - 1]
+    }
+
+    /// The top `k` allocation sites by words allocated (ties broken by
+    /// site pc, so the ranking is deterministic).
+    pub fn top_sites(&self, k: usize) -> Vec<&SiteProfile> {
+        let mut v: Vec<&SiteProfile> = self.sites.iter().filter(|s| s.alloc_words > 0).collect();
+        v.sort_by(|a, b| b.alloc_words.cmp(&a.alloc_words).then_with(|| a.pc.cmp(&b.pc)));
+        v.truncate(k);
+        v
     }
 
     /// Slice counts per collection cycle, in cycle order. Every entry
@@ -381,10 +426,26 @@ impl RunProfile {
         }
         for c in &self.censuses {
             match c.when {
-                CensusWhen::MidRun { at_instr } => evs.push(census_event(c, at_us(at_instr))),
+                CensusWhen::MidRun { at_instr, .. } => evs.push(census_event(c, at_us(at_instr))),
                 CensusWhen::Exit => evs.push(census_event(c, at_us(stats.instrs))),
                 CensusWhen::AfterGc(_) => {}
             }
+        }
+        for s in self.top_sites(8) {
+            evs.push(TraceEvent {
+                name: format!("site {}", s.name),
+                depth: 1,
+                start: 0.0,
+                seconds: 0.0,
+                counters: vec![
+                    ("alloc-words", s.alloc_words as i64),
+                    (
+                        "survived-1-words",
+                        s.survived_words.first().copied().unwrap_or(0) as i64,
+                    ),
+                    ("live-at-exit-words", s.live_at_exit_words as i64),
+                ],
+            });
         }
         for f in self.top_functions(8) {
             evs.push(TraceEvent {
@@ -417,22 +478,38 @@ impl RunProfile {
 }
 
 fn census_event(c: &HeapCensus, start: f64) -> TraceEvent {
+    let mut counters = vec![("after-gc", c.after_gc().map_or(-1, |i| i as i64))];
+    if let CensusWhen::MidRun { seq, .. } = c.when {
+        counters.push(("midrun-seq", seq as i64));
+    }
     TraceEvent {
         name: "heap-census".into(),
         depth: 1,
         start,
         seconds: 0.0,
-        counters: vec![
-            ("after-gc", c.after_gc().map_or(-1, |i| i as i64)),
-            ("record-words", c.classes.record_words as i64),
-            ("array-words", c.classes.array_words as i64),
-            ("string-words", c.classes.string_words as i64),
-            ("closure-words", c.classes.closure_words as i64),
-            ("exn-words", c.classes.exn_words as i64),
-            ("unknown-words", c.classes.unknown_words as i64),
-            ("total-words", c.classes.total_words() as i64),
-        ],
+        counters: {
+            counters.extend([
+                ("record-words", c.classes.record_words as i64),
+                ("array-words", c.classes.array_words as i64),
+                ("string-words", c.classes.string_words as i64),
+                ("closure-words", c.classes.closure_words as i64),
+                ("exn-words", c.classes.exn_words as i64),
+                ("unknown-words", c.classes.unknown_words as i64),
+                ("total-words", c.classes.total_words() as i64),
+            ]);
+            counters
+        },
     }
+}
+
+/// `TIL_CENSUS_EVERY` parsed as a run-time override: `Some(Some(n))`
+/// for a cadence of `n` instructions, `Some(None)` when set to `0`
+/// (force the default single-sample behaviour), `None` when unset or
+/// unparsable (fall back to [`Options::census_every`]).
+fn census_every_from_env() -> Option<Option<u64>> {
+    let v = std::env::var("TIL_CENSUS_EVERY").ok()?;
+    let n: u64 = v.trim().parse().ok()?;
+    Some((n > 0).then_some(n))
 }
 
 /// The result of running an executable.
@@ -476,6 +553,8 @@ impl Executable {
         let mut m = self.linked.machine();
         let mut rt = self.linked.runtime();
         rt.gc.collect_mode = gc_mode;
+        rt.gc
+            .set_census_every(census_every_from_env().unwrap_or(self.census_every));
         if profile {
             m.profiler = Some(Box::new(
                 til_vm::Profiler::new(self.linked.fun_ranges.clone())
@@ -501,6 +580,7 @@ impl Executable {
                 functions: p.function_profiles(),
                 pauses: g.pauses,
                 censuses: g.censuses,
+                sites: p.site_profiles(),
             }
         });
         if let (Some(rp), true) = (&profile, self.trace_echo) {
@@ -914,6 +994,7 @@ impl Compiler {
             info,
             trace_echo,
             gc_mode: self.opts.gc_mode,
+            census_every: self.opts.census_every,
         })
     }
 

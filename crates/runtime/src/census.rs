@@ -30,7 +30,7 @@
 //! The census only *reads* machine state and charges no `rt_cost`, so
 //! a profiled run's `Stats` are identical to an unprofiled run's.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use til_vm::{header, Machine, VmError};
 
 /// Representation class of one live heap object.
@@ -111,10 +111,30 @@ pub enum CensusWhen {
     MidRun {
         /// Instructions retired when the sample was taken.
         at_instr: u64,
+        /// Zero-based index of this sample among the run's mid-run
+        /// samples (cadence sampling takes several; the default takes
+        /// at most one, with `seq == 0`).
+        seq: u64,
     },
     /// At program exit, over the resident heap (header classification
     /// only).
     Exit,
+}
+
+/// One allocation site's slice of a census sample: the live words the
+/// site's surviving objects occupy, still bucketed by representation
+/// class. Site identity comes from the VM profiler's heap side map
+/// (see `til_vm::profile`), which the collector keeps current across
+/// semispace flips by reporting every forwarding copy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteCensus {
+    /// The allocation pc (`til_vm::RT_SITE` / `til_vm::UNMAPPED_SITE`
+    /// for the pseudo-sites).
+    pub site: u32,
+    /// Resolved site name (`fun+offset`, `(rt)`, `(unmapped)`, …).
+    pub name: String,
+    /// This site's live words, by representation class.
+    pub classes: CensusClasses,
 }
 
 /// One census sample: the heap walked after a collection, mid-run, or
@@ -125,6 +145,11 @@ pub struct HeapCensus {
     pub when: CensusWhen,
     /// The bucketed live words.
     pub classes: CensusClasses,
+    /// The same live words broken down by allocation site, sorted by
+    /// site pc (pseudo-sites last). Empty when the machine carries no
+    /// execution profiler (site identity needs the heap side map);
+    /// otherwise the sites' class totals sum to `classes` exactly.
+    pub sites: Vec<SiteCensus>,
 }
 
 impl HeapCensus {
@@ -138,12 +163,26 @@ impl HeapCensus {
     }
 }
 
+/// A census walk's result: the class totals plus the per-site
+/// breakdown (empty without an attached execution profiler).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CensusSample {
+    /// Live words by representation class.
+    pub classes: CensusClasses,
+    /// The same words by allocation site (each site again bucketed by
+    /// class), sorted by site pc.
+    pub sites: Vec<SiteCensus>,
+}
+
 /// Walks the contiguous object region `[base, end)` and buckets every
-/// object. `known` maps object addresses to companion-slot-resolved
-/// classes; `fun_code_start` is the first code index belonging to a
-/// compiled function (everything below is linker stub code); `tagged`
-/// disables the untagged-closure heuristic (tagged values make code
-/// pointers indistinguishable from tagged ints).
+/// object — by representation class, and (when the machine carries an
+/// execution profiler whose heap side map can name the allocator) by
+/// allocation site as well. `known` maps object addresses to
+/// companion-slot-resolved classes; `fun_code_start` is the first code
+/// index belonging to a compiled function (everything below is linker
+/// stub code); `tagged` disables the untagged-closure heuristic
+/// (tagged values make code pointers indistinguishable from tagged
+/// ints).
 pub fn scan(
     m: &Machine,
     base: u64,
@@ -151,8 +190,10 @@ pub fn scan(
     fun_code_start: u32,
     tagged: bool,
     known: &HashMap<u64, RepClass>,
-) -> Result<CensusClasses, VmError> {
+) -> Result<CensusSample, VmError> {
+    let profiler = m.profiler.as_deref();
     let mut out = CensusClasses::default();
+    let mut by_site: BTreeMap<u32, CensusClasses> = BTreeMap::new();
     let mut a = base;
     while a < end {
         let h = m.rd(a)?;
@@ -187,9 +228,23 @@ pub fn scan(
             }
         };
         out.add(class, words);
+        if let Some(p) = profiler {
+            by_site.entry(p.site_of(a)).or_default().add(class, words);
+        }
         a += 8 * words;
     }
-    Ok(out)
+    let sites = by_site
+        .into_iter()
+        .map(|(site, classes)| SiteCensus {
+            site,
+            name: profiler.map(|p| p.site_name(site)).unwrap_or_default(),
+            classes,
+        })
+        .collect();
+    Ok(CensusSample {
+        classes: out,
+        sites,
+    })
 }
 
 /// The closure shape from RTL lowering: `[header(record, 2, mask=0b10),

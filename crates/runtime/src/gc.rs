@@ -201,6 +201,15 @@ pub struct Collector {
     /// API (`begin_cycle` / `slice` / write barrier) is also public so
     /// the barrier machinery can be driven with a cycle held open.
     cycle: Option<Cycle>,
+    /// Mid-run census cadence: `None` keeps the default behaviour (at
+    /// most one sample, taken only while no collection has happened);
+    /// `Some(n)` samples roughly every `n` retired instructions,
+    /// collections or not. Set via
+    /// [`set_census_every`](Collector::set_census_every).
+    census_every: Option<u64>,
+    /// Instruction count at/after which the next cadence sample is
+    /// due (cadence mode only).
+    next_census_at: u64,
 }
 
 impl Collector {
@@ -214,6 +223,41 @@ impl Collector {
             last_hp: 0,
             profile: None,
             cycle: None,
+            census_every: None,
+            next_census_at: 0,
+        }
+    }
+
+    /// Configures the mid-run census cadence (see
+    /// [`census_every`](field@Collector::census_every)). `Some(0)` is
+    /// normalized to `None` (the default single-sample behaviour).
+    pub fn set_census_every(&mut self, every: Option<u64>) {
+        self.census_every = every.filter(|&n| n > 0);
+        self.next_census_at = self.census_every.unwrap_or(0);
+    }
+
+    /// The periodic census policy, called from the runtime's periodic
+    /// hook (profiled runs only; strictly observational). Default: at
+    /// most one mid-run sample, taken only while the run has not yet
+    /// collected (after-GC censuses cover the rest). Cadence mode
+    /// (`set_census_every`): one sample every `n` retired
+    /// instructions, collections or not; a failed sample (heap caught
+    /// mid-allocation) retries at the next period.
+    pub fn periodic_census(&mut self, m: &Machine) {
+        if self.profile.is_none() {
+            return;
+        }
+        match self.census_every {
+            None => {
+                if m.stats.gc_count == 0 && !self.has_midrun_census() {
+                    self.midrun_census(m);
+                }
+            }
+            Some(n) => {
+                if m.stats.instrs >= self.next_census_at && self.midrun_census(m) {
+                    self.next_census_at = m.stats.instrs + n;
+                }
+            }
         }
     }
 
@@ -249,6 +293,13 @@ impl Collector {
         *alloc += 8 * (1 + payload_words);
         m.wr(v, header::fwd(new))?;
         m.stats.gc_copied_words += 1 + payload_words;
+        // Report the copy to the site profiler so the object keeps its
+        // allocation-site identity across the flip. Every copy funnels
+        // through here — stop-the-world evacuation, incremental
+        // slices, and the write barrier's re-forwarding alike.
+        if let Some(p) = m.profiler.as_deref_mut() {
+            p.gc_forward(v, new, 8 * (1 + payload_words));
+        }
         Ok(new)
     }
 
@@ -549,14 +600,19 @@ impl Collector {
         };
 
         // --- Flip.
+        let (dead_lo, dead_hi) = self.semi(m, self.from);
         self.from = to;
         self.last_hp = alloc;
         m.regs[regs::HP as usize] = alloc;
         m.regs[regs::HL as usize] = to_end;
         if let Some(p) = m.profiler.as_deref_mut() {
             // The flip moved HP without allocating; re-base the
-            // profiler's allocation attribution.
+            // profiler's allocation attribution and purge the dying
+            // semispace from its allocation-site heap map (survivors
+            // were re-registered at their to-space addresses as they
+            // were forwarded).
             p.note_rt(alloc);
+            p.gc_flip(dead_lo, dead_hi);
         }
         let live_words = (alloc - to_base) / 8;
         if live_words > m.stats.max_live_words {
@@ -565,7 +621,7 @@ impl Collector {
         // Collection cost in instruction-equivalents: roughly 3 per
         // copied word plus a per-collection constant.
         m.stats.rt_cost += 200 + 3 * (m.stats.gc_copied_words - copied_before);
-        if let (Some(p), Some(classes)) = (self.profile.as_mut(), census) {
+        if let (Some(p), Some(sample)) = (self.profile.as_mut(), census) {
             let idx = p.pauses.len() as u64;
             p.pauses.push(GcPause {
                 trigger_pc: pc,
@@ -577,7 +633,8 @@ impl Collector {
             });
             p.censuses.push(HeapCensus {
                 when: CensusWhen::AfterGc(idx),
-                classes,
+                classes: sample.classes,
+                sites: sample.sites,
             });
         }
         if alloc + needed > to_end {
@@ -831,21 +888,24 @@ impl Collector {
             } else {
                 None
             };
+            let (dead_lo, dead_hi) = self.semi(m, self.from);
             self.from = cycle.to;
             self.last_hp = cycle.alloc;
             m.regs[regs::HP as usize] = cycle.alloc;
             m.regs[regs::HL as usize] = cycle.to_end;
             if let Some(p) = m.profiler.as_deref_mut() {
                 p.note_rt(cycle.alloc);
+                p.gc_flip(dead_lo, dead_hi);
             }
             let live_words = (cycle.alloc - cycle.to_base) / 8;
             if live_words > m.stats.max_live_words {
                 m.stats.max_live_words = live_words;
             }
-            if let (Some(p), Some(classes)) = (self.profile.as_mut(), census) {
+            if let (Some(p), Some(sample)) = (self.profile.as_mut(), census) {
                 p.censuses.push(HeapCensus {
                     when: CensusWhen::AfterGc(m.stats.gc_count - 1),
-                    classes,
+                    classes: sample.classes,
+                    sites: sample.sites,
                 });
             }
             self.cycle = None;
@@ -865,7 +925,7 @@ impl Collector {
         to_base: u64,
         alloc: u64,
         computed_roots: &[(u64, u64)],
-    ) -> Result<crate::census::CensusClasses, VmError> {
+    ) -> Result<crate::census::CensusSample, VmError> {
         let old_from = self.semi(m, self.from);
         let mut known: HashMap<u64, RepClass> = HashMap::new();
         for (addr, rv) in computed_roots {
@@ -932,35 +992,46 @@ impl Collector {
     /// `[heap_base, HP)` — the zero-GC provenance sample. Called from
     /// the runtime's periodic hook; a heap caught mid-allocation (a
     /// header not yet written) makes the scan fail, in which case no
-    /// sample is recorded and a later period retries.
-    pub fn midrun_census(&mut self, m: &Machine) {
+    /// sample is recorded (`false`) and a later period retries.
+    pub fn midrun_census(&mut self, m: &Machine) -> bool {
         let (base, _) = self.semi(m, self.from);
         let hp = m.regs[regs::HP as usize];
         if hp <= base {
-            return;
+            return false;
         }
-        let Some(p) = &self.profile else { return };
+        let Some(p) = &self.profile else { return false };
         let fun_code_start = p.fun_code_start;
         let tagged = self.mode == GcMode::Tagged;
-        if let Ok(classes) = census::scan(m, base, hp, fun_code_start, tagged, &HashMap::new()) {
+        let seq = self.midrun_census_count();
+        if let Ok(sample) = census::scan(m, base, hp, fun_code_start, tagged, &HashMap::new()) {
             if let Some(p) = self.profile.as_mut() {
                 p.censuses.push(HeapCensus {
                     when: CensusWhen::MidRun {
                         at_instr: m.stats.instrs,
+                        seq,
                     },
-                    classes,
+                    classes: sample.classes,
+                    sites: sample.sites,
                 });
+                return true;
             }
         }
+        false
+    }
+
+    /// How many mid-run censuses have been recorded so far?
+    pub fn midrun_census_count(&self) -> u64 {
+        self.profile.as_ref().map_or(0, |p| {
+            p.censuses
+                .iter()
+                .filter(|c| matches!(c.when, CensusWhen::MidRun { .. }))
+                .count() as u64
+        })
     }
 
     /// Has a mid-run census already been recorded?
     pub fn has_midrun_census(&self) -> bool {
-        self.profile.as_ref().is_some_and(|p| {
-            p.censuses
-                .iter()
-                .any(|c| matches!(c.when, CensusWhen::MidRun { .. }))
-        })
+        self.midrun_census_count() > 0
     }
 
     /// Final accounting at program exit: meters the allocation tail
@@ -985,13 +1056,14 @@ impl Collector {
             let fun_code_start = p.fun_code_start;
             let tagged = self.mode == GcMode::Tagged;
             if hp >= base {
-                if let Ok(classes) =
+                if let Ok(sample) =
                     census::scan(m, base, hp, fun_code_start, tagged, &HashMap::new())
                 {
                     if let Some(p) = self.profile.as_mut() {
                         p.censuses.push(HeapCensus {
                             when: CensusWhen::Exit,
-                            classes,
+                            classes: sample.classes,
+                            sites: sample.sites,
                         });
                     }
                 }

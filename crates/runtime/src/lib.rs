@@ -15,7 +15,7 @@ pub mod reps;
 pub mod rt;
 pub mod tables;
 
-pub use census::{CensusClasses, CensusWhen, HeapCensus, RepClass};
+pub use census::{CensusClasses, CensusSample, CensusWhen, HeapCensus, RepClass, SiteCensus};
 pub use gc::{CollectMode, Collector, GcPause, GcProfile, DEFAULT_PAUSE_BUDGET};
 pub use reps::{rep, RepExpr, RtData, RtDataRep};
 pub use rt::{format_real, Rt};

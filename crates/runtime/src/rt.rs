@@ -307,13 +307,14 @@ impl Runtime for Rt {
         Ok(val)
     }
 
-    /// Low-frequency observational work: a profiled run that has not
-    /// collected yet records one mid-run heap census, so zero-GC runs
-    /// report a live sample instead of only the exit census.
+    /// Low-frequency observational work: mid-run heap censuses per
+    /// the collector's sampling policy — by default one sample in
+    /// runs that have not collected yet (so zero-GC runs report a
+    /// live sample instead of only the exit census), or every N
+    /// retired instructions under a configured cadence
+    /// (`Collector::set_census_every` / `TIL_CENSUS_EVERY`).
     fn periodic(&mut self, m: &mut Machine) -> Result<(), VmError> {
-        if self.gc.profile.is_some() && m.stats.gc_count == 0 && !self.gc.has_midrun_census() {
-            self.gc.midrun_census(m);
-        }
+        self.gc.periodic_census(m);
         Ok(())
     }
 

@@ -13,4 +13,4 @@ pub mod profile;
 
 pub use isa::{header, regs, Alu, CodeAddr, Falu, Instr, Op, Reg, RtFn};
 pub use machine::{code_index, code_value, Layout, Machine, Runtime, Stats, Trap, VmError};
-pub use profile::{FuncProfile, FuncRange, Profiler};
+pub use profile::{FuncProfile, FuncRange, Profiler, SiteProfile, RT_SITE, UNMAPPED_SITE};

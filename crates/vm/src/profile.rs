@@ -19,6 +19,17 @@
 //! function body) fall into an implicit `"(stubs)"` bucket.
 
 use crate::isa::Instr;
+use std::collections::BTreeMap;
+
+/// Pseudo-site for runtime-service allocation inside `RtCall`s (string
+/// construction, …): there is no interpreted allocation pc to blame.
+pub const RT_SITE: u32 = u32::MAX;
+
+/// Pseudo-site for heap words whose allocation the profiler never saw
+/// (e.g. the final pre-sample instruction's bump, whose HP delta is
+/// only observed on the *next* retire). Kept distinct so census
+/// site breakdowns stay exhaustive instead of silently dropping words.
+pub const UNMAPPED_SITE: u32 = u32::MAX - 1;
 
 /// Is `TIL_PROFILE` set to a truthy value (anything but `0`/empty)?
 pub fn env_enabled() -> bool {
@@ -61,6 +72,49 @@ struct Counts {
     traps: u64,
 }
 
+/// One live heap interval in the side map: `[start, end)` was bumped
+/// by `site`, and the object(s) inside have survived `survivals`
+/// collections so far. Keyed by `start` in [`Profiler::heap_map`].
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    end: u64,
+    site: u32,
+    survivals: u32,
+}
+
+/// Per-site running totals (keyed by site pc in [`Profiler::sites`]).
+#[derive(Clone, Debug, Default)]
+struct SiteCounts {
+    alloc_bytes: u64,
+    /// `survived_words[k]` = words that survived at least `k + 1`
+    /// collections (each object adds its words to bucket `k` the
+    /// moment its `k + 1`-th forwarding copy happens).
+    survived_words: Vec<u64>,
+}
+
+/// One allocation site's lifetime statistics, as reported by
+/// [`Profiler::site_profiles`]. A *site* is the pc of the HP-bump
+/// instruction that allocated (resolved to `fun+offset` via the
+/// function-range map), or one of the [`RT_SITE`]/[`UNMAPPED_SITE`]
+/// pseudo-sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// The allocation pc ([`RT_SITE`]/[`UNMAPPED_SITE`] for the
+    /// pseudo-sites).
+    pub pc: u32,
+    /// Human name: `fun+offset`, `(rt)`, `(stubs)+pc`, or
+    /// `(unmapped)`.
+    pub name: String,
+    /// Total words this site allocated over the whole run.
+    pub alloc_words: u64,
+    /// `survived_words[k]` = words surviving at least `k + 1`
+    /// collections (empty when nothing from this site was ever
+    /// copied).
+    pub survived_words: Vec<u64>,
+    /// Words from this site still resident when the run ended.
+    pub live_at_exit_words: u64,
+}
+
 /// The profiler itself: attach one to a `Machine` (boxed, so the
 /// machine stays cheap to move) and it observes every retired
 /// instruction.
@@ -90,6 +144,13 @@ pub struct Profiler {
     /// the first retire) — the instruction whose allocation the next
     /// retire's HP delta reports.
     last_pc: u32,
+    /// The heap side map: live interval start → entry. Every observed
+    /// HP bump inserts one interval; [`gc_forward`](Profiler::gc_forward)
+    /// re-inserts the to-space copy; [`gc_flip`](Profiler::gc_flip)
+    /// purges the dying semispace. Strictly observational.
+    heap_map: BTreeMap<u64, HeapEntry>,
+    /// Per-site totals, keyed by allocation pc.
+    sites: BTreeMap<u32, SiteCounts>,
 }
 
 impl Profiler {
@@ -107,6 +168,8 @@ impl Profiler {
             rt_alloc_bytes: 0,
             exn_pcs: Vec::new(),
             last_pc: u32::MAX,
+            heap_map: BTreeMap::new(),
+            sites: BTreeMap::new(),
         }
     }
 
@@ -158,6 +221,10 @@ impl Profiler {
             } else {
                 self.counts[self.cur].alloc_bytes += delta;
             }
+            // Either way the bump pc is the allocation *site* (exn
+            // packets keep their own pc, so packets raised from
+            // different functions stay distinguishable).
+            self.record_site_alloc(self.last_pc, self.last_hp, hp);
         }
         self.last_hp = hp;
         let cur = self.locate(pc);
@@ -189,8 +256,109 @@ impl Profiler {
     pub fn note_rt_call(&mut self, hp: u64) {
         if self.last_hp != u64::MAX && hp > self.last_hp {
             self.rt_alloc_bytes += hp - self.last_hp;
+            self.record_site_alloc(RT_SITE, self.last_hp, hp);
         }
         self.last_hp = hp;
+    }
+
+    /// Records a fresh allocation interval `[lo, hi)` for `site` in
+    /// the heap side map and charges its bytes to the site's total.
+    fn record_site_alloc(&mut self, site: u32, lo: u64, hi: u64) {
+        self.heap_map.insert(
+            lo,
+            HeapEntry {
+                end: hi,
+                site,
+                survivals: 0,
+            },
+        );
+        self.sites.entry(site).or_default().alloc_bytes += hi - lo;
+    }
+
+    /// The collector reports one object copy `old → new` of `bytes`
+    /// bytes (called from the single forwarding chokepoint, so it
+    /// covers stop-the-world evacuation, incremental slices, and the
+    /// write barrier's re-forwarding alike). The object keeps its
+    /// site identity, its survival count ticks, and its words land in
+    /// the site's survival histogram.
+    pub fn gc_forward(&mut self, old: u64, new: u64, bytes: u64) {
+        let (site, survivals) = match self.heap_map.range(..=old).next_back() {
+            Some((_, e)) if old < e.end => (e.site, e.survivals),
+            _ => (UNMAPPED_SITE, 0),
+        };
+        self.heap_map.insert(
+            new,
+            HeapEntry {
+                end: new + bytes,
+                site,
+                survivals: survivals + 1,
+            },
+        );
+        let s = self.sites.entry(site).or_default();
+        let k = survivals as usize;
+        if s.survived_words.len() <= k {
+            s.survived_words.resize(k + 1, 0);
+        }
+        s.survived_words[k] += bytes / 8;
+    }
+
+    /// The collector reports a semispace flip: every interval still
+    /// keyed inside the dying from-space `[lo, hi)` is garbage (live
+    /// objects were re-inserted at their to-space addresses by
+    /// [`gc_forward`](Profiler::gc_forward)) and is dropped.
+    pub fn gc_flip(&mut self, lo: u64, hi: u64) {
+        let dead: Vec<u64> = self.heap_map.range(lo..hi).map(|(&k, _)| k).collect();
+        for k in dead {
+            self.heap_map.remove(&k);
+        }
+    }
+
+    /// Maps a heap address to the site that allocated it
+    /// ([`UNMAPPED_SITE`] when the profiler never saw the bump).
+    pub fn site_of(&self, addr: u64) -> u32 {
+        match self.heap_map.range(..=addr).next_back() {
+            Some((_, e)) if addr < e.end => e.site,
+            _ => UNMAPPED_SITE,
+        }
+    }
+
+    /// Human name for a site pc: `fun+offset` for compiled code,
+    /// `(stubs)+pc` for linker stubs, `(rt)`/`(unmapped)` for the
+    /// pseudo-sites.
+    pub fn site_name(&self, site: u32) -> String {
+        match site {
+            RT_SITE => "(rt)".into(),
+            UNMAPPED_SITE => "(unmapped)".into(),
+            pc => {
+                let idx = self.ranges.partition_point(|r| r.start <= pc);
+                match idx.checked_sub(1) {
+                    Some(i) if pc < self.ranges[i].end => {
+                        format!("{}+{}", self.ranges[i].name, pc - self.ranges[i].start)
+                    }
+                    _ => format!("(stubs)+{pc}"),
+                }
+            }
+        }
+    }
+
+    /// Per-site lifetime statistics, sorted by site pc (pseudo-sites
+    /// last). `live_at_exit_words` sums the intervals still resident
+    /// in the side map, so it is only meaningful once the run ended.
+    pub fn site_profiles(&self) -> Vec<SiteProfile> {
+        let mut live: BTreeMap<u32, u64> = BTreeMap::new();
+        for (&lo, e) in &self.heap_map {
+            *live.entry(e.site).or_default() += (e.end - lo) / 8;
+        }
+        self.sites
+            .iter()
+            .map(|(&pc, c)| SiteProfile {
+                pc,
+                name: self.site_name(pc),
+                alloc_words: c.alloc_bytes / 8,
+                survived_words: c.survived_words.clone(),
+                live_at_exit_words: live.get(&pc).copied().unwrap_or(0),
+            })
+            .collect()
     }
 
     /// The per-opcode histogram: `(mnemonic, retired)` for every opcode
@@ -330,6 +498,64 @@ mod tests {
         assert_eq!(funs[0].alloc_bytes, 16);
         assert_eq!(funs.last().map(|f| f.name.as_str()), Some("(rt)"));
         assert_eq!(funs.last().map(|f| f.alloc_bytes), Some(24));
+    }
+
+    #[test]
+    fn sites_track_allocation_survival_and_exit_residency() {
+        let mut p = Profiler::new(ranges());
+        let mov = Instr::Mov {
+            dst: 1,
+            src: Op::I(0),
+        };
+        p.retire(10, &mov, 1000); // baseline
+        p.retire(11, &mov, 1016); // site pc 10: 16 bytes
+        p.retire(20, &mov, 1016);
+        p.retire(21, &mov, 1040); // site pc 20: 24 bytes
+        assert_eq!(p.site_of(1000), 10);
+        assert_eq!(p.site_of(1015), 10);
+        assert_eq!(p.site_of(1016), 20);
+        assert_eq!(p.site_of(2000), UNMAPPED_SITE);
+        // A collection copies the pc-10 object to 5000, the pc-20
+        // object dies; the collector reports the copy and the flip.
+        p.gc_forward(1000, 5000, 16);
+        p.gc_flip(0, 4096);
+        p.note_rt(5016);
+        assert_eq!(p.site_of(5000), 10);
+        assert_eq!(p.site_of(1016), UNMAPPED_SITE); // purged
+        // Second collection: it survives again.
+        p.gc_forward(5000, 1000, 16);
+        p.gc_flip(4096, 8192);
+        p.note_rt(1016);
+        let sites = p.site_profiles();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].pc, 10);
+        assert_eq!(sites[0].name, "main+0");
+        assert_eq!(sites[0].alloc_words, 2);
+        assert_eq!(sites[0].survived_words, vec![2, 2]);
+        assert_eq!(sites[0].live_at_exit_words, 2);
+        assert_eq!(sites[1].pc, 20);
+        assert_eq!(sites[1].name, "f_1+0");
+        assert_eq!(sites[1].alloc_words, 3);
+        assert_eq!(sites[1].survived_words, Vec::<u64>::new());
+        assert_eq!(sites[1].live_at_exit_words, 0);
+    }
+
+    #[test]
+    fn rt_allocation_gets_the_rt_pseudo_site() {
+        let mut p = Profiler::new(ranges());
+        let mov = Instr::Mov {
+            dst: 1,
+            src: Op::I(0),
+        };
+        p.retire(10, &mov, 1000);
+        p.retire(11, &mov, 1000);
+        p.note_rt_call(1032);
+        assert_eq!(p.site_of(1000), RT_SITE);
+        let sites = p.site_profiles();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].name, "(rt)");
+        assert_eq!(sites[0].alloc_words, 4);
+        assert_eq!(sites[0].live_at_exit_words, 4);
     }
 
     #[test]

@@ -474,10 +474,11 @@ fn zero_gc_profiled_runs_record_a_midrun_census() {
             .filter(|c| matches!(c.when, til::CensusWhen::MidRun { .. }))
             .collect();
         assert_eq!(mids.len(), 1, "exactly one mid-run census in a zero-GC run");
-        let til::CensusWhen::MidRun { at_instr } = mids[0].when else {
+        let til::CensusWhen::MidRun { at_instr, seq } = mids[0].when else {
             unreachable!()
         };
         assert!(at_instr > 0 && at_instr < out.stats.instrs);
+        assert_eq!(seq, 0, "the single default sample is sequence 0");
         assert!(mids[0].classes.total_words() > 0, "mid-run census saw no heap");
         assert!(
             p.censuses.iter().any(|c| c.when == til::CensusWhen::Exit),
@@ -680,5 +681,215 @@ fn chrome_trace_export_round_trips() {
     til_common::json::validate(&json).expect("well-formed Chrome trace JSON");
     for needle in ["traceEvents", "thread_name", "gc-pause", "exit-census", "\"run\""] {
         assert!(json.contains(needle), "Chrome trace is missing {needle}");
+    }
+}
+
+// --- Allocation-site heap profiling: HP-delta attribution keyed by
+// allocation pc, with the collector reporting every copy so objects
+// keep their site identity across semispace flips. The profiler is
+// an observer: Stats and output are bit-identical with it on or off,
+// under either collection-scheduling mode.
+
+/// Two allocation sites with opposite lifetimes: `keep` builds a list
+/// held to exit, `toss` builds lists discarded every churn iteration.
+/// Sized so a 64 KB semispace forces collections while both the kept
+/// list and one in-flight toss list fit.
+const TWO_SITE_SRC: &str = "fun keep (0, acc) = acc | keep (n, acc) = keep (n - 1, n :: acc)
+     fun toss (0, acc) = acc | toss (n, acc) = toss (n - 1, n :: acc)
+     fun churn 0 = 0 | churn k = (length (toss (800, nil)) ; churn (k - 1))
+     val kept = keep (500, nil)
+     val _ = print (Int.toString (churn 300 + length kept))";
+
+#[test]
+fn site_profiler_is_transparent_across_gc_modes() {
+    // Program output and every Stats counter must be bit-identical
+    // with profiling on and off, under stop-the-world and incremental
+    // scheduling, in both rep modes — the site profiler (HeapMap,
+    // forwarding hook, flip purge) never perturbs the run it observes.
+    let modes = [
+        til::CollectMode::StopTheWorld,
+        til::CollectMode::Incremental { budget: 1_000 },
+    ];
+    for opts in small_heap_modes() {
+        let exe = Compiler::new(opts).compile(CHURN_SRC).expect("compile");
+        let mut outputs = Vec::new();
+        let mut stats = Vec::new();
+        for gc in modes {
+            let off = exe.run_with_gc_mode(2_000_000_000, false, gc).expect("unprofiled");
+            let on = exe.run_with_gc_mode(2_000_000_000, true, gc).expect("profiled");
+            assert_eq!(off.output, on.output, "profiling changed output under {gc:?}");
+            assert_eq!(off.stats, on.stats, "profiling changed Stats under {gc:?}");
+            assert!(off.profile.is_none() && on.profile.is_some());
+            let p = on.profile.expect("profile");
+            assert!(!p.sites.is_empty(), "churn produced no allocation sites");
+            outputs.push(on.output);
+            stats.push(on.stats);
+        }
+        assert_eq!(outputs[0], outputs[1], "GC mode changed output");
+        assert_eq!(stats[0], stats[1], "GC mode changed Stats");
+    }
+}
+
+#[test]
+fn allocation_sites_separate_short_lived_from_live_to_exit() {
+    // The survival table must distinguish the two lifetimes: `keep`'s
+    // conses survive every collection and are resident at exit;
+    // `toss`'s die young (at most the one collection that catches a
+    // list mid-build), leaving at most the post-final-flip residue.
+    for opts in small_heap_modes() {
+        let exe = Compiler::new(opts).compile(TWO_SITE_SRC).expect("compile");
+        let out = exe.run_with(2_000_000_000, true).expect("run");
+        assert!(out.stats.gc_count > 1, "test premise: several collections ran");
+        let p = out.profile.expect("profile");
+        let sum = |pred: &dyn Fn(&til::SiteProfile) -> bool| {
+            p.sites.iter().filter(|s| pred(s)).fold((0u64, 0u64, 0usize), |a, s| {
+                (a.0 + s.alloc_words, a.1 + s.live_at_exit_words, a.2.max(s.survived_words.len()))
+            })
+        };
+        let (keep_alloc, keep_exit, keep_depth) = sum(&|s| s.name.starts_with("keep"));
+        let (toss_alloc, toss_exit, toss_depth) = sum(&|s| s.name.starts_with("toss"));
+        assert!(keep_alloc > 0, "keep site missing from the table");
+        assert!(toss_alloc > keep_alloc, "toss churns far more than keep allocates");
+        // The whole kept list is resident at exit; of toss's churn at
+        // most the residue since the last collection is (the exit
+        // census scans the resident heap, which still holds objects
+        // that died after the final flip).
+        assert!(
+            keep_exit * 2 >= keep_alloc,
+            "the kept list must be resident at exit under its site: {keep_exit} of {keep_alloc}"
+        );
+        assert!(
+            toss_exit * 20 < toss_alloc,
+            "discarded toss lists cannot dominate exit residency: {toss_exit} of {toss_alloc}"
+        );
+        assert!(
+            keep_depth >= out.stats.gc_count as usize,
+            "the kept list must survive every collection: depth {keep_depth}, gc_count {}",
+            out.stats.gc_count
+        );
+        assert!(
+            toss_depth < keep_depth,
+            "toss ({toss_depth}) must die younger than keep ({keep_depth})"
+        );
+    }
+}
+
+#[test]
+fn forwarding_preserves_site_identity_under_pressure() {
+    // A pressured 64 KB semispace: objects are copied many times, and
+    // each copy must carry its site along. The per-site table is
+    // byte-identical across collection modes (the copy stream is the
+    // same under confined slicing), site exit residency accounts for
+    // the whole resident heap, and every census's per-site breakdown
+    // sums to its class totals.
+    let mut opts = Options::til();
+    opts.verify = true;
+    opts.link.semi_bytes = 64 << 10;
+    let exe = Compiler::new(opts).compile(TWO_SITE_SRC).expect("compile");
+    let stw = exe
+        .run_with_gc_mode(2_000_000_000, true, til::CollectMode::StopTheWorld)
+        .expect("stw run");
+    let inc = exe
+        .run_with_gc_mode(2_000_000_000, true, til::CollectMode::Incremental { budget: 500 })
+        .expect("incremental run");
+    assert!(stw.stats.gc_count > 1, "test premise: several collections ran");
+    assert_eq!(stw.output, inc.output);
+    assert_eq!(stw.stats, inc.stats);
+    let ps = stw.profile.expect("stw profile");
+    let pi = inc.profile.expect("incremental profile");
+    assert!(
+        pi.pauses.len() as u64 > inc.stats.gc_count,
+        "test premise: the tight budget actually sliced a collection"
+    );
+    assert_eq!(ps.sites, pi.sites, "forwarding under slices changed site statistics");
+    for p in [&ps, &pi] {
+        let exit_words: u64 = p.sites.iter().map(|s| s.live_at_exit_words).sum();
+        assert_eq!(
+            exit_words, stw.stats.final_heap_words,
+            "site exit residency must account for the whole resident heap"
+        );
+        for c in &p.censuses {
+            let by_site: u64 = c.sites.iter().map(|s| s.classes.total_words()).sum();
+            assert_eq!(
+                by_site,
+                c.classes.total_words(),
+                "census site breakdown must sum to its class totals"
+            );
+        }
+        // The exit census and the survival table are two views of the
+        // same HeapMap: per-site words must agree exactly.
+        let exit = p
+            .censuses
+            .iter()
+            .find(|c| c.when == til::CensusWhen::Exit)
+            .expect("exit census");
+        for s in &p.sites {
+            let census_words = exit
+                .sites
+                .iter()
+                .filter(|e| e.name == s.name)
+                .map(|e| e.classes.total_words())
+                .sum::<u64>();
+            assert_eq!(
+                census_words, s.live_at_exit_words,
+                "site {} disagrees between exit census and survival table",
+                s.name
+            );
+        }
+        assert!(
+            p.sites.iter().any(|s| s.survived_words.len() >= 2),
+            "no site survived two collections — forwarding depth untested"
+        );
+    }
+}
+
+#[test]
+fn census_cadence_knob_takes_periodic_samples() {
+    // `Options::census_every` switches the single default mid-run
+    // sample to a periodic cadence: samples carry increasing sequence
+    // numbers, sit at least the cadence apart on the instruction
+    // timeline, and stay observational (Stats identical to an
+    // unprofiled run).
+    let every = 3_000u64;
+    let src = "fun build (0, acc) = acc | build (n, acc) = build (n - 1, n :: acc)
+               fun loop (0, acc) = acc
+                 | loop (k, acc) = loop (k - 1, acc + length (build (50, nil)))
+               val _ = print (Int.toString (loop (200, 0)))";
+    for mut opts in both_modes() {
+        opts.census_every = Some(every);
+        let exe = Compiler::new(opts).compile(src).expect("compile");
+        let on = exe.run_with(1_000_000_000, true).expect("profiled run");
+        let off = exe.run_with(1_000_000_000, false).expect("unprofiled run");
+        assert_eq!(off.stats, on.stats, "periodic censuses perturbed the run");
+        let p = on.profile.expect("profile");
+        let mids: Vec<_> = p
+            .censuses
+            .iter()
+            .filter_map(|c| match c.when {
+                til::CensusWhen::MidRun { at_instr, seq } => Some((at_instr, seq)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            mids.len() >= 3,
+            "cadence {every} over {} instrs took only {} samples",
+            on.stats.instrs,
+            mids.len()
+        );
+        for (i, &(_, seq)) in mids.iter().enumerate() {
+            assert_eq!(seq, i as u64, "mid-run sequence numbers must be dense");
+        }
+        for w in mids.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0 + every,
+                "samples closer than the cadence: {} then {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        assert!(
+            p.censuses.iter().any(|c| c.when == til::CensusWhen::Exit),
+            "exit census still present"
+        );
     }
 }
